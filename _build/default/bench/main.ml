@@ -1,0 +1,294 @@
+(* Benchmark harness: regenerates every figure of the paper's evaluation
+   (Figure 5a and Figure 5b), the DESIGN.md ablations, and per-operation
+   Bechamel latency benchmarks.
+
+     dune exec bench/main.exe                 # everything, short defaults
+     dune exec bench/main.exe -- fig5a        # one experiment
+     dune exec bench/main.exe -- fig5b --repeats 5 --horizon-us 1000
+     dune exec bench/main.exe -- fig5a --backend native --duration 1.0
+     dune exec bench/main.exe -- bechamel     # wall-clock op latency
+
+   The default backend is the discrete-event simulated multiprocessor
+   (see DESIGN.md: this container has one core, so domain-based scaling
+   curves are physically meaningless here; the native backend remains
+   available for real multicore machines). *)
+
+module Experiments = Dssq_workload.Experiments
+module Report = Dssq_workload.Report
+open Cmdliner
+
+(* ------------------------- common options ---------------------------- *)
+
+let backend_conv =
+  Arg.enum [ ("sim", Experiments.Sim_model); ("native", Experiments.Native_domains) ]
+
+let backend =
+  Arg.(
+    value
+    & opt backend_conv Experiments.Sim_model
+    & info [ "backend" ] ~doc:"sim or native")
+
+let repeats =
+  Arg.(value & opt int 3 & info [ "repeats" ] ~doc:"samples per point")
+
+let horizon_us =
+  Arg.(
+    value & opt float 300.
+    & info [ "horizon-us" ] ~doc:"simulated time per sample (sim backend)")
+
+let duration =
+  Arg.(
+    value & opt float 0.2
+    & info [ "duration" ] ~doc:"seconds per sample (native backend)")
+
+let threads =
+  Arg.(
+    value
+    & opt (list int) Experiments.default_threads
+    & info [ "threads" ] ~doc:"thread counts to sweep")
+
+let csv = Arg.(value & flag & info [ "csv" ] ~doc:"also print CSV")
+
+let render ~title ~x_label ~y_label ~csv:want_csv series =
+  Report.print_table ~title ~x_label ~y_label series;
+  Report.print_chart series;
+  if want_csv then print_string (Report.to_csv ~x_label series)
+
+(* ------------------------- figure commands --------------------------- *)
+
+let run_fig5a backend threads repeats horizon_us duration csv =
+  let series =
+    Experiments.fig5a ~backend ~threads ~repeats
+      ~horizon_ns:(horizon_us *. 1000.) ~duration ()
+  in
+  render
+    ~title:
+      "Figure 5a: levels of detectability and persistence (alternating \
+       enqueue/dequeue pairs, queue seeded with 16 nodes)"
+    ~x_label:"threads" ~y_label:"Mops/s" ~csv series
+
+let fig5a_cmd =
+  Cmd.v (Cmd.info "fig5a" ~doc:"MS queue vs DSS non-detectable vs DSS detectable")
+    Term.(const run_fig5a $ backend $ threads $ repeats $ horizon_us $ duration $ csv)
+
+let run_fig5b backend threads repeats horizon_us duration csv =
+  let series =
+    Experiments.fig5b ~backend ~threads ~repeats
+      ~horizon_ns:(horizon_us *. 1000.) ~duration ()
+  in
+  render
+    ~title:
+      "Figure 5b: detectable queue implementations (all operations \
+       detectable)"
+    ~x_label:"threads" ~y_label:"Mops/s" ~csv series
+
+let fig5b_cmd =
+  Cmd.v
+    (Cmd.info "fig5b"
+       ~doc:"DSS queue vs log queue vs Fast/General CASWithEffect")
+    Term.(const run_fig5b $ backend $ threads $ repeats $ horizon_us $ duration $ csv)
+
+(* ------------------------- ablation commands ------------------------- *)
+
+let nthreads_opt =
+  Arg.(value & opt int 8 & info [ "nthreads" ] ~doc:"thread count")
+
+let run_ablate_flush nthreads repeats horizon_us csv =
+  let series =
+    Experiments.ablate_flush ~nthreads ~repeats ~horizon_ns:(horizon_us *. 1000.) ()
+  in
+  render
+    ~title:
+      (Printf.sprintf
+         "Ablation: persist-instruction latency sweep (%d threads)" nthreads)
+    ~x_label:"flush_ns" ~y_label:"Mops/s" ~csv series
+
+let ablate_flush_cmd =
+  Cmd.v
+    (Cmd.info "ablate-flush" ~doc:"sweep the simulated CLWB+sfence latency")
+    Term.(const run_ablate_flush $ nthreads_opt $ repeats $ horizon_us $ csv)
+
+let run_ablate_demand nthreads repeats horizon_us csv =
+  let series =
+    Experiments.ablate_demand ~nthreads ~repeats ~horizon_ns:(horizon_us *. 1000.) ()
+  in
+  render
+    ~title:
+      (Printf.sprintf
+         "Ablation: detectability on demand — fraction of detectable pairs \
+          (%d threads, DSS queue)"
+         nthreads)
+    ~x_label:"det_pct" ~y_label:"Mops/s" ~csv series
+
+let ablate_demand_cmd =
+  Cmd.v
+    (Cmd.info "ablate-demand"
+       ~doc:"sweep the fraction of operations requesting detectability")
+    Term.(const run_ablate_demand $ nthreads_opt $ repeats $ horizon_us $ csv)
+
+let run_ablate_recovery csv =
+  let series = Experiments.ablate_recovery () in
+  render
+    ~title:
+      "Ablation: recovery styles — memory events to recover vs queue length"
+    ~x_label:"queue_len" ~y_label:"memory events" ~csv series
+
+let ablate_recovery_cmd =
+  Cmd.v
+    (Cmd.info "ablate-recovery"
+       ~doc:"centralized (Figure 6) vs per-thread recovery cost")
+    Term.(const run_ablate_recovery $ csv)
+
+let run_ablate_depth csv =
+  let series = Experiments.ablate_depth () in
+  render
+    ~title:"Ablation: initial queue depth (8 threads)"
+    ~x_label:"depth" ~y_label:"Mops/s" ~csv series
+
+let ablate_depth_cmd =
+  Cmd.v
+    (Cmd.info "ablate-depth" ~doc:"initial queue depth sweep")
+    Term.(const run_ablate_depth $ csv)
+
+let run_ablate_crashes csv =
+  let series = Experiments.ablate_crash_mtbf () in
+  render
+    ~title:
+      "Ablation: failure-full throughput — effective Mops/s vs crash MTBF \
+       (8 threads, recovery charged)"
+    ~x_label:"mtbf_us" ~y_label:"Mops/s" ~csv series
+
+let ablate_crashes_cmd =
+  Cmd.v
+    (Cmd.info "ablate-crashes"
+       ~doc:"throughput under periodic crashes (MTBF sweep)")
+    Term.(const run_ablate_crashes $ csv)
+
+let run_ablate_pmwcas csv =
+  let series = Experiments.ablate_pmwcas () in
+  render
+    ~title:"Ablation: PMwCAS width — modelled ns per operation"
+    ~x_label:"width" ~y_label:"ns/op" ~csv series
+
+let ablate_pmwcas_cmd =
+  Cmd.v
+    (Cmd.info "ablate-pmwcas" ~doc:"PMwCAS cost vs number of words")
+    Term.(const run_ablate_pmwcas $ csv)
+
+let run_latency () =
+  Printf.printf
+    "## Modelled single-thread latency per operation (ns, no contention)\n";
+  Printf.printf "%-16s%14s%14s%9s\n" "queue" "plain_ns" "detectable_ns" "ratio";
+  List.iter
+    (fun (name, nondet, det) ->
+      Printf.printf "%-16s%14.0f%14.0f%9.2f\n" name nondet det
+        (if nondet > 0. then det /. nondet else 0.))
+    (Experiments.op_latency ());
+  print_newline ()
+
+let latency_cmd =
+  Cmd.v
+    (Cmd.info "latency" ~doc:"modelled per-operation latency table")
+    Term.(const run_latency $ const ())
+
+(* ------------------------- bechamel latency -------------------------- *)
+
+(* Wall-clock per-operation latency on the native backend, one
+   Test.make per queue implementation and detectability mode. *)
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  Dssq_memory.Persist_cost.calibrate ();
+  Dssq_memory.Persist_cost.configure ~flush:150 ();
+  let module R = Dssq_workload.Registry.Make (Dssq_memory.Native) in
+  let mk_test (name, mk) =
+    let ops : Dssq_core.Queue_intf.ops = mk ~nthreads:1 ~capacity:4096 in
+    let i = ref 0 in
+    [
+      Test.make
+        ~name:(name ^ "/plain-pair")
+        (Staged.stage (fun () ->
+             incr i;
+             ops.enqueue ~tid:0 (!i land 0xFFFF);
+             ignore (ops.dequeue ~tid:0)));
+      Test.make
+        ~name:(name ^ "/detectable-pair")
+        (Staged.stage (fun () ->
+             incr i;
+             ops.d_enqueue ~tid:0 (!i land 0xFFFF);
+             ignore (ops.d_dequeue ~tid:0)));
+    ]
+  in
+  let tests = List.concat_map mk_test R.all in
+  let test = Test.make_grouped ~name:"queues" ~fmt:"%s %s" tests in
+  let benchmark () =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+    in
+    let raw_results = Benchmark.all cfg instances test in
+    let results =
+      List.map (fun instance -> Analyze.all ols instance raw_results) instances
+    in
+    Analyze.merge ols instances results
+  in
+  let results = benchmark () in
+  Printf.printf "## Bechamel wall-clock latency (native backend, %d ns/flush charged)\n"
+    (Dssq_memory.Persist_cost.current_flush_ns ());
+  Hashtbl.iter
+    (fun label result_tbl ->
+      if label = Measure.label Instance.monotonic_clock then
+        Hashtbl.iter
+          (fun name result ->
+            match Analyze.OLS.estimates result with
+            | Some [ est ] -> Printf.printf "%-44s %10.0f ns/pair\n" name est
+            | _ -> ())
+          result_tbl)
+    results;
+  print_newline ()
+
+let bechamel_cmd =
+  Cmd.v
+    (Cmd.info "bechamel" ~doc:"wall-clock op latency via bechamel")
+    Term.(const run_bechamel $ const ())
+
+(* ------------------------- default: everything ----------------------- *)
+
+let run_all backend threads repeats horizon_us duration csv =
+  run_fig5a backend threads repeats horizon_us duration csv;
+  run_fig5b backend threads repeats horizon_us duration csv;
+  run_ablate_flush 8 repeats horizon_us csv;
+  run_ablate_demand 8 repeats horizon_us csv;
+  run_ablate_recovery csv;
+  run_ablate_depth csv;
+  run_ablate_crashes csv;
+  run_ablate_pmwcas csv;
+  run_latency ()
+
+let all_cmd =
+  Term.(const run_all $ backend $ threads $ repeats $ horizon_us $ duration $ csv)
+
+let () =
+  let info =
+    Cmd.info "bench"
+      ~doc:
+        "Regenerate the paper's figures (5a, 5b) and the DESIGN.md ablations"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default:all_cmd info
+          [
+            fig5a_cmd;
+            fig5b_cmd;
+            ablate_flush_cmd;
+            ablate_demand_cmd;
+            ablate_recovery_cmd;
+            ablate_depth_cmd;
+            ablate_crashes_cmd;
+            ablate_pmwcas_cmd;
+            latency_cmd;
+            bechamel_cmd;
+          ]))

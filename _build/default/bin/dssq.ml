@@ -1,0 +1,387 @@
+(* dssq — command-line front end for the DSS queue reproduction.
+
+     dssq fig5a / fig5b / ablate-*   experiment drivers (same as bench)
+     dssq crash-demo                 interactive crash/recovery walkthrough
+     dssq lincheck                   randomized strict-linearizability testing
+     dssq latency                    modelled per-op latency table
+     dssq info                       inventory of what this repo implements *)
+
+module Experiments = Dssq_workload.Experiments
+module Report = Dssq_workload.Report
+module Heap = Dssq_pmem.Heap
+module Sim = Dssq_sim.Sim
+module Spec = Dssq_spec.Spec
+module Dss_spec = Dssq_spec.Dss_spec
+module Specs = Dssq_spec.Specs
+module Recorder = Dssq_history.Recorder
+module Lincheck = Dssq_lincheck.Lincheck
+open Cmdliner
+
+let render ~title ~x_label ~y_label series =
+  Report.print_table ~title ~x_label ~y_label series;
+  Report.print_chart series
+
+(* ------------------------------ figures ------------------------------ *)
+
+let threads_arg =
+  Arg.(
+    value
+    & opt (list int) [ 1; 2; 4; 8; 12; 16; 20 ]
+    & info [ "threads" ] ~doc:"thread counts")
+
+let repeats_arg = Arg.(value & opt int 3 & info [ "repeats" ] ~doc:"samples")
+
+let fig5a_cmd =
+  let run threads repeats =
+    render ~title:"Figure 5a" ~x_label:"threads" ~y_label:"Mops/s"
+      (Experiments.fig5a ~threads ~repeats ())
+  in
+  Cmd.v (Cmd.info "fig5a" ~doc:"regenerate Figure 5a")
+    Term.(const run $ threads_arg $ repeats_arg)
+
+let fig5b_cmd =
+  let run threads repeats =
+    render ~title:"Figure 5b" ~x_label:"threads" ~y_label:"Mops/s"
+      (Experiments.fig5b ~threads ~repeats ())
+  in
+  Cmd.v (Cmd.info "fig5b" ~doc:"regenerate Figure 5b")
+    Term.(const run $ threads_arg $ repeats_arg)
+
+let ablate_cmds =
+  [
+    Cmd.v (Cmd.info "ablate-flush" ~doc:"persist-latency sweep")
+      Term.(
+        const (fun () ->
+            render ~title:"Persist-cost ablation" ~x_label:"flush_ns"
+              ~y_label:"Mops/s"
+              (Experiments.ablate_flush ()))
+        $ const ());
+    Cmd.v (Cmd.info "ablate-demand" ~doc:"detectability-fraction sweep")
+      Term.(
+        const (fun () ->
+            render ~title:"Detectability on demand" ~x_label:"det_pct"
+              ~y_label:"Mops/s"
+              (Experiments.ablate_demand ()))
+        $ const ());
+    Cmd.v (Cmd.info "ablate-recovery" ~doc:"recovery-style comparison")
+      Term.(
+        const (fun () ->
+            render ~title:"Recovery styles" ~x_label:"queue_len"
+              ~y_label:"memory events"
+              (Experiments.ablate_recovery ()))
+        $ const ());
+    Cmd.v (Cmd.info "ablate-pmwcas" ~doc:"PMwCAS width sweep")
+      Term.(
+        const (fun () ->
+            render ~title:"PMwCAS width" ~x_label:"width" ~y_label:"ns/op"
+              (Experiments.ablate_pmwcas ()))
+        $ const ());
+    Cmd.v
+      (Cmd.info "ablate-crashes" ~doc:"throughput under periodic crashes")
+      Term.(
+        const (fun () ->
+            render ~title:"Failure-full throughput" ~x_label:"mtbf_us"
+              ~y_label:"Mops/s"
+              (Experiments.ablate_crash_mtbf ()))
+        $ const ());
+  ]
+
+let latency_cmd =
+  let run () =
+    Printf.printf "%-16s%14s%14s%9s\n" "queue" "plain_ns" "detectable_ns" "ratio";
+    List.iter
+      (fun (name, nondet, det) ->
+        Printf.printf "%-16s%14.0f%14.0f%9.2f\n" name nondet det
+          (if nondet > 0. then det /. nondet else 0.))
+      (Experiments.op_latency ())
+  in
+  Cmd.v (Cmd.info "latency" ~doc:"modelled per-op latency") Term.(const run $ const ())
+
+(* ---------------------------- crash demo ----------------------------- *)
+
+let crash_demo step evict_p show_trace =
+  let heap = Heap.create () in
+  let (module M) = Sim.memory heap in
+  let module Q = Dssq_core.Dss_queue.Make (M) in
+  let q = Q.create ~nthreads:2 ~capacity:64 () in
+  List.iter (fun v -> Q.enqueue q ~tid:1 v) [ 1; 2; 3 ];
+  Printf.printf "queue initialized with [1; 2; 3]\n";
+  Printf.printf
+    "thread 0 runs: prep-enqueue(42); exec-enqueue; prep-dequeue; exec-dequeue\n";
+  let thread () =
+    Q.prep_enqueue q ~tid:0 42;
+    Q.exec_enqueue q ~tid:0;
+    Q.prep_dequeue q ~tid:0;
+    ignore (Q.exec_dequeue q ~tid:0)
+  in
+  let trace =
+    if show_trace then
+      Some
+        (fun ~step ~tid desc -> Printf.printf "  [%3d] t%d: %s\n" step tid desc)
+    else None
+  in
+  let outcome =
+    Sim.run heap ~crash:(Sim.Crash_at_step step) ?trace ~threads:[ thread ]
+  in
+  if not outcome.Sim.crashed then
+    Printf.printf
+      "no crash before the program finished (it takes fewer than %d steps);\n\
+       final queue: [%s]\n"
+      step
+      (String.concat "; " (List.map string_of_int (Q.to_list q)))
+  else begin
+    Printf.printf "CRASH injected before memory event #%d (evict_p = %.2f)\n"
+      step evict_p;
+    Sim.apply_crash heap ~evict_p ~seed:step;
+    Q.recover q;
+    Printf.printf "recovery complete; queue now: [%s]\n"
+      (String.concat "; " (List.map string_of_int (Q.to_list q)));
+    let r = Q.resolve q ~tid:0 in
+    Printf.printf "resolve for thread 0: %s\n"
+      (Format.asprintf "%a" Dssq_core.Queue_intf.pp_resolved r);
+    match r with
+    | Dssq_core.Queue_intf.Enq_pending v ->
+        Printf.printf "-> retrying the enqueue of %d exactly once\n" v;
+        Q.exec_enqueue q ~tid:0;
+        Printf.printf "queue after retry: [%s]\n"
+          (String.concat "; " (List.map string_of_int (Q.to_list q)))
+    | Dssq_core.Queue_intf.Deq_pending ->
+        Printf.printf "-> retrying the dequeue exactly once\n";
+        Printf.printf "dequeued: %d\n" (Q.exec_dequeue q ~tid:0)
+    | _ -> Printf.printf "-> nothing to redo\n"
+  end
+
+let crash_demo_cmd =
+  let step =
+    Arg.(value & opt int 25 & info [ "step" ] ~doc:"memory event to crash before")
+  in
+  let evict =
+    Arg.(value & opt float 0.5 & info [ "evict" ] ~doc:"cache eviction probability")
+  in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"print every memory event")
+  in
+  Cmd.v
+    (Cmd.info "crash-demo" ~doc:"crash a detectable program and resolve it")
+    Term.(const crash_demo $ step $ evict $ trace)
+
+(* ----------------------------- lincheck ------------------------------ *)
+
+(* A detectable queue as closures, for implementation-generic fuzzing. *)
+type qh = {
+  heap : Heap.t;
+  prep_enqueue : tid:int -> int -> unit;
+  exec_enqueue : tid:int -> unit;
+  prep_dequeue : tid:int -> unit;
+  exec_dequeue : tid:int -> int;
+  dequeue : tid:int -> int;
+  resolve : tid:int -> Dssq_core.Queue_intf.resolved;
+  recover : unit -> unit;
+}
+
+let make_queue kind : qh =
+  let heap = Heap.create () in
+  let (module M) = Sim.memory heap in
+  match kind with
+  | `Dss ->
+      let module Q = Dssq_core.Dss_queue.Make (M) in
+      let q = Q.create ~nthreads:2 ~capacity:64 () in
+      {
+        heap;
+        prep_enqueue = (fun ~tid v -> Q.prep_enqueue q ~tid v);
+        exec_enqueue = (fun ~tid -> Q.exec_enqueue q ~tid);
+        prep_dequeue = (fun ~tid -> Q.prep_dequeue q ~tid);
+        exec_dequeue = (fun ~tid -> Q.exec_dequeue q ~tid);
+        dequeue = (fun ~tid -> Q.dequeue q ~tid);
+        resolve = (fun ~tid -> Q.resolve q ~tid);
+        recover = (fun () -> Q.recover q);
+      }
+  | `Log ->
+      let module Q = Dssq_baselines.Log_queue.Make (M) in
+      let q = Q.create ~nthreads:2 ~capacity:64 in
+      {
+        heap;
+        prep_enqueue = (fun ~tid v -> Q.prep_enqueue q ~tid v);
+        exec_enqueue = (fun ~tid -> Q.exec_enqueue q ~tid);
+        prep_dequeue = (fun ~tid -> Q.prep_dequeue q ~tid);
+        exec_dequeue = (fun ~tid -> Q.exec_dequeue q ~tid);
+        dequeue = (fun ~tid -> Q.dequeue q ~tid);
+        resolve = (fun ~tid -> Q.resolve q ~tid);
+        recover = (fun () -> Q.recover q);
+      }
+  | `Fast ->
+      let module Q = Dssq_baselines.Caswe_queue.Fast (M) in
+      let q = Q.create ~nthreads:2 ~capacity:64 () in
+      {
+        heap;
+        prep_enqueue = (fun ~tid v -> Q.prep_enqueue q ~tid v);
+        exec_enqueue = (fun ~tid -> Q.exec_enqueue q ~tid);
+        prep_dequeue = (fun ~tid -> Q.prep_dequeue q ~tid);
+        exec_dequeue = (fun ~tid -> Q.exec_dequeue q ~tid);
+        dequeue = (fun ~tid -> Q.dequeue q ~tid);
+        resolve = (fun ~tid -> Q.resolve q ~tid);
+        recover = (fun () -> Q.recover q);
+      }
+  | `General ->
+      let module Q = Dssq_baselines.Caswe_queue.General (M) in
+      let q = Q.create ~nthreads:2 ~capacity:64 () in
+      {
+        heap;
+        prep_enqueue = (fun ~tid v -> Q.prep_enqueue q ~tid v);
+        exec_enqueue = (fun ~tid -> Q.exec_enqueue q ~tid);
+        prep_dequeue = (fun ~tid -> Q.prep_dequeue q ~tid);
+        exec_dequeue = (fun ~tid -> Q.exec_dequeue q ~tid);
+        dequeue = (fun ~tid -> Q.dequeue q ~tid);
+        resolve = (fun ~tid -> Q.resolve q ~tid);
+        recover = (fun () -> Q.recover q);
+      }
+
+(* Randomized strict-linearizability testing: random schedules, random
+   crash points, recovery, recorded resolves, checked against D<queue>. *)
+let lincheck_run kind iterations verbose =
+  let spec = Dss_spec.make ~nthreads:2 (Specs.Queue.spec ()) in
+  let checked = ref 0 in
+  let crashes = ref 0 in
+  for i = 1 to iterations do
+    let q = make_queue kind in
+    let heap = q.heap in
+    let rec_ = Recorder.create () in
+    let record ~tid op f =
+      ignore (Recorder.record rec_ ~tid op f)
+    in
+    let deq_response v : (Specs.Queue.op, Specs.Queue.response) Dss_spec.response
+        =
+      if v = Dssq_core.Queue_intf.empty_value then Dss_spec.Ret Specs.Queue.Empty
+      else Dss_spec.Ret (Specs.Queue.Value v)
+    in
+    let resolved_response (r : Dssq_core.Queue_intf.resolved) :
+        (Specs.Queue.op, Specs.Queue.response) Dss_spec.response =
+      match r with
+      | Nothing -> Dss_spec.Status (None, None)
+      | Enq_pending v -> Dss_spec.Status (Some (Specs.Queue.Enqueue v), None)
+      | Enq_done v ->
+          Dss_spec.Status (Some (Specs.Queue.Enqueue v), Some Specs.Queue.Ok)
+      | Deq_pending -> Dss_spec.Status (Some Specs.Queue.Dequeue, None)
+      | Deq_empty ->
+          Dss_spec.Status (Some Specs.Queue.Dequeue, Some Specs.Queue.Empty)
+      | Deq_done v ->
+          Dss_spec.Status
+            (Some Specs.Queue.Dequeue, Some (Specs.Queue.Value v))
+    in
+    let enqueuer () =
+      record ~tid:0 (Dss_spec.Prep (Specs.Queue.Enqueue i)) (fun () ->
+          q.prep_enqueue ~tid:0 i;
+          Dss_spec.Ack);
+      record ~tid:0 (Dss_spec.Exec (Specs.Queue.Enqueue i)) (fun () ->
+          q.exec_enqueue ~tid:0;
+          Dss_spec.Ret Specs.Queue.Ok)
+    in
+    let dequeuer () =
+      record ~tid:1 (Dss_spec.Prep Specs.Queue.Dequeue) (fun () ->
+          q.prep_dequeue ~tid:1;
+          Dss_spec.Ack);
+      record ~tid:1 (Dss_spec.Exec Specs.Queue.Dequeue) (fun () ->
+          deq_response (q.exec_dequeue ~tid:1))
+    in
+    let outcome =
+      Sim.run heap ~policy:(Sim.Random_seed i)
+        ~crash:(Sim.Crash_at_step (5 + (i mod 45)))
+        ~threads:[ enqueuer; dequeuer ]
+    in
+    if outcome.Sim.crashed then begin
+      incr crashes;
+      Recorder.crash rec_;
+      Sim.apply_crash heap ~evict_p:(float_of_int (i mod 3) /. 2.) ~seed:i;
+      q.recover ();
+      record ~tid:0 Dss_spec.Resolve (fun () ->
+          resolved_response (q.resolve ~tid:0));
+      record ~tid:1 Dss_spec.Resolve (fun () ->
+          resolved_response (q.resolve ~tid:1))
+    end;
+    (* Drain so the final state is validated too. *)
+    let rec drain guard =
+      if guard > 0 then begin
+        let v = ref 0 in
+        record ~tid:0 (Dss_spec.Base Specs.Queue.Dequeue) (fun () ->
+            v := q.dequeue ~tid:0;
+            deq_response !v);
+        if !v <> Dssq_core.Queue_intf.empty_value then drain (guard - 1)
+      end
+    in
+    drain 10;
+    let history = Recorder.history rec_ in
+    (match Lincheck.check ~mode:Lincheck.Strict spec history with
+    | Lincheck.Linearizable w ->
+        if verbose then begin
+          Printf.printf "iteration %d: linearizable (%d ops)\n" i (List.length w)
+        end
+    | Lincheck.Not_linearizable ->
+        Printf.printf "iteration %d: VIOLATION\n" i;
+        Format.printf "%a"
+          (Dssq_history.History.pp ~pp_op:spec.Spec.pp_op
+             ~pp_response:spec.Spec.pp_response)
+          history;
+        exit 1);
+    incr checked
+  done;
+  Printf.printf
+    "checked %d random executions (%d with crashes): all strictly linearizable \
+     w.r.t. D<queue>\n"
+    !checked !crashes
+
+let lincheck_cmd =
+  let kind =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("dss", `Dss); ("log", `Log); ("fast-caswe", `Fast); ("general-caswe", `General) ])
+          `Dss
+      & info [ "queue" ] ~doc:"implementation to check")
+  in
+  let iterations =
+    Arg.(value & opt int 500 & info [ "n" ] ~doc:"number of random executions")
+  in
+  let verbose = Arg.(value & flag & info [ "v" ] ~doc:"verbose") in
+  Cmd.v
+    (Cmd.info "lincheck"
+       ~doc:
+         "randomized strict-linearizability checking of a detectable queue")
+    Term.(const lincheck_run $ kind $ iterations $ verbose)
+
+(* ------------------------------- info -------------------------------- *)
+
+let info_cmd =
+  let run () =
+    print_string
+      "dssq: OCaml reproduction of Li & Golab, 'Detectable Sequential\n\
+       Specifications for Recoverable Shared Objects' (DISC 2021; brief\n\
+       announcement at PODC 2021).\n\n\
+       Libraries:\n\
+      \  dssq.spec      the DSS transformation D<T> (Section 2, Figure 1)\n\
+      \  dssq.core      the DSS queue + recovery (Section 3, Figures 3-4, 6);\n\
+      \                 D<register>, D<CAS> cells, nesting, D<stack>, D<hashmap>\n\
+      \  dssq.baselines MS queue, durable queue, log queue, CASWithEffect queues\n\
+      \  dssq.pmwcas    persistent multi-word CAS (Wang et al.)\n\
+      \  dssq.pmem/sim  persistent-memory + crash simulator (volatile cache model)\n\
+      \  dssq.lincheck  strict/recoverable linearizability checker\n\
+      \  dssq.universal recoverable universal construction of D<T>\n\
+      \  dssq.ebr       epoch-based reclamation\n\n\
+       Experiments: fig5a, fig5b, ablate-flush, ablate-demand,\n\
+       ablate-recovery, ablate-pmwcas, latency, lincheck, crash-demo.\n\
+       See DESIGN.md and EXPERIMENTS.md.\n"
+  in
+  Cmd.v (Cmd.info "info" ~doc:"what this repository implements") Term.(const run $ const ())
+
+let () =
+  let default =
+    Term.(
+      ret
+        (const (fun () -> `Help (`Pager, None)) $ const ()))
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "dssq" ~doc:"DSS queue reproduction toolkit")
+          ([ fig5a_cmd; fig5b_cmd; latency_cmd; crash_demo_cmd; lincheck_cmd; info_cmd ]
+          @ ablate_cmds)))

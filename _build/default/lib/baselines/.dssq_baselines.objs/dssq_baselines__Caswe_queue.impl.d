@@ -1,0 +1,1 @@
+lib/baselines/caswe_queue.ml: Array Atomic Dssq_core Dssq_ebr Dssq_memory Dssq_pmwcas List Node_pool Printf Queue_intf Tagged

@@ -1,0 +1,1 @@
+lib/baselines/log_queue.ml: Array Dssq_core Dssq_ebr Dssq_memory List Node_pool Printf Queue_intf Tagged

@@ -1,0 +1,1 @@
+lib/baselines/ms_queue.ml: Dssq_core Dssq_ebr Dssq_memory List Node_pool Queue_intf Tagged

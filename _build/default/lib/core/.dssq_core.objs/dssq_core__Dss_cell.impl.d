@@ -1,0 +1,1 @@
+lib/core/dss_cell.ml: Array Dssq_memory

@@ -1,0 +1,1 @@
+lib/core/dss_cell.mli: Dssq_memory

@@ -1,0 +1,1 @@
+lib/core/dss_hashmap.ml: Array Dss_cell Dssq_memory Format List Printf

@@ -1,0 +1,1 @@
+lib/core/dss_hashmap.mli: Dssq_memory Format

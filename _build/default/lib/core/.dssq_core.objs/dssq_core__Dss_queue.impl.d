@@ -1,0 +1,1 @@
+lib/core/dss_queue.ml: Array Dssq_ebr Dssq_memory List Node_pool Printf Queue_intf Tagged

@@ -1,0 +1,1 @@
+lib/core/dss_queue.mli: Dssq_memory Node_pool Queue_intf

@@ -1,0 +1,1 @@
+lib/core/dss_register.ml: Array Dssq_memory Format Printf

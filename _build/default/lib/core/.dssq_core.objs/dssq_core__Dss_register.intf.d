@@ -1,0 +1,1 @@
+lib/core/dss_register.mli: Dssq_memory Format

@@ -1,0 +1,1 @@
+lib/core/dss_stack.mli: Dssq_memory Node_pool Queue_intf

@@ -1,0 +1,1 @@
+lib/core/nested_memory.ml: Dss_cell Dssq_memory

@@ -1,0 +1,1 @@
+lib/core/node_pool.ml: Array Atomic Dssq_ebr Dssq_memory List Printf Tagged

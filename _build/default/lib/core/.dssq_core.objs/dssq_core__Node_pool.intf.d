@@ -1,0 +1,1 @@
+lib/core/node_pool.mli: Atomic Dssq_ebr Dssq_memory

@@ -1,0 +1,1 @@
+lib/core/rme_lock.ml: Dss_cell Dssq_memory

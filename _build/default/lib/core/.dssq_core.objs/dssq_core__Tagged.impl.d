@@ -1,0 +1,1 @@
+lib/core/tagged.ml: Format List String

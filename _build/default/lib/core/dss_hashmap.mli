@@ -1,0 +1,45 @@
+(** A detectable persistent hash map composed from detectable cells —
+    open addressing with linear probing, every mutation a detectable CAS
+    on one slot, plus one persistent announcement word per thread that
+    lets [resolve] find and cross-check the slot operation.  No recovery
+    procedure.
+
+    Keys are in [1 .. 2^20-1], values in [0 .. 2^20-1]; capacity is
+    fixed. *)
+
+exception Full
+
+module Make (M : Dssq_memory.Memory_intf.S) : sig
+  type t
+
+  type resolved =
+    | Nothing
+    | Put_pending of int * int
+    | Put_done of int * int
+    | Remove_pending of int
+    | Remove_done of int
+
+  val pp_resolved : Format.formatter -> resolved -> unit
+
+  val create : nthreads:int -> nbuckets:int -> unit -> t
+
+  val find : t -> int -> int option
+  val mem : t -> int -> bool
+
+  val put : t -> tid:int -> int -> int -> unit
+  (** Detectable insert-or-update; retry exactly-once via {!resolve}.
+      @raise Full when no slot is available. *)
+
+  val remove : t -> tid:int -> int -> unit
+  (** Detectable removal; no-op if the key is absent. *)
+
+  val resolve : t -> tid:int -> resolved
+
+  val recover : t -> unit
+  (** No-op: announcements and cells are self-describing. *)
+
+  val to_alist : t -> (int * int) list
+  (** Sorted (key, value) pairs; quiescent use only. *)
+
+  val length : t -> int
+end

@@ -1,0 +1,447 @@
+(** The DSS queue (Section 3): a lock-free, strictly linearizable,
+    detectable FIFO queue for persistent memory with a volatile cache.
+
+    The algorithm extends Michael & Scott's lock-free queue and Friedman
+    et al.'s durable queue with a per-thread word [X] that realizes the
+    [A]/[R] components of the detectable sequential specification
+    [D<queue>]: [prep-*] records the intended operation in [X],
+    [exec-*] performs it and marks completion in [X], and [resolve]
+    decodes [X] (plus the persistent list structure) into
+    [(A[p], R[p])].  Line numbers in comments refer to Figures 3, 4
+    and 6 of the paper.
+
+    Memory reclamation (not in the paper's pseudocode, but used in its
+    evaluation): dequeued sentinels are retired through epoch-based
+    reclamation.  A node still referenced by the calling thread's own
+    [X] entry has its retirement deferred until [X] moves on, so that
+    [resolve] never chases a recycled pointer. *)
+
+module Make (M : Dssq_memory.Memory_intf.S) = struct
+  module Pool = Node_pool.Make (M)
+
+  let name = "dss-queue"
+
+  (* Tag added to deqThreadID by non-detectable dequeues so that resolve
+     never mistakes them for the caller's detectable dequeue
+     (Section 3.2, last paragraph).  Thread ids must stay below it. *)
+  let nondet_mark = 1 lsl 20
+
+  type t = {
+    pool : Pool.t;
+    head : int M.cell;
+    tail : int M.cell;
+    x : int M.cell array; (* X[1..n] of the paper, indexed by tid *)
+    ebr : int Dssq_ebr.Ebr.t;
+    deferred : int list ref array;
+        (* nodes whose retirement waits until X[tid] is overwritten *)
+    reclaim : bool;
+    nthreads : int;
+  }
+
+  let create ?(reclaim = true) ~nthreads ~capacity () =
+    let pool = Pool.create ~capacity ~nthreads in
+    let sentinel = Pool.alloc pool ~tid:0 ~value:0 in
+    M.flush (Pool.value pool sentinel);
+    M.flush (Pool.next pool sentinel);
+    let head = M.alloc ~name:"head" sentinel in
+    let tail = M.alloc ~name:"tail" sentinel in
+    M.flush head;
+    M.flush tail;
+    let deferred = Array.init nthreads (fun _ -> ref []) in
+    let ebr =
+      Dssq_ebr.Ebr.create ~nthreads
+        ~free:(fun ~tid node -> Pool.free pool ~tid node)
+        ()
+    in
+    {
+      pool;
+      head;
+      tail;
+      x = Array.init nthreads (fun i -> M.alloc ~name:(Printf.sprintf "X[%d]" i) 0);
+      ebr;
+      deferred;
+      reclaim;
+      nthreads;
+    }
+
+  (* Retire the nodes whose reclamation was deferred while X[tid] still
+     referenced them; called exactly when X[tid] is about to move on. *)
+  let release_deferred t ~tid =
+    if t.reclaim then begin
+      List.iter (fun n -> Dssq_ebr.Ebr.retire t.ebr ~tid n) !(t.deferred.(tid));
+      t.deferred.(tid) := []
+    end
+
+  let retire t ~tid node =
+    if t.reclaim then Dssq_ebr.Ebr.retire t.ebr ~tid node
+
+  let defer_retire t ~tid node =
+    if t.reclaim then t.deferred.(tid) := node :: !(t.deferred.(tid))
+
+  (* ------------------------------------------------------------------ *)
+  (* Enqueue (Figure 3)                                                  *)
+  (* ------------------------------------------------------------------ *)
+
+  (* Allocate and persist a fresh node holding [v] (FLUSH(node), line 2;
+     per-word flushes here, see DESIGN.md on flush granularity). *)
+  let make_node t ~tid v =
+    if v < 0 then invalid_arg "Dss_queue: values must be non-negative";
+    let node =
+      if t.reclaim then
+        Pool.alloc_reclaiming t.pool ~ebr:t.ebr ~tid ~value:v
+      else Pool.alloc t.pool ~tid ~value:v
+    in
+    M.flush (Pool.value t.pool node);
+    M.flush (Pool.next t.pool node);
+    node
+
+  let prep_enqueue t ~tid v =
+    release_deferred t ~tid;
+    let node = make_node t ~tid v in
+    (* lines 3-4 *)
+    M.write t.x.(tid) (Tagged.with_tag node Tagged.enq_prep);
+    M.flush t.x.(tid)
+
+  (* Body shared by exec-enqueue and the non-detectable enqueue; the
+     latter omits every access to X (Section 3.1). *)
+  let enqueue_node t ~tid ~detectable node =
+    Dssq_ebr.Ebr.enter t.ebr ~tid;
+    let rec loop () =
+      let last = M.read t.tail in
+      let next = M.read (Pool.next t.pool last) in
+      if last = M.read t.tail then
+        if next = Tagged.null then begin
+          (* at tail: line 11 *)
+          if M.cas (Pool.next t.pool last) ~expected:Tagged.null ~desired:node
+          then begin
+            M.flush (Pool.next t.pool last) (* line 12 *);
+            if detectable then begin
+              (* lines 13-14 *)
+              M.write t.x.(tid)
+                (Tagged.with_tag (M.read t.x.(tid)) Tagged.enq_compl);
+              M.flush t.x.(tid)
+            end;
+            ignore (M.cas t.tail ~expected:last ~desired:node) (* line 15 *)
+          end
+          else loop ()
+        end
+        else begin
+          (* help another enqueuing thread: lines 18-19 *)
+          M.flush (Pool.next t.pool last);
+          ignore (M.cas t.tail ~expected:last ~desired:next);
+          loop ()
+        end
+      else loop ()
+    in
+    loop ();
+    Dssq_ebr.Ebr.exit t.ebr ~tid
+
+  let exec_enqueue t ~tid =
+    let node = Tagged.idx (M.read t.x.(tid)) in
+    enqueue_node t ~tid ~detectable:true node
+
+  let enqueue t ~tid v =
+    let node = make_node t ~tid v in
+    enqueue_node t ~tid ~detectable:false node
+
+  (* ------------------------------------------------------------------ *)
+  (* Dequeue (Figure 4)                                                  *)
+  (* ------------------------------------------------------------------ *)
+
+  let prep_dequeue t ~tid =
+    release_deferred t ~tid;
+    (* lines 32-33 *)
+    M.write t.x.(tid) Tagged.deq_prep;
+    M.flush t.x.(tid)
+
+  (* Body shared by exec-dequeue and the non-detectable dequeue.  The
+     non-detectable variant omits X accesses and marks deqThreadID with
+     [tid lor nondet_mark] instead of the bare tid. *)
+  let dequeue_body t ~tid ~detectable =
+    Dssq_ebr.Ebr.enter t.ebr ~tid;
+    let mark = if detectable then tid else tid lor nondet_mark in
+    let rec loop () =
+      let first = M.read t.head in
+      let last = M.read t.tail in
+      let next = M.read (Pool.next t.pool first) in
+      if first = M.read t.head then
+        if first = last then
+          if next = Tagged.null then begin
+            (* empty queue: lines 40-43 *)
+            if detectable then begin
+              M.write t.x.(tid)
+                (Tagged.with_tag (M.read t.x.(tid)) Tagged.empty);
+              M.flush t.x.(tid)
+            end;
+            Queue_intf.empty_value
+          end
+          else begin
+            (* tail is lagging: lines 44-45.  The flush guarantees that
+               any node reachable once tail moves has a persisted link. *)
+            M.flush (Pool.next t.pool last);
+            ignore (M.cas t.tail ~expected:last ~desired:next);
+            loop ()
+          end
+        else begin
+          if detectable then begin
+            (* save predecessor of the node to be dequeued: lines 47-48 *)
+            M.write t.x.(tid) (Tagged.with_tag first Tagged.deq_prep);
+            M.flush t.x.(tid)
+          end;
+          if
+            M.cas (Pool.deq_tid t.pool next) ~expected:(-1) ~desired:mark
+            (* line 49 *)
+          then begin
+            M.flush (Pool.deq_tid t.pool next) (* line 50 *);
+            ignore (M.cas t.head ~expected:first ~desired:next) (* line 51 *);
+            let v = M.read (Pool.value t.pool next) in
+            (* Persist the head advance before the old sentinel can be
+               recycled, so a reused node is never reachable from the
+               persisted head (the paper's pseudocode omits reclamation;
+               this flush is what makes EBR reuse crash-safe — see
+               DESIGN.md deviations). *)
+            if t.reclaim then M.flush t.head;
+            (* The old sentinel [first] is now unreachable.  If X[tid]
+               references it (detectable path), resolve may still need
+               it, so defer its retirement until X moves on. *)
+            if detectable then defer_retire t ~tid first
+            else retire t ~tid first;
+            v
+          end
+          else if M.read t.head = first then begin
+            (* help another dequeuing thread: lines 53-55 *)
+            M.flush (Pool.deq_tid t.pool next);
+            ignore (M.cas t.head ~expected:first ~desired:next);
+            loop ()
+          end
+          else loop ()
+        end
+      else loop ()
+    in
+    let v = loop () in
+    Dssq_ebr.Ebr.exit t.ebr ~tid;
+    v
+
+  let exec_dequeue t ~tid = dequeue_body t ~tid ~detectable:true
+  let dequeue t ~tid = dequeue_body t ~tid ~detectable:false
+
+  (* ------------------------------------------------------------------ *)
+  (* Detection (resolve, resolve-enqueue, resolve-dequeue)               *)
+  (* ------------------------------------------------------------------ *)
+
+  let resolve_enqueue t x =
+    let v = M.read (Pool.value t.pool (Tagged.idx x)) in
+    if Tagged.has x Tagged.enq_compl then Queue_intf.Enq_done v (* line 29 *)
+    else Queue_intf.Enq_pending v (* line 31 *)
+
+  let resolve_dequeue t ~tid x =
+    if x = Tagged.deq_prep then Queue_intf.Deq_pending (* lines 56-57 *)
+    else if x = Tagged.deq_prep lor Tagged.empty then Queue_intf.Deq_empty
+      (* lines 58-59 *)
+    else begin
+      let first = Tagged.idx x in
+      let next = M.read (Pool.next t.pool first) in
+      if next <> Tagged.null && M.read (Pool.deq_tid t.pool next) = tid then
+        Queue_intf.Deq_done (M.read (Pool.value t.pool next)) (* lines 60-61 *)
+      else Queue_intf.Deq_pending (* lines 62-63 *)
+    end
+
+  let resolve t ~tid =
+    let x = M.read t.x.(tid) in
+    if Tagged.has x Tagged.enq_prep then resolve_enqueue t x (* lines 20-22 *)
+    else if Tagged.has x Tagged.deq_prep then resolve_dequeue t ~tid x
+      (* lines 23-25 *)
+    else Queue_intf.Nothing (* lines 26-27 *)
+
+  (* ------------------------------------------------------------------ *)
+  (* Recovery (Figure 6 / Appendix A)                                    *)
+  (* ------------------------------------------------------------------ *)
+
+  let reachable_from t start =
+    let seen = Array.make (t.pool.Pool.capacity + 1) false in
+    let rec go n =
+      if n <> Tagged.null && not seen.(n) then begin
+        seen.(n) <- true;
+        go (M.read (Pool.next t.pool n))
+      end
+    in
+    go start;
+    seen
+
+  let last_reachable t start =
+    let rec go n =
+      let next = M.read (Pool.next t.pool n) in
+      if next = Tagged.null then n else go next
+    in
+    go start
+
+  (** Drop all volatile runtime state (reclamation epochs and limbo
+      lists, deferred retirements).  Models the process restart that
+      precedes any recovery: this state does not survive a real crash,
+      and in the simulator it must be discarded explicitly.  [recover]
+      calls it; call it directly before decentralized
+      [recover_thread]-style recovery. *)
+  let reset_volatile t =
+    Dssq_ebr.Ebr.clear t.ebr;
+    Array.iter (fun l -> l := []) t.deferred
+
+  (** Centralized single-threaded recovery, run after the crash semantics
+      have been applied to the heap and before application threads
+      resume.  Extends Figure 6 with free-list reconstruction (the paper:
+      "extended straightforwardly to prevent memory leaks"). *)
+  let recover t =
+    reset_volatile t;
+    let old_head = M.read t.head in
+    (* line 64: set of queue nodes reachable from head *)
+    let all_nodes = reachable_from t old_head in
+    (* lines 65-66 *)
+    M.write t.tail (last_reachable t old_head);
+    M.flush t.tail;
+    (* lines 67-69: advance head past the marked prefix *)
+    let rec advance n =
+      let next = M.read (Pool.next t.pool n) in
+      if next <> Tagged.null && M.read (Pool.deq_tid t.pool next) <> -1 then
+        advance next
+      else n
+    in
+    let new_head = advance old_head in
+    M.write t.head new_head;
+    M.flush t.head;
+    (* lines 70-76: complete detectability state of effective enqueues *)
+    for i = 0 to t.nthreads - 1 do
+      let x = M.read t.x.(i) in
+      let d = Tagged.idx x in
+      if
+        d <> Tagged.null
+        && Tagged.has x Tagged.enq_prep
+        && not (Tagged.has x Tagged.enq_compl)
+        && (all_nodes.(d) (* enqueued and still in the linked list *)
+           || M.read (Pool.deq_tid t.pool d) <> -1
+              (* enqueued, dequeued, already marked *))
+      then begin
+        M.write t.x.(i) (Tagged.with_tag x Tagged.enq_compl);
+        M.flush t.x.(i)
+      end
+    done;
+    (* Our extension: rebuild the volatile free lists.  Keep nodes that
+       are (a) reachable from the new head, or (b) referenced by some X
+       entry (resolve may read them), or (c) the successor of a node
+       referenced by a DEQ-prepared X entry (resolve-dequeue reads
+       X->next).  Kept-but-unreachable nodes are handed to the deferred
+       retirement of their referencing thread so they are reclaimed once
+       that thread's X moves on. *)
+    let live = reachable_from t new_head in
+    let keep = Array.copy live in
+    Array.iter (fun l -> l := []) t.deferred;
+    (* Several X entries can reference the SAME node (two dequeuers that
+       saved the same predecessor; a DEQ successor that is another
+       thread's enqueued node).  Defer each node exactly once, or it
+       would be retired and freed twice — and a double-freed node gets
+       allocated twice and linked into the list in two places. *)
+    let deferred_once = Array.make (t.pool.Pool.capacity + 1) false in
+    let defer_to i n =
+      keep.(n) <- true;
+      if (not live.(n)) && not deferred_once.(n) then begin
+        deferred_once.(n) <- true;
+        t.deferred.(i) := n :: !(t.deferred.(i))
+      end
+    in
+    for i = 0 to t.nthreads - 1 do
+      let x = M.read t.x.(i) in
+      let d = Tagged.idx x in
+      if d <> Tagged.null then begin
+        defer_to i d;
+        if Tagged.has x Tagged.deq_prep then begin
+          let succ = M.read (Pool.next t.pool d) in
+          if succ <> Tagged.null then defer_to i succ
+        end
+      end
+    done;
+    Pool.rebuild_free_lists t.pool ~keep:(fun i -> keep.(i))
+
+  (** Decentralized recovery (Section 3.3): thread [tid] repairs only its
+      own X entry, with no centralized phase and no auxiliary state.
+      Safe to run concurrently with other threads' recovery and normal
+      operations (the thread is EBR-protected while it scans). *)
+  let recover_thread t ~tid =
+    let x = M.read t.x.(tid) in
+    if
+      Tagged.idx x <> Tagged.null
+      && Tagged.has x Tagged.enq_prep
+      && not (Tagged.has x Tagged.enq_compl)
+    then begin
+      let d = Tagged.idx x in
+      Dssq_ebr.Ebr.enter t.ebr ~tid;
+      let marked () = M.read (Pool.deq_tid t.pool d) <> -1 in
+      let in_list () =
+        let rec go n =
+          n = d || (n <> Tagged.null && go (M.read (Pool.next t.pool n)))
+        in
+        go (M.read t.head)
+      in
+      let took_effect = marked () || in_list () || marked () in
+      Dssq_ebr.Ebr.exit t.ebr ~tid;
+      if took_effect then begin
+        M.write t.x.(tid) (Tagged.with_tag x Tagged.enq_compl);
+        M.flush t.x.(tid)
+      end
+    end
+
+  (* ------------------------------------------------------------------ *)
+  (* Introspection (tests and debugging; quiescent use only)             *)
+  (* ------------------------------------------------------------------ *)
+
+  (** Structural invariants that must hold right after [recover] (used by
+      the crash-injection tests).  Returns human-readable violations. *)
+  let recovered_violations t =
+    let violations = ref [] in
+    let add fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+    let head = M.read t.head in
+    let tail = M.read t.tail in
+    (* Walk the list once. *)
+    let rec walk n acc =
+      let next = M.read (Pool.next t.pool n) in
+      if next = Tagged.null then List.rev (n :: acc) else walk next (n :: acc)
+    in
+    let chain = walk head [] in
+    let last = List.nth chain (List.length chain - 1) in
+    if tail <> last then add "tail %d is not the last reachable node %d" tail last;
+    (* After recovery, no node after head may be marked (head was advanced
+       past the marked prefix). *)
+    List.iteri
+      (fun i n ->
+        if i > 0 && M.read (Pool.deq_tid t.pool n) <> -1 then
+          add "marked node %d still reachable after head" n)
+      chain;
+    (* X entries tagged ENQ_PREP|ENQ_COMPL must reference a node that is
+       either still in the list or marked as dequeued. *)
+    let in_chain n = List.mem n chain in
+    for i = 0 to t.nthreads - 1 do
+      let x = M.read t.x.(i) in
+      let d = Tagged.idx x in
+      if
+        Tagged.has x Tagged.enq_prep
+        && Tagged.has x Tagged.enq_compl
+        && d <> Tagged.null
+        && (not (in_chain d))
+        && M.read (Pool.deq_tid t.pool d) = -1
+      then add "X[%d] claims completion but node %d neither queued nor dequeued" i d
+    done;
+    List.rev !violations
+
+  let to_list t =
+    let rec skip_marked n =
+      let next = M.read (Pool.next t.pool n) in
+      if next <> Tagged.null && M.read (Pool.deq_tid t.pool next) <> -1 then
+        skip_marked next
+      else n
+    in
+    let rec collect acc n =
+      let next = M.read (Pool.next t.pool n) in
+      if next = Tagged.null then List.rev acc
+      else collect (M.read (Pool.value t.pool next) :: acc) next
+    in
+    collect [] (skip_marked (M.read t.head))
+
+  let free_count t = Pool.free_count t.pool
+end

@@ -1,0 +1,63 @@
+(** The DSS queue (Section 3 of the paper): a lock-free, strictly
+    linearizable, detectable FIFO queue for persistent memory with a
+    volatile cache, implementing [D<queue>] — Michael & Scott's queue
+    plus Friedman et al.'s durability discipline plus the per-thread
+    tagged word [X] that realizes the [A]/[R] detectability mappings.
+
+    Values are non-negative ints; {!Queue_intf.empty_value} is the EMPTY
+    response.  Thread ids must be in [0 .. nthreads-1] and (per the
+    paper's model) survive crashes. *)
+
+module Make (M : Dssq_memory.Memory_intf.S) : sig
+  module Pool : module type of Node_pool.Make (M)
+
+  val name : string
+
+  type t
+
+  val create : ?reclaim:bool -> nthreads:int -> capacity:int -> unit -> t
+  (** [capacity] bounds live nodes (per-thread pre-allocated pools).
+      [reclaim] (default true) recycles dequeued nodes through EBR;
+      disable for simpler crash-scenario reasoning in tests. *)
+
+  (** {1 Non-detectable operations (Axiom 4)} *)
+
+  val enqueue : t -> tid:int -> int -> unit
+  val dequeue : t -> tid:int -> int
+
+  (** {1 Detectable operations (Axioms 1-3; Figures 3-4)} *)
+
+  val prep_enqueue : t -> tid:int -> int -> unit
+  val exec_enqueue : t -> tid:int -> unit
+  val prep_dequeue : t -> tid:int -> unit
+  val exec_dequeue : t -> tid:int -> int
+
+  val resolve : t -> tid:int -> Queue_intf.resolved
+  (** The [(A[p], R[p])] of the calling thread; total and idempotent. *)
+
+  (** {1 Recovery} *)
+
+  val recover : t -> unit
+  (** Centralized single-threaded recovery (Figure 6 / Appendix A), run
+      after {!Dssq_sim.Sim.apply_crash} and before threads resume.  Also
+      rebuilds the volatile node pools and reclamation state. *)
+
+  val recover_thread : t -> tid:int -> unit
+  (** Decentralized variant (Section 3.3): repairs only [tid]'s own
+      detectability state; needs no centralized phase and may run
+      concurrently with other threads. *)
+
+  val reset_volatile : t -> unit
+  (** Drop volatile runtime state (EBR, deferred retirements) — models
+      process restart; {!recover} calls it, call it directly before
+      [recover_thread]-style recovery. *)
+
+  (** {1 Introspection (quiescent use: tests, debugging)} *)
+
+  val to_list : t -> int list
+  val free_count : t -> int
+
+  val recovered_violations : t -> string list
+  (** Structural invariants that must hold right after {!recover};
+      returns human-readable violations (empty = healthy). *)
+end

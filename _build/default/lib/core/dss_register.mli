@@ -1,0 +1,42 @@
+(** A detectable recoverable read/write register packed into single
+    failure-atomic words — [D<register>] built from raw cells, with no
+    recovery procedure and no auxiliary system state (Section 2.2's
+    base-object story).
+
+    The register word carries [(value, writer, seq)] provenance; writers
+    {e help} persist the previous writer's completion before destroying
+    its evidence, which is what keeps [resolve] sound across overwrites.
+    Values are in [0 .. 2^40-1]; at most 4096 threads; the per-thread
+    sequence number wraps at 256 (bounded helper staleness, like the log
+    queue's entry ring). *)
+
+module Make (M : Dssq_memory.Memory_intf.S) : sig
+  type t
+
+  type resolved =
+    | Nothing
+    | Write_pending of int
+    | Write_done of int
+    | Read_pending
+    | Read_done of int
+
+  val pp_resolved : Format.formatter -> resolved -> unit
+
+  val create : ?init:int -> nthreads:int -> unit -> t
+
+  (** {1 Non-detectable operations} *)
+
+  val read : t -> tid:int -> int
+  val write : t -> tid:int -> int -> unit
+
+  (** {1 Detectable operations} *)
+
+  val prep_write : t -> tid:int -> int -> unit
+  val exec_write : t -> tid:int -> unit
+  val prep_read : t -> tid:int -> unit
+  val exec_read : t -> tid:int -> int
+  val resolve : t -> tid:int -> resolved
+
+  val recover : t -> unit
+  (** No-op: detection state is maintained inline by helping. *)
+end

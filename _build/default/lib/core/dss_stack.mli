@@ -1,0 +1,39 @@
+(** A detectable recoverable lock-free stack — the DSS queue's
+    methodology (per-thread tagged [X], claim marks flushed before the
+    structural swing, Figure-6-style recovery) applied to Treiber's
+    stack, showing the recipe is not queue-specific.
+
+    The [resolved] vocabulary is shared with the queue:
+    [Enq_*] = push, [Deq_*] = pop. *)
+
+module Make (M : Dssq_memory.Memory_intf.S) : sig
+  module Pool : module type of Node_pool.Make (M)
+
+  val name : string
+
+  type t
+
+  val create : ?reclaim:bool -> nthreads:int -> capacity:int -> unit -> t
+
+  (** {1 Non-detectable operations} *)
+
+  val push : t -> tid:int -> int -> unit
+  val pop : t -> tid:int -> int
+  (** Returns {!Queue_intf.empty_value} on an empty stack. *)
+
+  (** {1 Detectable operations} *)
+
+  val prep_push : t -> tid:int -> int -> unit
+  val exec_push : t -> tid:int -> unit
+  val prep_pop : t -> tid:int -> unit
+  val exec_pop : t -> tid:int -> int
+  val resolve : t -> tid:int -> Queue_intf.resolved
+
+  (** {1 Recovery and introspection} *)
+
+  val recover : t -> unit
+  val to_list : t -> int list
+  (** Contents, top first; quiescent use only. *)
+
+  val free_count : t -> int
+end

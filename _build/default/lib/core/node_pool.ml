@@ -1,0 +1,135 @@
+(** Pre-allocated persistent queue-node pools.
+
+    The paper's evaluation pre-allocates a fixed pool of queue nodes per
+    thread and recycles dequeued nodes through epoch-based reclamation
+    (Section 4).  A node is a triple of persistent words:
+
+    - [value]: the enqueued value;
+    - [next]: index of the successor node, 0 = NULL;
+    - [deq_tid]: id of the thread that dequeued the value stored in this
+      node ([deqThreadID] in the paper); -1 means unmarked.
+
+    Node 0 is reserved as NULL; valid indices are [1 .. capacity].
+    Free lists are volatile (rebuilt from the persistent structure after
+    a crash) and atomic: a freed node returns to its {e home} thread's
+    list — whoever retired it — so sustained producer/consumer imbalance
+    cannot starve one thread while another hoards. *)
+
+exception Pool_exhausted of int (* tid *)
+
+module Make (M : Dssq_memory.Memory_intf.S) = struct
+  type t = {
+    value : int M.cell array;
+    next : int M.cell array;
+    deq_tid : int M.cell array;
+    capacity : int;
+    nthreads : int;
+    free_lists : int list Atomic.t array;
+  }
+
+  let home t i = (i - 1) mod t.nthreads
+
+  let push_free lists owner i =
+    let rec go () =
+      let cur = Atomic.get lists.(owner) in
+      if not (Atomic.compare_and_set lists.(owner) cur (i :: cur)) then go ()
+    in
+    go ()
+
+  let rec pop_free lists owner =
+    match Atomic.get lists.(owner) with
+    | [] -> None
+    | i :: rest as cur ->
+        (* NB compare_and_set is physical equality: reuse the read value. *)
+        if Atomic.compare_and_set lists.(owner) cur rest then Some i
+        else pop_free lists owner
+
+  let create ~capacity ~nthreads =
+    let mk name init =
+      Array.init (capacity + 1) (fun i ->
+          M.alloc ~name:(Printf.sprintf "%s[%d]" name i) init)
+    in
+    let free_lists = Array.init nthreads (fun _ -> Atomic.make []) in
+    (* Stripe nodes across threads; reversed so threads pop low indices
+       first, which keeps tests readable. *)
+    for i = capacity downto 1 do
+      let owner = (i - 1) mod nthreads in
+      Atomic.set free_lists.(owner) (i :: Atomic.get free_lists.(owner))
+    done;
+    {
+      value = mk "value" 0;
+      next = mk "next" Tagged.null;
+      deq_tid = mk "deq_tid" (-1);
+      capacity;
+      nthreads;
+      free_lists;
+    }
+
+  let value t i = t.value.(i)
+  let next t i = t.next.(i)
+  let deq_tid t i = t.deq_tid.(i)
+
+  (** Pop a node from [tid]'s free list and initialize its [value] and
+      [next] fields (volatile only; callers flush per their persistence
+      protocol).  [deq_tid] is already -1, persistently: it is reset when
+      the node is freed, so a recycled node can never be observed marked
+      after it becomes reachable. *)
+  let alloc t ~tid ~value =
+    match pop_free t.free_lists tid with
+    | None -> raise (Pool_exhausted tid)
+    | Some i ->
+        M.write t.value.(i) value;
+        M.write t.next.(i) Tagged.null;
+        i
+
+  (** Like [alloc], but when the free list is momentarily dry because
+      retired nodes are still waiting out their grace period (typical on
+      oversubscribed cores, where a preempted in-region thread stalls the
+      epoch), paces reclamation forward and retries before giving up.
+      The fence doubles as a scheduling point on the simulator backend so
+      other simulated threads can exit their regions. *)
+  let alloc_reclaiming t ~ebr ~tid ~value =
+    match alloc t ~tid ~value with
+    | node -> node
+    | exception Pool_exhausted _ ->
+        let rec go attempts =
+          Dssq_ebr.Ebr.enter ebr ~tid;
+          Dssq_ebr.Ebr.exit ebr ~tid;
+          M.fence ();
+          match alloc t ~tid ~value with
+          | node -> node
+          | exception Pool_exhausted _
+            when attempts < 3_000_000 && Dssq_ebr.Ebr.pending ebr > 0 ->
+              (* Something is in limbo: keep pacing the epochs. *)
+              go (attempts + 1)
+        in
+        go 0
+
+  (** Return node [i] to its home thread's free list (regardless of who
+      retired it).  The unmarked state is made persistent here, off the
+      enqueue critical path. *)
+  let free t ~tid:_ i =
+    M.write t.deq_tid.(i) (-1);
+    M.flush t.deq_tid.(i);
+    push_free t.free_lists (home t i) i
+
+  let free_count t =
+    Array.fold_left (fun acc l -> acc + List.length (Atomic.get l)) 0 t.free_lists
+
+  (** Rebuild all free lists after a crash: every node for which [keep]
+      is false becomes available again, striped across threads.  Used by
+      the recovery procedure with [keep] = "reachable from head or
+      referenced by some X entry". *)
+  let rebuild_free_lists t ~keep =
+    Array.iter (fun l -> Atomic.set l []) t.free_lists;
+    for i = t.capacity downto 1 do
+      if not (keep i) then begin
+        M.write t.deq_tid.(i) (-1);
+        M.flush t.deq_tid.(i);
+        M.write t.next.(i) Tagged.null;
+        M.flush t.next.(i);
+        let owner = home t i in
+        Atomic.set t.free_lists.(owner) (i :: Atomic.get t.free_lists.(owner))
+      end
+    done
+end

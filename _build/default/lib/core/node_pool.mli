@@ -1,0 +1,47 @@
+(** Pre-allocated persistent queue-node pools with thread-local free
+    lists (the paper's evaluation methodology, Section 4).  A node is a
+    triple of persistent words — value, next (0 = NULL), and the
+    [deqThreadID] claim mark (-1 = unmarked).  Node 0 is reserved as
+    NULL; valid indices are [1 .. capacity].  Free lists are volatile,
+    strictly thread-local, and rebuilt from the persistent structure
+    after a crash. *)
+
+exception Pool_exhausted of int  (** carries the starved thread id *)
+
+module Make (M : Dssq_memory.Memory_intf.S) : sig
+  type t = {
+    value : int M.cell array;
+    next : int M.cell array;
+    deq_tid : int M.cell array;
+    capacity : int;
+    nthreads : int;
+    free_lists : int list Atomic.t array;
+  }
+
+  val create : capacity:int -> nthreads:int -> t
+
+  val value : t -> int -> int M.cell
+  val next : t -> int -> int M.cell
+  val deq_tid : t -> int -> int M.cell
+
+  val alloc : t -> tid:int -> value:int -> int
+  (** Pop from [tid]'s free list; initializes value/next (volatile;
+      callers flush per their persistence protocol).
+      @raise Pool_exhausted when the free list is empty. *)
+
+  val alloc_reclaiming :
+    t -> ebr:int Dssq_ebr.Ebr.t -> tid:int -> value:int -> int
+  (** Like {!alloc}, but paces reclamation forward and retries when the
+      list is momentarily dry because retired nodes await their grace
+      period (typical on oversubscribed cores). *)
+
+  val free : t -> tid:int -> int -> unit
+  (** Return a node to its home thread's free list; persists the
+      unmarked state. *)
+
+  val free_count : t -> int
+
+  val rebuild_free_lists : t -> keep:(int -> bool) -> unit
+  (** Post-crash: every node for which [keep] is false becomes available
+      again, striped across threads, with its fields reset persistently. *)
+end

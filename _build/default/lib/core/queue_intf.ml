@@ -1,0 +1,78 @@
+(** Common interfaces for the queue implementations in this repository
+    (the DSS queue and every baseline it is evaluated against). *)
+
+let empty_value = -1
+(** The EMPTY response of a dequeue on an empty queue (Section 3.2).
+    Application values must therefore be non-negative. *)
+
+(** Outcome of [resolve] (Axiom 3), i.e. the pair [(A[p], R[p])] of the
+    detectable sequential specification instantiated for the queue type. *)
+type resolved =
+  | Nothing  (** (bottom, bottom): no operation was prepared *)
+  | Enq_pending of int  (** (enqueue v, bottom): prepared, did not take effect *)
+  | Enq_done of int  (** (enqueue v, OK): prepared and took effect *)
+  | Deq_pending  (** (dequeue, bottom): prepared, did not take effect *)
+  | Deq_empty  (** (dequeue, EMPTY): took effect on an empty queue *)
+  | Deq_done of int  (** (dequeue, v): took effect, dequeued v *)
+
+let pp_resolved fmt = function
+  | Nothing -> Format.pp_print_string fmt "(_|_, _|_)"
+  | Enq_pending v -> Format.fprintf fmt "(enqueue %d, _|_)" v
+  | Enq_done v -> Format.fprintf fmt "(enqueue %d, OK)" v
+  | Deq_pending -> Format.pp_print_string fmt "(dequeue, _|_)"
+  | Deq_empty -> Format.pp_print_string fmt "(dequeue, EMPTY)"
+  | Deq_done v -> Format.fprintf fmt "(dequeue, %d)" v
+
+let equal_resolved (a : resolved) (b : resolved) = a = b
+
+(** Plain concurrent queue (non-detectable interface). *)
+module type QUEUE = sig
+  type t
+
+  val name : string
+
+  val create : nthreads:int -> capacity:int -> t
+  (** [capacity] bounds the number of live queue nodes (per-thread
+      pre-allocated pools, as in the paper's evaluation). *)
+
+  val enqueue : t -> tid:int -> int -> unit
+  val dequeue : t -> tid:int -> int
+  (** Returns {!empty_value} when the queue is empty. *)
+
+  val to_list : t -> int list
+  (** Current logical contents, front first.  Quiescent use only
+      (tests, debugging). *)
+end
+
+(** Detectable queue: the DSS interface of Section 2 instantiated for the
+    queue type, plus recovery entry points. *)
+module type DETECTABLE_QUEUE = sig
+  include QUEUE
+
+  val prep_enqueue : t -> tid:int -> int -> unit
+  val exec_enqueue : t -> tid:int -> unit
+  val prep_dequeue : t -> tid:int -> unit
+  val exec_dequeue : t -> tid:int -> int
+  val resolve : t -> tid:int -> resolved
+
+  val recover : t -> unit
+  (** Centralized single-threaded recovery phase, run after a crash and
+      before threads resume (Figure 6 / Appendix A). *)
+
+  val recover_thread : t -> tid:int -> unit
+  (** Decentralized variant (Section 3.3): thread [tid] repairs only its
+      own detectability state; no centralized phase is required.  May run
+      concurrently with other threads' recovery and normal operations. *)
+end
+
+(** Closure record for heterogeneous dispatch in workloads and benches,
+    hiding the functor-generated type [t]. *)
+type ops = {
+  name : string;
+  enqueue : tid:int -> int -> unit;
+  dequeue : tid:int -> int;
+  d_enqueue : tid:int -> int -> unit;  (** prep + exec, detectable *)
+  d_dequeue : tid:int -> int;  (** prep + exec, detectable *)
+  recover : unit -> unit;  (** post-crash recovery; no-op if unsupported *)
+  resolve : tid:int -> resolved;  (** [Nothing] if detection unsupported *)
+}

@@ -1,0 +1,32 @@
+(** A recoverable mutual exclusion lock on a detectable CAS cell (the
+    Golab-Ramaraju problem the paper cites, as a worked example).  The
+    lock word holds the owner and is its own announcement: post-crash
+    ownership is decided by one read, and interrupted acquire/release
+    transitions resolve like any detectable CAS. *)
+
+module Make (M : Dssq_memory.Memory_intf.S) : sig
+  module Cell : module type of Dss_cell.Make (M)
+
+  type t
+
+  val create : nthreads:int -> unit -> t
+
+  val acquire : t -> tid:int -> unit
+  (** Blocking detectable acquire (spins; each probe is a scheduling
+      point on the simulator). *)
+
+  val try_acquire : t -> tid:int -> bool
+  val release : t -> tid:int -> unit
+  (** @raise Invalid_argument if the caller does not hold the lock. *)
+
+  val holder : t -> int option
+
+  val recover : t -> tid:int -> [ `Held | `Not_held ]
+  (** Post-crash self-diagnosis: [`Held] means the process crashed inside
+      its critical section (or before its release took effect) and must
+      run its recovery section, then {!release}. *)
+
+  val resolve : t -> tid:int -> int Cell.resolved
+  (** Fate of the caller's last lock transition (the underlying
+      detectable CAS). *)
+end

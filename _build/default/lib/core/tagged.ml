@@ -1,0 +1,56 @@
+(** Tagged machine words.
+
+    The DSS queue stores, per thread, a node pointer with status tags
+    packed into a single failure-atomic word (array [X] in the paper).
+    The paper steals the 16 unimplemented high bits of x86-64 pointers
+    (footnote 5); we do the equivalent with OCaml's 63-bit immediate
+    ints: the node {e index} occupies the low 40 bits and the tags sit
+    well above.  Everything the algorithms CAS — head, tail, next, X,
+    PMwCAS words — is one such tagged int. *)
+
+let index_bits = 40
+let index_mask = (1 lsl index_bits) - 1
+
+(* Status tags for X[tid] (Sections 3.1-3.2):
+   - enq_prep (ENQ_PREP_TAG): a detectable enqueue was prepared;
+   - enq_compl (ENQ_COMPL_TAG): the prepared enqueue took effect;
+   - deq_prep (DEQ_PREP_TAG): a detectable dequeue was prepared;
+   - empty (EMPTY_TAG): a prepared dequeue took effect on an empty queue. *)
+let enq_prep = 1 lsl 58
+let enq_compl = 1 lsl 57
+let deq_prep = 1 lsl 56
+let empty = 1 lsl 55
+
+let deq_done = 1 lsl 54
+(** Extra tag used by the CASWithEffect queues, whose multi-word CAS
+    records dequeue completion in [X] atomically with the head swing. *)
+
+(* Marks used by the PMwCAS substrate to distinguish descriptor pointers
+   from plain values (see [Dssq_pmwcas]). *)
+let pmwcas_desc = 1 lsl 53
+let pmwcas_rdcss = 1 lsl 52
+
+let null = 0
+
+let idx x = x land index_mask
+let has x tag = x land tag <> 0
+let with_tag x tag = x lor tag
+let without_tag x tag = x land lnot tag
+let tags_of x = x land lnot index_mask
+let make ~idx ~tags = idx lor tags
+
+let pp fmt x =
+  let tag_names =
+    List.filter_map
+      (fun (t, n) -> if has x t then Some n else None)
+      [
+        (enq_prep, "ENQ_PREP");
+        (enq_compl, "ENQ_COMPL");
+        (deq_prep, "DEQ_PREP");
+        (empty, "EMPTY");
+        (deq_done, "DEQ_DONE");
+        (pmwcas_desc, "DESC");
+        (pmwcas_rdcss, "RDCSS");
+      ]
+  in
+  Format.fprintf fmt "%d[%s]" (idx x) (String.concat "|" tag_names)

@@ -1,0 +1,1 @@
+lib/ebr/ebr.ml: Array Atomic List

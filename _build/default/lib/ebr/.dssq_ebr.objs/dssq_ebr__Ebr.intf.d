@@ -1,0 +1,1 @@
+lib/ebr/ebr.mli:

@@ -1,0 +1,51 @@
+(** Epoch-based memory reclamation (Fraser's 3-epoch scheme).
+
+    Protects readers of lock-free structures from use-after-free: items
+    removed from a shared structure are {!retire}d and handed back to
+    their {!create}-time [free] callback only once no thread that was
+    inside an {!enter}/{!exit} region at retirement time can still hold
+    them.
+
+    All state is volatile by design: after a crash, call {!clear} and
+    rebuild free pools from the persistent structure (see
+    [Dssq_core.Dss_queue.recover]). *)
+
+type 'a t
+
+val create :
+  ?advance_period:int ->
+  nthreads:int ->
+  free:(tid:int -> 'a -> unit) ->
+  unit ->
+  'a t
+(** [create ~nthreads ~free ()] makes a reclamation domain for thread ids
+    [0 .. nthreads-1].  [free] is invoked (on the retiring thread) once a
+    retired item's grace period has elapsed.  [advance_period] is how many
+    [enter]s between epoch-advance attempts (default 8). *)
+
+val enter : 'a t -> tid:int -> unit
+(** Enter a protected region: pointers read until the matching {!exit}
+    stay valid.  Also paces epoch advancement and collects this thread's
+    expired retirements. *)
+
+val exit : 'a t -> tid:int -> unit
+(** Leave the protected region. *)
+
+val retire : 'a t -> tid:int -> 'a -> unit
+(** Hand an item removed from the structure to the reclamation domain;
+    it is freed after a grace period. *)
+
+val pending : 'a t -> int
+(** Number of retired-but-not-yet-freed items (for tests). *)
+
+val quiesce : 'a t -> unit
+(** Free everything unconditionally.  Only valid when no thread is
+    in-region (teardown, tests). *)
+
+val clear : 'a t -> unit
+(** Drop all reclamation state {e without} freeing anything — models
+    process restart after a crash.  Whoever recovers the protected
+    structure accounts for formerly-limbo items itself. *)
+
+val global_epoch : 'a t -> int
+(** Current global epoch (diagnostics and tests). *)

@@ -1,0 +1,81 @@
+(** Concurrent operation histories with crash markers.
+
+    A history is a real-time-ordered sequence of invocation events,
+    response events and system-wide crash events.  Histories are produced
+    by {!Recorder} from simulated executions and consumed by the
+    linearizability checker in [Dssq_lincheck]. *)
+
+type ('op, 'r) event =
+  | Inv of { uid : int; tid : int; op : 'op }
+  | Res of { uid : int; r : 'r }
+  | Crash
+
+type ('op, 'r) t = ('op, 'r) event list
+
+(** One operation extracted from a history. *)
+type ('op, 'r) call = {
+  uid : int;
+  tid : int;
+  op : 'op;
+  inv_pos : int;
+  outcome : [ `Completed of int * 'r  (** response position and value *)
+            | `Crashed of int  (** position of the crash that cut it off *) ];
+}
+
+let call_end_pos c =
+  match c.outcome with `Completed (p, _) -> p | `Crashed p -> p
+
+(** Extract the operation records of a history.  Raises [Invalid_argument]
+    if the history is ill-formed (response without invocation, two
+    invocations sharing a uid, a thread with two outstanding operations,
+    or an operation still pending at the end of the history — finish or
+    crash every operation before checking). *)
+let calls (events : ('op, 'r) t) : ('op, 'r) call list =
+  let pending : (int, int * int * 'op) Hashtbl.t = Hashtbl.create 16 in
+  let open_tids = Hashtbl.create 16 in
+  let acc = ref [] in
+  List.iteri
+    (fun pos ev ->
+      match ev with
+      | Inv { uid; tid; op } ->
+          if Hashtbl.mem pending uid then
+            invalid_arg (Printf.sprintf "History.calls: duplicate uid %d" uid);
+          if Hashtbl.mem open_tids tid then
+            invalid_arg
+              (Printf.sprintf
+                 "History.calls: thread %d has two outstanding operations" tid);
+          Hashtbl.add pending uid (pos, tid, op);
+          Hashtbl.add open_tids tid ()
+      | Res { uid; r } -> (
+          match Hashtbl.find_opt pending uid with
+          | None ->
+              invalid_arg
+                (Printf.sprintf "History.calls: response without invocation (uid %d)"
+                   uid)
+          | Some (inv_pos, tid, op) ->
+              Hashtbl.remove pending uid;
+              Hashtbl.remove open_tids tid;
+              acc := { uid; tid; op; inv_pos; outcome = `Completed (pos, r) } :: !acc)
+      | Crash ->
+          Hashtbl.iter
+            (fun uid (inv_pos, tid, op) ->
+              acc := { uid; tid; op; inv_pos; outcome = `Crashed pos } :: !acc)
+            pending;
+          Hashtbl.reset pending;
+          Hashtbl.reset open_tids)
+    events;
+  if Hashtbl.length pending > 0 then
+    invalid_arg "History.calls: operation still pending at end of history";
+  List.sort (fun a b -> compare a.inv_pos b.inv_pos) !acc
+
+let crash_count h =
+  List.fold_left (fun n ev -> match ev with Crash -> n + 1 | _ -> n) 0 h
+
+let pp ~pp_op ~pp_response fmt (h : _ t) =
+  List.iter
+    (function
+      | Inv { uid; tid; op } ->
+          Format.fprintf fmt "inv  t%d #%d %a@." tid uid pp_op op
+      | Res { uid; r } -> Format.fprintf fmt "res      #%d -> %a@." uid pp_response r
+      | Crash -> Format.fprintf fmt "-- CRASH --@.")
+    h

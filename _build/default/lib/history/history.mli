@@ -1,0 +1,39 @@
+(** Concurrent operation histories with crash markers: the input format
+    of the linearizability checker ([Dssq_lincheck]). *)
+
+type ('op, 'r) event =
+  | Inv of { uid : int; tid : int; op : 'op }
+  | Res of { uid : int; r : 'r }
+  | Crash  (** system-wide crash: every pending operation is cut off *)
+
+type ('op, 'r) t = ('op, 'r) event list
+(** Events in real-time order. *)
+
+(** One operation extracted from a history. *)
+type ('op, 'r) call = {
+  uid : int;
+  tid : int;
+  op : 'op;
+  inv_pos : int;
+  outcome :
+    [ `Completed of int * 'r  (** response position and value *)
+    | `Crashed of int  (** position of the crash that cut it off *) ];
+}
+
+val call_end_pos : ('op, 'r) call -> int
+
+val calls : ('op, 'r) t -> ('op, 'r) call list
+(** Extract operation records, sorted by invocation position.
+    @raise Invalid_argument on ill-formed histories (duplicate uid,
+    response without invocation, two outstanding operations on one
+    thread, or an operation pending at the end — finish or crash every
+    operation before checking). *)
+
+val crash_count : ('op, 'r) t -> int
+
+val pp :
+  pp_op:(Format.formatter -> 'op -> unit) ->
+  pp_response:(Format.formatter -> 'r -> unit) ->
+  Format.formatter ->
+  ('op, 'r) t ->
+  unit

@@ -1,0 +1,33 @@
+(** Records histories from executing threads.
+
+    In the cooperative simulator the recorder is mutated only from the
+    single scheduling domain, so a plain reversed list is sufficient and
+    the recorded order is a valid real-time order (each append happens
+    within one atomic scheduling slice). *)
+
+type ('op, 'r) t = {
+  mutable events : ('op, 'r) History.event list; (* newest first *)
+  mutable next_uid : int;
+}
+
+let create () = { events = []; next_uid = 0 }
+
+(** Record an invocation; returns the uid to pass to [response]. *)
+let invoke t ~tid op =
+  let uid = t.next_uid in
+  t.next_uid <- uid + 1;
+  t.events <- History.Inv { uid; tid; op } :: t.events;
+  uid
+
+let response t ~uid r = t.events <- History.Res { uid; r } :: t.events
+let crash t = t.events <- History.Crash :: t.events
+let history t : ('op, 'r) History.t = List.rev t.events
+
+(** Record a complete operation around [f].  If [f] is cut off by a crash
+    the invocation stays pending, which is exactly what the checker
+    needs. *)
+let record t ~tid op f =
+  let uid = invoke t ~tid op in
+  let r = f () in
+  response t ~uid r;
+  r

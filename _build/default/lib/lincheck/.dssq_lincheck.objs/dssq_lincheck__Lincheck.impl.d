@@ -1,0 +1,1 @@
+lib/lincheck/lincheck.ml: Array Dssq_history Dssq_spec Format Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/lincheck/lincheck.mli: Dssq_history Dssq_spec Format

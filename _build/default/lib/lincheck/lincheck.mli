@@ -1,0 +1,43 @@
+(** Linearizability checking for crash-prone histories, against any
+    [Dssq_spec.Spec.t] state machine — including the [D<T>] machines of
+    [Dssq_spec.Dss_spec], which makes the paper's formalism (Section 2)
+    the executable oracle for its algorithm (Section 3, Theorem 1). *)
+
+module History = Dssq_history.History
+module Spec = Dssq_spec.Spec
+
+(** Correctness condition for operations pending at a crash (Section 2.2
+    of the paper, strongest first):
+    - [Strict] (Aguilera & Frolund): linearize before the crash or never;
+    - [Recoverable] (Berryhill, Golab & Tripunitara): additionally may
+      linearize after the crash, but before the invoking process's next
+      operation begins;
+    - [Durable] (Izraelevitz, Mendes & Scott): a crashed operation may
+      linearize at any later point (or never) — the condition under which
+      thread ids are not reused and which the paper notes is inherently
+      incompatible with DSS-style resolve (Section 2.2), provided here
+      for checking the non-detectable baselines. *)
+type mode = Strict | Recoverable | Durable
+
+type ('op, 'r) verdict =
+  | Linearizable of (int * 'op * [ `Took_effect | `Dropped ]) list
+      (** witness: (tid, op, fate) in linearization order *)
+  | Not_linearizable
+
+exception Too_many_operations of int
+(** The search is exponential; histories are capped at 62 operations. *)
+
+val check :
+  ?mode:mode -> ('s, 'op, 'r) Spec.t -> ('op, 'r) History.t -> ('op, 'r) verdict
+(** Wing-Gong-style memoized search.  Completed operations must match
+    their recorded responses; crashed operations may take effect (with
+    any spec-legal response) within their window, or be dropped. *)
+
+val is_linearizable :
+  ?mode:mode -> ('s, 'op, 'r) Spec.t -> ('op, 'r) History.t -> bool
+
+val pp_verdict :
+  (Format.formatter -> 'op -> unit) ->
+  Format.formatter ->
+  ('op, 'r) verdict ->
+  unit

@@ -1,0 +1,1 @@
+lib/memory/native.ml: Atomic Persist_cost Sys

@@ -1,0 +1,1 @@
+lib/memory/persist_cost.mli:

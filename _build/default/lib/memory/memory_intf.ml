@@ -1,0 +1,61 @@
+(** Abstract shared-memory interface for persistent-memory algorithms.
+
+    Every concurrent algorithm in this repository is a functor over {!S}, so
+    the same source runs on two backends:
+
+    - {!Dssq_memory.Native}: OCaml 5 [Atomic.t] cells across real domains,
+      with a calibrated busy-wait charged at each [flush]/[fence] to model
+      the latency of a CLWB + store-fence pair (PMDK's [pmem_persist]).
+    - [Dssq_sim.Memory]: simulated cells with separate volatile and
+      persisted values, driven by a deterministic scheduler that can crash
+      the system between any two memory events.
+
+    Cells are word-granularity: a cell models one failure-atomic machine
+    word (the paper assumes 64-bit failure-atomic writes, Section 1).
+    Algorithms that need pointer tagging pack index + tag bits into a
+    single [int] cell (see [Dssq_core.Tagged]). *)
+
+module type S = sig
+  type 'a cell
+  (** A shared memory word holding a value of type ['a].  On persistent
+      backends the cell has both a volatile (cache) value, which all
+      threads observe, and a persisted value, which survives crashes. *)
+
+  val alloc : ?name:string -> 'a -> 'a cell
+  (** [alloc v] allocates a fresh cell whose volatile {e and} persisted
+      value is [v] (allocation happens during failure-free initialization
+      or recovery, both of which persist initial state).  [name] is used
+      only for diagnostics and traces. *)
+
+  val read : 'a cell -> 'a
+  (** Sequentially consistent load of the volatile value. *)
+
+  val write : 'a cell -> 'a -> unit
+  (** Sequentially consistent store to the volatile value.  The store is
+      {e not} persisted until [flush] (or a simulated cache eviction). *)
+
+  val cas : 'a cell -> expected:'a -> desired:'a -> bool
+  (** Single-word compare-and-swap on the volatile value.  Comparison is
+      physical equality, which coincides with value equality for the
+      immediate (int) values used by all algorithms here. *)
+
+  val flush : 'a cell -> unit
+  (** Write the cell's current volatile value back to the persistence
+      domain and drain it (CLWB + sfence, i.e. PMDK [pmem_persist]). *)
+
+  val fence : unit -> unit
+  (** Store fence without a write-back; orders prior flushes. *)
+end
+
+(** Statistics hooks a backend may expose (the simulator implements them;
+    the native backend counts only when enabled). *)
+module type COUNTED = sig
+  include S
+
+  val reads : unit -> int
+  val writes : unit -> int
+  val cases : unit -> int
+  val flushes : unit -> int
+  val fences : unit -> int
+  val reset_counters : unit -> unit
+end

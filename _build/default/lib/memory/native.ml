@@ -1,0 +1,26 @@
+(** Native backend: real OCaml domains over [Atomic.t] cells.
+
+    OCaml's [Atomic] operations are sequentially consistent, matching the
+    paper's use of C++ [std::atomic] with [seq_cst] ordering (Section 4).
+    [flush] and [fence] charge the calibrated persist latency from
+    {!Persist_cost}; on this backend the "persistence domain" is ordinary
+    RAM, so correctness under crashes is exercised on the simulator
+    backend instead (which is the point of having two backends sharing
+    one algorithm source). *)
+
+type 'a cell = 'a Atomic.t
+
+let alloc ?name v =
+  ignore name;
+  Atomic.make v
+
+let read = Atomic.get
+let write = Atomic.set
+let cas c ~expected ~desired = Atomic.compare_and_set c expected desired
+
+let flush c =
+  (* Force the store buffer to drain in the model: read back then pay. *)
+  ignore (Sys.opaque_identity (Atomic.get c));
+  Persist_cost.pay_flush ()
+
+let fence () = Persist_cost.pay_fence ()

@@ -1,0 +1,15 @@
+(** Native backend of the [MEMORY] interface: real OCaml domains over
+    [Atomic.t] (sequentially consistent, like the paper's C++ seq_cst
+    atomics), with the calibrated persist cost charged at each
+    flush/fence.
+    Crash semantics cannot be exercised here — that is the simulator
+    backend's job; this one is for wall-clock measurement. *)
+
+type 'a cell = 'a Atomic.t
+
+val alloc : ?name:string -> 'a -> 'a cell
+val read : 'a cell -> 'a
+val write : 'a cell -> 'a -> unit
+val cas : 'a cell -> expected:'a -> desired:'a -> bool
+val flush : 'a cell -> unit
+val fence : unit -> unit

@@ -1,0 +1,59 @@
+(** Calibrated latency model for persistence instructions on the native
+    backend.
+
+    The paper's testbed flushes with PMDK [pmem_persist] (CLWB + sfence)
+    against Intel Optane DCPMM; published latencies for that pair are in
+    the 100-300 ns range.  This container has neither Optane nor CLWB, so
+    we charge a busy-wait of a configurable number of nanoseconds at every
+    flush.  The Figure 5 curve shapes depend on the {e relative} number of
+    persist instructions per operation across algorithms, which this
+    preserves (see DESIGN.md, substitution table).
+
+    Calibration runs once, before any domain is spawned; afterwards the
+    spin tables are read-only, so cross-domain use is race-free. *)
+
+let spins_per_ns = ref 0.25 (* overwritten by [calibrate] *)
+let flush_ns = ref 150
+let fence_ns = ref 30
+let flush_spins = ref 0
+let fence_spins = ref 0
+
+let monotonic_ns () =
+  let t = Unix.gettimeofday () in
+  Int64.of_float (t *. 1e9)
+
+(* A spin body the compiler cannot remove. *)
+let spin n =
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := Sys.opaque_identity (!acc + i)
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+let recompute_spins () =
+  flush_spins := int_of_float (float_of_int !flush_ns *. !spins_per_ns);
+  fence_spins := int_of_float (float_of_int !fence_ns *. !spins_per_ns)
+
+(** Measure how many spin iterations fit in a nanosecond. *)
+let calibrate () =
+  let iters = 50_000_000 in
+  let t0 = monotonic_ns () in
+  spin iters;
+  let t1 = monotonic_ns () in
+  let elapsed = Int64.to_float (Int64.sub t1 t0) in
+  if elapsed > 0. then spins_per_ns := float_of_int iters /. elapsed;
+  recompute_spins ()
+
+(** Configure the charged latencies (nanoseconds).  [fence] defaults to a
+    fifth of [flush]: an sfence with nothing to drain is much cheaper than
+    a CLWB + sfence pair. *)
+let configure ?flush ?fence () =
+  (match flush with Some ns -> flush_ns := ns | None -> ());
+  (match fence with
+  | Some ns -> fence_ns := ns
+  | None -> fence_ns := max 0 (!flush_ns / 5));
+  recompute_spins ()
+
+let current_flush_ns () = !flush_ns
+let pay_flush () = if !flush_spins > 0 then spin !flush_spins
+let pay_fence () = if !fence_spins > 0 then spin !fence_spins

@@ -1,0 +1,18 @@
+(** Calibrated latency model for persistence instructions on the native
+    backend: a busy-wait of a configurable number of nanoseconds charged
+    at every flush/fence, standing in for CLWB+sfence against Optane
+    (see DESIGN.md).  Calibrate once, before spawning domains. *)
+
+val calibrate : unit -> unit
+(** Measure the spin rate of this machine (≈1s). *)
+
+val configure : ?flush:int -> ?fence:int -> unit -> unit
+(** Set the charged latencies in nanoseconds (defaults: flush 150,
+    fence = flush/5). *)
+
+val current_flush_ns : unit -> int
+
+val pay_flush : unit -> unit
+(** Busy-wait for the configured flush latency. *)
+
+val pay_fence : unit -> unit

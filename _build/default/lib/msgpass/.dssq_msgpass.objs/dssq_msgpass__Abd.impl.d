@@ -1,0 +1,1 @@
+lib/msgpass/abd.ml: Array Dssq_memory Format List Net Printf

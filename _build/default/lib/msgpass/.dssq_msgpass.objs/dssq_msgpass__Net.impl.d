@@ -1,0 +1,1 @@
+lib/msgpass/net.ml: Array Dssq_memory List Printf

@@ -1,0 +1,44 @@
+(** A detectable replicated register in the message-passing model —
+    ABD-style majority-quorum storage with the DSS interface at the
+    client (the paper's portability claim D2, executable).
+
+    Processes [0 .. nservers-1] are servers; client [ci] runs as process
+    [nservers + ci].  Server state is persistent; messages are volatile.
+    [resolve] decides an interrupted write conclusively: complete it via
+    a quorum, or {e seal} it under a dominating timestamp so it can never
+    surface — giving recoverable linearizability / persistent atomicity
+    (Guerraoui & Levy).  See the implementation header for the protocol
+    details and soundness argument. *)
+
+module Make (M : Dssq_memory.Memory_intf.S) : sig
+  type t
+
+  val create : nservers:int -> nclients:int -> t
+
+  val server : t -> sid:int -> until:int -> unit -> unit
+  (** Server body; run as a simulated thread.  Serves until
+      [clients_done] reaches [until] (failure-free shutdown convention;
+      crashed runs are simply cut). *)
+
+  val reset_done : t -> unit
+  (** Clear the shutdown counter before (re)starting a serving phase. *)
+
+  val client_finished : t -> unit
+
+  (** {1 Client operations} *)
+
+  val read : t -> ci:int -> int
+  (** Linearizable read: collect a majority, adopt the max, write it
+      back, return. *)
+
+  val prep_write : t -> ci:int -> int -> unit
+  val exec_write : t -> ci:int -> unit
+
+  type resolved = Nothing | Write_pending of int | Write_done of int
+
+  val pp_resolved : Format.formatter -> resolved -> unit
+
+  val resolve : t -> ci:int -> resolved
+  (** Run with the servers up; total, and stable across repeated crashes
+      during resolution. *)
+end

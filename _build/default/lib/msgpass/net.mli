@@ -1,0 +1,16 @@
+(** Simulated asynchronous message passing over the shared memory
+    substrate: one volatile mailbox cell per process.  A system-wide
+    crash loses every in-flight message (mailboxes are never flushed);
+    delivery is reliable and unordered while the system is up. *)
+
+module Make (M : Dssq_memory.Memory_intf.S) : sig
+  type 'msg t
+
+  val create : nprocs:int -> 'msg t
+  val send : 'msg t -> dst:int -> 'msg -> unit
+  val broadcast : 'msg t -> 'msg -> unit
+
+  val recv_all : 'msg t -> me:int -> 'msg list
+  (** Drain the caller's mailbox; [] if nothing arrived yet (poll in a
+      loop — every poll is a scheduling point on the simulator). *)
+end

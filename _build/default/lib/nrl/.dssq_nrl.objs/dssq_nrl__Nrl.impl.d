@@ -1,0 +1,1 @@
+lib/nrl/nrl.ml: Array Dssq_core Dssq_memory List Printf

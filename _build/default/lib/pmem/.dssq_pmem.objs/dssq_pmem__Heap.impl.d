@@ -1,0 +1,1 @@
+lib/pmem/heap.ml: Cell List Random

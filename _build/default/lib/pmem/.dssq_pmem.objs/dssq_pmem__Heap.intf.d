@@ -1,0 +1,1 @@
+lib/pmem/heap.mli: Cell Random

@@ -1,0 +1,27 @@
+(** A simulated persistent-memory word.
+
+    The [volatile] value is what loads, stores and CAS observe: caches on
+    the modelled machine are coherent, so every thread sees the same
+    volatile value instantly (the "shared cache" model the paper targets,
+    Section 1 / property D3).  The [persisted] value is what survives a
+    crash.  [flush] copies volatile to persisted; a crash either discards
+    the volatile value (resetting it to [persisted]) or — modelling an
+    uncontrolled cache-line eviction — writes it back first. *)
+
+type 'a t = {
+  id : int;
+  name : string;
+  mutable volatile : 'a;
+  mutable persisted : 'a;
+  mutable dirty : bool;
+}
+
+(** Existential wrapper so a heap can track cells of every type. *)
+type packed = Packed : 'a t -> packed
+
+let value_equal (a : 'a) (b : 'a) = a == b
+
+let is_dirty c = c.dirty
+
+let pp_summary fmt (Packed c) =
+  Format.fprintf fmt "cell#%d(%s)%s" c.id c.name (if c.dirty then "*" else "")

@@ -1,0 +1,103 @@
+(** A simulated persistent heap: the set of all allocated cells plus
+    bookkeeping for crashes and statistics.
+
+    The heap itself is single-domain: simulated "threads" are cooperative
+    coroutines scheduled by [Dssq_sim], so plain mutation here is safe and
+    deterministic. *)
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable cases : int;
+  mutable flushes : int;
+  mutable fences : int;
+}
+
+type t = {
+  mutable cells : Cell.packed list; (* most recently allocated first *)
+  mutable next_id : int;
+  stats : stats;
+  mutable in_sim : bool;
+      (* When true, memory operations must be routed through the scheduler
+         (performed as effects); when false they apply directly — used for
+         initialization and single-threaded recovery code. *)
+}
+
+let create () =
+  {
+    cells = [];
+    next_id = 0;
+    stats = { reads = 0; writes = 0; cases = 0; flushes = 0; fences = 0 };
+    in_sim = false;
+  }
+
+let alloc t ?(name = "") v =
+  let cell =
+    { Cell.id = t.next_id; name; volatile = v; persisted = v; dirty = false }
+  in
+  t.next_id <- t.next_id + 1;
+  t.cells <- Cell.Packed cell :: t.cells;
+  cell
+
+(* Direct application of memory operations to the heap. *)
+
+let read t (c : 'a Cell.t) : 'a =
+  t.stats.reads <- t.stats.reads + 1;
+  c.volatile
+
+let write t (c : 'a Cell.t) (v : 'a) =
+  t.stats.writes <- t.stats.writes + 1;
+  c.volatile <- v;
+  c.dirty <- true
+
+let cas t (c : 'a Cell.t) ~(expected : 'a) ~(desired : 'a) =
+  t.stats.cases <- t.stats.cases + 1;
+  if Cell.value_equal c.volatile expected then begin
+    c.volatile <- desired;
+    c.dirty <- true;
+    true
+  end
+  else false
+
+let flush t (c : 'a Cell.t) =
+  t.stats.flushes <- t.stats.flushes + 1;
+  c.persisted <- c.volatile;
+  c.dirty <- false
+
+let fence t = t.stats.fences <- t.stats.fences + 1
+
+let dirty_count t =
+  List.fold_left
+    (fun acc (Cell.Packed c) -> if c.dirty then acc + 1 else acc)
+    0 t.cells
+
+(** Crash the machine.  For every dirty cell, [evict] decides whether the
+    volatile value was written back by cache eviction before power was
+    lost ([true]) or discarded ([false]).  Afterwards volatile state
+    equals persisted state everywhere, which is what recovery code and
+    restarted threads observe. *)
+let crash t ~evict =
+  List.iter
+    (fun (Cell.Packed c) ->
+      if c.dirty then begin
+        if evict () then c.persisted <- c.volatile else c.volatile <- c.persisted;
+        c.dirty <- false
+      end)
+    t.cells
+
+(** Convenience: crash where each dirty line independently persists with
+    probability [evict_p], driven by [rng]. *)
+let crash_random t ~evict_p ~rng =
+  crash t ~evict:(fun () -> Random.State.float rng 1.0 < evict_p)
+
+let stats t = t.stats
+
+let reset_stats t =
+  let s = t.stats in
+  s.reads <- 0;
+  s.writes <- 0;
+  s.cases <- 0;
+  s.flushes <- 0;
+  s.fences <- 0
+
+let cell_count t = List.length t.cells

@@ -1,0 +1,52 @@
+(** A simulated persistent heap: every allocated cell, plus crash
+    semantics and event statistics.
+
+    Single-domain by design: simulated threads are cooperative coroutines
+    (see [Dssq_sim]), so plain mutation is deterministic. *)
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable cases : int;
+  mutable flushes : int;
+  mutable fences : int;
+}
+
+type t = {
+  mutable cells : Cell.packed list;
+  mutable next_id : int;
+  stats : stats;
+  mutable in_sim : bool;
+      (** when true, memory operations must go through the scheduler;
+          toggled by [Dssq_sim.Sim.run] *)
+}
+
+val create : unit -> t
+
+val alloc : t -> ?name:string -> 'a -> 'a Cell.t
+(** Fresh cell whose volatile {e and} persisted value is the initial
+    value. *)
+
+(** Direct (non-scheduled) memory operations — initialization, recovery
+    code, and the scheduler itself use these. *)
+
+val read : t -> 'a Cell.t -> 'a
+val write : t -> 'a Cell.t -> 'a -> unit
+val cas : t -> 'a Cell.t -> expected:'a -> desired:'a -> bool
+val flush : t -> 'a Cell.t -> unit
+val fence : t -> unit
+
+val crash : t -> evict:(unit -> bool) -> unit
+(** Crash the machine: for every dirty cell, [evict ()] decides whether
+    its volatile value was written back by cache eviction before power
+    loss ([true]) or lost ([false]).  Afterwards volatile = persisted
+    everywhere. *)
+
+val crash_random : t -> evict_p:float -> rng:Random.State.t -> unit
+(** {!crash} where each dirty line independently persists with
+    probability [evict_p]. *)
+
+val dirty_count : t -> int
+val stats : t -> stats
+val reset_stats : t -> unit
+val cell_count : t -> int

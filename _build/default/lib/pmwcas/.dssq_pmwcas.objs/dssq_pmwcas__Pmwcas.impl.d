@@ -1,0 +1,1 @@
+lib/pmwcas/pmwcas.ml: Array Dssq_core Dssq_ebr Dssq_memory List Printf Tagged

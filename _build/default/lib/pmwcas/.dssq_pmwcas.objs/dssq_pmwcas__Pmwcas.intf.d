@@ -1,0 +1,1 @@
+lib/pmwcas/pmwcas.mli: Dssq_memory

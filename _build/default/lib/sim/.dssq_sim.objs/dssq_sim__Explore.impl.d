@@ -1,0 +1,1 @@
+lib/sim/explore.ml: Dssq_pmem Heap List Machine

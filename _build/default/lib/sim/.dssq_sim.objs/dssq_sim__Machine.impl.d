@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Array Dssq_pmem Effect Heap List Sim_op

@@ -1,0 +1,1 @@
+lib/sim/machine.mli: Dssq_pmem Effect Heap Sim_op

@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Cell Dssq_memory Dssq_pmem Effect Fun Heap List Machine Option Printf Random Sim_op

@@ -1,0 +1,1 @@
+lib/sim/sim_op.ml: Cell Dssq_pmem Heap Printf

@@ -1,0 +1,1 @@
+lib/sim/sim_op.mli: Cell Dssq_pmem Heap

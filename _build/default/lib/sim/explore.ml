@@ -1,0 +1,114 @@
+(** Bounded-exhaustive schedule exploration.
+
+    Enumerates {e every} interleaving of a small scenario (and optionally
+    every crash point with both "nothing evicted" and "everything evicted"
+    cache outcomes), replaying the scenario from scratch along each branch
+    — continuations are one-shot, so replay is how we fork.  Exponential,
+    so meant for scenarios with 2–3 threads and a dozen or two memory
+    steps; within that scope it is a small model checker for the
+    algorithms in this repository.
+
+    [setup] must build a fresh, fully independent scenario each time it is
+    called: a fresh heap, fresh memory module, fresh object, fresh thread
+    closures.  [check] is called at the end of every complete execution
+    and should raise (e.g. [Alcotest.fail]) on a violated property. *)
+
+open Dssq_pmem
+
+exception Too_many_executions of int
+
+type decision = Sched of int | Crash of [ `Evict_none | `Evict_all ]
+
+type 'ctx scenario = {
+  ctx : 'ctx;
+  heap : Heap.t;
+  threads : (unit -> unit) list;
+}
+
+type 'ctx t = {
+  setup : unit -> 'ctx scenario;
+  check : 'ctx -> Heap.t -> crashed:bool -> unit;
+  crashes : bool;
+  max_steps : int;
+  limit : int;
+  max_preemptions : int option;
+      (* CHESS-style bound: a context switch away from a thread that is
+         still runnable counts as a preemption; most concurrency bugs
+         manifest within 2-3 preemptions, and the bound turns an
+         exponential schedule space into a polynomial one. *)
+  mutable executions : int;
+}
+
+let make ?(crashes = false) ?(max_steps = 10_000) ?(limit = 2_000_000)
+    ?max_preemptions ~setup ~check () =
+  { setup; check; crashes; max_steps; limit; max_preemptions; executions = 0 }
+
+(* Replay [prefix] on a fresh scenario.  Returns the machine positioned
+   after the prefix, unless the prefix ends in a crash, in which case the
+   crash is applied and [`Crashed] is returned. *)
+let replay t prefix =
+  let scenario = t.setup () in
+  let machine = Machine.create scenario.heap scenario.threads in
+  scenario.heap.Heap.in_sim <- true;
+  let outcome =
+    try
+      List.iter
+        (fun d ->
+          match d with
+          | Sched tid -> ignore (Machine.step machine tid : Machine.step_info)
+          | Crash evict ->
+              Machine.kill_all machine;
+              scenario.heap.Heap.in_sim <- false;
+              Heap.crash scenario.heap ~evict:(fun () -> evict = `Evict_all);
+              raise Exit)
+        prefix;
+      `Running
+    with Exit -> `Crashed
+  in
+  scenario.heap.Heap.in_sim <- false;
+  (scenario, machine, outcome)
+
+let finish t scenario ~crashed =
+  t.executions <- t.executions + 1;
+  if t.executions > t.limit then raise (Too_many_executions t.executions);
+  t.check scenario.ctx scenario.heap ~crashed
+
+let rec dfs t prefix depth ~last ~preemptions =
+  let scenario, machine, state = replay t prefix in
+  match state with
+  | `Crashed -> finish t scenario ~crashed:true
+  | `Running -> (
+      if depth > t.max_steps then
+        failwith "Explore: max_steps exceeded (livelock under exploration?)";
+      match Machine.runnable machine with
+      | [] ->
+          scenario.heap.Heap.in_sim <- false;
+          finish t scenario ~crashed:false
+      | runnable ->
+          List.iter
+            (fun tid ->
+              let preempts =
+                last >= 0 && tid <> last && List.mem last runnable
+              in
+              let allowed =
+                match t.max_preemptions with
+                | Some bound when preempts -> preemptions < bound
+                | _ -> true
+              in
+              if allowed then
+                dfs t
+                  (prefix @ [ Sched tid ])
+                  (depth + 1) ~last:tid
+                  ~preemptions:(if preempts then preemptions + 1 else preemptions))
+            runnable;
+          if t.crashes then begin
+            dfs t (prefix @ [ Crash `Evict_none ]) (depth + 1) ~last ~preemptions;
+            dfs t (prefix @ [ Crash `Evict_all ]) (depth + 1) ~last ~preemptions
+          end)
+
+(** Run the exploration; returns the number of complete executions
+    checked. *)
+let run t =
+  t.executions <- 0;
+  dfs t [] 0 ~last:(-1) ~preemptions:0;
+  t.executions

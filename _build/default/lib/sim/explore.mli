@@ -1,0 +1,34 @@
+(** Bounded-exhaustive schedule exploration: every interleaving of a
+    small scenario (optionally bounded to a few CHESS-style preemptions),
+    and optionally every crash point with both "nothing evicted" and
+    "everything evicted" cache outcomes.  Replays the scenario from
+    scratch along each branch, so [setup] must build a fresh, independent
+    scenario each call. *)
+
+exception Too_many_executions of int
+
+type 'ctx scenario = {
+  ctx : 'ctx;
+  heap : Dssq_pmem.Heap.t;
+  threads : (unit -> unit) list;
+}
+
+type 'ctx t
+
+val make :
+  ?crashes:bool ->
+  ?max_steps:int ->
+  ?limit:int ->
+  ?max_preemptions:int ->
+  setup:(unit -> 'ctx scenario) ->
+  check:('ctx -> Dssq_pmem.Heap.t -> crashed:bool -> unit) ->
+  unit ->
+  'ctx t
+(** [check] runs at the end of every complete execution and should raise
+    on a violated property.  [max_preemptions] bounds context switches
+    away from still-runnable threads (most concurrency bugs manifest
+    within 2-3), turning the exponential schedule space polynomial.
+    [limit] caps total executions (default 2e6; exceeding raises). *)
+
+val run : 'ctx t -> int
+(** Run the exploration; returns the number of executions checked. *)

@@ -1,0 +1,166 @@
+(** Deterministic simulator for persistent-memory algorithms.
+
+    Usage pattern (see the tests and [examples/crash_recovery.ml]):
+    {[
+      let heap = Heap.create () in
+      let (module M) = Sim.memory heap in
+      let module Q = Dssq_core.Dss_queue.Make (M) in
+      let q = Q.create ~nthreads:2 ~capacity:64 in      (* direct mode *)
+      let outcome =
+        Sim.run heap
+          ~policy:(Sim.Random_seed 42)
+          ~crash:(Sim.Crash_at_step 17)
+          ~threads:[ (fun () -> ...); (fun () -> ...) ]
+      in
+      if outcome.crashed then begin
+        Sim.apply_crash heap ~evict_p:0.5 ~seed:7;
+        Q.recover q                                      (* direct mode *)
+      end
+    ]}
+
+    Code executed outside {!run} (initialization, the single-threaded
+    recovery phase) applies memory operations directly; code inside [run]
+    is interleaved at memory-operation granularity per the policy. *)
+
+open Dssq_pmem
+
+type policy =
+  | Round_robin
+  | Random_seed of int
+      (** uniformly random runnable thread each step, seeded *)
+  | Script of int array
+      (** follow the given thread ids (skipping unrunnable ones), then
+          round-robin *)
+
+type crash_plan =
+  | No_crash
+  | Crash_at_step of int  (** crash before executing step [n] (0-based) *)
+  | Crash_prob of float * int  (** per-step crash probability, seed *)
+
+type outcome = {
+  steps : int;
+  crashed : bool;
+  results : (unit, exn) result option array;
+      (** per-thread: [None] if killed by a crash *)
+}
+
+(** A first-class [MEMORY] backed by [heap].  Inside {!run} operations
+    suspend into the scheduler; outside they apply directly. *)
+let memory heap : (module Dssq_memory.Memory_intf.S) =
+  (module struct
+    type 'a cell = 'a Cell.t
+
+    let alloc ?name v = Heap.alloc heap ?name v
+
+    let op : type a. a Sim_op.t -> a =
+     fun o ->
+      if heap.Heap.in_sim then Effect.perform (Machine.Mem o)
+      else Sim_op.apply heap o
+
+    let read c = op (Sim_op.Read c)
+    let write c v = op (Sim_op.Write (c, v))
+    let cas c ~expected ~desired = op (Sim_op.Cas (c, expected, desired))
+    let flush c = op (Sim_op.Flush c)
+    let fence () = op Sim_op.Fence
+  end)
+
+(** Explicit scheduling point usable from thread code (e.g. workloads that
+    want to be preemptible between high-level operations). *)
+let yield heap =
+  if heap.Heap.in_sim then Effect.perform (Machine.Mem Sim_op.Yield)
+
+let pick_round_robin last runnable =
+  match List.filter (fun t -> t > last) runnable with
+  | t :: _ -> t
+  | [] -> List.hd runnable
+
+let run ?(policy = Round_robin) ?(crash = No_crash) ?(max_steps = 1_000_000)
+    ?trace heap ~threads =
+  let machine = Machine.create heap threads in
+  let n = Machine.nthreads machine in
+  let rng =
+    match policy with
+    | Random_seed seed -> Some (Random.State.make [| seed |])
+    | Round_robin | Script _ -> None
+  in
+  let crash_rng =
+    match crash with
+    | Crash_prob (_, seed) -> Some (Random.State.make [| seed; 0x5EED |])
+    | No_crash | Crash_at_step _ -> None
+  in
+  let script = match policy with Script s -> s | _ -> [||] in
+  let script_pos = ref 0 in
+  let last = ref (-1) in
+  let crashed = ref false in
+  heap.Heap.in_sim <- true;
+  Fun.protect
+    ~finally:(fun () -> heap.Heap.in_sim <- false)
+    (fun () ->
+      let continue_run = ref true in
+      while !continue_run && not (Machine.finished machine) do
+        let step_index = Machine.steps machine in
+        if step_index >= max_steps then
+          failwith
+            (Printf.sprintf "Sim.run: exceeded max_steps=%d (livelock?)"
+               max_steps);
+        let crash_now =
+          match crash with
+          | No_crash -> false
+          | Crash_at_step s -> step_index = s
+          | Crash_prob (p, _) ->
+              Random.State.float (Option.get crash_rng) 1.0 < p
+        in
+        if crash_now then begin
+          crashed := true;
+          Machine.kill_all machine;
+          continue_run := false
+        end
+        else begin
+          let runnable = Machine.runnable machine in
+          let tid =
+            match rng with
+            | Some rng ->
+                List.nth runnable
+                  (Random.State.int rng (List.length runnable))
+            | None ->
+                if !script_pos < Array.length script then begin
+                  let wanted = script.(!script_pos) in
+                  incr script_pos;
+                  if List.mem wanted runnable then wanted
+                  else pick_round_robin !last runnable
+                end
+                else pick_round_robin !last runnable
+          in
+          last := tid;
+          (match trace with
+          | Some f ->
+              f ~step:step_index ~tid
+                (Option.value ~default:"?" (Machine.pending_op machine tid))
+          | None -> ());
+          ignore (Machine.step machine tid : Machine.step_info)
+        end
+      done;
+      {
+        steps = Machine.steps machine;
+        crashed = !crashed;
+        results =
+          Array.init n (fun i ->
+              match Machine.result machine i with
+              | Some (Error Machine.Killed) -> None
+              | r -> r);
+      })
+
+(** Apply crash semantics to the heap: every dirty cell independently
+    persists with probability [evict_p] (cache eviction at power loss)
+    or reverts to its last flushed value. *)
+let apply_crash heap ~evict_p ~seed =
+  let rng = Random.State.make [| seed; 0xC7A5 |] in
+  Heap.crash_random heap ~evict_p ~rng
+
+(** Re-raise the first non-[Killed] exception a thread died with, so test
+    failures inside simulated threads are not silently swallowed. *)
+let check_thread_errors outcome =
+  Array.iter
+    (function
+      | Some (Error e) when e <> Machine.Killed -> raise e | _ -> ())
+    outcome.results

@@ -1,0 +1,70 @@
+(** Deterministic simulator for persistent-memory algorithms.
+
+    {[
+      let heap = Heap.create () in
+      let (module M) = Sim.memory heap in
+      let module Q = Dssq_core.Dss_queue.Make (M) in
+      let q = Q.create ~nthreads:2 ~capacity:64 () in      (* direct mode *)
+      let outcome =
+        Sim.run heap
+          ~policy:(Sim.Random_seed 42)
+          ~crash:(Sim.Crash_at_step 17)
+          ~threads:[ (fun () -> ...); (fun () -> ...) ]
+      in
+      if outcome.crashed then begin
+        Sim.apply_crash heap ~evict_p:0.5 ~seed:7;
+        Q.recover q                                        (* direct mode *)
+      end
+    ]}
+
+    Code outside {!run} (initialization, single-threaded recovery) applies
+    memory operations directly; code inside is interleaved at
+    memory-event granularity per the policy. *)
+
+open Dssq_pmem
+
+type policy =
+  | Round_robin
+  | Random_seed of int  (** uniformly random runnable thread, seeded *)
+  | Script of int array
+      (** follow the given thread ids (skipping unrunnable ones), then
+          round-robin *)
+
+type crash_plan =
+  | No_crash
+  | Crash_at_step of int  (** crash before executing step [n] (0-based) *)
+  | Crash_prob of float * int  (** per-step crash probability, seed *)
+
+type outcome = {
+  steps : int;
+  crashed : bool;
+  results : (unit, exn) result option array;
+      (** per-thread; [None] if killed by a crash *)
+}
+
+val memory : Heap.t -> (module Dssq_memory.Memory_intf.S)
+(** A first-class [MEMORY] backed by the heap: operations suspend into
+    the scheduler inside {!run}, and apply directly outside. *)
+
+val yield : Heap.t -> unit
+(** Explicit scheduling point for thread code (no-op outside {!run}). *)
+
+val run :
+  ?policy:policy ->
+  ?crash:crash_plan ->
+  ?max_steps:int ->
+  ?trace:(step:int -> tid:int -> string -> unit) ->
+  Heap.t ->
+  threads:(unit -> unit) list ->
+  outcome
+(** Run the threads to completion, crash, or [max_steps] (default 10^6 —
+    exceeding it raises, catching livelocks).  [trace] is called before
+    each step with a description of the memory event about to execute. *)
+
+val apply_crash : Heap.t -> evict_p:float -> seed:int -> unit
+(** Apply crash semantics to the heap: every dirty cell independently
+    persists (cache eviction at power loss) with probability [evict_p],
+    or reverts to its last flushed value. *)
+
+val check_thread_errors : outcome -> unit
+(** Re-raise the first non-[Killed] exception a thread died with. *)

@@ -1,0 +1,53 @@
+(** The atomic memory events a simulated thread can perform.
+
+    Each constructor corresponds to one failure-atomic step of the
+    modelled machine; the scheduler interleaves threads at exactly this
+    granularity, and a crash can fall between any two of them. *)
+
+open Dssq_pmem
+
+type 'a t =
+  | Read : 'a Cell.t -> 'a t
+  | Write : 'a Cell.t * 'a -> unit t
+  | Cas : 'a Cell.t * 'a * 'a -> bool t
+  | Flush : 'a Cell.t -> unit t
+  | Fence : unit t
+  | Yield : unit t  (** scheduling point with no memory side effect *)
+
+let apply : type a. Heap.t -> a t -> a =
+ fun heap op ->
+  match op with
+  | Read c -> Heap.read heap c
+  | Write (c, v) -> Heap.write heap c v
+  | Cas (c, expected, desired) -> Heap.cas heap c ~expected ~desired
+  | Flush c -> Heap.flush heap c
+  | Fence -> Heap.fence heap
+  | Yield -> ()
+
+(** Cost classes for the discrete-event throughput model. *)
+type kind = Read | Write | Cas | Flush | Fence | Yield
+
+let kind : type a. a t -> kind = function
+  | Read _ -> Read
+  | Write _ -> Write
+  | Cas _ -> Cas
+  | Flush _ -> Flush
+  | Fence -> Fence
+  | Yield -> Yield
+
+(** Id of the cell an operation targets (its "cache line"). *)
+let target : type a. a t -> int option = function
+  | Read c -> Some c.Cell.id
+  | Write (c, _) -> Some c.Cell.id
+  | Cas (c, _, _) -> Some c.Cell.id
+  | Flush c -> Some c.Cell.id
+  | Fence -> None
+  | Yield -> None
+
+let describe : type a. a t -> string = function
+  | Read c -> Printf.sprintf "read %s#%d" c.Cell.name c.Cell.id
+  | Write (c, _) -> Printf.sprintf "write %s#%d" c.Cell.name c.Cell.id
+  | Cas (c, _, _) -> Printf.sprintf "cas %s#%d" c.Cell.name c.Cell.id
+  | Flush c -> Printf.sprintf "flush %s#%d" c.Cell.name c.Cell.id
+  | Fence -> "fence"
+  | Yield -> "yield"

@@ -1,0 +1,25 @@
+(** The atomic memory events a simulated thread can perform — the
+    granularity at which the scheduler interleaves and crashes fall. *)
+
+open Dssq_pmem
+
+type 'a t =
+  | Read : 'a Cell.t -> 'a t
+  | Write : 'a Cell.t * 'a -> unit t
+  | Cas : 'a Cell.t * 'a * 'a -> bool t
+  | Flush : 'a Cell.t -> unit t
+  | Fence : unit t
+  | Yield : unit t  (** scheduling point with no memory side effect *)
+
+val apply : Heap.t -> 'a t -> 'a
+(** Execute one event directly against the heap. *)
+
+(** Cost classes for the discrete-event throughput model. *)
+type kind = Read | Write | Cas | Flush | Fence | Yield
+
+val kind : 'a t -> kind
+
+val target : 'a t -> int option
+(** Id of the cell (cache line) the event touches, if any. *)
+
+val describe : 'a t -> string

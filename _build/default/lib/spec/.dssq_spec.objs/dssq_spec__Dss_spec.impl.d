@@ -1,0 +1,1 @@
+lib/spec/dss_spec.ml: Array Format Spec

@@ -1,0 +1,1 @@
+lib/spec/dss_spec.mli: Spec

@@ -1,0 +1,1 @@
+lib/spec/spec.ml: Format List Option

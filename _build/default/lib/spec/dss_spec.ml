@@ -1,0 +1,113 @@
+(** The detectable sequential specification (DSS) transformation,
+    Section 2.1 / Figure 1 of the paper.
+
+    Given a sequential specification [T = (S, s0, OP, R, delta, rho)],
+    [make] produces [D<T>]: states become triples [(s, A, R)] where [A]
+    maps each process to its most recently prepared operation (or bottom)
+    and [R] to that operation's response if it took effect (or bottom).
+    The operation set gains [prep-op] and [exec-op] for each [op], plus
+    [resolve]; the original operations remain available non-detectably
+    (Axiom 4). *)
+
+type 'op op = Prep of 'op | Exec of 'op | Base of 'op | Resolve
+
+type ('op, 'r) response =
+  | Ack  (** [prep-op] returns bottom *)
+  | Ret of 'r  (** [exec-op] and [op] return rho(s, op, p) *)
+  | Status of 'op option * 'r option
+      (** [resolve] returns (A[p], R[p]); [None] encodes bottom *)
+
+type ('s, 'op, 'r) state = {
+  base : 's;
+  a : 'op option array;  (** A : process -> OP or bottom, indexed by tid *)
+  r : 'r option array;  (** R : process -> R or bottom, indexed by tid *)
+}
+
+let equal_option eq a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> eq x y
+  | None, Some _ | Some _, None -> false
+
+let equal_state spec s1 s2 =
+  spec.Spec.equal_state s1.base s2.base
+  && Array.for_all2 (equal_option ( = )) s1.a s2.a
+  && Array.for_all2 (equal_option spec.Spec.equal_response) s1.r s2.r
+
+let equal_response spec r1 r2 =
+  match (r1, r2) with
+  | Ack, Ack -> true
+  | Ret a, Ret b -> spec.Spec.equal_response a b
+  | Status (o1, v1), Status (o2, v2) ->
+      equal_option ( = ) o1 o2 && equal_option spec.Spec.equal_response v1 v2
+  | (Ack | Ret _ | Status _), _ -> false
+
+let pp_op spec fmt = function
+  | Prep op -> Format.fprintf fmt "prep-%a" spec.Spec.pp_op op
+  | Exec op -> Format.fprintf fmt "exec-%a" spec.Spec.pp_op op
+  | Base op -> spec.Spec.pp_op fmt op
+  | Resolve -> Format.pp_print_string fmt "resolve"
+
+let pp_response spec fmt = function
+  | Ack -> Format.pp_print_string fmt "ack"
+  | Ret r -> spec.Spec.pp_response fmt r
+  | Status (op, r) ->
+      let pp_opt pp fmt = function
+        | None -> Format.pp_print_string fmt "_|_"
+        | Some x -> pp fmt x
+      in
+      Format.fprintf fmt "(%a, %a)"
+        (pp_opt spec.Spec.pp_op)
+        op
+        (pp_opt spec.Spec.pp_response)
+        r
+
+(** [make ~nthreads spec] is the sequential specification of [D<spec>]
+    for processes with ids [0 .. nthreads-1]. *)
+let make ~nthreads (spec : ('s, 'op, 'r) Spec.t) :
+    (('s, 'op, 'r) state, 'op op, ('op, 'r) response) Spec.t =
+  let init =
+    {
+      base = spec.init;
+      a = Array.make nthreads None;
+      r = Array.make nthreads None;
+    }
+  in
+  let set_a st tid op r =
+    let a = Array.copy st.a and rr = Array.copy st.r in
+    a.(tid) <- op;
+    rr.(tid) <- r;
+    { st with a; r = rr }
+  in
+  let apply st ~tid op =
+    match op with
+    | Prep op ->
+        (* Axiom 1: total, idempotent; A'[p] = op, R'[p] = bottom. *)
+        Some (set_a st tid (Some op) None, Ack)
+    | Exec op -> (
+        (* Axiom 2: enabled iff A[p] = op and R[p] = bottom. *)
+        match (st.a.(tid), st.r.(tid)) with
+        | Some prepared, None when prepared = op -> (
+            match spec.apply st.base ~tid op with
+            | None -> None
+            | Some (base', resp) ->
+                let st' = set_a { st with base = base' } tid (Some op) (Some resp) in
+                Some (st', Ret resp))
+        | _ -> None)
+    | Base op -> (
+        (* Axiom 4: the plain, non-detectable operation. *)
+        match spec.apply st.base ~tid op with
+        | None -> None
+        | Some (base', resp) -> Some ({ st with base = base' }, Ret resp))
+    | Resolve ->
+        (* Axiom 3: total, idempotent, no side effect. *)
+        Some (st, Status (st.a.(tid), st.r.(tid)))
+  in
+  Spec.make
+    ~name:("D<" ^ spec.name ^ ">")
+    ~init ~apply
+    ~equal_state:(equal_state spec)
+    ~equal_response:(equal_response spec)
+    ~pp_op:(pp_op spec)
+    ~pp_response:(pp_response spec)
+    ()

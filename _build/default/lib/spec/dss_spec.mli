@@ -1,0 +1,32 @@
+(** The detectable sequential specification (DSS) transformation —
+    Section 2.1 / Figure 1 of the paper, executable and type-generic.
+
+    Given [T = (S, s0, OP, R, delta, rho)], {!make} produces [D<T>]:
+    states are [(s, A, R)] where [A] maps each process to its most
+    recently prepared operation and [R] to that operation's response (or
+    bottom), and the operation set gains [prep-op], [exec-op] and
+    [resolve]. *)
+
+type 'op op =
+  | Prep of 'op  (** Axiom 1: record intent; total, idempotent *)
+  | Exec of 'op  (** Axiom 2: apply; enabled iff A[p] = op, R[p] = bottom *)
+  | Base of 'op  (** Axiom 4: the plain, non-detectable operation *)
+  | Resolve  (** Axiom 3: return (A[p], R[p]); total, idempotent *)
+
+type ('op, 'r) response =
+  | Ack  (** prep-op returns bottom *)
+  | Ret of 'r
+  | Status of 'op option * 'r option  (** resolve's (A[p], R[p]) *)
+
+type ('s, 'op, 'r) state = {
+  base : 's;
+  a : 'op option array;  (** A, indexed by tid *)
+  r : 'r option array;  (** R, indexed by tid *)
+}
+
+val make :
+  nthreads:int ->
+  ('s, 'op, 'r) Spec.t ->
+  (('s, 'op, 'r) state, 'op op, ('op, 'r) response) Spec.t
+(** [make ~nthreads spec] is the sequential specification of [D<spec>]
+    for processes [0 .. nthreads-1]. *)

@@ -1,0 +1,61 @@
+(** Sequential specifications of object types.
+
+    Following Section 2.1 of the paper, a type [T] is a tuple
+    [(S, s0, OP, R, delta, rho)]; we represent it as a pure state machine
+    where [apply] combines the transition function [delta] and response
+    function [rho], and returns [None] when an operation's precondition
+    does not hold in the current state (the operation is not enabled
+    there).  The process id is an argument of [apply] because detectable
+    types encode per-process recovery state (footnote 2 of the paper). *)
+
+type ('s, 'op, 'r) t = {
+  name : string;
+  init : 's;
+  apply : 's -> tid:int -> 'op -> ('s * 'r) option;
+  equal_state : 's -> 's -> bool;
+  equal_response : 'r -> 'r -> bool;
+  pp_op : Format.formatter -> 'op -> unit;
+  pp_response : Format.formatter -> 'r -> unit;
+}
+
+let make ?(equal_state = ( = )) ?(equal_response = ( = ))
+    ?(pp_op = fun fmt _ -> Format.pp_print_string fmt "<op>")
+    ?(pp_response = fun fmt _ -> Format.pp_print_string fmt "<r>") ~name ~init
+    ~apply () =
+  { name; init; apply; equal_state; equal_response; pp_op; pp_response }
+
+(** Run a sequence of (tid, op) pairs from the initial state; [None] if
+    some operation was not enabled. *)
+let run_sequence spec ops =
+  List.fold_left
+    (fun acc (tid, op) ->
+      match acc with
+      | None -> None
+      | Some (s, rs) -> (
+          match spec.apply s ~tid op with
+          | None -> None
+          | Some (s', r) -> Some (s', r :: rs)))
+    (Some (spec.init, []))
+    ops
+  |> Option.map (fun (s, rs) -> (s, List.rev rs))
+
+(** Augment each operation with an auxiliary argument that is recorded in
+    the operation's identity but ignored by the state transition — the
+    remedy the paper proposes (end of Section 2.1) for disambiguating
+    repeated identical operations under [resolve].  A single parity bit
+    suffices when the application counts its detectable operations. *)
+let with_aux spec =
+  {
+    name = spec.name ^ "+aux";
+    init = spec.init;
+    apply =
+      (fun s ~tid (op, _aux) ->
+        match spec.apply s ~tid op with
+        | None -> None
+        | Some (s', r) -> Some (s', r));
+    equal_state = spec.equal_state;
+    equal_response = spec.equal_response;
+    pp_op =
+      (fun fmt (op, aux) -> Format.fprintf fmt "%a/%d" spec.pp_op op aux);
+    pp_response = spec.pp_response;
+  }

@@ -1,0 +1,39 @@
+(** Sequential specifications of object types as pure state machines —
+    the tuple [(S, s0, OP, R, delta, rho)] of Section 2.1 of the paper,
+    with [apply] combining the transition and response functions and
+    returning [None] where an operation's precondition fails. *)
+
+type ('s, 'op, 'r) t = {
+  name : string;
+  init : 's;
+  apply : 's -> tid:int -> 'op -> ('s * 'r) option;
+      (** [None] = the operation is not enabled in this state.  The
+          process id is an argument because detectable types encode
+          per-process recovery state (footnote 2 of the paper). *)
+  equal_state : 's -> 's -> bool;
+  equal_response : 'r -> 'r -> bool;
+  pp_op : Format.formatter -> 'op -> unit;
+  pp_response : Format.formatter -> 'r -> unit;
+}
+
+val make :
+  ?equal_state:('s -> 's -> bool) ->
+  ?equal_response:('r -> 'r -> bool) ->
+  ?pp_op:(Format.formatter -> 'op -> unit) ->
+  ?pp_response:(Format.formatter -> 'r -> unit) ->
+  name:string ->
+  init:'s ->
+  apply:('s -> tid:int -> 'op -> ('s * 'r) option) ->
+  unit ->
+  ('s, 'op, 'r) t
+
+val run_sequence :
+  ('s, 'op, 'r) t -> (int * 'op) list -> ('s * 'r list) option
+(** Fold a sequence of [(tid, op)] from the initial state; [None] if some
+    operation was not enabled. *)
+
+val with_aux : ('s, 'op, 'r) t -> ('s, 'op * int, 'r) t
+(** Augment each operation with an auxiliary argument recorded in the
+    operation's identity but ignored by the transition — the paper's
+    remedy (end of Section 2.1) for disambiguating repeated identical
+    operations under [resolve]. *)

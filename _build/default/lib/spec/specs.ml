@@ -1,0 +1,121 @@
+(** Ready-made sequential specifications used as test oracles and as base
+    types for the DSS transformation. *)
+
+(** Read/write register over ints (the paper's running example,
+    Figure 2). *)
+module Register = struct
+  type op = Read | Write of int
+  type response = Value of int | Ok
+
+  let pp_op fmt = function
+    | Read -> Format.pp_print_string fmt "read"
+    | Write v -> Format.fprintf fmt "write(%d)" v
+
+  let pp_response fmt = function
+    | Value v -> Format.fprintf fmt "%d" v
+    | Ok -> Format.pp_print_string fmt "OK"
+
+  let spec ?(init = 0) () =
+    Spec.make ~name:"register" ~init
+      ~apply:(fun s ~tid:_ op ->
+        match op with
+        | Read -> Some (s, Value s)
+        | Write v -> Some (v, Ok))
+      ~pp_op ~pp_response ()
+end
+
+(** Monotonic counter. *)
+module Counter = struct
+  type op = Increment | Get
+  type response = Value of int | Ok
+
+  let pp_op fmt = function
+    | Increment -> Format.pp_print_string fmt "inc"
+    | Get -> Format.pp_print_string fmt "get"
+
+  let pp_response fmt = function
+    | Value v -> Format.fprintf fmt "%d" v
+    | Ok -> Format.pp_print_string fmt "OK"
+
+  let spec () =
+    Spec.make ~name:"counter" ~init:0
+      ~apply:(fun s ~tid:_ op ->
+        match op with
+        | Increment -> Some (s + 1, Ok)
+        | Get -> Some (s, Value s))
+      ~pp_op ~pp_response ()
+end
+
+(** Compare-and-swap object over ints. *)
+module Cas = struct
+  type op = Read | Cas of int * int
+  type response = Value of int | Bool of bool
+
+  let pp_op fmt = function
+    | Read -> Format.pp_print_string fmt "read"
+    | Cas (e, d) -> Format.fprintf fmt "cas(%d,%d)" e d
+
+  let pp_response fmt = function
+    | Value v -> Format.fprintf fmt "%d" v
+    | Bool b -> Format.fprintf fmt "%b" b
+
+  let spec ?(init = 0) () =
+    Spec.make ~name:"cas" ~init
+      ~apply:(fun s ~tid:_ op ->
+        match op with
+        | Read -> Some (s, Value s)
+        | Cas (e, d) -> if s = e then Some (d, Bool true) else Some (s, Bool false))
+      ~pp_op ~pp_response ()
+end
+
+(** FIFO queue over ints.  [Dequeue] is total: on an empty queue it
+    returns [Empty], matching the EMPTY response of the DSS queue
+    algorithm (Section 3.2). *)
+module Queue = struct
+  type op = Enqueue of int | Dequeue
+  type response = Ok | Value of int | Empty
+
+  let pp_op fmt = function
+    | Enqueue v -> Format.fprintf fmt "enq(%d)" v
+    | Dequeue -> Format.pp_print_string fmt "deq"
+
+  let pp_response fmt = function
+    | Ok -> Format.pp_print_string fmt "OK"
+    | Value v -> Format.fprintf fmt "%d" v
+    | Empty -> Format.pp_print_string fmt "EMPTY"
+
+  (* State: queue contents, front of the queue first. *)
+  let spec () =
+    Spec.make ~name:"queue" ~init:[]
+      ~apply:(fun s ~tid:_ op ->
+        match (op, s) with
+        | Enqueue v, _ -> Some (s @ [ v ], Ok)
+        | Dequeue, [] -> Some ([], Empty)
+        | Dequeue, x :: rest -> Some (rest, Value x))
+      ~pp_op ~pp_response ()
+end
+
+(** Stack (LIFO) over ints — used to show the DSS transformation is
+    type-generic beyond the paper's queue. *)
+module Stack = struct
+  type op = Push of int | Pop
+  type response = Ok | Value of int | Empty
+
+  let pp_op fmt = function
+    | Push v -> Format.fprintf fmt "push(%d)" v
+    | Pop -> Format.pp_print_string fmt "pop"
+
+  let pp_response fmt = function
+    | Ok -> Format.pp_print_string fmt "OK"
+    | Value v -> Format.fprintf fmt "%d" v
+    | Empty -> Format.pp_print_string fmt "EMPTY"
+
+  let spec () =
+    Spec.make ~name:"stack" ~init:[]
+      ~apply:(fun s ~tid:_ op ->
+        match (op, s) with
+        | Push v, _ -> Some (v :: s, Ok)
+        | Pop, [] -> Some ([], Empty)
+        | Pop, x :: rest -> Some (rest, Value x))
+      ~pp_op ~pp_response ()
+end

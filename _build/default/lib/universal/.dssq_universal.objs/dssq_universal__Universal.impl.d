@@ -1,0 +1,1 @@
+lib/universal/universal.ml: Array Dssq_memory Dssq_spec Printf

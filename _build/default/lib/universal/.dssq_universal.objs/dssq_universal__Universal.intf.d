@@ -1,0 +1,1 @@
+lib/universal/universal.mli: Dssq_memory Dssq_spec

@@ -1,0 +1,36 @@
+(** A recoverable universal construction of [D<T>] for any sequential
+    type [T] (Section 2.2's computability argument): operations —
+    including [prep-op]/[exec-op]/[resolve] — are agreed into a
+    persistent log by CAS consensus per slot, with
+    flush-predecessor-before-append so the persisted log is always a
+    gap-free prefix; state is deterministic replay.  Lock-free;
+    recovery is a no-op. *)
+
+module Spec = Dssq_spec.Spec
+module Dss_spec = Dssq_spec.Dss_spec
+
+exception Log_full
+
+module Make (M : Dssq_memory.Memory_intf.S) : sig
+  type ('s, 'op, 'r) t
+
+  val create : nthreads:int -> capacity:int -> ('s, 'op, 'r) Spec.t -> ('s, 'op, 'r) t
+
+  val perform :
+    ('s, 'op, 'r) t -> tid:int -> 'op Dss_spec.op -> ('op, 'r) Dss_spec.response option
+  (** Agree one [D<T>] operation into the log; [None] if it was not
+      enabled at its linearization point (e.g. an exec never prepared). *)
+
+  (** Convenience wrappers over the [D<T>] alphabet: *)
+
+  val prep : ('s, 'op, 'r) t -> tid:int -> 'op -> unit
+  val exec : ('s, 'op, 'r) t -> tid:int -> 'op -> 'r option
+  val apply : ('s, 'op, 'r) t -> tid:int -> 'op -> 'r option
+  val resolve : ('s, 'op, 'r) t -> tid:int -> 'op option * 'r option
+
+  val length : ('s, 'op, 'r) t -> int
+  (** Decided log prefix length (tests, space accounting). *)
+
+  val recover : ('s, 'op, 'r) t -> int
+  (** Trivial by construction; returns {!length}. *)
+end

@@ -1,0 +1,1 @@
+lib/workload/experiments.ml: Array Dssq_core Dssq_pmem Dssq_pmwcas Dssq_sim Heap List Native_throughput Registry Report Sim_throughput

@@ -1,0 +1,1 @@
+lib/workload/native_throughput.ml: Array Atomic Domain Dssq_core Dssq_memory Registry Sim_throughput Unix

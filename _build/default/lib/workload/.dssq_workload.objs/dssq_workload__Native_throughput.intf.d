@@ -1,0 +1,1 @@
+lib/workload/native_throughput.mli:

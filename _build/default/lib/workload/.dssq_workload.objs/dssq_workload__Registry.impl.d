@@ -1,0 +1,1 @@
+lib/workload/registry.ml: Dss_queue Dssq_baselines Dssq_core Dssq_memory List Printf Queue_intf String

@@ -1,0 +1,1 @@
+lib/workload/registry.mli: Dssq_core Dssq_memory

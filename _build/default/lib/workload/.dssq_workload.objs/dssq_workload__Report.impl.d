@@ -1,0 +1,1 @@
+lib/workload/report.ml: Array Buffer Format List Printf Stats String

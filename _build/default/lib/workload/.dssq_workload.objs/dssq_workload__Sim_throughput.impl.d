@@ -1,0 +1,1 @@
+lib/workload/sim_throughput.ml: Array Dssq_core Dssq_pmem Dssq_sim Float Fun Hashtbl Heap Machine Option Random Registry Sim Sim_op

@@ -1,0 +1,1 @@
+lib/workload/sim_throughput.mli: Dssq_core Dssq_pmem

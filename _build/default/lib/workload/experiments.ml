@@ -1,0 +1,358 @@
+(** Drivers for every figure of the paper's evaluation and for the
+    ablations listed in DESIGN.md.  Both the benchmark executable and the
+    CLI dispatch here, so the experiments are defined exactly once. *)
+
+open Dssq_pmem
+module Sim = Dssq_sim.Sim
+
+type backend = Sim_model | Native_domains
+
+let default_threads = [ 1; 2; 3; 4; 6; 8; 10; 12; 14; 16; 18; 20 ]
+
+type queue_config = { label : string; mk : string; det_pct : int }
+
+let measure_point ~backend ~horizon_ns ~duration ~repeats (q : queue_config)
+    ~nthreads =
+  List.init repeats (fun r ->
+      match backend with
+      | Sim_model ->
+          Sim_throughput.measure ~seed:(1 + r) ~horizon_ns ~mk:q.mk
+            ~det_pct:q.det_pct ~nthreads ()
+      | Native_domains ->
+          Native_throughput.measure ~mk:q.mk ~det_pct:q.det_pct ~nthreads
+            ~duration ())
+
+let sweep ?(backend = Sim_model) ?(threads = default_threads) ?(repeats = 3)
+    ?(horizon_ns = 300_000.) ?(duration = 0.2) (queues : queue_config list) :
+    Report.series list =
+  List.map
+    (fun q ->
+      {
+        Report.label = q.label;
+        points =
+          List.map
+            (fun nthreads ->
+              {
+                Report.x = nthreads;
+                samples =
+                  measure_point ~backend ~horizon_ns ~duration ~repeats q
+                    ~nthreads;
+              })
+            threads;
+      })
+    queues
+
+(* ---------------------------------------------------------------------- *)
+(* Figure 5a: levels of detectability and persistence                      *)
+(* ---------------------------------------------------------------------- *)
+
+let fig5a_queues =
+  [
+    { label = "ms"; mk = "ms-queue"; det_pct = 0 };
+    { label = "dss-nondet"; mk = "dss-queue"; det_pct = 0 };
+    { label = "dss-det"; mk = "dss-queue"; det_pct = 100 };
+  ]
+
+let fig5a ?backend ?threads ?repeats ?horizon_ns ?duration () =
+  sweep ?backend ?threads ?repeats ?horizon_ns ?duration fig5a_queues
+
+(* ---------------------------------------------------------------------- *)
+(* Figure 5b: detectable queue implementations                             *)
+(* ---------------------------------------------------------------------- *)
+
+let fig5b_queues =
+  [
+    { label = "dss-det"; mk = "dss-queue"; det_pct = 100 };
+    { label = "log"; mk = "log-queue"; det_pct = 100 };
+    { label = "fast-caswe"; mk = "fast-caswe"; det_pct = 100 };
+    { label = "gen-caswe"; mk = "general-caswe"; det_pct = 100 };
+  ]
+
+let fig5b ?backend ?threads ?repeats ?horizon_ns ?duration () =
+  sweep ?backend ?threads ?repeats ?horizon_ns ?duration fig5b_queues
+
+(* ---------------------------------------------------------------------- *)
+(* Ablation: persist-cost sweep (simulated CLWB+sfence latency)            *)
+(* ---------------------------------------------------------------------- *)
+
+let ablate_flush ?(nthreads = 8) ?(flush_costs = [ 0; 50; 140; 300; 600 ])
+    ?(repeats = 3) ?(horizon_ns = 300_000.) () : Report.series list =
+  List.map
+    (fun q ->
+      {
+        Report.label = q.label;
+        points =
+          List.map
+            (fun flush_ns ->
+              let costs =
+                {
+                  Sim_throughput.default_costs with
+                  flush_ns = float_of_int flush_ns;
+                }
+              in
+              {
+                Report.x = flush_ns;
+                samples =
+                  List.init repeats (fun r ->
+                      Sim_throughput.measure ~costs ~seed:(1 + r) ~horizon_ns
+                        ~mk:q.mk ~det_pct:q.det_pct ~nthreads ());
+              })
+            flush_costs;
+      })
+    fig5a_queues
+
+(* ---------------------------------------------------------------------- *)
+(* Ablation: detectability on demand (fraction of detectable operations)   *)
+(* ---------------------------------------------------------------------- *)
+
+let ablate_demand ?(nthreads = 8) ?(percents = [ 0; 25; 50; 75; 100 ])
+    ?(repeats = 3) ?(horizon_ns = 300_000.) () : Report.series list =
+  [
+    {
+      Report.label = "dss-queue";
+      points =
+        List.map
+          (fun pct ->
+            {
+              Report.x = pct;
+              samples =
+                List.init repeats (fun r ->
+                    Sim_throughput.measure ~seed:(1 + r) ~horizon_ns
+                      ~mk:"dss-queue" ~det_pct:pct ~nthreads ());
+            })
+          percents;
+    };
+  ]
+
+(* ---------------------------------------------------------------------- *)
+(* Ablation: recovery styles (memory events to recover vs. queue length)   *)
+(* ---------------------------------------------------------------------- *)
+
+(* Recovery cost is measured in memory events (deterministic), not wall
+   time: the simulated heap counts every read/write/flush the recovery
+   procedure performs. *)
+let ablate_recovery ?(lengths = [ 0; 16; 64; 256; 1024 ]) ?(nthreads = 8) () :
+    Report.series list =
+  let run_one ~style ~len =
+    let heap = Heap.create () in
+    let (module M) = Sim.memory heap in
+    let module Q = Dssq_core.Dss_queue.Make (M) in
+    let q = Q.create ~nthreads ~capacity:(len + 64) () in
+    for i = 1 to len do
+      Q.enqueue q ~tid:(i mod nthreads) i
+    done;
+    (* Leave one detectable operation of each kind in flight. *)
+    Q.prep_enqueue q ~tid:0 424242;
+    if len > 0 then Q.prep_dequeue q ~tid:1;
+    Heap.crash heap ~evict:(fun () -> false);
+    Heap.reset_stats heap;
+    (match style with
+    | `Centralized -> Q.recover q
+    | `Decentralized ->
+        for tid = 0 to nthreads - 1 do
+          Q.recover_thread q ~tid
+        done);
+    let s = Heap.stats heap in
+    float_of_int (s.reads + s.writes + s.cases + s.flushes + s.fences)
+  in
+  List.map
+    (fun (label, style) ->
+      {
+        Report.label;
+        points =
+          List.map
+            (fun len -> { Report.x = len; samples = [ run_one ~style ~len ] })
+            lengths;
+      })
+    [ ("centralized", `Centralized); ("per-thread", `Decentralized) ]
+
+(* ---------------------------------------------------------------------- *)
+(* Ablation: initial queue depth                                           *)
+(* ---------------------------------------------------------------------- *)
+
+(* The paper fixes the initial queue at 16 nodes.  Sweeping the depth
+   shows why that matters: with a near-empty queue, enqueuers and
+   dequeuers collide on the same sentinel region (and dequeues hit the
+   EMPTY path); with a deep queue, the head and tail lines decouple. *)
+let ablate_depth ?(nthreads = 8) ?(depths = [ 0; 4; 16; 64; 256; 1024 ])
+    ?(repeats = 3) ?(horizon_ns = 300_000.) () : Report.series list =
+  List.map
+    (fun q ->
+      {
+        Report.label = q.label;
+        points =
+          List.map
+            (fun depth ->
+              {
+                Report.x = depth;
+                samples =
+                  List.init repeats (fun r ->
+                      Sim_throughput.measure ~seed:(1 + r) ~horizon_ns
+                        ~init_nodes:depth ~mk:q.mk ~det_pct:q.det_pct ~nthreads
+                        ());
+              })
+            depths;
+      })
+    fig5a_queues
+
+(* ---------------------------------------------------------------------- *)
+(* Ablation: failure-full throughput (crash MTBF sweep)                    *)
+(* ---------------------------------------------------------------------- *)
+
+(* The paper evaluates failure-free runs only.  This experiment measures
+   end-to-end throughput when the system actually crashes: run for one
+   mean-time-between-failures of simulated time, crash (losing a random
+   half of the unflushed cache), run recovery (charged at model costs),
+   resolve every thread, and continue on the SAME persistent queue.
+   Effective throughput counts total completed operations over total time
+   including recovery. *)
+let crash_cycles ~seed ~mtbf_ns ~cycles ~mk ~nthreads ~det_pct =
+  let costs = Sim_throughput.default_costs in
+  let heap = Heap.create () in
+  let (module M) = Sim.memory heap in
+  let module R = Registry.Make (M) in
+  let capacity = 16 + 8 + (nthreads * 192) in
+  let ops = R.find mk ~nthreads ~capacity in
+  for i = 1 to 16 do
+    ops.Dssq_core.Queue_intf.enqueue ~tid:(i mod nthreads) i
+  done;
+  let counters = Array.init nthreads (fun _ -> ref 0) in
+  let total_time = ref 0. in
+  for cycle = 1 to cycles do
+    let threads =
+      Array.init nthreads (fun tid ->
+          Sim_throughput.pair_worker ops ~tid ~counter:counters.(tid) ~det_pct)
+    in
+    ignore
+      (Sim_throughput.run ~costs ~seed:(seed + cycle) ~horizon_ns:mtbf_ns ~heap
+         ~threads
+         ~ops_done:(fun () -> 0)
+         ());
+    total_time := !total_time +. mtbf_ns;
+    if cycle < cycles then begin
+      (* Crash, recover (charging its memory events at model costs),
+         resolve every thread; in-flight operations are abandoned. *)
+      Sim.apply_crash heap ~evict_p:0.5 ~seed:(seed + cycle);
+      Dssq_pmem.Heap.reset_stats heap;
+      ops.Dssq_core.Queue_intf.recover ();
+      for tid = 0 to nthreads - 1 do
+        ignore (ops.Dssq_core.Queue_intf.resolve ~tid)
+      done;
+      let s = Dssq_pmem.Heap.stats heap in
+      let recovery_ns =
+        (costs.Sim_throughput.read_ns *. float_of_int s.Dssq_pmem.Heap.reads)
+        +. (costs.Sim_throughput.write_ns *. float_of_int s.Dssq_pmem.Heap.writes)
+        +. (costs.Sim_throughput.cas_ns *. float_of_int s.Dssq_pmem.Heap.cases)
+        +. (costs.Sim_throughput.flush_ns *. float_of_int s.Dssq_pmem.Heap.flushes)
+        +. (costs.Sim_throughput.fence_ns *. float_of_int s.Dssq_pmem.Heap.fences)
+      in
+      total_time := !total_time +. recovery_ns
+    end
+  done;
+  let total_ops = Array.fold_left (fun acc c -> acc + !c) 0 counters in
+  float_of_int total_ops /. (!total_time /. 1e9) /. 1e6
+
+let ablate_crash_mtbf ?(mtbfs_us = [ 20; 50; 100; 250; 1000 ]) ?(nthreads = 8)
+    ?(cycles = 6) ?(repeats = 2) () : Report.series list =
+  List.map
+    (fun (label, mk) ->
+      {
+        Report.label;
+        points =
+          List.map
+            (fun mtbf_us ->
+              {
+                Report.x = mtbf_us;
+                samples =
+                  List.init repeats (fun r ->
+                      crash_cycles ~seed:(1 + (r * 37)) ~cycles
+                        ~mtbf_ns:(float_of_int mtbf_us *. 1000.)
+                        ~mk ~nthreads ~det_pct:100);
+              })
+            mtbfs_us;
+      })
+    [ ("dss-det", "dss-queue"); ("log", "log-queue") ]
+
+(* ---------------------------------------------------------------------- *)
+(* Ablation: PMwCAS width (modelled latency per operation vs. word count)  *)
+(* ---------------------------------------------------------------------- *)
+
+let ablate_pmwcas ?(widths = [ 1; 2; 3; 4 ]) () : Report.series list =
+  let costs = Sim_throughput.default_costs in
+  let model_ns (s : Heap.stats) ops =
+    (costs.read_ns *. float_of_int s.reads
+    +. costs.write_ns *. float_of_int s.writes
+    +. costs.cas_ns *. float_of_int s.cases
+    +. costs.flush_ns *. float_of_int s.flushes
+    +. costs.fence_ns *. float_of_int s.fences)
+    /. float_of_int ops
+  in
+  let run_one ~priv ~width =
+    let heap = Heap.create () in
+    let (module M) = Sim.memory heap in
+    let module P = Dssq_pmwcas.Pmwcas.Make (M) in
+    let p = P.create ~nwords:width ~nthreads:1 ~max_width:width () in
+    let addrs = List.init width (fun i -> P.alloc p i) in
+    let reps = 100 in
+    Heap.reset_stats heap;
+    for r = 0 to reps - 1 do
+      let entries =
+        List.mapi
+          (fun k a ->
+            let kind = if priv && k > 0 then `Private else `Shared in
+            (a, k + (r * 10), k + ((r + 1) * 10), kind))
+          addrs
+      in
+      assert (P.pmwcas p ~tid:0 entries)
+    done;
+    model_ns (Heap.stats heap) reps
+  in
+  List.map
+    (fun (label, priv) ->
+      {
+        Report.label;
+        points =
+          List.map
+            (fun w -> { Report.x = w; samples = [ run_one ~priv ~width:w ] })
+            widths;
+      })
+    [ ("all-shared", false); ("private-rest", true) ]
+
+(* ---------------------------------------------------------------------- *)
+(* Modelled single-operation latency (single thread, no contention)        *)
+(* ---------------------------------------------------------------------- *)
+
+let op_latency ?(queues = [ "ms-queue"; "dss-queue"; "log-queue"; "fast-caswe"; "general-caswe" ])
+    () : (string * float * float) list =
+  let costs = Sim_throughput.default_costs in
+  let model_ns (s : Heap.stats) ops =
+    (costs.read_ns *. float_of_int s.reads
+    +. costs.write_ns *. float_of_int s.writes
+    +. costs.cas_ns *. float_of_int s.cases
+    +. costs.flush_ns *. float_of_int s.flushes
+    +. costs.fence_ns *. float_of_int s.fences)
+    /. float_of_int ops
+  in
+  List.map
+    (fun mk ->
+      let heap = Heap.create () in
+      let (module M) = Sim.memory heap in
+      let module R = Registry.Make (M) in
+      let ops = R.find mk ~nthreads:1 ~capacity:256 in
+      let reps = 200 in
+      (* non-detectable pair latency *)
+      Heap.reset_stats heap;
+      for i = 1 to reps do
+        ops.enqueue ~tid:0 i;
+        ignore (ops.dequeue ~tid:0)
+      done;
+      let nondet = model_ns (Heap.stats heap) (2 * reps) in
+      (* detectable pair latency *)
+      Heap.reset_stats heap;
+      for i = 1 to reps do
+        ops.d_enqueue ~tid:0 i;
+        ignore (ops.d_dequeue ~tid:0)
+      done;
+      let det = model_ns (Heap.stats heap) (2 * reps) in
+      (mk, nondet, det))
+    queues

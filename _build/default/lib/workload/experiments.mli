@@ -1,0 +1,99 @@
+(** Drivers for every figure of the paper's evaluation and the DESIGN.md
+    ablations.  Both the benchmark executable and the CLI dispatch here,
+    so each experiment is defined exactly once. *)
+
+type backend = Sim_model | Native_domains
+
+val default_threads : int list
+
+type queue_config = { label : string; mk : string; det_pct : int }
+
+val fig5a_queues : queue_config list
+val fig5b_queues : queue_config list
+
+val sweep :
+  ?backend:backend ->
+  ?threads:int list ->
+  ?repeats:int ->
+  ?horizon_ns:float ->
+  ?duration:float ->
+  queue_config list ->
+  Report.series list
+
+val fig5a :
+  ?backend:backend ->
+  ?threads:int list ->
+  ?repeats:int ->
+  ?horizon_ns:float ->
+  ?duration:float ->
+  unit ->
+  Report.series list
+(** MS queue vs DSS non-detectable vs DSS detectable (Figure 5a). *)
+
+val fig5b :
+  ?backend:backend ->
+  ?threads:int list ->
+  ?repeats:int ->
+  ?horizon_ns:float ->
+  ?duration:float ->
+  unit ->
+  Report.series list
+(** DSS vs log vs Fast/General CASWithEffect (Figure 5b). *)
+
+val ablate_flush :
+  ?nthreads:int ->
+  ?flush_costs:int list ->
+  ?repeats:int ->
+  ?horizon_ns:float ->
+  unit ->
+  Report.series list
+(** Persist-instruction latency sweep. *)
+
+val ablate_demand :
+  ?nthreads:int ->
+  ?percents:int list ->
+  ?repeats:int ->
+  ?horizon_ns:float ->
+  unit ->
+  Report.series list
+(** Fraction of operations requesting detectability. *)
+
+val ablate_recovery :
+  ?lengths:int list -> ?nthreads:int -> unit -> Report.series list
+(** Centralized (Figure 6) vs per-thread recovery: memory events vs
+    queue length (deterministic). *)
+
+val ablate_depth :
+  ?nthreads:int ->
+  ?depths:int list ->
+  ?repeats:int ->
+  ?horizon_ns:float ->
+  unit ->
+  Report.series list
+(** Initial queue depth sweep. *)
+
+val crash_cycles :
+  seed:int ->
+  mtbf_ns:float ->
+  cycles:int ->
+  mk:string ->
+  nthreads:int ->
+  det_pct:int ->
+  float
+(** One failure-full measurement: run, crash, recover (charged), repeat
+    on the same persistent queue; effective Mops/s. *)
+
+val ablate_crash_mtbf :
+  ?mtbfs_us:int list ->
+  ?nthreads:int ->
+  ?cycles:int ->
+  ?repeats:int ->
+  unit ->
+  Report.series list
+(** Effective throughput vs crash MTBF, recovery charged. *)
+
+val ablate_pmwcas : ?widths:int list -> unit -> Report.series list
+(** PMwCAS modelled ns/op vs word count, all-shared vs private-rest. *)
+
+val op_latency : ?queues:string list -> unit -> (string * float * float) list
+(** Modelled single-thread (queue, plain ns/op, detectable ns/op). *)

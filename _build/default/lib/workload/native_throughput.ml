@@ -1,0 +1,56 @@
+(** Wall-clock throughput harness over real OCaml domains and the native
+    [Atomic.t] backend with the calibrated persist cost.
+
+    This is the harness to use on an actual multicore machine.  The
+    container this repository was developed in has a single core, so the
+    shipped figures come from {!Sim_throughput} instead; this harness
+    still runs there (domains timeslice), which is exercised by the test
+    suite with small parameters. *)
+
+module Native = Dssq_memory.Native
+module R = Registry.Make (Native)
+
+let now () = Unix.gettimeofday ()
+
+(** Run [nthreads] domains alternating enqueue/dequeue pairs on a fresh
+    queue for [duration] seconds; returns Mops/s.
+    [det_pct] is as in {!Sim_throughput.pair_worker}. *)
+let measure ?(init_nodes = 16) ?(det_pct = 100) ~mk ~nthreads ~duration () =
+  let capacity = init_nodes + 8 + (nthreads * 4096) in
+  let ops : Dssq_core.Queue_intf.ops = R.find mk ~nthreads ~capacity in
+  for i = 1 to init_nodes do
+    (* round-robin: per-thread node pools are striped *)
+    ops.enqueue ~tid:(i mod nthreads) i
+  done;
+  let start = Atomic.make false in
+  let stop = Atomic.make false in
+  let worker tid () =
+    while not (Atomic.get start) do
+      Domain.cpu_relax ()
+    done;
+    let count = ref 0 in
+    let i = ref 0 in
+    while not (Atomic.get stop) do
+      let detectable = Sim_throughput.detectable ~det_pct !i in
+      let v = (tid * 1_000_000) + (!i land 0xFFFF) in
+      if detectable then begin
+        ops.d_enqueue ~tid v;
+        ignore (ops.d_dequeue ~tid)
+      end
+      else begin
+        ops.enqueue ~tid v;
+        ignore (ops.dequeue ~tid)
+      end;
+      count := !count + 2;
+      incr i
+    done;
+    !count
+  in
+  let domains = Array.init nthreads (fun tid -> Domain.spawn (worker tid)) in
+  let t0 = now () in
+  Atomic.set start true;
+  Unix.sleepf duration;
+  Atomic.set stop true;
+  let total = Array.fold_left (fun acc d -> acc + Domain.join d) 0 domains in
+  let elapsed = now () -. t0 in
+  float_of_int total /. elapsed /. 1e6

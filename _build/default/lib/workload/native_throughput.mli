@@ -1,0 +1,15 @@
+(** Wall-clock throughput over real OCaml domains and the native backend
+    (calibrated persist cost) — the harness to use on an actual multicore
+    machine; the shipped figures come from {!Sim_throughput} because this
+    container has one core. *)
+
+val measure :
+  ?init_nodes:int ->
+  ?det_pct:int ->
+  mk:string ->
+  nthreads:int ->
+  duration:float ->
+  unit ->
+  float
+(** Spawn [nthreads] domains alternating enqueue/dequeue pairs on a fresh
+    queue ({!Registry} name [mk]) for [duration] seconds; Mops/s. *)

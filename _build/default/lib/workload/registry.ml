@@ -1,0 +1,139 @@
+(** Uniform access to every queue implementation, as closure records
+    ({!Dssq_core.Queue_intf.ops}), over any memory backend.  This is what
+    the benchmark harness and the CLI dispatch on. *)
+
+open Dssq_core
+
+module Make (M : Dssq_memory.Memory_intf.S) = struct
+  module Dss = Dss_queue.Make (M)
+  module Ms = Dssq_baselines.Ms_queue.Make (M)
+  module Durable = Dssq_baselines.Durable_queue.Make (M)
+  module Log = Dssq_baselines.Log_queue.Make (M)
+  module Gen = Dssq_baselines.Caswe_queue.General (M)
+  module Fast = Dssq_baselines.Caswe_queue.Fast (M)
+
+  let dss ~nthreads ~capacity : Queue_intf.ops =
+    let q = Dss.create ~nthreads ~capacity () in
+    {
+      name = "dss-queue";
+      enqueue = (fun ~tid v -> Dss.enqueue q ~tid v);
+      dequeue = (fun ~tid -> Dss.dequeue q ~tid);
+      d_enqueue =
+        (fun ~tid v ->
+          Dss.prep_enqueue q ~tid v;
+          Dss.exec_enqueue q ~tid);
+      d_dequeue =
+        (fun ~tid ->
+          Dss.prep_dequeue q ~tid;
+          Dss.exec_dequeue q ~tid);
+      recover = (fun () -> Dss.recover q);
+      resolve = (fun ~tid -> Dss.resolve q ~tid);
+    }
+
+  let ms ~nthreads ~capacity : Queue_intf.ops =
+    let q = Ms.create ~nthreads ~capacity in
+    let enqueue ~tid v = Ms.enqueue q ~tid v in
+    let dequeue ~tid = Ms.dequeue q ~tid in
+    (* The MS queue has no detectable path; the detectable closures fall
+       back to the plain operations (only meaningful in non-detectable
+       experiments, as in Figure 5a). *)
+    {
+      name = "ms-queue";
+      enqueue;
+      dequeue;
+      d_enqueue = enqueue;
+      d_dequeue = dequeue;
+      (* Volatile: nothing survives a crash, nothing to recover or
+         resolve. *)
+      recover = (fun () -> ());
+      resolve = (fun ~tid:_ -> Queue_intf.Nothing);
+    }
+
+  let durable ~nthreads ~capacity : Queue_intf.ops =
+    let q = Durable.create ~nthreads ~capacity in
+    let enqueue ~tid v = Durable.enqueue q ~tid v in
+    let dequeue ~tid = Durable.dequeue q ~tid in
+    {
+      name = "durable-queue";
+      enqueue;
+      dequeue;
+      d_enqueue = enqueue;
+      d_dequeue = dequeue;
+      recover = (fun () -> Durable.recover q);
+      (* Durable but not detectable: recovery publishes pending dequeue
+         results, but a thread cannot interrogate its own operation. *)
+      resolve = (fun ~tid:_ -> Queue_intf.Nothing);
+    }
+
+  let log ~nthreads ~capacity : Queue_intf.ops =
+    let q = Log.create ~nthreads ~capacity in
+    {
+      name = "log-queue";
+      enqueue = (fun ~tid v -> Log.enqueue q ~tid v);
+      dequeue = (fun ~tid -> Log.dequeue q ~tid);
+      d_enqueue =
+        (fun ~tid v ->
+          Log.prep_enqueue q ~tid v;
+          Log.exec_enqueue q ~tid);
+      d_dequeue =
+        (fun ~tid ->
+          Log.prep_dequeue q ~tid;
+          Log.exec_dequeue q ~tid);
+      recover = (fun () -> Log.recover q);
+      resolve = (fun ~tid -> Log.resolve q ~tid);
+    }
+
+  let general_caswe ~nthreads ~capacity : Queue_intf.ops =
+    let q = Gen.create ~nthreads ~capacity () in
+    {
+      name = "general-caswe";
+      enqueue = (fun ~tid v -> Gen.enqueue q ~tid v);
+      dequeue = (fun ~tid -> Gen.dequeue q ~tid);
+      d_enqueue =
+        (fun ~tid v ->
+          Gen.prep_enqueue q ~tid v;
+          Gen.exec_enqueue q ~tid);
+      d_dequeue =
+        (fun ~tid ->
+          Gen.prep_dequeue q ~tid;
+          Gen.exec_dequeue q ~tid);
+      recover = (fun () -> Gen.recover q);
+      resolve = (fun ~tid -> Gen.resolve q ~tid);
+    }
+
+  let fast_caswe ~nthreads ~capacity : Queue_intf.ops =
+    let q = Fast.create ~nthreads ~capacity () in
+    {
+      name = "fast-caswe";
+      enqueue = (fun ~tid v -> Fast.enqueue q ~tid v);
+      dequeue = (fun ~tid -> Fast.dequeue q ~tid);
+      d_enqueue =
+        (fun ~tid v ->
+          Fast.prep_enqueue q ~tid v;
+          Fast.exec_enqueue q ~tid);
+      d_dequeue =
+        (fun ~tid ->
+          Fast.prep_dequeue q ~tid;
+          Fast.exec_dequeue q ~tid);
+      recover = (fun () -> Fast.recover q);
+      resolve = (fun ~tid -> Fast.resolve q ~tid);
+    }
+
+  let all =
+    [
+      ("dss-queue", dss);
+      ("ms-queue", ms);
+      ("durable-queue", durable);
+      ("log-queue", log);
+      ("general-caswe", general_caswe);
+      ("fast-caswe", fast_caswe);
+    ]
+
+  let find name =
+    match List.assoc_opt name all with
+    | Some mk -> mk
+    | None ->
+        invalid_arg
+          (Printf.sprintf "unknown queue %S (know: %s)" name
+             (String.concat ", " (List.map fst all)))
+end

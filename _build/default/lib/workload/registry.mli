@@ -1,0 +1,22 @@
+(** Uniform access to every queue implementation as closure records
+    ({!Dssq_core.Queue_intf.ops}), over any memory backend — what the
+    benchmark harness and the CLI dispatch on.
+
+    Known names: ["dss-queue"], ["ms-queue"], ["durable-queue"],
+    ["log-queue"], ["general-caswe"], ["fast-caswe"]. *)
+
+module Make (M : Dssq_memory.Memory_intf.S) : sig
+  val dss : nthreads:int -> capacity:int -> Dssq_core.Queue_intf.ops
+  val ms : nthreads:int -> capacity:int -> Dssq_core.Queue_intf.ops
+  val durable : nthreads:int -> capacity:int -> Dssq_core.Queue_intf.ops
+  val log : nthreads:int -> capacity:int -> Dssq_core.Queue_intf.ops
+  val general_caswe : nthreads:int -> capacity:int -> Dssq_core.Queue_intf.ops
+  val fast_caswe : nthreads:int -> capacity:int -> Dssq_core.Queue_intf.ops
+
+  val all :
+    (string * (nthreads:int -> capacity:int -> Dssq_core.Queue_intf.ops)) list
+
+  val find :
+    string -> nthreads:int -> capacity:int -> Dssq_core.Queue_intf.ops
+  (** @raise Invalid_argument on an unknown name. *)
+end

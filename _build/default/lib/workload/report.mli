@@ -1,0 +1,22 @@
+(** Plain-text, chart and CSV rendering of benchmark series — the same
+    rows the paper plots in its figures. *)
+
+type point = { x : int; samples : float list }
+type series = { label : string; points : point list }
+
+val mean_at : series -> int -> float option
+val xs_of : series list -> int list
+
+val print_table :
+  ?out:Format.formatter ->
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  series list ->
+  unit
+
+val to_csv : x_label:string -> series list -> string
+
+val print_chart : ?out:Format.formatter -> ?height:int -> series list -> unit
+(** Compact ASCII scalability chart, so the figure's shape is visible in
+    a terminal. *)

@@ -1,0 +1,197 @@
+(** Discrete-event throughput model: the "simulated multiprocessor" on
+    which the Figure 5 scalability curves are regenerated.
+
+    Rationale (see DESIGN.md): the paper measures wall-clock throughput
+    of 1-20 hardware threads on a 20-core Xeon with Optane memory.  This
+    container has a single core, so real domains cannot exhibit parallel
+    scaling; instead we run the {e same algorithm code} on the simulator
+    and charge each memory event a latency drawn from published costs of
+    the corresponding x86/Optane operation.  Threads progress on private
+    clocks; the scheduler always steps the thread with the smallest
+    clock, which models independent cores — the only coupling between
+    threads is through the shared words themselves, so contention
+    (failed CAS -> retry -> more charged time) and helping emerge exactly
+    where the real machine has them, and throughput saturates at the
+    queue's head/tail serialization just as in the paper.
+
+    A deterministic per-step jitter (a few percent, seeded) breaks the
+    artificial lockstep that identical integer costs would otherwise
+    produce. *)
+
+open Dssq_pmem
+open Dssq_sim
+
+type costs = {
+  read_ns : float;
+  write_ns : float;
+  cas_ns : float;
+  flush_ns : float;
+  fence_ns : float;
+  work_ns : float;  (** charged at thread-local compute points (Yield) *)
+  cas_fail_line_ns : float;
+      (** line occupancy of a failed CAS: the requester still grabs the
+          line (RFO) but releases it quickly, so a retry storm wastes
+          less line bandwidth than a stream of successful updates *)
+  transfer_ns : float;
+      (** extra latency when the line's previous owner is another thread
+          (cross-core transfer); repeated access by one thread is a cache
+          hit and pays nothing *)
+}
+
+(** Rough latencies of the modelled machine: cache-hit loads/stores, a
+    locked CAS, and a CLWB+sfence pair against Optane DCPMM. *)
+let default_costs =
+  {
+    read_ns = 12.;
+    write_ns = 18.;
+    cas_ns = 45.;
+    flush_ns = 140.;
+    fence_ns = 25.;
+    work_ns = 30.;
+    cas_fail_line_ns = 15.;
+    transfer_ns = 80.;
+  }
+
+let cost_of costs (kind : Sim_op.kind) =
+  match kind with
+  | Sim_op.Read -> costs.read_ns
+  | Sim_op.Write -> costs.write_ns
+  | Sim_op.Cas -> costs.cas_ns
+  | Sim_op.Flush -> costs.flush_ns
+  | Sim_op.Fence -> costs.fence_ns
+  | Sim_op.Yield -> costs.work_ns
+
+(** Run [threads] (infinite-loop workers) on [heap] until every thread's
+    private clock passes [horizon_ns] of simulated time; returns the
+    value of [ops_done] divided by the simulated seconds, in operations
+    per second.
+
+    Cache-line contention model: every write-class access (store, CAS,
+    flush) to a word needs exclusive ownership of its line, so such
+    accesses {e serialize} per word — an access starts no earlier than
+    the line's previous owner finished.  Loads wait for the line to be
+    free but can then share it.  This is what makes throughput peak and
+    then degrade under contention on the queue's head and tail words,
+    exactly as on the paper's testbed: at high thread counts the line
+    ping-pong (mostly failed-CAS traffic) dominates, and the per-thread
+    flush costs that separate the variants at low thread counts are
+    hidden behind it, so the curves converge (Figure 5a). *)
+let run ?(costs = default_costs) ?(seed = 1) ~horizon_ns ~heap ~threads
+    ~ops_done () =
+  let machine = Machine.create heap (Array.to_list threads) in
+  let n = Array.length threads in
+  let clocks = Array.make n 0. in
+  (* per line: time it becomes free, and last owning thread *)
+  let line_clock : (int, float * int) Hashtbl.t = Hashtbl.create 256 in
+  let rng = Random.State.make [| seed; 0xD15C |] in
+  heap.Heap.in_sim <- true;
+  Fun.protect
+    ~finally:(fun () -> heap.Heap.in_sim <- false)
+    (fun () ->
+      let rec pick best best_clock i =
+        if i >= n then best
+        else begin
+          let c = clocks.(i) in
+          match Machine.pending_kind machine i with
+          | Some _ when c < horizon_ns && c < best_clock -> pick i c (i + 1)
+          | _ -> pick best best_clock (i + 1)
+        end
+      in
+      let continue_run = ref true in
+      while !continue_run do
+        match pick (-1) infinity 0 with
+        | -1 -> continue_run := false
+        | tid ->
+            let kind = Option.get (Machine.pending_kind machine tid) in
+            let target = Machine.pending_target machine tid in
+            let info = Machine.step machine tid in
+            let jitter = 0.95 +. Random.State.float rng 0.1 in
+            let cost = cost_of costs kind *. jitter in
+            let line cell =
+              Option.value ~default:(0., tid) (Hashtbl.find_opt line_clock cell)
+            in
+            (match (target, kind) with
+            | Some cell, (Sim_op.Write | Sim_op.Cas) ->
+                (* Exclusive access (RFO): wait for the line, pay a
+                   cross-core transfer if another thread owned it, then
+                   own it — briefly for a failed CAS (the requester grabs
+                   the line but releases it without a lasting update),
+                   for the full update latency otherwise. *)
+                let free, owner = line cell in
+                let transfer = if owner = tid then 0. else costs.transfer_ns in
+                let start = Float.max clocks.(tid) free +. transfer in
+                let line_cost =
+                  if info.Machine.cas_success = Some false then
+                    costs.cas_fail_line_ns *. jitter
+                  else cost
+                in
+                clocks.(tid) <- start +. cost;
+                Hashtbl.replace line_clock cell (start +. line_cost, tid)
+            | Some cell, (Sim_op.Read | Sim_op.Flush) ->
+                (* Loads share the line after the owner is done (paying a
+                   transfer if it moved cores); CLWB writes back without
+                   invalidating, so it stalls the issuing thread for the
+                   device round-trip but does not take ownership. *)
+                let free, owner = line cell in
+                let transfer = if owner = tid then 0. else costs.transfer_ns in
+                clocks.(tid) <- Float.max clocks.(tid) free +. transfer +. cost
+            | (None, _) | (Some _, (Sim_op.Fence | Sim_op.Yield)) ->
+                clocks.(tid) <- clocks.(tid) +. cost)
+      done;
+      Machine.kill_all machine);
+  float_of_int (ops_done ()) /. (horizon_ns /. 1e9)
+
+(** [detectable ~det_pct i] spreads detectable operation pairs evenly so
+    that exactly [det_pct] percent of pairs are detectable — the
+    "detectability on demand" knob that DSS offers and NRL-style
+    definitions cannot (every operation is detectable there). *)
+let detectable ~det_pct i =
+  ((i + 1) * det_pct / 100) - (i * det_pct / 100) > 0
+
+(** Worker that alternates enqueue/dequeue pairs forever — the workload
+    of Section 4 — bumping [counter] once per completed operation.
+    [det_pct] = 100 makes every pair detectable (Figure 5b / "DSS queue
+    detectable"), 0 none (non-detectable / MS queue). *)
+let pair_worker (ops : Dssq_core.Queue_intf.ops) ~tid ~counter ~det_pct () =
+  let i = ref 0 in
+  while true do
+    let detectable = detectable ~det_pct !i in
+    let v = (tid * 1_000_000) + (!i land 0xFFFF) in
+    if detectable then begin
+      ops.d_enqueue ~tid v;
+      incr counter;
+      ignore (ops.d_dequeue ~tid);
+      incr counter
+    end
+    else begin
+      ops.enqueue ~tid v;
+      incr counter;
+      ignore (ops.dequeue ~tid);
+      incr counter
+    end;
+    incr i
+  done
+
+(** Measure one queue implementation at one thread count on a fresh
+    simulated heap.  Returns throughput in Mops/s. *)
+let measure ?costs ?(seed = 1) ?(horizon_ns = 300_000.) ?(init_nodes = 16)
+    ?(det_pct = 100) ~mk ~nthreads () =
+  let heap = Heap.create () in
+  let (module M) = Sim.memory heap in
+  let module R = Registry.Make (M) in
+  let mk_ops = R.find mk in
+  let capacity = init_nodes + 8 + (nthreads * 192) in
+  let ops = mk_ops ~nthreads ~capacity in
+  (* Initialize the queue with [init_nodes] values, as in Section 4. *)
+  for i = 1 to init_nodes do
+    (* round-robin: per-thread node pools are striped *)
+    ops.enqueue ~tid:(i mod nthreads) i
+  done;
+  let counters = Array.init nthreads (fun _ -> ref 0) in
+  let threads =
+    Array.init nthreads (fun tid ->
+        pair_worker ops ~tid ~counter:counters.(tid) ~det_pct)
+  in
+  let ops_done () = Array.fold_left (fun acc c -> acc + !c) 0 counters in
+  let per_sec = run ?costs ~seed ~horizon_ns ~heap ~threads ~ops_done () in
+  per_sec /. 1e6

@@ -1,0 +1,65 @@
+(** The simulated multiprocessor: a discrete-event throughput model over
+    the deterministic simulator, used to regenerate the paper's
+    scalability figures on a single-core host (DESIGN.md §1).
+
+    Threads progress on private clocks (smallest clock steps next =
+    independent cores); each memory event is charged a latency, and
+    conflicting cache-line accesses serialize — exclusive ownership with
+    cross-core transfer for stores/CAS, brief occupancy for failed CAS,
+    wait-then-share for loads, issuer-stall-only for CLWB.  Contention,
+    helping and retry storms come from the algorithm code itself. *)
+
+type costs = {
+  read_ns : float;
+  write_ns : float;
+  cas_ns : float;
+  flush_ns : float;
+  fence_ns : float;
+  work_ns : float;
+  cas_fail_line_ns : float;
+  transfer_ns : float;
+}
+
+val default_costs : costs
+(** Rough published latencies for cache-hit ops, locked CAS, CLWB+sfence
+    against Optane, and cross-core line transfer. *)
+
+val run :
+  ?costs:costs ->
+  ?seed:int ->
+  horizon_ns:float ->
+  heap:Dssq_pmem.Heap.t ->
+  threads:(unit -> unit) array ->
+  ops_done:(unit -> int) ->
+  unit ->
+  float
+(** Run infinite-loop workers until every private clock passes the
+    horizon; returns [ops_done] per simulated second. *)
+
+val detectable : det_pct:int -> int -> bool
+(** Evenly spread: exactly [det_pct] percent of operation indices are
+    detectable. *)
+
+val pair_worker :
+  Dssq_core.Queue_intf.ops ->
+  tid:int ->
+  counter:int ref ->
+  det_pct:int ->
+  unit ->
+  unit
+(** The paper's workload: alternating enqueue/dequeue pairs forever,
+    bumping [counter] per completed operation. *)
+
+val measure :
+  ?costs:costs ->
+  ?seed:int ->
+  ?horizon_ns:float ->
+  ?init_nodes:int ->
+  ?det_pct:int ->
+  mk:string ->
+  nthreads:int ->
+  unit ->
+  float
+(** One implementation at one thread count on a fresh simulated heap;
+    Mops/s.  [mk] is a {!Registry} name; the queue is seeded with
+    [init_nodes] values (default 16, as in Section 4). *)

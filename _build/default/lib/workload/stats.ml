@@ -1,0 +1,23 @@
+(** Small statistics helpers for reporting benchmark samples the way the
+    paper does (mean over a sample of runs, with the sample standard
+    deviation as the noise bound — Section 4). *)
+
+let mean = function
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.
+  | _ ->
+      let m = mean xs in
+      let n = float_of_int (List.length xs) in
+      sqrt (List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs /. (n -. 1.))
+
+(** Relative standard deviation, in percent of the mean. *)
+let rsd xs =
+  let m = mean xs in
+  if m = 0. then 0. else 100. *. stddev xs /. m
+
+let minimum xs = List.fold_left min infinity xs
+let maximum xs = List.fold_left max neg_infinity xs

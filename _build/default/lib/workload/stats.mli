@@ -1,0 +1,15 @@
+(** Sample statistics for benchmark reporting (mean over runs with the
+    sample standard deviation as the noise bound, as in the paper's
+    Section 4). *)
+
+val mean : float list -> float
+(** [nan] on the empty list. *)
+
+val stddev : float list -> float
+(** Sample (n-1) standard deviation; 0 for fewer than two samples. *)
+
+val rsd : float list -> float
+(** Relative standard deviation, percent of the mean. *)
+
+val minimum : float list -> float
+val maximum : float list -> float

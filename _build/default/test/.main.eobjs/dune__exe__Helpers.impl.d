@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Buffer Dssq_baselines Dssq_core Dssq_history Dssq_lincheck Dssq_pmem Dssq_sim Dssq_spec Format

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Dssq_baselines Format Fun Heap Helpers List Printf Queue_intf Sim

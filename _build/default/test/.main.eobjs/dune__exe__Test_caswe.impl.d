@@ -1,0 +1,1 @@
+test/test_caswe.ml: Alcotest Array Dssq_baselines Format Heap Helpers List Printf Queue_intf Sim

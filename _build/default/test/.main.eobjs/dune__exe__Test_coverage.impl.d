@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Dss_spec Dssq_pmwcas Dssq_universal Explore Heap Helpers Lincheck List Printf Queue_intf Recorder Sim Specs

@@ -1,0 +1,1 @@
+test/test_cross_queue.ml: Alcotest Dss_spec Format Helpers Lincheck List Printf Queue_intf Record Recorder Sim Specs

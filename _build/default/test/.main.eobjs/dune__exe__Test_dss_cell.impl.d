@@ -1,0 +1,1 @@
+test/test_dss_cell.ml: Alcotest Array Dssq_core Heap Helpers List Option Printf Sim

@@ -1,0 +1,1 @@
+test/test_dss_queue.ml: Alcotest Array Dssq_core Explore Helpers List Queue_intf Record Recorder Sim

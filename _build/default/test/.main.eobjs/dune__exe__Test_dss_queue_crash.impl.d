@@ -1,0 +1,1 @@
+test/test_dss_queue_crash.ml: Alcotest Dss_spec Explore Format Helpers List Printf Queue_intf Record Recorder Sim Specs String

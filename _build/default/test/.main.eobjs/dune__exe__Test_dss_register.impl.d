@@ -1,0 +1,1 @@
+test/test_dss_register.ml: Alcotest Dss_spec Dssq_core Format Heap Helpers Lincheck List Printf Recorder Sim Specs

@@ -1,0 +1,1 @@
+test/test_dss_stack.ml: Alcotest Array Dss_spec Dssq_core Format Heap Helpers Lincheck List Printf Queue_intf Recorder Sim Specs

@@ -1,0 +1,1 @@
+test/test_hashmap.ml: Alcotest Dssq_core Format Hashtbl Heap Helpers List Printf QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_lincheck.ml: Alcotest Dss_spec Helpers History Lincheck List Random Spec Specs

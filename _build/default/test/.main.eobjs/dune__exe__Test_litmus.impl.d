@@ -1,0 +1,1 @@
+test/test_litmus.ml: Alcotest Array Explore Heap Helpers Sim

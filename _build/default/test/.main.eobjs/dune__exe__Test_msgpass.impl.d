@@ -1,0 +1,1 @@
+test/test_msgpass.ml: Alcotest Dss_spec Dssq_msgpass Heap Helpers Lincheck List Printf Recorder Sim Specs

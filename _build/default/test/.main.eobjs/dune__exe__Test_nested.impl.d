@@ -1,0 +1,1 @@
+test/test_nested.ml: Alcotest Dssq_core Dssq_memory Format Heap Helpers List Printf Queue_intf Record Recorder Sim

@@ -1,0 +1,1 @@
+test/test_nrl.ml: Alcotest Dssq_core Dssq_nrl Heap Helpers List Printf Sim

@@ -1,0 +1,1 @@
+test/test_pmem.ml: Alcotest Dssq_pmem Heap Helpers List Random

@@ -1,0 +1,1 @@
+test/test_pmwcas.ml: Alcotest Array Dssq_pmwcas Heap Helpers List Printf Sim

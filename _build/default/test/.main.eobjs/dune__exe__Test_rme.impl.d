@@ -1,0 +1,1 @@
+test/test_rme.ml: Alcotest Array Dssq_core Explore Heap Helpers Printf Sim

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dssq_memory Dssq_sim Explore Heap Helpers List Sim

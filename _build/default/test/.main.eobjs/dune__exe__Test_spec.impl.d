@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Array Dss_spec Helpers List Spec Specs

@@ -1,0 +1,1 @@
+test/test_tagged.ml: Alcotest Dssq_core List Printf

@@ -1,0 +1,1 @@
+test/test_universal.ml: Alcotest Dssq_universal Heap Helpers List Printf Sim Specs

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Buffer Dssq_memory Dssq_workload Float Format List Printf String

@@ -1,0 +1,229 @@
+(** Shared helpers for the test suite: spec instances, history recording
+    around queue operations, scenario runners with crash injection, and
+    conversions between implementation-level and specification-level
+    events. *)
+
+module Heap = Dssq_pmem.Heap
+module Sim = Dssq_sim.Sim
+module Explore = Dssq_sim.Explore
+module Spec = Dssq_spec.Spec
+module Dss_spec = Dssq_spec.Dss_spec
+module Specs = Dssq_spec.Specs
+module History = Dssq_history.History
+module Recorder = Dssq_history.Recorder
+module Lincheck = Dssq_lincheck.Lincheck
+module Queue_intf = Dssq_core.Queue_intf
+module Tagged = Dssq_core.Tagged
+
+(* The D<queue> specification-level alphabet. *)
+type qop = Specs.Queue.op Dss_spec.op
+type qresp = (Specs.Queue.op, Specs.Queue.response) Dss_spec.response
+
+let queue_spec ~nthreads :
+    ( (int list, Specs.Queue.op, Specs.Queue.response) Dss_spec.state,
+      qop,
+      qresp )
+    Spec.t =
+  Dss_spec.make ~nthreads (Specs.Queue.spec ())
+
+(* Map a dequeue's integer return to the spec response. *)
+let deq_response v : qresp =
+  if v = Queue_intf.empty_value then Dss_spec.Ret Specs.Queue.Empty
+  else Dss_spec.Ret (Specs.Queue.Value v)
+
+let resolved_response (r : Queue_intf.resolved) : qresp =
+  match r with
+  | Queue_intf.Nothing -> Dss_spec.Status (None, None)
+  | Queue_intf.Enq_pending v -> Dss_spec.Status (Some (Specs.Queue.Enqueue v), None)
+  | Queue_intf.Enq_done v ->
+      Dss_spec.Status (Some (Specs.Queue.Enqueue v), Some Specs.Queue.Ok)
+  | Queue_intf.Deq_pending -> Dss_spec.Status (Some Specs.Queue.Dequeue, None)
+  | Queue_intf.Deq_empty ->
+      Dss_spec.Status (Some Specs.Queue.Dequeue, Some Specs.Queue.Empty)
+  | Queue_intf.Deq_done v ->
+      Dss_spec.Status (Some Specs.Queue.Dequeue, Some (Specs.Queue.Value v))
+
+(** A detectable queue instance bundled as closures, together with its
+    heap, so scenario code does not need the functor-generated types. *)
+type dq = {
+  heap : Heap.t;
+  prep_enqueue : tid:int -> int -> unit;
+  exec_enqueue : tid:int -> unit;
+  prep_dequeue : tid:int -> unit;
+  exec_dequeue : tid:int -> int;
+  enqueue : tid:int -> int -> unit;
+  dequeue : tid:int -> int;
+  resolve : tid:int -> Queue_intf.resolved;
+  recover : unit -> unit;
+  recover_thread : tid:int -> unit;
+  to_list : unit -> int list;
+  free_count : unit -> int;
+  recovered_violations : unit -> string list;
+  reset_volatile : unit -> unit;
+}
+
+let make_dss_queue ?(reclaim = true) ~nthreads ~capacity () : dq =
+  let heap = Heap.create () in
+  let (module M) = Sim.memory heap in
+  let module Q = Dssq_core.Dss_queue.Make (M) in
+  let q = Q.create ~reclaim ~nthreads ~capacity () in
+  {
+    heap;
+    prep_enqueue = (fun ~tid v -> Q.prep_enqueue q ~tid v);
+    exec_enqueue = (fun ~tid -> Q.exec_enqueue q ~tid);
+    prep_dequeue = (fun ~tid -> Q.prep_dequeue q ~tid);
+    exec_dequeue = (fun ~tid -> Q.exec_dequeue q ~tid);
+    enqueue = (fun ~tid v -> Q.enqueue q ~tid v);
+    dequeue = (fun ~tid -> Q.dequeue q ~tid);
+    resolve = (fun ~tid -> Q.resolve q ~tid);
+    recover = (fun () -> Q.recover q);
+    recover_thread = (fun ~tid -> Q.recover_thread q ~tid);
+    to_list = (fun () -> Q.to_list q);
+    free_count = (fun () -> Q.free_count q);
+    recovered_violations = (fun () -> Q.recovered_violations q);
+    reset_volatile = (fun () -> Q.reset_volatile q);
+  }
+
+(* The same closure bundle for the detectable baselines, so crash and
+   lincheck scenarios run unchanged across implementations.  Structural
+   invariant checking and per-thread recovery are DSS-queue-specific and
+   stubbed here. *)
+
+let make_log_queue ~nthreads ~capacity () : dq =
+  let heap = Heap.create () in
+  let (module M) = Sim.memory heap in
+  let module Q = Dssq_baselines.Log_queue.Make (M) in
+  let q = Q.create ~nthreads ~capacity in
+  {
+    heap;
+    prep_enqueue = (fun ~tid v -> Q.prep_enqueue q ~tid v);
+    exec_enqueue = (fun ~tid -> Q.exec_enqueue q ~tid);
+    prep_dequeue = (fun ~tid -> Q.prep_dequeue q ~tid);
+    exec_dequeue = (fun ~tid -> Q.exec_dequeue q ~tid);
+    enqueue = (fun ~tid v -> Q.enqueue q ~tid v);
+    dequeue = (fun ~tid -> Q.dequeue q ~tid);
+    resolve = (fun ~tid -> Q.resolve q ~tid);
+    recover = (fun () -> Q.recover q);
+    recover_thread = (fun ~tid:_ -> Q.recover q);
+    to_list = (fun () -> Q.to_list q);
+    free_count = (fun () -> 0);
+    recovered_violations = (fun () -> []);
+    reset_volatile = (fun () -> ());
+  }
+
+let make_caswe_queue ~variant ~nthreads ~capacity () : dq =
+  let heap = Heap.create () in
+  let (module M) = Sim.memory heap in
+  match variant with
+  | `General ->
+      let module Q = Dssq_baselines.Caswe_queue.General (M) in
+      let q = Q.create ~nthreads ~capacity () in
+      {
+        heap;
+        prep_enqueue = (fun ~tid v -> Q.prep_enqueue q ~tid v);
+        exec_enqueue = (fun ~tid -> Q.exec_enqueue q ~tid);
+        prep_dequeue = (fun ~tid -> Q.prep_dequeue q ~tid);
+        exec_dequeue = (fun ~tid -> Q.exec_dequeue q ~tid);
+        enqueue = (fun ~tid v -> Q.enqueue q ~tid v);
+        dequeue = (fun ~tid -> Q.dequeue q ~tid);
+        resolve = (fun ~tid -> Q.resolve q ~tid);
+        recover = (fun () -> Q.recover q);
+        recover_thread = (fun ~tid:_ -> Q.recover q);
+        to_list = (fun () -> Q.to_list q);
+        free_count = (fun () -> 0);
+        recovered_violations = (fun () -> []);
+        reset_volatile = (fun () -> ());
+      }
+  | `Fast ->
+      let module Q = Dssq_baselines.Caswe_queue.Fast (M) in
+      let q = Q.create ~nthreads ~capacity () in
+      {
+        heap;
+        prep_enqueue = (fun ~tid v -> Q.prep_enqueue q ~tid v);
+        exec_enqueue = (fun ~tid -> Q.exec_enqueue q ~tid);
+        prep_dequeue = (fun ~tid -> Q.prep_dequeue q ~tid);
+        exec_dequeue = (fun ~tid -> Q.exec_dequeue q ~tid);
+        enqueue = (fun ~tid v -> Q.enqueue q ~tid v);
+        dequeue = (fun ~tid -> Q.dequeue q ~tid);
+        resolve = (fun ~tid -> Q.resolve q ~tid);
+        recover = (fun () -> Q.recover q);
+        recover_thread = (fun ~tid:_ -> Q.recover q);
+        to_list = (fun () -> Q.to_list q);
+        free_count = (fun () -> 0);
+        recovered_violations = (fun () -> []);
+        reset_volatile = (fun () -> ());
+      }
+
+(** Recorded, detectable operation wrappers: invocation goes into the
+    history before the operation runs; if a crash cuts the operation off
+    the invocation is left pending, which is what the checker expects. *)
+module Record = struct
+  let prep_enqueue rec_ dq ~tid v =
+    ignore
+      (Recorder.record rec_ ~tid
+         (Dss_spec.Prep (Specs.Queue.Enqueue v))
+         (fun () ->
+           dq.prep_enqueue ~tid v;
+           (Dss_spec.Ack : qresp)))
+
+  let exec_enqueue rec_ dq ~tid v =
+    ignore
+      (Recorder.record rec_ ~tid
+         (Dss_spec.Exec (Specs.Queue.Enqueue v))
+         (fun () ->
+           dq.exec_enqueue ~tid;
+           (Dss_spec.Ret Specs.Queue.Ok : qresp)))
+
+  let prep_dequeue rec_ dq ~tid =
+    ignore
+      (Recorder.record rec_ ~tid
+         (Dss_spec.Prep Specs.Queue.Dequeue)
+         (fun () ->
+           dq.prep_dequeue ~tid;
+           (Dss_spec.Ack : qresp)))
+
+  let exec_dequeue rec_ dq ~tid =
+    ignore
+      (Recorder.record rec_ ~tid
+         (Dss_spec.Exec Specs.Queue.Dequeue)
+         (fun () -> deq_response (dq.exec_dequeue ~tid)))
+
+  let enqueue rec_ dq ~tid v =
+    ignore
+      (Recorder.record rec_ ~tid
+         (Dss_spec.Base (Specs.Queue.Enqueue v))
+         (fun () ->
+           dq.enqueue ~tid v;
+           (Dss_spec.Ret Specs.Queue.Ok : qresp)))
+
+  let dequeue rec_ dq ~tid =
+    ignore
+      (Recorder.record rec_ ~tid
+         (Dss_spec.Base Specs.Queue.Dequeue)
+         (fun () -> deq_response (dq.dequeue ~tid)))
+
+  let resolve rec_ dq ~tid =
+    ignore
+      (Recorder.record rec_ ~tid Dss_spec.Resolve (fun () ->
+           resolved_response (dq.resolve ~tid)))
+end
+
+let check_strict ~nthreads history =
+  let spec = queue_spec ~nthreads in
+  match Lincheck.check ~mode:Lincheck.Strict spec history with
+  | Lincheck.Linearizable _ -> ()
+  | Lincheck.Not_linearizable ->
+      let buf = Buffer.create 256 in
+      let fmt = Format.formatter_of_buffer buf in
+      History.pp
+        ~pp_op:(spec.Spec.pp_op)
+        ~pp_response:(spec.Spec.pp_response)
+        fmt history;
+      Format.pp_print_flush fmt ();
+      Alcotest.failf "history not strictly linearizable:@.%s" (Buffer.contents buf)
+
+(* Convenient Alcotest testables *)
+let resolved : Queue_intf.resolved Alcotest.testable =
+  Alcotest.testable Queue_intf.pp_resolved Queue_intf.equal_resolved
+
+let int_list = Alcotest.(list int)

@@ -1,0 +1,240 @@
+(** Tests for the General and Fast CASWithEffect queues: semantics,
+    detectability, the atomicity advantage (X always consistent with the
+    structure, even mid-crash), and crash sweeps. *)
+
+open Helpers
+
+type cq = {
+  heap : Heap.t;
+  enqueue : tid:int -> int -> unit;
+  dequeue : tid:int -> int;
+  prep_enqueue : tid:int -> int -> unit;
+  exec_enqueue : tid:int -> unit;
+  prep_dequeue : tid:int -> unit;
+  exec_dequeue : tid:int -> int;
+  resolve : tid:int -> Queue_intf.resolved;
+  recover : unit -> unit;
+  to_list : unit -> int list;
+}
+
+let make ~variant ~nthreads ~capacity : cq =
+  let heap = Heap.create () in
+  let (module M) = Sim.memory heap in
+  match variant with
+  | `General ->
+      let module Q = Dssq_baselines.Caswe_queue.General (M) in
+      let q = Q.create ~nthreads ~capacity () in
+      {
+        heap;
+        enqueue = (fun ~tid v -> Q.enqueue q ~tid v);
+        dequeue = (fun ~tid -> Q.dequeue q ~tid);
+        prep_enqueue = (fun ~tid v -> Q.prep_enqueue q ~tid v);
+        exec_enqueue = (fun ~tid -> Q.exec_enqueue q ~tid);
+        prep_dequeue = (fun ~tid -> Q.prep_dequeue q ~tid);
+        exec_dequeue = (fun ~tid -> Q.exec_dequeue q ~tid);
+        resolve = (fun ~tid -> Q.resolve q ~tid);
+        recover = (fun () -> Q.recover q);
+        to_list = (fun () -> Q.to_list q);
+      }
+  | `Fast ->
+      let module Q = Dssq_baselines.Caswe_queue.Fast (M) in
+      let q = Q.create ~nthreads ~capacity () in
+      {
+        heap;
+        enqueue = (fun ~tid v -> Q.enqueue q ~tid v);
+        dequeue = (fun ~tid -> Q.dequeue q ~tid);
+        prep_enqueue = (fun ~tid v -> Q.prep_enqueue q ~tid v);
+        exec_enqueue = (fun ~tid -> Q.exec_enqueue q ~tid);
+        prep_dequeue = (fun ~tid -> Q.prep_dequeue q ~tid);
+        exec_dequeue = (fun ~tid -> Q.exec_dequeue q ~tid);
+        resolve = (fun ~tid -> Q.resolve q ~tid);
+        recover = (fun () -> Q.recover q);
+        to_list = (fun () -> Q.to_list q);
+      }
+
+let variants = [ ("general", `General); ("fast", `Fast) ]
+
+let for_variants f () = List.iter (fun (name, v) -> f name v) variants
+
+let test_fifo =
+  for_variants (fun name v ->
+      let q = make ~variant:v ~nthreads:2 ~capacity:64 in
+      List.iter (fun x -> q.enqueue ~tid:0 x) [ 1; 2; 3 ];
+      Alcotest.(check int) (name ^ ": 1") 1 (q.dequeue ~tid:1);
+      Alcotest.(check int) (name ^ ": 2") 2 (q.dequeue ~tid:0);
+      Alcotest.(check int) (name ^ ": 3") 3 (q.dequeue ~tid:0);
+      Alcotest.(check int)
+        (name ^ ": empty")
+        Queue_intf.empty_value (q.dequeue ~tid:0))
+
+let test_detectable_lifecycle =
+  for_variants (fun name v ->
+      let q = make ~variant:v ~nthreads:2 ~capacity:64 in
+      Alcotest.check resolved (name ^ ": nothing") Queue_intf.Nothing
+        (q.resolve ~tid:0);
+      q.prep_enqueue ~tid:0 11;
+      Alcotest.check resolved (name ^ ": enq pending")
+        (Queue_intf.Enq_pending 11) (q.resolve ~tid:0);
+      q.exec_enqueue ~tid:0;
+      Alcotest.check resolved (name ^ ": enq done") (Queue_intf.Enq_done 11)
+        (q.resolve ~tid:0);
+      q.prep_dequeue ~tid:1;
+      Alcotest.check resolved (name ^ ": deq pending") Queue_intf.Deq_pending
+        (q.resolve ~tid:1);
+      Alcotest.(check int) (name ^ ": deq value") 11 (q.exec_dequeue ~tid:1);
+      Alcotest.check resolved (name ^ ": deq done") (Queue_intf.Deq_done 11)
+        (q.resolve ~tid:1);
+      q.prep_dequeue ~tid:0;
+      Alcotest.(check int)
+        (name ^ ": empty deq")
+        Queue_intf.empty_value (q.exec_dequeue ~tid:0);
+      Alcotest.check resolved (name ^ ": deq empty") Queue_intf.Deq_empty
+        (q.resolve ~tid:0))
+
+let test_concurrent_conservation =
+  for_variants (fun name v ->
+      for seed = 1 to 8 do
+        let nthreads = 2 in
+        let q = make ~variant:v ~nthreads ~capacity:128 in
+        let dequeued = Array.make nthreads [] in
+        let program ~tid () =
+          for i = 0 to 4 do
+            q.prep_enqueue ~tid ((tid * 100) + i);
+            q.exec_enqueue ~tid;
+            q.prep_dequeue ~tid;
+            let x = q.exec_dequeue ~tid in
+            if x <> Queue_intf.empty_value then
+              dequeued.(tid) <- x :: dequeued.(tid)
+          done
+        in
+        let outcome =
+          Sim.run q.heap ~policy:(Sim.Random_seed seed)
+            ~threads:(List.init nthreads (fun tid -> program ~tid))
+        in
+        Sim.check_thread_errors outcome;
+        let out = Array.to_list dequeued |> List.concat in
+        let all = List.sort compare (out @ q.to_list ()) in
+        let expected =
+          List.sort compare
+            (List.concat_map
+               (fun tid -> List.init 5 (fun i -> (tid * 100) + i))
+               [ 0; 1 ])
+        in
+        Alcotest.check int_list
+          (Printf.sprintf "%s: conserved (seed %d)" name seed)
+          expected all
+      done)
+
+(* The headline property of CASWithEffect: because the structure and X
+   change in one PMwCAS, a crash can never leave an enqueue visible in
+   the list but unrecorded in X, or vice versa. *)
+let test_crash_atomic_detectability =
+  for_variants (fun name v ->
+      let finished = ref false in
+      let step = ref 0 in
+      while not !finished do
+        let q = make ~variant:v ~nthreads:1 ~capacity:32 in
+        let t () =
+          q.prep_enqueue ~tid:0 5;
+          q.exec_enqueue ~tid:0
+        in
+        let outcome =
+          Sim.run q.heap ~crash:(Sim.Crash_at_step !step) ~threads:[ t ]
+        in
+        if not outcome.Sim.crashed then finished := true
+        else begin
+          Sim.apply_crash q.heap ~evict_p:0.5 ~seed:(!step * 7);
+          q.recover ();
+          let in_list = List.mem 5 (q.to_list ()) in
+          (match q.resolve ~tid:0 with
+          | Queue_intf.Enq_done 5 ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: done <=> queued (step %d)" name !step)
+                true in_list
+          | Queue_intf.Enq_pending 5 ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: pending <=> absent (step %d)" name !step)
+                false in_list;
+              q.exec_enqueue ~tid:0;
+              Alcotest.(check bool) (name ^ ": retry lands") true
+                (List.mem 5 (q.to_list ()))
+          | Queue_intf.Nothing ->
+              Alcotest.(check bool) (name ^ ": nothing => absent") false in_list
+          | r ->
+              Alcotest.failf "%s: unexpected resolution: %s" name
+                (Format.asprintf "%a" Queue_intf.pp_resolved r));
+          ()
+        end;
+        incr step
+      done)
+
+let test_crash_atomic_dequeue =
+  for_variants (fun name v ->
+      let finished = ref false in
+      let step = ref 0 in
+      while not !finished do
+        let q = make ~variant:v ~nthreads:1 ~capacity:32 in
+        q.enqueue ~tid:0 1;
+        q.enqueue ~tid:0 2;
+        let t () =
+          q.prep_dequeue ~tid:0;
+          ignore (q.exec_dequeue ~tid:0)
+        in
+        let outcome =
+          Sim.run q.heap ~crash:(Sim.Crash_at_step !step) ~threads:[ t ]
+        in
+        if not outcome.Sim.crashed then finished := true
+        else begin
+          Sim.apply_crash q.heap ~evict_p:0.5 ~seed:(!step * 13);
+          q.recover ();
+          (match q.resolve ~tid:0 with
+          | Queue_intf.Deq_done 1 ->
+              Alcotest.check int_list
+                (Printf.sprintf "%s: consumed (step %d)" name !step)
+                [ 2 ] (q.to_list ())
+          | Queue_intf.Deq_pending | Queue_intf.Nothing ->
+              Alcotest.check int_list
+                (Printf.sprintf "%s: untouched (step %d)" name !step)
+                [ 1; 2 ] (q.to_list ())
+          | r ->
+              Alcotest.failf "%s: unexpected resolution: %s" name
+                (Format.asprintf "%a" Queue_intf.pp_resolved r));
+          ()
+        end;
+        incr step
+      done)
+
+let test_fast_uses_fewer_events () =
+  (* The Fast variant's private-X optimization must show up as strictly
+     fewer CAS+flush events per detectable pair. *)
+  let count variant =
+    let q = make ~variant ~nthreads:1 ~capacity:64 in
+    Heap.reset_stats q.heap;
+    for i = 1 to 20 do
+      q.prep_enqueue ~tid:0 i;
+      q.exec_enqueue ~tid:0;
+      q.prep_dequeue ~tid:0;
+      ignore (q.exec_dequeue ~tid:0)
+    done;
+    let s = Heap.stats q.heap in
+    s.Heap.cases + s.Heap.flushes
+  in
+  let fast = count `Fast and general = count `General in
+  Alcotest.(check bool)
+    (Printf.sprintf "fast (%d) < general (%d)" fast general)
+    true (fast < general)
+
+let suite =
+  [
+    Alcotest.test_case "fifo (both variants)" `Quick test_fifo;
+    Alcotest.test_case "detectable lifecycle (both variants)" `Quick
+      test_detectable_lifecycle;
+    Alcotest.test_case "concurrent conservation (both variants)" `Quick
+      test_concurrent_conservation;
+    Alcotest.test_case "crash: enqueue atomic with X (both)" `Quick
+      test_crash_atomic_detectability;
+    Alcotest.test_case "crash: dequeue atomic with X (both)" `Quick
+      test_crash_atomic_dequeue;
+    Alcotest.test_case "fast variant does fewer CAS+flush" `Quick
+      test_fast_uses_fewer_events;
+  ]

@@ -1,0 +1,283 @@
+(** Tests for the packed single-word detectable register
+    ([Dss_register]): sequential semantics, the helping protocol that
+    preserves detection evidence across overwrites, crash sweeps, and
+    strict linearizability against [D<register>]. *)
+
+open Helpers
+module Reg = Specs.Register
+
+type dr = {
+  heap : Heap.t;
+  read : tid:int -> int;
+  write : tid:int -> int -> unit;
+  prep_write : tid:int -> int -> unit;
+  exec_write : tid:int -> unit;
+  prep_read : tid:int -> unit;
+  exec_read : tid:int -> int;
+  resolve : tid:int -> string;
+  resolve_raw : tid:int -> resolved_reg;
+}
+
+and resolved_reg =
+  | RNothing
+  | RWrite_pending of int
+  | RWrite_done of int
+  | RRead_pending
+  | RRead_done of int
+
+let make ?(init = 0) ~nthreads () : dr =
+  let heap = Heap.create () in
+  let (module M) = Sim.memory heap in
+  let module R = Dssq_core.Dss_register.Make (M) in
+  let r = R.create ~init ~nthreads () in
+  let raw ~tid =
+    match R.resolve r ~tid with
+    | R.Nothing -> RNothing
+    | R.Write_pending v -> RWrite_pending v
+    | R.Write_done v -> RWrite_done v
+    | R.Read_pending -> RRead_pending
+    | R.Read_done v -> RRead_done v
+  in
+  {
+    heap;
+    read = (fun ~tid -> R.read r ~tid);
+    write = (fun ~tid v -> R.write r ~tid v);
+    prep_write = (fun ~tid v -> R.prep_write r ~tid v);
+    exec_write = (fun ~tid -> R.exec_write r ~tid);
+    prep_read = (fun ~tid -> R.prep_read r ~tid);
+    exec_read = (fun ~tid -> R.exec_read r ~tid);
+    resolve = (fun ~tid -> Format.asprintf "%a" R.pp_resolved (R.resolve r ~tid));
+    resolve_raw = raw;
+  }
+
+let resolved_reg : resolved_reg Alcotest.testable =
+  Alcotest.testable
+    (fun fmt -> function
+      | RNothing -> Format.pp_print_string fmt "nothing"
+      | RWrite_pending v -> Format.fprintf fmt "write %d pending" v
+      | RWrite_done v -> Format.fprintf fmt "write %d done" v
+      | RRead_pending -> Format.pp_print_string fmt "read pending"
+      | RRead_done v -> Format.fprintf fmt "read done %d" v)
+    ( = )
+
+let test_plain_read_write () =
+  let r = make ~nthreads:2 () in
+  Alcotest.(check int) "initial" 0 (r.read ~tid:0);
+  r.write ~tid:0 7;
+  Alcotest.(check int) "after write" 7 (r.read ~tid:1);
+  r.write ~tid:1 9;
+  Alcotest.(check int) "overwrite" 9 (r.read ~tid:0)
+
+let test_detectable_write_lifecycle () =
+  let r = make ~nthreads:2 () in
+  Alcotest.check resolved_reg "initially nothing" RNothing (r.resolve_raw ~tid:0);
+  r.prep_write ~tid:0 5;
+  Alcotest.check resolved_reg "prepared" (RWrite_pending 5) (r.resolve_raw ~tid:0);
+  r.exec_write ~tid:0;
+  Alcotest.check resolved_reg "done" (RWrite_done 5) (r.resolve_raw ~tid:0);
+  Alcotest.(check int) "value visible" 5 (r.read ~tid:1)
+
+let test_detectable_read_lifecycle () =
+  let r = make ~init:3 ~nthreads:1 () in
+  r.prep_read ~tid:0;
+  Alcotest.check resolved_reg "prepared" RRead_pending (r.resolve_raw ~tid:0);
+  Alcotest.(check int) "read value" 3 (r.exec_read ~tid:0);
+  Alcotest.check resolved_reg "done" (RRead_done 3) (r.resolve_raw ~tid:0)
+
+let test_overwrite_preserves_detection () =
+  (* The helping protocol: even after other threads overwrite the
+     register (destroying the provenance), the first writer's completion
+     must already be persisted in its own X. *)
+  let r = make ~nthreads:3 () in
+  r.prep_write ~tid:0 5;
+  r.exec_write ~tid:0;
+  r.write ~tid:1 8;
+  r.prep_write ~tid:2 9;
+  r.exec_write ~tid:2;
+  Alcotest.check resolved_reg "t0 still resolves done" (RWrite_done 5)
+    (r.resolve_raw ~tid:0);
+  Alcotest.check resolved_reg "t2 resolves done" (RWrite_done 9)
+    (r.resolve_raw ~tid:2)
+
+let test_repeated_same_value_disambiguated () =
+  (* Writing the same value twice: the sequence number keeps resolve
+     anchored to the LAST prepared instance. *)
+  let r = make ~nthreads:1 () in
+  r.prep_write ~tid:0 5;
+  r.exec_write ~tid:0;
+  r.prep_write ~tid:0 5;
+  Alcotest.check resolved_reg "second instance pending" (RWrite_pending 5)
+    (r.resolve_raw ~tid:0);
+  r.exec_write ~tid:0;
+  Alcotest.check resolved_reg "second instance done" (RWrite_done 5)
+    (r.resolve_raw ~tid:0)
+
+(* ------------------------- crash sweeps --------------------------- *)
+
+let test_crash_sweep_write () =
+  List.iter
+    (fun evict_p ->
+      let finished = ref false in
+      let step = ref 0 in
+      while not !finished do
+        let r = make ~nthreads:2 () in
+        let t () =
+          r.prep_write ~tid:0 5;
+          r.exec_write ~tid:0
+        in
+        let outcome =
+          Sim.run r.heap ~crash:(Sim.Crash_at_step !step) ~threads:[ t ]
+        in
+        if not outcome.Sim.crashed then begin
+          Alcotest.check resolved_reg "complete run resolves done"
+            (RWrite_done 5) (r.resolve_raw ~tid:0);
+          finished := true
+        end
+        else begin
+          Sim.apply_crash r.heap ~evict_p ~seed:!step;
+          (* No recovery procedure exists or is needed. *)
+          (match r.resolve_raw ~tid:0 with
+          | RWrite_done 5 ->
+              Alcotest.(check int)
+                (Printf.sprintf "done => value present (step %d)" !step)
+                5 (r.read ~tid:1)
+          | RWrite_pending 5 ->
+              Alcotest.(check int)
+                (Printf.sprintf "pending => value absent (step %d)" !step)
+                0 (r.read ~tid:1);
+              (* exactly-once retry *)
+              r.exec_write ~tid:0;
+              Alcotest.(check int) "retry lands" 5 (r.read ~tid:1)
+          | RNothing -> Alcotest.(check int) "prep lost" 0 (r.read ~tid:1)
+          | _ ->
+              Alcotest.failf "unexpected resolution at step %d: %s" !step
+                (r.resolve ~tid:0));
+          (* Resolution must be stable across further resolves. *)
+          Alcotest.check resolved_reg "resolve idempotent"
+            (r.resolve_raw ~tid:0) (r.resolve_raw ~tid:0)
+        end;
+        incr step
+      done)
+    [ 0.0; 1.0; 0.5 ]
+
+let test_crash_then_overwrite_detection_survives () =
+  (* Crash mid-write; whatever resolve says first must not change after
+     other threads overwrite the register. *)
+  for step = 0 to 20 do
+    let r = make ~nthreads:2 () in
+    let t () =
+      r.prep_write ~tid:0 5;
+      r.exec_write ~tid:0
+    in
+    let outcome = Sim.run r.heap ~crash:(Sim.Crash_at_step step) ~threads:[ t ] in
+    if outcome.Sim.crashed then begin
+      Sim.apply_crash r.heap ~evict_p:0.5 ~seed:step;
+      let first = r.resolve_raw ~tid:0 in
+      r.write ~tid:1 77;
+      r.prep_write ~tid:1 78;
+      r.exec_write ~tid:1;
+      Alcotest.check resolved_reg
+        (Printf.sprintf "detection stable under overwrite (step %d)" step)
+        first (r.resolve_raw ~tid:0)
+    end
+  done
+
+(* --------------------- concurrent linearizability ------------------ *)
+
+let dreg ~nthreads = Dss_spec.make ~nthreads (Reg.spec ())
+
+let test_concurrent_lincheck () =
+  let spec = dreg ~nthreads:3 in
+  for seed = 1 to 30 do
+    let r = make ~nthreads:3 () in
+    let rec_ = Recorder.create () in
+    let record ~tid op f = ignore (Recorder.record rec_ ~tid op f) in
+    let writer v ~tid () =
+      record ~tid (Dss_spec.Prep (Reg.Write v)) (fun () ->
+          r.prep_write ~tid v;
+          Dss_spec.Ack);
+      record ~tid (Dss_spec.Exec (Reg.Write v)) (fun () ->
+          r.exec_write ~tid;
+          Dss_spec.Ret Reg.Ok)
+    in
+    let reader ~tid () =
+      record ~tid (Dss_spec.Base Reg.Read) (fun () ->
+          Dss_spec.Ret (Reg.Value (r.read ~tid)));
+      record ~tid (Dss_spec.Base Reg.Read) (fun () ->
+          Dss_spec.Ret (Reg.Value (r.read ~tid)))
+    in
+    let outcome =
+      Sim.run r.heap ~policy:(Sim.Random_seed seed)
+        ~threads:[ writer 10 ~tid:0; writer 20 ~tid:1; reader ~tid:2 ]
+    in
+    Sim.check_thread_errors outcome;
+    match Lincheck.check ~mode:Lincheck.Strict spec (Recorder.history rec_) with
+    | Lincheck.Linearizable _ -> ()
+    | Lincheck.Not_linearizable ->
+        Alcotest.failf "seed %d: not linearizable" seed
+  done
+
+let test_concurrent_crash_lincheck () =
+  let spec = dreg ~nthreads:2 in
+  for seed = 1 to 20 do
+    for crash_step = 1 to 25 do
+      let r = make ~nthreads:2 () in
+      let rec_ = Recorder.create () in
+      let record ~tid op f = ignore (Recorder.record rec_ ~tid op f) in
+      let writer v ~tid () =
+        record ~tid (Dss_spec.Prep (Reg.Write v)) (fun () ->
+            r.prep_write ~tid v;
+            Dss_spec.Ack);
+        record ~tid (Dss_spec.Exec (Reg.Write v)) (fun () ->
+            r.exec_write ~tid;
+            Dss_spec.Ret Reg.Ok)
+      in
+      let outcome =
+        Sim.run r.heap ~policy:(Sim.Random_seed seed)
+          ~crash:(Sim.Crash_at_step crash_step)
+          ~threads:[ writer 10 ~tid:0; writer 20 ~tid:1 ]
+      in
+      if outcome.Sim.crashed then begin
+        Recorder.crash rec_;
+        Sim.apply_crash r.heap ~evict_p:(float_of_int (seed mod 3) /. 2.) ~seed;
+        let resolved_resp ~tid =
+          match r.resolve_raw ~tid with
+          | RNothing -> Dss_spec.Status (None, None)
+          | RWrite_pending v -> Dss_spec.Status (Some (Reg.Write v), None)
+          | RWrite_done v -> Dss_spec.Status (Some (Reg.Write v), Some Reg.Ok)
+          | RRead_pending -> Dss_spec.Status (Some Reg.Read, None)
+          | RRead_done v ->
+              Dss_spec.Status (Some Reg.Read, Some (Reg.Value v))
+        in
+        record ~tid:0 Dss_spec.Resolve (fun () -> resolved_resp ~tid:0);
+        record ~tid:1 Dss_spec.Resolve (fun () -> resolved_resp ~tid:1)
+      end;
+      (* Final read validates the state. *)
+      record ~tid:0 (Dss_spec.Base Reg.Read) (fun () ->
+          Dss_spec.Ret (Reg.Value (r.read ~tid:0)));
+      match Lincheck.check ~mode:Lincheck.Strict spec (Recorder.history rec_) with
+      | Lincheck.Linearizable _ -> ()
+      | Lincheck.Not_linearizable ->
+          Alcotest.failf "seed %d, crash %d: not linearizable" seed crash_step
+    done
+  done
+
+let suite =
+  [
+    Alcotest.test_case "plain read/write" `Quick test_plain_read_write;
+    Alcotest.test_case "detectable write lifecycle" `Quick
+      test_detectable_write_lifecycle;
+    Alcotest.test_case "detectable read lifecycle" `Quick
+      test_detectable_read_lifecycle;
+    Alcotest.test_case "overwrite preserves detection (helping)" `Quick
+      test_overwrite_preserves_detection;
+    Alcotest.test_case "repeated value disambiguated by seq" `Quick
+      test_repeated_same_value_disambiguated;
+    Alcotest.test_case "crash sweep: write" `Quick test_crash_sweep_write;
+    Alcotest.test_case "crash then overwrite: detection survives" `Quick
+      test_crash_then_overwrite_detection_survives;
+    Alcotest.test_case "concurrent writers strictly linearizable" `Quick
+      test_concurrent_lincheck;
+    Alcotest.test_case "concurrent crashes strictly linearizable" `Quick
+      test_concurrent_crash_lincheck;
+  ]

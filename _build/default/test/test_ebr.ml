@@ -1,0 +1,109 @@
+(** Unit tests for epoch-based reclamation. *)
+
+module Ebr = Dssq_ebr.Ebr
+
+let make ?(nthreads = 2) () =
+  let freed = ref [] in
+  let ebr =
+    Ebr.create ~advance_period:1 ~nthreads
+      ~free:(fun ~tid:_ x -> freed := x :: !freed)
+      ()
+  in
+  (ebr, freed)
+
+let test_no_premature_free () =
+  let ebr, freed = make () in
+  Ebr.enter ebr ~tid:0;
+  Ebr.enter ebr ~tid:1;
+  Ebr.retire ebr ~tid:0 42;
+  (* Thread 1 is still in its region announcing the current epoch: the
+     item must not be freed however often thread 0 re-enters. *)
+  Ebr.exit ebr ~tid:0;
+  for _ = 1 to 10 do
+    Ebr.enter ebr ~tid:0;
+    Ebr.exit ebr ~tid:0
+  done;
+  Alcotest.(check bool) "not freed while t1 in region" true
+    (not (List.mem 42 !freed))
+
+let test_freed_after_grace () =
+  let ebr, freed = make () in
+  Ebr.enter ebr ~tid:0;
+  Ebr.retire ebr ~tid:0 42;
+  Ebr.exit ebr ~tid:0;
+  (* With every thread quiescent, a few enters advance the epoch twice
+     and collect. *)
+  for _ = 1 to 10 do
+    Ebr.enter ebr ~tid:0;
+    Ebr.exit ebr ~tid:0;
+    Ebr.enter ebr ~tid:1;
+    Ebr.exit ebr ~tid:1
+  done;
+  Alcotest.(check bool) "freed after grace period" true (List.mem 42 !freed)
+
+let test_epoch_advances_only_when_all_caught_up () =
+  let ebr, _ = make () in
+  Ebr.enter ebr ~tid:0;
+  let e0 = Ebr.global_epoch ebr in
+  (* t0 is pinned at e0; t1 churning cannot advance the epoch by more
+     than one past t0's announcement. *)
+  for _ = 1 to 20 do
+    Ebr.enter ebr ~tid:1;
+    Ebr.exit ebr ~tid:1
+  done;
+  Alcotest.(check bool) "epoch advance bounded by pinned thread" true
+    (Ebr.global_epoch ebr - e0 <= 1)
+
+let test_quiesce_frees_everything () =
+  let ebr, freed = make () in
+  Ebr.enter ebr ~tid:0;
+  Ebr.retire ebr ~tid:0 1;
+  Ebr.retire ebr ~tid:0 2;
+  Ebr.exit ebr ~tid:0;
+  Ebr.quiesce ebr;
+  Alcotest.(check (list int)) "all freed" [ 1; 2 ] (List.sort compare !freed);
+  Alcotest.(check int) "nothing pending" 0 (Ebr.pending ebr)
+
+let test_pending_counts () =
+  let ebr, _ = make () in
+  Ebr.enter ebr ~tid:0;
+  Ebr.retire ebr ~tid:0 1;
+  Ebr.retire ebr ~tid:0 2;
+  Alcotest.(check int) "pending" 2 (Ebr.pending ebr)
+
+let test_stress_many_retirements () =
+  (* Retire many items across interleaved regions; at the end everything
+     must be freed exactly once. *)
+  let freed = ref [] in
+  let ebr =
+    Ebr.create ~advance_period:3 ~nthreads:3
+      ~free:(fun ~tid:_ x -> freed := x :: !freed)
+      ()
+  in
+  let next = ref 0 in
+  for round = 1 to 200 do
+    let tid = round mod 3 in
+    Ebr.enter ebr ~tid;
+    incr next;
+    Ebr.retire ebr ~tid !next;
+    Ebr.exit ebr ~tid
+  done;
+  Ebr.quiesce ebr;
+  let sorted = List.sort compare !freed in
+  Alcotest.(check int) "all freed" 200 (List.length sorted);
+  Alcotest.(check bool) "no duplicates" true
+    (List.sort_uniq compare sorted = sorted)
+
+let suite =
+  [
+    Alcotest.test_case "no free while a reader is in-region" `Quick
+      test_no_premature_free;
+    Alcotest.test_case "freed after grace period" `Quick test_freed_after_grace;
+    Alcotest.test_case "epoch advance requires all announcements" `Quick
+      test_epoch_advances_only_when_all_caught_up;
+    Alcotest.test_case "quiesce frees everything" `Quick
+      test_quiesce_frees_everything;
+    Alcotest.test_case "pending counts retirements" `Quick test_pending_counts;
+    Alcotest.test_case "stress: everything freed exactly once" `Quick
+      test_stress_many_retirements;
+  ]

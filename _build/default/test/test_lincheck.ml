@@ -1,0 +1,297 @@
+(** Tests for the crash-aware linearizability checker: hand-constructed
+    positive and negative histories under strict and recoverable
+    linearizability, including the Figure 2 register executions. *)
+
+open Helpers
+module Reg = Specs.Register
+
+let reg_spec = Reg.spec ()
+let dreg = Dss_spec.make ~nthreads:2 (Reg.spec ())
+
+(* History construction helpers. *)
+let ev_inv uid tid op = History.Inv { uid; tid; op }
+let ev_res uid r = History.Res { uid; r }
+
+let check_ok ?mode spec h =
+  Alcotest.(check bool) "linearizable" true (Lincheck.is_linearizable ?mode spec h)
+
+let check_bad ?mode spec h =
+  Alcotest.(check bool) "not linearizable" false
+    (Lincheck.is_linearizable ?mode spec h)
+
+let test_empty_history () = check_ok reg_spec []
+
+let test_sequential_ok () =
+  check_ok reg_spec
+    [
+      ev_inv 0 0 (Reg.Write 1);
+      ev_res 0 Reg.Ok;
+      ev_inv 1 0 Reg.Read;
+      ev_res 1 (Reg.Value 1);
+    ]
+
+let test_sequential_bad_value () =
+  check_bad reg_spec
+    [
+      ev_inv 0 0 (Reg.Write 1);
+      ev_res 0 Reg.Ok;
+      ev_inv 1 0 Reg.Read;
+      ev_res 1 (Reg.Value 2);
+    ]
+
+let test_concurrent_reordering_allowed () =
+  (* Read overlaps the write: it may see either value. *)
+  let h v =
+    [
+      ev_inv 0 0 (Reg.Write 1);
+      ev_inv 1 1 Reg.Read;
+      ev_res 1 (Reg.Value v);
+      ev_res 0 Reg.Ok;
+    ]
+  in
+  check_ok reg_spec (h 0);
+  check_ok reg_spec (h 1)
+
+let test_realtime_order_enforced () =
+  (* Write completes strictly before the read begins: stale read is
+     not linearizable. *)
+  check_bad reg_spec
+    [
+      ev_inv 0 0 (Reg.Write 1);
+      ev_res 0 Reg.Ok;
+      ev_inv 1 1 Reg.Read;
+      ev_res 1 (Reg.Value 0);
+    ]
+
+let test_queue_fifo_violation () =
+  let q = Specs.Queue.spec () in
+  check_ok q
+    [
+      ev_inv 0 0 (Specs.Queue.Enqueue 1);
+      ev_res 0 Specs.Queue.Ok;
+      ev_inv 1 0 (Specs.Queue.Enqueue 2);
+      ev_res 1 Specs.Queue.Ok;
+      ev_inv 2 1 Specs.Queue.Dequeue;
+      ev_res 2 (Specs.Queue.Value 1);
+    ];
+  check_bad q
+    [
+      ev_inv 0 0 (Specs.Queue.Enqueue 1);
+      ev_res 0 Specs.Queue.Ok;
+      ev_inv 1 0 (Specs.Queue.Enqueue 2);
+      ev_res 1 Specs.Queue.Ok;
+      ev_inv 2 1 Specs.Queue.Dequeue;
+      ev_res 2 (Specs.Queue.Value 2);
+    ]
+
+(* ------------------- crashes: strict linearizability ------------------- *)
+
+let test_crashed_op_may_drop () =
+  (* Write crashes; a later read seeing the old value is fine (op
+     dropped), and seeing the new value is fine too (op took effect
+     before the crash). *)
+  let h v =
+    [
+      ev_inv 0 0 (Reg.Write 1);
+      History.Crash;
+      ev_inv 1 1 Reg.Read;
+      ev_res 1 (Reg.Value v);
+    ]
+  in
+  check_ok reg_spec (h 0);
+  check_ok reg_spec (h 1)
+
+let test_strict_forbids_late_effect () =
+  (* Under strict linearizability a crashed op cannot take effect after
+     an operation that began after the crash observed its absence. *)
+  check_bad reg_spec
+    [
+      ev_inv 0 0 (Reg.Write 1);
+      History.Crash;
+      ev_inv 1 1 Reg.Read;
+      ev_res 1 (Reg.Value 0);
+      ev_inv 2 1 Reg.Read;
+      ev_res 2 (Reg.Value 1);
+    ]
+
+let test_recoverable_allows_late_effect () =
+  (* The same history is fine under recoverable linearizability as long
+     as the crashed process has not invoked again: the write may
+     linearize between the two reads of the other process. *)
+  check_ok ~mode:Lincheck.Recoverable reg_spec
+    [
+      ev_inv 0 0 (Reg.Write 1);
+      History.Crash;
+      ev_inv 1 1 Reg.Read;
+      ev_res 1 (Reg.Value 0);
+      ev_inv 2 1 Reg.Read;
+      ev_res 2 (Reg.Value 1);
+    ]
+
+let test_recoverable_bounded_by_next_invocation () =
+  (* Once the crashed process itself invokes again, its crashed op can no
+     longer linearize afterwards. *)
+  check_bad ~mode:Lincheck.Recoverable reg_spec
+    [
+      ev_inv 0 0 (Reg.Write 1);
+      History.Crash;
+      ev_inv 1 0 Reg.Read;
+      ev_res 1 (Reg.Value 0);
+      ev_inv 2 0 Reg.Read;
+      ev_res 2 (Reg.Value 1);
+    ]
+
+let test_durable_unbounded_late_effect () =
+  (* Under durable linearizability even the history where the crashed
+     process itself invoked again is fine: the crashed write may
+     linearize between that process's own later reads. *)
+  check_ok ~mode:Lincheck.Durable reg_spec
+    [
+      ev_inv 0 0 (Reg.Write 1);
+      History.Crash;
+      ev_inv 1 0 Reg.Read;
+      ev_res 1 (Reg.Value 0);
+      ev_inv 2 0 Reg.Read;
+      ev_res 2 (Reg.Value 1);
+    ];
+  (* But real-time order of completed operations still binds. *)
+  check_bad ~mode:Lincheck.Durable reg_spec
+    [
+      ev_inv 0 0 (Reg.Write 1);
+      ev_res 0 Reg.Ok;
+      ev_inv 1 1 Reg.Read;
+      ev_res 1 (Reg.Value 0);
+    ]
+
+(* ------------------- Figure 2, as checked histories ------------------- *)
+
+let dr_prep = Dss_spec.Prep (Reg.Write 1)
+let dr_exec = Dss_spec.Exec (Reg.Write 1)
+
+let fig2_history ~crash_after_exec ~resolve_result =
+  let pre =
+    if crash_after_exec then
+      [
+        ev_inv 0 0 dr_prep;
+        ev_res 0 Dss_spec.Ack;
+        ev_inv 1 0 dr_exec;
+        History.Crash;
+      ]
+    else [ ev_inv 0 0 dr_prep; ev_res 0 Dss_spec.Ack; History.Crash ]
+  in
+  pre @ [ ev_inv 9 0 Dss_spec.Resolve; ev_res 9 resolve_result ]
+
+let test_figure2_b () =
+  (* Crash during exec-write(1): resolve returns (write 1, bottom) or
+     (write 1, OK); anything else is rejected. *)
+  check_ok dreg
+    (fig2_history ~crash_after_exec:true
+       ~resolve_result:(Dss_spec.Status (Some (Reg.Write 1), None)));
+  check_ok dreg
+    (fig2_history ~crash_after_exec:true
+       ~resolve_result:(Dss_spec.Status (Some (Reg.Write 1), Some Reg.Ok)));
+  check_bad dreg
+    (fig2_history ~crash_after_exec:true
+       ~resolve_result:(Dss_spec.Status (None, None)))
+
+let test_figure2_c () =
+  (* Crash after prep completed, before exec: resolve must return
+     (write 1, bottom). *)
+  check_ok dreg
+    (fig2_history ~crash_after_exec:false
+       ~resolve_result:(Dss_spec.Status (Some (Reg.Write 1), None)));
+  check_bad dreg
+    (fig2_history ~crash_after_exec:false
+       ~resolve_result:(Dss_spec.Status (Some (Reg.Write 1), Some Reg.Ok)));
+  check_bad dreg
+    (fig2_history ~crash_after_exec:false
+       ~resolve_result:(Dss_spec.Status (None, None)))
+
+let test_figure2_d () =
+  (* Crash during prep: resolve returns (bottom,bottom) or (write 1, bottom). *)
+  let h r =
+    [ ev_inv 0 0 dr_prep; History.Crash; ev_inv 9 0 Dss_spec.Resolve; ev_res 9 r ]
+  in
+  check_ok dreg (h (Dss_spec.Status (None, None)));
+  check_ok dreg (h (Dss_spec.Status (Some (Reg.Write 1), None)));
+  check_bad dreg (h (Dss_spec.Status (Some (Reg.Write 1), Some Reg.Ok)))
+
+let test_resolve_not_reordered_with_exec () =
+  (* resolve follows a completed exec in real time on the same object:
+     it must observe it (the paper, Section 2.2: program order cannot
+     invert exec and resolve on one object). *)
+  check_bad dreg
+    [
+      ev_inv 0 0 dr_prep;
+      ev_res 0 Dss_spec.Ack;
+      ev_inv 1 0 dr_exec;
+      ev_res 1 (Dss_spec.Ret Reg.Ok);
+      ev_inv 2 0 Dss_spec.Resolve;
+      ev_res 2 (Dss_spec.Status (Some (Reg.Write 1), None));
+    ]
+
+let test_ill_formed_histories_rejected () =
+  Alcotest.check_raises "response without invocation"
+    (Invalid_argument "History.calls: response without invocation (uid 5)")
+    (fun () -> ignore (History.calls [ ev_res 5 Reg.Ok ]));
+  Alcotest.check_raises "pending at end"
+    (Invalid_argument "History.calls: operation still pending at end of history")
+    (fun () -> ignore (History.calls [ ev_inv 0 0 Reg.Read ]))
+
+(* Randomized agreement: sequential histories generated from the spec are
+   always linearizable; corrupting one response makes the checker reject
+   (when the corruption is observable). *)
+let test_random_sequential_histories () =
+  let q = Specs.Queue.spec () in
+  let rng = Random.State.make [| 42 |] in
+  for _ = 1 to 50 do
+    let state = ref q.Spec.init in
+    let events = ref [] in
+    let uid = ref 0 in
+    for _ = 1 to 10 do
+      let op =
+        if Random.State.bool rng then Specs.Queue.Enqueue (Random.State.int rng 100)
+        else Specs.Queue.Dequeue
+      in
+      match q.Spec.apply !state ~tid:0 op with
+      | Some (s', r) ->
+          state := s';
+          events := ev_res !uid r :: ev_inv !uid 0 op :: !events;
+          incr uid
+      | None -> ()
+    done;
+    check_ok q (List.rev !events)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "empty history" `Quick test_empty_history;
+    Alcotest.test_case "sequential history accepted" `Quick test_sequential_ok;
+    Alcotest.test_case "wrong response rejected" `Quick
+      test_sequential_bad_value;
+    Alcotest.test_case "concurrent reordering allowed" `Quick
+      test_concurrent_reordering_allowed;
+    Alcotest.test_case "real-time order enforced" `Quick
+      test_realtime_order_enforced;
+    Alcotest.test_case "queue FIFO violations rejected" `Quick
+      test_queue_fifo_violation;
+    Alcotest.test_case "crashed op may drop or take effect" `Quick
+      test_crashed_op_may_drop;
+    Alcotest.test_case "strict: no effect after crash" `Quick
+      test_strict_forbids_late_effect;
+    Alcotest.test_case "recoverable: late effect allowed" `Quick
+      test_recoverable_allows_late_effect;
+    Alcotest.test_case "recoverable: bounded by next invocation" `Quick
+      test_recoverable_bounded_by_next_invocation;
+    Alcotest.test_case "durable: unbounded late effect" `Quick
+      test_durable_unbounded_late_effect;
+    Alcotest.test_case "figure 2(b): crash during exec" `Quick test_figure2_b;
+    Alcotest.test_case "figure 2(c): crash before exec" `Quick test_figure2_c;
+    Alcotest.test_case "figure 2(d): crash during prep" `Quick test_figure2_d;
+    Alcotest.test_case "resolve not reordered with exec" `Quick
+      test_resolve_not_reordered_with_exec;
+    Alcotest.test_case "ill-formed histories rejected" `Quick
+      test_ill_formed_histories_rejected;
+    Alcotest.test_case "random sequential histories accepted" `Quick
+      test_random_sequential_histories;
+  ]

@@ -1,0 +1,169 @@
+(** Litmus tests pinning down the simulated memory model: sequential
+    consistency, as on the paper's testbed (C++ seq_cst atomics,
+    Section 4).  Each test enumerates ALL interleavings with the
+    explorer, so "the forbidden outcome never occurs" is exhaustive, not
+    sampled. *)
+
+open Helpers
+
+(* SB (store buffering): with SC, (r0, r1) = (0, 0) is forbidden. *)
+let test_store_buffering () =
+  let seen_00 = ref false in
+  ignore
+    (Explore.run
+       (Explore.make
+          ~setup:(fun () ->
+            let heap = Heap.create () in
+            let (module M) = Sim.memory heap in
+            let x = M.alloc 0 and y = M.alloc 0 in
+            let r0 = ref (-1) and r1 = ref (-1) in
+            {
+              Explore.ctx = (r0, r1);
+              heap;
+              threads =
+                [
+                  (fun () ->
+                    M.write x 1;
+                    r0 := M.read y);
+                  (fun () ->
+                    M.write y 1;
+                    r1 := M.read x);
+                ];
+            })
+          ~check:(fun (r0, r1) _ ~crashed:_ ->
+            if !r0 = 0 && !r1 = 0 then seen_00 := true)
+          ()));
+  Alcotest.(check bool) "SB forbidden outcome (0,0) never occurs" false !seen_00
+
+(* MP (message passing): if the reader sees the flag, it sees the data. *)
+let test_message_passing () =
+  ignore
+    (Explore.run
+       (Explore.make
+          ~setup:(fun () ->
+            let heap = Heap.create () in
+            let (module M) = Sim.memory heap in
+            let data = M.alloc 0 and flag = M.alloc 0 in
+            let seen = ref (-1) in
+            {
+              Explore.ctx = seen;
+              heap;
+              threads =
+                [
+                  (fun () ->
+                    M.write data 42;
+                    M.write flag 1);
+                  (fun () ->
+                    if M.read flag = 1 then seen := M.read data);
+                ];
+            })
+          ~check:(fun seen _ ~crashed:_ ->
+            if !seen <> -1 then
+              Alcotest.(check int) "flag implies data" 42 !seen)
+          ()));
+  ()
+
+(* CoRR (coherence of read-read): two reads of one location by the same
+   thread never observe new-then-old. *)
+let test_coherence_rr () =
+  ignore
+    (Explore.run
+       (Explore.make
+          ~setup:(fun () ->
+            let heap = Heap.create () in
+            let (module M) = Sim.memory heap in
+            let x = M.alloc 0 in
+            let a = ref (-1) and b = ref (-1) in
+            {
+              Explore.ctx = (a, b);
+              heap;
+              threads =
+                [
+                  (fun () -> M.write x 1);
+                  (fun () ->
+                    a := M.read x;
+                    b := M.read x);
+                ];
+            })
+          ~check:(fun (a, b) _ ~crashed:_ ->
+            Alcotest.(check bool) "no new-then-old" false (!a = 1 && !b = 0))
+          ()));
+  ()
+
+(* IRIW (independent reads of independent writes): with SC the two
+   readers never disagree on the order of the two writes. *)
+let test_iriw () =
+  ignore
+    (Explore.run
+       (Explore.make ~max_preemptions:3
+          ~setup:(fun () ->
+            let heap = Heap.create () in
+            let (module M) = Sim.memory heap in
+            let x = M.alloc 0 and y = M.alloc 0 in
+            let r = Array.make 4 (-1) in
+            {
+              Explore.ctx = r;
+              heap;
+              threads =
+                [
+                  (fun () -> M.write x 1);
+                  (fun () -> M.write y 1);
+                  (fun () ->
+                    r.(0) <- M.read x;
+                    r.(1) <- M.read y);
+                  (fun () ->
+                    r.(2) <- M.read y;
+                    r.(3) <- M.read x);
+                ];
+            })
+          ~check:(fun r _ ~crashed:_ ->
+            Alcotest.(check bool) "readers agree on write order" false
+              (r.(0) = 1 && r.(1) = 0 && r.(2) = 1 && r.(3) = 0))
+          ()));
+  ()
+
+(* Persistence litmus: the "flush data before writing the commit marker"
+   idiom — after ANY crash (with or without eviction of the dirty
+   lines), a persisted commit marker implies persisted data.  After a
+   crash, volatile = persisted, so plain reads inspect the survivor
+   state. *)
+let test_persist_ordering () =
+  ignore
+    (Explore.run
+       (Explore.make ~crashes:true
+          ~setup:(fun () ->
+            let heap = Heap.create () in
+            let (module M) = Sim.memory heap in
+            let data = M.alloc 0 and committed = M.alloc 0 in
+            {
+              Explore.ctx = (fun () -> (M.read data, M.read committed));
+              heap;
+              threads =
+                [
+                  (fun () ->
+                    M.write data 42;
+                    M.flush data;
+                    (* commit marker only after the data persisted *)
+                    M.write committed 1;
+                    M.flush committed);
+                ];
+            })
+          ~check:(fun get _heap ~crashed ->
+            if crashed then begin
+              let d, c = get () in
+              if c = 1 then
+                Alcotest.(check int) "commit implies data" 42 d
+            end)
+          ()));
+  ()
+
+let suite =
+  [
+    Alcotest.test_case "SB: store buffering forbidden" `Quick
+      test_store_buffering;
+    Alcotest.test_case "MP: message passing" `Quick test_message_passing;
+    Alcotest.test_case "CoRR: read-read coherence" `Quick test_coherence_rr;
+    Alcotest.test_case "IRIW: readers agree" `Quick test_iriw;
+    Alcotest.test_case "persist ordering: commit implies data" `Quick
+      test_persist_ordering;
+  ]

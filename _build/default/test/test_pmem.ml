@@ -1,0 +1,136 @@
+(** Unit tests for the simulated persistent heap: volatile/persisted
+    split, flush semantics, crash with and without eviction, statistics. *)
+
+open Helpers
+module Cell = Dssq_pmem.Cell
+
+let test_alloc_initial_persisted () =
+  let h = Heap.create () in
+  let c = Heap.alloc h ~name:"c" 7 in
+  Alcotest.(check int) "volatile" 7 (Heap.read h c);
+  Alcotest.(check int) "persisted" 7 c.Cell.persisted;
+  Alcotest.(check bool) "clean" false (Cell.is_dirty c)
+
+let test_write_is_volatile () =
+  let h = Heap.create () in
+  let c = Heap.alloc h 0 in
+  Heap.write h c 42;
+  Alcotest.(check int) "volatile sees write" 42 (Heap.read h c);
+  Alcotest.(check int) "persisted unchanged" 0 c.Cell.persisted;
+  Alcotest.(check bool) "dirty" true (Cell.is_dirty c)
+
+let test_flush_persists () =
+  let h = Heap.create () in
+  let c = Heap.alloc h 0 in
+  Heap.write h c 42;
+  Heap.flush h c;
+  Alcotest.(check int) "persisted" 42 c.Cell.persisted;
+  Alcotest.(check bool) "clean after flush" false (Cell.is_dirty c)
+
+let test_crash_drops_unflushed () =
+  let h = Heap.create () in
+  let c1 = Heap.alloc h 1 in
+  let c2 = Heap.alloc h 2 in
+  Heap.write h c1 10;
+  Heap.write h c2 20;
+  Heap.flush h c1;
+  Heap.crash h ~evict:(fun () -> false);
+  Alcotest.(check int) "flushed survives" 10 (Heap.read h c1);
+  Alcotest.(check int) "unflushed reverts" 2 (Heap.read h c2)
+
+let test_crash_eviction_persists () =
+  let h = Heap.create () in
+  let c = Heap.alloc h 0 in
+  Heap.write h c 5;
+  Heap.crash h ~evict:(fun () -> true);
+  Alcotest.(check int) "evicted line persisted" 5 (Heap.read h c);
+  Alcotest.(check int) "persisted too" 5 c.Cell.persisted
+
+let test_crash_clears_dirty () =
+  let h = Heap.create () in
+  let c = Heap.alloc h 0 in
+  Heap.write h c 5;
+  Heap.crash h ~evict:(fun () -> false);
+  Alcotest.(check bool) "clean after crash" false (Cell.is_dirty c);
+  Alcotest.(check int) "no dirty cells" 0 (Heap.dirty_count h)
+
+let test_cas_success_and_failure () =
+  let h = Heap.create () in
+  let c = Heap.alloc h 3 in
+  Alcotest.(check bool) "cas hits" true (Heap.cas h c ~expected:3 ~desired:4);
+  Alcotest.(check int) "value updated" 4 (Heap.read h c);
+  Alcotest.(check bool) "cas misses" false (Heap.cas h c ~expected:3 ~desired:5);
+  Alcotest.(check int) "value intact" 4 (Heap.read h c)
+
+let test_cas_marks_dirty () =
+  let h = Heap.create () in
+  let c = Heap.alloc h 3 in
+  ignore (Heap.cas h c ~expected:3 ~desired:4);
+  Alcotest.(check bool) "dirty after cas" true (Cell.is_dirty c);
+  Heap.crash h ~evict:(fun () -> false);
+  Alcotest.(check int) "cas result dropped" 3 (Heap.read h c)
+
+let test_polymorphic_cells () =
+  let h = Heap.create () in
+  let c = Heap.alloc h None in
+  Heap.write h c (Some "x");
+  Heap.crash h ~evict:(fun () -> false);
+  Alcotest.(check bool) "boxed value reverts" true (Heap.read h c = None);
+  Heap.write h c (Some "y");
+  Heap.flush h c;
+  Heap.crash h ~evict:(fun () -> false);
+  Alcotest.(check bool) "boxed value persisted" true (Heap.read h c = Some "y")
+
+let test_stats_counting () =
+  let h = Heap.create () in
+  let c = Heap.alloc h 0 in
+  ignore (Heap.read h c);
+  Heap.write h c 1;
+  ignore (Heap.cas h c ~expected:1 ~desired:2);
+  Heap.flush h c;
+  Heap.fence h;
+  let s = Heap.stats h in
+  Alcotest.(check int) "reads" 1 s.Heap.reads;
+  Alcotest.(check int) "writes" 1 s.Heap.writes;
+  Alcotest.(check int) "cases" 1 s.Heap.cases;
+  Alcotest.(check int) "flushes" 1 s.Heap.flushes;
+  Alcotest.(check int) "fences" 1 s.Heap.fences;
+  Heap.reset_stats h;
+  Alcotest.(check int) "reset" 0 (Heap.stats h).Heap.reads
+
+let test_crash_random_extremes () =
+  let h = Heap.create () in
+  let cells = List.init 10 (fun i -> Heap.alloc h i) in
+  List.iter (fun c -> Heap.write h c 99) cells;
+  let rng = Random.State.make [| 1 |] in
+  Heap.crash_random h ~evict_p:1.0 ~rng;
+  List.iter
+    (fun c -> Alcotest.(check int) "all evicted" 99 (Heap.read h c))
+    cells;
+  List.iter (fun c -> Heap.write h c 77) cells;
+  Heap.crash_random h ~evict_p:0.0 ~rng;
+  List.iter
+    (fun c -> Alcotest.(check int) "none evicted" 99 (Heap.read h c))
+    cells
+
+let suite =
+  [
+    Alcotest.test_case "alloc: initial value persisted" `Quick
+      test_alloc_initial_persisted;
+    Alcotest.test_case "write is volatile until flush" `Quick
+      test_write_is_volatile;
+    Alcotest.test_case "flush persists" `Quick test_flush_persists;
+    Alcotest.test_case "crash drops unflushed writes" `Quick
+      test_crash_drops_unflushed;
+    Alcotest.test_case "crash eviction persists dirty lines" `Quick
+      test_crash_eviction_persists;
+    Alcotest.test_case "crash leaves heap clean" `Quick test_crash_clears_dirty;
+    Alcotest.test_case "cas success and failure" `Quick
+      test_cas_success_and_failure;
+    Alcotest.test_case "cas marks dirty" `Quick test_cas_marks_dirty;
+    Alcotest.test_case "polymorphic (boxed) cells" `Quick
+      test_polymorphic_cells;
+    Alcotest.test_case "statistics counters" `Quick test_stats_counting;
+    Alcotest.test_case "crash_random evict_p extremes" `Quick
+      test_crash_random_extremes;
+  ]

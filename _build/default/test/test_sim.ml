@@ -1,0 +1,203 @@
+(** Tests for the effects-based scheduler: interleaving control,
+    determinism, crash injection, and the exhaustive explorer. *)
+
+open Helpers
+module Machine = Dssq_sim.Machine
+
+let with_mem () =
+  let heap = Heap.create () in
+  let (module M) = Sim.memory heap in
+  (heap, (module M : Dssq_memory.Memory_intf.S))
+
+let test_direct_mode_outside_run () =
+  let heap, (module M) = with_mem () in
+  ignore heap;
+  let c = M.alloc 1 in
+  M.write c 2;
+  Alcotest.(check int) "direct ops work outside run" 2 (M.read c)
+
+let test_threads_complete () =
+  let heap, (module M) = with_mem () in
+  let cells = Array.init 3 (fun _ -> M.alloc 0) in
+  let body i () = M.write cells.(i) (i + 1) in
+  let outcome = Sim.run heap ~threads:[ body 0; body 1; body 2 ] in
+  Alcotest.(check bool) "not crashed" false outcome.Sim.crashed;
+  Array.iteri
+    (fun i c -> Alcotest.(check int) "each thread ran" (i + 1) (M.read c))
+    cells
+
+let test_interleaving_lost_update () =
+  (* Classic lost update: both threads read 0, then both write 1.  A
+     schedule that runs threads to completion one-by-one yields 2. *)
+  let run_with policy =
+    let heap, (module M) = with_mem () in
+    let c = M.alloc 0 in
+    let body () =
+      let v = M.read c in
+      M.write c (v + 1)
+    in
+    ignore (Sim.run heap ~policy ~threads:[ body; body ]);
+    M.read c
+  in
+  Alcotest.(check int) "round-robin interleaves reads first" 1
+    (run_with Sim.Round_robin);
+  Alcotest.(check int) "scripted serial execution" 2
+    (run_with (Sim.Script [| 0; 0; 0; 1; 1; 1 |]))
+
+let test_random_policy_deterministic () =
+  let run seed =
+    let heap, (module M) = with_mem () in
+    let c = M.alloc 0 in
+    let body k () =
+      for _ = 1 to 5 do
+        M.write c ((M.read c * 10) + k)
+      done
+    in
+    ignore (Sim.run heap ~policy:(Sim.Random_seed seed) ~threads:[ body 1; body 2 ]);
+    M.read c
+  in
+  Alcotest.(check int) "same seed, same schedule" (run 7) (run 7);
+  (* Different seeds should (for this scenario) give a different trace. *)
+  let distinct = List.sort_uniq compare (List.init 10 run) in
+  Alcotest.(check bool) "schedules vary with seed" true (List.length distinct > 1)
+
+let test_cas_through_sim () =
+  let heap, (module M) = with_mem () in
+  let c = M.alloc 0 in
+  let winners = ref 0 in
+  let body () = if M.cas c ~expected:0 ~desired:1 then incr winners in
+  ignore (Sim.run heap ~threads:[ body; body; body ]);
+  Alcotest.(check int) "exactly one cas wins" 1 !winners
+
+let test_crash_at_step () =
+  let heap, (module M) = with_mem () in
+  let c = M.alloc 0 in
+  let body () =
+    M.write c 1;
+    M.flush c;
+    M.write c 2;
+    M.flush c
+  in
+  (* Steps: 0:start->write pending... crash before the second flush. *)
+  let outcome = Sim.run heap ~crash:(Sim.Crash_at_step 3) ~threads:[ body ] in
+  Alcotest.(check bool) "crashed" true outcome.Sim.crashed;
+  Sim.apply_crash heap ~evict_p:0.0 ~seed:1;
+  Alcotest.(check int) "only first write persisted" 1 (M.read c)
+
+let test_crash_kills_all_threads () =
+  let heap, (module M) = with_mem () in
+  let c = M.alloc 0 in
+  let body () =
+    for _ = 1 to 100 do
+      M.write c (M.read c + 1)
+    done
+  in
+  let outcome = Sim.run heap ~crash:(Sim.Crash_at_step 10) ~threads:[ body; body ] in
+  Alcotest.(check bool) "crashed" true outcome.Sim.crashed;
+  Array.iter
+    (fun r -> Alcotest.(check bool) "thread killed" true (r = None))
+    outcome.Sim.results
+
+let test_thread_exception_reported () =
+  let heap, (module M) = with_mem () in
+  ignore (module M : Dssq_memory.Memory_intf.S);
+  let body () = failwith "boom" in
+  let outcome = Sim.run heap ~threads:[ body ] in
+  match outcome.Sim.results.(0) with
+  | Some (Error (Failure msg)) -> Alcotest.(check string) "exn" "boom" msg
+  | _ -> Alcotest.fail "expected thread failure to be captured"
+
+let test_max_steps_guard () =
+  let heap, (module M) = with_mem () in
+  let c = M.alloc 0 in
+  let body () =
+    while M.read c = 0 do
+      ()
+    done
+  in
+  Alcotest.check_raises "livelock detected"
+    (Failure "Sim.run: exceeded max_steps=100 (livelock?)") (fun () ->
+      ignore (Sim.run heap ~max_steps:100 ~threads:[ body ]))
+
+let test_explore_counts_interleavings () =
+  (* Two threads, one memory step each => exactly 2 schedules. *)
+  let executions =
+    Explore.run
+      (Explore.make
+         ~setup:(fun () ->
+           let heap, (module M) = with_mem () in
+           let c = M.alloc 0 in
+           ignore c;
+           {
+             Explore.ctx = ();
+             heap;
+             threads = [ (fun () -> M.write c 1); (fun () -> M.write c 2) ];
+           })
+         ~check:(fun () _ ~crashed:_ -> ())
+         ())
+  in
+  (* Each thread takes 2 steps (start-run-to-first-op, then the op); the
+     interleavings of 2x2 steps = C(4,2) = 6. *)
+  Alcotest.(check int) "interleaving count" 6 executions
+
+let test_explore_finds_lost_update () =
+  (* The explorer must visit at least one schedule where the increments
+     collide and one where they do not. *)
+  let outcomes = ref [] in
+  ignore
+    (Explore.run
+       (Explore.make
+          ~setup:(fun () ->
+            let heap, (module M) = with_mem () in
+            let c = M.alloc 0 in
+            let body () = M.write c (M.read c + 1) in
+            {
+              Explore.ctx = (fun () -> M.read c);
+              heap;
+              threads = [ body; body ];
+            })
+          ~check:(fun get _heap ~crashed:_ -> outcomes := get () :: !outcomes)
+          ()));
+  let distinct = List.sort_uniq compare !outcomes in
+  Alcotest.(check (list int)) "both final values observed" [ 1; 2 ] distinct
+
+let test_explore_crashes_branch () =
+  let crashes = ref 0 and completes = ref 0 in
+  ignore
+    (Explore.run
+       (Explore.make ~crashes:true
+          ~setup:(fun () ->
+            let heap, (module M) = with_mem () in
+            let c = M.alloc 0 in
+            { Explore.ctx = (); heap; threads = [ (fun () -> M.write c 1) ] })
+          ~check:(fun () _ ~crashed ->
+            if crashed then incr crashes else incr completes)
+          ()));
+  Alcotest.(check bool) "some crashing branches" true (!crashes > 0);
+  Alcotest.(check bool) "some complete branches" true (!completes > 0)
+
+let suite =
+  [
+    Alcotest.test_case "direct mode outside run" `Quick
+      test_direct_mode_outside_run;
+    Alcotest.test_case "threads run to completion" `Quick test_threads_complete;
+    Alcotest.test_case "interleaving produces lost update" `Quick
+      test_interleaving_lost_update;
+    Alcotest.test_case "random policy is deterministic per seed" `Quick
+      test_random_policy_deterministic;
+    Alcotest.test_case "cas atomicity across threads" `Quick
+      test_cas_through_sim;
+    Alcotest.test_case "crash at step loses unflushed state" `Quick
+      test_crash_at_step;
+    Alcotest.test_case "crash kills all threads" `Quick
+      test_crash_kills_all_threads;
+    Alcotest.test_case "thread exceptions are captured" `Quick
+      test_thread_exception_reported;
+    Alcotest.test_case "max_steps livelock guard" `Quick test_max_steps_guard;
+    Alcotest.test_case "explore: interleaving count" `Quick
+      test_explore_counts_interleavings;
+    Alcotest.test_case "explore: finds lost update" `Quick
+      test_explore_finds_lost_update;
+    Alcotest.test_case "explore: crash branches" `Quick
+      test_explore_crashes_branch;
+  ]

@@ -1,0 +1,206 @@
+(** Tests for the sequential specifications and the DSS transformation of
+    Section 2.1: the four axioms of Figure 1, totality and idempotence of
+    prep/resolve, and the Figure 2 register scenarios expressed at
+    specification level. *)
+
+open Helpers
+module Reg = Specs.Register
+module Q = Specs.Queue
+module Cnt = Specs.Counter
+
+let apply spec s ~tid op =
+  match spec.Spec.apply s ~tid op with
+  | Some sr -> sr
+  | None -> Alcotest.fail "operation unexpectedly disabled"
+
+let disabled spec s ~tid op =
+  match spec.Spec.apply s ~tid op with
+  | None -> ()
+  | Some _ -> Alcotest.fail "operation unexpectedly enabled"
+
+(* ---------------- base specifications ---------------- *)
+
+let test_register_spec () =
+  let spec = Reg.spec () in
+  let s, r = apply spec spec.Spec.init ~tid:0 (Reg.Write 5) in
+  Alcotest.(check bool) "write ok" true (r = Reg.Ok);
+  let _, r = apply spec s ~tid:1 Reg.Read in
+  Alcotest.(check bool) "read sees write" true (r = Reg.Value 5)
+
+let test_queue_spec_fifo () =
+  let spec = Q.spec () in
+  match
+    Spec.run_sequence spec
+      [ (0, Q.Enqueue 1); (0, Q.Enqueue 2); (1, Q.Dequeue); (1, Q.Dequeue); (1, Q.Dequeue) ]
+  with
+  | None -> Alcotest.fail "sequence disabled"
+  | Some (s, rs) ->
+      Alcotest.(check bool) "final empty" true (s = []);
+      Alcotest.(check bool) "fifo order + empty" true
+        (rs = [ Q.Ok; Q.Ok; Q.Value 1; Q.Value 2; Q.Empty ])
+
+let test_counter_spec () =
+  let spec = Cnt.spec () in
+  match
+    Spec.run_sequence spec [ (0, Cnt.Increment); (1, Cnt.Increment); (0, Cnt.Get) ]
+  with
+  | Some (s, rs) ->
+      Alcotest.(check int) "state" 2 s;
+      Alcotest.(check bool) "get sees both" true
+        (List.nth rs 2 = Cnt.Value 2)
+  | None -> Alcotest.fail "disabled"
+
+(* ---------------- DSS transformation: Figure 1 axioms ---------------- *)
+
+let dss = Dss_spec.make ~nthreads:2 (Reg.spec ())
+
+let test_axiom1_prep () =
+  (* prep-op: total; records A[p]=op, R[p]=bottom; responds bottom. *)
+  let s, r = apply dss dss.Spec.init ~tid:0 (Dss_spec.Prep (Reg.Write 1)) in
+  Alcotest.(check bool) "ack" true (r = Dss_spec.Ack);
+  Alcotest.(check bool) "A[0] recorded" true (s.Dss_spec.a.(0) = Some (Reg.Write 1));
+  Alcotest.(check bool) "R[0] bottom" true (s.Dss_spec.r.(0) = None);
+  Alcotest.(check bool) "A[1] untouched" true (s.Dss_spec.a.(1) = None)
+
+let test_axiom1_idempotent () =
+  let s1, _ = apply dss dss.Spec.init ~tid:0 (Dss_spec.Prep (Reg.Write 1)) in
+  let s2, _ = apply dss s1 ~tid:0 (Dss_spec.Prep (Reg.Write 1)) in
+  Alcotest.(check bool) "prep twice = prep once" true
+    (dss.Spec.equal_state s1 s2)
+
+let test_axiom2_exec_requires_prep () =
+  (* exec-op is enabled only when A[p] = op and R[p] = bottom. *)
+  disabled dss dss.Spec.init ~tid:0 (Dss_spec.Exec (Reg.Write 1));
+  let s, _ = apply dss dss.Spec.init ~tid:0 (Dss_spec.Prep (Reg.Write 1)) in
+  disabled dss s ~tid:0 (Dss_spec.Exec (Reg.Write 2));
+  (* a different process did not prepare *)
+  disabled dss s ~tid:1 (Dss_spec.Exec (Reg.Write 1));
+  let s', r = apply dss s ~tid:0 (Dss_spec.Exec (Reg.Write 1)) in
+  Alcotest.(check bool) "exec returns rho" true (r = Dss_spec.Ret Reg.Ok);
+  Alcotest.(check int) "state transitioned" 1 s'.Dss_spec.base;
+  Alcotest.(check bool) "R[0] set" true (s'.Dss_spec.r.(0) = Some Reg.Ok);
+  (* exec cannot run twice for one prep (R[p] no longer bottom) *)
+  disabled dss s' ~tid:0 (Dss_spec.Exec (Reg.Write 1))
+
+let test_axiom3_resolve () =
+  (* resolve: total, idempotent, returns (A[p], R[p]), no side effect. *)
+  let _, r = apply dss dss.Spec.init ~tid:0 Dss_spec.Resolve in
+  Alcotest.(check bool) "initially (bottom,bottom)" true
+    (r = Dss_spec.Status (None, None));
+  let s, _ = apply dss dss.Spec.init ~tid:0 (Dss_spec.Prep (Reg.Write 1)) in
+  let s, r = apply dss s ~tid:0 Dss_spec.Resolve in
+  Alcotest.(check bool) "prepared, not executed" true
+    (r = Dss_spec.Status (Some (Reg.Write 1), None));
+  let s, _ = apply dss s ~tid:0 (Dss_spec.Exec (Reg.Write 1)) in
+  let s1, r1 = apply dss s ~tid:0 Dss_spec.Resolve in
+  let s2, r2 = apply dss s1 ~tid:0 Dss_spec.Resolve in
+  Alcotest.(check bool) "executed" true
+    (r1 = Dss_spec.Status (Some (Reg.Write 1), Some Reg.Ok));
+  Alcotest.(check bool) "idempotent response" true (r1 = r2);
+  Alcotest.(check bool) "no side effect" true (dss.Spec.equal_state s s2)
+
+let test_axiom4_base_op () =
+  (* plain op: state transition, no effect on A/R. *)
+  let s, _ = apply dss dss.Spec.init ~tid:0 (Dss_spec.Prep (Reg.Write 7)) in
+  let s', r = apply dss s ~tid:0 (Dss_spec.Base (Reg.Write 9)) in
+  Alcotest.(check bool) "base returns rho" true (r = Dss_spec.Ret Reg.Ok);
+  Alcotest.(check int) "base transitions" 9 s'.Dss_spec.base;
+  Alcotest.(check bool) "A untouched by base op" true
+    (s'.Dss_spec.a.(0) = Some (Reg.Write 7));
+  Alcotest.(check bool) "R untouched by base op" true (s'.Dss_spec.r.(0) = None)
+
+let test_prep_overwrites_previous () =
+  let s, _ = apply dss dss.Spec.init ~tid:0 (Dss_spec.Prep (Reg.Write 1)) in
+  let s, _ = apply dss s ~tid:0 (Dss_spec.Exec (Reg.Write 1)) in
+  let s, _ = apply dss s ~tid:0 (Dss_spec.Prep Reg.Read) in
+  let _, r = apply dss s ~tid:0 Dss_spec.Resolve in
+  Alcotest.(check bool) "new prep resets R to bottom" true
+    (r = Dss_spec.Status (Some Reg.Read, None))
+
+let test_per_process_isolation () =
+  let s, _ = apply dss dss.Spec.init ~tid:0 (Dss_spec.Prep (Reg.Write 1)) in
+  let s, _ = apply dss s ~tid:1 (Dss_spec.Prep Reg.Read) in
+  let s, _ = apply dss s ~tid:0 (Dss_spec.Exec (Reg.Write 1)) in
+  let _, r0 = apply dss s ~tid:0 Dss_spec.Resolve in
+  let _, r1 = apply dss s ~tid:1 Dss_spec.Resolve in
+  Alcotest.(check bool) "p0 sees own op" true
+    (r0 = Dss_spec.Status (Some (Reg.Write 1), Some Reg.Ok));
+  Alcotest.(check bool) "p1 sees own prep only" true
+    (r1 = Dss_spec.Status (Some Reg.Read, None))
+
+(* Figure 2, expressed as legal outcomes at spec level: after prep and a
+   crash, resolve may observe the exec either way; exec-then-resolve must
+   observe it. *)
+let test_figure2_outcomes () =
+  (* (a) prep; exec; resolve -> (write 1, OK) *)
+  let s, _ = apply dss dss.Spec.init ~tid:0 (Dss_spec.Prep (Reg.Write 1)) in
+  let s_exec, _ = apply dss s ~tid:0 (Dss_spec.Exec (Reg.Write 1)) in
+  let _, ra = apply dss s_exec ~tid:0 Dss_spec.Resolve in
+  Alcotest.(check bool) "(a)" true
+    (ra = Dss_spec.Status (Some (Reg.Write 1), Some Reg.Ok));
+  (* (b)/(c): crash before/within exec — the exec either linearized
+     (state = s_exec, handled above) or did not (state = s): *)
+  let _, rc = apply dss s ~tid:0 Dss_spec.Resolve in
+  Alcotest.(check bool) "(b)/(c)" true
+    (rc = Dss_spec.Status (Some (Reg.Write 1), None));
+  (* (d): crash during prep — prep either linearized (state = s) or not
+     (initial state): *)
+  let _, rd = apply dss dss.Spec.init ~tid:0 Dss_spec.Resolve in
+  Alcotest.(check bool) "(d)" true (rd = Dss_spec.Status (None, None))
+
+(* ---------------- aux-argument disambiguation ---------------- *)
+
+let test_with_aux () =
+  let spec = Spec.with_aux (Reg.spec ()) in
+  let dss = Dss_spec.make ~nthreads:1 spec in
+  let s, _ = apply dss dss.Spec.init ~tid:0 (Dss_spec.Prep (Reg.Write 1, 0)) in
+  let s, _ = apply dss s ~tid:0 (Dss_spec.Exec (Reg.Write 1, 0)) in
+  let s, _ = apply dss s ~tid:0 (Dss_spec.Prep (Reg.Write 1, 1)) in
+  let _, r = apply dss s ~tid:0 Dss_spec.Resolve in
+  (* The parity bit distinguishes the second prepared instance of the
+     same op, exactly the remedy described at the end of Section 2.1. *)
+  Alcotest.(check bool) "aux distinguishes repeats" true
+    (r = Dss_spec.Status (Some (Reg.Write 1, 1), None));
+  (* exec with the wrong aux is disabled (it is a different op) *)
+  disabled dss s ~tid:0 (Dss_spec.Exec (Reg.Write 1, 0));
+  let s', _ = apply dss s ~tid:0 (Dss_spec.Exec (Reg.Write 1, 1)) in
+  Alcotest.(check int) "aux ignored by delta" 1 s'.Dss_spec.base
+
+let test_dss_is_generic () =
+  (* The transformation applies to any type: spot-check queue and stack. *)
+  let dq = Dss_spec.make ~nthreads:1 (Q.spec ()) in
+  let s, _ = apply dq dq.Spec.init ~tid:0 (Dss_spec.Prep (Q.Enqueue 3)) in
+  let s, r = apply dq s ~tid:0 (Dss_spec.Exec (Q.Enqueue 3)) in
+  Alcotest.(check bool) "queue exec" true (r = Dss_spec.Ret Q.Ok);
+  Alcotest.(check bool) "queue state" true (s.Dss_spec.base = [ 3 ]);
+  let module St = Specs.Stack in
+  let ds = Dss_spec.make ~nthreads:1 (St.spec ()) in
+  let s, _ = apply ds ds.Spec.init ~tid:0 (Dss_spec.Base (St.Push 1)) in
+  let s, _ = apply ds s ~tid:0 (Dss_spec.Base (St.Push 2)) in
+  let _, r = apply ds s ~tid:0 (Dss_spec.Base St.Pop) in
+  Alcotest.(check bool) "stack lifo" true (r = Dss_spec.Ret (St.Value 2))
+
+let suite =
+  [
+    Alcotest.test_case "register spec" `Quick test_register_spec;
+    Alcotest.test_case "queue spec is FIFO with EMPTY" `Quick
+      test_queue_spec_fifo;
+    Alcotest.test_case "counter spec" `Quick test_counter_spec;
+    Alcotest.test_case "axiom 1: prep records intent" `Quick test_axiom1_prep;
+    Alcotest.test_case "axiom 1: prep idempotent" `Quick test_axiom1_idempotent;
+    Alcotest.test_case "axiom 2: exec preconditions" `Quick
+      test_axiom2_exec_requires_prep;
+    Alcotest.test_case "axiom 3: resolve total and idempotent" `Quick
+      test_axiom3_resolve;
+    Alcotest.test_case "axiom 4: plain op leaves A/R alone" `Quick
+      test_axiom4_base_op;
+    Alcotest.test_case "prep overwrites previous context" `Quick
+      test_prep_overwrites_previous;
+    Alcotest.test_case "per-process A/R isolation" `Quick
+      test_per_process_isolation;
+    Alcotest.test_case "figure 2 outcomes" `Quick test_figure2_outcomes;
+    Alcotest.test_case "aux argument disambiguates repeats" `Quick
+      test_with_aux;
+    Alcotest.test_case "transformation is type-generic" `Quick
+      test_dss_is_generic;
+  ]

@@ -1,0 +1,68 @@
+(** Unit tests for tagged-word encoding. *)
+
+module Tagged = Dssq_core.Tagged
+
+let test_roundtrip () =
+  let x = Tagged.make ~idx:12345 ~tags:(Tagged.enq_prep lor Tagged.enq_compl) in
+  Alcotest.(check int) "idx" 12345 (Tagged.idx x);
+  Alcotest.(check bool) "prep" true (Tagged.has x Tagged.enq_prep);
+  Alcotest.(check bool) "compl" true (Tagged.has x Tagged.enq_compl);
+  Alcotest.(check bool) "no deq" false (Tagged.has x Tagged.deq_prep)
+
+let test_tags_disjoint () =
+  let tags =
+    [
+      Tagged.enq_prep;
+      Tagged.enq_compl;
+      Tagged.deq_prep;
+      Tagged.empty;
+      Tagged.deq_done;
+      Tagged.pmwcas_desc;
+      Tagged.pmwcas_rdcss;
+    ]
+  in
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if i <> j then
+            Alcotest.(check int)
+              (Printf.sprintf "tags %d,%d disjoint" i j)
+              0 (a land b))
+        tags)
+    tags;
+  List.iter
+    (fun t ->
+      Alcotest.(check int) "tag above index bits" 0 (t land Tagged.index_mask))
+    tags
+
+let test_add_remove () =
+  let x = Tagged.with_tag 7 Tagged.deq_prep in
+  Alcotest.(check bool) "added" true (Tagged.has x Tagged.deq_prep);
+  let x = Tagged.without_tag x Tagged.deq_prep in
+  Alcotest.(check int) "removed leaves index" 7 x
+
+let test_max_index () =
+  let idx = Tagged.index_mask in
+  let x = Tagged.make ~idx ~tags:Tagged.enq_prep in
+  Alcotest.(check int) "max index survives" idx (Tagged.idx x);
+  Alcotest.(check bool) "tag survives" true (Tagged.has x Tagged.enq_prep)
+
+let test_tags_of () =
+  let tags = Tagged.enq_prep lor Tagged.empty in
+  let x = Tagged.make ~idx:99 ~tags in
+  Alcotest.(check int) "tags_of" tags (Tagged.tags_of x)
+
+let test_null () =
+  Alcotest.(check int) "null is zero" 0 Tagged.null;
+  Alcotest.(check int) "null has empty index" 0 (Tagged.idx Tagged.null)
+
+let suite =
+  [
+    Alcotest.test_case "index/tag roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "all tags pairwise disjoint" `Quick test_tags_disjoint;
+    Alcotest.test_case "with/without tag" `Quick test_add_remove;
+    Alcotest.test_case "maximum index" `Quick test_max_index;
+    Alcotest.test_case "tags_of extracts all tags" `Quick test_tags_of;
+    Alcotest.test_case "null pointer" `Quick test_null;
+  ]

@@ -1,0 +1,209 @@
+(** Tests for the workload/benchmark machinery: statistics, report
+    rendering, the discrete-event throughput model, the native harness
+    (tiny run), and the experiment drivers (tiny parameters). *)
+
+module Stats = Dssq_workload.Stats
+module Report = Dssq_workload.Report
+module Sim_throughput = Dssq_workload.Sim_throughput
+module Native_throughput = Dssq_workload.Native_throughput
+module Experiments = Dssq_workload.Experiments
+
+let test_stats () =
+  Alcotest.(check (float 1e-9)) "mean" 2. (Stats.mean [ 1.; 2.; 3. ]);
+  Alcotest.(check (float 1e-9)) "stddev" 1. (Stats.stddev [ 1.; 2.; 3. ]);
+  Alcotest.(check (float 1e-9)) "stddev singleton" 0. (Stats.stddev [ 5. ]);
+  Alcotest.(check (float 1e-6)) "rsd" 50. (Stats.rsd [ 1.; 2.; 3. ]);
+  Alcotest.(check bool) "mean empty is nan" true (Float.is_nan (Stats.mean []))
+
+let test_detectable_fraction () =
+  let count pct =
+    let n = ref 0 in
+    for i = 0 to 99 do
+      if Sim_throughput.detectable ~det_pct:pct i then incr n
+    done;
+    !n
+  in
+  Alcotest.(check int) "0%" 0 (count 0);
+  Alcotest.(check int) "25%" 25 (count 25);
+  Alcotest.(check int) "50%" 50 (count 50);
+  Alcotest.(check int) "75%" 75 (count 75);
+  Alcotest.(check int) "100%" 100 (count 100)
+
+let test_sim_throughput_positive () =
+  let mops =
+    Sim_throughput.measure ~horizon_ns:50_000. ~mk:"dss-queue" ~nthreads:2 ()
+  in
+  Alcotest.(check bool) "positive throughput" true (mops > 0.)
+
+let test_sim_throughput_deterministic () =
+  let run () =
+    Sim_throughput.measure ~seed:5 ~horizon_ns:50_000. ~mk:"dss-queue"
+      ~nthreads:3 ()
+  in
+  Alcotest.(check (float 1e-12)) "same seed, same result" (run ()) (run ())
+
+let test_sim_throughput_ordering () =
+  (* The headline qualitative result at low parallelism: MS > DSS
+     non-detectable > DSS detectable. *)
+  let measure mk det_pct =
+    Sim_throughput.measure ~horizon_ns:100_000. ~mk ~det_pct ~nthreads:2 ()
+  in
+  let ms = measure "ms-queue" 0 in
+  let nondet = measure "dss-queue" 0 in
+  let det = measure "dss-queue" 100 in
+  Alcotest.(check bool)
+    (Printf.sprintf "ms (%.2f) > nondet (%.2f)" ms nondet)
+    true (ms > nondet);
+  Alcotest.(check bool)
+    (Printf.sprintf "nondet (%.2f) > det (%.2f)" nondet det)
+    true (nondet > det)
+
+let test_sim_throughput_flush_cost_matters () =
+  let measure flush_ns =
+    let costs =
+      { Sim_throughput.default_costs with flush_ns = float_of_int flush_ns }
+    in
+    Sim_throughput.measure ~costs ~horizon_ns:100_000. ~mk:"dss-queue"
+      ~det_pct:100 ~nthreads:1 ()
+  in
+  Alcotest.(check bool) "cheaper flushes, more throughput" true
+    (measure 0 > measure 500)
+
+let test_all_queues_run_in_model () =
+  List.iter
+    (fun mk ->
+      let mops =
+        Sim_throughput.measure ~horizon_ns:30_000. ~mk ~nthreads:2 ()
+      in
+      Alcotest.(check bool) (mk ^ " produces throughput") true (mops > 0.))
+    [ "dss-queue"; "ms-queue"; "durable-queue"; "log-queue"; "fast-caswe"; "general-caswe" ]
+
+let test_native_throughput_smoke () =
+  Dssq_memory.Persist_cost.configure ~flush:0 ~fence:0 ();
+  let mops =
+    Native_throughput.measure ~mk:"dss-queue" ~nthreads:2 ~duration:0.05 ()
+  in
+  Alcotest.(check bool) "native harness runs" true (mops > 0.)
+
+let test_report_rendering () =
+  let series =
+    [
+      {
+        Report.label = "a";
+        points = [ { Report.x = 1; samples = [ 1.0; 1.1 ] } ];
+      };
+      { Report.label = "b"; points = [ { Report.x = 1; samples = [ 2.0 ] } ] };
+    ]
+  in
+  let csv = Report.to_csv ~x_label:"threads" series in
+  Alcotest.(check bool) "csv header" true
+    (String.length csv > 0 && String.sub csv 0 11 = "threads,a,b");
+  let buf = Buffer.create 64 in
+  let out = Format.formatter_of_buffer buf in
+  Report.print_table ~out ~title:"t" ~x_label:"threads" ~y_label:"Mops/s" series;
+  Report.print_chart ~out series;
+  Format.pp_print_flush out ();
+  Alcotest.(check bool) "table rendered" true
+    (String.length (Buffer.contents buf) > 0)
+
+let test_experiments_tiny () =
+  let series =
+    Experiments.fig5a ~threads:[ 1; 2 ] ~repeats:1 ~horizon_ns:20_000. ()
+  in
+  Alcotest.(check int) "three series" 3 (List.length series);
+  List.iter
+    (fun s -> Alcotest.(check int) "two points" 2 (List.length s.Report.points))
+    series;
+  let series_b =
+    Experiments.fig5b ~threads:[ 1 ] ~repeats:1 ~horizon_ns:20_000. ()
+  in
+  Alcotest.(check int) "four series" 4 (List.length series_b)
+
+let test_ablate_recovery_scaling () =
+  let series = Experiments.ablate_recovery ~lengths:[ 0; 64 ] ~nthreads:2 () in
+  Alcotest.(check int) "two styles" 2 (List.length series);
+  (* Centralized recovery scans the list: cost grows with length. *)
+  let centralized = List.hd series in
+  match centralized.Report.points with
+  | [ p0; p64 ] ->
+      Alcotest.(check bool) "recovery cost grows with queue length" true
+        (Dssq_workload.Stats.mean p64.samples
+        > Dssq_workload.Stats.mean p0.samples)
+  | _ -> Alcotest.fail "expected two points"
+
+let test_ablate_pmwcas_scaling () =
+  let series = Experiments.ablate_pmwcas ~widths:[ 1; 3 ] () in
+  List.iter
+    (fun s ->
+      match s.Report.points with
+      | [ p1; p3 ] ->
+          Alcotest.(check bool)
+            (s.Report.label ^ ": wider is costlier")
+            true
+            (Stats.mean p3.samples > Stats.mean p1.samples)
+      | _ -> Alcotest.fail "expected two points")
+    series
+
+let test_ablate_crash_mtbf () =
+  (* Effective throughput under periodic crashes must grow with the
+     mean time between failures (recovery amortizes). *)
+  let series =
+    Experiments.ablate_crash_mtbf ~mtbfs_us:[ 50; 500 ] ~nthreads:2 ~cycles:3
+      ~repeats:1 ()
+  in
+  List.iter
+    (fun s ->
+      match s.Report.points with
+      | [ p50; p500 ] ->
+          Alcotest.(check bool)
+            (s.Report.label ^ ": longer MTBF, higher throughput")
+            true
+            (Stats.mean p500.samples > Stats.mean p50.samples);
+          Alcotest.(check bool)
+            (s.Report.label ^ ": positive throughput")
+            true
+            (Stats.mean p50.samples > 0.)
+      | _ -> Alcotest.fail "expected two points")
+    series
+
+let test_op_latency_ordering () =
+  let lat = Experiments.op_latency () in
+  let get name =
+    let _, nondet, det = List.find (fun (n, _, _) -> n = name) lat in
+    (nondet, det)
+  in
+  let _, dss_det = get "dss-queue" in
+  let ms_nondet, _ = get "ms-queue" in
+  let _, gen_det = get "general-caswe" in
+  let _, fast_det = get "fast-caswe" in
+  Alcotest.(check bool) "ms cheapest" true (ms_nondet < dss_det);
+  Alcotest.(check bool) "dss beats general caswe" true (dss_det < gen_det);
+  Alcotest.(check bool) "fast caswe beats general" true (fast_det < gen_det)
+
+let suite =
+  [
+    Alcotest.test_case "statistics" `Quick test_stats;
+    Alcotest.test_case "detectable fraction spread" `Quick
+      test_detectable_fraction;
+    Alcotest.test_case "sim throughput positive" `Quick
+      test_sim_throughput_positive;
+    Alcotest.test_case "sim throughput deterministic" `Quick
+      test_sim_throughput_deterministic;
+    Alcotest.test_case "figure 5a ordering at low parallelism" `Quick
+      test_sim_throughput_ordering;
+    Alcotest.test_case "flush cost drives the gap" `Quick
+      test_sim_throughput_flush_cost_matters;
+    Alcotest.test_case "all queues run in the model" `Quick
+      test_all_queues_run_in_model;
+    Alcotest.test_case "native harness smoke" `Quick test_native_throughput_smoke;
+    Alcotest.test_case "report rendering" `Quick test_report_rendering;
+    Alcotest.test_case "experiment drivers (tiny)" `Quick test_experiments_tiny;
+    Alcotest.test_case "ablation: recovery cost scales" `Quick
+      test_ablate_recovery_scaling;
+    Alcotest.test_case "ablation: pmwcas width scales" `Quick
+      test_ablate_pmwcas_scaling;
+    Alcotest.test_case "ablation: crash MTBF amortizes" `Quick
+      test_ablate_crash_mtbf;
+    Alcotest.test_case "modelled op latency ordering" `Quick
+      test_op_latency_ordering;
+  ]
