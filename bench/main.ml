@@ -49,44 +49,81 @@ let threads =
 
 let csv = Arg.(value & flag & info [ "csv" ] ~doc:"also print CSV")
 
+let json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "write a schema-versioned JSON run report (with memory-event and \
+           latency instrumentation) to $(docv)")
+
 let render ~title ~x_label ~y_label ~csv:want_csv series =
   Report.print_table ~title ~x_label ~y_label series;
   Report.print_chart series;
   if want_csv then print_string (Report.to_csv ~x_label series)
 
+let backend_name = function
+  | Experiments.Sim_model -> "sim"
+  | Experiments.Native_domains -> "native"
+
+let write_report ~backend ~experiment ~x_label ~y_label series file =
+  let report =
+    Dssq_obs.Run_report.make ~backend:(backend_name backend) ~experiment
+      ~x_label ~y_label series
+  in
+  match Dssq_obs.Run_report.write file report with
+  | () ->
+      Printf.printf "wrote %s (%s v%d)\n" file Dssq_obs.Run_report.schema_name
+        Dssq_obs.Run_report.schema_version
+  | exception Sys_error msg ->
+      Printf.eprintf "bench: cannot write report: %s\n" msg;
+      exit 1
+
 (* ------------------------- figure commands --------------------------- *)
 
-let run_fig5a backend threads repeats horizon_us duration csv =
-  let series =
-    Experiments.fig5a ~backend ~threads ~repeats
-      ~horizon_ns:(horizon_us *. 1000.) ~duration ()
-  in
-  render
+let run_fig backend csv json ~experiment ~title f =
+  let series = f ~instrument:(Option.is_some json) in
+  render ~title ~x_label:"threads" ~y_label:"Mops/s" ~csv
+    (Report.of_run series);
+  Option.iter
+    (write_report ~backend ~experiment ~x_label:"threads" ~y_label:"Mops/s"
+       series)
+    json
+
+let run_fig5a backend threads repeats horizon_us duration csv json =
+  run_fig backend csv json ~experiment:"fig5a"
     ~title:
       "Figure 5a: levels of detectability and persistence (alternating \
        enqueue/dequeue pairs, queue seeded with 16 nodes)"
-    ~x_label:"threads" ~y_label:"Mops/s" ~csv series
+    (fun ~instrument ->
+      Experiments.fig5a_ex ~backend ~threads ~repeats
+        ~horizon_ns:(horizon_us *. 1000.)
+        ~duration ~instrument ())
 
 let fig5a_cmd =
   Cmd.v (Cmd.info "fig5a" ~doc:"MS queue vs DSS non-detectable vs DSS detectable")
-    Term.(const run_fig5a $ backend $ threads $ repeats $ horizon_us $ duration $ csv)
+    Term.(
+      const run_fig5a $ backend $ threads $ repeats $ horizon_us $ duration
+      $ csv $ json)
 
-let run_fig5b backend threads repeats horizon_us duration csv =
-  let series =
-    Experiments.fig5b ~backend ~threads ~repeats
-      ~horizon_ns:(horizon_us *. 1000.) ~duration ()
-  in
-  render
+let run_fig5b backend threads repeats horizon_us duration csv json =
+  run_fig backend csv json ~experiment:"fig5b"
     ~title:
       "Figure 5b: detectable queue implementations (all operations \
        detectable)"
-    ~x_label:"threads" ~y_label:"Mops/s" ~csv series
+    (fun ~instrument ->
+      Experiments.fig5b_ex ~backend ~threads ~repeats
+        ~horizon_ns:(horizon_us *. 1000.)
+        ~duration ~instrument ())
 
 let fig5b_cmd =
   Cmd.v
     (Cmd.info "fig5b"
        ~doc:"DSS queue vs log queue vs Fast/General CASWithEffect")
-    Term.(const run_fig5b $ backend $ threads $ repeats $ horizon_us $ duration $ csv)
+    Term.(
+      const run_fig5b $ backend $ threads $ repeats $ horizon_us $ duration
+      $ csv $ json)
 
 (* ------------------------- ablation commands ------------------------- *)
 
@@ -202,7 +239,9 @@ let run_bechamel () =
   Dssq_memory.Persist_cost.configure ~flush:150 ();
   let module R = Dssq_workload.Registry.Make (Dssq_memory.Native) in
   let mk_test (name, mk) =
-    let ops : Dssq_core.Queue_intf.ops = mk ~nthreads:1 ~capacity:4096 in
+    let ops : Dssq_core.Queue_intf.ops =
+      mk (Dssq_core.Queue_intf.config ~nthreads:1 ~capacity:4096 ())
+    in
     let i = ref 0 in
     [
       Test.make
@@ -258,8 +297,8 @@ let bechamel_cmd =
 (* ------------------------- default: everything ----------------------- *)
 
 let run_all backend threads repeats horizon_us duration csv =
-  run_fig5a backend threads repeats horizon_us duration csv;
-  run_fig5b backend threads repeats horizon_us duration csv;
+  run_fig5a backend threads repeats horizon_us duration csv None;
+  run_fig5b backend threads repeats horizon_us duration csv None;
   run_ablate_flush 8 repeats horizon_us csv;
   run_ablate_demand 8 repeats horizon_us csv;
   run_ablate_recovery csv;

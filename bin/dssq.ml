@@ -31,60 +31,187 @@ let threads_arg =
 
 let repeats_arg = Arg.(value & opt int 3 & info [ "repeats" ] ~doc:"samples")
 
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"write a schema-versioned JSON run report to $(docv)")
+
+let write_report ~experiment ~x_label ~y_label ?(params = []) series file =
+  let report =
+    Dssq_obs.Run_report.make ~backend:"sim" ~experiment ~x_label ~y_label
+      ~params series
+  in
+  match Dssq_obs.Run_report.write file report with
+  | () ->
+      Printf.printf "wrote %s (%s v%d)\n" file Dssq_obs.Run_report.schema_name
+        Dssq_obs.Run_report.schema_version
+  | exception Sys_error msg ->
+      Printf.eprintf "dssq: cannot write report: %s\n" msg;
+      exit 1
+
+let fig_params ~threads ~repeats =
+  [
+    ("threads", String.concat "," (List.map string_of_int threads));
+    ("repeats", string_of_int repeats);
+  ]
+
 let fig5a_cmd =
-  let run threads repeats =
-    render ~title:"Figure 5a" ~x_label:"threads" ~y_label:"Mops/s"
-      (Experiments.fig5a ~threads ~repeats ())
+  let run threads repeats json =
+    match json with
+    | None ->
+        render ~title:"Figure 5a" ~x_label:"threads" ~y_label:"Mops/s"
+          (Experiments.fig5a ~threads ~repeats ())
+    | Some file ->
+        (* Instrumented run: same figure, plus events + latency in JSON. *)
+        let series =
+          Experiments.fig5a_ex ~threads ~repeats ~instrument:true ()
+        in
+        render ~title:"Figure 5a" ~x_label:"threads" ~y_label:"Mops/s"
+          (Report.of_run series);
+        write_report ~experiment:"fig5a" ~x_label:"threads" ~y_label:"Mops/s"
+          ~params:(fig_params ~threads ~repeats)
+          series file
   in
   Cmd.v (Cmd.info "fig5a" ~doc:"regenerate Figure 5a")
-    Term.(const run $ threads_arg $ repeats_arg)
+    Term.(const run $ threads_arg $ repeats_arg $ json_arg)
 
 let fig5b_cmd =
-  let run threads repeats =
-    render ~title:"Figure 5b" ~x_label:"threads" ~y_label:"Mops/s"
-      (Experiments.fig5b ~threads ~repeats ())
+  let run threads repeats json =
+    match json with
+    | None ->
+        render ~title:"Figure 5b" ~x_label:"threads" ~y_label:"Mops/s"
+          (Experiments.fig5b ~threads ~repeats ())
+    | Some file ->
+        let series =
+          Experiments.fig5b_ex ~threads ~repeats ~instrument:true ()
+        in
+        render ~title:"Figure 5b" ~x_label:"threads" ~y_label:"Mops/s"
+          (Report.of_run series);
+        write_report ~experiment:"fig5b" ~x_label:"threads" ~y_label:"Mops/s"
+          ~params:(fig_params ~threads ~repeats)
+          series file
   in
   Cmd.v (Cmd.info "fig5b" ~doc:"regenerate Figure 5b")
-    Term.(const run $ threads_arg $ repeats_arg)
+    Term.(const run $ threads_arg $ repeats_arg $ json_arg)
+
+let ablate_cmd ~name ~doc ~title ~x_label ~y_label f =
+  let run json =
+    let series = f () in
+    render ~title ~x_label ~y_label series;
+    Option.iter
+      (fun file ->
+        write_report ~experiment:name ~x_label ~y_label (Report.to_run series)
+          file)
+      json
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ json_arg)
 
 let ablate_cmds =
   [
-    Cmd.v (Cmd.info "ablate-flush" ~doc:"persist-latency sweep")
-      Term.(
-        const (fun () ->
-            render ~title:"Persist-cost ablation" ~x_label:"flush_ns"
-              ~y_label:"Mops/s"
-              (Experiments.ablate_flush ()))
-        $ const ());
-    Cmd.v (Cmd.info "ablate-demand" ~doc:"detectability-fraction sweep")
-      Term.(
-        const (fun () ->
-            render ~title:"Detectability on demand" ~x_label:"det_pct"
-              ~y_label:"Mops/s"
-              (Experiments.ablate_demand ()))
-        $ const ());
-    Cmd.v (Cmd.info "ablate-recovery" ~doc:"recovery-style comparison")
-      Term.(
-        const (fun () ->
-            render ~title:"Recovery styles" ~x_label:"queue_len"
-              ~y_label:"memory events"
-              (Experiments.ablate_recovery ()))
-        $ const ());
-    Cmd.v (Cmd.info "ablate-pmwcas" ~doc:"PMwCAS width sweep")
-      Term.(
-        const (fun () ->
-            render ~title:"PMwCAS width" ~x_label:"width" ~y_label:"ns/op"
-              (Experiments.ablate_pmwcas ()))
-        $ const ());
-    Cmd.v
-      (Cmd.info "ablate-crashes" ~doc:"throughput under periodic crashes")
-      Term.(
-        const (fun () ->
-            render ~title:"Failure-full throughput" ~x_label:"mtbf_us"
-              ~y_label:"Mops/s"
-              (Experiments.ablate_crash_mtbf ()))
-        $ const ());
+    ablate_cmd ~name:"ablate-flush" ~doc:"persist-latency sweep"
+      ~title:"Persist-cost ablation" ~x_label:"flush_ns" ~y_label:"Mops/s"
+      (fun () -> Experiments.ablate_flush ());
+    ablate_cmd ~name:"ablate-demand" ~doc:"detectability-fraction sweep"
+      ~title:"Detectability on demand" ~x_label:"det_pct" ~y_label:"Mops/s"
+      (fun () -> Experiments.ablate_demand ());
+    ablate_cmd ~name:"ablate-recovery" ~doc:"recovery-style comparison"
+      ~title:"Recovery styles" ~x_label:"queue_len" ~y_label:"memory events"
+      (fun () -> Experiments.ablate_recovery ());
+    ablate_cmd ~name:"ablate-pmwcas" ~doc:"PMwCAS width sweep"
+      ~title:"PMwCAS width" ~x_label:"width" ~y_label:"ns/op" (fun () ->
+        Experiments.ablate_pmwcas ());
+    ablate_cmd ~name:"ablate-crashes" ~doc:"throughput under periodic crashes"
+      ~title:"Failure-full throughput" ~x_label:"mtbf_us" ~y_label:"Mops/s"
+      (fun () -> Experiments.ablate_crash_mtbf ());
   ]
+
+(* ------------------------------ metrics ------------------------------ *)
+
+(* Run a finite deterministic workload on the counted simulator backend
+   and print the memory-event accounting for one queue implementation —
+   the quickest way to see e.g. flushes per operation. *)
+let metrics_run queue pairs det_pct =
+  let heap = Heap.create () in
+  let (module M) = Sim.counted_memory heap in
+  let module R = Dssq_workload.Registry.Make (M) in
+  match R.find_opt queue with
+  | None ->
+      Printf.eprintf "dssq: unknown queue %S; known queues: %s\n" queue
+        (String.concat ", " R.known_names);
+      exit 1
+  | Some mk ->
+      let nthreads = 2 in
+      let ops =
+        mk
+          (Dssq_core.Queue_intf.config ~nthreads
+             ~capacity:(16 + 8 + (nthreads * (pairs + 8)))
+             ())
+      in
+      for i = 1 to 16 do
+        ops.enqueue ~tid:(i mod nthreads) i
+      done;
+      M.reset_counters ();
+      let completed = ref 0 in
+      let worker tid () =
+        for i = 1 to pairs do
+          let v = (tid * 1_000_000) + i in
+          if Dssq_workload.Sim_throughput.detectable ~det_pct i then begin
+            ops.d_enqueue ~tid v;
+            incr completed;
+            ignore (ops.d_dequeue ~tid);
+            incr completed
+          end
+          else begin
+            ops.enqueue ~tid v;
+            incr completed;
+            ignore (ops.dequeue ~tid);
+            incr completed
+          end
+        done
+      in
+      ignore (Sim.run heap ~threads:[ worker 0; worker 1 ]);
+      let c = M.counters () in
+      Printf.printf "queue: %s   backend: sim   ops: %d   detectable: %d%%\n\n"
+        queue !completed det_pct;
+      Printf.printf "%-10s%12s%12s\n" "event" "total" "per-op";
+      let denom = float_of_int (max 1 !completed) in
+      List.iter
+        (fun (k, v) ->
+          Printf.printf "%-10s%12d%12.2f\n" k v (float_of_int v /. denom))
+        (Dssq_memory.Memory_intf.Counters.to_assoc c);
+      (match ops.stats () with
+      | [] -> ()
+      | st ->
+          Printf.printf "\nqueue stats:\n";
+          List.iter (fun (k, v) -> Printf.printf "  %-18s%12d\n" k v) st);
+      match Dssq_obs.Metrics.snapshot () with
+      | [] -> ()
+      | ms ->
+          Printf.printf "\nprocess metrics:\n";
+          List.iter (fun (k, v) -> Printf.printf "  %-24s%12d\n" k v) ms
+
+let metrics_cmd =
+  let queue =
+    Arg.(
+      value & opt string "dss-queue"
+      & info [ "queue" ] ~doc:"implementation to account (see dssq info)")
+  in
+  let pairs =
+    Arg.(
+      value & opt int 200
+      & info [ "pairs" ] ~doc:"enqueue/dequeue pairs per thread")
+  in
+  let det =
+    Arg.(
+      value & opt int 100
+      & info [ "det" ] ~doc:"percent of detectable operations")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"memory-event accounting for one queue on the simulator")
+    Term.(const metrics_run $ queue $ pairs $ det)
 
 let latency_cmd =
   let run () =
@@ -366,10 +493,11 @@ let info_cmd =
       \  dssq.pmem/sim  persistent-memory + crash simulator (volatile cache model)\n\
       \  dssq.lincheck  strict/recoverable linearizability checker\n\
       \  dssq.universal recoverable universal construction of D<T>\n\
-      \  dssq.ebr       epoch-based reclamation\n\n\
+      \  dssq.ebr       epoch-based reclamation\n\
+      \  dssq.obs       histograms, metrics, JSON run reports (--json)\n\n\
        Experiments: fig5a, fig5b, ablate-flush, ablate-demand,\n\
-       ablate-recovery, ablate-pmwcas, latency, lincheck, crash-demo.\n\
-       See DESIGN.md and EXPERIMENTS.md.\n"
+       ablate-recovery, ablate-pmwcas, latency, metrics, lincheck,\n\
+       crash-demo.  See DESIGN.md and EXPERIMENTS.md.\n"
   in
   Cmd.v (Cmd.info "info" ~doc:"what this repository implements") Term.(const run $ const ())
 
@@ -383,5 +511,13 @@ let () =
     (Cmd.eval
        (Cmd.group ~default
           (Cmd.info "dssq" ~doc:"DSS queue reproduction toolkit")
-          ([ fig5a_cmd; fig5b_cmd; latency_cmd; crash_demo_cmd; lincheck_cmd; info_cmd ]
+          ([
+             fig5a_cmd;
+             fig5b_cmd;
+             metrics_cmd;
+             latency_cmd;
+             crash_demo_cmd;
+             lincheck_cmd;
+             info_cmd;
+           ]
           @ ablate_cmds)))

@@ -329,6 +329,10 @@ module General (M : Dssq_memory.Memory_intf.S) = struct
   let name = "general-caswe-queue"
   let create ?reclaim ~nthreads ~capacity () =
     create ?reclaim ~x_kind:`Shared ~nthreads ~capacity ()
+
+  let of_config (cfg : Queue_intf.config) =
+    create ~reclaim:cfg.reclaim ~nthreads:cfg.nthreads ~capacity:cfg.capacity
+      ()
 end
 
 module Fast (M : Dssq_memory.Memory_intf.S) = struct
@@ -337,4 +341,8 @@ module Fast (M : Dssq_memory.Memory_intf.S) = struct
   let name = "fast-caswe-queue"
   let create ?reclaim ~nthreads ~capacity () =
     create ?reclaim ~x_kind:`Private ~nthreads ~capacity ()
+
+  let of_config (cfg : Queue_intf.config) =
+    create ~reclaim:cfg.reclaim ~nthreads:cfg.nthreads ~capacity:cfg.capacity
+      ()
 end

@@ -51,6 +51,9 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       nthreads;
     }
 
+  let of_config (cfg : Queue_intf.config) =
+    create ~nthreads:cfg.nthreads ~capacity:cfg.capacity
+
   let enqueue t ~tid v =
     let node = Pool.alloc_reclaiming t.pool ~ebr:t.ebr ~tid ~value:v in
     M.flush (Pool.value t.pool node);

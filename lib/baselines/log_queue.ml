@@ -75,6 +75,9 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       nthreads;
     }
 
+  let of_config (cfg : Queue_intf.config) =
+    create ~nthreads:cfg.nthreads ~capacity:cfg.capacity
+
   (* Allocate the next log entry from [tid]'s ring. *)
   let fresh_entry t ~tid =
     let slot = t.ring_pos.(tid) in

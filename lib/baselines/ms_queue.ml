@@ -34,6 +34,9 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
           ();
     }
 
+  let of_config (cfg : Queue_intf.config) =
+    create ~nthreads:cfg.nthreads ~capacity:cfg.capacity
+
   let enqueue t ~tid v =
     let node = Pool.alloc_reclaiming t.pool ~ebr:t.ebr ~tid ~value:v in
     Dssq_ebr.Ebr.enter t.ebr ~tid;

@@ -64,6 +64,10 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       nthreads;
     }
 
+  let of_config (cfg : Queue_intf.config) =
+    create ~reclaim:cfg.reclaim ~nthreads:cfg.nthreads ~capacity:cfg.capacity
+      ()
+
   (* Retire the nodes whose reclamation was deferred while X[tid] still
      referenced them; called exactly when X[tid] is about to move on. *)
   let release_deferred t ~tid =

@@ -20,6 +20,9 @@ module Make (M : Dssq_memory.Memory_intf.S) : sig
       [reclaim] (default true) recycles dequeued nodes through EBR;
       disable for simpler crash-scenario reasoning in tests. *)
 
+  val of_config : Queue_intf.config -> t
+  (** {!create} through the unified {!Queue_intf.config} record. *)
+
   (** {1 Non-detectable operations (Axiom 4)} *)
 
   val enqueue : t -> tid:int -> int -> unit

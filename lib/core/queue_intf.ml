@@ -25,15 +25,28 @@ let pp_resolved fmt = function
 
 let equal_resolved (a : resolved) (b : resolved) = a = b
 
+(** Shared constructor configuration, so every implementation (and the
+    registry dispatching over all of them) is built the same way.
+    [capacity] bounds the number of live queue nodes (per-thread
+    pre-allocated pools, as in the paper's evaluation); [reclaim]
+    recycles dequeued nodes through EBR where the implementation
+    supports it and is ignored elsewhere. *)
+type config = { nthreads : int; capacity : int; reclaim : bool }
+
+let config ?(reclaim = true) ~nthreads ~capacity () =
+  if nthreads <= 0 then invalid_arg "Queue_intf.config: nthreads must be > 0";
+  if capacity <= 0 then invalid_arg "Queue_intf.config: capacity must be > 0";
+  { nthreads; capacity; reclaim }
+
 (** Plain concurrent queue (non-detectable interface). *)
 module type QUEUE = sig
   type t
 
   val name : string
 
-  val create : nthreads:int -> capacity:int -> t
-  (** [capacity] bounds the number of live queue nodes (per-thread
-      pre-allocated pools, as in the paper's evaluation). *)
+  val of_config : config -> t
+  (** The unified constructor; implementation-specific [create]
+      functions remain as labelled conveniences. *)
 
   val enqueue : t -> tid:int -> int -> unit
   val dequeue : t -> tid:int -> int
@@ -75,4 +88,8 @@ type ops = {
   d_dequeue : tid:int -> int;  (** prep + exec, detectable *)
   recover : unit -> unit;  (** post-crash recovery; no-op if unsupported *)
   resolve : tid:int -> resolved;  (** [Nothing] if detection unsupported *)
+  stats : unit -> (string * int) list;
+      (** implementation-specific gauges (pool occupancy, …) surfaced
+          without downcasting; [[]] for implementations without any.
+          Quiescent use only. *)
 }

@@ -47,15 +47,79 @@ module type S = sig
   (** Store fence without a write-back; orders prior flushes. *)
 end
 
-(** Statistics hooks a backend may expose (the simulator implements them;
-    the native backend counts only when enabled). *)
+(** A snapshot of memory-event counters: one monotonic count per event
+    class of {!S}.  Both backends produce these through the same
+    {!COUNTED} interface, so the workload harness can report per-phase
+    flush/fence/CAS deltas uniformly (the paper's Section 4 cost
+    accounting). *)
+type counters = {
+  reads : int;
+  writes : int;
+  cases : int;
+  flushes : int;
+  fences : int;
+}
+
+module Counters = struct
+  let zero = { reads = 0; writes = 0; cases = 0; flushes = 0; fences = 0 }
+
+  let add a b =
+    {
+      reads = a.reads + b.reads;
+      writes = a.writes + b.writes;
+      cases = a.cases + b.cases;
+      flushes = a.flushes + b.flushes;
+      fences = a.fences + b.fences;
+    }
+
+  (** [diff ~after ~before] is the delta between two snapshots of the
+      same monotonic counters (e.g. around one benchmark phase). *)
+  let diff ~after ~before =
+    {
+      reads = after.reads - before.reads;
+      writes = after.writes - before.writes;
+      cases = after.cases - before.cases;
+      flushes = after.flushes - before.flushes;
+      fences = after.fences - before.fences;
+    }
+
+  let total c = c.reads + c.writes + c.cases + c.flushes + c.fences
+
+  let to_assoc c =
+    [
+      ("reads", c.reads);
+      ("writes", c.writes);
+      ("cases", c.cases);
+      ("flushes", c.flushes);
+      ("fences", c.fences);
+    ]
+
+  let of_assoc l =
+    let get k = Option.value ~default:0 (List.assoc_opt k l) in
+    {
+      reads = get "reads";
+      writes = get "writes";
+      cases = get "cases";
+      flushes = get "flushes";
+      fences = get "fences";
+    }
+
+  let pp fmt c =
+    Format.fprintf fmt "reads=%d writes=%d cases=%d flushes=%d fences=%d"
+      c.reads c.writes c.cases c.flushes c.fences
+end
+
+(** A backend with uniform memory-event accounting: snapshot with
+    {!val-counters}, compute phase deltas with {!Counters.diff}.
+
+    Enabling is by {e backend selection}, not per-operation flags: the
+    uninstrumented {!S} modules stay branch-free on the hot path, and a
+    harness that wants counts instantiates its algorithm functor over a
+    counted backend instead ([Dssq_memory.Native.Counted ()] or
+    [Dssq_sim.Sim.counted_memory heap]). *)
 module type COUNTED = sig
   include S
 
-  val reads : unit -> int
-  val writes : unit -> int
-  val cases : unit -> int
-  val flushes : unit -> int
-  val fences : unit -> int
+  val counters : unit -> counters
   val reset_counters : unit -> unit
 end

@@ -24,3 +24,57 @@ let flush c =
   Persist_cost.pay_flush ()
 
 let fence () = Persist_cost.pay_fence ()
+
+(** Counting variant of the native backend, for memory-event accounting
+    on real domains.  Generative: each [Counted ()] instantiation owns a
+    fresh set of counters, so concurrent harness runs do not share state.
+    Instrumentation is enabled by instantiating algorithm functors over
+    this module instead of the plain backend — the plain operations above
+    stay branch-free when accounting is off. *)
+module Counted () : Memory_intf.COUNTED with type 'a cell = 'a Atomic.t =
+struct
+  type nonrec 'a cell = 'a cell
+
+  let c_reads = Atomic.make 0
+  let c_writes = Atomic.make 0
+  let c_cases = Atomic.make 0
+  let c_flushes = Atomic.make 0
+  let c_fences = Atomic.make 0
+  let alloc = alloc
+
+  let read c =
+    Atomic.incr c_reads;
+    read c
+
+  let write c v =
+    Atomic.incr c_writes;
+    write c v
+
+  let cas c ~expected ~desired =
+    Atomic.incr c_cases;
+    cas c ~expected ~desired
+
+  let flush c =
+    Atomic.incr c_flushes;
+    flush c
+
+  let fence () =
+    Atomic.incr c_fences;
+    fence ()
+
+  let counters () =
+    {
+      Memory_intf.reads = Atomic.get c_reads;
+      writes = Atomic.get c_writes;
+      cases = Atomic.get c_cases;
+      flushes = Atomic.get c_flushes;
+      fences = Atomic.get c_fences;
+    }
+
+  let reset_counters () =
+    Atomic.set c_reads 0;
+    Atomic.set c_writes 0;
+    Atomic.set c_cases 0;
+    Atomic.set c_flushes 0;
+    Atomic.set c_fences 0
+end

@@ -13,3 +13,9 @@ val write : 'a cell -> 'a -> unit
 val cas : 'a cell -> expected:'a -> desired:'a -> bool
 val flush : 'a cell -> unit
 val fence : unit -> unit
+
+module Counted () : Memory_intf.COUNTED with type 'a cell = 'a Atomic.t
+(** Counting variant for memory-event accounting on real domains; each
+    instantiation owns fresh counters.  Instantiate algorithm functors
+    over this module (instead of the plain backend) to enable
+    accounting — the plain operations stay branch-free. *)

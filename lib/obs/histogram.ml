@@ -1,0 +1,176 @@
+(** Log-bucketed latency histograms.
+
+    Bucket [i] covers the half-open range [gamma^i, gamma^(i+1)), so the
+    relative quantile error is bounded by [sqrt gamma] regardless of the
+    latency scale — the standard trick of HdrHistogram/DDSketch, sized
+    here for nanosecond latencies.  Values below 1 (sub-nanosecond) are
+    clamped into bucket 0; the exact [sum]/[min]/[max] are tracked on the
+    side so means and range stay exact while quantiles are approximate. *)
+
+type t = {
+  gamma : float;
+  mutable counts : int array; (* counts.(i): values in [gamma^i, gamma^(i+1)) *)
+  mutable total : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+let default_gamma = 1.25
+
+let create ?(gamma = default_gamma) () =
+  if gamma <= 1. then invalid_arg "Histogram.create: gamma must be > 1";
+  {
+    gamma;
+    counts = [||];
+    total = 0;
+    sum = 0.;
+    vmin = infinity;
+    vmax = neg_infinity;
+  }
+
+let copy t = { t with counts = Array.copy t.counts }
+
+let bucket_of t v =
+  if v < t.gamma then 0 else int_of_float (Float.log v /. Float.log t.gamma)
+
+let ensure t i =
+  if i >= Array.length t.counts then begin
+    let counts = Array.make (max (i + 1) (2 * Array.length t.counts + 8)) 0 in
+    Array.blit t.counts 0 counts 0 (Array.length t.counts);
+    t.counts <- counts
+  end
+
+let add t v =
+  let i = bucket_of t (Float.max v 1.) in
+  ensure t i;
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum +. v;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v
+
+let total t = t.total
+let sum t = t.sum
+let min_value t = t.vmin
+let max_value t = t.vmax
+let mean t = if t.total = 0 then Float.nan else t.sum /. float_of_int t.total
+
+(** Representative value of bucket [i]: the geometric midpoint of its
+    range, clamped into the observed [min, max]. *)
+let representative t i =
+  let v = Float.pow t.gamma (float_of_int i +. 0.5) in
+  Float.min t.vmax (Float.max t.vmin v)
+
+let quantile t q =
+  if t.total = 0 then Float.nan
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank = int_of_float (Float.round (q *. float_of_int (t.total - 1))) in
+    let rec walk i seen =
+      if i >= Array.length t.counts then t.vmax
+      else begin
+        let seen = seen + t.counts.(i) in
+        if seen > rank then representative t i else walk (i + 1) seen
+      end
+    in
+    walk 0 0
+  end
+
+let p50 t = quantile t 0.50
+let p90 t = quantile t 0.90
+let p99 t = quantile t 0.99
+
+let merge a b =
+  if a.gamma <> b.gamma then
+    invalid_arg "Histogram.merge: gamma mismatch";
+  let n = max (Array.length a.counts) (Array.length b.counts) in
+  let counts = Array.make n 0 in
+  let blend (h : t) =
+    Array.iteri (fun i c -> counts.(i) <- counts.(i) + c) h.counts
+  in
+  blend a;
+  blend b;
+  {
+    gamma = a.gamma;
+    counts;
+    total = a.total + b.total;
+    sum = a.sum +. b.sum;
+    vmin = Float.min a.vmin b.vmin;
+    vmax = Float.max a.vmax b.vmax;
+  }
+
+(* Trailing-zero-free view of the counts, used by equality and JSON so
+   that growth-policy artifacts never distinguish equal histograms. *)
+let sparse_counts t =
+  let acc = ref [] in
+  Array.iteri (fun i c -> if c > 0 then acc := (i, c) :: !acc) t.counts;
+  List.rev !acc
+
+let equal a b =
+  a.gamma = b.gamma && a.total = b.total
+  && sparse_counts a = sparse_counts b
+  && a.sum = b.sum
+  && (a.total = 0 || (a.vmin = b.vmin && a.vmax = b.vmax))
+
+(* ------------------------------ rendering ----------------------------- *)
+
+let pp fmt t =
+  if t.total = 0 then Format.pp_print_string fmt "(empty)"
+  else
+    Format.fprintf fmt
+      "n=%d mean=%.1f min=%.1f p50=%.1f p90=%.1f p99=%.1f max=%.1f" t.total
+      (mean t) t.vmin (p50 t) (p90 t) (p99 t) t.vmax
+
+(** Bucket-by-bucket bar chart (one row per populated bucket). *)
+let pp_bars ?(width = 40) fmt t =
+  let buckets = sparse_counts t in
+  let peak = List.fold_left (fun m (_, c) -> max m c) 1 buckets in
+  List.iter
+    (fun (i, c) ->
+      let bar = max 1 (c * width / peak) in
+      Format.fprintf fmt "%10.0f .. %10.0f |%-*s %d@."
+        (Float.pow t.gamma (float_of_int i))
+        (Float.pow t.gamma (float_of_int (i + 1)))
+        width (String.make bar '#') c)
+    buckets
+
+(* -------------------------------- JSON -------------------------------- *)
+
+let to_json t : Json.t =
+  Json.Obj
+    [
+      ("gamma", Json.Float t.gamma);
+      ("total", Json.Int t.total);
+      ("sum", Json.Float t.sum);
+      ("min", Json.Float (if t.total = 0 then 0. else t.vmin));
+      ("max", Json.Float (if t.total = 0 then 0. else t.vmax));
+      ( "counts",
+        Json.List
+          (List.map
+             (fun (i, c) -> Json.List [ Json.Int i; Json.Int c ])
+             (sparse_counts t)) );
+      (* Derived, for human/tool consumption; ignored by [of_json]. *)
+      ("p50", Json.Float (p50 t));
+      ("p90", Json.Float (p90 t));
+      ("p99", Json.Float (p99 t));
+    ]
+
+let of_json (j : Json.t) =
+  let t = create ~gamma:(Json.to_float (Json.member "gamma" j)) () in
+  List.iter
+    (fun pair ->
+      match Json.to_list pair with
+      | [ i; c ] ->
+          let i = Json.to_int i and c = Json.to_int c in
+          ensure t i;
+          t.counts.(i) <- c
+      | _ -> raise (Json.Parse_error "histogram counts: expected [i, c]"))
+    (Json.to_list (Json.member "counts" j));
+  t.total <- Json.to_int (Json.member "total" j);
+  t.sum <- Json.to_float (Json.member "sum" j);
+  if t.total > 0 then begin
+    t.vmin <- Json.to_float (Json.member "min" j);
+    t.vmax <- Json.to_float (Json.member "max" j)
+  end;
+  t

@@ -1,0 +1,48 @@
+(** Log-bucketed latency histograms (HdrHistogram-style): bucket [i]
+    covers [gamma^i, gamma^(i+1)), bounding relative quantile error by
+    [sqrt gamma] at any latency scale.  Sum/min/max are exact; quantiles
+    are bucket-resolution approximations clamped into [min, max].
+    Sub-1 values (the unit is nanoseconds) clamp into bucket 0. *)
+
+type t
+
+val default_gamma : float
+(** 1.25 — ≤ 12% relative quantile error. *)
+
+val create : ?gamma:float -> unit -> t
+(** @raise Invalid_argument if [gamma <= 1]. *)
+
+val copy : t -> t
+val add : t -> float -> unit
+val total : t -> int
+val sum : t -> float
+val mean : t -> float
+(** [nan] when empty, like the quantiles. *)
+
+val min_value : t -> float
+val max_value : t -> float
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [0, 1] (clamped). *)
+
+val p50 : t -> float
+val p90 : t -> float
+val p99 : t -> float
+
+val merge : t -> t -> t
+(** Pure; @raise Invalid_argument on a gamma mismatch. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: n, mean, min, p50/p90/p99, max. *)
+
+val pp_bars : ?width:int -> Format.formatter -> t -> unit
+(** Bucket-by-bucket ASCII bar chart. *)
+
+val to_json : t -> Json.t
+(** Includes derived p50/p90/p99 fields for consumers; {!of_json}
+    ignores them. *)
+
+val of_json : Json.t -> t
+(** @raise Json.Parse_error on schema mismatch. *)

@@ -1,0 +1,289 @@
+(** Minimal JSON tree, printer and parser — enough for the run-report
+    schema, with no dependency outside the stdlib (the container has no
+    yojson).  Numbers are kept as [Int] when they are written without a
+    fraction or exponent, so integer counters round-trip exactly; floats
+    are printed with 17 significant digits, which round-trips every
+    finite [float]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------ printing ----------------------------- *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_literal f =
+  if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec write buf ~indent ~level (v : t) =
+  let pad n = if indent then Buffer.add_string buf (String.make (2 * n) ' ') in
+  let newline () = if indent then Buffer.add_char buf '\n' in
+  let seq left right items emit =
+    if items = [] then (
+      Buffer.add_char buf left;
+      Buffer.add_char buf right)
+    else begin
+      Buffer.add_char buf left;
+      newline ();
+      List.iteri
+        (fun i item ->
+          if i > 0 then begin
+            Buffer.add_char buf ',';
+            newline ()
+          end;
+          pad (level + 1);
+          emit item)
+        items;
+      newline ();
+      pad level;
+      Buffer.add_char buf right
+    end
+  in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_nan f || Float.is_integer (f /. 0.) then
+        (* JSON has no nan/inf; null is the conventional encoding. *)
+        Buffer.add_string buf "null"
+      else Buffer.add_string buf (float_literal f)
+  | String s -> escape buf s
+  | List items ->
+      seq '[' ']' items (fun item -> write buf ~indent ~level:(level + 1) item)
+  | Obj fields ->
+      seq '{' '}' fields (fun (k, item) ->
+          escape buf k;
+          Buffer.add_string buf (if indent then ": " else ":");
+          write buf ~indent ~level:(level + 1) item)
+
+let to_string ?(indent = true) v =
+  let buf = Buffer.create 1024 in
+  write buf ~indent ~level:0 v;
+  if indent then Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* ------------------------------ parsing ------------------------------ *)
+
+type cursor = { s : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> parse_error "expected %C at offset %d, found %C" ch c.pos x
+  | None -> parse_error "expected %C at offset %d, found end of input" ch c.pos
+
+let literal c word (v : t) =
+  if
+    c.pos + String.length word <= String.length c.s
+    && String.sub c.s c.pos (String.length word) = word
+  then begin
+    c.pos <- c.pos + String.length word;
+    v
+  end
+  else parse_error "invalid literal at offset %d" c.pos
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> parse_error "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | Some '"' -> advance c; Buffer.add_char buf '"'; go ()
+        | Some '\\' -> advance c; Buffer.add_char buf '\\'; go ()
+        | Some '/' -> advance c; Buffer.add_char buf '/'; go ()
+        | Some 'n' -> advance c; Buffer.add_char buf '\n'; go ()
+        | Some 'r' -> advance c; Buffer.add_char buf '\r'; go ()
+        | Some 't' -> advance c; Buffer.add_char buf '\t'; go ()
+        | Some 'b' -> advance c; Buffer.add_char buf '\b'; go ()
+        | Some 'f' -> advance c; Buffer.add_char buf '\012'; go ()
+        | Some 'u' ->
+            advance c;
+            if c.pos + 4 > String.length c.s then
+              parse_error "truncated \\u escape";
+            let hex = String.sub c.s c.pos 4 in
+            c.pos <- c.pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> parse_error "bad \\u escape %S" hex
+            in
+            (* Only the codepoints we ever emit (< 0x80); others are kept
+               as a replacement to stay total. *)
+            Buffer.add_char buf
+              (if code < 0x80 then Char.chr code else '?');
+            go ()
+        | _ -> parse_error "bad escape at offset %d" c.pos)
+    | Some ch ->
+        advance c;
+        Buffer.add_char buf ch;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec go () =
+    match peek c with
+    | Some ch when is_num_char ch ->
+        advance c;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  let lit = String.sub c.s start (c.pos - start) in
+  let is_float =
+    String.exists (fun ch -> ch = '.' || ch = 'e' || ch = 'E') lit
+  in
+  if is_float then
+    match float_of_string_opt lit with
+    | Some f -> Float f
+    | None -> parse_error "bad number %S" lit
+  else
+    match int_of_string_opt lit with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt lit with
+        | Some f -> Float f
+        | None -> parse_error "bad number %S" lit)
+
+let rec parse_value c : t =
+  skip_ws c;
+  match peek c with
+  | None -> parse_error "unexpected end of input"
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        advance c;
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws c;
+          let k = parse_string c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              fields ((k, v) :: acc)
+          | Some '}' ->
+              advance c;
+              List.rev ((k, v) :: acc)
+          | _ -> parse_error "expected ',' or '}' at offset %d" c.pos
+        in
+        Obj (fields [])
+      end
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              items (v :: acc)
+          | Some ']' ->
+              advance c;
+              List.rev (v :: acc)
+          | _ -> parse_error "expected ',' or ']' at offset %d" c.pos
+        in
+        List (items [])
+      end
+  | Some '"' -> String (parse_string c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> parse_error "unexpected %C at offset %d" ch c.pos
+
+let of_string s =
+  let c = { s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then
+    parse_error "trailing garbage at offset %d" c.pos;
+  v
+
+(* ----------------------------- accessors ----------------------------- *)
+
+let member key = function
+  | Obj fields -> Option.value ~default:Null (List.assoc_opt key fields)
+  | _ -> Null
+
+let to_int = function
+  | Int i -> i
+  | Float f when Float.is_integer f -> int_of_float f
+  | v -> parse_error "expected int, got %s" (to_string ~indent:false v)
+
+let to_float = function
+  | Float f -> f
+  | Int i -> float_of_int i
+  | Null -> Float.nan (* nan/inf are encoded as null *)
+  | v -> parse_error "expected number, got %s" (to_string ~indent:false v)
+
+let to_str = function
+  | String s -> s
+  | v -> parse_error "expected string, got %s" (to_string ~indent:false v)
+
+let to_list = function
+  | List l -> l
+  | v -> parse_error "expected array, got %s" (to_string ~indent:false v)
+
+let to_obj = function
+  | Obj fields -> fields
+  | v -> parse_error "expected object, got %s" (to_string ~indent:false v)

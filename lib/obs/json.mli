@@ -1,0 +1,34 @@
+(** Minimal JSON tree, printer and parser for the run-report schema (no
+    dependency outside the stdlib).  Integer-written numbers parse back
+    as [Int]; floats print with enough digits to round-trip exactly;
+    nan/inf encode as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : ?indent:bool -> t -> string
+(** [indent] (default true) pretty-prints with two-space indentation. *)
+
+val of_string : string -> t
+(** @raise Parse_error on malformed input (with an offset). *)
+
+(** Accessors; all raise {!Parse_error} on a type mismatch. *)
+
+val member : string -> t -> t
+(** Field of an object, [Null] if absent or not an object. *)
+
+val to_int : t -> int
+val to_float : t -> float
+(** [Null] reads back as [nan] (the encoding of nan/inf). *)
+
+val to_str : t -> string
+val to_list : t -> t list
+val to_obj : t -> (string * t) list

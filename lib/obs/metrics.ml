@@ -1,0 +1,61 @@
+(** A process-wide registry of named monotonic counters and gauges.
+
+    Harness code registers a metric once (idempotent by name) and bumps
+    it from any domain; [snapshot] returns a stable, sorted view that the
+    run report embeds.  Values are [Atomic.t] and registration is
+    mutex-protected, so native-backend workers may record concurrently.
+    Cost when a metric is never touched: zero — there is no global
+    "enabled" check on any hot path; instrumented harness variants are
+    separate code paths (see DESIGN.md §observability). *)
+
+type kind = Counter | Gauge
+type metric = { name : string; kind : kind; v : int Atomic.t }
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 32
+let lock = Mutex.create ()
+
+let register name kind =
+  Mutex.lock lock;
+  let m =
+    match Hashtbl.find_opt registry name with
+    | Some m ->
+        if m.kind <> kind then begin
+          Mutex.unlock lock;
+          invalid_arg
+            (Printf.sprintf "Metrics: %S already registered with another kind"
+               name)
+        end;
+        m
+    | None ->
+        let m = { name; kind; v = Atomic.make 0 } in
+        Hashtbl.add registry name m;
+        m
+  in
+  Mutex.unlock lock;
+  m
+
+let counter name = register name Counter
+let gauge name = register name Gauge
+
+let incr ?(by = 1) m =
+  if m.kind <> Counter then invalid_arg "Metrics.incr: not a counter";
+  if by < 0 then invalid_arg "Metrics.incr: counters are monotonic";
+  ignore (Atomic.fetch_and_add m.v by)
+
+let set m x =
+  if m.kind <> Gauge then invalid_arg "Metrics.set: not a gauge";
+  Atomic.set m.v x
+
+let get m = Atomic.get m.v
+let name m = m.name
+
+let snapshot () =
+  Mutex.lock lock;
+  let all = Hashtbl.fold (fun _ m acc -> (m.name, Atomic.get m.v) :: acc) registry [] in
+  Mutex.unlock lock;
+  List.sort compare all
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.iter (fun _ m -> Atomic.set m.v 0) registry;
+  Mutex.unlock lock

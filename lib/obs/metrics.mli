@@ -1,0 +1,29 @@
+(** Process-wide registry of named monotonic counters and gauges.
+    Registration is idempotent by name; values are atomic, so
+    native-backend workers may record concurrently.  [snapshot] feeds
+    the run report. *)
+
+type kind = Counter | Gauge
+type metric
+
+val counter : string -> metric
+(** Find-or-register a monotonic counter.
+    @raise Invalid_argument if the name is registered as a gauge. *)
+
+val gauge : string -> metric
+(** Find-or-register a gauge. *)
+
+val incr : ?by:int -> metric -> unit
+(** @raise Invalid_argument on a gauge or a negative [by]. *)
+
+val set : metric -> int -> unit
+(** @raise Invalid_argument on a counter. *)
+
+val get : metric -> int
+val name : metric -> string
+
+val snapshot : unit -> (string * int) list
+(** All registered metrics, sorted by name. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (tests and fresh runs). *)

@@ -1,0 +1,242 @@
+(** Schema-versioned, archivable benchmark run reports.
+
+    A report captures everything the paper's evaluation (Section 4)
+    reports for a figure — per-series throughput samples, per-operation
+    latency histograms, and memory-event (flush/fence/CAS) counter
+    deltas — plus the provenance needed to compare runs across commits:
+    git revision, backend, and experiment parameters.  The JSON encoding
+    carries an explicit [schema]/[version] pair; decoders reject foreign
+    schemas and newer versions instead of misreading them. *)
+
+module MI = Dssq_memory.Memory_intf
+
+let schema_name = "dssq.run-report"
+let schema_version = 1
+
+(** One instrumented measurement (one repeat at one x). *)
+type sample = {
+  mops : float;  (** throughput, million operations per second *)
+  ops : int;  (** operations completed during the measured phase *)
+  events : MI.counters;  (** memory-event delta over the measured phase *)
+  latency : Histogram.t option;  (** per-operation latency, nanoseconds *)
+}
+
+(** Repeats merged at one x: throughput samples side by side with the
+    summed event deltas and the merged latency histogram. *)
+type point = {
+  x : int;
+  samples : float list;
+  ops : int;
+  events : MI.counters;
+  latency : Histogram.t option;
+}
+
+type series = { label : string; points : point list }
+
+type t = {
+  version : int;
+  git_rev : string;
+  backend : string;
+  experiment : string;
+  x_label : string;
+  y_label : string;
+  params : (string * string) list;
+  series : series list;
+  metrics : (string * int) list;
+}
+
+let point_of_samples ~x (samples : sample list) : point =
+  let latency =
+    match List.filter_map (fun (s : sample) -> s.latency) samples with
+    | [] -> None
+    | h :: rest -> Some (List.fold_left Histogram.merge (Histogram.copy h) rest)
+  in
+  {
+    x;
+    samples = List.map (fun (s : sample) -> s.mops) samples;
+    ops = List.fold_left (fun acc (s : sample) -> acc + s.ops) 0 samples;
+    events =
+      List.fold_left
+        (fun acc (s : sample) -> MI.Counters.add acc s.events)
+        MI.Counters.zero samples;
+    latency;
+  }
+
+let git_rev () =
+  try
+    let ic =
+      Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null"
+    in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let make ?(params = []) ?metrics ?git_rev:rev ~backend ~experiment ~x_label
+    ~y_label series =
+  {
+    version = schema_version;
+    git_rev = (match rev with Some r -> r | None -> git_rev ());
+    backend;
+    experiment;
+    x_label;
+    y_label;
+    params;
+    series;
+    metrics = (match metrics with Some m -> m | None -> Metrics.snapshot ());
+  }
+
+(* ------------------------------ equality ------------------------------ *)
+
+let equal_point a b =
+  a.x = b.x && a.samples = b.samples && a.ops = b.ops && a.events = b.events
+  && Option.equal Histogram.equal a.latency b.latency
+
+let equal_series a b =
+  a.label = b.label
+  && List.length a.points = List.length b.points
+  && List.for_all2 equal_point a.points b.points
+
+let equal a b =
+  a.version = b.version && a.git_rev = b.git_rev && a.backend = b.backend
+  && a.experiment = b.experiment && a.x_label = b.x_label
+  && a.y_label = b.y_label && a.params = b.params && a.metrics = b.metrics
+  && List.length a.series = List.length b.series
+  && List.for_all2 equal_series a.series b.series
+
+(* -------------------------------- JSON -------------------------------- *)
+
+let events_to_json (c : MI.counters) : Json.t =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (MI.Counters.to_assoc c))
+
+let events_of_json j =
+  MI.Counters.of_assoc
+    (List.map (fun (k, v) -> (k, Json.to_int v)) (Json.to_obj j))
+
+let point_to_json p : Json.t =
+  Json.Obj
+    ([
+       ("x", Json.Int p.x);
+       ("samples", Json.List (List.map (fun s -> Json.Float s) p.samples));
+       ("ops", Json.Int p.ops);
+       ("events", events_to_json p.events);
+     ]
+    @ match p.latency with
+      | None -> []
+      | Some h -> [ ("latency", Histogram.to_json h) ])
+
+let point_of_json j =
+  {
+    x = Json.to_int (Json.member "x" j);
+    samples = List.map Json.to_float (Json.to_list (Json.member "samples" j));
+    ops = Json.to_int (Json.member "ops" j);
+    events = events_of_json (Json.member "events" j);
+    latency =
+      (match Json.member "latency" j with
+      | Json.Null -> None
+      | h -> Some (Histogram.of_json h));
+  }
+
+let series_to_json s : Json.t =
+  Json.Obj
+    [
+      ("label", Json.String s.label);
+      ("points", Json.List (List.map point_to_json s.points));
+    ]
+
+let series_of_json j =
+  {
+    label = Json.to_str (Json.member "label" j);
+    points = List.map point_of_json (Json.to_list (Json.member "points" j));
+  }
+
+let to_json t : Json.t =
+  Json.Obj
+    [
+      ("schema", Json.String schema_name);
+      ("version", Json.Int t.version);
+      ("git_rev", Json.String t.git_rev);
+      ("backend", Json.String t.backend);
+      ("experiment", Json.String t.experiment);
+      ("x_label", Json.String t.x_label);
+      ("y_label", Json.String t.y_label);
+      ( "params",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) t.params) );
+      ("series", Json.List (List.map series_to_json t.series));
+      ( "metrics",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) t.metrics) );
+    ]
+
+let of_json j =
+  let schema = Json.to_str (Json.member "schema" j) in
+  if schema <> schema_name then
+    raise
+      (Json.Parse_error
+         (Printf.sprintf "not a %s document (schema = %S)" schema_name schema));
+  let version = Json.to_int (Json.member "version" j) in
+  if version > schema_version then
+    raise
+      (Json.Parse_error
+         (Printf.sprintf
+            "run report version %d is newer than this reader (max %d)" version
+            schema_version));
+  {
+    version;
+    git_rev = Json.to_str (Json.member "git_rev" j);
+    backend = Json.to_str (Json.member "backend" j);
+    experiment = Json.to_str (Json.member "experiment" j);
+    x_label = Json.to_str (Json.member "x_label" j);
+    y_label = Json.to_str (Json.member "y_label" j);
+    params =
+      List.map
+        (fun (k, v) -> (k, Json.to_str v))
+        (Json.to_obj (Json.member "params" j));
+    series = List.map series_of_json (Json.to_list (Json.member "series" j));
+    metrics =
+      List.map
+        (fun (k, v) -> (k, Json.to_int v))
+        (Json.to_obj (Json.member "metrics" j));
+  }
+
+let to_string t = Json.to_string (to_json t)
+let of_string s = of_json (Json.of_string s)
+
+let reports_written = Metrics.counter "obs.reports_written"
+
+let write path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t));
+  Metrics.incr reports_written
+
+let read path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+(* ------------------------------ rendering ----------------------------- *)
+
+let pp fmt t =
+  Format.fprintf fmt "%s@%s on %s (%s vs %s), schema v%d@." t.experiment
+    t.git_rev t.backend t.y_label t.x_label t.version;
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "  %s:@." s.label;
+      List.iter
+        (fun p ->
+          Format.fprintf fmt "    x=%-6d mean=%.3f  %a" p.x
+            (match p.samples with
+            | [] -> Float.nan
+            | l ->
+                List.fold_left ( +. ) 0. l /. float_of_int (List.length l))
+            MI.Counters.pp p.events;
+          (match p.latency with
+          | Some h when Histogram.total h > 0 ->
+              Format.fprintf fmt "  lat[%a]" Histogram.pp h
+          | _ -> ());
+          Format.fprintf fmt "@.")
+        s.points)
+    t.series

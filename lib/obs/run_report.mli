@@ -1,0 +1,74 @@
+(** Schema-versioned, archivable benchmark run reports: per-series
+    throughput samples, per-operation latency histograms, and
+    memory-event counter deltas, plus provenance (git revision, backend,
+    parameters).  Decoders reject foreign schemas and newer versions. *)
+
+module MI = Dssq_memory.Memory_intf
+
+val schema_name : string
+val schema_version : int
+
+(** One instrumented measurement (one repeat at one x). *)
+type sample = {
+  mops : float;  (** throughput, million operations per second *)
+  ops : int;  (** operations completed during the measured phase *)
+  events : MI.counters;  (** memory-event delta over the measured phase *)
+  latency : Histogram.t option;  (** per-operation latency, nanoseconds *)
+}
+
+(** Repeats merged at one x. *)
+type point = {
+  x : int;
+  samples : float list;
+  ops : int;
+  events : MI.counters;
+  latency : Histogram.t option;
+}
+
+type series = { label : string; points : point list }
+
+type t = {
+  version : int;
+  git_rev : string;
+  backend : string;
+  experiment : string;
+  x_label : string;
+  y_label : string;
+  params : (string * string) list;
+  series : series list;
+  metrics : (string * int) list;
+}
+
+val point_of_samples : x:int -> sample list -> point
+(** Merge repeats: throughput samples collected, events summed, latency
+    histograms merged. *)
+
+val git_rev : unit -> string
+(** Short revision of the working tree, or ["unknown"]. *)
+
+val make :
+  ?params:(string * string) list ->
+  ?metrics:(string * int) list ->
+  ?git_rev:string ->
+  backend:string ->
+  experiment:string ->
+  x_label:string ->
+  y_label:string ->
+  series list ->
+  t
+(** Defaults: [git_rev] probed from the working tree, [metrics] from
+    {!Metrics.snapshot}. *)
+
+val equal : t -> t -> bool
+
+val to_json : t -> Json.t
+val of_json : Json.t -> t
+(** @raise Json.Parse_error on a foreign schema or newer version. *)
+
+val to_string : t -> string
+val of_string : string -> t
+val write : string -> t -> unit
+val read : string -> t
+
+val pp : Format.formatter -> t -> unit
+(** Compact human summary (not the JSON). *)

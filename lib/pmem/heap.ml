@@ -92,6 +92,18 @@ let crash_random t ~evict_p ~rng =
 
 let stats t = t.stats
 
+(** The same statistics as an immutable {!Dssq_memory.Memory_intf.counters}
+    snapshot — the uniform accounting currency shared with the native
+    backend. *)
+let counters t : Dssq_memory.Memory_intf.counters =
+  {
+    Dssq_memory.Memory_intf.reads = t.stats.reads;
+    writes = t.stats.writes;
+    cases = t.stats.cases;
+    flushes = t.stats.flushes;
+    fences = t.stats.fences;
+  }
+
 let reset_stats t =
   let s = t.stats in
   s.reads <- 0;

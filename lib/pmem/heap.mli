@@ -48,5 +48,10 @@ val crash_random : t -> evict_p:float -> rng:Random.State.t -> unit
 
 val dirty_count : t -> int
 val stats : t -> stats
+
+val counters : t -> Dssq_memory.Memory_intf.counters
+(** {!stats} as an immutable snapshot in the uniform counter currency
+    shared with the native backend. *)
+
 val reset_stats : t -> unit
 val cell_count : t -> int

@@ -64,6 +64,18 @@ let memory heap : (module Dssq_memory.Memory_intf.S) =
     let fence () = op Sim_op.Fence
   end)
 
+(** {!memory} plus the uniform accounting interface: the heap always
+    counts events (that {e is} the simulator's cost model), so this just
+    exposes snapshot/reset in the same [COUNTED] shape as
+    [Dssq_memory.Native.Counted]. *)
+let counted_memory heap : (module Dssq_memory.Memory_intf.COUNTED) =
+  (module struct
+    include (val memory heap : Dssq_memory.Memory_intf.S)
+
+    let counters () = Heap.counters heap
+    let reset_counters () = Heap.reset_stats heap
+  end)
+
 (** Explicit scheduling point usable from thread code (e.g. workloads that
     want to be preemptible between high-level operations). *)
 let yield heap =

@@ -46,6 +46,10 @@ val memory : Heap.t -> (module Dssq_memory.Memory_intf.S)
 (** A first-class [MEMORY] backed by the heap: operations suspend into
     the scheduler inside {!run}, and apply directly outside. *)
 
+val counted_memory : Heap.t -> (module Dssq_memory.Memory_intf.COUNTED)
+(** {!memory} plus uniform event accounting (the heap always counts);
+    same [COUNTED] shape as [Dssq_memory.Native.Counted ()]. *)
+
 val yield : Heap.t -> unit
 (** Explicit scheduling point for thread code (no-op outside {!run}). *)
 

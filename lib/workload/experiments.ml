@@ -11,36 +11,42 @@ let default_threads = [ 1; 2; 3; 4; 6; 8; 10; 12; 14; 16; 18; 20 ]
 
 type queue_config = { label : string; mk : string; det_pct : int }
 
-let measure_point ~backend ~horizon_ns ~duration ~repeats (q : queue_config)
-    ~nthreads =
+let measure_point ~backend ~horizon_ns ~duration ~repeats ~instrument
+    (q : queue_config) ~nthreads : Dssq_obs.Run_report.sample list =
   List.init repeats (fun r ->
       match backend with
       | Sim_model ->
-          Sim_throughput.measure ~seed:(1 + r) ~horizon_ns ~mk:q.mk
-            ~det_pct:q.det_pct ~nthreads ()
+          Sim_throughput.measure_ex ~seed:(1 + r) ~horizon_ns ~mk:q.mk
+            ~det_pct:q.det_pct ~instrument ~nthreads ()
       | Native_domains ->
-          Native_throughput.measure ~mk:q.mk ~det_pct:q.det_pct ~nthreads
-            ~duration ())
+          Native_throughput.measure_ex ~mk:q.mk ~det_pct:q.det_pct ~instrument
+            ~nthreads ~duration ())
 
-let sweep ?(backend = Sim_model) ?(threads = default_threads) ?(repeats = 3)
-    ?(horizon_ns = 300_000.) ?(duration = 0.2) (queues : queue_config list) :
-    Report.series list =
+(** One series per queue configuration, one point per thread count, every
+    point carrying [repeats] samples plus the aggregate observability
+    payload (memory-event deltas, and latency histograms when
+    [instrument] is set). *)
+let sweep_ex ?(backend = Sim_model) ?(threads = default_threads) ?(repeats = 3)
+    ?(horizon_ns = 300_000.) ?(duration = 0.2) ?(instrument = false)
+    (queues : queue_config list) : Dssq_obs.Run_report.series list =
   List.map
     (fun q ->
       {
-        Report.label = q.label;
+        Dssq_obs.Run_report.label = q.label;
         points =
           List.map
             (fun nthreads ->
-              {
-                Report.x = nthreads;
-                samples =
-                  measure_point ~backend ~horizon_ns ~duration ~repeats q
-                    ~nthreads;
-              })
+              Dssq_obs.Run_report.point_of_samples ~x:nthreads
+                (measure_point ~backend ~horizon_ns ~duration ~repeats
+                   ~instrument q ~nthreads))
             threads;
       })
     queues
+
+let sweep ?backend ?threads ?repeats ?horizon_ns ?duration
+    (queues : queue_config list) : Report.series list =
+  Report.of_run
+    (sweep_ex ?backend ?threads ?repeats ?horizon_ns ?duration queues)
 
 (* ---------------------------------------------------------------------- *)
 (* Figure 5a: levels of detectability and persistence                      *)
@@ -56,6 +62,10 @@ let fig5a_queues =
 let fig5a ?backend ?threads ?repeats ?horizon_ns ?duration () =
   sweep ?backend ?threads ?repeats ?horizon_ns ?duration fig5a_queues
 
+let fig5a_ex ?backend ?threads ?repeats ?horizon_ns ?duration ?instrument () =
+  sweep_ex ?backend ?threads ?repeats ?horizon_ns ?duration ?instrument
+    fig5a_queues
+
 (* ---------------------------------------------------------------------- *)
 (* Figure 5b: detectable queue implementations                             *)
 (* ---------------------------------------------------------------------- *)
@@ -70,6 +80,10 @@ let fig5b_queues =
 
 let fig5b ?backend ?threads ?repeats ?horizon_ns ?duration () =
   sweep ?backend ?threads ?repeats ?horizon_ns ?duration fig5b_queues
+
+let fig5b_ex ?backend ?threads ?repeats ?horizon_ns ?duration ?instrument () =
+  sweep_ex ?backend ?threads ?repeats ?horizon_ns ?duration ?instrument
+    fig5b_queues
 
 (* ---------------------------------------------------------------------- *)
 (* Ablation: persist-cost sweep (simulated CLWB+sfence latency)            *)
@@ -212,7 +226,7 @@ let crash_cycles ~seed ~mtbf_ns ~cycles ~mk ~nthreads ~det_pct =
   let (module M) = Sim.memory heap in
   let module R = Registry.Make (M) in
   let capacity = 16 + 8 + (nthreads * 192) in
-  let ops = R.find mk ~nthreads ~capacity in
+  let ops = R.find mk (Dssq_core.Queue_intf.config ~nthreads ~capacity ()) in
   for i = 1 to 16 do
     ops.Dssq_core.Queue_intf.enqueue ~tid:(i mod nthreads) i
   done;
@@ -338,7 +352,9 @@ let op_latency ?(queues = [ "ms-queue"; "dss-queue"; "log-queue"; "fast-caswe"; 
       let heap = Heap.create () in
       let (module M) = Sim.memory heap in
       let module R = Registry.Make (M) in
-      let ops = R.find mk ~nthreads:1 ~capacity:256 in
+      let ops =
+        R.find mk (Dssq_core.Queue_intf.config ~nthreads:1 ~capacity:256 ())
+      in
       let reps = 200 in
       (* non-detectable pair latency *)
       Heap.reset_stats heap;

@@ -11,6 +11,19 @@ type queue_config = { label : string; mk : string; det_pct : int }
 val fig5a_queues : queue_config list
 val fig5b_queues : queue_config list
 
+val sweep_ex :
+  ?backend:backend ->
+  ?threads:int list ->
+  ?repeats:int ->
+  ?horizon_ns:float ->
+  ?duration:float ->
+  ?instrument:bool ->
+  queue_config list ->
+  Dssq_obs.Run_report.series list
+(** One series per queue configuration, one point per thread count; every
+    point carries the observability payload (memory-event deltas, and
+    latency histograms when [instrument] is set). *)
+
 val sweep :
   ?backend:backend ->
   ?threads:int list ->
@@ -19,6 +32,7 @@ val sweep :
   ?duration:float ->
   queue_config list ->
   Report.series list
+(** Throughput-only view of {!sweep_ex}. *)
 
 val fig5a :
   ?backend:backend ->
@@ -30,6 +44,17 @@ val fig5a :
   Report.series list
 (** MS queue vs DSS non-detectable vs DSS detectable (Figure 5a). *)
 
+val fig5a_ex :
+  ?backend:backend ->
+  ?threads:int list ->
+  ?repeats:int ->
+  ?horizon_ns:float ->
+  ?duration:float ->
+  ?instrument:bool ->
+  unit ->
+  Dssq_obs.Run_report.series list
+(** Figure 5a with the observability payload. *)
+
 val fig5b :
   ?backend:backend ->
   ?threads:int list ->
@@ -39,6 +64,17 @@ val fig5b :
   unit ->
   Report.series list
 (** DSS vs log vs Fast/General CASWithEffect (Figure 5b). *)
+
+val fig5b_ex :
+  ?backend:backend ->
+  ?threads:int list ->
+  ?repeats:int ->
+  ?horizon_ns:float ->
+  ?duration:float ->
+  ?instrument:bool ->
+  unit ->
+  Dssq_obs.Run_report.series list
+(** Figure 5b with the observability payload. *)
 
 val ablate_flush :
   ?nthreads:int ->

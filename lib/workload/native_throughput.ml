@@ -5,45 +5,81 @@
     container this repository was developed in has a single core, so the
     shipped figures come from {!Sim_throughput} instead; this harness
     still runs there (domains timeslice), which is exercised by the test
-    suite with small parameters. *)
+    suite with small parameters.
 
+    Instrumentation (memory-event counters, latency histograms) is a
+    backend/worker selection made here in the harness: the uninstrumented
+    path runs the plain [Native] backend and the original worker loop,
+    bit-for-bit, so enabling the observability layer elsewhere costs
+    measured runs nothing. *)
+
+module MI = Dssq_memory.Memory_intf
 module Native = Dssq_memory.Native
 module R = Registry.Make (Native)
 
 let now () = Unix.gettimeofday ()
 
-(** Run [nthreads] domains alternating enqueue/dequeue pairs on a fresh
-    queue for [duration] seconds; returns Mops/s.
-    [det_pct] is as in {!Sim_throughput.pair_worker}. *)
-let measure ?(init_nodes = 16) ?(det_pct = 100) ~mk ~nthreads ~duration () =
-  let capacity = init_nodes + 8 + (nthreads * 4096) in
-  let ops : Dssq_core.Queue_intf.ops = R.find mk ~nthreads ~capacity in
+let seed_queue (ops : Dssq_core.Queue_intf.ops) ~init_nodes ~nthreads =
   for i = 1 to init_nodes do
     (* round-robin: per-thread node pools are striped *)
     ops.enqueue ~tid:(i mod nthreads) i
-  done;
+  done
+
+(** Spawn [nthreads] domains alternating enqueue/dequeue pairs on [ops]
+    for [duration] seconds.  Returns (Mops/s, completed operations,
+    per-thread latency histograms when [instrument]). *)
+let run_workers ?(instrument = false) ~nthreads ~det_pct ~duration
+    (ops : Dssq_core.Queue_intf.ops) =
   let start = Atomic.make false in
   let stop = Atomic.make false in
+  let hists =
+    if instrument then
+      Some (Array.init nthreads (fun _ -> Dssq_obs.Histogram.create ()))
+    else None
+  in
   let worker tid () =
     while not (Atomic.get start) do
       Domain.cpu_relax ()
     done;
     let count = ref 0 in
     let i = ref 0 in
-    while not (Atomic.get stop) do
-      let detectable = Sim_throughput.detectable ~det_pct !i in
-      let v = (tid * 1_000_000) + (!i land 0xFFFF) in
-      if detectable then begin
-        ops.d_enqueue ~tid v;
-        ignore (ops.d_dequeue ~tid)
-      end
-      else begin
-        ops.enqueue ~tid v;
-        ignore (ops.dequeue ~tid)
-      end;
-      count := !count + 2;
-      incr i
-    done;
+    (match hists with
+    | None ->
+        while not (Atomic.get stop) do
+          let detectable = Sim_throughput.detectable ~det_pct !i in
+          let v = (tid * 1_000_000) + (!i land 0xFFFF) in
+          if detectable then begin
+            ops.d_enqueue ~tid v;
+            ignore (ops.d_dequeue ~tid)
+          end
+          else begin
+            ops.enqueue ~tid v;
+            ignore (ops.dequeue ~tid)
+          end;
+          count := !count + 2;
+          incr i
+        done
+    | Some hs ->
+        let h = hs.(tid) in
+        let timed f =
+          let t0 = now () in
+          f ();
+          Dssq_obs.Histogram.add h ((now () -. t0) *. 1e9)
+        in
+        while not (Atomic.get stop) do
+          let detectable = Sim_throughput.detectable ~det_pct !i in
+          let v = (tid * 1_000_000) + (!i land 0xFFFF) in
+          if detectable then begin
+            timed (fun () -> ops.d_enqueue ~tid v);
+            timed (fun () -> ignore (ops.d_dequeue ~tid))
+          end
+          else begin
+            timed (fun () -> ops.enqueue ~tid v);
+            timed (fun () -> ignore (ops.dequeue ~tid))
+          end;
+          count := !count + 2;
+          incr i
+        done);
     !count
   in
   let domains = Array.init nthreads (fun tid -> Domain.spawn (worker tid)) in
@@ -53,4 +89,51 @@ let measure ?(init_nodes = 16) ?(det_pct = 100) ~mk ~nthreads ~duration () =
   Atomic.set stop true;
   let total = Array.fold_left (fun acc d -> acc + Domain.join d) 0 domains in
   let elapsed = now () -. t0 in
-  float_of_int total /. elapsed /. 1e6
+  (float_of_int total /. elapsed /. 1e6, total, hists)
+
+(** Run [nthreads] domains alternating enqueue/dequeue pairs on a fresh
+    queue for [duration] seconds.  With [instrument:true] the queue is
+    built over a counted copy of the native backend (a fresh
+    [Native.Counted ()] instance, so concurrent measurements don't share
+    counters) and each thread records wall-clock per-operation latency;
+    events exclude queue seeding.  [det_pct] is as in
+    {!Sim_throughput.pair_worker}. *)
+let measure_ex ?(init_nodes = 16) ?(det_pct = 100) ?(instrument = false) ~mk
+    ~nthreads ~duration () : Dssq_obs.Run_report.sample =
+  let capacity = init_nodes + 8 + (nthreads * 4096) in
+  let cfg = Dssq_core.Queue_intf.config ~nthreads ~capacity () in
+  if not instrument then begin
+    let ops = R.find mk cfg in
+    seed_queue ops ~init_nodes ~nthreads;
+    let mops, total, _ = run_workers ~nthreads ~det_pct ~duration ops in
+    {
+      Dssq_obs.Run_report.mops;
+      ops = total;
+      events = MI.Counters.zero;
+      latency = None;
+    }
+  end
+  else begin
+    let module C = Native.Counted () in
+    let module RC = Registry.Make (C) in
+    let ops = RC.find mk cfg in
+    seed_queue ops ~init_nodes ~nthreads;
+    C.reset_counters ();
+    let mops, total, hists =
+      run_workers ~instrument:true ~nthreads ~det_pct ~duration ops
+    in
+    let latency =
+      Option.map
+        (fun hs ->
+          Array.fold_left Dssq_obs.Histogram.merge
+            (Dssq_obs.Histogram.create ())
+            hs)
+        hists
+    in
+    { Dssq_obs.Run_report.mops; ops = total; events = C.counters (); latency }
+  end
+
+(** Throughput only, in Mops/s — the historical entry point. *)
+let measure ?init_nodes ?det_pct ~mk ~nthreads ~duration () =
+  (measure_ex ?init_nodes ?det_pct ~mk ~nthreads ~duration ())
+    .Dssq_obs.Run_report.mops

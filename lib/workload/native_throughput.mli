@@ -1,7 +1,26 @@
 (** Wall-clock throughput over real OCaml domains and the native backend
     (calibrated persist cost) — the harness to use on an actual multicore
     machine; the shipped figures come from {!Sim_throughput} because this
-    container has one core. *)
+    container has one core.
+
+    Instrumentation is a backend/worker selection made here in the
+    harness: the uninstrumented path runs the plain backend and the
+    original worker loop unchanged. *)
+
+val measure_ex :
+  ?init_nodes:int ->
+  ?det_pct:int ->
+  ?instrument:bool ->
+  mk:string ->
+  nthreads:int ->
+  duration:float ->
+  unit ->
+  Dssq_obs.Run_report.sample
+(** Spawn [nthreads] domains alternating enqueue/dequeue pairs on a fresh
+    queue ({!Registry} name [mk]) for [duration] seconds.  With
+    [instrument:true] the queue runs over a fresh counted copy of the
+    native backend (events exclude seeding) and each thread records
+    wall-clock per-operation latency, merged into one histogram. *)
 
 val measure :
   ?init_nodes:int ->
@@ -11,5 +30,4 @@ val measure :
   duration:float ->
   unit ->
   float
-(** Spawn [nthreads] domains alternating enqueue/dequeue pairs on a fresh
-    queue ({!Registry} name [mk]) for [duration] seconds; Mops/s. *)
+(** Throughput only, in Mops/s: [(measure_ex ...).mops]. *)

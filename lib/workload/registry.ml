@@ -1,6 +1,11 @@
 (** Uniform access to every queue implementation, as closure records
     ({!Dssq_core.Queue_intf.ops}), over any memory backend.  This is what
-    the benchmark harness and the CLI dispatch on. *)
+    the benchmark harness and the CLI dispatch on.
+
+    Every constructor takes the shared {!Dssq_core.Queue_intf.config}
+    record, and every [ops] carries a [stats] hook surfacing whatever
+    per-queue gauges the implementation has (pool occupancy for the
+    pool-backed queues; empty for the rest). *)
 
 open Dssq_core
 
@@ -12,8 +17,8 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   module Gen = Dssq_baselines.Caswe_queue.General (M)
   module Fast = Dssq_baselines.Caswe_queue.Fast (M)
 
-  let dss ~nthreads ~capacity : Queue_intf.ops =
-    let q = Dss.create ~nthreads ~capacity () in
+  let dss (cfg : Queue_intf.config) : Queue_intf.ops =
+    let q = Dss.of_config cfg in
     {
       name = "dss-queue";
       enqueue = (fun ~tid v -> Dss.enqueue q ~tid v);
@@ -28,10 +33,13 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
           Dss.exec_dequeue q ~tid);
       recover = (fun () -> Dss.recover q);
       resolve = (fun ~tid -> Dss.resolve q ~tid);
+      stats =
+        (fun () ->
+          [ ("capacity", cfg.capacity); ("pool_free", Dss.free_count q) ]);
     }
 
-  let ms ~nthreads ~capacity : Queue_intf.ops =
-    let q = Ms.create ~nthreads ~capacity in
+  let ms (cfg : Queue_intf.config) : Queue_intf.ops =
+    let q = Ms.of_config cfg in
     let enqueue ~tid v = Ms.enqueue q ~tid v in
     let dequeue ~tid = Ms.dequeue q ~tid in
     (* The MS queue has no detectable path; the detectable closures fall
@@ -47,10 +55,11 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
          resolve. *)
       recover = (fun () -> ());
       resolve = (fun ~tid:_ -> Queue_intf.Nothing);
+      stats = (fun () -> []);
     }
 
-  let durable ~nthreads ~capacity : Queue_intf.ops =
-    let q = Durable.create ~nthreads ~capacity in
+  let durable (cfg : Queue_intf.config) : Queue_intf.ops =
+    let q = Durable.of_config cfg in
     let enqueue ~tid v = Durable.enqueue q ~tid v in
     let dequeue ~tid = Durable.dequeue q ~tid in
     {
@@ -63,10 +72,11 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       (* Durable but not detectable: recovery publishes pending dequeue
          results, but a thread cannot interrogate its own operation. *)
       resolve = (fun ~tid:_ -> Queue_intf.Nothing);
+      stats = (fun () -> []);
     }
 
-  let log ~nthreads ~capacity : Queue_intf.ops =
-    let q = Log.create ~nthreads ~capacity in
+  let log (cfg : Queue_intf.config) : Queue_intf.ops =
+    let q = Log.of_config cfg in
     {
       name = "log-queue";
       enqueue = (fun ~tid v -> Log.enqueue q ~tid v);
@@ -81,10 +91,11 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
           Log.exec_dequeue q ~tid);
       recover = (fun () -> Log.recover q);
       resolve = (fun ~tid -> Log.resolve q ~tid);
+      stats = (fun () -> []);
     }
 
-  let general_caswe ~nthreads ~capacity : Queue_intf.ops =
-    let q = Gen.create ~nthreads ~capacity () in
+  let general_caswe (cfg : Queue_intf.config) : Queue_intf.ops =
+    let q = Gen.of_config cfg in
     {
       name = "general-caswe";
       enqueue = (fun ~tid v -> Gen.enqueue q ~tid v);
@@ -99,10 +110,11 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
           Gen.exec_dequeue q ~tid);
       recover = (fun () -> Gen.recover q);
       resolve = (fun ~tid -> Gen.resolve q ~tid);
+      stats = (fun () -> []);
     }
 
-  let fast_caswe ~nthreads ~capacity : Queue_intf.ops =
-    let q = Fast.create ~nthreads ~capacity () in
+  let fast_caswe (cfg : Queue_intf.config) : Queue_intf.ops =
+    let q = Fast.of_config cfg in
     {
       name = "fast-caswe";
       enqueue = (fun ~tid v -> Fast.enqueue q ~tid v);
@@ -117,6 +129,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
           Fast.exec_dequeue q ~tid);
       recover = (fun () -> Fast.recover q);
       resolve = (fun ~tid -> Fast.resolve q ~tid);
+      stats = (fun () -> []);
     }
 
   let all =
@@ -129,11 +142,14 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       ("fast-caswe", fast_caswe);
     ]
 
+  let known_names = List.map fst all
+  let find_opt name = List.assoc_opt name all
+
   let find name =
-    match List.assoc_opt name all with
+    match find_opt name with
     | Some mk -> mk
     | None ->
         invalid_arg
-          (Printf.sprintf "unknown queue %S (know: %s)" name
-             (String.concat ", " (List.map fst all)))
+          (Printf.sprintf "unknown queue %S (known: %s)" name
+             (String.concat ", " known_names))
 end

@@ -6,17 +6,26 @@
     ["log-queue"], ["general-caswe"], ["fast-caswe"]. *)
 
 module Make (M : Dssq_memory.Memory_intf.S) : sig
-  val dss : nthreads:int -> capacity:int -> Dssq_core.Queue_intf.ops
-  val ms : nthreads:int -> capacity:int -> Dssq_core.Queue_intf.ops
-  val durable : nthreads:int -> capacity:int -> Dssq_core.Queue_intf.ops
-  val log : nthreads:int -> capacity:int -> Dssq_core.Queue_intf.ops
-  val general_caswe : nthreads:int -> capacity:int -> Dssq_core.Queue_intf.ops
-  val fast_caswe : nthreads:int -> capacity:int -> Dssq_core.Queue_intf.ops
+  val dss : Dssq_core.Queue_intf.config -> Dssq_core.Queue_intf.ops
+  val ms : Dssq_core.Queue_intf.config -> Dssq_core.Queue_intf.ops
+  val durable : Dssq_core.Queue_intf.config -> Dssq_core.Queue_intf.ops
+  val log : Dssq_core.Queue_intf.config -> Dssq_core.Queue_intf.ops
+  val general_caswe : Dssq_core.Queue_intf.config -> Dssq_core.Queue_intf.ops
+  val fast_caswe : Dssq_core.Queue_intf.config -> Dssq_core.Queue_intf.ops
 
   val all :
-    (string * (nthreads:int -> capacity:int -> Dssq_core.Queue_intf.ops)) list
+    (string * (Dssq_core.Queue_intf.config -> Dssq_core.Queue_intf.ops)) list
+  (** Every implementation, keyed by its registry name, in the order the
+      figures list them. *)
 
-  val find :
-    string -> nthreads:int -> capacity:int -> Dssq_core.Queue_intf.ops
-  (** @raise Invalid_argument on an unknown name. *)
+  val known_names : string list
+  (** The names accepted by {!find_opt} / {!find}. *)
+
+  val find_opt :
+    string -> (Dssq_core.Queue_intf.config -> Dssq_core.Queue_intf.ops) option
+  (** [find_opt name] is the constructor registered under [name], if any. *)
+
+  val find : string -> Dssq_core.Queue_intf.config -> Dssq_core.Queue_intf.ops
+  (** Like {!find_opt} but raises [Invalid_argument] listing
+      {!known_names} when [name] is unknown. *)
 end

@@ -4,6 +4,42 @@
 type point = { x : int; samples : float list }
 type series = { label : string; points : point list }
 
+(** Drop the observability payload of a run-report series, keeping the
+    figure data (x, throughput samples) this module renders. *)
+let of_run (rs : Dssq_obs.Run_report.series list) : series list =
+  List.map
+    (fun (s : Dssq_obs.Run_report.series) ->
+      {
+        label = s.Dssq_obs.Run_report.label;
+        points =
+          List.map
+            (fun (p : Dssq_obs.Run_report.point) ->
+              { x = p.Dssq_obs.Run_report.x; samples = p.samples })
+            s.points;
+      })
+    rs
+
+(** Lift plain figure series into run-report series (no events, no
+    latency), for experiments that predate the observability layer. *)
+let to_run (all : series list) : Dssq_obs.Run_report.series list =
+  List.map
+    (fun s ->
+      {
+        Dssq_obs.Run_report.label = s.label;
+        points =
+          List.map
+            (fun p ->
+              {
+                Dssq_obs.Run_report.x = p.x;
+                samples = p.samples;
+                ops = 0;
+                events = Dssq_memory.Memory_intf.Counters.zero;
+                latency = None;
+              })
+            s.points;
+      })
+    all
+
 let mean_at series x =
   match List.find_opt (fun p -> p.x = x) series.points with
   | Some p -> Some (Stats.mean p.samples)

@@ -4,6 +4,13 @@
 type point = { x : int; samples : float list }
 type series = { label : string; points : point list }
 
+val of_run : Dssq_obs.Run_report.series list -> series list
+(** Keep only the figure data (x, throughput samples) of a run report. *)
+
+val to_run : series list -> Dssq_obs.Run_report.series list
+(** Lift plain series into run-report series with empty observability
+    payloads (zero events, no latency). *)
+
 val mean_at : series -> int -> float option
 val xs_of : series list -> int list
 

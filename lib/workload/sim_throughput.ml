@@ -76,11 +76,16 @@ let cost_of costs (kind : Sim_op.kind) =
     ping-pong (mostly failed-CAS traffic) dominates, and the per-thread
     flush costs that separate the variants at low thread counts are
     hidden behind it, so the curves converge (Figure 5a). *)
-let run ?(costs = default_costs) ?(seed = 1) ~horizon_ns ~heap ~threads
+let run ?(costs = default_costs) ?(seed = 1) ?clock ~horizon_ns ~heap ~threads
     ~ops_done () =
   let machine = Machine.create heap (Array.to_list threads) in
   let n = Array.length threads in
   let clocks = Array.make n 0. in
+  (* Expose the private clocks to instrumented workers (they read their
+     own simulated time around each operation). *)
+  (match clock with
+  | Some r -> r := fun tid -> clocks.(tid)
+  | None -> ());
   (* per line: time it becomes free, and last owning thread *)
   let line_clock : (int, float * int) Hashtbl.t = Hashtbl.create 256 in
   let rng = Random.State.make [| seed; 0xD15C |] in
@@ -172,26 +177,81 @@ let pair_worker (ops : Dssq_core.Queue_intf.ops) ~tid ~counter ~det_pct () =
     incr i
   done
 
+(** Like {!pair_worker}, but reads the thread's simulated clock around
+    each operation and records the delta (charged ns, including line
+    waits) in [hist].  Only used when latency instrumentation is on, so
+    the uninstrumented path keeps the exact event sequence of
+    {!pair_worker}. *)
+let timed_pair_worker (ops : Dssq_core.Queue_intf.ops) ~tid ~counter ~det_pct
+    ~now ~hist () =
+  let i = ref 0 in
+  let timed f =
+    let t0 = now () in
+    f ();
+    Dssq_obs.Histogram.add hist (now () -. t0);
+    incr counter
+  in
+  while true do
+    let detectable = detectable ~det_pct !i in
+    let v = (tid * 1_000_000) + (!i land 0xFFFF) in
+    if detectable then begin
+      timed (fun () -> ops.d_enqueue ~tid v);
+      timed (fun () -> ignore (ops.d_dequeue ~tid))
+    end
+    else begin
+      timed (fun () -> ops.enqueue ~tid v);
+      timed (fun () -> ignore (ops.dequeue ~tid))
+    end;
+    incr i
+  done
+
 (** Measure one queue implementation at one thread count on a fresh
-    simulated heap.  Returns throughput in Mops/s. *)
-let measure ?costs ?(seed = 1) ?(horizon_ns = 300_000.) ?(init_nodes = 16)
-    ?(det_pct = 100) ~mk ~nthreads () =
+    simulated heap.  Memory-event deltas exclude queue seeding (the heap
+    counters are read after initialization); per-operation latency
+    histograms are recorded only when [instrument] is set, leaving the
+    default path's event sequence untouched. *)
+let measure_ex ?costs ?(seed = 1) ?(horizon_ns = 300_000.) ?(init_nodes = 16)
+    ?(det_pct = 100) ?(instrument = false) ~mk ~nthreads () :
+    Dssq_obs.Run_report.sample =
   let heap = Heap.create () in
   let (module M) = Sim.memory heap in
   let module R = Registry.Make (M) in
   let mk_ops = R.find mk in
   let capacity = init_nodes + 8 + (nthreads * 192) in
-  let ops = mk_ops ~nthreads ~capacity in
+  let ops = mk_ops (Dssq_core.Queue_intf.config ~nthreads ~capacity ()) in
   (* Initialize the queue with [init_nodes] values, as in Section 4. *)
   for i = 1 to init_nodes do
     (* round-robin: per-thread node pools are striped *)
     ops.enqueue ~tid:(i mod nthreads) i
   done;
+  let before = Heap.counters heap in
   let counters = Array.init nthreads (fun _ -> ref 0) in
+  let hist = if instrument then Some (Dssq_obs.Histogram.create ()) else None in
+  let clock = ref (fun (_ : int) -> 0.) in
   let threads =
     Array.init nthreads (fun tid ->
-        pair_worker ops ~tid ~counter:counters.(tid) ~det_pct)
+        match hist with
+        | None -> pair_worker ops ~tid ~counter:counters.(tid) ~det_pct
+        | Some h ->
+            timed_pair_worker ops ~tid ~counter:counters.(tid) ~det_pct
+              ~now:(fun () -> !clock tid)
+              ~hist:h)
   in
   let ops_done () = Array.fold_left (fun acc c -> acc + !c) 0 counters in
-  let per_sec = run ?costs ~seed ~horizon_ns ~heap ~threads ~ops_done () in
-  per_sec /. 1e6
+  let per_sec =
+    run ?costs ~seed ~clock ~horizon_ns ~heap ~threads ~ops_done ()
+  in
+  let events =
+    Dssq_memory.Memory_intf.Counters.diff ~after:(Heap.counters heap) ~before
+  in
+  {
+    Dssq_obs.Run_report.mops = per_sec /. 1e6;
+    ops = ops_done ();
+    events;
+    latency = hist;
+  }
+
+(** Throughput only, in Mops/s — the historical entry point. *)
+let measure ?costs ?seed ?horizon_ns ?init_nodes ?det_pct ~mk ~nthreads () =
+  (measure_ex ?costs ?seed ?horizon_ns ?init_nodes ?det_pct ~mk ~nthreads ())
+    .Dssq_obs.Run_report.mops

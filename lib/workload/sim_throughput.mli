@@ -27,6 +27,7 @@ val default_costs : costs
 val run :
   ?costs:costs ->
   ?seed:int ->
+  ?clock:(int -> float) ref ->
   horizon_ns:float ->
   heap:Dssq_pmem.Heap.t ->
   threads:(unit -> unit) array ->
@@ -34,7 +35,10 @@ val run :
   unit ->
   float
 (** Run infinite-loop workers until every private clock passes the
-    horizon; returns [ops_done] per simulated second. *)
+    horizon; returns [ops_done] per simulated second.  When [clock] is
+    given it is set (before the first step) to a function mapping a
+    thread id to that thread's current simulated time, so instrumented
+    workers can time their own operations. *)
 
 val detectable : det_pct:int -> int -> bool
 (** Evenly spread: exactly [det_pct] percent of operation indices are
@@ -50,6 +54,36 @@ val pair_worker :
 (** The paper's workload: alternating enqueue/dequeue pairs forever,
     bumping [counter] per completed operation. *)
 
+val timed_pair_worker :
+  Dssq_core.Queue_intf.ops ->
+  tid:int ->
+  counter:int ref ->
+  det_pct:int ->
+  now:(unit -> float) ->
+  hist:Dssq_obs.Histogram.t ->
+  unit ->
+  unit
+(** {!pair_worker} plus a per-operation simulated-latency sample recorded
+    into [hist] ([now] should read the thread's private clock). *)
+
+val measure_ex :
+  ?costs:costs ->
+  ?seed:int ->
+  ?horizon_ns:float ->
+  ?init_nodes:int ->
+  ?det_pct:int ->
+  ?instrument:bool ->
+  mk:string ->
+  nthreads:int ->
+  unit ->
+  Dssq_obs.Run_report.sample
+(** One implementation at one thread count on a fresh simulated heap.
+    The sample carries throughput, completed operations, the memory-event
+    delta over the measured phase (seeding excluded), and — only with
+    [instrument:true] — a per-operation latency histogram in simulated
+    nanoseconds.  [mk] is a {!Registry} name; the queue is seeded with
+    [init_nodes] values (default 16, as in Section 4). *)
+
 val measure :
   ?costs:costs ->
   ?seed:int ->
@@ -60,6 +94,4 @@ val measure :
   nthreads:int ->
   unit ->
   float
-(** One implementation at one thread count on a fresh simulated heap;
-    Mops/s.  [mk] is a {!Registry} name; the queue is seeded with
-    [init_nodes] values (default 16, as in Section 4). *)
+(** Throughput only, in Mops/s: [(measure_ex ...).mops]. *)

@@ -26,4 +26,5 @@ let () =
       ("litmus", Test_litmus.suite);
       ("rme", Test_rme.suite);
       ("coverage", Test_coverage.suite);
+      ("obs", Test_obs.suite);
     ]
