@@ -15,6 +15,8 @@ module Dss_spec = Dssq_spec.Dss_spec
 module Specs = Dssq_spec.Specs
 module Recorder = Dssq_history.Recorder
 module Lincheck = Dssq_lincheck.Lincheck
+module Trace = Dssq_obs.Trace
+module Json = Dssq_obs.Json
 open Cmdliner
 
 let render ~title ~x_label ~y_label series =
@@ -292,6 +294,128 @@ let crash_demo_cmd =
     (Cmd.info "crash-demo" ~doc:"crash a detectable program and resolve it")
     Term.(const crash_demo $ step $ evict $ trace)
 
+(* ------------------------------- trace ------------------------------- *)
+
+(* Run a crash-injecting workload on the simulator under the event tracer
+   and export the merged event trace as Chrome trace-event JSON: every
+   memory event with its cell and post-event dirtiness, the crash with
+   per-cell evict verdicts, the recovery phase, and each thread's resolve
+   outcome.  The file loads directly into https://ui.perfetto.dev or
+   chrome://tracing. *)
+let trace_run out step evict_p seed capacity timeline =
+  let heap = Heap.create () in
+  let (module M) = Sim.memory heap in
+  let module Q = Dssq_core.Dss_queue.Make (M) in
+  let q = Q.create ~nthreads:2 ~capacity:64 () in
+  List.iter (fun v -> Q.enqueue q ~tid:0 v) [ 1; 2; 3 ];
+  let tracer = Trace.start ~capacity () in
+  (* Persist barrier between setup and the traced run (and the trace's
+     guaranteed fence event). *)
+  Heap.fence heap;
+  let enqueuer () =
+    Q.prep_enqueue q ~tid:0 42;
+    Q.exec_enqueue q ~tid:0
+  in
+  let dequeuer () =
+    Q.prep_dequeue q ~tid:1;
+    ignore (Q.exec_dequeue q ~tid:1)
+  in
+  let outcome =
+    Sim.run heap ~policy:(Sim.Random_seed seed)
+      ~crash:(Sim.Crash_at_step step)
+      ~threads:[ enqueuer; dequeuer ]
+  in
+  if not outcome.Sim.crashed then
+    Printf.printf
+      "note: the program finished before step %d; crashing at quiescence\n"
+      step;
+  Sim.apply_crash heap ~evict_p ~seed;
+  Q.recover q;
+  let r0 = Q.resolve q ~tid:0 in
+  let r1 = Q.resolve q ~tid:1 in
+  Trace.stop ();
+  let entries = Trace.entries tracer in
+  (match Trace.write_chrome out entries with
+  | () -> ()
+  | exception Sys_error msg ->
+      Printf.eprintf "dssq: cannot write trace: %s\n" msg;
+      exit 1);
+  (* Validate what we just wrote: it must parse back as JSON and hold a
+     non-empty traceEvents array (this is also the CI smoke check). *)
+  let parsed = Json.of_string (In_channel.with_open_text out In_channel.input_all) in
+  let exported = List.length (Json.to_list (Json.path [ "traceEvents" ] parsed)) in
+  let count p = List.length (List.filter (fun (e : Trace.entry) -> p e.Trace.event) entries) in
+  let ops =
+    count (function Trace.Op_begin _ | Trace.Op_end _ -> true | _ -> false)
+  in
+  let mem_of k =
+    count (function Trace.Mem { op; _ } -> op = k | _ -> false)
+  in
+  let kinds =
+    [
+      ("op", ops);
+      ("read", mem_of `Read);
+      ("write", mem_of `Write);
+      ("cas", mem_of `Cas);
+      ("flush", mem_of `Flush);
+      ("fence", mem_of `Fence);
+      ("crash", count (function Trace.Crash _ -> true | _ -> false));
+      ( "recovery",
+        count (function
+          | Trace.Recovery_begin | Trace.Recovery_end -> true
+          | _ -> false) );
+      ("resolve", count (function Trace.Resolve _ -> true | _ -> false));
+    ]
+  in
+  Printf.printf "wrote %s: %d trace events (%d recorded, %d dropped)\nkinds: %s\n"
+    out exported (Trace.recorded tracer) (Trace.dropped tracer)
+    (String.concat " " (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) kinds));
+  (* The smoke-check contract: an exported trace must exercise every
+     event kind, or the run (and CI) fails. *)
+  let missing = List.filter (fun (_, n) -> n = 0) kinds in
+  if exported = 0 || missing <> [] then begin
+    Printf.eprintf "dssq: trace is incomplete (missing: %s)\n"
+      (if exported = 0 then "everything"
+       else String.concat ", " (List.map fst missing));
+    exit 1
+  end;
+  Printf.printf "resolve: t0 -> %s, t1 -> %s\n"
+    (Format.asprintf "%a" Dssq_core.Queue_intf.pp_resolved r0)
+    (Format.asprintf "%a" Dssq_core.Queue_intf.pp_resolved r1);
+  Printf.printf "open the file in https://ui.perfetto.dev (or chrome://tracing)\n";
+  if timeline then Format.printf "@.%a" Trace.pp_timeline entries
+
+let trace_cmd =
+  let out =
+    Arg.(
+      value & opt string "dssq-trace.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"output file (chrome trace-event JSON)")
+  in
+  let step =
+    Arg.(value & opt int 30 & info [ "step" ] ~doc:"memory event to crash before")
+  in
+  let evict =
+    Arg.(
+      value & opt float 0.5 & info [ "evict" ] ~doc:"cache eviction probability")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"schedule seed") in
+  let capacity =
+    Arg.(
+      value & opt int 4096
+      & info [ "capacity" ] ~doc:"per-thread ring-buffer capacity")
+  in
+  let timeline =
+    Arg.(
+      value & flag
+      & info [ "timeline" ] ~doc:"also print the merged human-readable timeline")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "trace a crash/recovery workload and export a Perfetto-loadable \
+          timeline")
+    Term.(const trace_run $ out $ step $ evict $ seed $ capacity $ timeline)
+
 (* ----------------------------- lincheck ------------------------------ *)
 
 (* A detectable queue as closures, for implementation-generic fuzzing. *)
@@ -364,12 +488,16 @@ let make_queue kind : qh =
       }
 
 (* Randomized strict-linearizability testing: random schedules, random
-   crash points, recovery, recorded resolves, checked against D<queue>. *)
-let lincheck_run kind iterations verbose =
+   crash points, recovery, recorded resolves, checked against D<queue>.
+   Every execution runs under an event tracer, so a violation is reported
+   with the exact interleaving of stores, flushes, crash and resolves
+   that produced it — as a timeline, and optionally as Perfetto JSON. *)
+let lincheck_run kind iterations verbose trace_json =
   let spec = Dss_spec.make ~nthreads:2 (Specs.Queue.spec ()) in
   let checked = ref 0 in
   let crashes = ref 0 in
   for i = 1 to iterations do
+    ignore (Trace.start () : Trace.t);
     let q = make_queue kind in
     let heap = q.heap in
     let rec_ = Recorder.create () in
@@ -442,13 +570,22 @@ let lincheck_run kind iterations verbose =
         if verbose then begin
           Printf.printf "iteration %d: linearizable (%d ops)\n" i (List.length w)
         end
-    | Lincheck.Not_linearizable ->
+    | Lincheck.Not_linearizable trace ->
         Printf.printf "iteration %d: VIOLATION\n" i;
         Format.printf "%a"
           (Dssq_history.History.pp ~pp_op:spec.Spec.pp_op
              ~pp_response:spec.Spec.pp_response)
           history;
+        if trace <> [] then
+          Format.printf "recorded event timeline:@.%a" Trace.pp_timeline trace;
+        Option.iter
+          (fun file ->
+            Trace.write_chrome file trace;
+            Printf.printf "wrote %s (chrome trace-event JSON, %d events)\n" file
+              (List.length trace))
+          trace_json;
         exit 1);
+    Trace.stop ();
     incr checked
   done;
   Printf.printf
@@ -470,11 +607,20 @@ let lincheck_cmd =
     Arg.(value & opt int 500 & info [ "n" ] ~doc:"number of random executions")
   in
   let verbose = Arg.(value & flag & info [ "v" ] ~doc:"verbose") in
+  let trace_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-json" ] ~docv:"FILE"
+          ~doc:
+            "on a violation, also dump the failing execution's event trace \
+             as Chrome trace-event JSON to $(docv) (Perfetto-loadable)")
+  in
   Cmd.v
     (Cmd.info "lincheck"
        ~doc:
          "randomized strict-linearizability checking of a detectable queue")
-    Term.(const lincheck_run $ kind $ iterations $ verbose)
+    Term.(const lincheck_run $ kind $ iterations $ verbose $ trace_json)
 
 (* ------------------------------- info -------------------------------- *)
 
@@ -517,6 +663,7 @@ let () =
              metrics_cmd;
              latency_cmd;
              crash_demo_cmd;
+             trace_cmd;
              lincheck_cmd;
              info_cmd;
            ]

@@ -18,8 +18,24 @@
 
 module Make (M : Dssq_memory.Memory_intf.S) = struct
   module Pool = Node_pool.Make (M)
+  module Trace = Dssq_obs.Trace
 
   let name = "dss-queue"
+
+  (* Operation-level trace events.  Guarded at each call site so argument
+     strings are never built when tracing is off; [set_tid] pins the
+     attribution for direct-mode (non-simulated) callers, where the
+     scheduler is not around to do it. *)
+  let trace_begin ~tid op args =
+    if Trace.is_on () then begin
+      Trace.set_tid tid;
+      Trace.op_begin op ~args
+    end
+
+  let trace_end op result = if Trace.is_on () then Trace.op_end op ~result
+
+  let deq_result v =
+    if v = Queue_intf.empty_value then "empty" else string_of_int v
 
   (* Tag added to deqThreadID by non-detectable dequeues so that resolve
      never mistakes them for the caller's detectable dequeue
@@ -100,11 +116,13 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     node
 
   let prep_enqueue t ~tid v =
+    trace_begin ~tid "prep-enqueue" (string_of_int v);
     release_deferred t ~tid;
     let node = make_node t ~tid v in
     (* lines 3-4 *)
     M.write t.x.(tid) (Tagged.with_tag node Tagged.enq_prep);
-    M.flush t.x.(tid)
+    M.flush t.x.(tid);
+    trace_end "prep-enqueue" "ok"
 
   (* Body shared by exec-enqueue and the non-detectable enqueue; the
      latter omits every access to X (Section 3.1). *)
@@ -141,22 +159,28 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     Dssq_ebr.Ebr.exit t.ebr ~tid
 
   let exec_enqueue t ~tid =
+    trace_begin ~tid "exec-enqueue" "";
     let node = Tagged.idx (M.read t.x.(tid)) in
-    enqueue_node t ~tid ~detectable:true node
+    enqueue_node t ~tid ~detectable:true node;
+    trace_end "exec-enqueue" "ok"
 
   let enqueue t ~tid v =
+    trace_begin ~tid "enqueue" (string_of_int v);
     let node = make_node t ~tid v in
-    enqueue_node t ~tid ~detectable:false node
+    enqueue_node t ~tid ~detectable:false node;
+    trace_end "enqueue" "ok"
 
   (* ------------------------------------------------------------------ *)
   (* Dequeue (Figure 4)                                                  *)
   (* ------------------------------------------------------------------ *)
 
   let prep_dequeue t ~tid =
+    trace_begin ~tid "prep-dequeue" "";
     release_deferred t ~tid;
     (* lines 32-33 *)
     M.write t.x.(tid) Tagged.deq_prep;
-    M.flush t.x.(tid)
+    M.flush t.x.(tid);
+    trace_end "prep-dequeue" "ok"
 
   (* Body shared by exec-dequeue and the non-detectable dequeue.  The
      non-detectable variant omits X accesses and marks deqThreadID with
@@ -226,8 +250,17 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     Dssq_ebr.Ebr.exit t.ebr ~tid;
     v
 
-  let exec_dequeue t ~tid = dequeue_body t ~tid ~detectable:true
-  let dequeue t ~tid = dequeue_body t ~tid ~detectable:false
+  let exec_dequeue t ~tid =
+    trace_begin ~tid "exec-dequeue" "";
+    let v = dequeue_body t ~tid ~detectable:true in
+    trace_end "exec-dequeue" (deq_result v);
+    v
+
+  let dequeue t ~tid =
+    trace_begin ~tid "dequeue" "";
+    let v = dequeue_body t ~tid ~detectable:false in
+    trace_end "dequeue" (deq_result v);
+    v
 
   (* ------------------------------------------------------------------ *)
   (* Detection (resolve, resolve-enqueue, resolve-dequeue)               *)
@@ -251,11 +284,18 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     end
 
   let resolve t ~tid =
+    if Trace.is_on () then Trace.set_tid tid;
     let x = M.read t.x.(tid) in
-    if Tagged.has x Tagged.enq_prep then resolve_enqueue t x (* lines 20-22 *)
-    else if Tagged.has x Tagged.deq_prep then resolve_dequeue t ~tid x
-      (* lines 23-25 *)
-    else Queue_intf.Nothing (* lines 26-27 *)
+    let r =
+      if Tagged.has x Tagged.enq_prep then resolve_enqueue t x (* lines 20-22 *)
+      else if Tagged.has x Tagged.deq_prep then resolve_dequeue t ~tid x
+        (* lines 23-25 *)
+      else Queue_intf.Nothing (* lines 26-27 *)
+    in
+    if Trace.is_on () then
+      Trace.resolve
+        ~outcome:(Format.asprintf "%a" Queue_intf.pp_resolved r);
+    r
 
   (* ------------------------------------------------------------------ *)
   (* Recovery (Figure 6 / Appendix A)                                    *)
@@ -294,6 +334,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       resume.  Extends Figure 6 with free-list reconstruction (the paper:
       "extended straightforwardly to prevent memory leaks"). *)
   let recover t =
+    Trace.recovery_begin ();
     reset_volatile t;
     let old_head = M.read t.head in
     (* line 64: set of queue nodes reachable from head *)
@@ -361,13 +402,16 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
         end
       end
     done;
-    Pool.rebuild_free_lists t.pool ~keep:(fun i -> keep.(i))
+    Pool.rebuild_free_lists t.pool ~keep:(fun i -> keep.(i));
+    Trace.recovery_end ()
 
   (** Decentralized recovery (Section 3.3): thread [tid] repairs only its
       own X entry, with no centralized phase and no auxiliary state.
       Safe to run concurrently with other threads' recovery and normal
       operations (the thread is EBR-protected while it scans). *)
   let recover_thread t ~tid =
+    if Trace.is_on () then Trace.set_tid tid;
+    Trace.recovery_begin ();
     let x = M.read t.x.(tid) in
     if
       Tagged.idx x <> Tagged.null
@@ -389,7 +433,8 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
         M.write t.x.(tid) (Tagged.with_tag x Tagged.enq_compl);
         M.flush t.x.(tid)
       end
-    end
+    end;
+    Trace.recovery_end ()
 
   (* ------------------------------------------------------------------ *)
   (* Introspection (tests and debugging; quiescent use only)             *)

@@ -22,7 +22,12 @@ type mode = Strict | Recoverable | Durable
 type ('op, 'r) verdict =
   | Linearizable of (int * 'op * [ `Took_effect | `Dropped ]) list
       (** witness: (tid, op, fate) in linearization order *)
-  | Not_linearizable
+  | Not_linearizable of Dssq_obs.Trace.entry list
+      (** counterexample.  When the history was executed under an active
+          tracer ([Dssq_obs.Trace.start]), the recorded event trace of
+          the failing interleaving is attached — {!pp_verdict} prints it
+          as a merged timeline, and [Trace.to_chrome_json] exports it for
+          Perfetto.  Empty when tracing was off. *)
 
 exception Too_many_operations of int
 (** The search is exponential; histories are capped at 62 operations. *)
@@ -41,3 +46,6 @@ val pp_verdict :
   Format.formatter ->
   ('op, 'r) verdict ->
   unit
+(** Prints the linearization witness, or — for a trace-carrying
+    [Not_linearizable] — the recorded event timeline of the failing
+    interleaving. *)

@@ -25,6 +25,15 @@ let flush c =
 
 let fence () = Persist_cost.pay_fence ()
 
+(** Event hook for the observability tracer.  The tracer lives in
+    [Dssq_obs], which depends on this library, so the dependency is
+    inverted: this side exposes a hook, [Dssq_obs.Trace.start] points it
+    at the active tracer.  Only the [Counted] backend consults it — the
+    plain operations above stay branch-free. *)
+let trace_hook : ([ `Read | `Write | `Cas | `Flush | `Fence ] -> unit) option ref
+    =
+  ref None
+
 (** Counting variant of the native backend, for memory-event accounting
     on real domains.  Generative: each [Counted ()] instantiation owns a
     fresh set of counters, so concurrent harness runs do not share state.
@@ -42,24 +51,32 @@ struct
   let c_fences = Atomic.make 0
   let alloc = alloc
 
+  let traced kind =
+    match !trace_hook with None -> () | Some f -> f kind
+
   let read c =
     Atomic.incr c_reads;
+    traced `Read;
     read c
 
   let write c v =
     Atomic.incr c_writes;
+    traced `Write;
     write c v
 
   let cas c ~expected ~desired =
     Atomic.incr c_cases;
+    traced `Cas;
     cas c ~expected ~desired
 
   let flush c =
     Atomic.incr c_flushes;
+    traced `Flush;
     flush c
 
   let fence () =
     Atomic.incr c_fences;
+    traced `Fence;
     fence ()
 
   let counters () =

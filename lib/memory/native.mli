@@ -14,6 +14,12 @@ val cas : 'a cell -> expected:'a -> desired:'a -> bool
 val flush : 'a cell -> unit
 val fence : unit -> unit
 
+val trace_hook : ([ `Read | `Write | `Cas | `Flush | `Fence ] -> unit) option ref
+(** Event hook consulted by {!Counted} on every memory operation.
+    Installed/cleared by the tracer in [Dssq_obs.Trace] (which depends on
+    this library, hence the inversion).  [None] — the default — costs one
+    load and branch per counted operation. *)
+
 module Counted () : Memory_intf.COUNTED with type 'a cell = 'a Atomic.t
 (** Counting variant for memory-event accounting on real domains; each
     instantiation owns fresh counters.  Instantiate algorithm functors

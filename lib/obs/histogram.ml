@@ -122,8 +122,11 @@ let pp fmt t =
       "n=%d mean=%.1f min=%.1f p50=%.1f p90=%.1f p99=%.1f max=%.1f" t.total
       (mean t) t.vmin (p50 t) (p90 t) (p99 t) t.vmax
 
-(** Bucket-by-bucket bar chart (one row per populated bucket). *)
+(** Bucket-by-bucket bar chart (one row per populated bucket).  [width]
+    is clamped to at least 1 so a degenerate terminal width still renders
+    one mark per populated bucket. *)
 let pp_bars ?(width = 40) fmt t =
+  let width = max 1 width in
   let buckets = sparse_counts t in
   let peak = List.fold_left (fun m (_, c) -> max m c) 1 buckets in
   List.iter

@@ -38,7 +38,7 @@ val pp : Format.formatter -> t -> unit
 (** One-line summary: n, mean, min, p50/p90/p99, max. *)
 
 val pp_bars : ?width:int -> Format.formatter -> t -> unit
-(** Bucket-by-bucket ASCII bar chart. *)
+(** Bucket-by-bucket ASCII bar chart; [width] is clamped to ≥ 1. *)
 
 val to_json : t -> Json.t
 (** Includes derived p50/p90/p99 fields for consumers; {!of_json}

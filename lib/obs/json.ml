@@ -265,6 +265,12 @@ let member key = function
   | Obj fields -> Option.value ~default:Null (List.assoc_opt key fields)
   | _ -> Null
 
+let path keys j = List.fold_left (fun j key -> member key j) j keys
+
+let to_bool = function
+  | Bool b -> b
+  | v -> parse_error "expected bool, got %s" (to_string ~indent:false v)
+
 let to_int = function
   | Int i -> i
   | Float f when Float.is_integer f -> int_of_float f

@@ -25,6 +25,12 @@ val of_string : string -> t
 val member : string -> t -> t
 (** Field of an object, [Null] if absent or not an object. *)
 
+val path : string list -> t -> t
+(** [path ["a"; "b"] j] is [member "b" (member "a" j)]: descend through
+    nested objects, [Null] as soon as a step is absent.  [path [] j] is
+    [j]. *)
+
+val to_bool : t -> bool
 val to_int : t -> int
 val to_float : t -> float
 (** [Null] reads back as [nan] (the encoding of nan/inf). *)

@@ -1,0 +1,92 @@
+(** Low-overhead event tracing: per-thread bounded ring buffers of typed,
+    timestamped events covering the whole crash/recovery life cycle —
+    operation begin/end, the five memory events, crashes (with per-cell
+    evict verdicts), recovery phases, and DSS resolve outcomes.
+
+    Emission goes through {!sink}, which is a no-op closure while tracing
+    is off, so instrumented call sites cost one load and one branch on
+    the uninstrumented hot path.  Buffers are bounded and drop the oldest
+    entry on overflow (counting drops), so a tracer can stay attached to
+    an arbitrarily long run and always hold the most recent window —
+    which is the part that explains a crash. *)
+
+type mem_op = [ `Read | `Write | `Cas | `Flush | `Fence ]
+
+type event =
+  | Op_begin of { op : string; args : string }
+  | Op_end of { op : string; result : string }
+  | Mem of { op : mem_op; cell : int; cell_name : string; dirty : bool }
+      (** one memory event; [dirty] is the cell's dirtiness {e after} the
+          event ([cell = -1] when the backend has no cell identity, e.g.
+          the native [Atomic.t] backend) *)
+  | Crash of { verdicts : (int * string * bool) list }
+      (** per dirty cell at the crash: (id, name, [true] if the line was
+          evicted to persistence before power loss, [false] if lost) *)
+  | Recovery_begin
+  | Recovery_end
+  | Resolve of { outcome : string }
+
+type entry = { seq : int; ts_ns : float; tid : int; event : event }
+(** [seq] is a global, gap-free emission index (the merged-timeline
+    order); [ts_ns] is wall-clock; [tid] is the emitting thread
+    ([-1] = system context: initialization, crash, recovery). *)
+
+type t
+
+val start : ?capacity:int -> unit -> t
+(** Install a fresh tracer as the active sink and return it.  [capacity]
+    (default 4096) bounds each per-thread ring.  Also attaches the native
+    backend's counted-memory hook.  Stops any previously active tracer
+    first. *)
+
+val stop : unit -> unit
+(** Detach the active tracer (its recorded entries stay readable). *)
+
+val is_on : unit -> bool
+val active : unit -> t option
+
+val sink : (event -> unit) ref
+(** The emission point.  Physically equal to a no-op closure while
+    tracing is off; {!start}/{!stop} swap it. *)
+
+val set_tid : int -> unit
+(** Set the thread id attributed to subsequent events ([-1] = system);
+    the sim scheduler calls this at every step. *)
+
+val current_tid : unit -> int
+
+(** Typed emitters.  All are no-ops (and build no event) when off. *)
+
+val op_begin : string -> args:string -> unit
+val op_end : string -> result:string -> unit
+val mem : mem_op -> cell:int -> name:string -> dirty:bool -> unit
+val crash : verdicts:(int * string * bool) list -> unit
+val recovery_begin : unit -> unit
+val recovery_end : unit -> unit
+val resolve : outcome:string -> unit
+
+val entries : t -> entry list
+(** All retained entries, merged across threads in emission ([seq])
+    order. *)
+
+val recorded : t -> int
+(** Total events emitted (including dropped ones). *)
+
+val dropped : t -> int
+(** Events evicted from ring buffers by overflow. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+val pp_timeline : Format.formatter -> entry list -> unit
+(** Human-readable merged timeline, one line per entry. *)
+
+val to_chrome_json : ?process:string -> entry list -> Json.t
+(** Chrome trace-event JSON (the [traceEvents] array format), loadable in
+    Perfetto ({:https://ui.perfetto.dev}) and chrome://tracing.
+    Timestamps are the logical [seq] indices (in microseconds), so the
+    rendered timeline is the deterministic interleaving, not wall
+    clock. *)
+
+val write_chrome : string -> entry list -> unit
+(** {!to_chrome_json} serialized to a file.
+    @raise Sys_error on I/O failure. *)

@@ -5,6 +5,8 @@
     coroutines scheduled by [Dssq_sim], so plain mutation here is safe and
     deterministic. *)
 
+module Trace = Dssq_obs.Trace
+
 type stats = {
   mutable reads : int;
   mutable writes : int;
@@ -39,32 +41,48 @@ let alloc t ?(name = "") v =
   t.cells <- Cell.Packed cell :: t.cells;
   cell
 
-(* Direct application of memory operations to the heap. *)
+(* Direct application of memory operations to the heap.  Each operation
+   reports itself to the tracer (a load + branch when tracing is off);
+   the dirtiness recorded is the cell's state AFTER the event, so a
+   trace shows exactly which lines a crash can lose. *)
+
+let traced op (c : 'a Cell.t) =
+  if Trace.is_on () then
+    Trace.mem op ~cell:c.Cell.id ~name:c.Cell.name ~dirty:c.Cell.dirty
 
 let read t (c : 'a Cell.t) : 'a =
   t.stats.reads <- t.stats.reads + 1;
+  traced `Read c;
   c.volatile
 
 let write t (c : 'a Cell.t) (v : 'a) =
   t.stats.writes <- t.stats.writes + 1;
   c.volatile <- v;
-  c.dirty <- true
+  c.dirty <- true;
+  traced `Write c
 
 let cas t (c : 'a Cell.t) ~(expected : 'a) ~(desired : 'a) =
   t.stats.cases <- t.stats.cases + 1;
-  if Cell.value_equal c.volatile expected then begin
-    c.volatile <- desired;
-    c.dirty <- true;
-    true
-  end
-  else false
+  let hit =
+    if Cell.value_equal c.volatile expected then begin
+      c.volatile <- desired;
+      c.dirty <- true;
+      true
+    end
+    else false
+  in
+  traced `Cas c;
+  hit
 
 let flush t (c : 'a Cell.t) =
   t.stats.flushes <- t.stats.flushes + 1;
   c.persisted <- c.volatile;
-  c.dirty <- false
+  c.dirty <- false;
+  traced `Flush c
 
-let fence t = t.stats.fences <- t.stats.fences + 1
+let fence t =
+  t.stats.fences <- t.stats.fences + 1;
+  if Trace.is_on () then Trace.mem `Fence ~cell:(-1) ~name:"" ~dirty:false
 
 let dirty_count t =
   List.fold_left
@@ -77,13 +95,17 @@ let dirty_count t =
     equals persisted state everywhere, which is what recovery code and
     restarted threads observe. *)
 let crash t ~evict =
+  let verdicts = ref [] in
   List.iter
     (fun (Cell.Packed c) ->
       if c.dirty then begin
-        if evict () then c.persisted <- c.volatile else c.volatile <- c.persisted;
-        c.dirty <- false
+        let evicted = evict () in
+        if evicted then c.persisted <- c.volatile else c.volatile <- c.persisted;
+        c.dirty <- false;
+        if Trace.is_on () then verdicts := (c.id, c.name, evicted) :: !verdicts
       end)
-    t.cells
+    t.cells;
+  if Trace.is_on () then Trace.crash ~verdicts:(List.rev !verdicts)
 
 (** Convenience: crash where each dirty line independently persists with
     probability [evict_p], driven by [rng]. *)

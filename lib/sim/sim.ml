@@ -106,7 +106,10 @@ let run ?(policy = Round_robin) ?(crash = No_crash) ?(max_steps = 1_000_000)
   let crashed = ref false in
   heap.Heap.in_sim <- true;
   Fun.protect
-    ~finally:(fun () -> heap.Heap.in_sim <- false)
+    ~finally:(fun () ->
+      heap.Heap.in_sim <- false;
+      (* Whatever runs next (recovery, checking) is system context. *)
+      Dssq_obs.Trace.set_tid (-1))
     (fun () ->
       let continue_run = ref true in
       while !continue_run && not (Machine.finished machine) do
@@ -144,6 +147,9 @@ let run ?(policy = Round_robin) ?(crash = No_crash) ?(max_steps = 1_000_000)
                 else pick_round_robin !last runnable
           in
           last := tid;
+          (* Attribute the memory events of this step (emitted from
+             [Heap]) to the scheduled thread. *)
+          Dssq_obs.Trace.set_tid tid;
           (match trace with
           | Some f ->
               f ~step:step_index ~tid

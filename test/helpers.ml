@@ -212,7 +212,7 @@ let check_strict ~nthreads history =
   let spec = queue_spec ~nthreads in
   match Lincheck.check ~mode:Lincheck.Strict spec history with
   | Lincheck.Linearizable _ -> ()
-  | Lincheck.Not_linearizable ->
+  | Lincheck.Not_linearizable _ ->
       let buf = Buffer.create 256 in
       let fmt = Format.formatter_of_buffer buf in
       History.pp

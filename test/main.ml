@@ -27,4 +27,5 @@ let () =
       ("rme", Test_rme.suite);
       ("coverage", Test_coverage.suite);
       ("obs", Test_obs.suite);
+      ("trace", Test_trace.suite);
     ]

@@ -56,7 +56,7 @@ let test_universal_concurrent_crash_lincheck () =
           Lincheck.check ~mode:Lincheck.Strict spec (Recorder.history rec_)
         with
         | Lincheck.Linearizable _ -> ()
-        | Lincheck.Not_linearizable ->
+        | Lincheck.Not_linearizable _ ->
             Alcotest.failf "universal: seed %d crash %d not linearizable" seed
               crash_step
       end

@@ -167,7 +167,7 @@ let test_concurrent_crash_lincheck =
                  (Recorder.history rec_)
              with
             | Lincheck.Linearizable _ -> ()
-            | Lincheck.Not_linearizable ->
+            | Lincheck.Not_linearizable _ ->
                 Alcotest.failf "%s: seed %d crash %d not strictly linearizable"
                   name seed crash_step)
           end

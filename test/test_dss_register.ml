@@ -213,7 +213,7 @@ let test_concurrent_lincheck () =
     Sim.check_thread_errors outcome;
     match Lincheck.check ~mode:Lincheck.Strict spec (Recorder.history rec_) with
     | Lincheck.Linearizable _ -> ()
-    | Lincheck.Not_linearizable ->
+    | Lincheck.Not_linearizable _ ->
         Alcotest.failf "seed %d: not linearizable" seed
   done
 
@@ -257,7 +257,7 @@ let test_concurrent_crash_lincheck () =
           Dss_spec.Ret (Reg.Value (r.read ~tid:0)));
       match Lincheck.check ~mode:Lincheck.Strict spec (Recorder.history rec_) with
       | Lincheck.Linearizable _ -> ()
-      | Lincheck.Not_linearizable ->
+      | Lincheck.Not_linearizable _ ->
           Alcotest.failf "seed %d, crash %d: not linearizable" seed crash_step
     done
   done

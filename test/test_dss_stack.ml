@@ -103,7 +103,7 @@ let resolved_response (r : Queue_intf.resolved) :
 let check_stack_strict ~nthreads history =
   match Lincheck.check ~mode:Lincheck.Strict (dstack ~nthreads) history with
   | Lincheck.Linearizable _ -> ()
-  | Lincheck.Not_linearizable -> Alcotest.fail "stack history not linearizable"
+  | Lincheck.Not_linearizable _ -> Alcotest.fail "stack history not linearizable"
 
 let test_concurrent_lincheck () =
   for seed = 1 to 25 do

@@ -98,7 +98,7 @@ let test_failure_free_linearizable () =
     Sim.check_thread_errors outcome;
     match Lincheck.check ~mode:Lincheck.Strict spec (Recorder.history rec_) with
     | Lincheck.Linearizable _ -> ()
-    | Lincheck.Not_linearizable -> Alcotest.failf "seed %d: not linearizable" seed
+    | Lincheck.Not_linearizable _ -> Alcotest.failf "seed %d: not linearizable" seed
   done
 
 (* The crux: crash the whole system at every step of a detectable write;
@@ -179,7 +179,7 @@ let test_crash_sweep_resolve () =
               (Recorder.history rec_)
           with
           | Lincheck.Linearizable _ -> ()
-          | Lincheck.Not_linearizable ->
+          | Lincheck.Not_linearizable _ ->
               Alcotest.failf "step %d: not recoverable-linearizable" !step
         end;
         incr step

@@ -82,6 +82,22 @@ let test_histogram_basics () =
     (Invalid_argument "Histogram.merge: gamma mismatch") (fun () ->
       ignore (Histogram.merge h (Histogram.create ~gamma:2. ())))
 
+(* Regression: pp_bars with a non-positive width used to render empty
+   bars; the width is now clamped to at least one column. *)
+let test_pp_bars_width_clamp () =
+  let h = hist_of [ 1.; 10.; 10.; 1000. ] in
+  let render w = Format.asprintf "%a" (Histogram.pp_bars ~width:w) h in
+  List.iter
+    (fun w ->
+      let lines =
+        List.filter (fun l -> l <> "") (String.split_on_char '\n' (render w))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "width %d still draws every bar" w)
+        true
+        (lines <> [] && List.for_all (fun l -> String.contains l '#') lines))
+    [ 0; -3; 1; 40 ]
+
 (* ------------------------------- JSON --------------------------------- *)
 
 let test_json_roundtrip () =
@@ -115,6 +131,27 @@ let test_json_roundtrip () =
   Alcotest.(check bool)
     "float stays float" true
     (Json.of_string "17.5" = Json.Float 17.5)
+
+let prop_json_bool_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"to_bool round-trips through the codec"
+    QCheck.bool (fun b ->
+      Json.to_bool (Json.of_string (Json.to_string (Json.Bool b))) = b)
+
+let arb_keys =
+  QCheck.(list_of_size (Gen.int_range 0 6) (string_of_size (Gen.int_range 1 5)))
+
+let prop_json_path =
+  QCheck.Test.make ~count:200
+    ~name:"path descends nested objects through the codec"
+    QCheck.(pair arb_keys small_int)
+    (fun (keys, v) ->
+      let nested =
+        List.fold_right (fun k acc -> Json.Obj [ (k, acc) ]) keys (Json.Int v)
+      in
+      let reparsed = Json.of_string (Json.to_string nested) in
+      Json.to_int (Json.path keys reparsed) = v
+      (* one step past the leaf is Null, not an exception *)
+      && Json.path (keys @ [ "absent" ]) reparsed = Json.Null)
 
 let test_json_errors () =
   let fails s =
@@ -282,9 +319,13 @@ let suite =
       prop_quantile_monotone;
       prop_merge_totals;
       prop_histogram_json_roundtrip;
+      prop_json_bool_roundtrip;
+      prop_json_path;
     ]
   @ [
       Alcotest.test_case "histogram basics" `Quick test_histogram_basics;
+      Alcotest.test_case "pp_bars clamps non-positive widths" `Quick
+        test_pp_bars_width_clamp;
       Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
       Alcotest.test_case "json parse errors" `Quick test_json_errors;
       Alcotest.test_case "metrics registry" `Quick test_metrics;

@@ -113,6 +113,26 @@ let test_crash_random_extremes () =
     (fun c -> Alcotest.(check int) "none evicted" 99 (Heap.read h c))
     cells
 
+(* A fixed RNG seed must give the same evicted/lost verdict per cell on
+   every run — crash injection is reproducible from a reported seed. *)
+let test_crash_random_deterministic () =
+  let run () =
+    let h = Heap.create () in
+    let cells =
+      List.init 32 (fun i -> Heap.alloc h ~name:(Printf.sprintf "c%d" i) i)
+    in
+    List.iter (fun c -> Heap.write h c 1_000) cells;
+    let rng = Random.State.make [| 42 |] in
+    Heap.crash_random h ~evict_p:0.5 ~rng;
+    Alcotest.(check int) "heap clean after crash" 0 (Heap.dirty_count h);
+    List.map (Heap.read h) cells
+  in
+  let a = run () in
+  Alcotest.(check (list int)) "fixed seed, same eviction set" a (run ());
+  Alcotest.(check bool) "some lines evicted" true (List.mem 1_000 a);
+  Alcotest.(check bool) "some lines lost" true
+    (List.exists (fun v -> v <> 1_000) a)
+
 let suite =
   [
     Alcotest.test_case "alloc: initial value persisted" `Quick
@@ -133,4 +153,6 @@ let suite =
     Alcotest.test_case "statistics counters" `Quick test_stats_counting;
     Alcotest.test_case "crash_random evict_p extremes" `Quick
       test_crash_random_extremes;
+    Alcotest.test_case "crash_random is deterministic per seed" `Quick
+      test_crash_random_deterministic;
   ]
