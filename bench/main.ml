@@ -49,6 +49,24 @@ let threads =
 
 let csv = Arg.(value & flag & info [ "csv" ] ~doc:"also print CSV")
 
+(* Reject non-positive line sizes at parse time rather than letting
+   [Line.Alloc.create] raise [Invalid_argument] mid-run. *)
+let pos_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | _ -> Error (`Msg (Printf.sprintf "expected a positive integer, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let line_size =
+  Arg.(
+    value & opt pos_int 1
+    & info [ "line-size" ] ~docv:"WORDS"
+        ~doc:
+          "persist-line size in words (1, the default, is the legacy \
+           word-granular model)")
+
 let json =
   Arg.(
     value
@@ -91,7 +109,7 @@ let run_fig backend csv json ~experiment ~title f =
        series)
     json
 
-let run_fig5a backend threads repeats horizon_us duration csv json =
+let run_fig5a backend threads repeats horizon_us duration line_size csv json =
   run_fig backend csv json ~experiment:"fig5a"
     ~title:
       "Figure 5a: levels of detectability and persistence (alternating \
@@ -99,15 +117,15 @@ let run_fig5a backend threads repeats horizon_us duration csv json =
     (fun ~instrument ->
       Experiments.fig5a_ex ~backend ~threads ~repeats
         ~horizon_ns:(horizon_us *. 1000.)
-        ~duration ~instrument ())
+        ~duration ~line_size ~instrument ())
 
 let fig5a_cmd =
   Cmd.v (Cmd.info "fig5a" ~doc:"MS queue vs DSS non-detectable vs DSS detectable")
     Term.(
       const run_fig5a $ backend $ threads $ repeats $ horizon_us $ duration
-      $ csv $ json)
+      $ line_size $ csv $ json)
 
-let run_fig5b backend threads repeats horizon_us duration csv json =
+let run_fig5b backend threads repeats horizon_us duration line_size csv json =
   run_fig backend csv json ~experiment:"fig5b"
     ~title:
       "Figure 5b: detectable queue implementations (all operations \
@@ -115,7 +133,7 @@ let run_fig5b backend threads repeats horizon_us duration csv json =
     (fun ~instrument ->
       Experiments.fig5b_ex ~backend ~threads ~repeats
         ~horizon_ns:(horizon_us *. 1000.)
-        ~duration ~instrument ())
+        ~duration ~line_size ~instrument ())
 
 let fig5b_cmd =
   Cmd.v
@@ -123,7 +141,7 @@ let fig5b_cmd =
        ~doc:"DSS queue vs log queue vs Fast/General CASWithEffect")
     Term.(
       const run_fig5b $ backend $ threads $ repeats $ horizon_us $ duration
-      $ csv $ json)
+      $ line_size $ csv $ json)
 
 (* ------------------------- ablation commands ------------------------- *)
 
@@ -212,6 +230,31 @@ let ablate_pmwcas_cmd =
     (Cmd.info "ablate-pmwcas" ~doc:"PMwCAS cost vs number of words")
     Term.(const run_ablate_pmwcas $ csv)
 
+let run_ablate_linesize nthreads repeats horizon_us csv json =
+  let series =
+    Experiments.ablate_linesize ~nthreads ~repeats
+      ~horizon_ns:(horizon_us *. 1000.) ()
+  in
+  render
+    ~title:
+      (Printf.sprintf
+         "Ablation: persist-line size — cache-line-granular flushing (%d \
+          threads; flushes/op and elided/op in the JSON report)"
+         nthreads)
+    ~x_label:"line_size" ~y_label:"Mops/s" ~csv (Report.of_run series);
+  Option.iter
+    (write_report ~backend:Experiments.Sim_model ~experiment:"ablate-linesize"
+       ~x_label:"line_size" ~y_label:"Mops/s" series)
+    json
+
+let ablate_linesize_cmd =
+  Cmd.v
+    (Cmd.info "ablate-linesize"
+       ~doc:"persist-line size sweep (instrumented flush/elision counts)")
+    Term.(
+      const run_ablate_linesize $ nthreads_opt $ repeats $ horizon_us $ csv
+      $ json)
+
 let run_latency () =
   Printf.printf
     "## Modelled single-thread latency per operation (ns, no contention)\n";
@@ -297,14 +340,15 @@ let bechamel_cmd =
 (* ------------------------- default: everything ----------------------- *)
 
 let run_all backend threads repeats horizon_us duration csv =
-  run_fig5a backend threads repeats horizon_us duration csv None;
-  run_fig5b backend threads repeats horizon_us duration csv None;
+  run_fig5a backend threads repeats horizon_us duration 1 csv None;
+  run_fig5b backend threads repeats horizon_us duration 1 csv None;
   run_ablate_flush 8 repeats horizon_us csv;
   run_ablate_demand 8 repeats horizon_us csv;
   run_ablate_recovery csv;
   run_ablate_depth csv;
   run_ablate_crashes csv;
   run_ablate_pmwcas csv;
+  run_ablate_linesize 8 repeats horizon_us csv None;
   run_latency ()
 
 let all_cmd =
@@ -328,6 +372,7 @@ let () =
             ablate_depth_cmd;
             ablate_crashes_cmd;
             ablate_pmwcas_cmd;
+            ablate_linesize_cmd;
             latency_cmd;
             bechamel_cmd;
           ]))

@@ -33,6 +33,24 @@ let threads_arg =
 
 let repeats_arg = Arg.(value & opt int 3 & info [ "repeats" ] ~doc:"samples")
 
+(* A line size of 0 (or less) would only surface later as an
+   [Invalid_argument] from [Line.Alloc.create]; reject it at parse time. *)
+let pos_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | _ -> Error (`Msg (Printf.sprintf "expected a positive integer, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let line_size_arg =
+  Arg.(
+    value & opt pos_int 1
+    & info [ "line-size" ] ~docv:"WORDS"
+        ~doc:
+          "persist-line size in words (1, the default, is the legacy \
+           word-granular model)")
+
 let json_arg =
   Arg.(
     value
@@ -53,89 +71,193 @@ let write_report ~experiment ~x_label ~y_label ?(params = []) series file =
       Printf.eprintf "dssq: cannot write report: %s\n" msg;
       exit 1
 
-let fig_params ~threads ~repeats =
+let fig_params ~threads ~repeats ~line_size =
   [
     ("threads", String.concat "," (List.map string_of_int threads));
     ("repeats", string_of_int repeats);
+    ("line_size", string_of_int line_size);
   ]
 
 let fig5a_cmd =
-  let run threads repeats json =
+  let run threads repeats line_size json =
     match json with
     | None ->
         render ~title:"Figure 5a" ~x_label:"threads" ~y_label:"Mops/s"
-          (Experiments.fig5a ~threads ~repeats ())
+          (Experiments.fig5a ~threads ~repeats ~line_size ())
     | Some file ->
         (* Instrumented run: same figure, plus events + latency in JSON. *)
         let series =
-          Experiments.fig5a_ex ~threads ~repeats ~instrument:true ()
+          Experiments.fig5a_ex ~threads ~repeats ~line_size ~instrument:true ()
         in
         render ~title:"Figure 5a" ~x_label:"threads" ~y_label:"Mops/s"
           (Report.of_run series);
         write_report ~experiment:"fig5a" ~x_label:"threads" ~y_label:"Mops/s"
-          ~params:(fig_params ~threads ~repeats)
+          ~params:(fig_params ~threads ~repeats ~line_size)
           series file
   in
   Cmd.v (Cmd.info "fig5a" ~doc:"regenerate Figure 5a")
-    Term.(const run $ threads_arg $ repeats_arg $ json_arg)
+    Term.(const run $ threads_arg $ repeats_arg $ line_size_arg $ json_arg)
 
 let fig5b_cmd =
-  let run threads repeats json =
+  let run threads repeats line_size json =
     match json with
     | None ->
         render ~title:"Figure 5b" ~x_label:"threads" ~y_label:"Mops/s"
-          (Experiments.fig5b ~threads ~repeats ())
+          (Experiments.fig5b ~threads ~repeats ~line_size ())
     | Some file ->
         let series =
-          Experiments.fig5b_ex ~threads ~repeats ~instrument:true ()
+          Experiments.fig5b_ex ~threads ~repeats ~line_size ~instrument:true ()
         in
         render ~title:"Figure 5b" ~x_label:"threads" ~y_label:"Mops/s"
           (Report.of_run series);
         write_report ~experiment:"fig5b" ~x_label:"threads" ~y_label:"Mops/s"
-          ~params:(fig_params ~threads ~repeats)
+          ~params:(fig_params ~threads ~repeats ~line_size)
           series file
   in
   Cmd.v (Cmd.info "fig5b" ~doc:"regenerate Figure 5b")
-    Term.(const run $ threads_arg $ repeats_arg $ json_arg)
+    Term.(const run $ threads_arg $ repeats_arg $ line_size_arg $ json_arg)
 
 let ablate_cmd ~name ~doc ~title ~x_label ~y_label f =
-  let run json =
-    let series = f () in
+  let run line_size json =
+    let series = f ~line_size () in
     render ~title ~x_label ~y_label series;
     Option.iter
       (fun file ->
-        write_report ~experiment:name ~x_label ~y_label (Report.to_run series)
-          file)
+        write_report ~experiment:name ~x_label ~y_label
+          ~params:[ ("line_size", string_of_int line_size) ]
+          (Report.to_run series) file)
       json
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ json_arg)
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ line_size_arg $ json_arg)
 
 let ablate_cmds =
   [
     ablate_cmd ~name:"ablate-flush" ~doc:"persist-latency sweep"
       ~title:"Persist-cost ablation" ~x_label:"flush_ns" ~y_label:"Mops/s"
-      (fun () -> Experiments.ablate_flush ());
+      (fun ~line_size () -> Experiments.ablate_flush ~line_size ());
     ablate_cmd ~name:"ablate-demand" ~doc:"detectability-fraction sweep"
       ~title:"Detectability on demand" ~x_label:"det_pct" ~y_label:"Mops/s"
-      (fun () -> Experiments.ablate_demand ());
+      (fun ~line_size () -> Experiments.ablate_demand ~line_size ());
     ablate_cmd ~name:"ablate-recovery" ~doc:"recovery-style comparison"
       ~title:"Recovery styles" ~x_label:"queue_len" ~y_label:"memory events"
-      (fun () -> Experiments.ablate_recovery ());
+      (fun ~line_size () -> Experiments.ablate_recovery ~line_size ());
     ablate_cmd ~name:"ablate-pmwcas" ~doc:"PMwCAS width sweep"
-      ~title:"PMwCAS width" ~x_label:"width" ~y_label:"ns/op" (fun () ->
-        Experiments.ablate_pmwcas ());
+      ~title:"PMwCAS width" ~x_label:"width" ~y_label:"ns/op"
+      (fun ~line_size () -> Experiments.ablate_pmwcas ~line_size ());
     ablate_cmd ~name:"ablate-crashes" ~doc:"throughput under periodic crashes"
       ~title:"Failure-full throughput" ~x_label:"mtbf_us" ~y_label:"Mops/s"
-      (fun () -> Experiments.ablate_crash_mtbf ());
+      (fun ~line_size () -> Experiments.ablate_crash_mtbf ~line_size ());
   ]
+
+(* ------------------------- ablate-linesize --------------------------- *)
+
+(* The persist-line-size sweep has its own command (rather than joining
+   [ablate_cmds]) because its payload is richer — every point is
+   instrumented, so flushes/op and elided/op per line size are printed
+   and archived — and because its size-1 point doubles as the CI
+   regression anchor for the whole line refactor. *)
+let linesize_run sizes nthreads repeats json anchor =
+  let series =
+    Experiments.ablate_linesize ~nthreads ~line_sizes:sizes ~repeats ()
+  in
+  render ~title:"Persist-line size" ~x_label:"line_size" ~y_label:"Mops/s"
+    (Report.of_run series);
+  let per_op ops n = float_of_int n /. float_of_int (max 1 ops) in
+  Printf.printf "%-12s%10s%14s%14s\n" "queue" "line_size" "flushes/op"
+    "elided/op";
+  List.iter
+    (fun (s : Dssq_obs.Run_report.series) ->
+      List.iter
+        (fun (p : Dssq_obs.Run_report.point) ->
+          Printf.printf "%-12s%10d%14.2f%14.2f\n" s.label p.x
+            (per_op p.ops p.events.Dssq_memory.Memory_intf.flushes)
+            (per_op p.ops p.events.Dssq_memory.Memory_intf.elided_flushes))
+        s.points)
+    series;
+  Option.iter
+    (fun file ->
+      write_report ~experiment:"ablate-linesize" ~x_label:"line_size"
+        ~y_label:"Mops/s"
+        ~params:
+          [
+            ("threads", string_of_int nthreads);
+            ("repeats", string_of_int repeats);
+            ("line_sizes", String.concat "," (List.map string_of_int sizes));
+          ]
+        series file)
+    json;
+  (* CI anchor: at line size 1 the harness must be byte-identical to the
+     pre-line-abstraction model, so dss-det's flushes/op is a constant of
+     the workload.  A drift here means the refactor changed the legacy
+     semantics. *)
+  Option.iter
+    (fun expected ->
+      match
+        List.find_opt
+          (fun (s : Dssq_obs.Run_report.series) -> s.label = "dss-det")
+          series
+      with
+      | None ->
+          Printf.eprintf "dssq: anchor check: no dss-det series\n";
+          exit 1
+      | Some s -> (
+          match
+            List.find_opt (fun (p : Dssq_obs.Run_report.point) -> p.x = 1)
+              s.points
+          with
+          | None ->
+              Printf.eprintf
+                "dssq: anchor check: no line-size-1 point (add 1 to --sizes)\n";
+              exit 1
+          | Some p ->
+              let got =
+                per_op p.ops p.events.Dssq_memory.Memory_intf.flushes
+              in
+              if Float.abs (got -. expected) > 0.01 then begin
+                Printf.eprintf
+                  "dssq: anchor check FAILED: dss-det flushes/op at line size \
+                   1 = %.3f, expected %.3f\n"
+                  got expected;
+                exit 1
+              end;
+              Printf.printf
+                "anchor check passed: dss-det flushes/op at line size 1 = \
+                 %.3f (expected %.3f)\n"
+                got expected))
+    anchor
+
+let ablate_linesize_cmd =
+  let sizes =
+    Arg.(
+      value
+      & opt (list pos_int) [ 1; 2; 4; 8; 16 ]
+      & info [ "sizes" ] ~doc:"line sizes (words) to sweep")
+  in
+  let nthreads =
+    Arg.(value & opt int 8 & info [ "threads" ] ~doc:"thread count")
+  in
+  let anchor =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "check-anchor" ] ~docv:"FLUSHES_PER_OP"
+          ~doc:
+            "assert that the dss-det series' flushes/op at line size 1 \
+             equals $(docv) to within 0.01 (the legacy word-granular \
+             regression anchor); exit non-zero on drift")
+  in
+  Cmd.v
+    (Cmd.info "ablate-linesize"
+       ~doc:"persist-line-size sweep (instrumented: flushes/op, elided/op)")
+    Term.(const linesize_run $ sizes $ nthreads $ repeats_arg $ json_arg $ anchor)
 
 (* ------------------------------ metrics ------------------------------ *)
 
 (* Run a finite deterministic workload on the counted simulator backend
    and print the memory-event accounting for one queue implementation —
    the quickest way to see e.g. flushes per operation. *)
-let metrics_run queue pairs det_pct =
-  let heap = Heap.create () in
+let metrics_run queue pairs det_pct line_size =
+  let heap = Heap.create ~line_size () in
   let (module M) = Sim.counted_memory heap in
   let module R = Dssq_workload.Registry.Make (M) in
   match R.find_opt queue with
@@ -147,7 +269,7 @@ let metrics_run queue pairs det_pct =
       let nthreads = 2 in
       let ops =
         mk
-          (Dssq_core.Queue_intf.config ~nthreads
+          (Dssq_core.Queue_intf.config ~line_size ~nthreads
              ~capacity:(16 + 8 + (nthreads * (pairs + 8)))
              ())
       in
@@ -177,11 +299,11 @@ let metrics_run queue pairs det_pct =
       let c = M.counters () in
       Printf.printf "queue: %s   backend: sim   ops: %d   detectable: %d%%\n\n"
         queue !completed det_pct;
-      Printf.printf "%-10s%12s%12s\n" "event" "total" "per-op";
+      Printf.printf "%-16s%12s%12s\n" "event" "total" "per-op";
       let denom = float_of_int (max 1 !completed) in
       List.iter
         (fun (k, v) ->
-          Printf.printf "%-10s%12d%12.2f\n" k v (float_of_int v /. denom))
+          Printf.printf "%-16s%12d%12.2f\n" k v (float_of_int v /. denom))
         (Dssq_memory.Memory_intf.Counters.to_assoc c);
       (match ops.stats () with
       | [] -> ()
@@ -213,7 +335,7 @@ let metrics_cmd =
   Cmd.v
     (Cmd.info "metrics"
        ~doc:"memory-event accounting for one queue on the simulator")
-    Term.(const metrics_run $ queue $ pairs $ det)
+    Term.(const metrics_run $ queue $ pairs $ det $ line_size_arg)
 
 let latency_cmd =
   let run () =
@@ -642,8 +764,8 @@ let info_cmd =
       \  dssq.ebr       epoch-based reclamation\n\
       \  dssq.obs       histograms, metrics, JSON run reports (--json)\n\n\
        Experiments: fig5a, fig5b, ablate-flush, ablate-demand,\n\
-       ablate-recovery, ablate-pmwcas, latency, metrics, lincheck,\n\
-       crash-demo.  See DESIGN.md and EXPERIMENTS.md.\n"
+       ablate-recovery, ablate-pmwcas, ablate-linesize, latency, metrics,\n\
+       lincheck, crash-demo.  See DESIGN.md and EXPERIMENTS.md.\n"
   in
   Cmd.v (Cmd.info "info" ~doc:"what this repository implements") Term.(const run $ const ())
 
@@ -660,6 +782,7 @@ let () =
           ([
              fig5a_cmd;
              fig5b_cmd;
+             ablate_linesize_cmd;
              metrics_cmd;
              latency_cmd;
              crash_demo_cmd;

@@ -68,7 +68,9 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
             C.create ~name:(Printf.sprintf "slot[%d]" i) ~nthreads empty_slot);
       ann =
         Array.init nthreads (fun i ->
-            M.alloc ~name:(Printf.sprintf "ann[%d]" i) 0);
+            M.alloc
+              ~name:(Printf.sprintf "ann[%d]" i)
+              ~placement:Dssq_memory.Memory_intf.Line.Isolated 0);
       nbuckets;
       nthreads;
     }

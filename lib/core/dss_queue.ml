@@ -59,8 +59,8 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     let sentinel = Pool.alloc pool ~tid:0 ~value:0 in
     M.flush (Pool.value pool sentinel);
     M.flush (Pool.next pool sentinel);
-    let head = M.alloc ~name:"head" sentinel in
-    let tail = M.alloc ~name:"tail" sentinel in
+    let head = M.alloc ~name:"head" ~placement:Dssq_memory.Memory_intf.Line.Isolated sentinel in
+    let tail = M.alloc ~name:"tail" ~placement:Dssq_memory.Memory_intf.Line.Isolated sentinel in
     M.flush head;
     M.flush tail;
     let deferred = Array.init nthreads (fun _ -> ref []) in
@@ -73,7 +73,11 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       pool;
       head;
       tail;
-      x = Array.init nthreads (fun i -> M.alloc ~name:(Printf.sprintf "X[%d]" i) 0);
+      x =
+        Array.init nthreads (fun i ->
+            M.alloc
+              ~name:(Printf.sprintf "X[%d]" i)
+              ~placement:Dssq_memory.Memory_intf.Line.Isolated 0);
       ebr;
       deferred;
       reclaim;

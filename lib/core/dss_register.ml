@@ -88,11 +88,18 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
 
   let create ?(init = 0) ~nthreads () =
     if init < 0 || init > value_mask then invalid_arg "Dss_register.create";
-    let reg = M.alloc ~name:"register" (pack ~value:init ~writer:(-1) ~seq:0) in
+    let reg =
+      M.alloc ~name:"register" ~placement:Dssq_memory.Memory_intf.Line.Isolated 
+        (pack ~value:init ~writer:(-1) ~seq:0)
+    in
     M.flush reg;
     {
       reg;
-      x = Array.init nthreads (fun i -> M.alloc ~name:(Printf.sprintf "Xr[%d]" i) 0);
+      x =
+        Array.init nthreads (fun i ->
+            M.alloc
+              ~name:(Printf.sprintf "Xr[%d]" i)
+              ~placement:Dssq_memory.Memory_intf.Line.Isolated 0);
       seqs = Array.make nthreads 0;
       nthreads;
     }

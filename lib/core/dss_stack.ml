@@ -45,7 +45,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
 
   let create ?(reclaim = true) ~nthreads ~capacity () =
     let pool = Pool.create ~capacity ~nthreads in
-    let top = M.alloc ~name:"top" Tagged.null in
+    let top = M.alloc ~name:"top" ~placement:Dssq_memory.Memory_intf.Line.Isolated Tagged.null in
     M.flush top;
     let t =
       {
@@ -53,7 +53,9 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
         top;
         x =
           Array.init nthreads (fun i ->
-              M.alloc ~name:(Printf.sprintf "Xs[%d]" i) 0);
+              M.alloc
+                ~name:(Printf.sprintf "Xs[%d]" i)
+                ~placement:Dssq_memory.Memory_intf.Line.Isolated 0);
         ebr = Dssq_ebr.Ebr.create ~nthreads ~free:(fun ~tid:_ _ -> ()) ();
         deferred = Array.init nthreads (fun _ -> ref []);
         reclaim;

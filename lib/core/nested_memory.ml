@@ -30,7 +30,24 @@ struct
 
   type 'a cell = 'a C.t
 
-  let alloc ?name v = C.create ?name ~nthreads:Config.nthreads v
+  (* Dss_cell spreads one logical word over several base cells, so inner
+     placement is the base memory's business; the [placement] hint has no
+     meaningful nested analogue and is ignored. *)
+  let alloc ?name ?placement v =
+    ignore placement;
+    C.create ?name ~nthreads:Config.nthreads v
+
+  let alloc_block ?name vs =
+    List.mapi
+      (fun i v ->
+        let name =
+          match name with
+          | None -> None
+          | Some n -> Some (Printf.sprintf "%s[%d]" n i)
+        in
+        alloc ?name v)
+      vs
+
   let read c = C.read c
   let write c v = C.write c v
   let cas c ~expected ~desired = C.cas c ~expected ~desired

@@ -10,6 +10,9 @@
       node ([deqThreadID] in the paper); -1 means unmarked.
 
     Node 0 is reserved as NULL; valid indices are [1 .. capacity].
+    A node's three words are laid out as one line-aligned block (see
+    {!Dssq_memory.Memory_intf.S.alloc_block}), so with a realistic line
+    size they share a persist line and one flush covers all three.
     Free lists are volatile (rebuilt from the persistent structure after
     a crash) and atomic: a freed node returns to its {e home} thread's
     list — whoever retired it — so sustained producer/consumer imbalance
@@ -45,9 +48,21 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
         else pop_free lists owner
 
   let create ~capacity ~nthreads =
-    let mk name init =
+    (* Each node's three words are allocated as one block, so they share
+       a persist line (at the default line size): persisting a freshly
+       initialized node costs one write-back, not three.  Blocks start at
+       line boundaries, so distinct nodes never share a line and there is
+       no false sharing between them.  The arrays are per-field views
+       over the same cells. *)
+    let nodes =
       Array.init (capacity + 1) (fun i ->
-          M.alloc ~name:(Printf.sprintf "%s[%d]" name i) init)
+          match
+            M.alloc_block
+              ~name:(Printf.sprintf "node%d" i)
+              [ 0; Tagged.null; -1 ]
+          with
+          | [ v; n; d ] -> (v, n, d)
+          | _ -> assert false)
     in
     let free_lists = Array.init nthreads (fun _ -> Atomic.make []) in
     (* Stripe nodes across threads; reversed so threads pop low indices
@@ -57,9 +72,9 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       Atomic.set free_lists.(owner) (i :: Atomic.get free_lists.(owner))
     done;
     {
-      value = mk "value" 0;
-      next = mk "next" Tagged.null;
-      deq_tid = mk "deq_tid" (-1);
+      value = Array.map (fun (v, _, _) -> v) nodes;
+      next = Array.map (fun (_, n, _) -> n) nodes;
+      deq_tid = Array.map (fun (_, _, d) -> d) nodes;
       capacity;
       nthreads;
       free_lists;

@@ -1,8 +1,10 @@
 (** Pre-allocated persistent queue-node pools with thread-local free
     lists (the paper's evaluation methodology, Section 4).  A node is a
     triple of persistent words — value, next (0 = NULL), and the
-    [deqThreadID] claim mark (-1 = unmarked).  Node 0 is reserved as
-    NULL; valid indices are [1 .. capacity].  Free lists are volatile,
+    [deqThreadID] claim mark (-1 = unmarked), laid out as one
+    line-aligned block per node so a single flush persists the whole
+    node at realistic line sizes.  Node 0 is reserved as NULL; valid
+    indices are [1 .. capacity].  Free lists are volatile,
     strictly thread-local, and rebuilt from the persistent structure
     after a crash. *)
 

@@ -30,13 +30,24 @@ let equal_resolved (a : resolved) (b : resolved) = a = b
     [capacity] bounds the number of live queue nodes (per-thread
     pre-allocated pools, as in the paper's evaluation); [reclaim]
     recycles dequeued nodes through EBR where the implementation
-    supports it and is ignored elsewhere. *)
-type config = { nthreads : int; capacity : int; reclaim : bool }
+    supports it and is ignored elsewhere.  [line_size] records the
+    persist-line size (words per line) the run's memory backend is
+    configured with — 1 is the legacy word-granular model; the harness
+    that creates the backend is responsible for keeping the two in
+    sync (see [Dssq_workload]). *)
+type config = {
+  nthreads : int;
+  capacity : int;
+  reclaim : bool;
+  line_size : int;
+}
 
-let config ?(reclaim = true) ~nthreads ~capacity () =
+let config ?(reclaim = true) ?(line_size = 1) ~nthreads ~capacity () =
   if nthreads <= 0 then invalid_arg "Queue_intf.config: nthreads must be > 0";
   if capacity <= 0 then invalid_arg "Queue_intf.config: capacity must be > 0";
-  { nthreads; capacity; reclaim }
+  if line_size <= 0 then
+    invalid_arg "Queue_intf.config: line_size must be > 0";
+  { nthreads; capacity; reclaim; line_size }
 
 (** Plain concurrent queue (non-detectable interface). *)
 module type QUEUE = sig

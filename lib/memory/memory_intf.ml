@@ -13,7 +13,120 @@
     Cells are word-granularity: a cell models one failure-atomic machine
     word (the paper assumes 64-bit failure-atomic writes, Section 1).
     Algorithms that need pointer tagging pack index + tag bits into a
-    single [int] cell (see [Dssq_core.Tagged]). *)
+    single [int] cell (see [Dssq_core.Tagged]).
+
+    {b Persistence, however, is line-granularity}: the paper's hardware
+    (Optane + CLWB) writes back whole cache lines, so cells are allocated
+    into {!Line}s and [flush cell] persists the cell's entire line.  A
+    line whose every word is already persisted has nothing to write back,
+    so flushing it is free — {e clean-line elision}, the effect behind
+    Mirror-/Memento-style flush coalescing.  Line size 1 degenerates to
+    the original word-granular model (every flush charged, no elision)
+    and is the regression anchor for all pre-line figures. *)
+
+(** Persist lines: the unit at which the modelled cache tracks dirtiness,
+    writes back ([flush]), and evicts at a crash.  Both backends share
+    this state machine and the placement allocator below; only the cell
+    payload representation differs. *)
+module Line = struct
+  let default_size = 8
+  (** Words per line.  Eight 64-bit words = the 64-byte x86 cache line of
+      the paper's testbed. *)
+
+  type t = { id : int; size : int; dirty : bool Atomic.t }
+  (** One persist line.  [dirty] is the OR of the member cells' dirtiness
+      — set by every store/CAS to a member, cleared by write-back.
+      Atomic because native-backend domains share lines. *)
+
+  (** Where [alloc] places a fresh cell. *)
+  type placement =
+    | Packed  (** fill the current open line (default) *)
+    | Isolated
+        (** a private line of its own — for hot global words (queue head,
+            tail, per-thread X entries) that real implementations pad to
+            a full cache line to avoid false sharing *)
+
+  let make ~id ~size = { id; size; dirty = Atomic.make false }
+  let is_dirty l = Atomic.get l.dirty
+  let mark_dirty l = if not (Atomic.get l.dirty) then Atomic.set l.dirty true
+
+  (** Whether a flush of this line would perform a write-back, without
+      changing any state — the simulator's cost model asks this before
+      the operation applies. *)
+  let flush_pending l = l.size <= 1 || Atomic.get l.dirty
+
+  (** Whether flushing this line performs a write-back, clearing its
+      dirtiness either way.  At size 1 the answer is always [true]: the
+      seed's word-granular model charged every flush unconditionally, and
+      line size 1 must reproduce those numbers exactly (the regression
+      anchor).  At sizes >= 2 a clean line's flush is elided. *)
+  let flush_effective l =
+    if l.size <= 1 then begin
+      Atomic.set l.dirty false;
+      true
+    end
+    else Atomic.exchange l.dirty false
+
+  (** Sequential placement of cells into lines.  Not thread-safe: the
+      simulator allocates from one domain; the native backend serializes
+      calls with its own lock. *)
+  module Alloc = struct
+    type line = t
+
+    type t = {
+      size : int;
+      mutable next_id : int;
+      mutable current : line option;  (** open line being filled *)
+      mutable room : int;  (** words left in [current] *)
+    }
+
+    let create ?(size = default_size) () =
+      if size < 1 then invalid_arg "Line.Alloc.create: size must be >= 1";
+      { size; next_id = 0; current = None; room = 0 }
+
+    let line_size a = a.size
+
+    (** Close the current open line: the next [Packed] placement starts a
+        fresh one.  Used to align a block of co-located cells. *)
+    let align a =
+      a.current <- None;
+      a.room <- 0
+
+    let fresh a =
+      let l = make ~id:a.next_id ~size:a.size in
+      a.next_id <- a.next_id + 1;
+      l
+
+    (** Line for the next cell.  [Packed] fills the open line, opening a
+        new one when full; [Isolated] grabs a private line and leaves no
+        line open (so later packed cells cannot share it). *)
+    let place ?(placement = Packed) a =
+      match placement with
+      | Isolated ->
+          align a;
+          fresh a
+      | Packed -> (
+          match a.current with
+          | Some l when a.room > 0 ->
+              a.room <- a.room - 1;
+              l
+          | _ ->
+              let l = fresh a in
+              a.current <- Some l;
+              a.room <- a.size - 1;
+              l)
+
+    (** Lines for [n] co-located cells (a node's fields): placement
+        starts at a fresh line boundary and the block ends aligned, so
+        distinct blocks never share a line (no false sharing between
+        nodes). *)
+    let place_block a ~n =
+      align a;
+      let lines = List.init n (fun _ -> place a) in
+      align a;
+      lines
+  end
+end
 
 module type S = sig
   type 'a cell
@@ -21,18 +134,26 @@ module type S = sig
       backends the cell has both a volatile (cache) value, which all
       threads observe, and a persisted value, which survives crashes. *)
 
-  val alloc : ?name:string -> 'a -> 'a cell
+  val alloc : ?name:string -> ?placement:Line.placement -> 'a -> 'a cell
   (** [alloc v] allocates a fresh cell whose volatile {e and} persisted
       value is [v] (allocation happens during failure-free initialization
       or recovery, both of which persist initial state).  [name] is used
-      only for diagnostics and traces. *)
+      only for diagnostics and traces; [placement] (default
+      {!Line.Packed}) chooses the persist line the cell lands in. *)
+
+  val alloc_block : ?name:string -> 'a list -> 'a cell list
+  (** [alloc_block vs] allocates one cell per value, co-located from a
+      fresh line boundary — a node's fields share (with the default line
+      size) a single persist line, so flushing them after initialization
+      costs one write-back instead of one per word. *)
 
   val read : 'a cell -> 'a
   (** Sequentially consistent load of the volatile value. *)
 
   val write : 'a cell -> 'a -> unit
   (** Sequentially consistent store to the volatile value.  The store is
-      {e not} persisted until [flush] (or a simulated cache eviction). *)
+      {e not} persisted until [flush] (or a simulated cache eviction);
+      it marks the cell's whole line dirty. *)
 
   val cas : 'a cell -> expected:'a -> desired:'a -> bool
   (** Single-word compare-and-swap on the volatile value.  Comparison is
@@ -40,8 +161,12 @@ module type S = sig
       immediate (int) values used by all algorithms here. *)
 
   val flush : 'a cell -> unit
-  (** Write the cell's current volatile value back to the persistence
-      domain and drain it (CLWB + sfence, i.e. PMDK [pmem_persist]). *)
+  (** Write the cell's current {e line} back to the persistence domain
+      and drain it (CLWB + sfence, i.e. PMDK [pmem_persist]): every
+      dirty word sharing the cell's line is persisted by the one
+      write-back.  Flushing a clean line is elided (free) when the line
+      size is >= 2; at line size 1 every flush is charged, exactly as in
+      the pre-line word-granular model. *)
 
   val fence : unit -> unit
   (** Store fence without a write-back; orders prior flushes. *)
@@ -51,17 +176,28 @@ end
     class of {!S}.  Both backends produce these through the same
     {!COUNTED} interface, so the workload harness can report per-phase
     flush/fence/CAS deltas uniformly (the paper's Section 4 cost
-    accounting). *)
+    accounting).  [flushes] counts {e effective} flushes (write-backs);
+    [elided_flushes] counts flush calls answered by a clean line at no
+    cost — the savings line-granular persistence buys. *)
 type counters = {
   reads : int;
   writes : int;
   cases : int;
   flushes : int;
+  elided_flushes : int;
   fences : int;
 }
 
 module Counters = struct
-  let zero = { reads = 0; writes = 0; cases = 0; flushes = 0; fences = 0 }
+  let zero =
+    {
+      reads = 0;
+      writes = 0;
+      cases = 0;
+      flushes = 0;
+      elided_flushes = 0;
+      fences = 0;
+    }
 
   let add a b =
     {
@@ -69,6 +205,7 @@ module Counters = struct
       writes = a.writes + b.writes;
       cases = a.cases + b.cases;
       flushes = a.flushes + b.flushes;
+      elided_flushes = a.elided_flushes + b.elided_flushes;
       fences = a.fences + b.fences;
     }
 
@@ -80,10 +217,12 @@ module Counters = struct
       writes = after.writes - before.writes;
       cases = after.cases - before.cases;
       flushes = after.flushes - before.flushes;
+      elided_flushes = after.elided_flushes - before.elided_flushes;
       fences = after.fences - before.fences;
     }
 
-  let total c = c.reads + c.writes + c.cases + c.flushes + c.fences
+  let total c =
+    c.reads + c.writes + c.cases + c.flushes + c.elided_flushes + c.fences
 
   let to_assoc c =
     [
@@ -91,6 +230,7 @@ module Counters = struct
       ("writes", c.writes);
       ("cases", c.cases);
       ("flushes", c.flushes);
+      ("elided_flushes", c.elided_flushes);
       ("fences", c.fences);
     ]
 
@@ -101,12 +241,14 @@ module Counters = struct
       writes = get "writes";
       cases = get "cases";
       flushes = get "flushes";
+      elided_flushes = get "elided_flushes";
       fences = get "fences";
     }
 
   let pp fmt c =
-    Format.fprintf fmt "reads=%d writes=%d cases=%d flushes=%d fences=%d"
-      c.reads c.writes c.cases c.flushes c.fences
+    Format.fprintf fmt
+      "reads=%d writes=%d cases=%d flushes=%d elided=%d fences=%d" c.reads
+      c.writes c.cases c.flushes c.elided_flushes c.fences
 end
 
 (** A backend with uniform memory-event accounting: snapshot with

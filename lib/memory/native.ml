@@ -6,23 +6,72 @@
     {!Persist_cost}; on this backend the "persistence domain" is ordinary
     RAM, so correctness under crashes is exercised on the simulator
     backend instead (which is the point of having two backends sharing
-    one algorithm source). *)
+    one algorithm source).
 
-type 'a cell = 'a Atomic.t
+    Cells carry their persist {!Memory_intf.Line}: stores and CAS mark
+    the line dirty, [flush] pays the write-back cost only when the line
+    is dirty (clean-line elision) — except at line size 1, the legacy
+    word-granular model, where every flush pays. *)
 
-let alloc ?name v =
+module Line = Memory_intf.Line
+
+type 'a cell = { v : 'a Atomic.t; line : Line.t }
+
+(* One process-wide line allocator.  Allocation happens during
+   single-threaded setup or recovery, but harness phases can overlap in
+   tests, so serialize with a lock; the hot-path operations below never
+   touch it. *)
+let alloc_lock = Mutex.create ()
+let allocator = ref (Line.Alloc.create ~size:1 ())
+
+let set_line_size size =
+  Mutex.lock alloc_lock;
+  allocator := Line.Alloc.create ~size ();
+  Mutex.unlock alloc_lock
+
+let line_size () = Line.Alloc.line_size !allocator
+
+let alloc ?name ?placement v =
   ignore name;
-  Atomic.make v
+  Mutex.lock alloc_lock;
+  let line = Line.Alloc.place ?placement !allocator in
+  Mutex.unlock alloc_lock;
+  { v = Atomic.make v; line }
 
-let read = Atomic.get
-let write = Atomic.set
-let cas c ~expected ~desired = Atomic.compare_and_set c expected desired
+let alloc_block ?name vs =
+  ignore name;
+  Mutex.lock alloc_lock;
+  Line.Alloc.align !allocator;
+  let lines = List.map (fun _ -> Line.Alloc.place !allocator) vs in
+  Line.Alloc.align !allocator;
+  Mutex.unlock alloc_lock;
+  List.map2 (fun v line -> { v = Atomic.make v; line }) vs lines
 
-let flush c =
-  (* Force the store buffer to drain in the model: read back then pay. *)
-  ignore (Sys.opaque_identity (Atomic.get c));
-  Persist_cost.pay_flush ()
+let line_id c = c.line.Line.id
+let read c = Atomic.get c.v
 
+let write c v =
+  Atomic.set c.v v;
+  Line.mark_dirty c.line
+
+let cas c ~expected ~desired =
+  let hit = Atomic.compare_and_set c.v expected desired in
+  if hit then Line.mark_dirty c.line;
+  hit
+
+(** Flush the cell's line, paying the calibrated persist cost only for
+    an actual write-back; returns whether one happened.  (At line size 1
+    — the legacy model — every flush pays.) *)
+let flush_line c =
+  if Line.flush_effective c.line then begin
+    (* Force the store buffer to drain in the model: read back then pay. *)
+    ignore (Sys.opaque_identity (Atomic.get c.v));
+    Persist_cost.pay_flush ();
+    true
+  end
+  else false
+
+let flush c = ignore (flush_line c)
 let fence () = Persist_cost.pay_fence ()
 
 (** Event hook for the observability tracer.  The tracer lives in
@@ -30,8 +79,13 @@ let fence () = Persist_cost.pay_fence ()
     inverted: this side exposes a hook, [Dssq_obs.Trace.start] points it
     at the active tracer.  Only the [Counted] backend consults it — the
     plain operations above stay branch-free. *)
-let trace_hook : ([ `Read | `Write | `Cas | `Flush | `Fence ] -> unit) option ref
-    =
+let trace_hook :
+    ([ `Read | `Write | `Cas | `Flush | `Fence ] ->
+    line:int ->
+    dirty:bool ->
+    unit)
+    option
+    ref =
   ref None
 
 (** Counting variant of the native backend, for memory-event accounting
@@ -40,43 +94,51 @@ let trace_hook : ([ `Read | `Write | `Cas | `Flush | `Fence ] -> unit) option re
     Instrumentation is enabled by instantiating algorithm functors over
     this module instead of the plain backend — the plain operations above
     stay branch-free when accounting is off. *)
-module Counted () : Memory_intf.COUNTED with type 'a cell = 'a Atomic.t =
-struct
+module Counted () : Memory_intf.COUNTED with type 'a cell = 'a cell = struct
   type nonrec 'a cell = 'a cell
 
   let c_reads = Atomic.make 0
   let c_writes = Atomic.make 0
   let c_cases = Atomic.make 0
   let c_flushes = Atomic.make 0
+  let c_elided = Atomic.make 0
   let c_fences = Atomic.make 0
   let alloc = alloc
+  let alloc_block = alloc_block
 
-  let traced kind =
-    match !trace_hook with None -> () | Some f -> f kind
+  let traced kind c =
+    match !trace_hook with
+    | None -> ()
+    | Some f -> f kind ~line:(line_id c) ~dirty:(Line.is_dirty c.line)
+
+  let traced_fence () =
+    match !trace_hook with
+    | None -> ()
+    | Some f -> f `Fence ~line:(-1) ~dirty:false
 
   let read c =
     Atomic.incr c_reads;
-    traced `Read;
+    traced `Read c;
     read c
 
   let write c v =
     Atomic.incr c_writes;
-    traced `Write;
-    write c v
+    write c v;
+    traced `Write c
 
   let cas c ~expected ~desired =
     Atomic.incr c_cases;
-    traced `Cas;
-    cas c ~expected ~desired
+    let hit = cas c ~expected ~desired in
+    traced `Cas c;
+    hit
 
   let flush c =
-    Atomic.incr c_flushes;
-    traced `Flush;
-    flush c
+    if flush_line c then Atomic.incr c_flushes else Atomic.incr c_elided;
+    traced `Flush c
 
   let fence () =
     Atomic.incr c_fences;
-    traced `Fence;
+    traced_fence ();
     fence ()
 
   let counters () =
@@ -85,6 +147,7 @@ struct
       writes = Atomic.get c_writes;
       cases = Atomic.get c_cases;
       flushes = Atomic.get c_flushes;
+      elided_flushes = Atomic.get c_elided;
       fences = Atomic.get c_fences;
     }
 
@@ -93,5 +156,6 @@ struct
     Atomic.set c_writes 0;
     Atomic.set c_cases 0;
     Atomic.set c_flushes 0;
+    Atomic.set c_elided 0;
     Atomic.set c_fences 0
 end

@@ -1,27 +1,54 @@
 (** Native backend of the [MEMORY] interface: real OCaml domains over
     [Atomic.t] (sequentially consistent, like the paper's C++ seq_cst
     atomics), with the calibrated persist cost charged at each
-    flush/fence.
+    flush/fence — per dirty {e line}: a flush of a clean line is free
+    (elided) when the line size is >= 2.
     Crash semantics cannot be exercised here — that is the simulator
     backend's job; this one is for wall-clock measurement. *)
 
-type 'a cell = 'a Atomic.t
+module Line = Memory_intf.Line
 
-val alloc : ?name:string -> 'a -> 'a cell
+type 'a cell = { v : 'a Atomic.t; line : Line.t }
+
+val set_line_size : int -> unit
+(** Replace the process-wide line allocator with a fresh one of the
+    given size (words per line).  Affects subsequent allocations only;
+    the default is 1, the legacy word-granular model.  Call before
+    building a structure, from a single thread. *)
+
+val line_size : unit -> int
+
+val alloc : ?name:string -> ?placement:Line.placement -> 'a -> 'a cell
+val alloc_block : ?name:string -> 'a list -> 'a cell list
+val line_id : 'a cell -> int
 val read : 'a cell -> 'a
 val write : 'a cell -> 'a -> unit
 val cas : 'a cell -> expected:'a -> desired:'a -> bool
+
+val flush_line : 'a cell -> bool
+(** {!flush}, returning whether a write-back actually happened ([false]
+    = elided: the line was clean and the line size >= 2). *)
+
 val flush : 'a cell -> unit
 val fence : unit -> unit
 
-val trace_hook : ([ `Read | `Write | `Cas | `Flush | `Fence ] -> unit) option ref
-(** Event hook consulted by {!Counted} on every memory operation.
-    Installed/cleared by the tracer in [Dssq_obs.Trace] (which depends on
-    this library, hence the inversion).  [None] — the default — costs one
-    load and branch per counted operation. *)
+val trace_hook :
+  ([ `Read | `Write | `Cas | `Flush | `Fence ] ->
+  line:int ->
+  dirty:bool ->
+  unit)
+  option
+  ref
+(** Event hook consulted by {!Counted} on every memory operation, with
+    the target's persist-line identity and post-event line dirtiness
+    ([line = -1] for fences).  Installed/cleared by the tracer in
+    [Dssq_obs.Trace] (which depends on this library, hence the
+    inversion).  [None] — the default — costs one load and branch per
+    counted operation. *)
 
-module Counted () : Memory_intf.COUNTED with type 'a cell = 'a Atomic.t
+module Counted () : Memory_intf.COUNTED with type 'a cell = 'a cell
 (** Counting variant for memory-event accounting on real domains; each
-    instantiation owns fresh counters.  Instantiate algorithm functors
-    over this module (instead of the plain backend) to enable
-    accounting — the plain operations stay branch-free. *)
+    instantiation owns fresh counters.  Counts flush write-backs and
+    elisions separately ([flushes] / [elided_flushes]).  Instantiate
+    algorithm functors over this module (instead of the plain backend)
+    to enable accounting — the plain operations stay branch-free. *)

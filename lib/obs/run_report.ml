@@ -11,7 +11,12 @@
 module MI = Dssq_memory.Memory_intf
 
 let schema_name = "dssq.run-report"
-let schema_version = 1
+
+(* v1: initial schema.
+   v2: event objects gained an ["elided_flushes"] key (clean-line flushes
+       skipped under cache-line-granular persistence).  v1 documents
+       still decode — a missing key reads as 0. *)
+let schema_version = 2
 
 (** One instrumented measurement (one repeat at one x). *)
 type sample = {

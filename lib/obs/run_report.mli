@@ -6,7 +6,10 @@
 module MI = Dssq_memory.Memory_intf
 
 val schema_name : string
+
 val schema_version : int
+(** Currently 2 (v2 added the [elided_flushes] event key); v1 documents
+    still decode, the missing key reading as 0. *)
 
 (** One instrumented measurement (one repeat at one x). *)
 type sample = {

@@ -16,7 +16,13 @@ type mem_op = [ `Read | `Write | `Cas | `Flush | `Fence ]
 type event =
   | Op_begin of { op : string; args : string }
   | Op_end of { op : string; result : string }
-  | Mem of { op : mem_op; cell : int; cell_name : string; dirty : bool }
+  | Mem of {
+      op : mem_op;
+      cell : int;
+      cell_name : string;
+      line : int;
+      dirty : bool;
+    }
   | Crash of { verdicts : (int * string * bool) list }
   | Recovery_begin
   | Recovery_end
@@ -112,7 +118,9 @@ let start ?(capacity = 4096) () =
   (* The native Counted backend cannot depend on this library (it sits
      below it), so it exposes a hook that we point back here. *)
   Dssq_memory.Native.trace_hook :=
-    Some (fun op -> record t (Mem { op; cell = -1; cell_name = ""; dirty = false }));
+    Some
+      (fun op ~line ~dirty ->
+        record t (Mem { op; cell = -1; cell_name = ""; line; dirty }));
   t
 
 (* ----------------------------- emitters ------------------------------- *)
@@ -120,8 +128,8 @@ let start ?(capacity = 4096) () =
 let op_begin op ~args = if is_on () then !sink (Op_begin { op; args })
 let op_end op ~result = if is_on () then !sink (Op_end { op; result })
 
-let mem op ~cell ~name ~dirty =
-  if is_on () then !sink (Mem { op; cell; cell_name = name; dirty })
+let mem op ~cell ~name ~line ~dirty =
+  if is_on () then !sink (Mem { op; cell; cell_name = name; line; dirty })
 
 let crash ~verdicts = if is_on () then !sink (Crash { verdicts })
 let recovery_begin () = if is_on () then !sink Recovery_begin
@@ -175,9 +183,10 @@ let verdict_summary verdicts =
 let pp_event fmt = function
   | Op_begin { op; args } -> Format.fprintf fmt "begin %s(%s)" op args
   | Op_end { op; result } -> Format.fprintf fmt "end   %s -> %s" op result
-  | Mem { op; cell; cell_name; dirty } ->
-      Format.fprintf fmt "%-5s %s%s" (mem_op_name op)
+  | Mem { op; cell; cell_name; line; dirty } ->
+      Format.fprintf fmt "%-5s %s%s%s" (mem_op_name op)
         (cell_label cell cell_name)
+        (if line < 0 then "" else Printf.sprintf "@L%d" line)
         (if dirty then "*" else "")
   | Crash { verdicts } ->
       Format.fprintf fmt "CRASH: %s" (verdict_summary verdicts)
@@ -231,12 +240,17 @@ let to_chrome_json ?(process = "dssq") entries =
         ev ~name:op ~cat:"op" ~ph:"E"
           ~extra:[ ("args", Json.Obj [ ("result", Json.String result) ]) ]
           e
-    | Mem { op; cell; cell_name; dirty } ->
+    | Mem { op; cell; cell_name; line; dirty } ->
         instant
           ~name:
             (Printf.sprintf "%s %s" (mem_op_name op) (cell_label cell cell_name))
           ~cat:"mem"
-          ~args:[ ("cell", Json.Int cell); ("dirty", Json.Bool dirty) ]
+          ~args:
+            [
+              ("cell", Json.Int cell);
+              ("line", Json.Int line);
+              ("dirty", Json.Bool dirty);
+            ]
           e
     | Crash { verdicts } ->
         instant ~name:"crash" ~cat:"crash" ~scope:"g"

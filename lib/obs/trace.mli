@@ -15,10 +15,18 @@ type mem_op = [ `Read | `Write | `Cas | `Flush | `Fence ]
 type event =
   | Op_begin of { op : string; args : string }
   | Op_end of { op : string; result : string }
-  | Mem of { op : mem_op; cell : int; cell_name : string; dirty : bool }
-      (** one memory event; [dirty] is the cell's dirtiness {e after} the
-          event ([cell = -1] when the backend has no cell identity, e.g.
-          the native [Atomic.t] backend) *)
+  | Mem of {
+      op : mem_op;
+      cell : int;
+      cell_name : string;
+      line : int;
+      dirty : bool;
+    }
+      (** one memory event; [line] is the persist line the cell lives in
+          (what a flush writes back and a crash evicts as a unit);
+          [dirty] is the cell's dirtiness {e after} the event ([cell =
+          -1] when the backend has no cell identity, e.g. the native
+          backend; [line = -1] for fences, which have no target) *)
   | Crash of { verdicts : (int * string * bool) list }
       (** per dirty cell at the crash: (id, name, [true] if the line was
           evicted to persistence before power loss, [false] if lost) *)
@@ -59,7 +67,7 @@ val current_tid : unit -> int
 
 val op_begin : string -> args:string -> unit
 val op_end : string -> result:string -> unit
-val mem : mem_op -> cell:int -> name:string -> dirty:bool -> unit
+val mem : mem_op -> cell:int -> name:string -> line:int -> dirty:bool -> unit
 val crash : verdicts:(int * string * bool) list -> unit
 val recovery_begin : unit -> unit
 val recovery_end : unit -> unit

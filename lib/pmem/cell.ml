@@ -6,11 +6,18 @@
     Section 1 / property D3).  The [persisted] value is what survives a
     crash.  [flush] copies volatile to persisted; a crash either discards
     the volatile value (resetting it to [persisted]) or — modelling an
-    uncontrolled cache-line eviction — writes it back first. *)
+    uncontrolled cache-line eviction — writes it back first.
+
+    Each cell belongs to a persist {!Line}: write-back and crash
+    eviction happen to the line as a unit, so a cell's [line] determines
+    which other words a [flush] of it persists for free. *)
+
+module Line = Dssq_memory.Memory_intf.Line
 
 type 'a t = {
   id : int;
   name : string;
+  line : Line.t;
   mutable volatile : 'a;
   mutable persisted : 'a;
   mutable dirty : bool;
@@ -20,8 +27,10 @@ type 'a t = {
 type packed = Packed : 'a t -> packed
 
 let value_equal (a : 'a) (b : 'a) = a == b
-
 let is_dirty c = c.dirty
+let line c = c.line
+let line_id c = c.line.Line.id
 
 let pp_summary fmt (Packed c) =
-  Format.fprintf fmt "cell#%d(%s)%s" c.id c.name (if c.dirty then "*" else "")
+  Format.fprintf fmt "cell#%d(%s)@L%d%s" c.id c.name c.line.Line.id
+    (if c.dirty then "*" else "")

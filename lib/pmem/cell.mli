@@ -2,9 +2,12 @@
     copy.  See [Heap] for the operations; the record is exposed so that
     the scheduler and tests can inspect cells directly. *)
 
+module Line = Dssq_memory.Memory_intf.Line
+
 type 'a t = {
   id : int;
   name : string;
+  line : Line.t;  (** persist line the word lives in *)
   mutable volatile : 'a;  (** what loads/stores/CAS observe (coherent) *)
   mutable persisted : 'a;  (** what survives a crash *)
   mutable dirty : bool;  (** volatile differs from persisted *)
@@ -17,5 +20,9 @@ val value_equal : 'a -> 'a -> bool
 (** Physical equality — the comparison CAS uses (exact for immediates). *)
 
 val is_dirty : 'a t -> bool
+
+val line : 'a t -> Line.t
+
+val line_id : 'a t -> int
 
 val pp_summary : Format.formatter -> packed -> unit

@@ -3,21 +3,32 @@
 
     The heap itself is single-domain: simulated "threads" are cooperative
     coroutines scheduled by [Dssq_sim], so plain mutation here is safe and
-    deterministic. *)
+    deterministic.
+
+    Persistence is line-granular: cells are placed into persist lines by
+    a {!Line.Alloc} allocator at allocation time, [flush] writes back the
+    cell's whole line (persisting every dirty member), flushing a clean
+    line is elided, and a crash evicts or drops each line as a unit. *)
 
 module Trace = Dssq_obs.Trace
+module Line = Dssq_memory.Memory_intf.Line
 
 type stats = {
   mutable reads : int;
   mutable writes : int;
   mutable cases : int;
   mutable flushes : int;
+  mutable elided_flushes : int;
   mutable fences : int;
 }
 
 type t = {
   mutable cells : Cell.packed list; (* most recently allocated first *)
   mutable next_id : int;
+  line_alloc : Line.Alloc.t;
+  line_members : (int, Cell.packed list ref) Hashtbl.t;
+      (* line id -> member cells; flush persists all dirty members *)
+  lines : (int, Line.t) Hashtbl.t;
   stats : stats;
   mutable in_sim : bool;
       (* When true, memory operations must be routed through the scheduler
@@ -25,21 +36,62 @@ type t = {
          initialization and single-threaded recovery code. *)
 }
 
-let create () =
+let create ?(line_size = 1) () =
   {
     cells = [];
     next_id = 0;
-    stats = { reads = 0; writes = 0; cases = 0; flushes = 0; fences = 0 };
+    line_alloc = Line.Alloc.create ~size:line_size ();
+    line_members = Hashtbl.create 64;
+    lines = Hashtbl.create 64;
+    stats =
+      {
+        reads = 0;
+        writes = 0;
+        cases = 0;
+        flushes = 0;
+        elided_flushes = 0;
+        fences = 0;
+      };
     in_sim = false;
   }
 
-let alloc t ?(name = "") v =
+let line_size t = Line.Alloc.line_size t.line_alloc
+
+let alloc t ?(name = "") ?placement v =
+  let line = Line.Alloc.place ?placement t.line_alloc in
   let cell =
-    { Cell.id = t.next_id; name; volatile = v; persisted = v; dirty = false }
+    { Cell.id = t.next_id; name; line; volatile = v; persisted = v; dirty = false }
   in
   t.next_id <- t.next_id + 1;
   t.cells <- Cell.Packed cell :: t.cells;
+  let lid = line.Line.id in
+  (match Hashtbl.find_opt t.line_members lid with
+  | Some members -> members := Cell.Packed cell :: !members
+  | None ->
+      Hashtbl.add t.lines lid line;
+      Hashtbl.add t.line_members lid (ref [ Cell.Packed cell ]));
   cell
+
+(** Co-located cells: the block starts at a fresh line boundary and the
+    allocator is re-aligned afterwards, so distinct blocks never share a
+    line.  With the default line size a node's fields land on one line
+    and cost one write-back to persist together. *)
+let alloc_block t ?(name = "") vs =
+  Line.Alloc.align t.line_alloc;
+  let cells =
+    List.mapi
+      (fun i v ->
+        let name = if name = "" then "" else Printf.sprintf "%s[%d]" name i in
+        alloc t ~name v)
+      vs
+  in
+  Line.Alloc.align t.line_alloc;
+  cells
+
+let members t (l : Line.t) =
+  match Hashtbl.find_opt t.line_members l.Line.id with
+  | Some members -> !members
+  | None -> []
 
 (* Direct application of memory operations to the heap.  Each operation
    reports itself to the tracer (a load + branch when tracing is off);
@@ -48,7 +100,8 @@ let alloc t ?(name = "") v =
 
 let traced op (c : 'a Cell.t) =
   if Trace.is_on () then
-    Trace.mem op ~cell:c.Cell.id ~name:c.Cell.name ~dirty:c.Cell.dirty
+    Trace.mem op ~cell:c.Cell.id ~name:c.Cell.name
+      ~line:c.Cell.line.Line.id ~dirty:c.Cell.dirty
 
 let read t (c : 'a Cell.t) : 'a =
   t.stats.reads <- t.stats.reads + 1;
@@ -59,6 +112,7 @@ let write t (c : 'a Cell.t) (v : 'a) =
   t.stats.writes <- t.stats.writes + 1;
   c.volatile <- v;
   c.dirty <- true;
+  Line.mark_dirty c.line;
   traced `Write c
 
 let cas t (c : 'a Cell.t) ~(expected : 'a) ~(desired : 'a) =
@@ -67,6 +121,7 @@ let cas t (c : 'a Cell.t) ~(expected : 'a) ~(desired : 'a) =
     if Cell.value_equal c.volatile expected then begin
       c.volatile <- desired;
       c.dirty <- true;
+      Line.mark_dirty c.line;
       true
     end
     else false
@@ -74,37 +129,66 @@ let cas t (c : 'a Cell.t) ~(expected : 'a) ~(desired : 'a) =
   traced `Cas c;
   hit
 
+(* Write the whole line back: every dirty member persists in the one
+   write-back (CLWB acts on the full cache line). *)
+let persist_line t (l : Line.t) =
+  List.iter
+    (fun (Cell.Packed m) ->
+      if m.Cell.dirty then begin
+        m.Cell.persisted <- m.Cell.volatile;
+        m.Cell.dirty <- false
+      end)
+    (members t l)
+
 let flush t (c : 'a Cell.t) =
-  t.stats.flushes <- t.stats.flushes + 1;
-  c.persisted <- c.volatile;
-  c.dirty <- false;
+  if Line.flush_effective c.Cell.line then begin
+    t.stats.flushes <- t.stats.flushes + 1;
+    persist_line t c.Cell.line
+  end
+  else t.stats.elided_flushes <- t.stats.elided_flushes + 1;
   traced `Flush c
 
 let fence t =
   t.stats.fences <- t.stats.fences + 1;
-  if Trace.is_on () then Trace.mem `Fence ~cell:(-1) ~name:"" ~dirty:false
+  if Trace.is_on () then
+    Trace.mem `Fence ~cell:(-1) ~name:"" ~line:(-1) ~dirty:false
 
 let dirty_count t =
   List.fold_left
     (fun acc (Cell.Packed c) -> if c.dirty then acc + 1 else acc)
     0 t.cells
 
-(** Crash the machine.  For every dirty cell, [evict] decides whether the
-    volatile value was written back by cache eviction before power was
-    lost ([true]) or discarded ([false]).  Afterwards volatile state
-    equals persisted state everywhere, which is what recovery code and
-    restarted threads observe. *)
+(** Crash the machine.  For every dirty {e line}, [evict] decides whether
+    the line was written back by cache eviction before power was lost
+    ([true]) or discarded ([false]) — the verdict applies to all the
+    line's dirty words as a unit, exactly as a real cache evicts whole
+    lines.  One [evict] draw per dirty line, drawn in the order lines
+    are first encountered walking [t.cells] (most recent first); at line
+    size 1 this degenerates to the original independent-per-cell draw
+    sequence, keeping seeded crashes reproducible across the refactor.
+    Afterwards volatile state equals persisted state everywhere, which
+    is what recovery code and restarted threads observe. *)
 let crash t ~evict =
   let verdicts = ref [] in
+  let line_verdict : (int, bool) Hashtbl.t = Hashtbl.create 16 in
   List.iter
     (fun (Cell.Packed c) ->
       if c.dirty then begin
-        let evicted = evict () in
+        let evicted =
+          let lid = c.line.Line.id in
+          match Hashtbl.find_opt line_verdict lid with
+          | Some v -> v
+          | None ->
+              let v = evict () in
+              Hashtbl.add line_verdict lid v;
+              v
+        in
         if evicted then c.persisted <- c.volatile else c.volatile <- c.persisted;
         c.dirty <- false;
         if Trace.is_on () then verdicts := (c.id, c.name, evicted) :: !verdicts
       end)
     t.cells;
+  Hashtbl.iter (fun _ l -> Atomic.set l.Line.dirty false) t.lines;
   if Trace.is_on () then Trace.crash ~verdicts:(List.rev !verdicts)
 
 (** Convenience: crash where each dirty line independently persists with
@@ -123,6 +207,7 @@ let counters t : Dssq_memory.Memory_intf.counters =
     writes = t.stats.writes;
     cases = t.stats.cases;
     flushes = t.stats.flushes;
+    elided_flushes = t.stats.elided_flushes;
     fences = t.stats.fences;
   }
 
@@ -132,6 +217,8 @@ let reset_stats t =
   s.writes <- 0;
   s.cases <- 0;
   s.flushes <- 0;
+  s.elided_flushes <- 0;
   s.fences <- 0
 
 let cell_count t = List.length t.cells
+let line_count t = Hashtbl.length t.lines

@@ -2,30 +2,55 @@
     semantics and event statistics.
 
     Single-domain by design: simulated threads are cooperative coroutines
-    (see [Dssq_sim]), so plain mutation is deterministic. *)
+    (see [Dssq_sim]), so plain mutation is deterministic.
+
+    Persistence is line-granular (see {!Dssq_memory.Memory_intf.Line}):
+    [flush] writes the cell's whole line back, flushing a clean line is
+    elided (counted in [elided_flushes], not [flushes]), and a crash
+    evicts or drops each dirty line as a unit.  The default line size of
+    1 reproduces the original word-granular model exactly. *)
+
+module Line = Dssq_memory.Memory_intf.Line
 
 type stats = {
   mutable reads : int;
   mutable writes : int;
   mutable cases : int;
-  mutable flushes : int;
+  mutable flushes : int;  (** effective flushes (write-backs) *)
+  mutable elided_flushes : int;  (** flush calls answered by a clean line *)
   mutable fences : int;
 }
 
 type t = {
   mutable cells : Cell.packed list;
   mutable next_id : int;
+  line_alloc : Line.Alloc.t;
+  line_members : (int, Cell.packed list ref) Hashtbl.t;
+  lines : (int, Line.t) Hashtbl.t;
   stats : stats;
   mutable in_sim : bool;
       (** when true, memory operations must go through the scheduler;
           toggled by [Dssq_sim.Sim.run] *)
 }
 
-val create : unit -> t
+val create : ?line_size:int -> unit -> t
+(** [line_size] defaults to 1 — the original word-granular persistence
+    model (every flush charged, no elision, per-word crash eviction).
+    Pass [Line.default_size] (8) for the cache-line model. *)
 
-val alloc : t -> ?name:string -> 'a -> 'a Cell.t
+val line_size : t -> int
+
+val alloc : t -> ?name:string -> ?placement:Line.placement -> 'a -> 'a Cell.t
 (** Fresh cell whose volatile {e and} persisted value is the initial
-    value. *)
+    value, placed into a persist line ({!Line.Packed} by default). *)
+
+val alloc_block : t -> ?name:string -> 'a list -> 'a Cell.t list
+(** One cell per value, co-located from a fresh line boundary; the
+    allocator is re-aligned afterwards so distinct blocks never share a
+    line. *)
+
+val members : t -> Line.t -> Cell.packed list
+(** All cells sharing the given line. *)
 
 (** Direct (non-scheduled) memory operations — initialization, recovery
     code, and the scheduler itself use these. *)
@@ -33,13 +58,19 @@ val alloc : t -> ?name:string -> 'a -> 'a Cell.t
 val read : t -> 'a Cell.t -> 'a
 val write : t -> 'a Cell.t -> 'a -> unit
 val cas : t -> 'a Cell.t -> expected:'a -> desired:'a -> bool
+
 val flush : t -> 'a Cell.t -> unit
+(** Write the cell's line back: every dirty member of the line persists.
+    Elided (only [elided_flushes] incremented) when the line is clean
+    and the line size is >= 2. *)
+
 val fence : t -> unit
 
 val crash : t -> evict:(unit -> bool) -> unit
-(** Crash the machine: for every dirty cell, [evict ()] decides whether
-    its volatile value was written back by cache eviction before power
-    loss ([true]) or lost ([false]).  Afterwards volatile = persisted
+(** Crash the machine: for every dirty {e line}, [evict ()] decides
+    whether the line was written back by cache eviction before power
+    loss ([true]) or lost ([false]); the verdict applies to all the
+    line's dirty words as a unit.  Afterwards volatile = persisted
     everywhere. *)
 
 val crash_random : t -> evict_p:float -> rng:Random.State.t -> unit
@@ -55,3 +86,4 @@ val counters : t -> Dssq_memory.Memory_intf.counters
 
 val reset_stats : t -> unit
 val cell_count : t -> int
+val line_count : t -> int

@@ -67,9 +67,10 @@ let set t tid status =
   | Done r -> t.threads.(tid) <- Completed r
   | Paused _ -> t.threads.(tid) <- Waiting status
 
-(** Outcome of a step, for cost models: which operation ran and, for a
-    CAS, whether it succeeded. *)
-type step_info = { cas_success : bool option }
+(** Outcome of a step, for cost models: which operation ran, for a CAS
+    whether it succeeded, and for a flush whether it actually wrote back
+    (an elided flush costs nothing). *)
+type step_info = { cas_success : bool option; flush_effective : bool option }
 
 (** Execute one atomic step of thread [tid]: either start it (running it
     up to its first memory access) or apply its pending memory operation
@@ -80,16 +81,18 @@ let step t tid =
   | Fresh f ->
       t.steps <- t.steps + 1;
       set t tid (Effect.Deep.match_with f () handler);
-      { cas_success = None }
+      { cas_success = None; flush_effective = None }
   | Waiting (Paused (op, k)) ->
       t.steps <- t.steps + 1;
+      (* Line dirtiness must be read before the flush clears it. *)
+      let flush_effective = Sim_op.flush_pending op in
       let result = Sim_op.apply t.heap op in
       let info =
         match op with
-        | Sim_op.Cas _ -> { cas_success = Some result }
+        | Sim_op.Cas _ -> { cas_success = Some result; flush_effective }
         | Sim_op.Read _ | Sim_op.Write _ | Sim_op.Flush _ | Sim_op.Fence
         | Sim_op.Yield ->
-            { cas_success = None }
+            { cas_success = None; flush_effective }
       in
       set t tid (Effect.Deep.continue k result);
       info
@@ -109,7 +112,7 @@ let pending_kind t tid =
   | Fresh _ -> Some Sim_op.Yield
   | _ -> None
 
-(** Cell (cache line) the thread's next step targets, if any — the
+(** Persist line the thread's next step targets, if any — the
     throughput model serializes conflicting accesses per line. *)
 let pending_target t tid =
   match t.threads.(tid) with

@@ -27,8 +27,10 @@ val runnable : t -> int list
 val finished : t -> bool
 val steps : t -> int
 
-(** Outcome of a step, for cost models. *)
-type step_info = { cas_success : bool option }
+(** Outcome of a step, for cost models.  [flush_effective] is [Some
+    false] when the step was a flush of a clean line (elided — no
+    write-back to charge). *)
+type step_info = { cas_success : bool option; flush_effective : bool option }
 
 val step : t -> int -> step_info
 (** Execute one atomic step of the given thread: start it (running to its
@@ -41,7 +43,7 @@ val pending_kind : t -> int -> Sim_op.kind option
 (** Cost class of the thread's next event. *)
 
 val pending_target : t -> int -> int option
-(** Cell (cache line) the thread's next event targets, if any. *)
+(** Persist line the thread's next event targets, if any. *)
 
 val kill_all : t -> unit
 (** Kill every unfinished thread, as a system-wide crash does. *)

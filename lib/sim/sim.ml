@@ -50,7 +50,8 @@ let memory heap : (module Dssq_memory.Memory_intf.S) =
   (module struct
     type 'a cell = 'a Cell.t
 
-    let alloc ?name v = Heap.alloc heap ?name v
+    let alloc ?name ?placement v = Heap.alloc heap ?name ?placement v
+    let alloc_block ?name vs = Heap.alloc_block heap ?name vs
 
     let op : type a. a Sim_op.t -> a =
      fun o ->
@@ -168,9 +169,9 @@ let run ?(policy = Round_robin) ?(crash = No_crash) ?(max_steps = 1_000_000)
               | r -> r);
       })
 
-(** Apply crash semantics to the heap: every dirty cell independently
+(** Apply crash semantics to the heap: every dirty line independently
     persists with probability [evict_p] (cache eviction at power loss)
-    or reverts to its last flushed value. *)
+    or reverts to its last flushed value — each line as a unit. *)
 let apply_crash heap ~evict_p ~seed =
   let rng = Random.State.make [| seed; 0xC7A5 |] in
   Heap.crash_random heap ~evict_p ~rng

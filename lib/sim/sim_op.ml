@@ -35,14 +35,26 @@ let kind : type a. a t -> kind = function
   | Fence -> Fence
   | Yield -> Yield
 
-(** Id of the cell an operation targets (its "cache line"). *)
+(** Id of the persist {e line} an operation targets.  This is the unit
+    at which the throughput model serializes conflicting accesses (cache
+    line ownership) and at which flushes write back; at line size 1 it
+    is in bijection with cell ids, recovering the old per-cell
+    behaviour. *)
 let target : type a. a t -> int option = function
-  | Read c -> Some c.Cell.id
-  | Write (c, _) -> Some c.Cell.id
-  | Cas (c, _, _) -> Some c.Cell.id
-  | Flush c -> Some c.Cell.id
+  | Read c -> Some (Cell.line_id c)
+  | Write (c, _) -> Some (Cell.line_id c)
+  | Cas (c, _, _) -> Some (Cell.line_id c)
+  | Flush c -> Some (Cell.line_id c)
   | Fence -> None
   | Yield -> None
+
+(** For a [Flush], whether it would actually write back (line dirty, or
+    legacy line size 1).  Asked {e before} the event applies — cost
+    models use it to charge elided flushes nothing. *)
+let flush_pending : type a. a t -> bool option = function
+  | Flush c ->
+      Some (Dssq_memory.Memory_intf.Line.flush_pending (Cell.line c))
+  | Read _ | Write _ | Cas _ | Fence | Yield -> None
 
 let describe : type a. a t -> string = function
   | Read c -> Printf.sprintf "read %s#%d" c.Cell.name c.Cell.id

@@ -20,6 +20,12 @@ type kind = Read | Write | Cas | Flush | Fence | Yield
 val kind : 'a t -> kind
 
 val target : 'a t -> int option
-(** Id of the cell (cache line) the event touches, if any. *)
+(** Id of the persist line the event touches, if any — the unit of
+    cache-line contention and write-back. *)
+
+val flush_pending : 'a t -> bool option
+(** For a [Flush], whether it would actually write back ([Some false] =
+    the flush will be elided); [None] for other events.  Must be asked
+    before the event applies. *)
 
 val describe : 'a t -> string

@@ -12,23 +12,26 @@ let default_threads = [ 1; 2; 3; 4; 6; 8; 10; 12; 14; 16; 18; 20 ]
 type queue_config = { label : string; mk : string; det_pct : int }
 
 let measure_point ~backend ~horizon_ns ~duration ~repeats ~instrument
-    (q : queue_config) ~nthreads : Dssq_obs.Run_report.sample list =
+    ~line_size (q : queue_config) ~nthreads : Dssq_obs.Run_report.sample list =
   List.init repeats (fun r ->
       match backend with
       | Sim_model ->
           Sim_throughput.measure_ex ~seed:(1 + r) ~horizon_ns ~mk:q.mk
-            ~det_pct:q.det_pct ~instrument ~nthreads ()
+            ~det_pct:q.det_pct ~line_size ~instrument ~nthreads ()
       | Native_domains ->
-          Native_throughput.measure_ex ~mk:q.mk ~det_pct:q.det_pct ~instrument
-            ~nthreads ~duration ())
+          Native_throughput.measure_ex ~mk:q.mk ~det_pct:q.det_pct ~line_size
+            ~instrument ~nthreads ~duration ())
 
 (** One series per queue configuration, one point per thread count, every
     point carrying [repeats] samples plus the aggregate observability
     payload (memory-event deltas, and latency histograms when
-    [instrument] is set). *)
+    [instrument] is set).  [line_size] (default 1 = the legacy
+    word-granular persistence model) sets the backend's persist-line
+    size for every measurement. *)
 let sweep_ex ?(backend = Sim_model) ?(threads = default_threads) ?(repeats = 3)
     ?(horizon_ns = 300_000.) ?(duration = 0.2) ?(instrument = false)
-    (queues : queue_config list) : Dssq_obs.Run_report.series list =
+    ?(line_size = 1) (queues : queue_config list) :
+    Dssq_obs.Run_report.series list =
   List.map
     (fun q ->
       {
@@ -38,15 +41,16 @@ let sweep_ex ?(backend = Sim_model) ?(threads = default_threads) ?(repeats = 3)
             (fun nthreads ->
               Dssq_obs.Run_report.point_of_samples ~x:nthreads
                 (measure_point ~backend ~horizon_ns ~duration ~repeats
-                   ~instrument q ~nthreads))
+                   ~instrument ~line_size q ~nthreads))
             threads;
       })
     queues
 
-let sweep ?backend ?threads ?repeats ?horizon_ns ?duration
+let sweep ?backend ?threads ?repeats ?horizon_ns ?duration ?line_size
     (queues : queue_config list) : Report.series list =
   Report.of_run
-    (sweep_ex ?backend ?threads ?repeats ?horizon_ns ?duration queues)
+    (sweep_ex ?backend ?threads ?repeats ?horizon_ns ?duration ?line_size
+       queues)
 
 (* ---------------------------------------------------------------------- *)
 (* Figure 5a: levels of detectability and persistence                      *)
@@ -59,12 +63,13 @@ let fig5a_queues =
     { label = "dss-det"; mk = "dss-queue"; det_pct = 100 };
   ]
 
-let fig5a ?backend ?threads ?repeats ?horizon_ns ?duration () =
-  sweep ?backend ?threads ?repeats ?horizon_ns ?duration fig5a_queues
+let fig5a ?backend ?threads ?repeats ?horizon_ns ?duration ?line_size () =
+  sweep ?backend ?threads ?repeats ?horizon_ns ?duration ?line_size fig5a_queues
 
-let fig5a_ex ?backend ?threads ?repeats ?horizon_ns ?duration ?instrument () =
+let fig5a_ex ?backend ?threads ?repeats ?horizon_ns ?duration ?instrument
+    ?line_size () =
   sweep_ex ?backend ?threads ?repeats ?horizon_ns ?duration ?instrument
-    fig5a_queues
+    ?line_size fig5a_queues
 
 (* ---------------------------------------------------------------------- *)
 (* Figure 5b: detectable queue implementations                             *)
@@ -78,19 +83,20 @@ let fig5b_queues =
     { label = "gen-caswe"; mk = "general-caswe"; det_pct = 100 };
   ]
 
-let fig5b ?backend ?threads ?repeats ?horizon_ns ?duration () =
-  sweep ?backend ?threads ?repeats ?horizon_ns ?duration fig5b_queues
+let fig5b ?backend ?threads ?repeats ?horizon_ns ?duration ?line_size () =
+  sweep ?backend ?threads ?repeats ?horizon_ns ?duration ?line_size fig5b_queues
 
-let fig5b_ex ?backend ?threads ?repeats ?horizon_ns ?duration ?instrument () =
+let fig5b_ex ?backend ?threads ?repeats ?horizon_ns ?duration ?instrument
+    ?line_size () =
   sweep_ex ?backend ?threads ?repeats ?horizon_ns ?duration ?instrument
-    fig5b_queues
+    ?line_size fig5b_queues
 
 (* ---------------------------------------------------------------------- *)
 (* Ablation: persist-cost sweep (simulated CLWB+sfence latency)            *)
 (* ---------------------------------------------------------------------- *)
 
 let ablate_flush ?(nthreads = 8) ?(flush_costs = [ 0; 50; 140; 300; 600 ])
-    ?(repeats = 3) ?(horizon_ns = 300_000.) () : Report.series list =
+    ?(repeats = 3) ?(horizon_ns = 300_000.) ?line_size () : Report.series list =
   List.map
     (fun q ->
       {
@@ -109,7 +115,7 @@ let ablate_flush ?(nthreads = 8) ?(flush_costs = [ 0; 50; 140; 300; 600 ])
                 samples =
                   List.init repeats (fun r ->
                       Sim_throughput.measure ~costs ~seed:(1 + r) ~horizon_ns
-                        ~mk:q.mk ~det_pct:q.det_pct ~nthreads ());
+                        ?line_size ~mk:q.mk ~det_pct:q.det_pct ~nthreads ());
               })
             flush_costs;
       })
@@ -120,7 +126,7 @@ let ablate_flush ?(nthreads = 8) ?(flush_costs = [ 0; 50; 140; 300; 600 ])
 (* ---------------------------------------------------------------------- *)
 
 let ablate_demand ?(nthreads = 8) ?(percents = [ 0; 25; 50; 75; 100 ])
-    ?(repeats = 3) ?(horizon_ns = 300_000.) () : Report.series list =
+    ?(repeats = 3) ?(horizon_ns = 300_000.) ?line_size () : Report.series list =
   [
     {
       Report.label = "dss-queue";
@@ -131,7 +137,7 @@ let ablate_demand ?(nthreads = 8) ?(percents = [ 0; 25; 50; 75; 100 ])
               Report.x = pct;
               samples =
                 List.init repeats (fun r ->
-                    Sim_throughput.measure ~seed:(1 + r) ~horizon_ns
+                    Sim_throughput.measure ~seed:(1 + r) ~horizon_ns ?line_size
                       ~mk:"dss-queue" ~det_pct:pct ~nthreads ());
             })
           percents;
@@ -145,10 +151,10 @@ let ablate_demand ?(nthreads = 8) ?(percents = [ 0; 25; 50; 75; 100 ])
 (* Recovery cost is measured in memory events (deterministic), not wall
    time: the simulated heap counts every read/write/flush the recovery
    procedure performs. *)
-let ablate_recovery ?(lengths = [ 0; 16; 64; 256; 1024 ]) ?(nthreads = 8) () :
-    Report.series list =
+let ablate_recovery ?(lengths = [ 0; 16; 64; 256; 1024 ]) ?(nthreads = 8)
+    ?(line_size = 1) () : Report.series list =
   let run_one ~style ~len =
-    let heap = Heap.create () in
+    let heap = Heap.create ~line_size () in
     let (module M) = Sim.memory heap in
     let module Q = Dssq_core.Dss_queue.Make (M) in
     let q = Q.create ~nthreads ~capacity:(len + 64) () in
@@ -189,7 +195,7 @@ let ablate_recovery ?(lengths = [ 0; 16; 64; 256; 1024 ]) ?(nthreads = 8) () :
    dequeuers collide on the same sentinel region (and dequeues hit the
    EMPTY path); with a deep queue, the head and tail lines decouple. *)
 let ablate_depth ?(nthreads = 8) ?(depths = [ 0; 4; 16; 64; 256; 1024 ])
-    ?(repeats = 3) ?(horizon_ns = 300_000.) () : Report.series list =
+    ?(repeats = 3) ?(horizon_ns = 300_000.) ?line_size () : Report.series list =
   List.map
     (fun q ->
       {
@@ -202,12 +208,52 @@ let ablate_depth ?(nthreads = 8) ?(depths = [ 0; 4; 16; 64; 256; 1024 ])
                 samples =
                   List.init repeats (fun r ->
                       Sim_throughput.measure ~seed:(1 + r) ~horizon_ns
-                        ~init_nodes:depth ~mk:q.mk ~det_pct:q.det_pct ~nthreads
-                        ());
+                        ?line_size ~init_nodes:depth ~mk:q.mk ~det_pct:q.det_pct
+                        ~nthreads ());
               })
             depths;
       })
     fig5a_queues
+
+(* ---------------------------------------------------------------------- *)
+(* Ablation: persist-line size (cache-line-granular flushing)              *)
+(* ---------------------------------------------------------------------- *)
+
+(* Union of the Figure 5a and 5b queue sets, deduplicated by label:
+   every algorithm the figures exercise, each measured across line
+   sizes. *)
+let linesize_queues =
+  fig5a_queues
+  @ List.filter
+      (fun q -> not (List.exists (fun p -> p.label = q.label) fig5a_queues))
+      fig5b_queues
+
+(* Line size 1 is the legacy word-granular model — byte-identical to the
+   pre-line-abstraction harness, so its point doubles as a regression
+   anchor (CI asserts its flushes/op).  Larger lines co-locate node
+   fields, so the second and later flushes of a prep/exec sequence often
+   find the line still clean-or-already-persisted and are elided; the
+   instrumented run report carries [flushes] and [elided_flushes] deltas
+   so the curve of persist traffic vs line size is read directly off the
+   JSON. *)
+let ablate_linesize ?(nthreads = 8) ?(line_sizes = [ 1; 2; 4; 8; 16 ])
+    ?(repeats = 3) ?(horizon_ns = 300_000.) () :
+    Dssq_obs.Run_report.series list =
+  List.map
+    (fun q ->
+      {
+        Dssq_obs.Run_report.label = q.label;
+        points =
+          List.map
+            (fun ls ->
+              Dssq_obs.Run_report.point_of_samples ~x:ls
+                (List.init repeats (fun r ->
+                     Sim_throughput.measure_ex ~seed:(1 + r) ~horizon_ns
+                       ~mk:q.mk ~det_pct:q.det_pct ~line_size:ls
+                       ~instrument:true ~nthreads ())))
+            line_sizes;
+      })
+    linesize_queues
 
 (* ---------------------------------------------------------------------- *)
 (* Ablation: failure-full throughput (crash MTBF sweep)                    *)
@@ -220,16 +266,18 @@ let ablate_depth ?(nthreads = 8) ?(depths = [ 0; 4; 16; 64; 256; 1024 ])
    resolve every thread, and continue on the SAME persistent queue.
    Effective throughput counts total completed operations over total time
    including recovery. *)
-let crash_cycles ~seed ~mtbf_ns ~cycles ~mk ~nthreads ~det_pct =
+let crash_cycles ?(line_size = 1) ~seed ~mtbf_ns ~cycles ~mk ~nthreads ~det_pct
+    () =
   let costs = Sim_throughput.default_costs in
-  let heap = Heap.create () in
+  let heap = Heap.create ~line_size () in
   let (module M) = Sim.memory heap in
-  let module R = Registry.Make (M) in
   let capacity = 16 + 8 + (nthreads * 192) in
-  let ops = R.find mk (Dssq_core.Queue_intf.config ~nthreads ~capacity ()) in
-  for i = 1 to 16 do
-    ops.Dssq_core.Queue_intf.enqueue ~tid:(i mod nthreads) i
-  done;
+  let ops =
+    Registry.setup
+      (module M)
+      ~mk ~init_nodes:16
+      (Dssq_core.Queue_intf.config ~line_size ~nthreads ~capacity ())
+  in
   let counters = Array.init nthreads (fun _ -> ref 0) in
   let total_time = ref 0. in
   for cycle = 1 to cycles do
@@ -267,7 +315,7 @@ let crash_cycles ~seed ~mtbf_ns ~cycles ~mk ~nthreads ~det_pct =
   float_of_int total_ops /. (!total_time /. 1e9) /. 1e6
 
 let ablate_crash_mtbf ?(mtbfs_us = [ 20; 50; 100; 250; 1000 ]) ?(nthreads = 8)
-    ?(cycles = 6) ?(repeats = 2) () : Report.series list =
+    ?(cycles = 6) ?(repeats = 2) ?line_size () : Report.series list =
   List.map
     (fun (label, mk) ->
       {
@@ -279,9 +327,9 @@ let ablate_crash_mtbf ?(mtbfs_us = [ 20; 50; 100; 250; 1000 ]) ?(nthreads = 8)
                 Report.x = mtbf_us;
                 samples =
                   List.init repeats (fun r ->
-                      crash_cycles ~seed:(1 + (r * 37)) ~cycles
+                      crash_cycles ?line_size ~seed:(1 + (r * 37)) ~cycles
                         ~mtbf_ns:(float_of_int mtbf_us *. 1000.)
-                        ~mk ~nthreads ~det_pct:100);
+                        ~mk ~nthreads ~det_pct:100 ());
               })
             mtbfs_us;
       })
@@ -291,7 +339,8 @@ let ablate_crash_mtbf ?(mtbfs_us = [ 20; 50; 100; 250; 1000 ]) ?(nthreads = 8)
 (* Ablation: PMwCAS width (modelled latency per operation vs. word count)  *)
 (* ---------------------------------------------------------------------- *)
 
-let ablate_pmwcas ?(widths = [ 1; 2; 3; 4 ]) () : Report.series list =
+let ablate_pmwcas ?(widths = [ 1; 2; 3; 4 ]) ?(line_size = 1) () :
+    Report.series list =
   let costs = Sim_throughput.default_costs in
   let model_ns (s : Heap.stats) ops =
     (costs.read_ns *. float_of_int s.reads
@@ -302,7 +351,7 @@ let ablate_pmwcas ?(widths = [ 1; 2; 3; 4 ]) () : Report.series list =
     /. float_of_int ops
   in
   let run_one ~priv ~width =
-    let heap = Heap.create () in
+    let heap = Heap.create ~line_size () in
     let (module M) = Sim.memory heap in
     let module P = Dssq_pmwcas.Pmwcas.Make (M) in
     let p = P.create ~nwords:width ~nthreads:1 ~max_width:width () in

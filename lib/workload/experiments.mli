@@ -11,6 +11,10 @@ type queue_config = { label : string; mk : string; det_pct : int }
 val fig5a_queues : queue_config list
 val fig5b_queues : queue_config list
 
+val linesize_queues : queue_config list
+(** Union of {!fig5a_queues} and {!fig5b_queues}, deduplicated by label —
+    the set swept by {!ablate_linesize}. *)
+
 val sweep_ex :
   ?backend:backend ->
   ?threads:int list ->
@@ -18,11 +22,14 @@ val sweep_ex :
   ?horizon_ns:float ->
   ?duration:float ->
   ?instrument:bool ->
+  ?line_size:int ->
   queue_config list ->
   Dssq_obs.Run_report.series list
 (** One series per queue configuration, one point per thread count; every
     point carries the observability payload (memory-event deltas, and
-    latency histograms when [instrument] is set). *)
+    latency histograms when [instrument] is set).  [line_size] (default 1
+    = legacy word-granular persistence) configures the backend's
+    persist-line size for every measurement. *)
 
 val sweep :
   ?backend:backend ->
@@ -30,6 +37,7 @@ val sweep :
   ?repeats:int ->
   ?horizon_ns:float ->
   ?duration:float ->
+  ?line_size:int ->
   queue_config list ->
   Report.series list
 (** Throughput-only view of {!sweep_ex}. *)
@@ -40,6 +48,7 @@ val fig5a :
   ?repeats:int ->
   ?horizon_ns:float ->
   ?duration:float ->
+  ?line_size:int ->
   unit ->
   Report.series list
 (** MS queue vs DSS non-detectable vs DSS detectable (Figure 5a). *)
@@ -51,6 +60,7 @@ val fig5a_ex :
   ?horizon_ns:float ->
   ?duration:float ->
   ?instrument:bool ->
+  ?line_size:int ->
   unit ->
   Dssq_obs.Run_report.series list
 (** Figure 5a with the observability payload. *)
@@ -61,6 +71,7 @@ val fig5b :
   ?repeats:int ->
   ?horizon_ns:float ->
   ?duration:float ->
+  ?line_size:int ->
   unit ->
   Report.series list
 (** DSS vs log vs Fast/General CASWithEffect (Figure 5b). *)
@@ -72,6 +83,7 @@ val fig5b_ex :
   ?horizon_ns:float ->
   ?duration:float ->
   ?instrument:bool ->
+  ?line_size:int ->
   unit ->
   Dssq_obs.Run_report.series list
 (** Figure 5b with the observability payload. *)
@@ -81,6 +93,7 @@ val ablate_flush :
   ?flush_costs:int list ->
   ?repeats:int ->
   ?horizon_ns:float ->
+  ?line_size:int ->
   unit ->
   Report.series list
 (** Persist-instruction latency sweep. *)
@@ -90,12 +103,17 @@ val ablate_demand :
   ?percents:int list ->
   ?repeats:int ->
   ?horizon_ns:float ->
+  ?line_size:int ->
   unit ->
   Report.series list
 (** Fraction of operations requesting detectability. *)
 
 val ablate_recovery :
-  ?lengths:int list -> ?nthreads:int -> unit -> Report.series list
+  ?lengths:int list ->
+  ?nthreads:int ->
+  ?line_size:int ->
+  unit ->
+  Report.series list
 (** Centralized (Figure 6) vs per-thread recovery: memory events vs
     queue length (deterministic). *)
 
@@ -104,17 +122,32 @@ val ablate_depth :
   ?depths:int list ->
   ?repeats:int ->
   ?horizon_ns:float ->
+  ?line_size:int ->
   unit ->
   Report.series list
 (** Initial queue depth sweep. *)
 
+val ablate_linesize :
+  ?nthreads:int ->
+  ?line_sizes:int list ->
+  ?repeats:int ->
+  ?horizon_ns:float ->
+  unit ->
+  Dssq_obs.Run_report.series list
+(** Persist-line-size sweep over {!linesize_queues}, always instrumented
+    so each point's event payload carries the [flushes] and
+    [elided_flushes] deltas.  Size 1 reproduces the legacy word-granular
+    harness exactly and serves as the regression anchor. *)
+
 val crash_cycles :
+  ?line_size:int ->
   seed:int ->
   mtbf_ns:float ->
   cycles:int ->
   mk:string ->
   nthreads:int ->
   det_pct:int ->
+  unit ->
   float
 (** One failure-full measurement: run, crash, recover (charged), repeat
     on the same persistent queue; effective Mops/s. *)
@@ -124,11 +157,13 @@ val ablate_crash_mtbf :
   ?nthreads:int ->
   ?cycles:int ->
   ?repeats:int ->
+  ?line_size:int ->
   unit ->
   Report.series list
 (** Effective throughput vs crash MTBF, recovery charged. *)
 
-val ablate_pmwcas : ?widths:int list -> unit -> Report.series list
+val ablate_pmwcas :
+  ?widths:int list -> ?line_size:int -> unit -> Report.series list
 (** PMwCAS modelled ns/op vs word count, all-shared vs private-rest. *)
 
 val op_latency : ?queues:string list -> unit -> (string * float * float) list

@@ -15,15 +15,8 @@
 
 module MI = Dssq_memory.Memory_intf
 module Native = Dssq_memory.Native
-module R = Registry.Make (Native)
 
 let now () = Unix.gettimeofday ()
-
-let seed_queue (ops : Dssq_core.Queue_intf.ops) ~init_nodes ~nthreads =
-  for i = 1 to init_nodes do
-    (* round-robin: per-thread node pools are striped *)
-    ops.enqueue ~tid:(i mod nthreads) i
-  done
 
 (** Spawn [nthreads] domains alternating enqueue/dequeue pairs on [ops]
     for [duration] seconds.  Returns (Mops/s, completed operations,
@@ -92,19 +85,22 @@ let run_workers ?(instrument = false) ~nthreads ~det_pct ~duration
   (float_of_int total /. elapsed /. 1e6, total, hists)
 
 (** Run [nthreads] domains alternating enqueue/dequeue pairs on a fresh
-    queue for [duration] seconds.  With [instrument:true] the queue is
-    built over a counted copy of the native backend (a fresh
-    [Native.Counted ()] instance, so concurrent measurements don't share
-    counters) and each thread records wall-clock per-operation latency;
-    events exclude queue seeding.  [det_pct] is as in
-    {!Sim_throughput.pair_worker}. *)
-let measure_ex ?(init_nodes = 16) ?(det_pct = 100) ?(instrument = false) ~mk
-    ~nthreads ~duration () : Dssq_obs.Run_report.sample =
+    queue for [duration] seconds.  [line_size] reconfigures the native
+    backend's process-wide line allocator before the queue is built (1,
+    the default, is the legacy word-granular model).  With
+    [instrument:true] the queue is built over a counted copy of the
+    native backend (a fresh [Native.Counted ()] instance, so concurrent
+    measurements don't share counters) and each thread records
+    wall-clock per-operation latency; events exclude queue seeding.
+    [det_pct] is as in {!Sim_throughput.pair_worker}. *)
+let measure_ex ?(init_nodes = 16) ?(det_pct = 100) ?(line_size = 1)
+    ?(instrument = false) ~mk ~nthreads ~duration () :
+    Dssq_obs.Run_report.sample =
   let capacity = init_nodes + 8 + (nthreads * 4096) in
-  let cfg = Dssq_core.Queue_intf.config ~nthreads ~capacity () in
+  let cfg = Dssq_core.Queue_intf.config ~line_size ~nthreads ~capacity () in
+  Native.set_line_size line_size;
   if not instrument then begin
-    let ops = R.find mk cfg in
-    seed_queue ops ~init_nodes ~nthreads;
+    let ops = Registry.setup (module Native) ~mk ~init_nodes cfg in
     let mops, total, _ = run_workers ~nthreads ~det_pct ~duration ops in
     {
       Dssq_obs.Run_report.mops;
@@ -115,9 +111,7 @@ let measure_ex ?(init_nodes = 16) ?(det_pct = 100) ?(instrument = false) ~mk
   end
   else begin
     let module C = Native.Counted () in
-    let module RC = Registry.Make (C) in
-    let ops = RC.find mk cfg in
-    seed_queue ops ~init_nodes ~nthreads;
+    let ops = Registry.setup (module C) ~mk ~init_nodes cfg in
     C.reset_counters ();
     let mops, total, hists =
       run_workers ~instrument:true ~nthreads ~det_pct ~duration ops
@@ -134,6 +128,6 @@ let measure_ex ?(init_nodes = 16) ?(det_pct = 100) ?(instrument = false) ~mk
   end
 
 (** Throughput only, in Mops/s — the historical entry point. *)
-let measure ?init_nodes ?det_pct ~mk ~nthreads ~duration () =
-  (measure_ex ?init_nodes ?det_pct ~mk ~nthreads ~duration ())
+let measure ?init_nodes ?det_pct ?line_size ~mk ~nthreads ~duration () =
+  (measure_ex ?init_nodes ?det_pct ?line_size ~mk ~nthreads ~duration ())
     .Dssq_obs.Run_report.mops

@@ -10,6 +10,7 @@
 val measure_ex :
   ?init_nodes:int ->
   ?det_pct:int ->
+  ?line_size:int ->
   ?instrument:bool ->
   mk:string ->
   nthreads:int ->
@@ -20,11 +21,14 @@ val measure_ex :
     queue ({!Registry} name [mk]) for [duration] seconds.  With
     [instrument:true] the queue runs over a fresh counted copy of the
     native backend (events exclude seeding) and each thread records
-    wall-clock per-operation latency, merged into one histogram. *)
+    wall-clock per-operation latency, merged into one histogram.
+    [line_size] (default 1 = word-granular) reconfigures the native
+    backend's line allocator before the queue is built. *)
 
 val measure :
   ?init_nodes:int ->
   ?det_pct:int ->
+  ?line_size:int ->
   mk:string ->
   nthreads:int ->
   duration:float ->

@@ -153,3 +153,18 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
           (Printf.sprintf "unknown queue %S (known: %s)" name
              (String.concat ", " known_names))
 end
+
+(** Build and seed a queue for a throughput run, over any backend: look
+    [mk] up, construct it with [cfg], and enqueue [init_nodes] values
+    round-robin across threads (the Section 4 initialization — round-
+    robin because the per-thread node pools are striped).  Shared by the
+    sim and native harnesses so the two measure the same starting
+    state. *)
+let setup (module M : Dssq_memory.Memory_intf.S) ~mk ~init_nodes
+    (cfg : Queue_intf.config) : Queue_intf.ops =
+  let module R = Make (M) in
+  let ops = R.find mk cfg in
+  for i = 1 to init_nodes do
+    ops.Queue_intf.enqueue ~tid:(i mod cfg.Queue_intf.nthreads) i
+  done;
+  ops

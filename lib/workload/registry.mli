@@ -29,3 +29,16 @@ module Make (M : Dssq_memory.Memory_intf.S) : sig
   (** Like {!find_opt} but raises [Invalid_argument] listing
       {!known_names} when [name] is unknown. *)
 end
+
+val setup :
+  (module Dssq_memory.Memory_intf.S) ->
+  mk:string ->
+  init_nodes:int ->
+  Dssq_core.Queue_intf.config ->
+  Dssq_core.Queue_intf.ops
+(** Build and seed a queue for a throughput run over any backend:
+    construct the implementation registered under [mk] with the given
+    config and enqueue [init_nodes] values round-robin across threads
+    (the paper's Section 4 initialization).  Shared by the sim and
+    native harnesses.
+    @raise Invalid_argument on an unknown [mk]. *)

@@ -66,11 +66,17 @@ let cost_of costs (kind : Sim_op.kind) =
     value of [ops_done] divided by the simulated seconds, in operations
     per second.
 
-    Cache-line contention model: every write-class access (store, CAS,
-    flush) to a word needs exclusive ownership of its line, so such
-    accesses {e serialize} per word — an access starts no earlier than
-    the line's previous owner finished.  Loads wait for the line to be
-    free but can then share it.  This is what makes throughput peak and
+    Cache-line contention model: line identity comes from the heap's
+    {!Dssq_memory.Memory_intf.Line} placement ([Machine.pending_target]
+    is the persist-line id), so the contention unit here and the
+    persistence unit in the heap are one and the same module — at line
+    size 1 every word is its own line, the original model.  Every
+    write-class access (store, CAS, flush) to a line needs exclusive
+    ownership of it, so such accesses {e serialize} per line — an access
+    starts no earlier than the line's previous owner finished.  Loads
+    wait for the line to be free but can then share it.  An {e elided}
+    flush (clean line, size >= 2) costs nothing: there is no write-back
+    to wait on.  This is what makes throughput peak and
     then degrade under contention on the queue's head and tail words,
     exactly as on the paper's testbed: at high thread counts the line
     ping-pong (mostly failed-CAS traffic) dominates, and the per-thread
@@ -116,6 +122,11 @@ let run ?(costs = default_costs) ?(seed = 1) ?clock ~horizon_ns ~heap ~threads
               Option.value ~default:(0., tid) (Hashtbl.find_opt line_clock cell)
             in
             (match (target, kind) with
+            | Some _, Sim_op.Flush when info.Machine.flush_effective = Some false
+              ->
+                (* Clean line: the CLWB has nothing to write back.  No
+                   device round-trip, no line occupancy — free. *)
+                ()
             | Some cell, (Sim_op.Write | Sim_op.Cas) ->
                 (* Exclusive access (RFO): wait for the line, pay a
                    cross-core transfer if another thread owned it, then
@@ -206,24 +217,24 @@ let timed_pair_worker (ops : Dssq_core.Queue_intf.ops) ~tid ~counter ~det_pct
   done
 
 (** Measure one queue implementation at one thread count on a fresh
-    simulated heap.  Memory-event deltas exclude queue seeding (the heap
-    counters are read after initialization); per-operation latency
-    histograms are recorded only when [instrument] is set, leaving the
-    default path's event sequence untouched. *)
+    simulated heap.  [line_size] configures the heap's persist-line size
+    (1, the default, is the legacy word-granular model).  Memory-event
+    deltas exclude queue seeding (the heap counters are read after
+    initialization); per-operation latency histograms are recorded only
+    when [instrument] is set, leaving the default path's event sequence
+    untouched. *)
 let measure_ex ?costs ?(seed = 1) ?(horizon_ns = 300_000.) ?(init_nodes = 16)
-    ?(det_pct = 100) ?(instrument = false) ~mk ~nthreads () :
+    ?(det_pct = 100) ?(line_size = 1) ?(instrument = false) ~mk ~nthreads () :
     Dssq_obs.Run_report.sample =
-  let heap = Heap.create () in
+  let heap = Heap.create ~line_size () in
   let (module M) = Sim.memory heap in
-  let module R = Registry.Make (M) in
-  let mk_ops = R.find mk in
   let capacity = init_nodes + 8 + (nthreads * 192) in
-  let ops = mk_ops (Dssq_core.Queue_intf.config ~nthreads ~capacity ()) in
-  (* Initialize the queue with [init_nodes] values, as in Section 4. *)
-  for i = 1 to init_nodes do
-    (* round-robin: per-thread node pools are striped *)
-    ops.enqueue ~tid:(i mod nthreads) i
-  done;
+  let ops =
+    Registry.setup
+      (module M)
+      ~mk ~init_nodes
+      (Dssq_core.Queue_intf.config ~line_size ~nthreads ~capacity ())
+  in
   let before = Heap.counters heap in
   let counters = Array.init nthreads (fun _ -> ref 0) in
   let hist = if instrument then Some (Dssq_obs.Histogram.create ()) else None in
@@ -252,6 +263,8 @@ let measure_ex ?costs ?(seed = 1) ?(horizon_ns = 300_000.) ?(init_nodes = 16)
   }
 
 (** Throughput only, in Mops/s — the historical entry point. *)
-let measure ?costs ?seed ?horizon_ns ?init_nodes ?det_pct ~mk ~nthreads () =
-  (measure_ex ?costs ?seed ?horizon_ns ?init_nodes ?det_pct ~mk ~nthreads ())
+let measure ?costs ?seed ?horizon_ns ?init_nodes ?det_pct ?line_size ~mk
+    ~nthreads () =
+  (measure_ex ?costs ?seed ?horizon_ns ?init_nodes ?det_pct ?line_size ~mk
+     ~nthreads ())
     .Dssq_obs.Run_report.mops

@@ -72,6 +72,7 @@ val measure_ex :
   ?horizon_ns:float ->
   ?init_nodes:int ->
   ?det_pct:int ->
+  ?line_size:int ->
   ?instrument:bool ->
   mk:string ->
   nthreads:int ->
@@ -82,7 +83,8 @@ val measure_ex :
     delta over the measured phase (seeding excluded), and — only with
     [instrument:true] — a per-operation latency histogram in simulated
     nanoseconds.  [mk] is a {!Registry} name; the queue is seeded with
-    [init_nodes] values (default 16, as in Section 4). *)
+    [init_nodes] values (default 16, as in Section 4); [line_size]
+    (default 1 = word-granular) sets the heap's persist-line size. *)
 
 val measure :
   ?costs:costs ->
@@ -90,6 +92,7 @@ val measure :
   ?horizon_ns:float ->
   ?init_nodes:int ->
   ?det_pct:int ->
+  ?line_size:int ->
   mk:string ->
   nthreads:int ->
   unit ->

@@ -192,7 +192,16 @@ let test_metrics () =
 
 let sample_report () =
   let hist = hist_of [ 120.; 450.; 800.; 1600.; 90. ] in
-  let events = { MI.reads = 10; writes = 4; cases = 3; flushes = 7; fences = 2 } in
+  let events =
+    {
+      MI.reads = 10;
+      writes = 4;
+      cases = 3;
+      flushes = 7;
+      elided_flushes = 0;
+      fences = 2;
+    }
+  in
   let point =
     Run_report.point_of_samples ~x:2
       [
@@ -252,6 +261,37 @@ let test_report_rejects_foreign () =
       | "version" -> Some (Json.Int (Run_report.schema_version + 1))
       | _ -> None));
   Alcotest.(check bool) "current version accepted" true (not (reject (fun _ -> None)))
+
+(* Schema v1 reports predate the [elided_flushes] event key: they must
+   still decode, the missing key reading as zero. *)
+let test_report_decodes_v1 () =
+  let strip_elided j =
+    let rec go = function
+      | Json.Obj kvs ->
+          Json.Obj
+            (List.filter_map
+               (fun (k, v) ->
+                 if k = "elided_flushes" then None else Some (k, go v))
+               kvs)
+      | Json.List l -> Json.List (List.map go l)
+      | j -> j
+    in
+    go j
+  in
+  let v1 =
+    Json.Obj
+      (List.map
+         (fun (k, v) ->
+           if k = "version" then (k, Json.Int 1) else (k, strip_elided v))
+         (Json.to_obj (Run_report.to_json (sample_report ()))))
+  in
+  let r = Run_report.of_json v1 in
+  Alcotest.(check int) "v1 version kept" 1 r.Run_report.version;
+  let p = List.hd (List.hd r.Run_report.series).Run_report.points in
+  Alcotest.(check int) "missing elided_flushes reads as 0" 0
+    p.Run_report.events.MI.elided_flushes;
+  Alcotest.(check int) "other counters intact" 14
+    p.Run_report.events.MI.flushes
 
 (* ----------------------- memory-event accounting ---------------------- *)
 
@@ -334,6 +374,8 @@ let suite =
         test_report_file_roundtrip;
       Alcotest.test_case "run report schema guards" `Quick
         test_report_rejects_foreign;
+      Alcotest.test_case "run report decodes schema v1" `Quick
+        test_report_decodes_v1;
       Alcotest.test_case "flushes/op: dss > ms" `Quick
         test_flushes_per_op_ordering;
       Alcotest.test_case "instrumented sim latency" `Quick

@@ -25,7 +25,7 @@ let test_off_is_noop () =
   Alcotest.(check bool) "no active tracer" true (Trace.active () = None);
   (* emitters are safe no-ops *)
   Trace.op_begin "op" ~args:"";
-  Trace.mem `Read ~cell:0 ~name:"c" ~dirty:false;
+  Trace.mem `Read ~cell:0 ~name:"c" ~line:0 ~dirty:false;
   Trace.crash ~verdicts:[];
   Trace.recovery_begin ();
   Trace.resolve ~outcome:"nothing";
@@ -243,7 +243,7 @@ let test_lincheck_counterexample_carries_trace () =
   let t = Trace.start () in
   Trace.set_tid 0;
   Trace.op_begin "dequeue" ~args:"";
-  Trace.mem `Read ~cell:3 ~name:"head" ~dirty:false;
+  Trace.mem `Read ~cell:3 ~name:"head" ~line:1 ~dirty:false;
   Trace.op_end "dequeue" ~result:"5";
   let verdict = Lincheck.check spec (make_history ()) in
   Trace.stop ();

@@ -166,6 +166,84 @@ let test_ablate_crash_mtbf () =
       | _ -> Alcotest.fail "expected two points")
     series
 
+let test_ablate_linesize_tiny () =
+  let series =
+    Experiments.ablate_linesize ~nthreads:2 ~line_sizes:[ 1; 8 ] ~repeats:1
+      ~horizon_ns:30_000. ()
+  in
+  Alcotest.(check int) "fig5a ∪ fig5b queues" 6 (List.length series);
+  let dss =
+    List.find
+      (fun (s : Dssq_obs.Run_report.series) -> s.label = "dss-det")
+      series
+  in
+  match dss.points with
+  | [ p1; p8 ] ->
+      let open Dssq_memory.Memory_intf in
+      Alcotest.(check int) "size 1 point" 1 p1.Dssq_obs.Run_report.x;
+      Alcotest.(check int) "nothing elided at size 1" 0
+        p1.Dssq_obs.Run_report.events.elided_flushes;
+      Alcotest.(check bool) "elision at size 8" true
+        (p8.Dssq_obs.Run_report.events.elided_flushes > 0);
+      let per_op (p : Dssq_obs.Run_report.point) =
+        float_of_int p.events.flushes /. float_of_int (max 1 p.ops)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "fewer flushes/op at size 8 (%.2f < %.2f)" (per_op p8)
+           (per_op p1))
+        true
+        (per_op p8 < per_op p1)
+  | _ -> Alcotest.fail "expected two points"
+
+(* The Line module is shared by both backends, so the same scripted
+   single-threaded DSS queue run must report identical flush and elision
+   deltas on the counted simulator heap and on the native Counted
+   backend — the cross-backend contract of the line refactor. *)
+let test_cross_backend_flush_parity () =
+  let line_size = 8 in
+  let pairs = 40 in
+  let script (ops : Dssq_core.Queue_intf.ops) =
+    for i = 1 to pairs do
+      ops.d_enqueue ~tid:0 i;
+      ignore (ops.d_dequeue ~tid:0)
+    done
+  in
+  let cfg =
+    Dssq_core.Queue_intf.config ~line_size ~nthreads:2 ~capacity:256 ()
+  in
+  (* Simulator backend. *)
+  let heap = Dssq_pmem.Heap.create ~line_size () in
+  let (module S) = Dssq_sim.Sim.counted_memory heap in
+  let ops_sim =
+    Dssq_workload.Registry.setup (module S) ~mk:"dss-queue" ~init_nodes:16 cfg
+  in
+  S.reset_counters ();
+  ignore (Dssq_sim.Sim.run heap ~threads:[ (fun () -> script ops_sim) ]);
+  let c_sim = S.counters () in
+  (* Native backend (restore the process-wide word-granular default
+     afterwards: other tests rely on it). *)
+  Fun.protect
+    ~finally:(fun () -> Dssq_memory.Native.set_line_size 1)
+    (fun () ->
+      Dssq_memory.Native.set_line_size line_size;
+      let module C = Dssq_memory.Native.Counted () in
+      let ops_nat =
+        Dssq_workload.Registry.setup
+          (module C)
+          ~mk:"dss-queue" ~init_nodes:16 cfg
+      in
+      C.reset_counters ();
+      script ops_nat;
+      let c_nat = C.counters () in
+      let open Dssq_memory.Memory_intf in
+      Alcotest.(check int) "flushes agree" c_sim.flushes c_nat.flushes;
+      Alcotest.(check int) "elisions agree" c_sim.elided_flushes
+        c_nat.elided_flushes;
+      Alcotest.(check bool) "elision actually exercised" true
+        (c_sim.elided_flushes > 0);
+      Alcotest.(check int) "writes agree" c_sim.writes c_nat.writes;
+      Alcotest.(check int) "CASes agree" c_sim.cases c_nat.cases)
+
 let test_op_latency_ordering () =
   let lat = Experiments.op_latency () in
   let get name =
@@ -204,6 +282,10 @@ let suite =
       test_ablate_pmwcas_scaling;
     Alcotest.test_case "ablation: crash MTBF amortizes" `Quick
       test_ablate_crash_mtbf;
+    Alcotest.test_case "ablation: line size elides flushes" `Quick
+      test_ablate_linesize_tiny;
+    Alcotest.test_case "cross-backend flush/elision parity" `Quick
+      test_cross_backend_flush_parity;
     Alcotest.test_case "modelled op latency ordering" `Quick
       test_op_latency_ordering;
   ]
