@@ -744,6 +744,392 @@ let lincheck_cmd =
          "randomized strict-linearizability checking of a detectable queue")
     Term.(const lincheck_run $ kind $ iterations $ verbose $ trace_json)
 
+(* ------------------------------ explore ------------------------------ *)
+
+module Explore = Dssq_sim.Explore
+module Scenarios = Dssq_checker.Scenarios
+module Mutants = Dssq_checker.Mutants
+module Oracle = Dssq_checker.Oracle
+
+(* One corpus case's outcome under the reduced (and optionally the
+   naive) search. *)
+type explore_result = {
+  xcase : Scenarios.case;
+  verdict : (Explore.stats, Explore.schedule * exn) result;
+  naive : (Explore.stats, Explore.schedule * exn) result option;
+}
+
+let run_case (c : Scenarios.case) ~reduction =
+  match c.Scenarios.run ~reduction with
+  | s -> Ok s
+  | exception Explore.Violation { schedule; exn } -> Error (schedule, exn)
+
+let explore_report ~params results =
+  let case_json (r : explore_result) =
+    let c = r.xcase in
+    let stats_fields prefix = function
+      | Ok (s : Explore.stats) ->
+          [
+            (prefix ^ "executions", Json.Int s.executions);
+            (prefix ^ "pruned", Json.Int s.pruned);
+            (prefix ^ "crash_branches", Json.Int s.crash_branches);
+          ]
+      | Error (sched, exn) ->
+          [
+            (prefix ^ "token", Json.String (Explore.schedule_to_string sched));
+            (prefix ^ "error", Json.String (Printexc.to_string exn));
+          ]
+    in
+    Json.Obj
+      ([
+         ("name", Json.String c.Scenarios.name);
+         ("object", Json.String c.Scenarios.obj);
+         ("program", Json.String c.Scenarios.prog);
+         ("crashes", Json.Bool c.Scenarios.crashes);
+         ("line_size", Json.Int c.Scenarios.line_size);
+         ("nthreads", Json.Int c.Scenarios.nthreads);
+         ( "status",
+           Json.String (match r.verdict with Ok _ -> "pass" | Error _ -> "fail")
+         );
+       ]
+      @ stats_fields "" r.verdict
+      @
+      match r.naive with
+      | None -> []
+      | Some n ->
+          ( "naive_status",
+            Json.String (match n with Ok _ -> "pass" | Error _ -> "fail") )
+          :: stats_fields "naive_" n)
+  in
+  Json.Obj
+    [
+      ("schema", Json.String "dssq-explore-report");
+      ("version", Json.Int 1);
+      ("git_rev", Json.String (Dssq_obs.Run_report.git_rev ()));
+      ("params", Json.Obj params);
+      ("cases", Json.List (List.map case_json results));
+    ]
+
+let explore_run object_ crash_mode line_sizes mutant mode_name max_preemptions
+    max_crash_lines crash_samples seed adversary limit compare_naive json
+    token_file replay case_name list_only =
+  let fail fmt = Printf.ksprintf (fun m -> Printf.eprintf "dssq: %s\n" m; exit 2) fmt in
+  let mode =
+    match Oracle.mode_of_name mode_name with
+    | Some m -> m
+    | None -> fail "unknown mode %S (strict, recoverable, durable)" mode_name
+  in
+  let mutation =
+    match mutant with
+    | None -> None
+    | Some n -> (
+        match Mutants.by_name n with
+        | Some m -> Some m
+        | None ->
+            fail "unknown mutant %S; known: %s" n
+              (String.concat ", " (List.map fst Mutants.all)))
+  in
+  let objects =
+    match object_ with
+    | "all" -> Scenarios.objects
+    | o when List.mem o Scenarios.objects -> [ o ]
+    | o ->
+        fail "unknown object %S (all, %s)" o (String.concat ", " Scenarios.objects)
+  in
+  let crash_modes =
+    match crash_mode with
+    | `Both -> [ false; true ]
+    | `On -> [ true ]
+    | `Off -> [ false ]
+  in
+  let cases =
+    Scenarios.cases ~objects ~crash_modes ~line_sizes ?mutation ~mode
+      ~max_preemptions ~max_crash_lines ~crash_samples ~seed ~adversary ~limit
+      ()
+  in
+  if list_only then begin
+    List.iter (fun (c : Scenarios.case) -> print_endline c.Scenarios.name) cases;
+    exit 0
+  end;
+  match replay with
+  | Some token ->
+      let name =
+        match case_name with
+        | Some n -> n
+        | None -> fail "--replay requires --case NAME (see --list)"
+      in
+      let c =
+        match Scenarios.find_case ~cases name with
+        | Some c -> c
+        | None -> fail "unknown case %S (see --list)" name
+      in
+      let sched =
+        match Explore.schedule_of_string token with
+        | s -> s
+        | exception Invalid_argument m -> fail "bad replay token: %s" m
+      in
+      let outcome, trace = c.Scenarios.explain sched in
+      Printf.printf "replaying %s under token %s\n" c.Scenarios.name token;
+      if trace <> [] then
+        Format.printf "event timeline:@.%a" Trace.pp_timeline trace;
+      (match outcome with
+      | Explore.Passed `Completed ->
+          print_endline "execution completed; check passed"
+      | Explore.Passed `Crashed ->
+          print_endline "execution crashed and recovered; check passed"
+      | Explore.Failed exn ->
+          Printf.printf "check FAILED:\n%s\n" (Printexc.to_string exn);
+          exit 1)
+  | None ->
+      let results =
+        List.map
+          (fun (c : Scenarios.case) ->
+            let verdict = run_case c ~reduction:true in
+            let naive =
+              if compare_naive then Some (run_case c ~reduction:false)
+              else None
+            in
+            let show = function
+              | Ok (s : Explore.stats) ->
+                  Printf.sprintf "%7d execs %6d pruned %7d crash" s.executions
+                    s.pruned s.crash_branches
+              | Error (sched, _) ->
+                  Printf.sprintf "FAIL %s" (Explore.schedule_to_string sched)
+            in
+            Printf.printf "%-34s %s%s\n%!" c.Scenarios.name (show verdict)
+              (match naive with
+              | None -> ""
+              | Some n -> Printf.sprintf "   [naive: %s]" (show n));
+            { xcase = c; verdict; naive })
+          cases
+      in
+      let failures =
+        List.filter_map
+          (fun r ->
+            match r.verdict with
+            | Error (sched, exn) -> Some (r.xcase, sched, exn)
+            | Ok _ -> None)
+          results
+      in
+      let mismatches =
+        List.filter
+          (fun r ->
+            match (r.verdict, r.naive) with
+            | _, None -> false
+            | Ok rs, Some (Ok ns) -> rs.Explore.executions > ns.Explore.executions
+            | Ok _, Some (Error _) | Error _, Some (Ok _) -> true
+            | Error _, Some (Error _) -> false)
+          results
+      in
+      let params =
+        [
+          ("object", Json.String object_);
+          ( "crashes",
+            Json.String
+              (match crash_mode with
+              | `Both -> "both"
+              | `On -> "on"
+              | `Off -> "off") );
+          ( "line_sizes",
+            Json.List (List.map (fun n -> Json.Int n) line_sizes) );
+          ( "mutant",
+            match mutant with None -> Json.Null | Some m -> Json.String m );
+          ("mode", Json.String mode_name);
+          ("max_preemptions", Json.Int max_preemptions);
+          ("max_crash_lines", Json.Int max_crash_lines);
+          ("crash_samples", Json.Int crash_samples);
+          ("seed", Json.Int seed);
+          ( "adversary",
+            Json.String
+              (match adversary with
+              | `Per_line -> "per-line"
+              | `All_or_nothing -> "all-or-nothing") );
+          ("compare_naive", Json.Bool compare_naive);
+        ]
+      in
+      Option.iter
+        (fun file ->
+          let doc = explore_report ~params results in
+          let oc = open_out file in
+          output_string oc (Json.to_string doc);
+          output_char oc '\n';
+          close_out oc;
+          Printf.printf "wrote %s (dssq-explore-report v1)\n" file)
+        json;
+      (match failures with
+      | [] -> ()
+      | fs ->
+          let oc = open_out token_file in
+          List.iter
+            (fun ((c : Scenarios.case), sched, _) ->
+              Printf.fprintf oc "%s %s\n" c.Scenarios.name
+                (Explore.schedule_to_string sched))
+            fs;
+          close_out oc;
+          Printf.printf "\n%d failing case(s); replay tokens written to %s\n"
+            (List.length fs) token_file;
+          (* Replay the first failure under a tracer so the report carries
+             the merged event timeline alongside the token. *)
+          let c, sched, exn = List.hd fs in
+          Printf.printf
+            "first failure: %s\n  token: %s\n  %s\n  replay with: dssq explore \
+             --case %s --replay %s\n"
+            c.Scenarios.name
+            (Explore.schedule_to_string sched)
+            (Printexc.to_string exn) c.Scenarios.name
+            (Explore.schedule_to_string sched);
+          let _, trace = c.Scenarios.explain sched in
+          if trace <> [] then
+            Format.printf "event timeline:@.%a" Trace.pp_timeline trace);
+      List.iter
+        (fun r ->
+          match (r.verdict, r.naive) with
+          | Ok rs, Some (Ok ns) when rs.Explore.executions > ns.Explore.executions
+            ->
+              Printf.printf
+                "MISMATCH %s: reduced search ran more executions (%d) than \
+                 naive (%d)\n"
+                r.xcase.Scenarios.name rs.Explore.executions
+                ns.Explore.executions
+          | Ok _, Some (Error (sched, _)) ->
+              Printf.printf
+                "MISMATCH %s: naive search found a violation (%s) the reduced \
+                 search missed\n"
+                r.xcase.Scenarios.name
+                (Explore.schedule_to_string sched)
+          | Error (sched, _), Some (Ok _) ->
+              Printf.printf
+                "note %s: only the reduced search reports a violation (%s); \
+                 the naive run is cut short at the first failure, so this is \
+                 expected only under differing orders\n"
+                r.xcase.Scenarios.name
+                (Explore.schedule_to_string sched)
+          | _ -> ())
+        results;
+      if failures <> [] || mismatches <> [] then exit 1;
+      Printf.printf
+        "explored %d case(s): all executions %s-linearizable w.r.t. their \
+         specifications\n"
+        (List.length results) mode_name
+
+let explore_cmd =
+  let object_ =
+    Arg.(
+      value & opt string "all"
+      & info [ "object" ] ~docv:"OBJ"
+          ~doc:"object to check: all, queue, stack, register or hashmap")
+  in
+  let crashes =
+    Arg.(
+      value
+      & opt (enum [ ("both", `Both); ("on", `On); ("off", `Off) ]) `Both
+      & info [ "crashes" ]
+          ~doc:"crash-injection mode: both (default), on, or off")
+  in
+  let line_sizes =
+    Arg.(
+      value
+      & opt (list pos_int) [ 1; 8 ]
+      & info [ "line-sizes" ] ~docv:"WORDS"
+          ~doc:"persist-line sizes to cover (default 1,8)")
+  in
+  let mutant =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutant" ] ~docv:"NAME"
+          ~doc:
+            "inject a seeded bug (skip-flush-link, skip-flush-mark, \
+             stale-announce, unfenced); restricts the corpus to the queue")
+  in
+  let mode =
+    Arg.(
+      value & opt string "strict"
+      & info [ "mode" ] ~doc:"linearizability mode: strict, recoverable, durable")
+  in
+  let max_preemptions =
+    Arg.(
+      value & opt int 1
+      & info [ "max-preemptions" ]
+          ~doc:"CHESS preemption bound (iterative deepening)")
+  in
+  let max_crash_lines =
+    Arg.(
+      value & opt pos_int 4
+      & info [ "max-crash-lines" ]
+          ~doc:
+            "cap on exhaustive eviction-subset enumeration per crash point; \
+             above it, seeded sampling")
+  in
+  let crash_samples =
+    Arg.(
+      value & opt int 6
+      & info [ "crash-samples" ]
+          ~doc:"sampled eviction subsets past the enumeration cap")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~doc:"crash-sampling seed")
+  in
+  let adversary =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("per-line", `Per_line); ("all-or-nothing", `All_or_nothing) ])
+          `Per_line
+      & info [ "adversary" ]
+          ~doc:"crash adversary: per-line (default) or the legacy all-or-nothing")
+  in
+  let limit =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "limit" ] ~doc:"abort past this many executions")
+  in
+  let compare_naive =
+    Arg.(
+      value & flag
+      & info [ "compare-naive" ]
+          ~doc:
+            "also run the unreduced search per case and check the reduced \
+             search explored no more executions and missed no violation")
+  in
+  let token_file =
+    Arg.(
+      value
+      & opt string "explore-counterexample.txt"
+      & info [ "token-file" ] ~docv:"FILE"
+          ~doc:"where to write replay tokens of failing cases")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"TOKEN"
+          ~doc:
+            "replay one recorded schedule token (from a violation report) \
+             against --case and print its outcome and event timeline")
+  in
+  let case =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "case" ] ~docv:"NAME" ~doc:"corpus case to replay (see --list)")
+  in
+  let list_only =
+    Arg.(value & flag & info [ "list" ] ~doc:"list corpus case names and exit")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "bounded-exhaustive crash-consistency model checking of the DSS \
+          objects (sleep-set reduction, per-line crash adversary, lincheck \
+          oracle, replayable counterexamples)")
+    Term.(
+      const explore_run $ object_ $ crashes $ line_sizes $ mutant $ mode
+      $ max_preemptions $ max_crash_lines $ crash_samples $ seed $ adversary
+      $ limit $ compare_naive $ json_arg $ token_file $ replay $ case
+      $ list_only)
+
 (* ------------------------------- info -------------------------------- *)
 
 let info_cmd =
@@ -788,6 +1174,7 @@ let () =
              crash_demo_cmd;
              trace_cmd;
              lincheck_cmd;
+             explore_cmd;
              info_cmd;
            ]
           @ ablate_cmds)))

@@ -1,0 +1,141 @@
+(** Seeded fault injection at the memory layer.
+
+    A mutant wraps a backend module with an interposer that silently
+    drops selected persistence (or detectability) events, planting the
+    classic crash-consistency bugs the model checker must be able to
+    find: code that is correct except for one missing flush, one stale
+    announcement word, or a write-back that is issued but never drained.
+    The wrapped module still satisfies {!Dssq_memory.Memory_intf.S}, so
+    any algorithm functor instantiates over it unchanged — the mutation
+    is invisible until a crash makes the lost persistence observable.
+
+    Selection is by cell {e name} substring, using the names algorithms
+    already give their cells for tracing (queue nodes are
+    [node<i>[0..2]] for value/next/deq_tid, announcements are
+    [X[<tid>]]). *)
+
+module Intf = Dssq_memory.Memory_intf
+
+type mutation =
+  | Skip_flush of string
+      (** drop flushes whose cell name contains the substring — the
+          "forgot the flush before the CAS" bug *)
+  | Stale_write of string
+      (** drop every write after the first to matching cells — the
+          announcement word keeps its prep-time contents, so
+          detectability state goes stale *)
+  | Unfenced
+      (** drop {e every} flush: write-backs are issued but never
+          drained, so nothing added after initialization persists *)
+
+let describe = function
+  | Skip_flush pat -> Printf.sprintf "drop flushes of cells matching %S" pat
+  | Stale_write pat ->
+      Printf.sprintf "drop 2nd+ writes to cells matching %S (stale state)" pat
+  | Unfenced -> "drop all flushes (write-backs never drained)"
+
+(** The seeded DSS-queue mutants of the regression suite. *)
+
+let skip_flush_link = Skip_flush "[1]"
+(** Node [next] pointers are never persisted: the link CASed into the
+    list can vanish at a crash after the enqueue reported completion. *)
+
+let skip_flush_mark = Skip_flush "[2]"
+(** Dequeue claim marks ([deq_tid]) are never persisted: a crash can
+    forget who dequeued a value, breaking exactly-once recovery. *)
+
+let stale_announce = Stale_write "X["
+(** Per-thread announcement words keep their prep-time contents: the
+    completion update is lost, so [resolve] reports a finished operation
+    as still pending and the retry duplicates it. *)
+
+let unfenced = Unfenced
+
+let all =
+  [
+    ("skip-flush-link", skip_flush_link);
+    ("skip-flush-mark", skip_flush_mark);
+    ("stale-announce", stale_announce);
+    ("unfenced", unfenced);
+  ]
+
+let by_name n = List.assoc_opt n all
+
+exception Livelock
+(** A mutated execution exceeded its memory-operation budget.  Planted
+    bugs can destroy liveness, not just safety — e.g. a stale
+    announcement makes the exactly-once retry re-link an already-linked
+    node, and the next dequeue spins forever helping a tail that is
+    already in place.  The budget turns that unbounded direct-mode loop
+    into an exception the scenario can contain; the safety oracle still
+    judges the history recorded up to that point. *)
+
+let budget = 100_000
+(** Memory operations per wrapped-module instance (one instance per
+    explored execution).  Corpus executions use a few hundred. *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  m = 0
+  ||
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(** Interpose [mutation] on a backend. *)
+let wrap mutation (module M : Intf.S) : (module Intf.S) =
+  (module struct
+    type 'a cell = { inner : 'a M.cell; cname : string; mutable writes : int }
+
+    let ops = ref 0
+
+    let spend () =
+      incr ops;
+      if !ops > budget then raise Livelock
+
+    let mk cname inner = { inner; cname; writes = 0 }
+
+    let alloc ?(name = "") ?placement v =
+      mk name (M.alloc ~name ?placement v)
+
+    let alloc_block ?(name = "") vs =
+      List.mapi
+        (fun i c ->
+          let cname =
+            if name = "" then "" else Printf.sprintf "%s[%d]" name i
+          in
+          mk cname c)
+        (M.alloc_block ~name vs)
+
+    let hits pat c = contains c.cname pat
+
+    let read c =
+      spend ();
+      M.read c.inner
+
+    let write c v =
+      spend ();
+      c.writes <- c.writes + 1;
+      match mutation with
+      | Stale_write pat when hits pat c && c.writes > 1 -> ()
+      | _ -> M.write c.inner v
+
+    let cas c ~expected ~desired =
+      spend ();
+      M.cas c.inner ~expected ~desired
+
+    let flush c =
+      spend ();
+      match mutation with
+      | Unfenced -> ()
+      | Skip_flush pat when hits pat c -> ()
+      | _ -> M.flush c.inner
+
+    let fence () = M.fence ()
+  end)
+
+let () =
+  Printexc.register_printer (function
+    | Livelock ->
+        Some "Mutants.Livelock: memory-operation budget exhausted (planted \
+              bug destroyed liveness)"
+    | _ -> None)

@@ -1,0 +1,49 @@
+(** Lincheck-as-oracle: the bridge that lets {!Dssq_sim.Explore} judge
+    every explored execution by the paper's Section 2 formalism instead
+    of ad-hoc asserts.  A scenario records a {!Dssq_history.History.t}
+    while its threads run; at the end of each execution (complete or
+    crashed) the history — recovery, resolves, exactly-once retries and
+    drain reads included — goes through {!Dssq_lincheck.Lincheck.check},
+    and a non-linearizable verdict raises, which the explorer converts
+    into a replayable {!Dssq_sim.Explore.Violation}. *)
+
+module Spec = Dssq_spec.Spec
+module History = Dssq_history.History
+module Lincheck = Dssq_lincheck.Lincheck
+
+exception Not_linearizable of string
+(** Carries the pretty-printed failing history (the trace timeline is
+    recovered separately by replaying the violation's schedule under
+    [Explore.explain]). *)
+
+let mode_name = function
+  | Lincheck.Strict -> "strict"
+  | Lincheck.Recoverable -> "recoverable"
+  | Lincheck.Durable -> "durable"
+
+let mode_of_name = function
+  | "strict" -> Some Lincheck.Strict
+  | "recoverable" -> Some Lincheck.Recoverable
+  | "durable" -> Some Lincheck.Durable
+  | _ -> None
+
+(** Check one recorded history against [spec] under [mode]; raise
+    {!Not_linearizable} with the printed history on failure. *)
+let assert_linearizable ?(mode = Lincheck.Strict) (spec : _ Spec.t) history =
+  match Lincheck.check ~mode spec history with
+  | Lincheck.Linearizable _ -> ()
+  | Lincheck.Not_linearizable _ ->
+      let buf = Buffer.create 256 in
+      let fmt = Format.formatter_of_buffer buf in
+      History.pp ~pp_op:spec.Spec.pp_op ~pp_response:spec.Spec.pp_response fmt
+        history;
+      Format.pp_print_flush fmt ();
+      raise
+        (Not_linearizable
+           (Printf.sprintf "history not %s-linearizable w.r.t. %s:\n%s"
+              (mode_name mode) spec.Spec.name (Buffer.contents buf)))
+
+let () =
+  Printexc.register_printer (function
+    | Not_linearizable msg -> Some ("Oracle.Not_linearizable: " ^ msg)
+    | _ -> None)

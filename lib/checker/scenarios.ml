@@ -1,0 +1,563 @@
+(** The litmus corpus: ready-made model-checking scenarios for all four
+    DSS objects (queue, stack, register, hash map), 2–3 threads, with
+    and without crashes, at configurable persist-line sizes.
+
+    Every case wires the same pieces together: a fresh simulated heap
+    (optionally behind a {!Mutants} interposer), the object built over
+    it, a {!Dssq_history.Recorder} capturing every operation — prep/exec
+    pairs for the detectable DSS calls, [Base] for plain calls, and the
+    post-crash protocol (recovery, recorded [Resolve] per thread,
+    exactly-once retries of pending operations, recorded drain reads) —
+    and {!Oracle.assert_linearizable} as the per-execution check, so the
+    explorer's verdict on each case is the paper's own correctness
+    condition.
+
+    Detectable operations are split direct-mode prep / explored exec:
+    preps run (and are recorded) during setup, the scheduler interleaves
+    the exec phases.  This keeps per-thread step counts near ten, which
+    is what makes exhaustive crash enumeration affordable in CI.
+
+    The hash map has no prep/exec split — [put]/[remove] are single
+    detectable calls — so its oracle is plain strict linearizability of
+    the map specification under crashes: crashed mutations may take
+    effect or vanish, [resolve] only drives the exactly-once retries and
+    is not itself a specification-level operation.  (Fabricating a
+    completed [Prep] record around a fused call would let the checker
+    demand announcements the implementation never promised — a false
+    positive — so the [D<T>] alphabet is deliberately not used here.) *)
+
+module Heap = Dssq_pmem.Heap
+module Sim = Dssq_sim.Sim
+module Explore = Dssq_sim.Explore
+module Trace = Dssq_obs.Trace
+module Spec = Dssq_spec.Spec
+module Dss_spec = Dssq_spec.Dss_spec
+module Specs = Dssq_spec.Specs
+module Recorder = Dssq_history.Recorder
+module Lincheck = Dssq_lincheck.Lincheck
+module Queue_intf = Dssq_core.Queue_intf
+
+type params = {
+  crashes : bool;
+  line_size : int;
+  mode : Lincheck.mode;
+  mutation : Mutants.mutation option;
+  max_preemptions : int;
+  max_crash_lines : int;
+  crash_samples : int;
+  seed : int;
+  adversary : Explore.adversary;
+  limit : int;
+}
+
+let default_params =
+  {
+    crashes = false;
+    line_size = 1;
+    mode = Lincheck.Strict;
+    mutation = None;
+    max_preemptions = 1;
+    max_crash_lines = 4;
+    crash_samples = 6;
+    seed = 0;
+    adversary = `Per_line;
+    limit = 2_000_000;
+  }
+
+(* Every scenario presents the same face to the explorer: a bag of
+   threads plus a [finish] closure holding the whole post-execution
+   protocol and the oracle call. *)
+type world = { finish : crashed:bool -> unit }
+
+type case = {
+  name : string;  (** e.g. ["queue/enq-deq/crash/ls1"] *)
+  obj : string;
+  prog : string;
+  crashes : bool;
+  line_size : int;
+  nthreads : int;
+  run : reduction:bool -> Explore.stats;
+      (** explore; raises [Explore.Violation] on a failing execution *)
+  replay : Explore.schedule -> [ `Completed | `Crashed ];
+  explain : Explore.schedule -> Explore.outcome * Trace.entry list;
+}
+
+let explorer ~(params : params) ~reduction setup : world Explore.t =
+  Explore.make ~crashes:params.crashes ~adversary:params.adversary
+    ~max_crash_lines:params.max_crash_lines
+    ~crash_samples:params.crash_samples ~seed:params.seed ~reduction
+    ~limit:params.limit ~max_preemptions:params.max_preemptions ~setup
+    ~check:(fun w _heap ~crashed -> w.finish ~crashed)
+    ()
+
+let case_of_setup ~(params : params) ~obj ~prog ~nthreads setup =
+  let name =
+    Printf.sprintf "%s/%s/%s/ls%d" obj prog
+      (if params.crashes then "crash" else "nocrash")
+      params.line_size
+  in
+  {
+    name;
+    obj;
+    prog;
+    crashes = params.crashes;
+    line_size = params.line_size;
+    nthreads;
+    run = (fun ~reduction -> Explore.run (explorer ~params ~reduction setup));
+    replay =
+      (fun sched -> Explore.replay_schedule (explorer ~params ~reduction:true setup) sched);
+    explain =
+      (fun sched -> Explore.explain (explorer ~params ~reduction:true setup) sched);
+  }
+
+let memory ~(params : params) heap =
+  let mem = Sim.memory heap in
+  match params.mutation with Some m -> Mutants.wrap m mem | None -> mem
+
+(* ---------------------------------------------------------------------- *)
+(* Queue and stack share the Queue_intf.resolved vocabulary.               *)
+
+let queue_progs = [ "enq-deq"; "enq-enq"; "enq-enq-deq" ]
+
+let queue_setup ~(params : params) ~prog () =
+  let heap = Heap.create ~line_size:params.line_size () in
+  let (module M) = memory ~params heap in
+  let module Q = Dssq_core.Dss_queue.Make (M) in
+  (* [reclaim:false] keeps epoch-based reclamation out of the explored
+     step space; node recycling has its own tests. *)
+  let q = Q.create ~reclaim:false ~nthreads:3 ~capacity:8 () in
+  let rec_ = Recorder.create () in
+  let spec = Dss_spec.make ~nthreads:3 (Specs.Queue.spec ()) in
+  let record ~tid op f = ignore (Recorder.record rec_ ~tid op f) in
+  let deq_response v : _ Dss_spec.response =
+    if v = Queue_intf.empty_value then Dss_spec.Ret Specs.Queue.Empty
+    else Dss_spec.Ret (Specs.Queue.Value v)
+  in
+  let resolved_response (r : Queue_intf.resolved) : _ Dss_spec.response =
+    match r with
+    | Queue_intf.Nothing -> Dss_spec.Status (None, None)
+    | Queue_intf.Enq_pending v ->
+        Dss_spec.Status (Some (Specs.Queue.Enqueue v), None)
+    | Queue_intf.Enq_done v ->
+        Dss_spec.Status (Some (Specs.Queue.Enqueue v), Some Specs.Queue.Ok)
+    | Queue_intf.Deq_pending -> Dss_spec.Status (Some Specs.Queue.Dequeue, None)
+    | Queue_intf.Deq_empty ->
+        Dss_spec.Status (Some Specs.Queue.Dequeue, Some Specs.Queue.Empty)
+    | Queue_intf.Deq_done v ->
+        Dss_spec.Status (Some Specs.Queue.Dequeue, Some (Specs.Queue.Value v))
+  in
+  let prep_enq ~tid v =
+    record ~tid
+      (Dss_spec.Prep (Specs.Queue.Enqueue v))
+      (fun () ->
+        Q.prep_enqueue q ~tid v;
+        Dss_spec.Ack)
+  in
+  let exec_enq ~tid v =
+    record ~tid
+      (Dss_spec.Exec (Specs.Queue.Enqueue v))
+      (fun () ->
+        Q.exec_enqueue q ~tid;
+        Dss_spec.Ret Specs.Queue.Ok)
+  in
+  let prep_deq ~tid =
+    record ~tid (Dss_spec.Prep Specs.Queue.Dequeue) (fun () ->
+        Q.prep_dequeue q ~tid;
+        Dss_spec.Ack)
+  in
+  let exec_deq ~tid =
+    record ~tid (Dss_spec.Exec Specs.Queue.Dequeue) (fun () ->
+        deq_response (Q.exec_dequeue q ~tid))
+  in
+  let base_deq ~tid =
+    let v = ref Queue_intf.empty_value in
+    record ~tid (Dss_spec.Base Specs.Queue.Dequeue) (fun () ->
+        v := Q.dequeue q ~tid;
+        deq_response !v);
+    !v
+  in
+  (* Seed one element in direct mode so dequeues race over both list
+     shapes (empty and non-empty). *)
+  record ~tid:2
+    (Dss_spec.Base (Specs.Queue.Enqueue 90))
+    (fun () ->
+      Q.enqueue q ~tid:2 90;
+      Dss_spec.Ret Specs.Queue.Ok);
+  let threads, tids =
+    match prog with
+    | "enq-deq" ->
+        prep_enq ~tid:0 5;
+        prep_deq ~tid:1;
+        ([ (fun () -> exec_enq ~tid:0 5); (fun () -> exec_deq ~tid:1) ], [ 0; 1 ])
+    | "enq-enq" ->
+        prep_enq ~tid:0 5;
+        prep_enq ~tid:1 7;
+        ( [ (fun () -> exec_enq ~tid:0 5); (fun () -> exec_enq ~tid:1 7) ],
+          [ 0; 1 ] )
+    | "enq-enq-deq" ->
+        prep_enq ~tid:0 5;
+        prep_enq ~tid:1 7;
+        prep_deq ~tid:2;
+        ( [
+            (fun () -> exec_enq ~tid:0 5);
+            (fun () -> exec_enq ~tid:1 7);
+            (fun () -> exec_deq ~tid:2);
+          ],
+          [ 0; 1; 2 ] )
+    | p -> invalid_arg ("Scenarios.queue_setup: unknown program " ^ p)
+  in
+  let drain () =
+    let rec go guard =
+      if guard > 0 && base_deq ~tid:2 <> Queue_intf.empty_value then
+        go (guard - 1)
+    in
+    go 8
+  in
+  let resolve_retry ~tid =
+    record ~tid Dss_spec.Resolve (fun () -> resolved_response (Q.resolve q ~tid));
+    match Q.resolve q ~tid with
+    | Queue_intf.Enq_pending v -> exec_enq ~tid v
+    | Queue_intf.Deq_pending -> exec_deq ~tid
+    | _ -> ()
+  in
+  let finish ~crashed =
+    (* Planted bugs can destroy liveness (see {!Mutants.Livelock}); the
+       budget bounds the direct-mode protocol and the oracle judges the
+       history recorded so far — which already contains any stale
+       resolve response. *)
+    (try
+       if crashed then begin
+         Recorder.crash rec_;
+         Q.recover q;
+         List.iter (fun tid -> resolve_retry ~tid) tids
+       end;
+       drain ()
+     with Mutants.Livelock ->
+       (* Observation cut short: mark the in-flight operation as crashed
+          so the truncated history is still checkable.  This only adds
+          linearization freedom, so a violation found here is genuine. *)
+       Recorder.crash rec_);
+    Oracle.assert_linearizable ~mode:params.mode spec (Recorder.history rec_)
+  in
+  { Explore.ctx = { finish }; heap; threads }
+
+let stack_progs = [ "push-pop"; "push-push" ]
+
+let stack_setup ~(params : params) ~prog () =
+  let heap = Heap.create ~line_size:params.line_size () in
+  let (module M) = memory ~params heap in
+  let module S = Dssq_core.Dss_stack.Make (M) in
+  let s = S.create ~reclaim:false ~nthreads:3 ~capacity:8 () in
+  let rec_ = Recorder.create () in
+  let spec = Dss_spec.make ~nthreads:3 (Specs.Stack.spec ()) in
+  let record ~tid op f = ignore (Recorder.record rec_ ~tid op f) in
+  let pop_response v : _ Dss_spec.response =
+    if v = Queue_intf.empty_value then Dss_spec.Ret Specs.Stack.Empty
+    else Dss_spec.Ret (Specs.Stack.Value v)
+  in
+  let resolved_response (r : Queue_intf.resolved) : _ Dss_spec.response =
+    match r with
+    | Queue_intf.Nothing -> Dss_spec.Status (None, None)
+    | Queue_intf.Enq_pending v ->
+        Dss_spec.Status (Some (Specs.Stack.Push v), None)
+    | Queue_intf.Enq_done v ->
+        Dss_spec.Status (Some (Specs.Stack.Push v), Some Specs.Stack.Ok)
+    | Queue_intf.Deq_pending -> Dss_spec.Status (Some Specs.Stack.Pop, None)
+    | Queue_intf.Deq_empty ->
+        Dss_spec.Status (Some Specs.Stack.Pop, Some Specs.Stack.Empty)
+    | Queue_intf.Deq_done v ->
+        Dss_spec.Status (Some Specs.Stack.Pop, Some (Specs.Stack.Value v))
+  in
+  let prep_push ~tid v =
+    record ~tid
+      (Dss_spec.Prep (Specs.Stack.Push v))
+      (fun () ->
+        S.prep_push s ~tid v;
+        Dss_spec.Ack)
+  in
+  let exec_push ~tid v =
+    record ~tid
+      (Dss_spec.Exec (Specs.Stack.Push v))
+      (fun () ->
+        S.exec_push s ~tid;
+        Dss_spec.Ret Specs.Stack.Ok)
+  in
+  let prep_pop ~tid =
+    record ~tid (Dss_spec.Prep Specs.Stack.Pop) (fun () ->
+        S.prep_pop s ~tid;
+        Dss_spec.Ack)
+  in
+  let exec_pop ~tid =
+    record ~tid (Dss_spec.Exec Specs.Stack.Pop) (fun () ->
+        pop_response (S.exec_pop s ~tid))
+  in
+  let base_pop ~tid =
+    let v = ref Queue_intf.empty_value in
+    record ~tid (Dss_spec.Base Specs.Stack.Pop) (fun () ->
+        v := S.pop s ~tid;
+        pop_response !v);
+    !v
+  in
+  record ~tid:2
+    (Dss_spec.Base (Specs.Stack.Push 90))
+    (fun () ->
+      S.push s ~tid:2 90;
+      Dss_spec.Ret Specs.Stack.Ok);
+  let threads, tids =
+    match prog with
+    | "push-pop" ->
+        prep_push ~tid:0 5;
+        prep_pop ~tid:1;
+        ( [ (fun () -> exec_push ~tid:0 5); (fun () -> exec_pop ~tid:1) ],
+          [ 0; 1 ] )
+    | "push-push" ->
+        prep_push ~tid:0 5;
+        prep_push ~tid:1 7;
+        ( [ (fun () -> exec_push ~tid:0 5); (fun () -> exec_push ~tid:1 7) ],
+          [ 0; 1 ] )
+    | p -> invalid_arg ("Scenarios.stack_setup: unknown program " ^ p)
+  in
+  let drain () =
+    let rec go guard =
+      if guard > 0 && base_pop ~tid:2 <> Queue_intf.empty_value then
+        go (guard - 1)
+    in
+    go 8
+  in
+  let resolve_retry ~tid =
+    record ~tid Dss_spec.Resolve (fun () -> resolved_response (S.resolve s ~tid));
+    match S.resolve s ~tid with
+    | Queue_intf.Enq_pending v -> exec_push ~tid v
+    | Queue_intf.Deq_pending -> exec_pop ~tid
+    | _ -> ()
+  in
+  let finish ~crashed =
+    (try
+       if crashed then begin
+         Recorder.crash rec_;
+         S.recover s;
+         List.iter (fun tid -> resolve_retry ~tid) tids
+       end;
+       drain ()
+     with Mutants.Livelock ->
+       (* Observation cut short: mark the in-flight operation as crashed
+          so the truncated history is still checkable.  This only adds
+          linearization freedom, so a violation found here is genuine. *)
+       Recorder.crash rec_);
+    Oracle.assert_linearizable ~mode:params.mode spec (Recorder.history rec_)
+  in
+  { Explore.ctx = { finish }; heap; threads }
+
+(* ---------------------------------------------------------------------- *)
+(* Register.                                                               *)
+
+let register_progs = [ "write-write"; "write-read" ]
+
+let register_setup ~(params : params) ~prog () =
+  let heap = Heap.create ~line_size:params.line_size () in
+  let (module M) = memory ~params heap in
+  let module R = Dssq_core.Dss_register.Make (M) in
+  let r = R.create ~init:0 ~nthreads:3 () in
+  let rec_ = Recorder.create () in
+  let spec = Dss_spec.make ~nthreads:3 (Specs.Register.spec ~init:0 ()) in
+  let record ~tid op f = ignore (Recorder.record rec_ ~tid op f) in
+  let prep_write ~tid v =
+    record ~tid
+      (Dss_spec.Prep (Specs.Register.Write v))
+      (fun () ->
+        R.prep_write r ~tid v;
+        Dss_spec.Ack)
+  in
+  let exec_write ~tid v =
+    record ~tid
+      (Dss_spec.Exec (Specs.Register.Write v))
+      (fun () ->
+        R.exec_write r ~tid;
+        Dss_spec.Ret Specs.Register.Ok)
+  in
+  let exec_read ~tid =
+    record ~tid (Dss_spec.Exec Specs.Register.Read) (fun () ->
+        Dss_spec.Ret (Specs.Register.Value (R.exec_read r ~tid)))
+  in
+  let base_read ~tid =
+    record ~tid (Dss_spec.Base Specs.Register.Read) (fun () ->
+        Dss_spec.Ret (Specs.Register.Value (R.read r ~tid)))
+  in
+  let resolved_response ~tid : _ Dss_spec.response =
+    match R.resolve r ~tid with
+    | R.Nothing -> Dss_spec.Status (None, None)
+    | R.Write_pending v ->
+        Dss_spec.Status (Some (Specs.Register.Write v), None)
+    | R.Write_done v ->
+        Dss_spec.Status (Some (Specs.Register.Write v), Some Specs.Register.Ok)
+    | R.Read_pending -> Dss_spec.Status (Some Specs.Register.Read, None)
+    | R.Read_done v ->
+        Dss_spec.Status
+          (Some Specs.Register.Read, Some (Specs.Register.Value v))
+  in
+  let threads, tids =
+    match prog with
+    | "write-write" ->
+        prep_write ~tid:0 5;
+        prep_write ~tid:1 7;
+        ( [ (fun () -> exec_write ~tid:0 5); (fun () -> exec_write ~tid:1 7) ],
+          [ 0; 1 ] )
+    | "write-read" ->
+        prep_write ~tid:0 5;
+        ([ (fun () -> exec_write ~tid:0 5); (fun () -> base_read ~tid:1) ], [ 0 ])
+    | p -> invalid_arg ("Scenarios.register_setup: unknown program " ^ p)
+  in
+  let resolve_retry ~tid =
+    record ~tid Dss_spec.Resolve (fun () -> resolved_response ~tid);
+    match R.resolve r ~tid with
+    | R.Write_pending _v -> exec_write ~tid _v
+    | R.Read_pending -> exec_read ~tid
+    | _ -> ()
+  in
+  let finish ~crashed =
+    (try
+       if crashed then begin
+         Recorder.crash rec_;
+         R.recover r;
+         List.iter (fun tid -> resolve_retry ~tid) tids
+       end;
+       base_read ~tid:2
+     with Mutants.Livelock ->
+       (* Observation cut short: mark the in-flight operation as crashed
+          so the truncated history is still checkable.  This only adds
+          linearization freedom, so a violation found here is genuine. *)
+       Recorder.crash rec_);
+    Oracle.assert_linearizable ~mode:params.mode spec (Recorder.history rec_)
+  in
+  { Explore.ctx = { finish }; heap; threads }
+
+(* ---------------------------------------------------------------------- *)
+(* Hash map: plain map linearizability; resolve drives retries only.       *)
+
+let hashmap_progs = [ "put-put"; "put-remove" ]
+
+let hashmap_setup ~(params : params) ~prog () =
+  let heap = Heap.create ~line_size:params.line_size () in
+  let (module M) = memory ~params heap in
+  let module H = Dssq_core.Dss_hashmap.Make (M) in
+  let h = H.create ~nthreads:3 ~nbuckets:8 () in
+  let rec_ = Recorder.create () in
+  let spec = Specs.Map.spec () in
+  let record ~tid op f = ignore (Recorder.record rec_ ~tid op f) in
+  let put ~tid k v =
+    record ~tid
+      (Specs.Map.Put (k, v))
+      (fun () ->
+        H.put h ~tid k v;
+        Specs.Map.Ok)
+  in
+  let remove ~tid k =
+    record ~tid (Specs.Map.Remove k) (fun () ->
+        H.remove h ~tid k;
+        Specs.Map.Ok)
+  in
+  let find ~tid k =
+    record ~tid (Specs.Map.Find k) (fun () ->
+        match H.find h k with
+        | Some v -> Specs.Map.Found v
+        | None -> Specs.Map.Absent)
+  in
+  put ~tid:2 2 9;
+  let threads, tids =
+    match prog with
+    | "put-put" ->
+        ([ (fun () -> put ~tid:0 1 5); (fun () -> put ~tid:1 1 7) ], [ 0; 1 ])
+    | "put-remove" ->
+        ([ (fun () -> put ~tid:0 1 5); (fun () -> remove ~tid:1 2) ], [ 0; 1 ])
+    | p -> invalid_arg ("Scenarios.hashmap_setup: unknown program " ^ p)
+  in
+  let resolve_retry ~tid =
+    match H.resolve h ~tid with
+    | H.Put_pending (k, v) -> put ~tid k v
+    | H.Remove_pending k -> remove ~tid k
+    | H.Nothing | H.Put_done _ | H.Remove_done _ -> ()
+  in
+  let finish ~crashed =
+    (try
+       if crashed then begin
+         Recorder.crash rec_;
+         H.recover h;
+         List.iter (fun tid -> resolve_retry ~tid) tids
+       end;
+       find ~tid:2 1;
+       find ~tid:2 2
+     with Mutants.Livelock ->
+       (* Observation cut short: mark the in-flight operation as crashed
+          so the truncated history is still checkable.  This only adds
+          linearization freedom, so a violation found here is genuine. *)
+       Recorder.crash rec_);
+    Oracle.assert_linearizable ~mode:params.mode spec (Recorder.history rec_)
+  in
+  { Explore.ctx = { finish }; heap; threads }
+
+(* ---------------------------------------------------------------------- *)
+(* Corpus assembly.                                                        *)
+
+let objects = [ "queue"; "stack"; "register"; "hashmap" ]
+
+let progs_of_obj = function
+  | "queue" -> queue_progs
+  | "stack" -> stack_progs
+  | "register" -> register_progs
+  | "hashmap" -> hashmap_progs
+  | o -> invalid_arg ("Scenarios.progs_of_obj: unknown object " ^ o)
+
+let build ~params ~obj ~prog =
+  let setup, nthreads =
+    match obj with
+    | "queue" ->
+        (queue_setup ~params ~prog, if prog = "enq-enq-deq" then 3 else 2)
+    | "stack" -> (stack_setup ~params ~prog, 2)
+    | "register" -> (register_setup ~params ~prog, 2)
+    | "hashmap" -> (hashmap_setup ~params ~prog, 2)
+    | o -> invalid_arg ("Scenarios.build: unknown object " ^ o)
+  in
+  case_of_setup ~params ~obj ~prog ~nthreads setup
+
+(** Assemble the corpus.  A [mutation] restricts the corpus to the queue
+    (the seeded mutants target queue cell names).  Three-thread programs
+    are kept crash-free: with a crash adversary their branching factor
+    would put a single case past the CI budget. *)
+let cases ?(objects = objects) ?(crash_modes = [ false; true ])
+    ?(line_sizes = [ 1; 8 ]) ?mutation ?(mode = Lincheck.Strict)
+    ?(max_preemptions = 1) ?(max_crash_lines = 4) ?(crash_samples = 6)
+    ?(seed = 0) ?(adversary = `Per_line) ?(limit = 2_000_000) () =
+  let objects =
+    match mutation with Some _ -> [ "queue" ] | None -> objects
+  in
+  List.concat_map
+    (fun obj ->
+      List.concat_map
+        (fun prog ->
+          List.concat_map
+            (fun crashes ->
+              if crashes && prog = "enq-enq-deq" then []
+              else
+                List.map
+                  (fun line_size ->
+                    let params =
+                      {
+                        crashes;
+                        line_size;
+                        mode;
+                        mutation;
+                        max_preemptions;
+                        max_crash_lines;
+                        crash_samples;
+                        seed;
+                        adversary;
+                        limit;
+                      }
+                    in
+                    build ~params ~obj ~prog)
+                  line_sizes)
+            crash_modes)
+        (progs_of_obj obj))
+    objects
+
+let find_case ~cases:cs name = List.find_opt (fun c -> c.name = name) cs

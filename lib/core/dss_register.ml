@@ -126,7 +126,17 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
 
   (* ------------------------- non-detectable ------------------------- *)
 
-  let read t ~tid:_ = value_of (M.read t.reg)
+  (* Persist what we are about to expose.  Without the flush, a reader
+     can return a value installed by a not-yet-persisted CAS; a crash
+     then drops the register line, the writer resolves as pending and
+     re-executes — and no linearization can place the completed read
+     (model-checker counterexample: explore
+     --case register/write-read/crash/ls1).  Flushing the observed line
+     before returning is durable linearizability's flush-on-read. *)
+  let read t ~tid:_ =
+    let w = M.read t.reg in
+    M.flush t.reg;
+    value_of w
 
   (* Even a non-detectable write must help the previous writer before
      destroying its evidence. *)
@@ -173,6 +183,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
 
   let exec_read t ~tid =
     let v = value_of (M.read t.reg) in
+    M.flush t.reg (* flush-on-read: see [read] *);
     let x = M.read t.x.(tid) in
     M.write t.x.(tid)
       (x_pack ~value:v ~seq:(x_seq x) ~tags:(x_read lor x_compl));

@@ -71,6 +71,10 @@ let calls (events : ('op, 'r) t) : ('op, 'r) call list =
 let crash_count h =
   List.fold_left (fun n ev -> match ev with Crash -> n + 1 | _ -> n) 0 h
 
+(* Invocation count — what counts against the checker's operation cap. *)
+let op_count h =
+  List.fold_left (fun n ev -> match ev with Inv _ -> n + 1 | _ -> n) 0 h
+
 let pp ~pp_op ~pp_response fmt (h : _ t) =
   List.iter
     (function

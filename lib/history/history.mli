@@ -31,6 +31,10 @@ val calls : ('op, 'r) t -> ('op, 'r) call list
 
 val crash_count : ('op, 'r) t -> int
 
+val op_count : ('op, 'r) t -> int
+(** Number of invocations — what counts against the linearizability
+    checker's operation cap. *)
+
 val pp :
   pp_op:(Format.formatter -> 'op -> unit) ->
   pp_response:(Format.formatter -> 'r -> unit) ->

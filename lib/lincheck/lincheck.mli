@@ -30,7 +30,13 @@ type ('op, 'r) verdict =
           Perfetto.  Empty when tracing was off. *)
 
 exception Too_many_operations of int
-(** The search is exponential; histories are capped at 62 operations. *)
+(** The search is exponential; histories are capped at {!max_operations}
+    operations. *)
+
+val max_operations : int
+(** 62: the taken-set is a bit mask in one tagged OCaml [int].  A
+    history of exactly this many operations checks; one more raises
+    {!Too_many_operations}. *)
 
 val check :
   ?mode:mode -> ('s, 'op, 'r) Spec.t -> ('op, 'r) History.t -> ('op, 'r) verdict

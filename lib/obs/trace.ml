@@ -150,6 +150,23 @@ let entries t =
 let recorded t = t.seq
 let dropped t = fold_rings t (fun acc r -> acc + r.ring_dropped) 0
 
+(** Run [f] under a fresh tracer and return its result together with the
+    merged entries recorded during the call.  The tracer is detached
+    afterwards (also on raise; the exception propagates). *)
+let capture ?capacity f =
+  let t = start ?capacity () in
+  let finally () =
+    match !active_tracer with Some t' when t' == t -> stop () | _ -> ()
+  in
+  match f () with
+  | v ->
+      let es = entries t in
+      finally ();
+      (v, es)
+  | exception e ->
+      finally ();
+      raise e
+
 (* ------------------------------ rendering ----------------------------- *)
 
 let mem_op_name : mem_op -> string = function

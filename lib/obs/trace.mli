@@ -77,6 +77,12 @@ val entries : t -> entry list
 (** All retained entries, merged across threads in emission ([seq])
     order. *)
 
+val capture : ?capacity:int -> (unit -> 'a) -> 'a * entry list
+(** Run the thunk under a fresh tracer (installed with {!start}) and
+    return its result with the merged entries recorded during the call;
+    the tracer is detached afterwards.  On raise the tracer is detached
+    and the exception propagates. *)
+
 val recorded : t -> int
 (** Total events emitted (including dropped ones). *)
 

@@ -158,31 +158,27 @@ let dirty_count t =
     (fun acc (Cell.Packed c) -> if c.dirty then acc + 1 else acc)
     0 t.cells
 
-(** Crash the machine.  For every dirty {e line}, [evict] decides whether
-    the line was written back by cache eviction before power was lost
-    ([true]) or discarded ([false]) — the verdict applies to all the
-    line's dirty words as a unit, exactly as a real cache evicts whole
-    lines.  One [evict] draw per dirty line, drawn in the order lines
-    are first encountered walking [t.cells] (most recent first); at line
-    size 1 this degenerates to the original independent-per-cell draw
-    sequence, keeping seeded crashes reproducible across the refactor.
-    Afterwards volatile state equals persisted state everywhere, which
-    is what recovery code and restarted threads observe. *)
-let crash t ~evict =
+(** Ids of every line holding at least one dirty cell, ascending.  This
+    is exactly the set over which a crash draws eviction verdicts — the
+    model checker enumerates its subsets. *)
+let dirty_lines t =
+  List.filter_map
+    (fun (Cell.Packed c) -> if c.dirty then Some c.line.Line.id else None)
+    t.cells
+  |> List.sort_uniq compare
+
+(* Shared crash core: [verdict lid] decides, per dirty line, whether the
+   line was written back by cache eviction before power was lost ([true])
+   or discarded ([false]) — the verdict applies to all the line's dirty
+   words as a unit, exactly as a real cache evicts whole lines.
+   Afterwards volatile state equals persisted state everywhere, which is
+   what recovery code and restarted threads observe. *)
+let crash_by_line t ~verdict =
   let verdicts = ref [] in
-  let line_verdict : (int, bool) Hashtbl.t = Hashtbl.create 16 in
   List.iter
     (fun (Cell.Packed c) ->
       if c.dirty then begin
-        let evicted =
-          let lid = c.line.Line.id in
-          match Hashtbl.find_opt line_verdict lid with
-          | Some v -> v
-          | None ->
-              let v = evict () in
-              Hashtbl.add line_verdict lid v;
-              v
-        in
+        let evicted = verdict c.line.Line.id in
         if evicted then c.persisted <- c.volatile else c.volatile <- c.persisted;
         c.dirty <- false;
         if Trace.is_on () then verdicts := (c.id, c.name, evicted) :: !verdicts
@@ -190,6 +186,26 @@ let crash t ~evict =
     t.cells;
   Hashtbl.iter (fun _ l -> Atomic.set l.Line.dirty false) t.lines;
   if Trace.is_on () then Trace.crash ~verdicts:(List.rev !verdicts)
+
+(** Crash with one [evict] draw per dirty line, drawn in the order lines
+    are first encountered walking [t.cells] (most recent first); at line
+    size 1 this degenerates to the original independent-per-cell draw
+    sequence, keeping seeded crashes reproducible across refactors. *)
+let crash t ~evict =
+  let memo : (int, bool) Hashtbl.t = Hashtbl.create 16 in
+  crash_by_line t ~verdict:(fun lid ->
+      match Hashtbl.find_opt memo lid with
+      | Some v -> v
+      | None ->
+          let v = evict () in
+          Hashtbl.add memo lid v;
+          v)
+
+(** Crash under an explicit per-line adversary: [evict lid] is the
+    verdict for line [lid] (queried once per dirty cell, so it must be a
+    pure function of the line id).  This is the entry point the model
+    checker uses to enumerate eviction subsets over {!dirty_lines}. *)
+let crash_lines t ~evict = crash_by_line t ~verdict:evict
 
 (** Convenience: crash where each dirty line independently persists with
     probability [evict_p], driven by [rng]. *)

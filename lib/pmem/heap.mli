@@ -77,7 +77,18 @@ val crash_random : t -> evict_p:float -> rng:Random.State.t -> unit
 (** {!crash} where each dirty line independently persists with
     probability [evict_p]. *)
 
+val crash_lines : t -> evict:(int -> bool) -> unit
+(** {!crash} under an explicit per-line adversary: [evict lid] is the
+    verdict for line [lid] (must be a pure function of the line id).
+    The model checker enumerates eviction subsets of {!dirty_lines}
+    through this entry point. *)
+
 val dirty_count : t -> int
+
+val dirty_lines : t -> int list
+(** Ids of every line holding at least one dirty cell, ascending — the
+    set over which a crash draws verdicts. *)
+
 val stats : t -> stats
 
 val counters : t -> Dssq_memory.Memory_intf.counters

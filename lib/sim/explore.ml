@@ -1,23 +1,69 @@
-(** Bounded-exhaustive schedule exploration.
+(** Crash-consistency model checker over the stepping machine.
 
-    Enumerates {e every} interleaving of a small scenario (and optionally
-    every crash point with both "nothing evicted" and "everything evicted"
-    cache outcomes), replaying the scenario from scratch along each branch
-    — continuations are one-shot, so replay is how we fork.  Exponential,
-    so meant for scenarios with 2–3 threads and a dozen or two memory
-    steps; within that scope it is a small model checker for the
-    algorithms in this repository.
+    Enumerates interleavings of a small scenario, optionally injecting a
+    crash at every reachable step boundary with a {e per-line} eviction
+    adversary: at a crash point, every subset of the currently dirty
+    persist lines may survive to persistence (be evicted by the cache)
+    while the rest is lost.  Executions replay the scenario from scratch
+    along each branch — continuations are one-shot, so replay is how we
+    fork.
 
-    [setup] must build a fresh, fully independent scenario each time it is
-    called: a fresh heap, fresh memory module, fresh object, fresh thread
-    closures.  [check] is called at the end of every complete execution
-    and should raise (e.g. [Alcotest.fail]) on a violated property. *)
+    Two complementary bounding techniques keep the search tractable:
+
+    - {b Sleep-set reduction} (a simple stateless DPOR): after exploring
+      thread [t]'s step from a node, later sibling branches carry [t] in
+      their sleep set until a step {e dependent} on [t]'s is taken, and a
+      branch whose chosen thread is asleep is pruned.  Independence is
+      keyed on the memory identity the trace layer already stamps on
+      every event: reads commute with reads, writes/CASes conflict on
+      the same cell, flushes conflict with writes/CASes/flushes on the
+      same persist line, and fences/yields commute with everything.  A
+      fresh thread's first step runs arbitrary closure code and is
+      treated as conflicting with everything.
+
+    - {b Iterative deepening on the CHESS preemption bound}: round [k]
+      checks exactly the executions with [k] preemptions, so shallow
+      schedules (where most concurrency bugs live) are judged before
+      deep ones and no execution is checked twice across rounds.
+
+    [setup] must build a fresh, fully independent scenario each time it
+    is called: a fresh heap, fresh memory module, fresh object, fresh
+    thread closures.  [check] is called at the end of every complete
+    execution; a raise is converted into {!Violation} carrying the
+    replayable schedule of decisions that produced it. *)
 
 open Dssq_pmem
+module Trace = Dssq_obs.Trace
 
 exception Too_many_executions of int
 
-type decision = Sched of int | Crash of [ `Evict_none | `Evict_all ]
+type verdict = { line : int; evicted : bool }
+(** Crash fate of one dirty persist line: [evicted = true] means the
+    cache wrote the line back before power was lost (its writes
+    survive), [false] means the line was dropped. *)
+
+type decision = Sched of int | Crash of verdict list
+(** One branch choice: step thread [tid], or crash with the given
+    per-dirty-line verdicts.  A complete list of decisions identifies an
+    execution exactly and is the replayable counterexample currency. *)
+
+type schedule = decision list
+
+exception Violation of { schedule : schedule; exn : exn }
+(** [check] raised [exn] at the end of the execution produced by
+    [schedule].  Replay the schedule (e.g. [dssq explore --replay]) to
+    reproduce it deterministically, per-line crash verdicts included. *)
+
+type adversary = [ `Per_line | `All_or_nothing ]
+(** Crash adversary: [`Per_line] enumerates subsets of the dirty lines
+    (the real failure mode); [`All_or_nothing] keeps the legacy
+    "evict everything"/"evict nothing" pair, useful for comparisons. *)
+
+type stats = {
+  executions : int;  (** complete executions checked *)
+  pruned : int;  (** branches cut by sleep-set reduction *)
+  crash_branches : int;  (** crash executions among [executions] *)
+}
 
 type 'ctx scenario = {
   ctx : 'ctx;
@@ -29,6 +75,13 @@ type 'ctx t = {
   setup : unit -> 'ctx scenario;
   check : 'ctx -> Heap.t -> crashed:bool -> unit;
   crashes : bool;
+  adversary : adversary;
+  max_crash_lines : int;
+      (* enumerate all 2^k eviction subsets while the dirty-line count k
+         stays at or under this; above it, fall back to sampling *)
+  crash_samples : int;
+  seed : int;
+  reduction : bool;
   max_steps : int;
   limit : int;
   max_preemptions : int option;
@@ -36,16 +89,93 @@ type 'ctx t = {
          still runnable counts as a preemption; most concurrency bugs
          manifest within 2-3 preemptions, and the bound turns an
          exponential schedule space into a polynomial one. *)
+  mutable rng : Random.State.t;
   mutable executions : int;
+  mutable pruned : int;
+  mutable crash_branches : int;
 }
 
-let make ?(crashes = false) ?(max_steps = 10_000) ?(limit = 2_000_000)
-    ?max_preemptions ~setup ~check () =
-  { setup; check; crashes; max_steps; limit; max_preemptions; executions = 0 }
+let make ?(crashes = false) ?(adversary = `Per_line) ?(max_crash_lines = 4)
+    ?(crash_samples = 6) ?(seed = 0) ?(reduction = true) ?(max_steps = 10_000)
+    ?(limit = 2_000_000) ?max_preemptions ~setup ~check () =
+  {
+    setup;
+    check;
+    crashes;
+    adversary;
+    max_crash_lines;
+    crash_samples;
+    seed;
+    reduction;
+    max_steps;
+    limit;
+    max_preemptions;
+    rng = Random.State.make [| seed; 0xD55 |];
+    executions = 0;
+    pruned = 0;
+    crash_branches = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Schedule tokens.                                                    *)
+
+let verdicts_to_string vs =
+  String.concat ","
+    (List.map
+       (fun { line; evicted } ->
+         Printf.sprintf "%d%c" line (if evicted then 'e' else 'd'))
+       vs)
+
+let schedule_to_string sched =
+  String.concat "."
+    (List.map
+       (function
+         | Sched tid -> Printf.sprintf "t%d" tid
+         | Crash vs -> "c" ^ verdicts_to_string vs)
+       sched)
+
+let schedule_of_string s =
+  let fail tok =
+    invalid_arg (Printf.sprintf "Explore.schedule_of_string: bad token %S" tok)
+  in
+  let verdict tok part =
+    let n = String.length part in
+    if n < 2 then fail tok;
+    let line =
+      match int_of_string_opt (String.sub part 0 (n - 1)) with
+      | Some l -> l
+      | None -> fail tok
+    in
+    match part.[n - 1] with
+    | 'e' -> { line; evicted = true }
+    | 'd' -> { line; evicted = false }
+    | _ -> fail tok
+  in
+  String.split_on_char '.' s
+  |> List.filter (fun tok -> tok <> "")
+  |> List.map (fun tok ->
+         if String.length tok < 1 then fail tok
+         else
+           match tok.[0] with
+           | 't' -> (
+               match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+               | Some tid when tid >= 0 -> Sched tid
+               | _ -> fail tok)
+           | 'c' ->
+               let rest = String.sub tok 1 (String.length tok - 1) in
+               if rest = "" then Crash []
+               else
+                 Crash
+                   (String.split_on_char ',' rest |> List.map (verdict tok))
+           | _ -> fail tok)
+
+(* ------------------------------------------------------------------ *)
+(* Replay.                                                             *)
 
 (* Replay [prefix] on a fresh scenario.  Returns the machine positioned
    after the prefix, unless the prefix ends in a crash, in which case the
-   crash is applied and [`Crashed] is returned. *)
+   crash is applied and [`Crashed] is returned.  When a tracer is active
+   (see [explain]) each step is attributed to its thread. *)
 let replay t prefix =
   let scenario = t.setup () in
   let machine = Machine.create scenario.heap scenario.threads in
@@ -55,60 +185,204 @@ let replay t prefix =
       List.iter
         (fun d ->
           match d with
-          | Sched tid -> ignore (Machine.step machine tid : Machine.step_info)
-          | Crash evict ->
+          | Sched tid ->
+              if Trace.is_on () then Trace.set_tid tid;
+              ignore (Machine.step machine tid : Machine.step_info)
+          | Crash vs ->
+              if Trace.is_on () then Trace.set_tid (-1);
               Machine.kill_all machine;
               scenario.heap.Heap.in_sim <- false;
-              Heap.crash scenario.heap ~evict:(fun () -> evict = `Evict_all);
+              let tbl = Hashtbl.create 8 in
+              List.iter (fun { line; evicted } -> Hashtbl.replace tbl line evicted) vs;
+              Heap.crash_lines scenario.heap ~evict:(fun lid ->
+                  match Hashtbl.find_opt tbl lid with
+                  | Some v -> v
+                  | None -> false (* line dirtied after the verdicts were drawn: lost *));
               raise Exit)
         prefix;
       `Running
     with Exit -> `Crashed
   in
   scenario.heap.Heap.in_sim <- false;
+  if Trace.is_on () then Trace.set_tid (-1);
   (scenario, machine, outcome)
 
-let finish t scenario ~crashed =
+let finish t schedule scenario ~crashed =
   t.executions <- t.executions + 1;
   if t.executions > t.limit then raise (Too_many_executions t.executions);
-  t.check scenario.ctx scenario.heap ~crashed
+  try t.check scenario.ctx scenario.heap ~crashed with
+  | Too_many_executions _ as e -> raise e
+  | e -> raise (Violation { schedule; exn = e })
 
-let rec dfs t prefix depth ~last ~preemptions =
+(* ------------------------------------------------------------------ *)
+(* Independence relation, keyed on memory identity.                    *)
+
+let independent (a : Machine.access) (b : Machine.access) =
+  match (a, b) with
+  | Machine.Pure, _ | _, Machine.Pure -> true
+  | Machine.Start, _ | _, Machine.Start -> false
+  | Machine.Mem x, Machine.Mem y -> (
+      match (x.kind, y.kind) with
+      | (Sim_op.Fence | Sim_op.Yield), _ | _, (Sim_op.Fence | Sim_op.Yield) ->
+          true
+      | Sim_op.Read, Sim_op.Read -> true
+      | Sim_op.Read, Sim_op.Flush | Sim_op.Flush, Sim_op.Read ->
+          (* a flush never changes volatile state and a read never
+             changes dirtiness, so they commute even on the same line *)
+          true
+      | Sim_op.Flush, _ | _, Sim_op.Flush ->
+          (* flush vs write/cas/flush: both touch the line's dirtiness
+             and persisted words *)
+          x.line <> y.line
+      | ( (Sim_op.Read | Sim_op.Write | Sim_op.Cas),
+          (Sim_op.Read | Sim_op.Write | Sim_op.Cas) ) ->
+          x.cell <> y.cell)
+
+(* ------------------------------------------------------------------ *)
+(* Crash adversary: eviction-verdict choices over the dirty lines.     *)
+
+let crash_choices t dirty =
+  let uniform evicted = List.map (fun line -> { line; evicted }) dirty in
+  match t.adversary with
+  | `All_or_nothing ->
+      if dirty = [] then [ [] ] else [ uniform false; uniform true ]
+  | `Per_line ->
+      let k = List.length dirty in
+      if k <= t.max_crash_lines then
+        List.init (1 lsl k) (fun mask ->
+            List.mapi
+              (fun i line -> { line; evicted = mask land (1 lsl i) <> 0 })
+              dirty)
+      else
+        (* Too many dirty lines to enumerate 2^k subsets: keep the two
+           extremes (sound for whole-state loss/survival) plus seeded
+           random subsets.  This fallback samples — it can miss a
+           verdict combination, which is the checker's one source of
+           incompleteness above the cap (documented in DESIGN.md). *)
+        let samples =
+          List.init t.crash_samples (fun _ ->
+              List.map
+                (fun line -> { line; evicted = Random.State.bool t.rng })
+                dirty)
+        in
+        List.sort_uniq compare ((uniform false :: uniform true :: samples))
+
+(* ------------------------------------------------------------------ *)
+(* Search.                                                             *)
+
+(* [round = Some k]: iterative-deepening round that checks exactly the
+   executions with [k] preemptions (so no execution is checked twice
+   across rounds); [None]: unbounded, check everything. *)
+let round_matches round preemptions =
+  match round with None -> true | Some k -> preemptions = k
+
+let rec dfs t prefix depth ~sleep ~last ~preemptions ~round =
   let scenario, machine, state = replay t prefix in
-  match state with
-  | `Crashed -> finish t scenario ~crashed:true
-  | `Running -> (
-      if depth > t.max_steps then
-        failwith "Explore: max_steps exceeded (livelock under exploration?)";
-      match Machine.runnable machine with
-      | [] ->
-          scenario.heap.Heap.in_sim <- false;
-          finish t scenario ~crashed:false
-      | runnable ->
-          List.iter
-            (fun tid ->
-              let preempts =
-                last >= 0 && tid <> last && List.mem last runnable
+  assert (state = `Running);
+  if depth > t.max_steps then
+    failwith "Explore: max_steps exceeded (livelock under exploration?)";
+  (* Crash branches: at every reachable step boundary, try each
+     per-line eviction choice over the lines dirty right now. *)
+  if t.crashes && round_matches round preemptions then
+    List.iter
+      (fun vs ->
+        let schedule = prefix @ [ Crash vs ] in
+        let crashed_scenario, _, outcome = replay t schedule in
+        assert (outcome = `Crashed);
+        t.crash_branches <- t.crash_branches + 1;
+        finish t schedule crashed_scenario ~crashed:true)
+      (crash_choices t (Heap.dirty_lines scenario.heap));
+  match Machine.runnable machine with
+  | [] ->
+      if round_matches round preemptions then
+        finish t prefix scenario ~crashed:false
+  | runnable ->
+      (* Sleep-set reduction: [sleep] holds (tid, access) pairs whose
+         step is covered by an already-explored sibling branch; entries
+         survive into a child only while independent of the step taken.
+         After exploring a thread's branch, that thread joins the sleep
+         set of its later siblings. *)
+      let sleep = ref sleep in
+      List.iter
+        (fun tid ->
+          if t.reduction && List.mem_assoc tid !sleep then
+            t.pruned <- t.pruned + 1
+          else
+            let preempts = last >= 0 && tid <> last && List.mem last runnable in
+            let allowed =
+              match round with
+              | Some bound when preempts -> preemptions < bound
+              | _ -> true
+            in
+            if allowed then begin
+              let access =
+                match Machine.pending_access machine tid with
+                | Some a -> a
+                | None -> assert false (* runnable => pending access *)
               in
-              let allowed =
-                match t.max_preemptions with
-                | Some bound when preempts -> preemptions < bound
-                | _ -> true
+              let child_sleep =
+                List.filter (fun (_, a) -> independent a access) !sleep
               in
-              if allowed then
-                dfs t
-                  (prefix @ [ Sched tid ])
-                  (depth + 1) ~last:tid
-                  ~preemptions:(if preempts then preemptions + 1 else preemptions))
-            runnable;
-          if t.crashes then begin
-            dfs t (prefix @ [ Crash `Evict_none ]) (depth + 1) ~last ~preemptions;
-            dfs t (prefix @ [ Crash `Evict_all ]) (depth + 1) ~last ~preemptions
-          end)
+              dfs t
+                (prefix @ [ Sched tid ])
+                (depth + 1) ~sleep:child_sleep ~last:tid
+                ~preemptions:(if preempts then preemptions + 1 else preemptions)
+                ~round;
+              sleep := (tid, access) :: !sleep
+            end
+            (* A branch skipped by the preemption bound was not explored,
+               so it must NOT join the sleep set. *))
+        runnable
 
-(** Run the exploration; returns the number of complete executions
-    checked. *)
 let run t =
   t.executions <- 0;
-  dfs t [] 0 ~last:(-1) ~preemptions:0;
-  t.executions
+  t.pruned <- 0;
+  t.crash_branches <- 0;
+  t.rng <- Random.State.make [| t.seed; 0xD55 |];
+  (match t.max_preemptions with
+  | None -> dfs t [] 0 ~sleep:[] ~last:(-1) ~preemptions:0 ~round:None
+  | Some bound ->
+      for k = 0 to bound do
+        dfs t [] 0 ~sleep:[] ~last:(-1) ~preemptions:0 ~round:(Some k)
+      done);
+  { executions = t.executions; pruned = t.pruned; crash_branches = t.crash_branches }
+
+(* ------------------------------------------------------------------ *)
+(* Replay of recorded schedules.                                       *)
+
+let replay_schedule t schedule =
+  let scenario, machine, outcome = replay t schedule in
+  let check ~crashed =
+    try t.check scenario.ctx scenario.heap ~crashed
+    with e -> raise (Violation { schedule; exn = e })
+  in
+  match outcome with
+  | `Crashed ->
+      check ~crashed:true;
+      `Crashed
+  | `Running ->
+      if Machine.runnable machine <> [] then
+        invalid_arg "Explore.replay_schedule: schedule is incomplete";
+      check ~crashed:false;
+      `Completed
+
+type outcome = Passed of [ `Completed | `Crashed ] | Failed of exn
+
+let explain t schedule =
+  let result = ref (Passed `Completed) in
+  let (), entries =
+    Trace.capture (fun () ->
+        match replay_schedule t schedule with
+        | v -> result := Passed v
+        | exception (Violation _ as e) -> result := Failed e)
+  in
+  (!result, entries)
+
+let () =
+  Printexc.register_printer (function
+    | Violation { schedule; exn } ->
+        Some
+          (Printf.sprintf "Explore.Violation(schedule=%s): %s"
+             (schedule_to_string schedule)
+             (Printexc.to_string exn))
+    | _ -> None)

@@ -1,11 +1,41 @@
-(** Bounded-exhaustive schedule exploration: every interleaving of a
-    small scenario (optionally bounded to a few CHESS-style preemptions),
-    and optionally every crash point with both "nothing evicted" and
-    "everything evicted" cache outcomes.  Replays the scenario from
-    scratch along each branch, so [setup] must build a fresh, independent
-    scenario each call. *)
+(** Crash-consistency model checker: bounded-exhaustive interleaving
+    search with sleep-set (simple DPOR) reduction, CHESS-style iterative
+    deepening on the preemption bound, and a per-line crash adversary
+    that enumerates eviction subsets of the dirty persist lines at every
+    reachable crash point.  Failing executions are reported as
+    {!Violation} carrying a replayable {!schedule}.
+
+    Replays the scenario from scratch along each branch, so [setup] must
+    build a fresh, independent scenario each call. *)
 
 exception Too_many_executions of int
+
+type verdict = { line : int; evicted : bool }
+(** Crash fate of one dirty persist line: [evicted = true] = the cache
+    wrote the line back before power loss (survives), [false] = lost. *)
+
+type decision = Sched of int | Crash of verdict list
+(** One branch choice: step thread [tid], or crash with the given
+    per-dirty-line verdicts. *)
+
+type schedule = decision list
+(** A complete list of decisions identifies an execution exactly. *)
+
+exception Violation of { schedule : schedule; exn : exn }
+(** The [check] raised [exn] at the end of the execution produced by
+    [schedule]; replaying the schedule reproduces it deterministically,
+    per-line eviction verdicts included. *)
+
+type adversary = [ `Per_line | `All_or_nothing ]
+(** [`Per_line] enumerates subsets of the dirty lines at each crash
+    point (sampling above the subset cap); [`All_or_nothing] is the
+    legacy evict-everything / evict-nothing pair. *)
+
+type stats = {
+  executions : int;  (** complete executions checked *)
+  pruned : int;  (** branches cut by sleep-set reduction *)
+  crash_branches : int;  (** crash executions among [executions] *)
+}
 
 type 'ctx scenario = {
   ctx : 'ctx;
@@ -17,6 +47,11 @@ type 'ctx t
 
 val make :
   ?crashes:bool ->
+  ?adversary:adversary ->
+  ?max_crash_lines:int ->
+  ?crash_samples:int ->
+  ?seed:int ->
+  ?reduction:bool ->
   ?max_steps:int ->
   ?limit:int ->
   ?max_preemptions:int ->
@@ -24,11 +59,37 @@ val make :
   check:('ctx -> Dssq_pmem.Heap.t -> crashed:bool -> unit) ->
   unit ->
   'ctx t
-(** [check] runs at the end of every complete execution and should raise
-    on a violated property.  [max_preemptions] bounds context switches
-    away from still-runnable threads (most concurrency bugs manifest
-    within 2-3), turning the exponential schedule space polynomial.
+(** [check] runs at the end of every complete execution; a raise becomes
+    a {!Violation}.  [max_preemptions] bounds context switches away from
+    still-runnable threads and is searched by iterative deepening (round
+    [k] checks exactly the [k]-preemption executions).  [reduction]
+    (default true) enables sleep-set pruning keyed on cell/line identity.
+    [max_crash_lines] (default 4) caps exhaustive eviction-subset
+    enumeration at a crash point; above it, the two uniform verdicts
+    plus [crash_samples] seeded random subsets are tried instead.
     [limit] caps total executions (default 2e6; exceeding raises). *)
 
-val run : 'ctx t -> int
-(** Run the exploration; returns the number of executions checked. *)
+val run : 'ctx t -> stats
+(** Run the exploration.  Raises {!Violation} on the first failing
+    execution, {!Too_many_executions} past [limit]. *)
+
+val replay_schedule : 'ctx t -> schedule -> [ `Completed | `Crashed ]
+(** Re-execute one recorded schedule on a fresh scenario and run the
+    check.  Raises {!Violation} if the check fails, [Invalid_argument]
+    if the schedule leaves runnable threads behind. *)
+
+type outcome = Passed of [ `Completed | `Crashed ] | Failed of exn
+(** [Failed] carries the {!Violation}. *)
+
+val explain : 'ctx t -> schedule -> outcome * Dssq_obs.Trace.entry list
+(** {!replay_schedule} under a fresh tracer: returns the outcome
+    (violations are caught, not raised) together with the merged trace
+    timeline of the replayed execution. *)
+
+val schedule_to_string : schedule -> string
+(** Compact replay token, e.g. ["t0.t0.t1.c3e,5d"] — thread steps plus a
+    final crash with per-line verdicts ([e]victed / [d]ropped). *)
+
+val schedule_of_string : string -> schedule
+(** Inverse of {!schedule_to_string}.
+    @raise Invalid_argument on a malformed token. *)

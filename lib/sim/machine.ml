@@ -119,6 +119,25 @@ let pending_target t tid =
   | Waiting (Paused (op, _)) -> Sim_op.target op
   | Fresh _ | Completed _ | Waiting (Done _) -> None
 
+(** Identity of the thread's next step, for the explorer's independence
+    relation.  [Start] is a [Fresh] thread's first step — it runs
+    arbitrary closure code up to the first memory event, so the explorer
+    must treat it as conflicting with everything.  [Pure] steps
+    (fence/yield) touch no shared memory and commute with everything. *)
+type access =
+  | Start
+  | Pure
+  | Mem of { kind : Sim_op.kind; cell : int; line : int }
+
+let pending_access t tid =
+  match t.threads.(tid) with
+  | Fresh _ -> Some Start
+  | Waiting (Paused (op, _)) -> (
+      match (Sim_op.cell_id op, Sim_op.target op) with
+      | Some cell, Some line -> Some (Mem { kind = Sim_op.kind op; cell; line })
+      | _ -> Some Pure)
+  | Completed _ | Waiting (Done _) -> None
+
 (** Kill every unfinished thread, as a system-wide crash does.  Threads
     are discontinued with {!Killed} so their stacks unwind and any
     resources are released; the resulting exception is discarded. *)

@@ -45,6 +45,18 @@ val pending_kind : t -> int -> Sim_op.kind option
 val pending_target : t -> int -> int option
 (** Persist line the thread's next event targets, if any. *)
 
+(** Identity of a thread's next step, for the explorer's independence
+    relation: [Start] (a fresh thread's first step — arbitrary closure
+    code, conflicts with everything), [Pure] (fence/yield — commutes
+    with everything), or a memory access with its cell and line. *)
+type access =
+  | Start
+  | Pure
+  | Mem of { kind : Sim_op.kind; cell : int; line : int }
+
+val pending_access : t -> int -> access option
+(** [None] once the thread has completed. *)
+
 val kill_all : t -> unit
 (** Kill every unfinished thread, as a system-wide crash does. *)
 

@@ -48,6 +48,18 @@ let target : type a. a t -> int option = function
   | Fence -> None
   | Yield -> None
 
+(** Id of the {e cell} an operation targets — finer than {!target}
+    (its line): two writes to distinct cells of one line commute, while
+    a flush conflicts with anything on its line.  The explorer's
+    independence relation is keyed on both. *)
+let cell_id : type a. a t -> int option = function
+  | Read c -> Some c.Cell.id
+  | Write (c, _) -> Some c.Cell.id
+  | Cas (c, _, _) -> Some c.Cell.id
+  | Flush c -> Some c.Cell.id
+  | Fence -> None
+  | Yield -> None
+
 (** For a [Flush], whether it would actually write back (line dirty, or
     legacy line size 1).  Asked {e before} the event applies — cost
     models use it to charge elided flushes nothing. *)

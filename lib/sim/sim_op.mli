@@ -23,6 +23,10 @@ val target : 'a t -> int option
 (** Id of the persist line the event touches, if any — the unit of
     cache-line contention and write-back. *)
 
+val cell_id : 'a t -> int option
+(** Id of the cell the event touches, if any — the unit at which plain
+    reads/writes conflict (finer than {!target}). *)
+
 val flush_pending : 'a t -> bool option
 (** For a [Flush], whether it would actually write back ([Some false] =
     the flush will be elided); [None] for other events.  Must be asked

@@ -119,3 +119,37 @@ module Stack = struct
         | Pop, x :: rest -> Some (rest, Value x))
       ~pp_op ~pp_response ()
 end
+
+(** Unordered int -> int map, the sequential specification of the
+    recoverable hash map.  [Put]/[Remove] return [Ok], matching
+    [Dssq_core.Dss_hashmap]'s unit-valued mutators; only [Find] is
+    value-returning. *)
+module Map = struct
+  type op = Put of int * int | Remove of int | Find of int
+  type response = Ok | Found of int | Absent
+
+  let pp_op fmt = function
+    | Put (k, v) -> Format.fprintf fmt "put(%d,%d)" k v
+    | Remove k -> Format.fprintf fmt "remove(%d)" k
+    | Find k -> Format.fprintf fmt "find(%d)" k
+
+  let pp_response fmt = function
+    | Ok -> Format.pp_print_string fmt "OK"
+    | Found v -> Format.fprintf fmt "%d" v
+    | Absent -> Format.pp_print_string fmt "ABSENT"
+
+  (* State: association list sorted by key, so structurally equal states
+     are semantically equal (the checker memoizes on state equality). *)
+  let spec () =
+    Spec.make ~name:"map" ~init:[]
+      ~apply:(fun s ~tid:_ op ->
+        match op with
+        | Put (k, v) ->
+            Some (List.sort compare ((k, v) :: List.remove_assoc k s), Ok)
+        | Remove k -> Some (List.remove_assoc k s, Ok)
+        | Find k -> (
+            match List.assoc_opt k s with
+            | Some v -> Some (s, Found v)
+            | None -> Some (s, Absent)))
+      ~pp_op ~pp_response ()
+end

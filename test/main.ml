@@ -24,6 +24,8 @@ let () =
       ("nrl", Test_nrl.suite);
       ("msgpass", Test_msgpass.suite);
       ("litmus", Test_litmus.suite);
+      ("explore", Test_explore.suite);
+      ("mutants", Test_mutants.suite);
       ("rme", Test_rme.suite);
       ("coverage", Test_coverage.suite);
       ("obs", Test_obs.suite);

@@ -366,8 +366,8 @@ let test_no_pool_exhaustion_across_crashes () =
 
 let test_explore_enqueue_crashes () =
   let executions =
-    Explore.run
-      (Explore.make ~crashes:true
+    (Explore.run
+       (Explore.make ~crashes:true
          ~setup:(fun () ->
            let q = dq ~nthreads:1 ~capacity:16 () in
            q.prep_enqueue ~tid:0 5;
@@ -394,10 +394,11 @@ let test_explore_enqueue_crashes () =
            end
            else begin
              Alcotest.check resolved "completed" (Queue_intf.Enq_done 5)
-               (q.resolve ~tid:0);
-             Alcotest.check int_list "in queue" [ 5 ] (q.to_list ())
-           end)
-         ())
+                (q.resolve ~tid:0);
+              Alcotest.check int_list "in queue" [ 5 ] (q.to_list ())
+            end)
+          ()))
+      .Explore.executions
   in
   Alcotest.(check bool) "explored crash points" true (executions > 10)
 

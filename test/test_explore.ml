@@ -1,0 +1,305 @@
+(** The model checker checking itself: schedule-token round-trips,
+    deterministic replay (per-line eviction verdicts included),
+    sleep-set reduction soundness (same verdict as the naive search,
+    strictly fewer executions on independent threads), iterative
+    deepening boundaries, and per-line crash-adversary coverage. *)
+
+open Helpers
+
+let with_mem () =
+  let heap = Heap.create () in
+  let (module M) = Sim.memory heap in
+  (heap, (module M : Dssq_memory.Memory_intf.S))
+
+(* ------------------------- token round-trip ------------------------- *)
+
+let decision_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun t -> Explore.Sched t) (int_range 0 7);
+        map
+          (fun vs ->
+            Explore.Crash
+              (List.map
+                 (fun (line, evicted) -> { Explore.line; evicted })
+                 vs))
+          (list_size (int_range 0 5) (pair (int_range 0 40) bool));
+      ])
+
+let schedule_arb =
+  QCheck.make
+    ~print:(fun s -> Explore.schedule_to_string s)
+    QCheck.Gen.(list_size (int_range 0 12) decision_gen)
+
+let prop_token_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"schedule token round-trips" schedule_arb
+    (fun s ->
+      Explore.schedule_of_string (Explore.schedule_to_string s) = s)
+
+let test_token_examples () =
+  let s =
+    [
+      Explore.Sched 0;
+      Explore.Sched 1;
+      Explore.Crash
+        [
+          { Explore.line = 3; evicted = true };
+          { Explore.line = 5; evicted = false };
+        ];
+    ]
+  in
+  Alcotest.(check string) "rendering" "t0.t1.c3e,5d" (Explore.schedule_to_string s);
+  Alcotest.(check bool)
+    "parses back" true
+    (Explore.schedule_of_string "t0.t1.c3e,5d" = s);
+  (* A crash with no dirty lines renders as a bare "c". *)
+  Alcotest.(check string) "empty crash" "t0.c"
+    (Explore.schedule_to_string [ Explore.Sched 0; Explore.Crash [] ]);
+  Alcotest.check_raises "malformed token rejected"
+    (Invalid_argument "Explore.schedule_of_string: bad token \"x9\"")
+    (fun () -> ignore (Explore.schedule_of_string "t0.x9"))
+
+(* ------------------- reduction: sound and effective ------------------ *)
+
+(* Random tiny scenarios: [n] threads, each doing 1-2 writes to cells
+   drawn from a pool of [ncells].  The check fails on a random subset of
+   final states, so both searches must agree not just on counts but on
+   whether a violation exists at all. *)
+let scenario_arb =
+  QCheck.make
+    ~print:(fun (n, ncells, ops, bad) ->
+      Printf.sprintf "threads=%d cells=%d ops=%s bad=%d" n ncells
+        (String.concat ";"
+           (List.map
+              (fun l -> String.concat "," (List.map string_of_int l))
+              ops))
+        bad)
+    QCheck.Gen.(
+      int_range 1 3 >>= fun n ->
+      int_range 1 3 >>= fun ncells ->
+      list_repeat n (list_size (int_range 1 2) (int_range 0 (ncells - 1)))
+      >>= fun ops ->
+      int_range 0 7 >>= fun bad -> return (n, ncells, ops, bad))
+
+let explorer_of_scenario ?(reduction = true) (n, ncells, ops, bad) =
+  ignore n;
+  Explore.make ~reduction
+    ~setup:(fun () ->
+      let heap, (module M) = with_mem () in
+      let cells = Array.init ncells (fun _ -> M.alloc 0) in
+      let threads =
+        List.mapi
+          (fun i writes () ->
+            List.iter (fun c -> M.write cells.(c) (i + 1)) writes)
+          ops
+      in
+      let final () =
+        Array.fold_left (fun acc c -> (2 * acc) + M.read c) 0 cells
+      in
+      { Explore.ctx = final; heap; threads })
+    ~check:(fun get _heap ~crashed:_ ->
+      (* fail when the final state hits a random target *)
+      if get () mod 8 = bad then failwith "bad final state")
+    ()
+
+let verdict t =
+  match Explore.run t with
+  | (s : Explore.stats) -> Ok s.Explore.executions
+  | exception Explore.Violation _ -> Error `Violation
+
+let prop_reduction_sound =
+  QCheck.Test.make ~count:60
+    ~name:"reduced search: same verdict, no more executions" scenario_arb
+    (fun sc ->
+      let reduced = verdict (explorer_of_scenario ~reduction:true sc) in
+      let naive = verdict (explorer_of_scenario ~reduction:false sc) in
+      match (reduced, naive) with
+      | Ok r, Ok n -> r <= n
+      | Error `Violation, Error `Violation -> true
+      | _ -> false)
+
+let test_reduction_strictly_fewer () =
+  (* Two threads, two writes each to thread-private cells: every
+     inter-thread pair of steps is independent, so the sleep sets must
+     prune — strictly fewer executions, same (passing) verdict. *)
+  let make ~reduction =
+    Explore.make ~reduction
+      ~setup:(fun () ->
+        let heap, (module M) = with_mem () in
+        let a = M.alloc 0 and b = M.alloc 0 in
+        {
+          Explore.ctx = ();
+          heap;
+          threads =
+            [
+              (fun () ->
+                M.write a 1;
+                M.write a 2);
+              (fun () ->
+                M.write b 1;
+                M.write b 2);
+            ];
+        })
+      ~check:(fun () _heap ~crashed:_ -> ())
+      ()
+  in
+  let reduced = Explore.run (make ~reduction:true) in
+  let naive = Explore.run (make ~reduction:false) in
+  Alcotest.(check bool)
+    (Printf.sprintf "reduced %d < naive %d" reduced.Explore.executions
+       naive.Explore.executions)
+    true
+    (reduced.Explore.executions < naive.Explore.executions);
+  Alcotest.(check bool) "something was pruned" true (reduced.Explore.pruned > 0);
+  Alcotest.(check int) "naive prunes nothing" 0 naive.Explore.pruned
+
+(* ------------------------ iterative deepening ------------------------ *)
+
+let count_at ?max_preemptions () =
+  (Explore.run
+     (Explore.make ~reduction:false ?max_preemptions
+        ~setup:(fun () ->
+          let heap, (module M) = with_mem () in
+          let c = M.alloc 0 in
+          {
+            Explore.ctx = ();
+            heap;
+            threads = [ (fun () -> M.write c 1); (fun () -> M.write c 2) ];
+          })
+        ~check:(fun () _ ~crashed:_ -> ())
+        ()))
+    .Explore.executions
+
+let test_preemption_bound_boundaries () =
+  (* 0 preemptions: threads run to completion in either order => 2.
+     Unbounded: all C(4,2) = 6 interleavings of 2x2 steps. *)
+  Alcotest.(check int) "bound 0" 2 (count_at ~max_preemptions:0 ());
+  Alcotest.(check int) "bound 1" 4 (count_at ~max_preemptions:1 ());
+  Alcotest.(check int) "bound 2" 6 (count_at ~max_preemptions:2 ());
+  Alcotest.(check int) "unbounded" 6 (count_at ())
+
+(* ------------------------ per-line adversary ------------------------- *)
+
+let crash_explorer ~adversary ~check () =
+  Explore.make ~crashes:true ~adversary
+    ~setup:(fun () ->
+      let heap, (module M) = with_mem () in
+      let data = M.alloc 0 and committed = M.alloc 0 in
+      {
+        Explore.ctx = (fun () -> (M.read data, M.read committed));
+        heap;
+        threads =
+          [
+            (fun () ->
+              M.write data 42;
+              M.write committed 1);
+          ];
+      })
+    ~check ()
+
+let test_per_line_enumerates_more () =
+  let nop = fun _get _heap ~crashed:_ -> () in
+  let per_line = Explore.run (crash_explorer ~adversary:`Per_line ~check:nop ()) in
+  let aon =
+    Explore.run (crash_explorer ~adversary:`All_or_nothing ~check:nop ())
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "per-line crash branches %d > all-or-nothing %d"
+       per_line.Explore.crash_branches aon.Explore.crash_branches)
+    true
+    (per_line.Explore.crash_branches > aon.Explore.crash_branches)
+
+let test_per_line_finds_mixed_eviction () =
+  (* Unflushed commit marker: data and marker written back-to-back with
+     no flushes.  All-or-nothing eviction keeps them consistent — only
+     the per-line adversary reaches the state where the marker's line
+     survived and the data's line did not. *)
+  let check get _heap ~crashed =
+    if crashed then begin
+      let d, c = get () in
+      if c = 1 && d = 0 then failwith "commit marker without data"
+    end
+  in
+  ignore (Explore.run (crash_explorer ~adversary:`All_or_nothing ~check ()));
+  match Explore.run (crash_explorer ~adversary:`Per_line ~check ()) with
+  | _ -> Alcotest.fail "per-line adversary missed the mixed eviction"
+  | exception Explore.Violation { schedule; _ } -> (
+      match List.rev schedule with
+      | Explore.Crash verdicts :: _ ->
+          let evicted =
+            List.filter (fun v -> v.Explore.evicted) verdicts
+          and dropped =
+            List.filter (fun v -> not v.Explore.evicted) verdicts
+          in
+          Alcotest.(check int) "one line evicted" 1 (List.length evicted);
+          Alcotest.(check int) "one line dropped" 1 (List.length dropped)
+      | _ -> Alcotest.fail "violating schedule does not end in a crash")
+
+(* --------------------------- replay/explain -------------------------- *)
+
+let prop_replay_deterministic =
+  (* Whatever violation the search finds, replaying its token must
+     reproduce the same failure — per-line verdicts included — and
+     explain must return the same outcome with a trace. *)
+  QCheck.Test.make ~count:40 ~name:"violations replay deterministically"
+    QCheck.(int_range 0 7)
+    (fun bad ->
+      let mk () =
+        crash_explorer ~adversary:`Per_line
+          ~check:(fun get _heap ~crashed ->
+            let d, c = get () in
+            if (if crashed then 1 else 0) + d + c mod 8 = bad then
+              failwith "flagged")
+          ()
+      in
+      match Explore.run (mk ()) with
+      | _ -> true (* no violation at this target: vacuous *)
+      | exception Explore.Violation { schedule; _ } -> (
+          let token = Explore.schedule_to_string schedule in
+          (* replay raises the same violation with the same schedule *)
+          (match Explore.replay_schedule (mk ()) schedule with
+          | _ -> false
+          | exception Explore.Violation { schedule = s'; _ } ->
+              Explore.schedule_to_string s' = token)
+          &&
+          match Explore.explain (mk ()) (Explore.schedule_of_string token) with
+          | Explore.Failed _, trace -> trace <> []
+          | Explore.Passed _, _ -> false))
+
+let test_explain_passing_schedule () =
+  let t =
+    Explore.make
+      ~setup:(fun () ->
+        let heap, (module M) = with_mem () in
+        let c = M.alloc 0 in
+        { Explore.ctx = (); heap; threads = [ (fun () -> M.write c 1) ] })
+      ~check:(fun () _ ~crashed:_ -> ())
+      ()
+  in
+  let sched = [ Explore.Sched 0; Explore.Sched 0 ] in
+  Alcotest.(check bool) "completes" true
+    (Explore.replay_schedule t sched = `Completed);
+  match Explore.explain t sched with
+  | Explore.Passed `Completed, trace ->
+      Alcotest.(check bool) "trace recorded" true (trace <> [])
+  | Explore.Passed `Crashed, _ -> Alcotest.fail "did not crash"
+  | Explore.Failed e, _ -> Alcotest.failf "failed: %s" (Printexc.to_string e)
+
+let suite =
+  [
+    Alcotest.test_case "schedule token examples" `Quick test_token_examples;
+    QCheck_alcotest.to_alcotest prop_token_roundtrip;
+    QCheck_alcotest.to_alcotest prop_reduction_sound;
+    Alcotest.test_case "reduction prunes independent threads" `Quick
+      test_reduction_strictly_fewer;
+    Alcotest.test_case "preemption-bound boundaries" `Quick
+      test_preemption_bound_boundaries;
+    Alcotest.test_case "per-line adversary branches more" `Quick
+      test_per_line_enumerates_more;
+    Alcotest.test_case "per-line finds mixed eviction" `Quick
+      test_per_line_finds_mixed_eviction;
+    QCheck_alcotest.to_alcotest prop_replay_deterministic;
+    Alcotest.test_case "explain on a passing schedule" `Quick
+      test_explain_passing_schedule;
+  ]

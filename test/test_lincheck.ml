@@ -263,6 +263,43 @@ let test_random_sequential_histories () =
     check_ok q (List.rev !events)
   done
 
+(* ------------------------ capacity boundary -------------------------- *)
+
+let test_max_operations_boundary () =
+  (* The taken-set is a bit mask in one tagged OCaml int, so the cap is
+     exactly 62 operations: a 62-op history checks, a 63-op one raises. *)
+  let seq n =
+    List.concat
+      (List.init n (fun i ->
+           [ ev_inv i 0 (Reg.Write (i land 0xFF)); ev_res i Reg.Ok ]))
+  in
+  Alcotest.(check int) "cap is 62" 62 Lincheck.max_operations;
+  check_ok reg_spec (seq Lincheck.max_operations);
+  Alcotest.check_raises "63 operations rejected"
+    (Lincheck.Too_many_operations 63) (fun () ->
+      ignore
+        (Lincheck.is_linearizable reg_spec (seq (Lincheck.max_operations + 1))))
+
+(* ------------------- durable mode across two crashes ------------------ *)
+
+let test_durable_across_two_crashes () =
+  (* A write pending at the first crash linearizes only after a SECOND
+     crash: legal under durable linearizability (any later point), but
+     not under strict (before its own crash or never). *)
+  let h =
+    [
+      ev_inv 0 0 (Reg.Write 1);
+      History.Crash;
+      ev_inv 1 1 Reg.Read;
+      ev_res 1 (Reg.Value 0);
+      History.Crash;
+      ev_inv 2 1 Reg.Read;
+      ev_res 2 (Reg.Value 1);
+    ]
+  in
+  check_ok ~mode:Lincheck.Durable reg_spec h;
+  check_bad ~mode:Lincheck.Strict reg_spec h
+
 let suite =
   [
     Alcotest.test_case "empty history" `Quick test_empty_history;
@@ -294,4 +331,8 @@ let suite =
       test_ill_formed_histories_rejected;
     Alcotest.test_case "random sequential histories accepted" `Quick
       test_random_sequential_histories;
+    Alcotest.test_case "62-op boundary: cap checks, 63 raises" `Quick
+      test_max_operations_boundary;
+    Alcotest.test_case "durable: effect after a second crash" `Quick
+      test_durable_across_two_crashes;
   ]

@@ -157,8 +157,42 @@ let test_persist_ordering () =
           ()));
   ()
 
+(* ---------------------------------------------------------------------- *)
+(* The DSS litmus corpus: every ready-made scenario of                      *)
+(* Dssq_checker.Scenarios — all four objects (queue, stack, register,      *)
+(* hash map), 2-3 threads, with and without crash injection, persist-line  *)
+(* sizes 1 and 8 — model-checked end to end with Lincheck as the oracle.   *)
+(* ---------------------------------------------------------------------- *)
+
+module Scenarios = Dssq_checker.Scenarios
+
+let corpus_case (c : Scenarios.case) () =
+  match c.Scenarios.run ~reduction:true with
+  | (stats : Explore.stats) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s explored something (%d executions)"
+           c.Scenarios.name stats.Explore.executions)
+        true
+        (stats.Explore.executions > 0);
+      if c.Scenarios.crashes then
+        Alcotest.(check bool)
+          (Printf.sprintf "%s explored crash branches" c.Scenarios.name)
+          true
+          (stats.Explore.crash_branches > 0)
+  | exception Explore.Violation { schedule; exn } ->
+      Alcotest.failf "%s not linearizable at %s: %s" c.Scenarios.name
+        (Explore.schedule_to_string schedule)
+        (Printexc.to_string exn)
+
+let corpus_suite =
+  List.map
+    (fun (c : Scenarios.case) ->
+      Alcotest.test_case c.Scenarios.name `Quick (corpus_case c))
+    (Scenarios.cases ())
+
 let suite =
-  [
+  corpus_suite
+  @ [
     Alcotest.test_case "SB: store buffering forbidden" `Quick
       test_store_buffering;
     Alcotest.test_case "MP: message passing" `Quick test_message_passing;

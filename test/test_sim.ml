@@ -122,8 +122,8 @@ let test_max_steps_guard () =
 let test_explore_counts_interleavings () =
   (* Two threads, one memory step each => exactly 2 schedules. *)
   let executions =
-    Explore.run
-      (Explore.make
+    (Explore.run
+       (Explore.make
          ~setup:(fun () ->
            let heap, (module M) = with_mem () in
            let c = M.alloc 0 in
@@ -133,11 +133,13 @@ let test_explore_counts_interleavings () =
              heap;
              threads = [ (fun () -> M.write c 1); (fun () -> M.write c 2) ];
            })
-         ~check:(fun () _ ~crashed:_ -> ())
-         ())
+          ~check:(fun () _ ~crashed:_ -> ())
+          ()))
+      .Explore.executions
   in
   (* Each thread takes 2 steps (start-run-to-first-op, then the op); the
-     interleavings of 2x2 steps = C(4,2) = 6. *)
+     interleavings of 2x2 steps = C(4,2) = 6.  Both writes hit the same
+     cell, so they conflict and sleep-set reduction prunes nothing. *)
   Alcotest.(check int) "interleaving count" 6 executions
 
 let test_explore_finds_lost_update () =
