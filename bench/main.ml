@@ -255,6 +255,81 @@ let ablate_linesize_cmd =
       const run_ablate_linesize $ nthreads_opt $ repeats $ horizon_us $ csv
       $ json)
 
+(* ------------------------- regression sweep -------------------------- *)
+
+let quick_flag =
+  Arg.(
+    value & flag
+    & info [ "quick" ]
+        ~doc:
+          "CI smoke configuration: sim backend only, two thread counts, one \
+           repeat (deterministic)")
+
+let regress_out =
+  Arg.(
+    value
+    & opt string "BENCH_PR5.json"
+    & info [ "json" ] ~docv:"FILE" ~doc:"where to write the run report")
+
+let run_regress quick out =
+  let series = Experiments.regress ~quick () in
+  render
+    ~title:
+      "Benchmark regression sweep: flush coalescing off vs on (line size 1; \
+       compare reports with `dssq bench-diff`)"
+    ~x_label:"threads" ~y_label:"Mops/s" ~csv:false (Report.of_run series);
+  let report =
+    Dssq_obs.Run_report.make ~backend:"mixed" ~experiment:"regress"
+      ~x_label:"threads" ~y_label:"Mops/s"
+      ~params:[ ("quick", string_of_bool quick); ("line_size", "1") ]
+      series
+  in
+  (match Dssq_obs.Run_report.write out report with
+  | () ->
+      Printf.printf "wrote %s (%s v%d)\n" out Dssq_obs.Run_report.schema_name
+        Dssq_obs.Run_report.schema_version
+  | exception Sys_error msg ->
+      Printf.eprintf "bench: cannot write report: %s\n" msg;
+      exit 1);
+  (* Make the tentpole claim visible in the terminal: coalescing-on vs
+     -off mean throughput of the detectable DSS queue, per backend and
+     thread count. *)
+  let find label =
+    List.find_opt (fun (s : Dssq_obs.Run_report.series) -> s.label = label)
+      series
+  in
+  List.iter
+    (fun backend ->
+      match (find (backend ^ "/dss-det"), find (backend ^ "+co/dss-det")) with
+      | Some off, Some on ->
+          List.iter2
+            (fun (po : Dssq_obs.Run_report.point)
+                 (pn : Dssq_obs.Run_report.point) ->
+              let mean = Dssq_workload.Stats.mean in
+              let fpo (p : Dssq_obs.Run_report.point) =
+                if p.ops = 0 then 0.
+                else
+                  float_of_int p.events.Dssq_memory.Memory_intf.flushes
+                  /. float_of_int p.ops
+              in
+              Printf.printf
+                "%s dss-det %2d threads: %.3f -> %.3f Mops/s (%+.1f%%), \
+                 flushes/op %.2f -> %.2f\n"
+                backend po.x (mean po.samples) (mean pn.samples)
+                (100. *. ((mean pn.samples /. mean po.samples) -. 1.))
+                (fpo po) (fpo pn))
+            off.points on.points
+      | _ -> ())
+    [ "sim"; "native" ]
+
+let regress_cmd =
+  Cmd.v
+    (Cmd.info "regress"
+       ~doc:
+         "benchmark-regression sweep (coalescing off vs on) emitting a \
+          BENCH_*.json run report")
+    Term.(const run_regress $ quick_flag $ regress_out)
+
 let run_latency () =
   Printf.printf
     "## Modelled single-thread latency per operation (ns, no contention)\n";
@@ -373,6 +448,7 @@ let () =
             ablate_crashes_cmd;
             ablate_pmwcas_cmd;
             ablate_linesize_cmd;
+            regress_cmd;
             latency_cmd;
             bechamel_cmd;
           ]))

@@ -51,6 +51,15 @@ let line_size_arg =
           "persist-line size in words (1, the default, is the legacy \
            word-granular model)")
 
+let coalesce_arg =
+  Arg.(
+    value & flag
+    & info [ "coalesce" ]
+        ~doc:
+          "route flushes through the per-thread persist buffer: duplicate \
+           flushes of a pending line coalesce, and each persistence point \
+           drains the buffer with one write-back and one fence")
+
 let json_arg =
   Arg.(
     value
@@ -71,51 +80,58 @@ let write_report ~experiment ~x_label ~y_label ?(params = []) series file =
       Printf.eprintf "dssq: cannot write report: %s\n" msg;
       exit 1
 
-let fig_params ~threads ~repeats ~line_size =
+let fig_params ~threads ~repeats ~line_size ~coalesce =
   [
     ("threads", String.concat "," (List.map string_of_int threads));
     ("repeats", string_of_int repeats);
     ("line_size", string_of_int line_size);
+    ("coalesce", string_of_bool coalesce);
   ]
 
 let fig5a_cmd =
-  let run threads repeats line_size json =
+  let run threads repeats line_size coalesce json =
     match json with
     | None ->
         render ~title:"Figure 5a" ~x_label:"threads" ~y_label:"Mops/s"
-          (Experiments.fig5a ~threads ~repeats ~line_size ())
+          (Experiments.fig5a ~threads ~repeats ~line_size ~coalesce ())
     | Some file ->
         (* Instrumented run: same figure, plus events + latency in JSON. *)
         let series =
-          Experiments.fig5a_ex ~threads ~repeats ~line_size ~instrument:true ()
+          Experiments.fig5a_ex ~threads ~repeats ~line_size ~coalesce
+            ~instrument:true ()
         in
         render ~title:"Figure 5a" ~x_label:"threads" ~y_label:"Mops/s"
           (Report.of_run series);
         write_report ~experiment:"fig5a" ~x_label:"threads" ~y_label:"Mops/s"
-          ~params:(fig_params ~threads ~repeats ~line_size)
+          ~params:(fig_params ~threads ~repeats ~line_size ~coalesce)
           series file
   in
   Cmd.v (Cmd.info "fig5a" ~doc:"regenerate Figure 5a")
-    Term.(const run $ threads_arg $ repeats_arg $ line_size_arg $ json_arg)
+    Term.(
+      const run $ threads_arg $ repeats_arg $ line_size_arg $ coalesce_arg
+      $ json_arg)
 
 let fig5b_cmd =
-  let run threads repeats line_size json =
+  let run threads repeats line_size coalesce json =
     match json with
     | None ->
         render ~title:"Figure 5b" ~x_label:"threads" ~y_label:"Mops/s"
-          (Experiments.fig5b ~threads ~repeats ~line_size ())
+          (Experiments.fig5b ~threads ~repeats ~line_size ~coalesce ())
     | Some file ->
         let series =
-          Experiments.fig5b_ex ~threads ~repeats ~line_size ~instrument:true ()
+          Experiments.fig5b_ex ~threads ~repeats ~line_size ~coalesce
+            ~instrument:true ()
         in
         render ~title:"Figure 5b" ~x_label:"threads" ~y_label:"Mops/s"
           (Report.of_run series);
         write_report ~experiment:"fig5b" ~x_label:"threads" ~y_label:"Mops/s"
-          ~params:(fig_params ~threads ~repeats ~line_size)
+          ~params:(fig_params ~threads ~repeats ~line_size ~coalesce)
           series file
   in
   Cmd.v (Cmd.info "fig5b" ~doc:"regenerate Figure 5b")
-    Term.(const run $ threads_arg $ repeats_arg $ line_size_arg $ json_arg)
+    Term.(
+      const run $ threads_arg $ repeats_arg $ line_size_arg $ coalesce_arg
+      $ json_arg)
 
 let ablate_cmd ~name ~doc ~title ~x_label ~y_label f =
   let run line_size json =
@@ -251,14 +267,124 @@ let ablate_linesize_cmd =
        ~doc:"persist-line-size sweep (instrumented: flushes/op, elided/op)")
     Term.(const linesize_run $ sizes $ nthreads $ repeats_arg $ json_arg $ anchor)
 
+(* ----------------------------- bench-diff ----------------------------- *)
+
+(* Compare two run reports — typically the checked-in BENCH_*.json
+   baseline against a fresh `bench regress` run — and exit non-zero when
+   throughput regressed.  Points are matched on (series label, x); the
+   statistic is the mean of the throughput samples at each point.  Points
+   present in only one file are reported but not gated on, so adding or
+   retiring a series does not break the pipeline. *)
+let bench_diff_run old_file new_file tolerance =
+  let load file =
+    match Dssq_obs.Run_report.read file with
+    | r -> r
+    | exception Sys_error msg ->
+        Printf.eprintf "dssq: cannot read %s: %s\n" file msg;
+        exit 2
+    | exception Json.Parse_error msg ->
+        Printf.eprintf "dssq: %s: %s\n" file msg;
+        exit 2
+  in
+  let old_r = load old_file in
+  let new_r = load new_file in
+  let mean = function
+    | [] -> Float.nan
+    | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+  in
+  let points (r : Dssq_obs.Run_report.t) =
+    List.concat_map
+      (fun (s : Dssq_obs.Run_report.series) ->
+        List.map
+          (fun (p : Dssq_obs.Run_report.point) ->
+            ((s.Dssq_obs.Run_report.label, p.Dssq_obs.Run_report.x),
+             mean p.Dssq_obs.Run_report.samples))
+          s.Dssq_obs.Run_report.points)
+      r.Dssq_obs.Run_report.series
+  in
+  let old_pts = points old_r in
+  let new_pts = points new_r in
+  Printf.printf "bench-diff: %s (%s) -> %s (%s), tolerance %.1f%%\n\n" old_file
+    old_r.Dssq_obs.Run_report.git_rev new_file new_r.Dssq_obs.Run_report.git_rev
+    tolerance;
+  Printf.printf "%-26s%6s%12s%12s%10s\n" "series" "x" "old" "new" "delta";
+  let compared = ref 0 in
+  let regressions = ref 0 in
+  List.iter
+    (fun ((label, x), old_mean) ->
+      match List.assoc_opt (label, x) new_pts with
+      | None -> ()
+      | Some new_mean ->
+          incr compared;
+          let delta =
+            if old_mean > 0. then (new_mean -. old_mean) /. old_mean *. 100.
+            else Float.nan
+          in
+          let regressed =
+            new_mean < old_mean *. (1. -. (tolerance /. 100.))
+          in
+          if regressed then incr regressions;
+          Printf.printf "%-26s%6d%12.3f%12.3f%+9.1f%%%s\n" label x old_mean
+            new_mean delta
+            (if regressed then "  REGRESSION" else ""))
+    old_pts;
+  let uncompared side pts other =
+    let n =
+      List.length (List.filter (fun (k, _) -> not (List.mem_assoc k other)) pts)
+    in
+    if n > 0 then Printf.printf "(%d point(s) only in the %s report)\n" n side
+  in
+  uncompared "old" old_pts new_pts;
+  uncompared "new" new_pts old_pts;
+  if !compared = 0 then begin
+    Printf.eprintf
+      "dssq: bench-diff: the reports share no (series, x) points\n";
+    exit 2
+  end;
+  if !regressions > 0 then begin
+    Printf.printf "\n%d of %d compared point(s) regressed beyond %.1f%%\n"
+      !regressions !compared tolerance;
+    exit 1
+  end;
+  Printf.printf "\nno regression beyond %.1f%% across %d compared point(s)\n"
+    tolerance !compared
+
+let bench_diff_cmd =
+  let old_file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"OLD.json" ~doc:"baseline run report")
+  in
+  let new_file =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW.json" ~doc:"candidate run report")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 10.
+      & info [ "tolerance" ] ~docv:"PCT"
+          ~doc:
+            "allowed per-point mean-throughput drop in percent before the \
+             diff counts as a regression (default 10)")
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "compare two JSON run reports point by point; exit non-zero on a \
+          throughput regression beyond --tolerance")
+    Term.(const bench_diff_run $ old_file $ new_file $ tolerance)
+
 (* ------------------------------ metrics ------------------------------ *)
 
 (* Run a finite deterministic workload on the counted simulator backend
    and print the memory-event accounting for one queue implementation —
    the quickest way to see e.g. flushes per operation. *)
-let metrics_run queue pairs det_pct line_size =
+let metrics_run queue pairs det_pct line_size coalesce =
   let heap = Heap.create ~line_size () in
-  let (module M) = Sim.counted_memory heap in
+  let (module M) = Sim.counted_memory ~coalesce heap in
   let module R = Dssq_workload.Registry.Make (M) in
   match R.find_opt queue with
   | None ->
@@ -269,7 +395,7 @@ let metrics_run queue pairs det_pct line_size =
       let nthreads = 2 in
       let ops =
         mk
-          (Dssq_core.Queue_intf.config ~line_size ~nthreads
+          (Dssq_core.Queue_intf.config ~line_size ~coalesce ~nthreads
              ~capacity:(16 + 8 + (nthreads * (pairs + 8)))
              ())
       in
@@ -297,8 +423,10 @@ let metrics_run queue pairs det_pct line_size =
       in
       ignore (Sim.run heap ~threads:[ worker 0; worker 1 ]);
       let c = M.counters () in
-      Printf.printf "queue: %s   backend: sim   ops: %d   detectable: %d%%\n\n"
-        queue !completed det_pct;
+      Printf.printf
+        "queue: %s   backend: sim%s   ops: %d   detectable: %d%%\n\n" queue
+        (if coalesce then "+coalesce" else "")
+        !completed det_pct;
       Printf.printf "%-16s%12s%12s\n" "event" "total" "per-op";
       let denom = float_of_int (max 1 !completed) in
       List.iter
@@ -335,7 +463,7 @@ let metrics_cmd =
   Cmd.v
     (Cmd.info "metrics"
        ~doc:"memory-event accounting for one queue on the simulator")
-    Term.(const metrics_run $ queue $ pairs $ det $ line_size_arg)
+    Term.(const metrics_run $ queue $ pairs $ det $ line_size_arg $ coalesce_arg)
 
 let latency_cmd =
   let run () =
@@ -552,9 +680,9 @@ type qh = {
   recover : unit -> unit;
 }
 
-let make_queue kind : qh =
+let make_queue ?(coalesce = false) kind : qh =
   let heap = Heap.create () in
-  let (module M) = Sim.memory heap in
+  let (module M) = Sim.memory ~coalesce heap in
   match kind with
   | `Dss ->
       let module Q = Dssq_core.Dss_queue.Make (M) in
@@ -614,13 +742,13 @@ let make_queue kind : qh =
    Every execution runs under an event tracer, so a violation is reported
    with the exact interleaving of stores, flushes, crash and resolves
    that produced it — as a timeline, and optionally as Perfetto JSON. *)
-let lincheck_run kind iterations verbose trace_json =
+let lincheck_run kind coalesce iterations verbose trace_json =
   let spec = Dss_spec.make ~nthreads:2 (Specs.Queue.spec ()) in
   let checked = ref 0 in
   let crashes = ref 0 in
   for i = 1 to iterations do
     ignore (Trace.start () : Trace.t);
-    let q = make_queue kind in
+    let q = make_queue ~coalesce kind in
     let heap = q.heap in
     let rec_ = Recorder.create () in
     let record ~tid op f =
@@ -742,7 +870,9 @@ let lincheck_cmd =
     (Cmd.info "lincheck"
        ~doc:
          "randomized strict-linearizability checking of a detectable queue")
-    Term.(const lincheck_run $ kind $ iterations $ verbose $ trace_json)
+    Term.(
+      const lincheck_run $ kind $ coalesce_arg $ iterations $ verbose
+      $ trace_json)
 
 (* ------------------------------ explore ------------------------------ *)
 
@@ -810,9 +940,9 @@ let explore_report ~params results =
       ("cases", Json.List (List.map case_json results));
     ]
 
-let explore_run object_ crash_mode line_sizes mutant mode_name max_preemptions
-    max_crash_lines crash_samples seed adversary limit compare_naive json
-    token_file replay case_name list_only =
+let explore_run object_ crash_mode line_sizes coalesce mutant mode_name
+    max_preemptions max_crash_lines crash_samples seed adversary limit
+    compare_naive json token_file replay case_name list_only =
   let fail fmt = Printf.ksprintf (fun m -> Printf.eprintf "dssq: %s\n" m; exit 2) fmt in
   let mode =
     match Oracle.mode_of_name mode_name with
@@ -843,7 +973,7 @@ let explore_run object_ crash_mode line_sizes mutant mode_name max_preemptions
     | `Off -> [ false ]
   in
   let cases =
-    Scenarios.cases ~objects ~crash_modes ~line_sizes ?mutation ~mode
+    Scenarios.cases ~objects ~crash_modes ~line_sizes ~coalesce ?mutation ~mode
       ~max_preemptions ~max_crash_lines ~crash_samples ~seed ~adversary ~limit
       ()
   in
@@ -932,6 +1062,7 @@ let explore_run object_ crash_mode line_sizes mutant mode_name max_preemptions
               | `Off -> "off") );
           ( "line_sizes",
             Json.List (List.map (fun n -> Json.Int n) line_sizes) );
+          ("coalesce", Json.Bool coalesce);
           ( "mutant",
             match mutant with None -> Json.Null | Some m -> Json.String m );
           ("mode", Json.String mode_name);
@@ -1040,7 +1171,8 @@ let explore_cmd =
       & info [ "mutant" ] ~docv:"NAME"
           ~doc:
             "inject a seeded bug (skip-flush-link, skip-flush-mark, \
-             stale-announce, unfenced); restricts the corpus to the queue")
+             stale-announce, unfenced, drop-drain); restricts the corpus to \
+             the queue (drop-drain is only observable with --coalesce)")
   in
   let mode =
     Arg.(
@@ -1125,10 +1257,10 @@ let explore_cmd =
           objects (sleep-set reduction, per-line crash adversary, lincheck \
           oracle, replayable counterexamples)")
     Term.(
-      const explore_run $ object_ $ crashes $ line_sizes $ mutant $ mode
-      $ max_preemptions $ max_crash_lines $ crash_samples $ seed $ adversary
-      $ limit $ compare_naive $ json_arg $ token_file $ replay $ case
-      $ list_only)
+      const explore_run $ object_ $ crashes $ line_sizes $ coalesce_arg
+      $ mutant $ mode $ max_preemptions $ max_crash_lines $ crash_samples
+      $ seed $ adversary $ limit $ compare_naive $ json_arg $ token_file
+      $ replay $ case $ list_only)
 
 (* ------------------------------- info -------------------------------- *)
 
@@ -1169,6 +1301,7 @@ let () =
              fig5a_cmd;
              fig5b_cmd;
              ablate_linesize_cmd;
+             bench_diff_cmd;
              metrics_cmd;
              latency_cmd;
              crash_demo_cmd;

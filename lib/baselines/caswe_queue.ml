@@ -131,7 +131,8 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   let prep_enqueue t ~tid v =
     if v < 0 then invalid_arg "Caswe_queue: values must be non-negative";
     let node = alloc_node t ~tid v in
-    P.write_quiet t.p t.x.(tid) (x_prep_enq node)
+    P.write_quiet t.p t.x.(tid) (x_prep_enq node);
+    M.drain () (* persistence point: the node's value flush completes *)
 
   let exec_enqueue t ~tid =
     Dssq_ebr.Ebr.enter t.ebr ~tid;
@@ -159,6 +160,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       end
     in
     loop ();
+    M.drain () (* persistence point, while still EBR-protected *);
     Dssq_ebr.Ebr.exit t.ebr ~tid
 
   let prep_dequeue t ~tid = P.write_quiet t.p t.x.(tid) x_prep_deq
@@ -203,6 +205,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       else loop ()
     in
     let v = loop () in
+    M.drain () (* persistence point, while still EBR-protected *);
     Dssq_ebr.Ebr.exit t.ebr ~tid;
     v
 
@@ -247,6 +250,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       end
     in
     loop ();
+    M.drain () (* persistence point, while still EBR-protected *);
     Dssq_ebr.Ebr.exit t.ebr ~tid
 
   let dequeue t ~tid =
@@ -273,6 +277,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       end
     in
     let v = loop () in
+    M.drain () (* persistence point, while still EBR-protected *);
     Dssq_ebr.Ebr.exit t.ebr ~tid;
     v
 
@@ -311,7 +316,8 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
         let owner = (i - 1) mod t.nthreads in
         Atomic.set t.free_lists.(owner) (i :: Atomic.get t.free_lists.(owner))
       end
-    done
+    done;
+    M.drain ()
 
   let to_list t =
     let rec collect acc n =

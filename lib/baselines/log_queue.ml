@@ -51,6 +51,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     let tail = M.alloc ~name:"tail" sentinel in
     M.flush head;
     M.flush tail;
+    M.drain ();
     let nentries = (nthreads * ring_size) + 1 in
     let mk name init =
       Array.init nentries (fun i -> M.alloc ~name:(Printf.sprintf "%s[%d]" name i) init)
@@ -98,7 +99,10 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     M.write t.log_node.(e) Tagged.null;
     M.flush t.log_node.(e);
     M.write t.announce.(tid) e;
-    M.flush t.announce.(tid)
+    M.flush t.announce.(tid);
+    (* Persistence point: the log entry and its announcement are durable
+       when prep returns (no-op on eager backends). *)
+    M.drain ()
 
   let link_node t ~tid node =
     Dssq_ebr.Ebr.enter t.ebr ~tid;
@@ -122,6 +126,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       else loop ()
     in
     loop ();
+    M.drain () (* persistence point, while still EBR-protected *);
     Dssq_ebr.Ebr.exit t.ebr ~tid
 
   let exec_enqueue t ~tid =
@@ -138,7 +143,8 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     M.flush t.log_node.(e);
     link_node t ~tid node;
     M.write t.log_result.(e) 0 (* OK *);
-    M.flush t.log_result.(e)
+    M.flush t.log_result.(e);
+    M.drain () (* persistence point *)
 
   let enqueue t ~tid v =
     if v < 0 then invalid_arg "Log_queue: values must be non-negative";
@@ -158,7 +164,8 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     M.write t.log_result.(e) no_result;
     M.flush t.log_result.(e);
     M.write t.announce.(tid) e;
-    M.flush t.announce.(tid)
+    M.flush t.announce.(tid);
+    M.drain () (* persistence point, as in prep_enqueue *)
 
   (* Publish value [v] as entry [e]'s result, helping-safely. *)
   let publish_result t e v =
@@ -214,6 +221,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       else loop ()
     in
     let v = loop () in
+    M.drain () (* persistence point, while still EBR-protected *);
     Dssq_ebr.Ebr.exit t.ebr ~tid;
     v
 
@@ -306,7 +314,8 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
         if node <> Tagged.null then live.(node) <- true
       end
     done;
-    Pool.rebuild_free_lists t.pool ~keep:(fun i -> live.(i))
+    Pool.rebuild_free_lists t.pool ~keep:(fun i -> live.(i));
+    M.drain ()
 
   let to_list t =
     let rec skip n =

@@ -27,12 +27,20 @@ type mutation =
   | Unfenced
       (** drop {e every} flush: write-backs are issued but never
           drained, so nothing added after initialization persists *)
+  | Drop_drain
+      (** drop every [drain]: coalesced flushes are buffered but the
+          batch write-back at the persistence point never happens — the
+          coalescing analogue of {!Unfenced}.  Only observable against a
+          coalescing backend (eager backends drain at every flush), so
+          it lives outside {!all} and is hunted by the coalescing
+          corpus. *)
 
 let describe = function
   | Skip_flush pat -> Printf.sprintf "drop flushes of cells matching %S" pat
   | Stale_write pat ->
       Printf.sprintf "drop 2nd+ writes to cells matching %S (stale state)" pat
   | Unfenced -> "drop all flushes (write-backs never drained)"
+  | Drop_drain -> "drop all drains (coalesced flushes never written back)"
 
 (** The seeded DSS-queue mutants of the regression suite. *)
 
@@ -51,6 +59,13 @@ let stale_announce = Stale_write "X["
 
 let unfenced = Unfenced
 
+let drop_drain = Drop_drain
+(** The persistence points of coalescing-annotated code never drain: X
+    announcements and final link/claim flushes stay buffered when the
+    operation returns.  Meaningless against eager backends (their [drain]
+    is already a no-op), so it is registered separately from {!all} and
+    the regression suite hunts it on a [~coalesce:true] corpus. *)
+
 let all =
   [
     ("skip-flush-link", skip_flush_link);
@@ -59,7 +74,10 @@ let all =
     ("unfenced", unfenced);
   ]
 
-let by_name n = List.assoc_opt n all
+let by_name n =
+  match n with
+  | "drop-drain" -> Some drop_drain
+  | _ -> List.assoc_opt n all
 
 exception Livelock
 (** A mutated execution exceeded its memory-operation budget.  Planted
@@ -131,6 +149,9 @@ let wrap mutation (module M : Intf.S) : (module Intf.S) =
       | _ -> M.flush c.inner
 
     let fence () = M.fence ()
+
+    let drain () =
+      match mutation with Drop_drain -> () | _ -> M.drain ()
   end)
 
 let () =

@@ -40,6 +40,7 @@ module Queue_intf = Dssq_core.Queue_intf
 type params = {
   crashes : bool;
   line_size : int;
+  coalesce : bool;  (** route flushes through the per-thread persist buffer *)
   mode : Lincheck.mode;
   mutation : Mutants.mutation option;
   max_preemptions : int;
@@ -54,6 +55,7 @@ let default_params =
   {
     crashes = false;
     line_size = 1;
+    coalesce = false;
     mode = Lincheck.Strict;
     mutation = None;
     max_preemptions = 1;
@@ -92,9 +94,10 @@ let explorer ~(params : params) ~reduction setup : world Explore.t =
 
 let case_of_setup ~(params : params) ~obj ~prog ~nthreads setup =
   let name =
-    Printf.sprintf "%s/%s/%s/ls%d" obj prog
+    Printf.sprintf "%s/%s/%s/ls%d%s" obj prog
       (if params.crashes then "crash" else "nocrash")
       params.line_size
+      (if params.coalesce then "/co" else "")
   in
   {
     name;
@@ -111,7 +114,7 @@ let case_of_setup ~(params : params) ~obj ~prog ~nthreads setup =
   }
 
 let memory ~(params : params) heap =
-  let mem = Sim.memory heap in
+  let mem = Sim.memory ~coalesce:params.coalesce heap in
   match params.mutation with Some m -> Mutants.wrap m mem | None -> mem
 
 (* ---------------------------------------------------------------------- *)
@@ -524,9 +527,10 @@ let build ~params ~obj ~prog =
     are kept crash-free: with a crash adversary their branching factor
     would put a single case past the CI budget. *)
 let cases ?(objects = objects) ?(crash_modes = [ false; true ])
-    ?(line_sizes = [ 1; 8 ]) ?mutation ?(mode = Lincheck.Strict)
-    ?(max_preemptions = 1) ?(max_crash_lines = 4) ?(crash_samples = 6)
-    ?(seed = 0) ?(adversary = `Per_line) ?(limit = 2_000_000) () =
+    ?(line_sizes = [ 1; 8 ]) ?(coalesce = false) ?mutation
+    ?(mode = Lincheck.Strict) ?(max_preemptions = 1) ?(max_crash_lines = 4)
+    ?(crash_samples = 6) ?(seed = 0) ?(adversary = `Per_line)
+    ?(limit = 2_000_000) () =
   let objects =
     match mutation with Some _ -> [ "queue" ] | None -> objects
   in
@@ -544,6 +548,7 @@ let cases ?(objects = objects) ?(crash_modes = [ false; true ])
                       {
                         crashes;
                         line_size;
+                        coalesce;
                         mode;
                         mutation;
                         max_preemptions;

@@ -48,6 +48,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   let create ?name ~nthreads init =
     let cell = M.alloc ?name { v = init; writer = -1; seq = 0 } in
     M.flush cell;
+    M.drain ();
     {
       cell;
       x = Array.init nthreads (fun _ -> M.alloc X_none);
@@ -82,8 +83,10 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   let rec write t v =
     let cur = M.read t.cell in
     help_complete t cur;
-    if M.cas t.cell ~expected:cur ~desired:{ v; writer = -1; seq = 0 } then
-      M.flush t.cell
+    if M.cas t.cell ~expected:cur ~desired:{ v; writer = -1; seq = 0 } then begin
+      M.flush t.cell;
+      M.drain ()
+    end
     else write t v
 
   (* Value comparison is physical equality, as in the MEMORY signature:
@@ -96,12 +99,14 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       if M.cas t.cell ~expected:cur ~desired:{ v = desired; writer = -1; seq = 0 }
       then begin
         M.flush t.cell;
+        M.drain ();
         true
       end
       else cas t ~expected ~desired
     end
 
   let flush t = M.flush t.cell
+  let drain () = M.drain ()
 
   (* --------------------------- detectable --------------------------- *)
 
@@ -112,7 +117,8 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   let prep_write t ~tid v =
     let seq = next_seq t ~tid in
     M.write t.x.(tid) (X_write { v; seq; complete = false });
-    M.flush t.x.(tid)
+    M.flush t.x.(tid);
+    M.drain () (* persistence point: prep durable on return *)
 
   let exec_write t ~tid =
     match M.read t.x.(tid) with
@@ -132,14 +138,16 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
           end
           else loop ()
         in
-        loop ()
+        loop ();
+        M.drain () (* persistence point *)
     | X_none | X_cas _ | X_read _ ->
         invalid_arg "Dss_cell.exec_write: no write prepared"
 
   let prep_cas t ~tid ~expected ~desired =
     let seq = next_seq t ~tid in
     M.write t.x.(tid) (X_cas { expected; desired; seq; result = None });
-    M.flush t.x.(tid)
+    M.flush t.x.(tid);
+    M.drain ()
 
   let exec_cas t ~tid =
     match M.read t.x.(tid) with
@@ -172,14 +180,17 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
             else loop ()
           end
         in
-        loop ()
+        let r = loop () in
+        M.drain () (* persistence point *);
+        r
     | X_none | X_write _ | X_read _ ->
         invalid_arg "Dss_cell.exec_cas: no cas prepared"
 
   let prep_read t ~tid =
     let seq = next_seq t ~tid in
     M.write t.x.(tid) (X_read { seq; result = None });
-    M.flush t.x.(tid)
+    M.flush t.x.(tid);
+    M.drain ()
 
   let exec_read t ~tid =
     let v = (M.read t.cell).v in
@@ -188,6 +199,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
         if M.cas t.x.(tid) ~expected:x ~desired:(X_read { r with result = Some v })
         then M.flush t.x.(tid)
     | _ -> ());
+    M.drain ();
     v
 
   (* ---------------------------- detection --------------------------- *)

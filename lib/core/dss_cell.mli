@@ -30,6 +30,10 @@ module Make (M : Dssq_memory.Memory_intf.S) : sig
   val cas : 'a t -> expected:'a -> desired:'a -> bool
   val flush : 'a t -> unit
 
+  val drain : unit -> unit
+  (** Drain the calling thread's persist buffer (no-op under eager
+      flushing); exposed so composites can end a persistence epoch. *)
+
   (** {1 Detectable operations} *)
 
   val prep_write : 'a t -> tid:int -> 'a -> unit

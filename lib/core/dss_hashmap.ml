@@ -142,7 +142,8 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   let put t ~tid k v =
     check_key k;
     check_value v;
-    attempt_put t ~tid k v
+    attempt_put t ~tid k v;
+    M.drain () (* persistence point *)
 
   let rec attempt_remove t ~tid k =
     match probe t k with
@@ -157,7 +158,8 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   (** Detectable remove (no-op if absent). *)
   let remove t ~tid k =
     check_key k;
-    attempt_remove t ~tid k
+    attempt_remove t ~tid k;
+    M.drain () (* persistence point *)
 
   (* ---------------------------- detection ---------------------------- *)
 

@@ -63,6 +63,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     let tail = M.alloc ~name:"tail" ~placement:Dssq_memory.Memory_intf.Line.Isolated sentinel in
     M.flush head;
     M.flush tail;
+    M.drain ();
     let deferred = Array.init nthreads (fun _ -> ref []) in
     let ebr =
       Dssq_ebr.Ebr.create ~nthreads
@@ -126,6 +127,10 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     (* lines 3-4 *)
     M.write t.x.(tid) (Tagged.with_tag node Tagged.enq_prep);
     M.flush t.x.(tid);
+    (* Persistence point: prep must be durable when it returns (a crash
+       after prep must resolve to the prepared operation).  Eager
+       backends drain at every flush, so this is a no-op there. *)
+    M.drain ();
     trace_end "prep-enqueue" "ok"
 
   (* Body shared by exec-enqueue and the non-detectable enqueue; the
@@ -160,6 +165,10 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       else loop ()
     in
     loop ();
+    (* Persistence point: the operation's flushes (link, X completion)
+       must land before the node can enter reclamation — drain while
+       still EBR-protected, before grace can elapse. *)
+    M.drain ();
     Dssq_ebr.Ebr.exit t.ebr ~tid
 
   let exec_enqueue t ~tid =
@@ -184,6 +193,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     (* lines 32-33 *)
     M.write t.x.(tid) Tagged.deq_prep;
     M.flush t.x.(tid);
+    M.drain () (* persistence point, as in prep_enqueue *);
     trace_end "prep-dequeue" "ok"
 
   (* Body shared by exec-dequeue and the non-detectable dequeue.  The
@@ -251,6 +261,9 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       else loop ()
     in
     let v = loop () in
+    (* Persistence point — before [Ebr.exit], so the head-advance flush
+       lands before the old sentinel can be recycled and reused. *)
+    M.drain ();
     Dssq_ebr.Ebr.exit t.ebr ~tid;
     v
 
@@ -407,6 +420,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       end
     done;
     Pool.rebuild_free_lists t.pool ~keep:(fun i -> keep.(i));
+    M.drain ();
     Trace.recovery_end ()
 
   (** Decentralized recovery (Section 3.3): thread [tid] repairs only its
@@ -438,6 +452,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
         M.flush t.x.(tid)
       end
     end;
+    M.drain ();
     Trace.recovery_end ()
 
   (* ------------------------------------------------------------------ *)

@@ -93,6 +93,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
         (pack ~value:init ~writer:(-1) ~seq:0)
     in
     M.flush reg;
+    M.drain ();
     {
       reg;
       x =
@@ -136,6 +137,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   let read t ~tid:_ =
     let w = M.read t.reg in
     M.flush t.reg;
+    M.drain () (* the flush-on-read must complete before we return *);
     value_of w
 
   (* Even a non-detectable write must help the previous writer before
@@ -146,7 +148,10 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     help_complete t cur;
     (* Non-detectable writes carry no provenance. *)
     if M.cas t.reg ~expected:cur ~desired:(pack ~value:v ~writer:(-1) ~seq:0)
-    then M.flush t.reg
+    then begin
+      M.flush t.reg;
+      M.drain ()
+    end
     else write t ~tid v
 
   (* --------------------------- detectable --------------------------- *)
@@ -155,7 +160,8 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     if v < 0 || v > value_mask then invalid_arg "Dss_register.prep_write";
     t.seqs.(tid) <- (t.seqs.(tid) + 1) land seq_mask;
     M.write t.x.(tid) (x_pack ~value:v ~seq:t.seqs.(tid) ~tags:x_prep);
-    M.flush t.x.(tid)
+    M.flush t.x.(tid);
+    M.drain () (* persistence point: prep durable on return *)
 
   let exec_write t ~tid =
     let x = M.read t.x.(tid) in
@@ -174,12 +180,14 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       end
       else loop ()
     in
-    loop ()
+    loop ();
+    M.drain () (* persistence point *)
 
   let prep_read t ~tid =
     t.seqs.(tid) <- (t.seqs.(tid) + 1) land seq_mask;
     M.write t.x.(tid) (x_pack ~value:0 ~seq:t.seqs.(tid) ~tags:x_read);
-    M.flush t.x.(tid)
+    M.flush t.x.(tid);
+    M.drain ()
 
   let exec_read t ~tid =
     let v = value_of (M.read t.reg) in
@@ -188,6 +196,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     M.write t.x.(tid)
       (x_pack ~value:v ~seq:(x_seq x) ~tags:(x_read lor x_compl));
     M.flush t.x.(tid);
+    M.drain ();
     v
 
   (* ---------------------------- detection --------------------------- *)

@@ -47,6 +47,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     let pool = Pool.create ~capacity ~nthreads in
     let top = M.alloc ~name:"top" ~placement:Dssq_memory.Memory_intf.Line.Isolated Tagged.null in
     M.flush top;
+    M.drain ();
     let t =
       {
         pool;
@@ -109,7 +110,10 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     release_deferred t ~tid;
     let node = make_node t ~tid v in
     M.write t.x.(tid) (Tagged.with_tag node Tagged.enq_prep);
-    M.flush t.x.(tid)
+    M.flush t.x.(tid);
+    (* Persistence point: prep is durable when it returns (no-op on
+       eager backends, which drain at every flush). *)
+    M.drain ()
 
   let push_node t ~tid ~detectable node =
     Dssq_ebr.Ebr.enter t.ebr ~tid;
@@ -135,6 +139,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       end
     in
     loop ();
+    M.drain () (* persistence point, while still EBR-protected *);
     Dssq_ebr.Ebr.exit t.ebr ~tid
 
   let exec_push t ~tid =
@@ -150,7 +155,8 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   let prep_pop t ~tid =
     release_deferred t ~tid;
     M.write t.x.(tid) Tagged.deq_prep;
-    M.flush t.x.(tid)
+    M.flush t.x.(tid);
+    M.drain ()
 
   let pop_body t ~tid ~detectable =
     Dssq_ebr.Ebr.enter t.ebr ~tid;
@@ -188,6 +194,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       end
     in
     let v = loop () in
+    M.drain () (* persistence point, while still EBR-protected *);
     Dssq_ebr.Ebr.exit t.ebr ~tid;
     v
 
@@ -282,7 +289,8 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
         end
       end
     done;
-    Pool.rebuild_free_lists t.pool ~keep:(fun i -> keep.(i))
+    Pool.rebuild_free_lists t.pool ~keep:(fun i -> keep.(i));
+    M.drain ()
 
   (* ----------------------- introspection ---------------------------- *)
 

@@ -53,4 +53,5 @@ struct
   let cas c ~expected ~desired = C.cas c ~expected ~desired
   let flush c = C.flush c
   let fence () = Base.fence ()
+  let drain () = Base.drain ()
 end

@@ -21,30 +21,35 @@
 exception Pool_exhausted of int (* tid *)
 
 module Make (M : Dssq_memory.Memory_intf.S) = struct
+  module Padded = Dssq_memory.Memory_intf.Padded
+
   type t = {
     value : int M.cell array;
     next : int M.cell array;
     deq_tid : int M.cell array;
     capacity : int;
     nthreads : int;
-    free_lists : int list Atomic.t array;
+    free_lists : int list Padded.t array;
+        (* per-thread shards, each padded to cache-line stride: adjacent
+           threads' heads would otherwise share a physical line and every
+           push/pop would ping-pong it between domains *)
   }
 
   let home t i = (i - 1) mod t.nthreads
 
   let push_free lists owner i =
     let rec go () =
-      let cur = Atomic.get lists.(owner) in
-      if not (Atomic.compare_and_set lists.(owner) cur (i :: cur)) then go ()
+      let cur = Padded.get lists.(owner) in
+      if not (Padded.compare_and_set lists.(owner) cur (i :: cur)) then go ()
     in
     go ()
 
   let rec pop_free lists owner =
-    match Atomic.get lists.(owner) with
+    match Padded.get lists.(owner) with
     | [] -> None
     | i :: rest as cur ->
         (* NB compare_and_set is physical equality: reuse the read value. *)
-        if Atomic.compare_and_set lists.(owner) cur rest then Some i
+        if Padded.compare_and_set lists.(owner) cur rest then Some i
         else pop_free lists owner
 
   let create ~capacity ~nthreads =
@@ -64,12 +69,12 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
           | [ v; n; d ] -> (v, n, d)
           | _ -> assert false)
     in
-    let free_lists = Array.init nthreads (fun _ -> Atomic.make []) in
+    let free_lists = Array.init nthreads (fun _ -> Padded.make []) in
     (* Stripe nodes across threads; reversed so threads pop low indices
        first, which keeps tests readable. *)
     for i = capacity downto 1 do
       let owner = (i - 1) mod nthreads in
-      Atomic.set free_lists.(owner) (i :: Atomic.get free_lists.(owner))
+      Padded.set free_lists.(owner) (i :: Padded.get free_lists.(owner))
     done;
     {
       value = Array.map (fun (v, _, _) -> v) nodes;
@@ -126,17 +131,24 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   let free t ~tid:_ i =
     M.write t.deq_tid.(i) (-1);
     M.flush t.deq_tid.(i);
+    (* The unmark must be durable before the node becomes allocatable:
+       once reused and reachable it may no longer look marked after a
+       crash.  Under coalescing the flush above is only buffered, so
+       complete it here. *)
+    M.drain ();
     push_free t.free_lists (home t i) i
 
   let free_count t =
-    Array.fold_left (fun acc l -> acc + List.length (Atomic.get l)) 0 t.free_lists
+    Array.fold_left
+      (fun acc l -> acc + List.length (Padded.get l))
+      0 t.free_lists
 
   (** Rebuild all free lists after a crash: every node for which [keep]
       is false becomes available again, striped across threads.  Used by
       the recovery procedure with [keep] = "reachable from head or
       referenced by some X entry". *)
   let rebuild_free_lists t ~keep =
-    Array.iter (fun l -> Atomic.set l []) t.free_lists;
+    Array.iter (fun l -> Padded.set l []) t.free_lists;
     for i = t.capacity downto 1 do
       if not (keep i) then begin
         M.write t.deq_tid.(i) (-1);
@@ -144,7 +156,8 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
         M.write t.next.(i) Tagged.null;
         M.flush t.next.(i);
         let owner = home t i in
-        Atomic.set t.free_lists.(owner) (i :: Atomic.get t.free_lists.(owner))
+        Padded.set t.free_lists.(owner) (i :: Padded.get t.free_lists.(owner))
       end
-    done
+    done;
+    M.drain ()
 end

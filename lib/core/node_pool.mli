@@ -6,7 +6,9 @@
     node at realistic line sizes.  Node 0 is reserved as NULL; valid
     indices are [1 .. capacity].  Free lists are volatile,
     strictly thread-local, and rebuilt from the persistent structure
-    after a crash. *)
+    after a crash.  Each free-list head is padded to a cache-line stride
+    ({!Dssq_memory.Memory_intf.Padded}) so per-domain push/pop traffic on
+    neighbouring shards does not false-share. *)
 
 exception Pool_exhausted of int  (** carries the starved thread id *)
 
@@ -17,7 +19,7 @@ module Make (M : Dssq_memory.Memory_intf.S) : sig
     deq_tid : int M.cell array;
     capacity : int;
     nthreads : int;
-    free_lists : int list Atomic.t array;
+    free_lists : int list Dssq_memory.Memory_intf.Padded.t array;
   }
 
   val create : capacity:int -> nthreads:int -> t

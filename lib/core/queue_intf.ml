@@ -34,20 +34,26 @@ let equal_resolved (a : resolved) (b : resolved) = a = b
     persist-line size (words per line) the run's memory backend is
     configured with — 1 is the legacy word-granular model; the harness
     that creates the backend is responsible for keeping the two in
-    sync (see [Dssq_workload]). *)
+    sync (see [Dssq_workload]).  [coalesce] likewise records whether
+    the backend coalesces flushes into per-thread persist buffers
+    (again the harness keeps backend and config in sync); it is
+    carried for reporting — the algorithms themselves are oblivious,
+    they just call [drain] at their persistence points. *)
 type config = {
   nthreads : int;
   capacity : int;
   reclaim : bool;
   line_size : int;
+  coalesce : bool;
 }
 
-let config ?(reclaim = true) ?(line_size = 1) ~nthreads ~capacity () =
+let config ?(reclaim = true) ?(line_size = 1) ?(coalesce = false) ~nthreads
+    ~capacity () =
   if nthreads <= 0 then invalid_arg "Queue_intf.config: nthreads must be > 0";
   if capacity <= 0 then invalid_arg "Queue_intf.config: capacity must be > 0";
   if line_size <= 0 then
     invalid_arg "Queue_intf.config: line_size must be > 0";
-  { nthreads; capacity; reclaim; line_size }
+  { nthreads; capacity; reclaim; line_size; coalesce }
 
 (** Plain concurrent queue (non-detectable interface). *)
 module type QUEUE = sig

@@ -67,6 +67,14 @@ module Line = struct
     end
     else Atomic.exchange l.dirty false
 
+  (** Clear the line's dirtiness, returning whether it {e was} dirty —
+      i.e. whether a write-back happens.  Unlike {!flush_effective} there
+      is no size-1 special case: that rule exists only to reproduce the
+      legacy always-charge cost model on the eager path, whereas a
+      coalescing drain writes back exactly the lines that hold unpersisted
+      stores, at any line size. *)
+  let take_dirty l = Atomic.exchange l.dirty false
+
   (** Sequential placement of cells into lines.  Not thread-safe: the
       simulator allocates from one domain; the native backend serializes
       calls with its own lock. *)
@@ -128,6 +136,30 @@ module Line = struct
   end
 end
 
+(** Cache-line padding for {e volatile} hot atomics (free-list heads,
+    shared counters).  OCaml gives no control over object placement, so
+    the only portable defense against false sharing is to keep a filler
+    block allocated {e with} each atomic: consecutive [make] calls then
+    land the atomics at least [pad_words] words apart, on the minor heap
+    and after compaction alike, because the filler stays reachable from
+    the same record.  The extra indirection is irrelevant for the
+    contended operations these are used for (CAS loops, statistics
+    increments), where the coherence miss dominates. *)
+module Padded = struct
+  let pad_words = 15
+  (** With the 2-word block headers this spaces consecutive atomics a
+      full 128-byte prefetch pair apart on 64-bit systems. *)
+
+  type 'a t = { v : 'a Atomic.t; _pad : int array }
+
+  let make v = { v = Atomic.make v; _pad = Array.make pad_words 0 }
+  let get p = Atomic.get p.v
+  let set p v = Atomic.set p.v v
+  let compare_and_set p expected desired = Atomic.compare_and_set p.v expected desired
+  let fetch_and_add p n = Atomic.fetch_and_add p.v n
+  let incr p = Atomic.incr p.v
+end
+
 module type S = sig
   type 'a cell
   (** A shared memory word holding a value of type ['a].  On persistent
@@ -170,6 +202,20 @@ module type S = sig
 
   val fence : unit -> unit
   (** Store fence without a write-back; orders prior flushes. *)
+
+  val drain : unit -> unit
+  (** Persist barrier for flush-coalescing backends: write back every
+      line this thread has flushed since its last drain and fence once.
+      Algorithms call it at their linearization/persistence points (end
+      of prep, end of exec, before publishing a node for reuse).  On
+      eager backends every [flush] already drained, so [drain] is a
+      no-op — zero events, zero cost — which keeps the coalescing-off
+      path bit-for-bit identical to the pre-coalescing figures.
+
+      Coalescing backends additionally {e auto-drain} before applying
+      any store or CAS by a thread with pending flushes, so the
+      flush-before-dependent-store orderings eager code relies on are
+      preserved without annotating every store site. *)
 end
 
 (** A snapshot of memory-event counters: one monotonic count per event
@@ -178,14 +224,21 @@ end
     flush/fence/CAS deltas uniformly (the paper's Section 4 cost
     accounting).  [flushes] counts {e effective} flushes (write-backs);
     [elided_flushes] counts flush calls answered by a clean line at no
-    cost — the savings line-granular persistence buys. *)
+    cost — the savings line-granular persistence buys.
+    [coalesced_flushes] counts flush calls absorbed by a line already
+    pending in a coalescing persist buffer (deduplicated, so the drain
+    writes the line back once); [elided_fences] counts the per-flush
+    fences a drain folded into its single barrier (k absorbed flush
+    calls -> k-1 elided fences).  Both are zero on eager backends. *)
 type counters = {
   reads : int;
   writes : int;
   cases : int;
   flushes : int;
   elided_flushes : int;
+  coalesced_flushes : int;
   fences : int;
+  elided_fences : int;
 }
 
 module Counters = struct
@@ -196,7 +249,9 @@ module Counters = struct
       cases = 0;
       flushes = 0;
       elided_flushes = 0;
+      coalesced_flushes = 0;
       fences = 0;
+      elided_fences = 0;
     }
 
   let add a b =
@@ -206,7 +261,9 @@ module Counters = struct
       cases = a.cases + b.cases;
       flushes = a.flushes + b.flushes;
       elided_flushes = a.elided_flushes + b.elided_flushes;
+      coalesced_flushes = a.coalesced_flushes + b.coalesced_flushes;
       fences = a.fences + b.fences;
+      elided_fences = a.elided_fences + b.elided_fences;
     }
 
   (** [diff ~after ~before] is the delta between two snapshots of the
@@ -218,11 +275,14 @@ module Counters = struct
       cases = after.cases - before.cases;
       flushes = after.flushes - before.flushes;
       elided_flushes = after.elided_flushes - before.elided_flushes;
+      coalesced_flushes = after.coalesced_flushes - before.coalesced_flushes;
       fences = after.fences - before.fences;
+      elided_fences = after.elided_fences - before.elided_fences;
     }
 
   let total c =
-    c.reads + c.writes + c.cases + c.flushes + c.elided_flushes + c.fences
+    c.reads + c.writes + c.cases + c.flushes + c.elided_flushes
+    + c.coalesced_flushes + c.fences + c.elided_fences
 
   let to_assoc c =
     [
@@ -231,7 +291,9 @@ module Counters = struct
       ("cases", c.cases);
       ("flushes", c.flushes);
       ("elided_flushes", c.elided_flushes);
+      ("coalesced_flushes", c.coalesced_flushes);
       ("fences", c.fences);
+      ("elided_fences", c.elided_fences);
     ]
 
   let of_assoc l =
@@ -242,13 +304,17 @@ module Counters = struct
       cases = get "cases";
       flushes = get "flushes";
       elided_flushes = get "elided_flushes";
+      coalesced_flushes = get "coalesced_flushes";
       fences = get "fences";
+      elided_fences = get "elided_fences";
     }
 
   let pp fmt c =
     Format.fprintf fmt
-      "reads=%d writes=%d cases=%d flushes=%d elided=%d fences=%d" c.reads
-      c.writes c.cases c.flushes c.elided_flushes c.fences
+      "reads=%d writes=%d cases=%d flushes=%d elided=%d coalesced=%d \
+       fences=%d elided_fences=%d"
+      c.reads c.writes c.cases c.flushes c.elided_flushes c.coalesced_flushes
+      c.fences c.elided_fences
 end
 
 (** A backend with uniform memory-event accounting: snapshot with

@@ -15,7 +15,7 @@
 
 module Line = Memory_intf.Line
 
-type 'a cell = { v : 'a Atomic.t; line : Line.t }
+type 'a cell = { v : 'a Atomic.t; line : Line.t; pad : int array }
 
 (* One process-wide line allocator.  Allocation happens during
    single-threaded setup or recovery, but harness phases can overlap in
@@ -31,12 +31,24 @@ let set_line_size size =
 
 let line_size () = Line.Alloc.line_size !allocator
 
+(* [Isolated] placement asks for a cell real implementations pad to a
+   private cache line (queue head/tail, per-thread X words).  The model
+   gives it a private persist line; on the real machine we additionally
+   allocate a filler block with the atomic so consecutive hot cells do
+   not land adjacent on one physical line (false sharing between
+   domains).  The filler must stay reachable from the cell, or the GC
+   would collect it and compaction could re-pack the atomics. *)
+let pad_for placement =
+  match placement with
+  | Some Line.Isolated -> Array.make Memory_intf.Padded.pad_words 0
+  | Some Line.Packed | None -> [||]
+
 let alloc ?name ?placement v =
   ignore name;
   Mutex.lock alloc_lock;
   let line = Line.Alloc.place ?placement !allocator in
   Mutex.unlock alloc_lock;
-  { v = Atomic.make v; line }
+  { v = Atomic.make v; line; pad = pad_for placement }
 
 let alloc_block ?name vs =
   ignore name;
@@ -45,7 +57,7 @@ let alloc_block ?name vs =
   let lines = List.map (fun _ -> Line.Alloc.place !allocator) vs in
   Line.Alloc.align !allocator;
   Mutex.unlock alloc_lock;
-  List.map2 (fun v line -> { v = Atomic.make v; line }) vs lines
+  List.map2 (fun v line -> { v = Atomic.make v; line; pad = [||] }) vs lines
 
 let line_id c = c.line.Line.id
 let read c = Atomic.get c.v
@@ -74,6 +86,12 @@ let flush_line c =
 let flush c = ignore (flush_line c)
 let fence () = Persist_cost.pay_fence ()
 
+let drain () = ()
+(* Eager backend: every [flush] above already wrote back and drained, so
+   the persist barrier has nothing to do.  Being a literal no-op is what
+   keeps algorithms annotated with [drain] calls bit-for-bit identical
+   to their pre-coalescing event streams on this backend. *)
+
 (** Event hook for the observability tracer.  The tracer lives in
     [Dssq_obs], which depends on this library, so the dependency is
     inverted: this side exposes a hook, [Dssq_obs.Trace.start] points it
@@ -96,13 +114,16 @@ let trace_hook :
     stay branch-free when accounting is off. *)
 module Counted () : Memory_intf.COUNTED with type 'a cell = 'a cell = struct
   type nonrec 'a cell = 'a cell
+  module P = Memory_intf.Padded
 
-  let c_reads = Atomic.make 0
-  let c_writes = Atomic.make 0
-  let c_cases = Atomic.make 0
-  let c_flushes = Atomic.make 0
-  let c_elided = Atomic.make 0
-  let c_fences = Atomic.make 0
+  (* Every domain increments these on every memory event: padded to
+     line-size stride so the counters themselves do not false-share. *)
+  let c_reads = P.make 0
+  let c_writes = P.make 0
+  let c_cases = P.make 0
+  let c_flushes = P.make 0
+  let c_elided = P.make 0
+  let c_fences = P.make 0
   let alloc = alloc
   let alloc_block = alloc_block
 
@@ -117,45 +138,195 @@ module Counted () : Memory_intf.COUNTED with type 'a cell = 'a cell = struct
     | Some f -> f `Fence ~line:(-1) ~dirty:false
 
   let read c =
-    Atomic.incr c_reads;
+    P.incr c_reads;
     traced `Read c;
     read c
 
   let write c v =
-    Atomic.incr c_writes;
+    P.incr c_writes;
     write c v;
     traced `Write c
 
   let cas c ~expected ~desired =
-    Atomic.incr c_cases;
+    P.incr c_cases;
     let hit = cas c ~expected ~desired in
     traced `Cas c;
     hit
 
   let flush c =
-    if flush_line c then Atomic.incr c_flushes else Atomic.incr c_elided;
+    if flush_line c then P.incr c_flushes else P.incr c_elided;
     traced `Flush c
 
   let fence () =
-    Atomic.incr c_fences;
+    P.incr c_fences;
+    traced_fence ();
+    fence ()
+
+  let drain () = ()
+
+  let counters () =
+    {
+      Memory_intf.reads = P.get c_reads;
+      writes = P.get c_writes;
+      cases = P.get c_cases;
+      flushes = P.get c_flushes;
+      elided_flushes = P.get c_elided;
+      coalesced_flushes = 0;
+      fences = P.get c_fences;
+      elided_fences = 0;
+    }
+
+  let reset_counters () =
+    P.set c_reads 0;
+    P.set c_writes 0;
+    P.set c_cases 0;
+    P.set c_flushes 0;
+    P.set c_elided 0;
+    P.set c_fences 0
+end
+
+(** Flush-coalescing variant of the native backend (always counted —
+    the coalescing win is precisely what the counters exist to show).
+    Each domain owns a private persist buffer in domain-local storage:
+    [flush] records the cell's line (deduplicated; clean lines elided at
+    any line size), [drain] clears the buffer paying one write-back
+    latency — the buffered CLWBs complete in parallel, so one
+    [pay_flush] models the overlapped batch — plus the barrier.  Stores
+    and CAS auto-drain first when the buffer is nonempty, preserving
+    eager code's flush-before-dependent-store orderings.  Generative for
+    the same reason as {!Counted}. *)
+module Coalescing () : Memory_intf.COUNTED with type 'a cell = 'a cell = struct
+  type nonrec 'a cell = 'a cell
+  module P = Memory_intf.Padded
+
+  let c_reads = P.make 0
+  let c_writes = P.make 0
+  let c_cases = P.make 0
+  let c_flushes = P.make 0
+  let c_elided = P.make 0
+  let c_coalesced = P.make 0
+  let c_fences = P.make 0
+  let c_elided_fences = P.make 0
+  let alloc = alloc
+  let alloc_block = alloc_block
+
+  type buf = {
+    lines : (int, Line.t) Hashtbl.t;
+    mutable calls : int;
+    mutable owed : bool;
+        (* a buffered flush's round-trip is still outstanding: the next
+           explicit drain pays one overlapped flush + one fence for the
+           whole batch *)
+  }
+
+  let key =
+    Domain.DLS.new_key (fun () ->
+        { lines = Hashtbl.create 8; calls = 0; owed = false })
+
+  let traced kind c =
+    match !trace_hook with
+    | None -> ()
+    | Some f -> f kind ~line:(line_id c) ~dirty:(Line.is_dirty c.line)
+
+  let traced_fence () =
+    match !trace_hook with
+    | None -> ()
+    | Some f -> f `Fence ~line:(-1) ~dirty:false
+
+  (* Write the pending lines back (counter-wise): the semantic half of a
+     drain, shared by explicit drains and the auto-drain that orders
+     write-backs before a store.  Pays nothing — the batched round-trip
+     cost is charged once, at the explicit persistence-point drain (see
+     [drain]). *)
+  let retire b =
+    if Hashtbl.length b.lines > 0 then begin
+      let effective = ref 0 in
+      Hashtbl.iter
+        (fun _ l -> if Line.take_dirty l then incr effective)
+        b.lines;
+      let skipped = Hashtbl.length b.lines - !effective in
+      Hashtbl.reset b.lines;
+      if !effective > 0 then ignore (P.fetch_and_add c_flushes !effective);
+      if skipped > 0 then ignore (P.fetch_and_add c_elided skipped);
+      P.incr c_fences;
+      ignore (P.fetch_and_add c_elided_fences (max 0 (b.calls - 1)));
+      b.calls <- 0;
+      traced_fence ()
+    end
+
+  (* One overlapped device round-trip plus one fence per persistence
+     point, however many flushes were buffered since the last one — the
+     coalescing win the [Padded] counters make observable. *)
+  let drain () =
+    let b = Domain.DLS.get key in
+    retire b;
+    if b.owed then begin
+      b.owed <- false;
+      Persist_cost.pay_flush ();
+      Persist_cost.pay_fence ()
+    end
+
+  let auto_drain () = retire (Domain.DLS.get key)
+
+  let read c =
+    P.incr c_reads;
+    traced `Read c;
+    read c
+
+  let write c v =
+    auto_drain ();
+    P.incr c_writes;
+    write c v;
+    traced `Write c
+
+  let cas c ~expected ~desired =
+    auto_drain ();
+    P.incr c_cases;
+    let hit = cas c ~expected ~desired in
+    traced `Cas c;
+    hit
+
+  let flush c =
+    let b = Domain.DLS.get key in
+    let lid = line_id c in
+    if Hashtbl.mem b.lines lid then begin
+      P.incr c_coalesced;
+      b.calls <- b.calls + 1;
+      b.owed <- true
+    end
+    else if Line.is_dirty c.line then begin
+      Hashtbl.add b.lines lid c.line;
+      b.calls <- b.calls + 1;
+      b.owed <- true
+    end
+    else P.incr c_elided;
+    traced `Flush c
+
+  let fence () =
+    drain ();
+    P.incr c_fences;
     traced_fence ();
     fence ()
 
   let counters () =
     {
-      Memory_intf.reads = Atomic.get c_reads;
-      writes = Atomic.get c_writes;
-      cases = Atomic.get c_cases;
-      flushes = Atomic.get c_flushes;
-      elided_flushes = Atomic.get c_elided;
-      fences = Atomic.get c_fences;
+      Memory_intf.reads = P.get c_reads;
+      writes = P.get c_writes;
+      cases = P.get c_cases;
+      flushes = P.get c_flushes;
+      elided_flushes = P.get c_elided;
+      coalesced_flushes = P.get c_coalesced;
+      fences = P.get c_fences;
+      elided_fences = P.get c_elided_fences;
     }
 
   let reset_counters () =
-    Atomic.set c_reads 0;
-    Atomic.set c_writes 0;
-    Atomic.set c_cases 0;
-    Atomic.set c_flushes 0;
-    Atomic.set c_elided 0;
-    Atomic.set c_fences 0
+    P.set c_reads 0;
+    P.set c_writes 0;
+    P.set c_cases 0;
+    P.set c_flushes 0;
+    P.set c_elided 0;
+    P.set c_coalesced 0;
+    P.set c_fences 0;
+    P.set c_elided_fences 0
 end

@@ -8,7 +8,10 @@
 
 module Line = Memory_intf.Line
 
-type 'a cell = { v : 'a Atomic.t; line : Line.t }
+type 'a cell = { v : 'a Atomic.t; line : Line.t; pad : int array }
+(** [pad] keeps a filler block reachable for [Isolated]-placement cells
+    so consecutive hot atomics do not share a physical cache line (empty
+    for packed cells). *)
 
 val set_line_size : int -> unit
 (** Replace the process-wide line allocator with a fresh one of the
@@ -32,6 +35,10 @@ val flush_line : 'a cell -> bool
 val flush : 'a cell -> unit
 val fence : unit -> unit
 
+val drain : unit -> unit
+(** No-op: the eager backend drains at every [flush].  See
+    {!Coalescing} for the buffering variant. *)
+
 val trace_hook :
   ([ `Read | `Write | `Cas | `Flush | `Fence ] ->
   line:int ->
@@ -48,7 +55,16 @@ val trace_hook :
 
 module Counted () : Memory_intf.COUNTED with type 'a cell = 'a cell
 (** Counting variant for memory-event accounting on real domains; each
-    instantiation owns fresh counters.  Counts flush write-backs and
-    elisions separately ([flushes] / [elided_flushes]).  Instantiate
+    instantiation owns fresh counters (padded to line stride so the
+    counters themselves do not false-share).  Counts flush write-backs
+    and elisions separately ([flushes] / [elided_flushes]).  Instantiate
     algorithm functors over this module (instead of the plain backend)
     to enable accounting — the plain operations stay branch-free. *)
+
+module Coalescing () : Memory_intf.COUNTED with type 'a cell = 'a cell
+(** Flush-coalescing variant (always counted): each domain buffers the
+    lines it flushes in domain-local storage, [drain] writes the batch
+    back with one overlapped persist latency plus one barrier, and
+    stores/CAS auto-drain first when the buffer is nonempty.  Fills the
+    [coalesced_flushes] / [elided_fences] counters that stay zero on
+    the eager backends. *)

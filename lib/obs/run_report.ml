@@ -15,8 +15,12 @@ let schema_name = "dssq.run-report"
 (* v1: initial schema.
    v2: event objects gained an ["elided_flushes"] key (clean-line flushes
        skipped under cache-line-granular persistence).  v1 documents
-       still decode — a missing key reads as 0. *)
-let schema_version = 2
+       still decode — a missing key reads as 0.
+   v3: event objects gained ["coalesced_flushes"] (duplicate flushes
+       absorbed by the per-thread persist buffer) and ["elided_fences"]
+       (fences folded into a buffered drain).  v1 and v2 documents still
+       decode the same way: missing event keys read as 0. *)
+let schema_version = 3
 
 (** One instrumented measurement (one repeat at one x). *)
 type sample = {

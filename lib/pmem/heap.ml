@@ -19,7 +19,9 @@ type stats = {
   mutable cases : int;
   mutable flushes : int;
   mutable elided_flushes : int;
+  mutable coalesced_flushes : int;
   mutable fences : int;
+  mutable elided_fences : int;
 }
 
 type t = {
@@ -34,6 +36,16 @@ type t = {
       (* When true, memory operations must be routed through the scheduler
          (performed as effects); when false they apply directly — used for
          initialization and single-threaded recovery code. *)
+  mutable cur_tid : int;
+      (* Thread on whose behalf memory operations currently apply: set by
+         the stepping machine before each step, -1 in direct mode.  Keys
+         the per-thread coalescing buffers. *)
+  pending : (int, (int, Line.t) Hashtbl.t) Hashtbl.t;
+      (* tid -> line id -> line: lines flushed by the thread since its
+         last drain (coalescing mode only).  Pending lines stay dirty, so
+         the crash adversary covers the whole deferral window. *)
+  pending_calls : (int, int) Hashtbl.t;
+      (* tid -> flush calls absorbed since the thread's last drain *)
 }
 
 let create ?(line_size = 1) () =
@@ -50,9 +62,14 @@ let create ?(line_size = 1) () =
         cases = 0;
         flushes = 0;
         elided_flushes = 0;
+        coalesced_flushes = 0;
         fences = 0;
+        elided_fences = 0;
       };
     in_sim = false;
+    cur_tid = -1;
+    pending = Hashtbl.create 8;
+    pending_calls = Hashtbl.create 8;
   }
 
 let line_size t = Line.Alloc.line_size t.line_alloc
@@ -103,12 +120,118 @@ let traced op (c : 'a Cell.t) =
     Trace.mem op ~cell:c.Cell.id ~name:c.Cell.name
       ~line:c.Cell.line.Line.id ~dirty:c.Cell.dirty
 
+(* Write the whole line back: every dirty member persists in the one
+   write-back (CLWB acts on the full cache line). *)
+let persist_line t (l : Line.t) =
+  List.iter
+    (fun (Cell.Packed m) ->
+      if m.Cell.dirty then begin
+        m.Cell.persisted <- m.Cell.volatile;
+        m.Cell.dirty <- false
+      end)
+    (members t l)
+
+(* ------------------------------------------------------------------ *)
+(* Flush coalescing: per-thread persist buffers.  Defined before the
+   plain operations because stores and CAS auto-drain: a pending flush
+   must complete before any later store by the same thread, or
+   coalescing would reorder eager code's flush-before-dependent-store
+   sequences.  The buffers are only ever populated through
+   [flush_coalesced], so on the eager path every operation below pays
+   one hash lookup miss and nothing else — event streams are
+   bit-for-bit identical. *)
+
+let buffer t tid =
+  match Hashtbl.find_opt t.pending tid with
+  | Some b -> b
+  | None ->
+      let b = Hashtbl.create 8 in
+      Hashtbl.add t.pending tid b;
+      b
+
+let has_pending t =
+  match Hashtbl.find_opt t.pending t.cur_tid with
+  | Some b -> Hashtbl.length b > 0
+  | None -> false
+
+let pending_lines t =
+  match Hashtbl.find_opt t.pending t.cur_tid with
+  | Some b -> Hashtbl.fold (fun lid _ acc -> lid :: acc) b [] |> List.sort compare
+  | None -> []
+
+let bump_calls t =
+  Hashtbl.replace t.pending_calls t.cur_tid
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.pending_calls t.cur_tid))
+
+(** Coalescing flush: record the cell's line in the current thread's
+    persist buffer instead of writing it back now.  A line already
+    pending is deduplicated ([coalesced_flushes]); a clean line has
+    nothing to write back and is elided outright, {e at any} line size —
+    the size-1 always-charge rule of {!flush} exists only to reproduce
+    the legacy eager cost model, which the coalescing mode replaces.
+    Volatile and persisted state are untouched: the line stays dirty, so
+    a crash before the drain exposes exactly the not-yet-persisted
+    window the deferral creates. *)
+let flush_coalesced t (c : 'a Cell.t) =
+  let line = c.Cell.line in
+  let b = buffer t t.cur_tid in
+  if Hashtbl.mem b line.Line.id then begin
+    t.stats.coalesced_flushes <- t.stats.coalesced_flushes + 1;
+    bump_calls t
+  end
+  else if Line.is_dirty line then begin
+    Hashtbl.add b line.Line.id line;
+    bump_calls t
+  end
+  else t.stats.elided_flushes <- t.stats.elided_flushes + 1;
+  traced `Flush c
+
+(** Drain the current thread's persist buffer: write every pending line
+    back and fence once.  Counts one effective flush per line that is
+    still dirty (a concurrent drain may have beaten us to a shared
+    line), one fence for the barrier, and [k-1] elided fences for the
+    [k] flush calls the barrier absorbed. *)
+let drain t =
+  match Hashtbl.find_opt t.pending t.cur_tid with
+  | None -> ()
+  | Some b when Hashtbl.length b = 0 -> ()
+  | Some b ->
+      Hashtbl.iter
+        (fun _lid line ->
+          if Line.take_dirty line then begin
+            t.stats.flushes <- t.stats.flushes + 1;
+            persist_line t line;
+            if Trace.is_on () then
+              match members t line with
+              | Cell.Packed m :: _ -> traced `Flush m
+              | [] -> ()
+          end
+          else t.stats.elided_flushes <- t.stats.elided_flushes + 1)
+        b;
+      Hashtbl.reset b;
+      let calls =
+        Option.value ~default:0 (Hashtbl.find_opt t.pending_calls t.cur_tid)
+      in
+      Hashtbl.replace t.pending_calls t.cur_tid 0;
+      t.stats.fences <- t.stats.fences + 1;
+      t.stats.elided_fences <- t.stats.elided_fences + max 0 (calls - 1);
+      if Trace.is_on () then
+        Trace.mem `Fence ~cell:(-1) ~name:"" ~line:(-1) ~dirty:false
+
+(* Auto-drain: complete the thread's pending flushes before it issues a
+   store, CAS, or fence.  Folding the drain into the same atomic step is
+   sound — a drain changes no volatile state, and the crash state "just
+   after the drain" is already reachable by evicting every pending line
+   at the crash before this step. *)
+let auto_drain t = if has_pending t then drain t
+
 let read t (c : 'a Cell.t) : 'a =
   t.stats.reads <- t.stats.reads + 1;
   traced `Read c;
   c.volatile
 
 let write t (c : 'a Cell.t) (v : 'a) =
+  auto_drain t;
   t.stats.writes <- t.stats.writes + 1;
   c.volatile <- v;
   c.dirty <- true;
@@ -116,6 +239,7 @@ let write t (c : 'a Cell.t) (v : 'a) =
   traced `Write c
 
 let cas t (c : 'a Cell.t) ~(expected : 'a) ~(desired : 'a) =
+  auto_drain t;
   t.stats.cases <- t.stats.cases + 1;
   let hit =
     if Cell.value_equal c.volatile expected then begin
@@ -129,17 +253,6 @@ let cas t (c : 'a Cell.t) ~(expected : 'a) ~(desired : 'a) =
   traced `Cas c;
   hit
 
-(* Write the whole line back: every dirty member persists in the one
-   write-back (CLWB acts on the full cache line). *)
-let persist_line t (l : Line.t) =
-  List.iter
-    (fun (Cell.Packed m) ->
-      if m.Cell.dirty then begin
-        m.Cell.persisted <- m.Cell.volatile;
-        m.Cell.dirty <- false
-      end)
-    (members t l)
-
 let flush t (c : 'a Cell.t) =
   if Line.flush_effective c.Cell.line then begin
     t.stats.flushes <- t.stats.flushes + 1;
@@ -149,9 +262,12 @@ let flush t (c : 'a Cell.t) =
   traced `Flush c
 
 let fence t =
-  t.stats.fences <- t.stats.fences + 1;
-  if Trace.is_on () then
-    Trace.mem `Fence ~cell:(-1) ~name:"" ~line:(-1) ~dirty:false
+  if has_pending t then drain t
+  else begin
+    t.stats.fences <- t.stats.fences + 1;
+    if Trace.is_on () then
+      Trace.mem `Fence ~cell:(-1) ~name:"" ~line:(-1) ~dirty:false
+  end
 
 let dirty_count t =
   List.fold_left
@@ -185,6 +301,12 @@ let crash_by_line t ~verdict =
       end)
     t.cells;
   Hashtbl.iter (fun _ l -> Atomic.set l.Line.dirty false) t.lines;
+  (* Power loss wipes the persist buffers with the rest of volatile
+     state: pending-but-undrained flushes are simply gone (their lines
+     were still dirty, so the per-line verdicts above already decided
+     their fate). *)
+  Hashtbl.reset t.pending;
+  Hashtbl.reset t.pending_calls;
   if Trace.is_on () then Trace.crash ~verdicts:(List.rev !verdicts)
 
 (** Crash with one [evict] draw per dirty line, drawn in the order lines
@@ -224,7 +346,9 @@ let counters t : Dssq_memory.Memory_intf.counters =
     cases = t.stats.cases;
     flushes = t.stats.flushes;
     elided_flushes = t.stats.elided_flushes;
+    coalesced_flushes = t.stats.coalesced_flushes;
     fences = t.stats.fences;
+    elided_fences = t.stats.elided_fences;
   }
 
 let reset_stats t =
@@ -234,7 +358,9 @@ let reset_stats t =
   s.cases <- 0;
   s.flushes <- 0;
   s.elided_flushes <- 0;
-  s.fences <- 0
+  s.coalesced_flushes <- 0;
+  s.fences <- 0;
+  s.elided_fences <- 0
 
 let cell_count t = List.length t.cells
 let line_count t = Hashtbl.length t.lines

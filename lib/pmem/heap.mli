@@ -18,7 +18,11 @@ type stats = {
   mutable cases : int;
   mutable flushes : int;  (** effective flushes (write-backs) *)
   mutable elided_flushes : int;  (** flush calls answered by a clean line *)
+  mutable coalesced_flushes : int;
+      (** flush calls absorbed by an already-pending line (coalescing) *)
   mutable fences : int;
+  mutable elided_fences : int;
+      (** per-flush fences folded into drain barriers (coalescing) *)
 }
 
 type t = {
@@ -31,6 +35,12 @@ type t = {
   mutable in_sim : bool;
       (** when true, memory operations must go through the scheduler;
           toggled by [Dssq_sim.Sim.run] *)
+  mutable cur_tid : int;
+      (** thread on whose behalf memory operations currently apply (set
+          by the stepping machine; -1 in direct mode) — keys the
+          per-thread coalescing buffers *)
+  pending : (int, (int, Line.t) Hashtbl.t) Hashtbl.t;
+  pending_calls : (int, int) Hashtbl.t;
 }
 
 val create : ?line_size:int -> unit -> t
@@ -65,6 +75,31 @@ val flush : t -> 'a Cell.t -> unit
     and the line size is >= 2. *)
 
 val fence : t -> unit
+
+(** {2 Flush coalescing}
+
+    Opt-in per-thread persist buffers (see [Dssq_sim.Sim.memory
+    ~coalesce:true]): {!flush_coalesced} records the cell's line in the
+    current thread's buffer instead of writing it back, {!drain} writes
+    every pending line back with one barrier.  Pending lines stay dirty,
+    so the crash adversary ranges over the whole deferral window. *)
+
+val flush_coalesced : t -> 'a Cell.t -> unit
+(** Buffer the cell's line for the next {!drain}.  Already-pending lines
+    are deduplicated ([coalesced_flushes]); clean lines are elided at any
+    line size (nothing to write back — the size-1 always-charge rule is
+    an eager-cost-model anchor, not a semantic requirement). *)
+
+val drain : t -> unit
+(** Write back every line in the current thread's persist buffer and
+    fence once.  No-op (zero events, zero counts) when the buffer is
+    empty. *)
+
+val has_pending : t -> bool
+(** Whether the current thread's persist buffer is nonempty. *)
+
+val pending_lines : t -> int list
+(** Line ids in the current thread's persist buffer, ascending. *)
 
 val crash : t -> evict:(unit -> bool) -> unit
 (** Crash the machine: for every dirty {e line}, [evict ()] decides

@@ -86,12 +86,18 @@ let step t tid =
       t.steps <- t.steps + 1;
       (* Line dirtiness must be read before the flush clears it. *)
       let flush_effective = Sim_op.flush_pending op in
+      (* The heap's coalescing buffers are per-thread: tell it whose
+         behalf this operation applies on, and restore direct mode (-1)
+         afterwards so non-scheduled code keeps its own buffer. *)
+      t.heap.Heap.cur_tid <- tid;
       let result = Sim_op.apply t.heap op in
+      t.heap.Heap.cur_tid <- -1;
       let info =
         match op with
         | Sim_op.Cas _ -> { cas_success = Some result; flush_effective }
-        | Sim_op.Read _ | Sim_op.Write _ | Sim_op.Flush _ | Sim_op.Fence
-        | Sim_op.Yield ->
+        | Sim_op.Read _ | Sim_op.Write _ | Sim_op.Flush _
+        | Sim_op.Flush_async _ | Sim_op.Drain | Sim_op.Fence | Sim_op.Yield
+          ->
             { cas_success = None; flush_effective }
       in
       set t tid (Effect.Deep.continue k result);
@@ -132,6 +138,11 @@ type access =
 let pending_access t tid =
   match t.threads.(tid) with
   | Fresh _ -> Some Start
+  | Waiting (Paused (Sim_op.Drain, _)) ->
+      (* A drain writes back the thread's whole pending-line set — a
+         footprint the access summary cannot name, so treat it like
+         [Start]: conflicting with everything (sound, conservative). *)
+      Some Start
   | Waiting (Paused (op, _)) -> (
       match (Sim_op.cell_id op, Sim_op.target op) with
       | Some cell, Some line -> Some (Mem { kind = Sim_op.kind op; cell; line })

@@ -45,8 +45,17 @@ type outcome = {
 }
 
 (** A first-class [MEMORY] backed by [heap].  Inside {!run} operations
-    suspend into the scheduler; outside they apply directly. *)
-let memory heap : (module Dssq_memory.Memory_intf.S) =
+    suspend into the scheduler; outside they apply directly.
+
+    With [~coalesce:true], [flush] buffers the line in the calling
+    thread's per-thread persist buffer ({!Sim_op.Flush_async}) and
+    [drain] is a real scheduling step that writes the batch back with one
+    barrier; stores/CAS/fences auto-drain inside {!Heap} so eager code's
+    flush-before-dependent-store orderings are preserved.  With the
+    default [~coalesce:false], [drain] is a literal no-op (zero events,
+    zero scheduling points), keeping annotated algorithms bit-for-bit
+    identical to their pre-coalescing event streams. *)
+let memory ?(coalesce = false) heap : (module Dssq_memory.Memory_intf.S) =
   (module struct
     type 'a cell = 'a Cell.t
 
@@ -61,17 +70,21 @@ let memory heap : (module Dssq_memory.Memory_intf.S) =
     let read c = op (Sim_op.Read c)
     let write c v = op (Sim_op.Write (c, v))
     let cas c ~expected ~desired = op (Sim_op.Cas (c, expected, desired))
-    let flush c = op (Sim_op.Flush c)
+
+    let flush c =
+      if coalesce then op (Sim_op.Flush_async c) else op (Sim_op.Flush c)
+
     let fence () = op Sim_op.Fence
+    let drain () = if coalesce then op Sim_op.Drain
   end)
 
 (** {!memory} plus the uniform accounting interface: the heap always
     counts events (that {e is} the simulator's cost model), so this just
     exposes snapshot/reset in the same [COUNTED] shape as
     [Dssq_memory.Native.Counted]. *)
-let counted_memory heap : (module Dssq_memory.Memory_intf.COUNTED) =
+let counted_memory ?coalesce heap : (module Dssq_memory.Memory_intf.COUNTED) =
   (module struct
-    include (val memory heap : Dssq_memory.Memory_intf.S)
+    include (val memory ?coalesce heap : Dssq_memory.Memory_intf.S)
 
     let counters () = Heap.counters heap
     let reset_counters () = Heap.reset_stats heap

@@ -11,6 +11,12 @@ type 'a t =
   | Write : 'a Cell.t * 'a -> unit t
   | Cas : 'a Cell.t * 'a * 'a -> bool t
   | Flush : 'a Cell.t -> unit t
+  | Flush_async : 'a Cell.t -> unit t
+      (** coalescing flush: record the line in the thread's persist
+          buffer (no write-back yet; the line stays dirty) *)
+  | Drain : unit t
+      (** persist barrier: write back every line in the thread's persist
+          buffer and fence once *)
   | Fence : unit t
   | Yield : unit t  (** scheduling point with no memory side effect *)
 
@@ -21,17 +27,21 @@ let apply : type a. Heap.t -> a t -> a =
   | Write (c, v) -> Heap.write heap c v
   | Cas (c, expected, desired) -> Heap.cas heap c ~expected ~desired
   | Flush c -> Heap.flush heap c
+  | Flush_async c -> Heap.flush_coalesced heap c
+  | Drain -> Heap.drain heap
   | Fence -> Heap.fence heap
   | Yield -> ()
 
 (** Cost classes for the discrete-event throughput model. *)
-type kind = Read | Write | Cas | Flush | Fence | Yield
+type kind = Read | Write | Cas | Flush | Flush_async | Drain | Fence | Yield
 
 let kind : type a. a t -> kind = function
   | Read _ -> Read
   | Write _ -> Write
   | Cas _ -> Cas
   | Flush _ -> Flush
+  | Flush_async _ -> Flush_async
+  | Drain -> Drain
   | Fence -> Fence
   | Yield -> Yield
 
@@ -45,6 +55,8 @@ let target : type a. a t -> int option = function
   | Write (c, _) -> Some (Cell.line_id c)
   | Cas (c, _, _) -> Some (Cell.line_id c)
   | Flush c -> Some (Cell.line_id c)
+  | Flush_async c -> Some (Cell.line_id c)
+  | Drain -> None (* targets the thread's whole pending-line set *)
   | Fence -> None
   | Yield -> None
 
@@ -57,21 +69,29 @@ let cell_id : type a. a t -> int option = function
   | Write (c, _) -> Some c.Cell.id
   | Cas (c, _, _) -> Some c.Cell.id
   | Flush c -> Some c.Cell.id
+  | Flush_async c -> Some c.Cell.id
+  | Drain -> None
   | Fence -> None
   | Yield -> None
 
 (** For a [Flush], whether it would actually write back (line dirty, or
-    legacy line size 1).  Asked {e before} the event applies — cost
-    models use it to charge elided flushes nothing. *)
+    legacy line size 1); for a [Flush_async], whether the line is dirty
+    (clean lines are elided at any size on the coalescing path).  Asked
+    {e before} the event applies — cost models use it to charge elided
+    flushes nothing. *)
 let flush_pending : type a. a t -> bool option = function
   | Flush c ->
       Some (Dssq_memory.Memory_intf.Line.flush_pending (Cell.line c))
-  | Read _ | Write _ | Cas _ | Fence | Yield -> None
+  | Flush_async c ->
+      Some (Dssq_memory.Memory_intf.Line.is_dirty (Cell.line c))
+  | Read _ | Write _ | Cas _ | Drain | Fence | Yield -> None
 
 let describe : type a. a t -> string = function
   | Read c -> Printf.sprintf "read %s#%d" c.Cell.name c.Cell.id
   | Write (c, _) -> Printf.sprintf "write %s#%d" c.Cell.name c.Cell.id
   | Cas (c, _, _) -> Printf.sprintf "cas %s#%d" c.Cell.name c.Cell.id
   | Flush c -> Printf.sprintf "flush %s#%d" c.Cell.name c.Cell.id
+  | Flush_async c -> Printf.sprintf "flush-async %s#%d" c.Cell.name c.Cell.id
+  | Drain -> "drain"
   | Fence -> "fence"
   | Yield -> "yield"

@@ -8,6 +8,10 @@ type 'a t =
   | Write : 'a Cell.t * 'a -> unit t
   | Cas : 'a Cell.t * 'a * 'a -> bool t
   | Flush : 'a Cell.t -> unit t
+  | Flush_async : 'a Cell.t -> unit t
+      (** coalescing flush: buffer the line, no write-back yet *)
+  | Drain : unit t
+      (** persist barrier: write back the thread's pending lines *)
   | Fence : unit t
   | Yield : unit t  (** scheduling point with no memory side effect *)
 
@@ -15,7 +19,7 @@ val apply : Heap.t -> 'a t -> 'a
 (** Execute one event directly against the heap. *)
 
 (** Cost classes for the discrete-event throughput model. *)
-type kind = Read | Write | Cas | Flush | Fence | Yield
+type kind = Read | Write | Cas | Flush | Flush_async | Drain | Fence | Yield
 
 val kind : 'a t -> kind
 

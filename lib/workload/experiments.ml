@@ -12,15 +12,16 @@ let default_threads = [ 1; 2; 3; 4; 6; 8; 10; 12; 14; 16; 18; 20 ]
 type queue_config = { label : string; mk : string; det_pct : int }
 
 let measure_point ~backend ~horizon_ns ~duration ~repeats ~instrument
-    ~line_size (q : queue_config) ~nthreads : Dssq_obs.Run_report.sample list =
+    ~line_size ~coalesce (q : queue_config) ~nthreads :
+    Dssq_obs.Run_report.sample list =
   List.init repeats (fun r ->
       match backend with
       | Sim_model ->
           Sim_throughput.measure_ex ~seed:(1 + r) ~horizon_ns ~mk:q.mk
-            ~det_pct:q.det_pct ~line_size ~instrument ~nthreads ()
+            ~det_pct:q.det_pct ~line_size ~coalesce ~instrument ~nthreads ()
       | Native_domains ->
           Native_throughput.measure_ex ~mk:q.mk ~det_pct:q.det_pct ~line_size
-            ~instrument ~nthreads ~duration ())
+            ~coalesce ~instrument ~nthreads ~duration ())
 
 (** One series per queue configuration, one point per thread count, every
     point carrying [repeats] samples plus the aggregate observability
@@ -30,7 +31,7 @@ let measure_point ~backend ~horizon_ns ~duration ~repeats ~instrument
     size for every measurement. *)
 let sweep_ex ?(backend = Sim_model) ?(threads = default_threads) ?(repeats = 3)
     ?(horizon_ns = 300_000.) ?(duration = 0.2) ?(instrument = false)
-    ?(line_size = 1) (queues : queue_config list) :
+    ?(line_size = 1) ?(coalesce = false) (queues : queue_config list) :
     Dssq_obs.Run_report.series list =
   List.map
     (fun q ->
@@ -41,16 +42,16 @@ let sweep_ex ?(backend = Sim_model) ?(threads = default_threads) ?(repeats = 3)
             (fun nthreads ->
               Dssq_obs.Run_report.point_of_samples ~x:nthreads
                 (measure_point ~backend ~horizon_ns ~duration ~repeats
-                   ~instrument ~line_size q ~nthreads))
+                   ~instrument ~line_size ~coalesce q ~nthreads))
             threads;
       })
     queues
 
-let sweep ?backend ?threads ?repeats ?horizon_ns ?duration ?line_size
+let sweep ?backend ?threads ?repeats ?horizon_ns ?duration ?line_size ?coalesce
     (queues : queue_config list) : Report.series list =
   Report.of_run
     (sweep_ex ?backend ?threads ?repeats ?horizon_ns ?duration ?line_size
-       queues)
+       ?coalesce queues)
 
 (* ---------------------------------------------------------------------- *)
 (* Figure 5a: levels of detectability and persistence                      *)
@@ -63,13 +64,15 @@ let fig5a_queues =
     { label = "dss-det"; mk = "dss-queue"; det_pct = 100 };
   ]
 
-let fig5a ?backend ?threads ?repeats ?horizon_ns ?duration ?line_size () =
-  sweep ?backend ?threads ?repeats ?horizon_ns ?duration ?line_size fig5a_queues
+let fig5a ?backend ?threads ?repeats ?horizon_ns ?duration ?line_size ?coalesce
+    () =
+  sweep ?backend ?threads ?repeats ?horizon_ns ?duration ?line_size ?coalesce
+    fig5a_queues
 
 let fig5a_ex ?backend ?threads ?repeats ?horizon_ns ?duration ?instrument
-    ?line_size () =
+    ?line_size ?coalesce () =
   sweep_ex ?backend ?threads ?repeats ?horizon_ns ?duration ?instrument
-    ?line_size fig5a_queues
+    ?line_size ?coalesce fig5a_queues
 
 (* ---------------------------------------------------------------------- *)
 (* Figure 5b: detectable queue implementations                             *)
@@ -83,13 +86,15 @@ let fig5b_queues =
     { label = "gen-caswe"; mk = "general-caswe"; det_pct = 100 };
   ]
 
-let fig5b ?backend ?threads ?repeats ?horizon_ns ?duration ?line_size () =
-  sweep ?backend ?threads ?repeats ?horizon_ns ?duration ?line_size fig5b_queues
+let fig5b ?backend ?threads ?repeats ?horizon_ns ?duration ?line_size ?coalesce
+    () =
+  sweep ?backend ?threads ?repeats ?horizon_ns ?duration ?line_size ?coalesce
+    fig5b_queues
 
 let fig5b_ex ?backend ?threads ?repeats ?horizon_ns ?duration ?instrument
-    ?line_size () =
+    ?line_size ?coalesce () =
   sweep_ex ?backend ?threads ?repeats ?horizon_ns ?duration ?instrument
-    ?line_size fig5b_queues
+    ?line_size ?coalesce fig5b_queues
 
 (* ---------------------------------------------------------------------- *)
 (* Ablation: persist-cost sweep (simulated CLWB+sfence latency)            *)
@@ -380,6 +385,46 @@ let ablate_pmwcas ?(widths = [ 1; 2; 3; 4 ]) ?(line_size = 1) () :
             widths;
       })
     [ ("all-shared", false); ("private-rest", true) ]
+
+(* ---------------------------------------------------------------------- *)
+(* Benchmark-regression sweep (BENCH_*.json)                               *)
+(* ---------------------------------------------------------------------- *)
+
+(* The union of the Figure 5a/5b queue sets, measured with flush
+   coalescing off and on, over the simulated multiprocessor (always) and
+   real domains (full mode only) — the one sweep a PR compares against
+   the checked-in baseline with [dssq bench-diff].  Everything is
+   instrumented so each point's event payload carries flushes/op, and
+   everything runs at line size 1 (the word-granular model the paper's
+   figures use), so the coalescing win is measured without the separate
+   line-size elision effect.
+
+   [quick] is the CI smoke configuration: sim backend only, two thread
+   counts, one repeat — deterministic (fixed seeds) and a few seconds of
+   work.  Full mode adds the native backend, whose wall-clock samples
+   are noisy on a loaded machine; [dssq bench-diff]'s tolerance exists
+   for exactly that. *)
+let regress ?(quick = false) () : Dssq_obs.Run_report.series list =
+  let sim_threads = if quick then [ 1; 4 ] else [ 1; 2; 4; 8; 16 ] in
+  let repeats = if quick then 1 else 3 in
+  let horizon_ns = if quick then 120_000. else 300_000. in
+  let one ~backend ~threads ~coalesce =
+    let prefix =
+      (match backend with Sim_model -> "sim" | Native_domains -> "native")
+      ^ if coalesce then "+co" else ""
+    in
+    sweep_ex ~backend ~threads ~repeats ~horizon_ns ~duration:0.1
+      ~instrument:true ~line_size:1 ~coalesce linesize_queues
+    |> List.map (fun (s : Dssq_obs.Run_report.series) ->
+           { s with label = prefix ^ "/" ^ s.label })
+  in
+  one ~backend:Sim_model ~threads:sim_threads ~coalesce:false
+  @ one ~backend:Sim_model ~threads:sim_threads ~coalesce:true
+  @
+  if quick then []
+  else
+    one ~backend:Native_domains ~threads:[ 1; 2; 4 ] ~coalesce:false
+    @ one ~backend:Native_domains ~threads:[ 1; 2; 4 ] ~coalesce:true
 
 (* ---------------------------------------------------------------------- *)
 (* Modelled single-operation latency (single thread, no contention)        *)

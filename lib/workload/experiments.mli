@@ -23,13 +23,16 @@ val sweep_ex :
   ?duration:float ->
   ?instrument:bool ->
   ?line_size:int ->
+  ?coalesce:bool ->
   queue_config list ->
   Dssq_obs.Run_report.series list
 (** One series per queue configuration, one point per thread count; every
     point carries the observability payload (memory-event deltas, and
     latency histograms when [instrument] is set).  [line_size] (default 1
     = legacy word-granular persistence) configures the backend's
-    persist-line size for every measurement. *)
+    persist-line size for every measurement; [coalesce] (default false)
+    routes every flush through the backend's per-thread persist
+    buffer. *)
 
 val sweep :
   ?backend:backend ->
@@ -38,6 +41,7 @@ val sweep :
   ?horizon_ns:float ->
   ?duration:float ->
   ?line_size:int ->
+  ?coalesce:bool ->
   queue_config list ->
   Report.series list
 (** Throughput-only view of {!sweep_ex}. *)
@@ -49,6 +53,7 @@ val fig5a :
   ?horizon_ns:float ->
   ?duration:float ->
   ?line_size:int ->
+  ?coalesce:bool ->
   unit ->
   Report.series list
 (** MS queue vs DSS non-detectable vs DSS detectable (Figure 5a). *)
@@ -61,6 +66,7 @@ val fig5a_ex :
   ?duration:float ->
   ?instrument:bool ->
   ?line_size:int ->
+  ?coalesce:bool ->
   unit ->
   Dssq_obs.Run_report.series list
 (** Figure 5a with the observability payload. *)
@@ -72,6 +78,7 @@ val fig5b :
   ?horizon_ns:float ->
   ?duration:float ->
   ?line_size:int ->
+  ?coalesce:bool ->
   unit ->
   Report.series list
 (** DSS vs log vs Fast/General CASWithEffect (Figure 5b). *)
@@ -84,6 +91,7 @@ val fig5b_ex :
   ?duration:float ->
   ?instrument:bool ->
   ?line_size:int ->
+  ?coalesce:bool ->
   unit ->
   Dssq_obs.Run_report.series list
 (** Figure 5b with the observability payload. *)
@@ -165,6 +173,14 @@ val ablate_crash_mtbf :
 val ablate_pmwcas :
   ?widths:int list -> ?line_size:int -> unit -> Report.series list
 (** PMwCAS modelled ns/op vs word count, all-shared vs private-rest. *)
+
+val regress : ?quick:bool -> unit -> Dssq_obs.Run_report.series list
+(** The benchmark-regression sweep behind [bench regress] /
+    [BENCH_*.json]: {!linesize_queues} with coalescing off and on,
+    instrumented, at line size 1.  Series labels are prefixed
+    ["sim/"], ["sim+co/"], ["native/"], ["native+co/"]; x is the thread
+    count.  [quick] (the CI smoke) is sim-only, two thread counts, one
+    repeat, deterministic. *)
 
 val op_latency : ?queues:string list -> unit -> (string * float * float) list
 (** Modelled single-thread (queue, plain ns/op, detectable ns/op). *)

@@ -11,12 +11,36 @@
     backend/worker selection made here in the harness: the uninstrumented
     path runs the plain [Native] backend and the original worker loop,
     bit-for-bit, so enabling the observability layer elsewhere costs
-    measured runs nothing. *)
+    measured runs nothing.  Flush coalescing ([coalesce:true]) selects
+    the {!Native.Coalescing} backend, which is always counted — the
+    coalesced/elided event totals are the point of running it. *)
 
 module MI = Dssq_memory.Memory_intf
 module Native = Dssq_memory.Native
 
 let now () = Unix.gettimeofday ()
+
+(* How many enqueue/dequeue pairs a worker runs between polls of the
+   [stop] flag.  Polling a shared atomic every pair puts a cross-core
+   load on the hottest path of every thread; once per batch is invisible
+   to the flag's latency (a batch is microseconds) and keeps the flag's
+   line out of the steady-state loop. *)
+let stop_check_period = 32
+
+(* Busy-wait for [cond] with exponential backoff around
+   [Domain.cpu_relax]: on an oversubscribed machine (more domains than
+   cores — the CI container has one core) a tight relax loop starves the
+   very thread that would make [cond] true.  Doubling the relax burst up
+   to a cap keeps the barrier responsive when cores are free and cheap
+   when they are not. *)
+let backoff_until cond =
+  let spins = ref 1 in
+  while not (cond ()) do
+    for _ = 1 to !spins do
+      Domain.cpu_relax ()
+    done;
+    if !spins < 1024 then spins := !spins * 2
+  done
 
 (** Spawn [nthreads] domains alternating enqueue/dequeue pairs on [ops]
     for [duration] seconds.  Returns (Mops/s, completed operations,
@@ -31,48 +55,51 @@ let run_workers ?(instrument = false) ~nthreads ~det_pct ~duration
     else None
   in
   let worker tid () =
-    while not (Atomic.get start) do
-      Domain.cpu_relax ()
-    done;
+    backoff_until (fun () -> Atomic.get start);
     let count = ref 0 in
     let i = ref 0 in
-    (match hists with
-    | None ->
-        while not (Atomic.get stop) do
-          let detectable = Sim_throughput.detectable ~det_pct !i in
-          let v = (tid * 1_000_000) + (!i land 0xFFFF) in
-          if detectable then begin
-            ops.d_enqueue ~tid v;
-            ignore (ops.d_dequeue ~tid)
-          end
-          else begin
-            ops.enqueue ~tid v;
-            ignore (ops.dequeue ~tid)
-          end;
-          count := !count + 2;
-          incr i
-        done
-    | Some hs ->
-        let h = hs.(tid) in
-        let timed f =
-          let t0 = now () in
-          f ();
-          Dssq_obs.Histogram.add h ((now () -. t0) *. 1e9)
-        in
-        while not (Atomic.get stop) do
-          let detectable = Sim_throughput.detectable ~det_pct !i in
-          let v = (tid * 1_000_000) + (!i land 0xFFFF) in
-          if detectable then begin
-            timed (fun () -> ops.d_enqueue ~tid v);
-            timed (fun () -> ignore (ops.d_dequeue ~tid))
-          end
-          else begin
-            timed (fun () -> ops.enqueue ~tid v);
-            timed (fun () -> ignore (ops.dequeue ~tid))
-          end;
-          count := !count + 2;
-          incr i
-        done);
+    let pair =
+      match hists with
+      | None ->
+          fun () ->
+            let detectable = Sim_throughput.detectable ~det_pct !i in
+            let v = (tid * 1_000_000) + (!i land 0xFFFF) in
+            if detectable then begin
+              ops.d_enqueue ~tid v;
+              ignore (ops.d_dequeue ~tid)
+            end
+            else begin
+              ops.enqueue ~tid v;
+              ignore (ops.dequeue ~tid)
+            end;
+            count := !count + 2;
+            incr i
+      | Some hs ->
+          let h = hs.(tid) in
+          let timed f =
+            let t0 = now () in
+            f ();
+            Dssq_obs.Histogram.add h ((now () -. t0) *. 1e9)
+          in
+          fun () ->
+            let detectable = Sim_throughput.detectable ~det_pct !i in
+            let v = (tid * 1_000_000) + (!i land 0xFFFF) in
+            if detectable then begin
+              timed (fun () -> ops.d_enqueue ~tid v);
+              timed (fun () -> ignore (ops.d_dequeue ~tid))
+            end
+            else begin
+              timed (fun () -> ops.enqueue ~tid v);
+              timed (fun () -> ignore (ops.dequeue ~tid))
+            end;
+            count := !count + 2;
+            incr i
+    in
+    while not (Atomic.get stop) do
+      for _ = 1 to stop_check_period do
+        pair ()
+      done
+    done;
     !count
   in
   let domains = Array.init nthreads (fun tid -> Domain.spawn (worker tid)) in
@@ -92,14 +119,19 @@ let run_workers ?(instrument = false) ~nthreads ~det_pct ~duration
     native backend (a fresh [Native.Counted ()] instance, so concurrent
     measurements don't share counters) and each thread records
     wall-clock per-operation latency; events exclude queue seeding.
+    With [coalesce:true] the queue runs over a fresh
+    [Native.Coalescing ()] instance — per-domain persist buffers, one
+    drain per persistence point — whose counters are always reported.
     [det_pct] is as in {!Sim_throughput.pair_worker}. *)
 let measure_ex ?(init_nodes = 16) ?(det_pct = 100) ?(line_size = 1)
-    ?(instrument = false) ~mk ~nthreads ~duration () :
+    ?(coalesce = false) ?(instrument = false) ~mk ~nthreads ~duration () :
     Dssq_obs.Run_report.sample =
   let capacity = init_nodes + 8 + (nthreads * 4096) in
-  let cfg = Dssq_core.Queue_intf.config ~line_size ~nthreads ~capacity () in
+  let cfg =
+    Dssq_core.Queue_intf.config ~line_size ~coalesce ~nthreads ~capacity ()
+  in
   Native.set_line_size line_size;
-  if not instrument then begin
+  if (not instrument) && not coalesce then begin
     let ops = Registry.setup (module Native) ~mk ~init_nodes cfg in
     let mops, total, _ = run_workers ~nthreads ~det_pct ~duration ops in
     {
@@ -110,24 +142,43 @@ let measure_ex ?(init_nodes = 16) ?(det_pct = 100) ?(line_size = 1)
     }
   end
   else begin
-    let module C = Native.Counted () in
-    let ops = Registry.setup (module C) ~mk ~init_nodes cfg in
-    C.reset_counters ();
-    let mops, total, hists =
-      run_workers ~instrument:true ~nthreads ~det_pct ~duration ops
-    in
-    let latency =
-      Option.map
-        (fun hs ->
-          Array.fold_left Dssq_obs.Histogram.merge
-            (Dssq_obs.Histogram.create ())
-            hs)
-        hists
-    in
-    { Dssq_obs.Run_report.mops; ops = total; events = C.counters (); latency }
+    let module Run (C : MI.COUNTED with type 'a cell = 'a Native.cell) = struct
+      let result =
+        let ops = Registry.setup (module C) ~mk ~init_nodes cfg in
+        C.reset_counters ();
+        let mops, total, hists =
+          run_workers ~instrument ~nthreads ~det_pct ~duration ops
+        in
+        let latency =
+          Option.map
+            (fun hs ->
+              Array.fold_left Dssq_obs.Histogram.merge
+                (Dssq_obs.Histogram.create ())
+                hs)
+            hists
+        in
+        {
+          Dssq_obs.Run_report.mops;
+          ops = total;
+          events = C.counters ();
+          latency;
+        }
+    end in
+    if coalesce then begin
+      let module B = Native.Coalescing () in
+      let module R = Run (B) in
+      R.result
+    end
+    else begin
+      let module B = Native.Counted () in
+      let module R = Run (B) in
+      R.result
+    end
   end
 
 (** Throughput only, in Mops/s — the historical entry point. *)
-let measure ?init_nodes ?det_pct ?line_size ~mk ~nthreads ~duration () =
-  (measure_ex ?init_nodes ?det_pct ?line_size ~mk ~nthreads ~duration ())
+let measure ?init_nodes ?det_pct ?line_size ?coalesce ~mk ~nthreads ~duration
+    () =
+  (measure_ex ?init_nodes ?det_pct ?line_size ?coalesce ~mk ~nthreads ~duration
+     ())
     .Dssq_obs.Run_report.mops

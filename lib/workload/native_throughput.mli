@@ -11,6 +11,7 @@ val measure_ex :
   ?init_nodes:int ->
   ?det_pct:int ->
   ?line_size:int ->
+  ?coalesce:bool ->
   ?instrument:bool ->
   mk:string ->
   nthreads:int ->
@@ -23,12 +24,16 @@ val measure_ex :
     native backend (events exclude seeding) and each thread records
     wall-clock per-operation latency, merged into one histogram.
     [line_size] (default 1 = word-granular) reconfigures the native
-    backend's line allocator before the queue is built. *)
+    backend's line allocator before the queue is built.  [coalesce]
+    (default false) runs the queue over a fresh [Native.Coalescing ()]
+    instance — per-domain persist buffers drained once per persistence
+    point — whose event counters are always reported. *)
 
 val measure :
   ?init_nodes:int ->
   ?det_pct:int ->
   ?line_size:int ->
+  ?coalesce:bool ->
   mk:string ->
   nthreads:int ->
   duration:float ->

@@ -36,6 +36,11 @@ type costs = {
       (** extra latency when the line's previous owner is another thread
           (cross-core transfer); repeated access by one thread is a cache
           hit and pays nothing *)
+  flush_issue_ns : float;
+      (** issue latency of an {e asynchronous} (coalesced) flush: the
+          CLWB enters the store pipeline and the thread moves on; the
+          device round-trip ([flush_ns]) completes in the background and
+          is only waited on at the next drain/fence *)
 }
 
 (** Rough latencies of the modelled machine: cache-hit loads/stores, a
@@ -50,6 +55,7 @@ let default_costs =
     work_ns = 30.;
     cas_fail_line_ns = 15.;
     transfer_ns = 80.;
+    flush_issue_ns = 25.;
   }
 
 let cost_of costs (kind : Sim_op.kind) =
@@ -58,6 +64,9 @@ let cost_of costs (kind : Sim_op.kind) =
   | Sim_op.Write -> costs.write_ns
   | Sim_op.Cas -> costs.cas_ns
   | Sim_op.Flush -> costs.flush_ns
+  | Sim_op.Flush_async -> costs.flush_ns
+      (* the async round-trip latency; the issue stall is flush_issue_ns *)
+  | Sim_op.Drain -> 0. (* a drain only waits; see the stepping loop *)
   | Sim_op.Fence -> costs.fence_ns
   | Sim_op.Yield -> costs.work_ns
 
@@ -94,6 +103,10 @@ let run ?(costs = default_costs) ?(seed = 1) ?clock ~horizon_ns ~heap ~threads
   | None -> ());
   (* per line: time it becomes free, and last owning thread *)
   let line_clock : (int, float * int) Hashtbl.t = Hashtbl.create 256 in
+  (* per thread: completion time of its outstanding asynchronous
+     (coalesced) flushes — the drain/fence that retires them waits for
+     this instead of paying per-flush round-trips *)
+  let pending_done = Array.make n 0. in
   let rng = Random.State.make [| seed; 0xD15C |] in
   heap.Heap.in_sim <- true;
   Fun.protect
@@ -122,8 +135,8 @@ let run ?(costs = default_costs) ?(seed = 1) ?clock ~horizon_ns ~heap ~threads
               Option.value ~default:(0., tid) (Hashtbl.find_opt line_clock cell)
             in
             (match (target, kind) with
-            | Some _, Sim_op.Flush when info.Machine.flush_effective = Some false
-              ->
+            | Some _, (Sim_op.Flush | Sim_op.Flush_async)
+              when info.Machine.flush_effective = Some false ->
                 (* Clean line: the CLWB has nothing to write back.  No
                    device round-trip, no line occupancy — free. *)
                 ()
@@ -132,7 +145,13 @@ let run ?(costs = default_costs) ?(seed = 1) ?clock ~horizon_ns ~heap ~threads
                    cross-core transfer if another thread owned it, then
                    own it — briefly for a failed CAS (the requester grabs
                    the line but releases it without a lasting update),
-                   for the full update latency otherwise. *)
+                   for the full update latency otherwise.  Outstanding
+                   coalesced flushes do NOT stall the store: the heap's
+                   auto-drain orders the write-backs before the store
+                   semantically, but the timing model treats them as an
+                   ordered background queue (the delay-free batching of
+                   Ben-David et al.) — only an explicit drain/fence waits
+                   for completions. *)
                 let free, owner = line cell in
                 let transfer = if owner = tid then 0. else costs.transfer_ns in
                 let start = Float.max clocks.(tid) free +. transfer in
@@ -143,6 +162,17 @@ let run ?(costs = default_costs) ?(seed = 1) ?clock ~horizon_ns ~heap ~threads
                 in
                 clocks.(tid) <- start +. cost;
                 Hashtbl.replace line_clock cell (start +. line_cost, tid)
+            | Some cell, Sim_op.Flush_async ->
+                (* Coalesced flush: the CLWB issues (short pipeline
+                   stall) and its device round-trip completes in the
+                   background — only the eventual drain/fence waits on
+                   it.  Like an eager CLWB it does not take ownership. *)
+                let free, owner = line cell in
+                let transfer = if owner = tid then 0. else costs.transfer_ns in
+                let start = Float.max clocks.(tid) free +. transfer in
+                clocks.(tid) <- start +. (costs.flush_issue_ns *. jitter);
+                pending_done.(tid) <-
+                  Float.max pending_done.(tid) (start +. cost)
             | Some cell, (Sim_op.Read | Sim_op.Flush) ->
                 (* Loads share the line after the owner is done (paying a
                    transfer if it moved cores); CLWB writes back without
@@ -151,7 +181,19 @@ let run ?(costs = default_costs) ?(seed = 1) ?clock ~horizon_ns ~heap ~threads
                 let free, owner = line cell in
                 let transfer = if owner = tid then 0. else costs.transfer_ns in
                 clocks.(tid) <- Float.max clocks.(tid) free +. transfer +. cost
-            | (None, _) | (Some _, (Sim_op.Fence | Sim_op.Yield)) ->
+            | None, Sim_op.Drain ->
+                (* Wait for the outstanding CLWBs to complete; the
+                   barrier itself overlaps the wait (no separate fence
+                   charge — that is exactly the elided-fences win). *)
+                clocks.(tid) <- Float.max clocks.(tid) pending_done.(tid);
+                pending_done.(tid) <- 0.
+            | _, Sim_op.Fence ->
+                (* An sfence additionally retires outstanding CLWBs (the
+                   heap folds the drain into it). *)
+                clocks.(tid) <-
+                  Float.max (clocks.(tid) +. cost) pending_done.(tid);
+                pending_done.(tid) <- 0.
+            | (None, _) | (Some _, (Sim_op.Drain | Sim_op.Yield)) ->
                 clocks.(tid) <- clocks.(tid) +. cost)
       done;
       Machine.kill_all machine);
@@ -224,16 +266,16 @@ let timed_pair_worker (ops : Dssq_core.Queue_intf.ops) ~tid ~counter ~det_pct
     when [instrument] is set, leaving the default path's event sequence
     untouched. *)
 let measure_ex ?costs ?(seed = 1) ?(horizon_ns = 300_000.) ?(init_nodes = 16)
-    ?(det_pct = 100) ?(line_size = 1) ?(instrument = false) ~mk ~nthreads () :
-    Dssq_obs.Run_report.sample =
+    ?(det_pct = 100) ?(line_size = 1) ?(coalesce = false) ?(instrument = false)
+    ~mk ~nthreads () : Dssq_obs.Run_report.sample =
   let heap = Heap.create ~line_size () in
-  let (module M) = Sim.memory heap in
+  let (module M) = Sim.memory ~coalesce heap in
   let capacity = init_nodes + 8 + (nthreads * 192) in
   let ops =
     Registry.setup
       (module M)
       ~mk ~init_nodes
-      (Dssq_core.Queue_intf.config ~line_size ~nthreads ~capacity ())
+      (Dssq_core.Queue_intf.config ~line_size ~coalesce ~nthreads ~capacity ())
   in
   let before = Heap.counters heap in
   let counters = Array.init nthreads (fun _ -> ref 0) in
@@ -263,8 +305,8 @@ let measure_ex ?costs ?(seed = 1) ?(horizon_ns = 300_000.) ?(init_nodes = 16)
   }
 
 (** Throughput only, in Mops/s — the historical entry point. *)
-let measure ?costs ?seed ?horizon_ns ?init_nodes ?det_pct ?line_size ~mk
-    ~nthreads () =
-  (measure_ex ?costs ?seed ?horizon_ns ?init_nodes ?det_pct ?line_size ~mk
-     ~nthreads ())
+let measure ?costs ?seed ?horizon_ns ?init_nodes ?det_pct ?line_size ?coalesce
+    ~mk ~nthreads () =
+  (measure_ex ?costs ?seed ?horizon_ns ?init_nodes ?det_pct ?line_size
+     ?coalesce ~mk ~nthreads ())
     .Dssq_obs.Run_report.mops

@@ -18,6 +18,10 @@ type costs = {
   work_ns : float;
   cas_fail_line_ns : float;
   transfer_ns : float;
+  flush_issue_ns : float;
+      (** issue stall of a coalesced (asynchronous) flush; the device
+          round-trip ([flush_ns]) completes in the background and is
+          waited on at the next drain/fence *)
 }
 
 val default_costs : costs
@@ -73,6 +77,7 @@ val measure_ex :
   ?init_nodes:int ->
   ?det_pct:int ->
   ?line_size:int ->
+  ?coalesce:bool ->
   ?instrument:bool ->
   mk:string ->
   nthreads:int ->
@@ -84,7 +89,9 @@ val measure_ex :
     [instrument:true] — a per-operation latency histogram in simulated
     nanoseconds.  [mk] is a {!Registry} name; the queue is seeded with
     [init_nodes] values (default 16, as in Section 4); [line_size]
-    (default 1 = word-granular) sets the heap's persist-line size. *)
+    (default 1 = word-granular) sets the heap's persist-line size;
+    [coalesce] (default false) turns on per-thread flush coalescing
+    (asynchronous flushes retired by a single drain per persist point). *)
 
 val measure :
   ?costs:costs ->
@@ -93,6 +100,7 @@ val measure :
   ?init_nodes:int ->
   ?det_pct:int ->
   ?line_size:int ->
+  ?coalesce:bool ->
   mk:string ->
   nthreads:int ->
   unit ->

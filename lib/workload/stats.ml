@@ -14,10 +14,45 @@ let stddev xs =
       let n = float_of_int (List.length xs) in
       sqrt (List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs /. (n -. 1.))
 
-(** Relative standard deviation, in percent of the mean. *)
+(** Relative standard deviation, in percent of the mean.  [nan] on the
+    empty list (no mean to be relative to). *)
 let rsd xs =
   let m = mean xs in
   if m = 0. then 0. else 100. *. stddev xs /. m
 
-let minimum xs = List.fold_left min infinity xs
-let maximum xs = List.fold_left max neg_infinity xs
+(* Folding from ±infinity would leak infinities into JSON reports for
+   empty samples; nan is the "no data" value everywhere else here. *)
+let minimum = function [] -> nan | xs -> List.fold_left min infinity xs
+let maximum = function [] -> nan | xs -> List.fold_left max neg_infinity xs
+
+(** [percentile p xs] with linear interpolation between closest ranks
+    (the R-7 / NumPy [linear] definition): the rank of the [p]-th
+    percentile over [n] sorted samples is [p/100 * (n-1)], and
+    non-integer ranks interpolate between the two neighbouring order
+    statistics.  With that definition [percentile 0.] is the minimum,
+    [percentile 100.] the maximum, and [percentile 50.] the textbook
+    median for both parities of [n] — the n-1 (not n+1 or n) factor is
+    what keeps rank 100 from indexing one past the end on exact-decile
+    sample counts.
+
+    Edge cases: [nan] on the empty list; the sole sample for [n = 1]
+    (any [p]).
+    @raise Invalid_argument if [p] is outside [0. .. 100.]. *)
+let percentile p xs =
+  if p < 0. || p > 100. || Float.is_nan p then
+    invalid_arg "Stats.percentile: p outside [0, 100]";
+  match xs with
+  | [] -> nan
+  | [ x ] -> x
+  | _ ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let n = Array.length a in
+      let rank = p /. 100. *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      (* p = 100 makes [rank] exactly [n-1]: [lo] must not step past it. *)
+      let lo = if lo >= n - 1 then n - 2 else lo in
+      let frac = rank -. float_of_int lo in
+      a.(lo) +. (frac *. (a.(lo + 1) -. a.(lo)))
+
+let median xs = percentile 50. xs

@@ -9,7 +9,22 @@ val stddev : float list -> float
 (** Sample (n-1) standard deviation; 0 for fewer than two samples. *)
 
 val rsd : float list -> float
-(** Relative standard deviation, percent of the mean. *)
+(** Relative standard deviation, percent of the mean; [nan] on the
+    empty list. *)
 
 val minimum : float list -> float
+(** [nan] on the empty list (never [infinity]). *)
+
 val maximum : float list -> float
+(** [nan] on the empty list (never [neg_infinity]). *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs]: the [p]-th percentile with linear interpolation
+    between closest ranks (rank [p/100 * (n-1)] over the sorted sample —
+    the R-7 definition, so [percentile 0.] / [50.] / [100.] are the
+    minimum / median / maximum).  [nan] on the empty list; the sole
+    sample when [n = 1].
+    @raise Invalid_argument if [p] is outside [0. .. 100.]. *)
+
+val median : float list -> float
+(** [percentile 50.]. *)

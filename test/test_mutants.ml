@@ -11,11 +11,11 @@ module Scenarios = Dssq_checker.Scenarios
 module Mutants = Dssq_checker.Mutants
 module Oracle = Dssq_checker.Oracle
 
-let corpus ?mutation () =
+let corpus ?(coalesce = false) ?mutation () =
   Scenarios.cases ~objects:[ "queue" ] ~crash_modes:[ true ]
-    ~line_sizes:[ 1; 8 ] ?mutation ()
+    ~line_sizes:[ 1; 8 ] ~coalesce ?mutation ()
 
-let test_correct_queue_passes () =
+let test_correct_queue_passes ?coalesce () =
   List.iter
     (fun (c : Scenarios.case) ->
       match c.Scenarios.run ~reduction:true with
@@ -24,7 +24,7 @@ let test_correct_queue_passes () =
           Alcotest.failf "unmutated %s flagged at %s: %s" c.Scenarios.name
             (Explore.schedule_to_string schedule)
             (Printexc.to_string exn))
-    (corpus ())
+    (corpus ?coalesce ())
 
 let assert_not_linearizable ~name = function
   | Oracle.Not_linearizable _ -> ()
@@ -32,7 +32,7 @@ let assert_not_linearizable ~name = function
       Alcotest.failf "mutant %s flagged with the wrong exception: %s" name
         (Printexc.to_string e)
 
-let test_mutant name mutation () =
+let test_mutant ?coalesce name mutation () =
   let rec hunt = function
     | [] -> Alcotest.failf "mutant %s (%s): no corpus case flagged it" name
               (Mutants.describe mutation)
@@ -58,11 +58,26 @@ let test_mutant name mutation () =
                   (Explore.schedule_to_string schedule)
                   (Explore.schedule_to_string schedule')))
   in
-  hunt (corpus ~mutation ())
+  hunt (corpus ?coalesce ~mutation ())
+
+(* Flush coalescing must not change the checker's verdicts: the same
+   corpus passes with every flush routed through the persist buffer, and
+   a mutant that drops the buffer's drains — so coalesced flushes are
+   never written back — is caught.  (Under eager flushing drop-drain is
+   a no-op, which is why it gets its own coalesced cases here instead of
+   joining the [Mutants.all] loop.) *)
+let drop_drain =
+  match Mutants.by_name "drop-drain" with
+  | Some m -> m
+  | None -> assert false
 
 let suite =
   Alcotest.test_case "unmutated queue passes the crash corpus" `Quick
-    test_correct_queue_passes
+    (fun () -> test_correct_queue_passes ())
+  :: Alcotest.test_case "coalesced queue passes the same corpus" `Quick
+       (fun () -> test_correct_queue_passes ~coalesce:true ())
+  :: Alcotest.test_case "mutant drop-drain is caught under coalescing" `Quick
+       (test_mutant ~coalesce:true "drop-drain" drop_drain)
   :: List.map
        (fun (name, mutation) ->
          Alcotest.test_case

@@ -198,8 +198,10 @@ let sample_report () =
       writes = 4;
       cases = 3;
       flushes = 7;
-      elided_flushes = 0;
+      elided_flushes = 5;
+      coalesced_flushes = 6;
       fences = 2;
+      elided_fences = 1;
     }
   in
   let point =
@@ -262,36 +264,56 @@ let test_report_rejects_foreign () =
       | _ -> None));
   Alcotest.(check bool) "current version accepted" true (not (reject (fun _ -> None)))
 
-(* Schema v1 reports predate the [elided_flushes] event key: they must
-   still decode, the missing key reading as zero. *)
-let test_report_decodes_v1 () =
-  let strip_elided j =
+(* Older schema versions predate some event keys — v1 lacks
+   [elided_flushes] (added in v2) and v2 lacks [coalesced_flushes] and
+   [elided_fences] (added in v3).  Both must still decode, every missing
+   key reading as zero. *)
+let report_as_version version ~without =
+  let strip j =
     let rec go = function
       | Json.Obj kvs ->
           Json.Obj
             (List.filter_map
                (fun (k, v) ->
-                 if k = "elided_flushes" then None else Some (k, go v))
+                 if List.mem k without then None else Some (k, go v))
                kvs)
       | Json.List l -> Json.List (List.map go l)
       | j -> j
     in
     go j
   in
-  let v1 =
-    Json.Obj
-      (List.map
-         (fun (k, v) ->
-           if k = "version" then (k, Json.Int 1) else (k, strip_elided v))
-         (Json.to_obj (Run_report.to_json (sample_report ()))))
-  in
-  let r = Run_report.of_json v1 in
-  Alcotest.(check int) "v1 version kept" 1 r.Run_report.version;
+  Run_report.of_json
+    (Json.Obj
+       (List.map
+          (fun (k, v) ->
+            if k = "version" then (k, Json.Int version) else (k, strip v))
+          (Json.to_obj (Run_report.to_json (sample_report ())))))
+
+let check_old_version version ~without =
+  let r = report_as_version version ~without in
+  Alcotest.(check int)
+    (Printf.sprintf "v%d version kept" version)
+    version r.Run_report.version;
   let p = List.hd (List.hd r.Run_report.series).Run_report.points in
-  Alcotest.(check int) "missing elided_flushes reads as 0" 0
-    p.Run_report.events.MI.elided_flushes;
+  let read = function
+    | "elided_flushes" -> p.Run_report.events.MI.elided_flushes
+    | "coalesced_flushes" -> p.Run_report.events.MI.coalesced_flushes
+    | "elided_fences" -> p.Run_report.events.MI.elided_fences
+    | k -> Alcotest.failf "unexpected stripped key %s" k
+  in
+  List.iter
+    (fun k ->
+      Alcotest.(check int) (Printf.sprintf "missing %s reads as 0" k) 0 (read k))
+    without;
   Alcotest.(check int) "other counters intact" 14
     p.Run_report.events.MI.flushes
+
+let test_report_decodes_v1 () =
+  check_old_version 1
+    ~without:[ "elided_flushes"; "coalesced_flushes"; "elided_fences" ]
+
+let test_report_decodes_v2 () =
+  check_old_version 2 ~without:[ "coalesced_flushes"; "elided_fences" ]
 
 (* ----------------------- memory-event accounting ---------------------- *)
 
@@ -376,6 +398,8 @@ let suite =
         test_report_rejects_foreign;
       Alcotest.test_case "run report decodes schema v1" `Quick
         test_report_decodes_v1;
+      Alcotest.test_case "run report decodes schema v2" `Quick
+        test_report_decodes_v2;
       Alcotest.test_case "flushes/op: dss > ms" `Quick
         test_flushes_per_op_ordering;
       Alcotest.test_case "instrumented sim latency" `Quick

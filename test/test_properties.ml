@@ -446,6 +446,99 @@ let prop_explore_counts =
       in
       count = expected)
 
+(* 13. Flush coalescing is persistence-equivalent to eager flushing: run
+   one random single-threaded memory program against two heaps, one
+   flushing eagerly ([Heap.flush]; [drain] is a no-op) and one routing
+   every flush through the per-thread persist buffer
+   ([Heap.flush_coalesced]; [Heap.drain] retires it).  At every
+   persistence point — each drain, each fence, and the end of the
+   program — the persisted contents and the dirty-line set of the two
+   heaps must coincide.  Between persistence points they legitimately
+   differ (that deferral is the whole optimisation); at them, coalescing
+   must be invisible. *)
+type mem_op =
+  | MWrite of int * int
+  | MCas of int * int
+  | MFlush of int
+  | MDrain
+  | MFence
+
+let prop_coalescing_matches_eager =
+  let module Cell = Dssq_pmem.Cell in
+  let ncells = 4 in
+  let gen_mem_op =
+    QCheck.Gen.(
+      frequency
+        [
+          ( 4,
+            map2
+              (fun c v -> MWrite (c, v))
+              (int_bound (ncells - 1))
+              (int_range 0 99) );
+          ( 2,
+            map2
+              (fun c v -> MCas (c, v))
+              (int_bound (ncells - 1))
+              (int_range 0 99) );
+          (4, map (fun c -> MFlush c) (int_bound (ncells - 1)));
+          (2, return MDrain);
+          (1, return MFence);
+        ])
+  in
+  let pp_op = function
+    | MWrite (c, v) -> Printf.sprintf "w%d<-%d" c v
+    | MCas (c, v) -> Printf.sprintf "cas%d<-%d" c v
+    | MFlush c -> Printf.sprintf "fl%d" c
+    | MDrain -> "drain"
+    | MFence -> "fence"
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun (ls, ops) ->
+        Printf.sprintf "line_size=%d [%s]" ls
+          (String.concat ";" (List.map pp_op ops)))
+      QCheck.Gen.(
+        pair (oneofl [ 1; 2; 8 ]) (list_size (int_range 1 60) gen_mem_op))
+  in
+  QCheck.Test.make ~count:300
+    ~name:"coalesced persistence points = eager persistence" arb
+    (fun (line_size, ops) ->
+      (* Interpret the program on one heap; snapshot (dirty lines,
+         persisted values) at every persistence point. *)
+      let run ~coalesce =
+        let heap = Heap.create ~line_size () in
+        let cells = Array.init ncells (fun i -> Heap.alloc heap i) in
+        let snapshots = ref [] in
+        let snap () =
+          snapshots :=
+            ( Heap.dirty_lines heap,
+              Array.to_list
+                (Array.map (fun c -> c.Cell.persisted) cells) )
+            :: !snapshots
+        in
+        let flush c =
+          if coalesce then Heap.flush_coalesced heap cells.(c)
+          else Heap.flush heap cells.(c)
+        in
+        List.iter
+          (fun op ->
+            match op with
+            | MWrite (c, v) -> Heap.write heap cells.(c) v
+            | MCas (c, v) ->
+                let cur = Heap.read heap cells.(c) in
+                ignore (Heap.cas heap cells.(c) ~expected:cur ~desired:v)
+            | MFlush c -> flush c
+            | MDrain ->
+                Heap.drain heap;
+                snap ()
+            | MFence ->
+                Heap.fence heap;
+                snap ())
+          (ops @ [ MDrain ]);
+        !snapshots
+      in
+      run ~coalesce:false = run ~coalesce:true)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -461,4 +554,5 @@ let suite =
       prop_dss_register_matches_model;
       prop_pmwcas_matches_reference;
       prop_explore_counts;
+      prop_coalescing_matches_eager;
     ]

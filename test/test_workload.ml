@@ -13,7 +13,45 @@ let test_stats () =
   Alcotest.(check (float 1e-9)) "stddev" 1. (Stats.stddev [ 1.; 2.; 3. ]);
   Alcotest.(check (float 1e-9)) "stddev singleton" 0. (Stats.stddev [ 5. ]);
   Alcotest.(check (float 1e-6)) "rsd" 50. (Stats.rsd [ 1.; 2.; 3. ]);
-  Alcotest.(check bool) "mean empty is nan" true (Float.is_nan (Stats.mean []))
+  Alcotest.(check bool) "mean empty is nan" true (Float.is_nan (Stats.mean []));
+  Alcotest.(check bool) "rsd empty is nan" true (Float.is_nan (Stats.rsd []));
+  Alcotest.(check bool)
+    "minimum empty is nan" true
+    (Float.is_nan (Stats.minimum []));
+  Alcotest.(check bool)
+    "maximum empty is nan" true
+    (Float.is_nan (Stats.maximum []));
+  Alcotest.(check (float 1e-9)) "minimum" 1. (Stats.minimum [ 3.; 1.; 2. ]);
+  Alcotest.(check (float 1e-9)) "maximum" 3. (Stats.maximum [ 3.; 1.; 2. ])
+
+(* Pinned percentile values: the linear-interpolation (R-7) definition
+   has well-known exact answers on small samples; these pin the rank
+   formula so an off-by-one (n+1 vs n-1, or an unclamped p=100 index)
+   cannot creep back in. *)
+let test_percentile () =
+  let p q xs = Stats.percentile q xs in
+  Alcotest.(check bool) "empty is nan" true (Float.is_nan (p 50. []));
+  Alcotest.(check (float 1e-9)) "n=1 any p" 7. (p 25. [ 7. ]);
+  Alcotest.(check (float 1e-9)) "n=1 p=0" 7. (p 0. [ 7. ]);
+  Alcotest.(check (float 1e-9)) "n=1 p=100" 7. (p 100. [ 7. ]);
+  (* n=2: interpolates the gap linearly. *)
+  Alcotest.(check (float 1e-9)) "n=2 median" 15. (p 50. [ 10.; 20. ]);
+  Alcotest.(check (float 1e-9)) "n=2 p=25" 12.5 (p 25. [ 10.; 20. ]);
+  (* n=4, unsorted input: rank of p=50 is 1.5. *)
+  Alcotest.(check (float 1e-9)) "n=4 median" 2.5 (p 50. [ 4.; 1.; 3.; 2. ]);
+  (* n=5: odd length, exact middle element, no interpolation. *)
+  Alcotest.(check (float 1e-9))
+    "n=5 median" 3.
+    (p 50. [ 5.; 4.; 3.; 2.; 1. ]);
+  (* Endpoints are the order statistics themselves. *)
+  Alcotest.(check (float 1e-9)) "p=0 is min" 1. (p 0. [ 3.; 1.; 2. ]);
+  Alcotest.(check (float 1e-9)) "p=100 is max" 3. (p 100. [ 3.; 1.; 2. ]);
+  (* The classic R-7 check: p=75 over 1..4 has rank 2.25. *)
+  Alcotest.(check (float 1e-9)) "n=4 p=75" 3.25 (p 75. [ 1.; 2.; 3.; 4. ]);
+  Alcotest.(check (float 1e-9)) "median =" 2.5 (Stats.median [ 1.; 2.; 3.; 4. ]);
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.percentile: p outside [0, 100]") (fun () ->
+      ignore (p 101. [ 1. ]))
 
 let test_detectable_fraction () =
   let count pct =
@@ -261,6 +299,7 @@ let test_op_latency_ordering () =
 let suite =
   [
     Alcotest.test_case "statistics" `Quick test_stats;
+    Alcotest.test_case "percentile pinned values" `Quick test_percentile;
     Alcotest.test_case "detectable fraction spread" `Quick
       test_detectable_fraction;
     Alcotest.test_case "sim throughput positive" `Quick
