@@ -379,10 +379,33 @@ let bench_diff_cmd =
 
 (* ------------------------------ metrics ------------------------------ *)
 
+let print_event_table ~ops counters =
+  Printf.printf "%-16s%12s%12s\n" "event" "total" "per-op";
+  let denom = float_of_int (max 1 ops) in
+  List.iter
+    (fun (k, v) ->
+      Printf.printf "%-16s%12d%12.2f\n" k v (float_of_int v /. denom))
+    (Dssq_memory.Memory_intf.Counters.to_assoc counters)
+
+(* Accounting for a non-queue detectable object: the zoo's deterministic
+   two-thread workload, plus the words-per-op line the zoo exists for. *)
+let metrics_object_run name pairs line_size =
+  let r = Dssq_workload.Zoo.run_one ~pairs ~line_size name in
+  Printf.printf "object: %s   backend: sim   ops: %d (all detectable)\n\n" name
+    r.z_ops;
+  print_event_table ~ops:r.z_ops r.z_events;
+  Printf.printf "\npersistent_words_per_op: %.2f   flushes_per_op: %.2f\n"
+    (Dssq_workload.Zoo.words_per_op r)
+    (Dssq_workload.Zoo.flushes_per_op r);
+  Printf.printf "\nobject stats:\n";
+  List.iter
+    (fun (k, v) -> Printf.printf "  %-18s%12d\n" k v)
+    (Dssq_core.Detectable_intf.stats_to_assoc r.z_stats)
+
 (* Run a finite deterministic workload on the counted simulator backend
    and print the memory-event accounting for one queue implementation —
    the quickest way to see e.g. flushes per operation. *)
-let metrics_run queue pairs det_pct line_size coalesce =
+let metrics_queue_run queue pairs det_pct line_size coalesce =
   let heap = Heap.create ~line_size () in
   let (module M) = Sim.counted_memory ~coalesce heap in
   let module R = Dssq_workload.Registry.Make (M) in
@@ -427,12 +450,7 @@ let metrics_run queue pairs det_pct line_size coalesce =
         "queue: %s   backend: sim%s   ops: %d   detectable: %d%%\n\n" queue
         (if coalesce then "+coalesce" else "")
         !completed det_pct;
-      Printf.printf "%-16s%12s%12s\n" "event" "total" "per-op";
-      let denom = float_of_int (max 1 !completed) in
-      List.iter
-        (fun (k, v) ->
-          Printf.printf "%-16s%12d%12.2f\n" k v (float_of_int v /. denom))
-        (Dssq_memory.Memory_intf.Counters.to_assoc c);
+      print_event_table ~ops:!completed c;
       (match ops.stats () with
       | [] -> ()
       | st ->
@@ -444,26 +462,112 @@ let metrics_run queue pairs det_pct line_size coalesce =
           Printf.printf "\nprocess metrics:\n";
           List.iter (fun (k, v) -> Printf.printf "  %-24s%12d\n" k v) ms
 
+(* [--object] dispatches across queue-registry names and the zoo; an
+   unknown name is an error listing every known name — it must never
+   fall back to the queue silently. *)
+let metrics_run queue object_name pairs det_pct line_size coalesce =
+  let queue_names =
+    let heap = Heap.create ~line_size:1 () in
+    let (module M) = Sim.counted_memory heap in
+    let module R = Dssq_workload.Registry.Make (M) in
+    R.known_names
+  in
+  match object_name with
+  | None -> metrics_queue_run queue pairs det_pct line_size coalesce
+  | Some name when List.mem name queue_names ->
+      metrics_queue_run name pairs det_pct line_size coalesce
+  | Some name when List.mem name Dssq_workload.Zoo.objects ->
+      metrics_object_run name pairs line_size
+  | Some name ->
+      let known =
+        queue_names
+        @ List.filter
+            (fun o -> not (List.mem o queue_names))
+            Dssq_workload.Zoo.objects
+      in
+      Printf.eprintf "dssq: unknown object %S; known objects: %s\n" name
+        (String.concat ", " known);
+      exit 1
+
 let metrics_cmd =
   let queue =
     Arg.(
       value & opt string "dss-queue"
-      & info [ "queue" ] ~doc:"implementation to account (see dssq info)")
+      & info [ "queue" ] ~doc:"queue implementation to account (see dssq info)")
+  in
+  let object_name =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "object" ] ~docv:"NAME"
+          ~doc:
+            "detectable object to account (any queue-registry or zoo name); \
+             overrides $(b,--queue)")
   in
   let pairs =
     Arg.(
       value & opt int 200
-      & info [ "pairs" ] ~doc:"enqueue/dequeue pairs per thread")
+      & info [ "pairs" ] ~doc:"operation pairs per thread")
   in
   let det =
     Arg.(
       value & opt int 100
-      & info [ "det" ] ~doc:"percent of detectable operations")
+      & info [ "det" ] ~doc:"percent of detectable operations (queues only)")
   in
   Cmd.v
     (Cmd.info "metrics"
-       ~doc:"memory-event accounting for one queue on the simulator")
-    Term.(const metrics_run $ queue $ pairs $ det $ line_size_arg $ coalesce_arg)
+       ~doc:"memory-event accounting for one detectable object on the simulator")
+    Term.(
+      const metrics_run $ queue $ object_name $ pairs $ det $ line_size_arg
+      $ coalesce_arg)
+
+(* -------------------------------- zoo --------------------------------- *)
+
+let zoo_run pairs line_size json =
+  let rows = Dssq_workload.Zoo.run_all ~pairs ~line_size () in
+  Printf.printf
+    "detectable-object zoo: %d ops/object (2 threads), sim backend, \
+     line size %d\n\n"
+    (2 * 2 * pairs) line_size;
+  Printf.printf "%-14s%8s%10s%12s%12s%14s%16s\n" "object" "ops" "pwrites"
+    "words/op" "flushes/op" "state_words" "announce_words";
+  List.iter
+    (fun (r : Dssq_workload.Zoo.row) ->
+      Printf.printf "%-14s%8d%10d%12.2f%12.2f%14d%16d\n" r.z_object r.z_ops
+        r.z_events.Dssq_memory.Memory_intf.pwrites
+        (Dssq_workload.Zoo.words_per_op r)
+        (Dssq_workload.Zoo.flushes_per_op r)
+        r.z_stats.Dssq_core.Detectable_intf.state_words
+        r.z_stats.Dssq_core.Detectable_intf.announce_words)
+    rows;
+  Printf.printf
+    "\nlower bound (Ben-Baruch et al., PAPERS.md): one persistent announce \
+     word\nper process, and >= 2 persisted words per detectable mutation \
+     (announce +\nstate); see EXPERIMENTS.md for the comparison table.\n";
+  match json with
+  | None -> ()
+  | Some file ->
+      let report = Dssq_workload.Zoo.to_report ~pairs ~line_size rows in
+      (match Dssq_obs.Run_report.write file report with
+      | () ->
+          Printf.printf "wrote %s (%s v%d)\n" file
+            Dssq_obs.Run_report.schema_name Dssq_obs.Run_report.schema_version
+      | exception Sys_error msg ->
+          Printf.eprintf "dssq: cannot write report: %s\n" msg;
+          exit 1)
+
+let zoo_cmd =
+  let pairs =
+    Arg.(
+      value & opt int 200
+      & info [ "pairs" ] ~doc:"operation pairs per thread per object")
+  in
+  Cmd.v
+    (Cmd.info "zoo"
+       ~doc:
+         "persistent_words_per_op accounting across every detectable object \
+          (the space-complexity table; --json for the archivable report)")
+    Term.(const zoo_run $ pairs $ line_size_arg $ json_arg)
 
 let latency_cmd =
   let run () =
@@ -1283,6 +1387,7 @@ let info_cmd =
       \  dssq.obs       histograms, metrics, JSON run reports (--json)\n\n\
        Experiments: fig5a, fig5b, ablate-flush, ablate-demand,\n\
        ablate-recovery, ablate-pmwcas, ablate-linesize, latency, metrics,\n\
+       zoo (persistent_words_per_op across the detectable-object zoo),\n\
        lincheck, crash-demo.  See DESIGN.md and EXPERIMENTS.md.\n"
   in
   Cmd.v (Cmd.info "info" ~doc:"what this repository implements") Term.(const run $ const ())
@@ -1303,6 +1408,7 @@ let () =
              ablate_linesize_cmd;
              bench_diff_cmd;
              metrics_cmd;
+             zoo_cmd;
              latency_cmd;
              crash_demo_cmd;
              trace_cmd;

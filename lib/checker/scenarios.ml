@@ -499,28 +499,317 @@ let hashmap_setup ~(params : params) ~prog () =
   { Explore.ctx = { finish }; heap; threads }
 
 (* ---------------------------------------------------------------------- *)
-(* Corpus assembly.                                                        *)
+(* Engine-made objects (Detectable.Make zoo): one generic scenario         *)
+(* builder; each object contributes its spec, its functor application      *)
+(* and a couple of program tables.                                         *)
 
-let objects = [ "queue"; "stack"; "register"; "hashmap" ]
+(** The face a functor-made object presents to the generic builder —
+    {!Dssq_core.Detectable_intf.GENERIC} flattened into closures so the
+    builder needs no first-class-module plumbing per call. *)
+type ('op, 'r) engine_ops = {
+  e_prep : tid:int -> 'op -> unit;
+  e_exec : tid:int -> 'r;
+  e_base : tid:int -> 'op -> 'r;
+  e_resolve : tid:int -> ('op, 'r) Dssq_core.Detectable_intf.resolved;
+  e_recover : unit -> unit;
+}
 
-let progs_of_obj = function
-  | "queue" -> queue_progs
-  | "stack" -> stack_progs
-  | "register" -> register_progs
-  | "hashmap" -> hashmap_progs
-  | o -> invalid_arg ("Scenarios.progs_of_obj: unknown object " ^ o)
+(** A small explored program over one engine object: [seed] runs as
+    direct-mode base ops during setup, each [preps] entry is prepped in
+    setup and its exec explored as one thread, [base_threads] are
+    explored plain (Axiom 4) calls, and [observe] is the direct-mode
+    read-back that anchors the final state in the history. *)
+type 'op engine_prog = {
+  seed : (int * 'op) list;
+  preps : (int * 'op) list;
+  base_threads : (int * 'op) list;
+  observe : int * 'op list;
+}
+
+(* The generic engine-object scenario: the record/resolve/retry protocol
+   is object-independent because resolve speaks the uniform
+   [(A[p], R[p])] vocabulary — exactly the dedup the registry below
+   exists for.  New functor-made objects get crash coverage by adding a
+   descriptor, not a bespoke setup. *)
+let engine_setup (type s op r) ~(params : params) ~(spec : (s, op, r) Spec.t)
+    ~(instantiate : (module Dssq_memory.Memory_intf.S) -> (op, r) engine_ops)
+    ~(eprog : op engine_prog) () =
+  let heap = Heap.create ~line_size:params.line_size () in
+  let mem = memory ~params heap in
+  let o = instantiate mem in
+  let rec_ = Recorder.create () in
+  let dspec = Dss_spec.make ~nthreads:3 spec in
+  let record ~tid op f = ignore (Recorder.record rec_ ~tid op f) in
+  let prep ~tid op =
+    record ~tid (Dss_spec.Prep op) (fun () ->
+        o.e_prep ~tid op;
+        Dss_spec.Ack)
+  in
+  let exec ~tid op =
+    record ~tid (Dss_spec.Exec op) (fun () -> Dss_spec.Ret (o.e_exec ~tid))
+  in
+  let base ~tid op =
+    record ~tid (Dss_spec.Base op) (fun () -> Dss_spec.Ret (o.e_base ~tid op))
+  in
+  let resolved_response ~tid : _ Dss_spec.response =
+    match o.e_resolve ~tid with
+    | Dssq_core.Detectable_intf.Nothing -> Dss_spec.Status (None, None)
+    | Pending op -> Dss_spec.Status (Some op, None)
+    | Done (op, r) -> Dss_spec.Status (Some op, Some r)
+  in
+  List.iter (fun (tid, op) -> base ~tid op) eprog.seed;
+  List.iter (fun (tid, op) -> prep ~tid op) eprog.preps;
+  let threads =
+    List.map (fun (tid, op) () -> exec ~tid op) eprog.preps
+    @ List.map (fun (tid, op) () -> base ~tid op) eprog.base_threads
+  in
+  let tids = List.map fst eprog.preps in
+  let resolve_retry ~tid =
+    record ~tid Dss_spec.Resolve (fun () -> resolved_response ~tid);
+    match o.e_resolve ~tid with Pending op -> exec ~tid op | _ -> ()
+  in
+  let finish ~crashed =
+    (try
+       if crashed then begin
+         Recorder.crash rec_;
+         o.e_recover ();
+         List.iter (fun tid -> resolve_retry ~tid) tids
+       end;
+       let otid, obs = eprog.observe in
+       List.iter (fun op -> base ~tid:otid op) obs
+     with Mutants.Livelock ->
+       (* Observation cut short: mark the in-flight operation as crashed
+          so the truncated history is still checkable. *)
+       Recorder.crash rec_);
+    Oracle.assert_linearizable ~mode:params.mode dspec (Recorder.history rec_)
+  in
+  { Explore.ctx = { finish }; heap; threads }
+
+let swap_progs = [ "swap-swap"; "swap-read" ]
+
+let swap_setup ~params ~prog () =
+  let eprog =
+    let open Specs.Swap in
+    match prog with
+    | "swap-swap" ->
+        {
+          seed = [];
+          preps = [ (0, Swap 5); (1, Swap 7) ];
+          base_threads = [];
+          observe = (2, [ Read ]);
+        }
+    | "swap-read" ->
+        {
+          seed = [ (2, Swap 90) ];
+          preps = [ (0, Swap 5) ];
+          base_threads = [ (1, Read) ];
+          observe = (2, [ Read ]);
+        }
+    | p -> invalid_arg ("Scenarios.swap_setup: unknown program " ^ p)
+  in
+  engine_setup ~params ~spec:(Specs.Swap.spec ())
+    ~instantiate:(fun (module M : Dssq_memory.Memory_intf.S) ->
+      let module O = Dssq_core.Dss_swap.Make (M) in
+      let o = O.create ~nthreads:3 () in
+      {
+        e_prep = (fun ~tid op -> O.prep o ~tid op);
+        e_exec = (fun ~tid -> O.exec o ~tid);
+        e_base = (fun ~tid op -> O.base o ~tid op);
+        e_resolve = (fun ~tid -> O.resolve o ~tid);
+        e_recover = (fun () -> O.recover o);
+      })
+    ~eprog ()
+
+let deque_progs = [ "front-back"; "push-pop" ]
+
+let deque_setup ~params ~prog () =
+  let eprog =
+    let open Specs.Deque in
+    match prog with
+    | "front-back" ->
+        {
+          seed = [ (2, Push_back 90) ];
+          preps = [ (0, Push_front 5); (1, Push_back 7) ];
+          base_threads = [];
+          observe = (2, [ Pop_front; Pop_front; Pop_front ]);
+        }
+    | "push-pop" ->
+        {
+          seed = [ (2, Push_back 90) ];
+          preps = [ (0, Push_front 5); (1, Pop_back) ];
+          base_threads = [];
+          observe = (2, [ Pop_front; Pop_front ]);
+        }
+    | p -> invalid_arg ("Scenarios.deque_setup: unknown program " ^ p)
+  in
+  engine_setup ~params ~spec:(Specs.Deque.spec ())
+    ~instantiate:(fun (module M : Dssq_memory.Memory_intf.S) ->
+      let module O = Dssq_core.Dss_deque.Make (M) in
+      let o = O.create ~nthreads:3 () in
+      {
+        e_prep = (fun ~tid op -> O.prep o ~tid op);
+        e_exec = (fun ~tid -> O.exec o ~tid);
+        e_base = (fun ~tid op -> O.base o ~tid op);
+        e_resolve = (fun ~tid -> O.resolve o ~tid);
+        e_recover = (fun () -> O.recover o);
+      })
+    ~eprog ()
+
+let pqueue_progs = [ "ins-ins"; "ins-extract" ]
+
+let pqueue_setup ~params ~prog () =
+  let eprog =
+    let open Specs.Pqueue in
+    match prog with
+    | "ins-ins" ->
+        {
+          seed = [ (2, Insert 90) ];
+          preps = [ (0, Insert 5); (1, Insert 7) ];
+          base_threads = [];
+          observe = (2, [ Extract_min; Extract_min; Extract_min ]);
+        }
+    | "ins-extract" ->
+        {
+          seed = [ (2, Insert 90) ];
+          preps = [ (0, Insert 5); (1, Extract_min) ];
+          base_threads = [];
+          observe = (2, [ Extract_min; Extract_min ]);
+        }
+    | p -> invalid_arg ("Scenarios.pqueue_setup: unknown program " ^ p)
+  in
+  engine_setup ~params ~spec:(Specs.Pqueue.spec ())
+    ~instantiate:(fun (module M : Dssq_memory.Memory_intf.S) ->
+      let module O = Dssq_core.Dss_pqueue.Make (M) in
+      let o = O.create ~nthreads:3 () in
+      {
+        e_prep = (fun ~tid op -> O.prep o ~tid op);
+        e_exec = (fun ~tid -> O.exec o ~tid);
+        e_base = (fun ~tid op -> O.base o ~tid op);
+        e_resolve = (fun ~tid -> O.resolve o ~tid);
+        e_recover = (fun () -> O.recover o);
+      })
+    ~eprog ()
+
+let bcounter_progs = [ "inc-inc"; "inc-dec" ]
+
+let bcounter_setup ~params ~prog () =
+  let eprog =
+    let open Specs.Bcounter in
+    match prog with
+    | "inc-inc" ->
+        {
+          seed = [];
+          preps = [ (0, Increment); (1, Increment) ];
+          base_threads = [];
+          observe = (2, [ Get ]);
+        }
+    | "inc-dec" ->
+        (* Decrement can race Increment at 0: both orders of the failing
+           and succeeding outcomes must linearize. *)
+        {
+          seed = [];
+          preps = [ (0, Increment); (1, Decrement) ];
+          base_threads = [];
+          observe = (2, [ Get ]);
+        }
+    | p -> invalid_arg ("Scenarios.bcounter_setup: unknown program " ^ p)
+  in
+  engine_setup ~params
+    ~spec:(Specs.Bcounter.spec ~bound:Dssq_core.Dss_bcounter.bound ())
+    ~instantiate:(fun (module M : Dssq_memory.Memory_intf.S) ->
+      let module O = Dssq_core.Dss_bcounter.Make (M) in
+      let o = O.create ~nthreads:3 () in
+      {
+        e_prep = (fun ~tid op -> O.prep o ~tid op);
+        e_exec = (fun ~tid -> O.exec o ~tid);
+        e_base = (fun ~tid op -> O.base o ~tid op);
+        e_resolve = (fun ~tid -> O.resolve o ~tid);
+        e_recover = (fun () -> O.recover o);
+      })
+    ~eprog ()
+
+(* ---------------------------------------------------------------------- *)
+(* Corpus assembly: the object registry.                                   *)
+
+(** One corpus entry per object.  [cases] below and every by-name lookup
+    ([objects], [progs_of_obj], [build]) derive from this list, so a new
+    object gets crash coverage by adding a descriptor — there is no
+    hand-maintained match to forget to extend. *)
+type descriptor = {
+  d_obj : string;
+  d_progs : string list;
+  d_nthreads : string -> int;  (** explored threads, per program *)
+  d_setup : params:params -> prog:string -> unit -> world Explore.scenario;
+}
+
+let registry =
+  [
+    {
+      d_obj = "queue";
+      d_progs = queue_progs;
+      d_nthreads = (fun prog -> if prog = "enq-enq-deq" then 3 else 2);
+      d_setup = queue_setup;
+    };
+    {
+      d_obj = "stack";
+      d_progs = stack_progs;
+      d_nthreads = (fun _ -> 2);
+      d_setup = stack_setup;
+    };
+    {
+      d_obj = "register";
+      d_progs = register_progs;
+      d_nthreads = (fun _ -> 2);
+      d_setup = register_setup;
+    };
+    {
+      d_obj = "hashmap";
+      d_progs = hashmap_progs;
+      d_nthreads = (fun _ -> 2);
+      d_setup = hashmap_setup;
+    };
+    {
+      d_obj = "swap";
+      d_progs = swap_progs;
+      d_nthreads = (fun _ -> 2);
+      d_setup = swap_setup;
+    };
+    {
+      d_obj = "deque";
+      d_progs = deque_progs;
+      d_nthreads = (fun _ -> 2);
+      d_setup = deque_setup;
+    };
+    {
+      d_obj = "pqueue";
+      d_progs = pqueue_progs;
+      d_nthreads = (fun _ -> 2);
+      d_setup = pqueue_setup;
+    };
+    {
+      d_obj = "bcounter";
+      d_progs = bcounter_progs;
+      d_nthreads = (fun _ -> 2);
+      d_setup = bcounter_setup;
+    };
+  ]
+
+let objects = List.map (fun d -> d.d_obj) registry
+
+let descriptor_of_obj name =
+  match List.find_opt (fun d -> d.d_obj = name) registry with
+  | Some d -> d
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Scenarios: unknown object %s (known: %s)" name
+           (String.concat ", " objects))
+
+let progs_of_obj obj = (descriptor_of_obj obj).d_progs
 
 let build ~params ~obj ~prog =
-  let setup, nthreads =
-    match obj with
-    | "queue" ->
-        (queue_setup ~params ~prog, if prog = "enq-enq-deq" then 3 else 2)
-    | "stack" -> (stack_setup ~params ~prog, 2)
-    | "register" -> (register_setup ~params ~prog, 2)
-    | "hashmap" -> (hashmap_setup ~params ~prog, 2)
-    | o -> invalid_arg ("Scenarios.build: unknown object " ^ o)
-  in
-  case_of_setup ~params ~obj ~prog ~nthreads setup
+  let d = descriptor_of_obj obj in
+  case_of_setup ~params ~obj ~prog ~nthreads:(d.d_nthreads prog)
+    (d.d_setup ~params ~prog)
 
 (** Assemble the corpus.  A [mutation] restricts the corpus to the queue
     (the seeded mutants target queue cell names).  Three-thread programs

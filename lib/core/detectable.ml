@@ -1,0 +1,469 @@
+(** One detectability functor, many objects.
+
+    The paper's central claim is that detectability is a property of the
+    {e specification}: [D<T>] is derived mechanically from any
+    sequential type [T] (Section 2.1).  This module is that derivation
+    as executable code — {!Make} takes a packaged base specification
+    ([Dssq_spec.Dss_spec.S]) and a memory backend and produces a
+    detectable, recoverable object, owning everything that used to be
+    re-implemented per object:
+
+    - the per-thread announce records (the tagged [X] words) and their
+      prep-time persistence point;
+    - per-thread operation sequence numbers;
+    - the exec loop: help the previous operation persist its completion
+      before destroying the evidence, apply the specification, install
+      the new state with a single boxed CAS, self-record the result;
+    - [resolve] after a crash, answering from the announce record or the
+      state word's provenance;
+    - the flush/drain persistence points.
+
+    The protocol is {!Dss_cell}'s, generalized from register/CAS cells
+    to any sequential specification: state lives in one failure-atomic
+    word holding a boxed [(s, writer, seq, resp)] record, CAS is
+    physical equality on the exact record read (the boxed-CAS idiom,
+    ABA-immune), and anyone about to overwrite first persists the
+    victim's completion into the victim's own announce word (helping).
+
+    Read-only steps — operations whose [apply] returns the physically
+    identical state (reads, failed CAS, pops of an empty container) —
+    install nothing; the engine instead {e flushes the state it read}
+    before answering, so the returned value can never be rolled back by
+    a crash (strict linearizability; the flush-on-read discipline
+    {!Dss_register} adopted after its PR-4 audit).
+
+    Linked structures whose exec step is a multi-word pointer swing
+    (queue, stack) cannot route it through one state-word CAS; they keep
+    their object-specific swing behind a
+    {!Detectable_intf.LINEARIZATION_HOOK} and share the {!Announce} and
+    {!Recovery} scaffolding below instead. *)
+
+module Spec = Dssq_spec.Spec
+
+(** The engine, polymorphic in the specification — {!Make} is a thin
+    monomorphizing wrapper.  Types are concrete so sibling modules
+    ({!Dss_cell}, {!Dss_register}) can build variant vocabularies on
+    top without re-deriving the protocol. *)
+module Make_any (M : Dssq_memory.Memory_intf.S) = struct
+  (** The state word: base state plus the provenance of the operation
+      that installed it.  [writer = -1] for the initial state and for
+      non-detectable (base) operations; [resp] is the installing
+      operation's response, which is what helpers persist into the
+      writer's announce word and what [resolve] answers from when the
+      announce word's completion was lost. *)
+  type ('s, 'r) entry = { s : 's; writer : int; seq : int; resp : 'r option }
+
+  (** One thread's announce record: the prepared operation, its sequence
+      number, and the result once the operation took effect. *)
+  type ('op, 'r) announce = { aop : 'op; aseq : int; result : 'r option }
+
+  type ('s, 'op, 'r) t = {
+    spec : ('s, 'op, 'r) Spec.t;
+    nthreads : int;
+    state : ('s, 'r) entry M.cell;
+    x : ('op, 'r) announce option M.cell array;
+    seqs : int array;  (** volatile per-thread operation counters *)
+  }
+
+  let create ?(name = "") ?placement ?init ~nthreads
+      (spec : ('s, 'op, 'r) Spec.t) =
+    let init = Option.value ~default:spec.Spec.init init in
+    let cname suffix = if name = "" then suffix else name ^ "." ^ suffix in
+    let state =
+      M.alloc ~name:(cname "state") ?placement
+        { s = init; writer = -1; seq = 0; resp = None }
+    in
+    M.flush state;
+    M.drain ();
+    {
+      spec;
+      nthreads;
+      state;
+      x =
+        Array.init nthreads (fun i ->
+            M.alloc ~name:(cname (Printf.sprintf "X[%d]" i)) ?placement None);
+      seqs = Array.make nthreads 0;
+    }
+
+  (* Persist the completion of the operation that installed [cur] into
+     its writer's announce word, before [cur] can be overwritten.  The
+     drain is load-bearing: without it, a crash can persist the
+     overwriting install while dropping this completion's line, and the
+     victim — whose provenance the overwrite destroyed — resolves
+     Pending and re-executes an operation that took effect.  For a
+     register that is harmless (the retried write linearizes after the
+     overwriter); for a value-returning operation like swap it is a
+     linearization cycle (model-checker counterexample:
+     explore --case swap/swap-swap/crash/ls1). *)
+  let rec help_complete t (cur : _ entry) =
+    let w = cur.writer in
+    if w >= 0 && w < t.nthreads then begin
+      let xc = t.x.(w) in
+      match M.read xc with
+      | Some ({ result = None; _ } as a) as x when a.aseq = cur.seq ->
+          (* [cur] is the victim's install and may itself still be
+             sitting in cache: make the effect durable before its
+             completion evidence, or a crash could keep the evidence and
+             drop the effect — a Done response from a state that never
+             existed.  (If the state word has moved on since we read
+             [cur], this persists the newer entry — harmless, and the
+             CAS below fails.) *)
+          M.flush t.state;
+          M.drain ();
+          if M.cas xc ~expected:x ~desired:(Some { a with result = cur.resp })
+          then begin
+            M.flush xc;
+            M.drain ()
+          end
+          else help_complete t cur (* lost a race; re-check, then persist *)
+      | Some { result = Some _; aseq; _ } when aseq = cur.seq ->
+          (* Completion already recorded — possibly only in cache, by the
+             victim itself, whose own drain has not run yet.  Persist it
+             anyway: an already-drained line makes these free. *)
+          M.flush xc;
+          M.drain ()
+      | _ -> ()
+    end
+
+  let apply t ~tid op s =
+    match t.spec.Spec.apply s ~tid op with
+    | Some r -> r
+    | None ->
+        invalid_arg
+          (Format.asprintf "Detectable(%s): operation %a not enabled"
+             t.spec.Spec.name t.spec.Spec.pp_op op)
+
+  (* ------------------------- non-detectable ------------------------- *)
+
+  (** The plain operation (Axiom 4).  Read-only steps flush the state
+      they answer from instead of installing anything. *)
+  let base t ~tid op =
+    let rec loop () =
+      let cur = M.read t.state in
+      let s', resp = apply t ~tid op cur.s in
+      if s' == cur.s then begin
+        M.flush t.state;
+        M.drain ();
+        resp
+      end
+      else begin
+        help_complete t cur;
+        if
+          M.cas t.state ~expected:cur
+            ~desired:{ s = s'; writer = -1; seq = 0; resp = None }
+        then begin
+          M.flush t.state;
+          M.drain ();
+          resp
+        end
+        else loop ()
+      end
+    in
+    loop ()
+
+  (* --------------------------- detectable --------------------------- *)
+
+  let prep t ~tid op =
+    t.seqs.(tid) <- t.seqs.(tid) + 1;
+    let xc = t.x.(tid) in
+    M.write xc (Some { aop = op; aseq = t.seqs.(tid); result = None });
+    M.flush xc;
+    M.drain () (* persistence point: prep durable on return *)
+
+  (* Record [resp] as the caller's completion, unless a helper got there
+     first. *)
+  let record_result t ~tid resp =
+    let xc = t.x.(tid) in
+    (match M.read xc with
+    | Some ({ result = None; _ } as a) as x ->
+        if M.cas xc ~expected:x ~desired:(Some { a with result = Some resp })
+        then M.flush xc
+    | _ -> ());
+    ()
+
+  let exec t ~tid =
+    match M.read t.x.(tid) with
+    | None -> invalid_arg "Detectable.exec: no operation prepared"
+    | Some { result = Some r; _ } -> r (* already took effect: idempotent *)
+    | Some { aop; aseq; result = None } ->
+        let rec loop () =
+          let cur = M.read t.state in
+          let s', resp = apply t ~tid aop cur.s in
+          if s' == cur.s then begin
+            (* Read-only: nothing to install.  Persist the state we are
+               answering from — durably, before recording our
+               completion: if the completion's line survived a crash
+               that dropped the state's, resolve would report a response
+               observed from a state that never existed. *)
+            M.flush t.state;
+            M.drain ();
+            record_result t ~tid resp;
+            resp
+          end
+          else begin
+            help_complete t cur;
+            if
+              M.cas t.state ~expected:cur
+                ~desired:{ s = s'; writer = tid; seq = aseq; resp = Some resp }
+            then begin
+              (* Same ordering as the read-only path: the install must
+                 be durable before the completion record can be — the
+                 provenance in the state entry already serves as durable
+                 evidence from here on. *)
+              M.flush t.state;
+              M.drain ();
+              record_result t ~tid resp;
+              resp
+            end
+            else loop ()
+          end
+        in
+        let r = loop () in
+        M.drain () (* persistence point *);
+        r
+
+  (* ---------------------------- detection --------------------------- *)
+
+  let resolve t ~tid : _ Detectable_intf.resolved =
+    match M.read t.x.(tid) with
+    | None -> Nothing
+    | Some { aop; result = Some r; _ } -> Done (aop, r)
+    | Some { aop; aseq; result = None } -> (
+        let cur = M.read t.state in
+        if cur.writer = tid && cur.seq = aseq then
+          (* Our install is visible but the completion write to our own
+             announce word was lost: the state word's provenance carries
+             the response. *)
+          match cur.resp with
+          | Some r -> Done (aop, r)
+          | None -> Pending aop
+        else Pending aop)
+
+  (** No persistent repairs are needed (helping keeps detection state
+      consistent inline); restore the volatile per-thread sequence
+      counters from the persisted announce records so post-crash preps
+      cannot reuse a live sequence number. *)
+  let recover t =
+    let cur = M.read t.state in
+    for i = 0 to t.nthreads - 1 do
+      let s = match M.read t.x.(i) with Some a -> a.aseq | None -> 0 in
+      let s = if cur.writer = i then max s cur.seq else s in
+      if s > t.seqs.(i) then t.seqs.(i) <- s
+    done
+
+  let stats t : Detectable_intf.stats =
+    { state_words = 1; announce_words = t.nthreads }
+
+  let peek t = (M.read t.state).s
+end
+
+(** Shared scaffolding for the linked structures (queue, stack) whose
+    exec step is a multi-word pointer swing the one-word engine cannot
+    own: the per-thread tagged announce words and their posting
+    discipline ({!Announce}), and the Figure-6 recovery passes over them
+    ({!Recovery}).  The object keeps its structural code — the swing
+    itself and the {!Detectable_intf.LINEARIZATION_HOOK}-shaped
+    [took_effect] predicate recovery consults. *)
+module Linked (M : Dssq_memory.Memory_intf.S) = struct
+  module Pool = Node_pool.Make (M)
+
+  (* Tag added to the popper/deqThreadID mark by non-detectable removals
+     so that resolve never mistakes them for the caller's detectable one
+     (Section 3.2, last paragraph).  Thread ids must stay below it. *)
+  let nondet_mark = 1 lsl 20
+
+  module Announce = struct
+    (** Everything detectability-related that queue and stack used to
+        carry in their own records: the node pool, the announce words
+        [X[0..n-1]], reclamation state, and the deferred-retirement
+        lists that keep [resolve]'s targets out of reuse. *)
+    type t = {
+      pool : Pool.t;
+      x : int M.cell array; (* X[1..n] of the paper, indexed by tid *)
+      ebr : int Dssq_ebr.Ebr.t;
+      deferred : int list ref array;
+          (* nodes whose retirement waits until X[tid] is overwritten *)
+      reclaim : bool;
+      nthreads : int;
+    }
+
+    let create ~xname ~reclaim ~nthreads ~capacity () =
+      let pool = Pool.create ~capacity ~nthreads in
+      {
+        pool;
+        x =
+          Array.init nthreads (fun i ->
+              M.alloc
+                ~name:(Printf.sprintf "%s[%d]" xname i)
+                ~placement:Dssq_memory.Memory_intf.Line.Isolated 0);
+        ebr =
+          Dssq_ebr.Ebr.create ~nthreads
+            ~free:(fun ~tid node -> Pool.free pool ~tid node)
+            ();
+        deferred = Array.init nthreads (fun _ -> ref []);
+        reclaim;
+        nthreads;
+      }
+
+    (* Retire the nodes whose reclamation was deferred while X[tid]
+       still referenced them; called exactly when X[tid] is about to
+       move on. *)
+    let release_deferred a ~tid =
+      if a.reclaim then begin
+        List.iter
+          (fun n -> Dssq_ebr.Ebr.retire a.ebr ~tid n)
+          !(a.deferred.(tid));
+        a.deferred.(tid) := []
+      end
+
+    let retire a ~tid node =
+      if a.reclaim then Dssq_ebr.Ebr.retire a.ebr ~tid node
+
+    let defer_retire a ~tid node =
+      if a.reclaim then a.deferred.(tid) := node :: !(a.deferred.(tid))
+
+    (* Allocate and persist a fresh node holding [v] (the caller flushes
+       [next] too if its object initializes it at alloc time). *)
+    let make_node a ~objname ~tid v =
+      if v < 0 then
+        invalid_arg (objname ^ ": values must be non-negative");
+      let node =
+        if a.reclaim then Pool.alloc_reclaiming a.pool ~ebr:a.ebr ~tid ~value:v
+        else Pool.alloc a.pool ~tid ~value:v
+      in
+      M.flush (Pool.value a.pool node);
+      node
+
+    (* Post [word] into the caller's announce word, persistently. *)
+    let post a ~tid word =
+      M.write a.x.(tid) word;
+      M.flush a.x.(tid)
+
+    (* [post] plus the prep persistence point: a crash after [announce]
+       returns must resolve to the announced operation.  Eager backends
+       drain at every flush, so the drain is a no-op there. *)
+    let announce a ~tid word =
+      post a ~tid word;
+      M.drain ()
+
+    (* Add [tag] to the caller's current announce word, persistently
+       (completion and EMPTY markers). *)
+    let tag a ~tid tg = post a ~tid (Tagged.with_tag (M.read a.x.(tid)) tg)
+
+    (* Decode an ENQ_PREP-tagged announce word (push and enqueue share
+       the layout: node index plus completion bit). *)
+    let resolve_push a x =
+      let v = M.read (Pool.value a.pool (Tagged.idx x)) in
+      if Tagged.has x Tagged.enq_compl then Queue_intf.Enq_done v
+      else Queue_intf.Enq_pending v
+
+    (** Drop all volatile runtime state (reclamation epochs and limbo
+        lists, deferred retirements).  Models the process restart that
+        precedes any recovery: this state does not survive a real crash,
+        and in the simulator it must be discarded explicitly. *)
+    let reset_volatile a =
+      Dssq_ebr.Ebr.clear a.ebr;
+      Array.iter (fun l -> l := []) a.deferred
+
+    let stats a ~state_words : Detectable_intf.stats =
+      { state_words; announce_words = a.nthreads }
+  end
+
+  module Recovery = struct
+    (* Set of pool nodes reachable from [start] through [next] links. *)
+    let reachable_from (a : Announce.t) start =
+      let seen = Array.make (a.pool.Pool.capacity + 1) false in
+      let rec go n =
+        if n <> Tagged.null && not seen.(n) then begin
+          seen.(n) <- true;
+          go (M.read (Pool.next a.pool n))
+        end
+      in
+      go start;
+      seen
+
+    (* Complete the detectability state of effective insertions (queue
+       lines 70-76): any announce word still ENQ_PREP-without-COMPL
+       whose node [took_effect] — survived into the post-crash structure
+       or was already removed-and-marked — gains its completion tag.
+       [took_effect] is the object's
+       {!Detectable_intf.LINEARIZATION_HOOK} predicate. *)
+    let complete_effective (a : Announce.t) ~took_effect =
+      for i = 0 to a.nthreads - 1 do
+        let x = M.read a.x.(i) in
+        let d = Tagged.idx x in
+        if
+          d <> Tagged.null
+          && Tagged.has x Tagged.enq_prep
+          && (not (Tagged.has x Tagged.enq_compl))
+          && took_effect d
+        then begin
+          M.write a.x.(i) (Tagged.with_tag x Tagged.enq_compl);
+          M.flush a.x.(i)
+        end
+      done
+
+    (* Rebuild the volatile free lists.  Keep nodes that are (a)
+       reachable from [new_root], or (b) referenced by some X entry
+       (resolve may read them), or (c) whatever [extra] adds (the
+       queue's DEQ-successor case: resolve-dequeue reads X->next).
+       Kept-but-unreachable nodes are handed to the deferred retirement
+       of their referencing thread so they are reclaimed once that
+       thread's X moves on.
+
+       Several X entries can reference the SAME node (two removers that
+       saved the same predecessor; a DEQ successor that is another
+       thread's inserted node).  Defer each node exactly once, or it
+       would be retired and freed twice — and a double-freed node gets
+       allocated twice and linked into the structure in two places. *)
+    let rebuild (a : Announce.t) ~new_root ~extra =
+      let live = reachable_from a new_root in
+      let keep = Array.copy live in
+      let deferred_once = Array.make (a.pool.Pool.capacity + 1) false in
+      let defer_to i n =
+        keep.(n) <- true;
+        if (not live.(n)) && not deferred_once.(n) then begin
+          deferred_once.(n) <- true;
+          a.deferred.(i) := n :: !(a.deferred.(i))
+        end
+      in
+      for i = 0 to a.nthreads - 1 do
+        let x = M.read a.x.(i) in
+        let d = Tagged.idx x in
+        if d <> Tagged.null then begin
+          defer_to i d;
+          extra ~defer:defer_to i x
+        end
+      done;
+      Pool.rebuild_free_lists a.pool ~keep:(fun i -> keep.(i))
+  end
+end
+
+(** The detectability functor of the ISSUE/ROADMAP: a new detectable
+    object is one packaged specification plus this application. *)
+module Make (B : Dssq_spec.Dss_spec.S) (M : Dssq_memory.Memory_intf.S) :
+  Detectable_intf.GENERIC
+    with type state = B.state
+     and type op = B.op
+     and type response = B.response = struct
+  module E = Make_any (M)
+
+  type state = B.state
+  type op = B.op
+  type response = B.response
+  type t = (state, op, response) E.t
+
+  let name = B.spec.Spec.name
+
+  let create ?name ?init ~nthreads () =
+    E.create ?name ~placement:Dssq_memory.Memory_intf.Line.Isolated ?init
+      ~nthreads B.spec
+
+  let prep = E.prep
+  let exec = E.exec
+  let base = E.base
+  let resolve = E.resolve
+  let recover = E.recover
+  let stats = E.stats
+  let peek = E.peek
+end

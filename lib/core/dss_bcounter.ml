@@ -1,0 +1,56 @@
+(** Detectable bounded counter — [D<bcounter>], {!Detectable.Make} over
+    the saturating-counter specification (value confined to
+    [0 .. bound]; increments at the bound and decrements at zero return
+    [Fail] without moving the state).  This is the object family of the
+    Ben-Baruch, Hendler & Rusanovsky space lower bound for detectable
+    objects (PAPERS.md): the interesting measure is how few persistent
+    words per operation detectability costs, which is exactly what
+    [persistent_words_per_op] in the zoo report tracks.  Failing
+    operations take the engine's read-only path: no install, just
+    flush-on-read plus the announce-word completion. *)
+
+module S = Dssq_spec.Specs.Bcounter
+
+(** The packaged specification fixes the bound; [bound] is exported so
+    workloads can generate in-range schedules. *)
+let bound = 7
+
+module Make (M : Dssq_memory.Memory_intf.S) = struct
+  include
+    Detectable.Make
+      (struct
+        type state = int
+        type op = S.op
+        type response = S.response
+
+        let spec = S.spec ~bound ()
+      end)
+      (M)
+
+  let pp_resolved fmt r =
+    Detectable_intf.pp_resolved S.pp_op S.pp_response fmt r
+
+  (* Typed non-detectable operations: [true] = took effect, [false] =
+     saturated. *)
+
+  let incr t ~tid =
+    match base t ~tid S.Increment with
+    | S.Ok -> true
+    | S.Fail -> false
+    | S.Value _ -> assert false
+
+  let decr t ~tid =
+    match base t ~tid S.Decrement with
+    | S.Ok -> true
+    | S.Fail -> false
+    | S.Value _ -> assert false
+
+  let get t ~tid =
+    match base t ~tid S.Get with S.Value v -> v | _ -> assert false
+
+  (* Detectable pairs: [prep_*] then the functor's [exec]. *)
+
+  let prep_incr t ~tid = prep t ~tid S.Increment
+  let prep_decr t ~tid = prep t ~tid S.Decrement
+  let prep_get t ~tid = prep t ~tid S.Get
+end

@@ -4,36 +4,41 @@
     D<read/write register> and D<CAS>, and this demonstrates
     application-managed nesting of DSS-based objects").
 
-    Where {!Dss_register} packs provenance into the spare bits of a
-    single 64-bit word (the real-hardware discipline), this module keeps
-    the value and its provenance in one {e boxed} record and relies on
-    the backend's single-word atomicity over boxed references — OCaml's
-    [Atomic.t] natively, the simulator's cells trivially.  CAS uses
-    physical equality on the exact record previously read, which is the
-    standard boxed-CAS idiom and immune to ABA on the payload.
+    Since the {!Detectable} refactor this module is a thin vocabulary
+    layer over {!Detectable.Make_any}: the cell's operations are one
+    small sequential specification (write / CAS / read over ['a], CAS
+    comparing by physical equality — the standard boxed-CAS idiom,
+    ABA-immune on the payload), and the announce records, helping,
+    provenance and [resolve] are the shared engine's.  Where
+    {!Dss_register} packs provenance into the spare bits of a single
+    64-bit word (the real-hardware discipline), the engine keeps the
+    value and its provenance in one {e boxed} record and relies on the
+    backend's single-word atomicity over boxed references.
 
-    The detection protocol is the same as {!Dss_register}'s: operations
-    install provenance [(writer, seq)] along with the value, and anyone
-    about to destroy that evidence by overwriting first persists the
-    victim's completion into the victim's own X entry (helping).
-    [resolve] therefore only reads local state plus, at worst, the cell
-    itself.  No recovery procedure, no auxiliary state. *)
+    [resolve] only reads local state plus, at worst, the cell itself.
+    No recovery procedure, no auxiliary state. *)
+
+module Spec = Dssq_spec.Spec
 
 module Make (M : Dssq_memory.Memory_intf.S) = struct
-  type 'a entry = { v : 'a; writer : int; seq : int }
+  module E = Detectable.Make_any (M)
 
-  type 'a xstate =
-    | X_none
-    | X_write of { v : 'a; seq : int; complete : bool }
-    | X_cas of { expected : 'a; desired : 'a; seq : int; result : bool option }
-    | X_read of { seq : int; result : 'a option }
+  type 'a cop = Cwrite of 'a | Ccas of 'a * 'a | Cread
+  type 'a cresp = Wrote | Swung of bool | Got of 'a
+  type 'a t = ('a, 'a cop, 'a cresp) E.t
 
-  type 'a t = {
-    cell : 'a entry M.cell;
-    x : 'a xstate M.cell array;
-    seqs : int array; (* volatile per-thread operation counters *)
-    nthreads : int;
-  }
+  (* Value comparison is physical equality, as in the MEMORY signature:
+     exact for immediates (ints), identity for boxed values.  A failed
+     CAS returns the state itself — the engine's read-only contract —
+     so it never installs and never disturbs the cell. *)
+  let cell_spec init =
+    Spec.make ~name:"cell" ~init
+      ~apply:(fun s ~tid:_ op ->
+        match op with
+        | Cread -> Some (s, Got s)
+        | Cwrite v -> Some (v, Wrote)
+        | Ccas (e, d) -> if s != e then Some (s, Swung false) else Some (d, Swung true))
+      ()
 
   (** Outcome of [resolve]: the [(A[p], R[p])] pair of [D<cell>]. *)
   type 'a resolved =
@@ -46,184 +51,62 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     | Read_done of 'a
 
   let create ?name ~nthreads init =
-    let cell = M.alloc ?name { v = init; writer = -1; seq = 0 } in
-    M.flush cell;
-    M.drain ();
-    {
-      cell;
-      x = Array.init nthreads (fun _ -> M.alloc X_none);
-      seqs = Array.make nthreads 0;
-      nthreads;
-    }
-
-  (* Persist the completion of the operation that produced [cur] into its
-     writer's X entry, before [cur] can be overwritten. *)
-  let help_complete t (cur : 'a entry) =
-    let w = cur.writer in
-    if w >= 0 && w < t.nthreads then begin
-      let x = M.read t.x.(w) in
-      match x with
-      | X_write r when r.seq = cur.seq && not r.complete ->
-          if
-            M.cas t.x.(w) ~expected:x
-              ~desired:(X_write { r with complete = true })
-          then M.flush t.x.(w)
-      | X_cas r when r.seq = cur.seq && r.result = None ->
-          if
-            M.cas t.x.(w) ~expected:x
-              ~desired:(X_cas { r with result = Some true })
-          then M.flush t.x.(w)
-      | X_none | X_write _ | X_cas _ | X_read _ -> ()
-    end
+    E.create ?name ~nthreads (cell_spec init)
 
   (* ------------------------- non-detectable ------------------------- *)
 
-  let read t = (M.read t.cell).v
+  let read t = E.peek t
 
-  let rec write t v =
-    let cur = M.read t.cell in
-    help_complete t cur;
-    if M.cas t.cell ~expected:cur ~desired:{ v; writer = -1; seq = 0 } then begin
-      M.flush t.cell;
-      M.drain ()
-    end
-    else write t v
+  let write t v =
+    match E.base t ~tid:(-1) (Cwrite v) with Wrote -> () | _ -> assert false
 
-  (* Value comparison is physical equality, as in the MEMORY signature:
-     exact for immediates (ints), identity for boxed values. *)
-  let rec cas t ~expected ~desired =
-    let cur = M.read t.cell in
-    if cur.v != expected then false
-    else begin
-      help_complete t cur;
-      if M.cas t.cell ~expected:cur ~desired:{ v = desired; writer = -1; seq = 0 }
-      then begin
-        M.flush t.cell;
-        M.drain ();
-        true
-      end
-      else cas t ~expected ~desired
-    end
+  let cas t ~expected ~desired =
+    match E.base t ~tid:(-1) (Ccas (expected, desired)) with
+    | Swung hit -> hit
+    | _ -> assert false
 
-  let flush t = M.flush t.cell
+  let flush t = M.flush t.E.state
   let drain () = M.drain ()
 
   (* --------------------------- detectable --------------------------- *)
 
-  let next_seq t ~tid =
-    t.seqs.(tid) <- t.seqs.(tid) + 1;
-    t.seqs.(tid)
-
-  let prep_write t ~tid v =
-    let seq = next_seq t ~tid in
-    M.write t.x.(tid) (X_write { v; seq; complete = false });
-    M.flush t.x.(tid);
-    M.drain () (* persistence point: prep durable on return *)
+  let prep_write t ~tid v = E.prep t ~tid (Cwrite v)
 
   let exec_write t ~tid =
-    match M.read t.x.(tid) with
-    | X_write { v; seq; _ } ->
-        let rec loop () =
-          let cur = M.read t.cell in
-          help_complete t cur;
-          if M.cas t.cell ~expected:cur ~desired:{ v; writer = tid; seq } then begin
-            M.flush t.cell;
-            match M.read t.x.(tid) with
-            | X_write r as x when not r.complete ->
-                if
-                  M.cas t.x.(tid) ~expected:x
-                    ~desired:(X_write { r with complete = true })
-                then M.flush t.x.(tid)
-            | _ -> ()
-          end
-          else loop ()
-        in
-        loop ();
-        M.drain () (* persistence point *)
-    | X_none | X_cas _ | X_read _ ->
-        invalid_arg "Dss_cell.exec_write: no write prepared"
+    match M.read t.E.x.(tid) with
+    | Some { aop = Cwrite _; _ } -> (
+        match E.exec t ~tid with Wrote -> () | _ -> assert false)
+    | _ -> invalid_arg "Dss_cell.exec_write: no write prepared"
 
-  let prep_cas t ~tid ~expected ~desired =
-    let seq = next_seq t ~tid in
-    M.write t.x.(tid) (X_cas { expected; desired; seq; result = None });
-    M.flush t.x.(tid);
-    M.drain ()
+  let prep_cas t ~tid ~expected ~desired = E.prep t ~tid (Ccas (expected, desired))
 
   let exec_cas t ~tid =
-    match M.read t.x.(tid) with
-    | X_cas { expected; desired; seq; _ } ->
-        let record result =
-          match M.read t.x.(tid) with
-          | X_cas r as x when r.result = None ->
-              if
-                M.cas t.x.(tid) ~expected:x
-                  ~desired:(X_cas { r with result = Some result })
-              then M.flush t.x.(tid)
-          | _ -> ()
-        in
-        let rec loop () =
-          let cur = M.read t.cell in
-          if cur.v != expected then begin
-            record false;
-            false
-          end
-          else begin
-            help_complete t cur;
-            if
-              M.cas t.cell ~expected:cur
-                ~desired:{ v = desired; writer = tid; seq }
-            then begin
-              M.flush t.cell;
-              record true;
-              true
-            end
-            else loop ()
-          end
-        in
-        let r = loop () in
-        M.drain () (* persistence point *);
-        r
-    | X_none | X_write _ | X_read _ ->
-        invalid_arg "Dss_cell.exec_cas: no cas prepared"
+    match M.read t.E.x.(tid) with
+    | Some { aop = Ccas _; _ } -> (
+        match E.exec t ~tid with Swung hit -> hit | _ -> assert false)
+    | _ -> invalid_arg "Dss_cell.exec_cas: no cas prepared"
 
-  let prep_read t ~tid =
-    let seq = next_seq t ~tid in
-    M.write t.x.(tid) (X_read { seq; result = None });
-    M.flush t.x.(tid);
-    M.drain ()
+  let prep_read t ~tid = E.prep t ~tid Cread
 
   let exec_read t ~tid =
-    let v = (M.read t.cell).v in
-    (match M.read t.x.(tid) with
-    | X_read r as x when r.result = None ->
-        if M.cas t.x.(tid) ~expected:x ~desired:(X_read { r with result = Some v })
-        then M.flush t.x.(tid)
-    | _ -> ());
-    M.drain ();
-    v
+    match M.read t.E.x.(tid) with
+    | Some { aop = Cread; _ } -> (
+        match E.exec t ~tid with Got v -> v | _ -> assert false)
+    | _ -> invalid_arg "Dss_cell.exec_read: no read prepared"
 
   (* ---------------------------- detection --------------------------- *)
 
   let resolve t ~tid =
-    match M.read t.x.(tid) with
-    | X_none -> Nothing
-    | X_read { result = Some v; _ } -> Read_done v
-    | X_read { result = None; _ } -> Read_pending
-    | X_write { v; complete = true; _ } -> Write_done v
-    | X_write { v; seq; complete = false } ->
-        let cur = M.read t.cell in
-        if cur.writer = tid && cur.seq = seq then Write_done v
-        else Write_pending v
-    | X_cas { expected; desired; result = Some true; _ } ->
-        Cas_done (expected, desired, true)
-    | X_cas { expected; desired; result = Some false; _ } ->
-        Cas_done (expected, desired, false)
-    | X_cas { expected; desired; seq; result = None } ->
-        let cur = M.read t.cell in
-        if cur.writer = tid && cur.seq = seq then
-          Cas_done (expected, desired, true)
-        else Cas_pending (expected, desired)
+    match E.resolve t ~tid with
+    | Detectable_intf.Nothing -> Nothing
+    | Pending (Cwrite v) -> Write_pending v
+    | Pending (Ccas (e, d)) -> Cas_pending (e, d)
+    | Pending Cread -> Read_pending
+    | Done (Cwrite v, _) -> Write_done v
+    | Done (Ccas (e, d), Swung hit) -> Cas_done (e, d, hit)
+    | Done (Cread, Got v) -> Read_done v
+    | Done _ -> assert false
 
   (** No recovery phase needed; interface symmetry. *)
-  let recover (_ : 'a t) = ()
+  let recover = E.recover
 end

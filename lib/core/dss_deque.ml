@@ -1,0 +1,51 @@
+(** Detectable double-ended queue — [D<deque>], {!Detectable.Make} over
+    the four-operation deque specification.  The abstract state is one
+    boxed list behind the engine's single state word, so front and back
+    operations contend on the same CAS — the space-for-simplicity end of
+    the design spectrum, versus the linked [Dss_queue] whose exec is a
+    multi-word pointer swing.  Empty pops return [Empty] through the
+    engine's read-only path (flush-on-read, no install). *)
+
+module S = Dssq_spec.Specs.Deque
+
+module Make (M : Dssq_memory.Memory_intf.S) = struct
+  include
+    Detectable.Make
+      (struct
+        type state = int list
+        type op = S.op
+        type response = S.response
+
+        let spec = S.spec ()
+      end)
+      (M)
+
+  let pp_resolved fmt r =
+    Detectable_intf.pp_resolved S.pp_op S.pp_response fmt r
+
+  (* Typed non-detectable operations. *)
+
+  let push_front t ~tid v = ignore (base t ~tid (S.Push_front v))
+  let push_back t ~tid v = ignore (base t ~tid (S.Push_back v))
+
+  let pop_front t ~tid =
+    match base t ~tid S.Pop_front with
+    | S.Value v -> Some v
+    | S.Empty -> None
+    | S.Ok -> assert false
+
+  let pop_back t ~tid =
+    match base t ~tid S.Pop_back with
+    | S.Value v -> Some v
+    | S.Empty -> None
+    | S.Ok -> assert false
+
+  (* Detectable pairs: [prep_*] then the functor's [exec]. *)
+
+  let prep_push_front t ~tid v = prep t ~tid (S.Push_front v)
+  let prep_push_back t ~tid v = prep t ~tid (S.Push_back v)
+  let prep_pop_front t ~tid = prep t ~tid S.Pop_front
+  let prep_pop_back t ~tid = prep t ~tid S.Pop_back
+
+  let to_list t = peek t
+end

@@ -194,6 +194,17 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
 
   (* -------------------------- introspection -------------------------- *)
 
+  (* The composed footprint: every slot is a full detectable cell (one
+     boxed state word plus one announce word per thread), and the map
+     adds its own per-thread announcement on top.  Composition
+     multiplies announce space by the number of base objects — exactly
+     the regime the Ben-Baruch et al. lower bounds are about. *)
+  let stats t : Detectable_intf.stats =
+    {
+      state_words = t.nbuckets;
+      announce_words = t.nthreads * (t.nbuckets + 1);
+    }
+
   let to_alist t =
     Array.to_list t.slots
     |> List.filter_map (fun c ->

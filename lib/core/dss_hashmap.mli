@@ -38,6 +38,11 @@ module Make (M : Dssq_memory.Memory_intf.S) : sig
   val recover : t -> unit
   (** No-op: announcements and cells are self-describing. *)
 
+  val stats : t -> Detectable_intf.stats
+  (** Composed persistent footprint: one cell per bucket (state word +
+      per-thread announce words) plus the map's own per-thread
+      announcement word. *)
+
   val to_alist : t -> (int * int) list
   (** Sorted (key, value) pairs; quiescent use only. *)
 

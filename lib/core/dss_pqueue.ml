@@ -1,0 +1,41 @@
+(** Detectable priority queue — [D<pqueue>], {!Detectable.Make} over the
+    insert/extract-min specification.  State is kept sorted ascending in
+    one boxed list (the specification maintains the invariant), so
+    [extract_min] is a head pop and structurally equal states are
+    semantically equal for the model checker's memoization.  Empty
+    extracts return [Empty] via the engine's read-only path. *)
+
+module S = Dssq_spec.Specs.Pqueue
+
+module Make (M : Dssq_memory.Memory_intf.S) = struct
+  include
+    Detectable.Make
+      (struct
+        type state = int list
+        type op = S.op
+        type response = S.response
+
+        let spec = S.spec ()
+      end)
+      (M)
+
+  let pp_resolved fmt r =
+    Detectable_intf.pp_resolved S.pp_op S.pp_response fmt r
+
+  (* Typed non-detectable operations. *)
+
+  let insert t ~tid v = ignore (base t ~tid (S.Insert v))
+
+  let extract_min t ~tid =
+    match base t ~tid S.Extract_min with
+    | S.Value v -> Some v
+    | S.Empty -> None
+    | S.Ok -> assert false
+
+  (* Detectable pairs: [prep_*] then the functor's [exec]. *)
+
+  let prep_insert t ~tid v = prep t ~tid (S.Insert v)
+  let prep_extract_min t ~tid = prep t ~tid S.Extract_min
+
+  let to_list t = peek t
+end

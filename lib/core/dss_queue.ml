@@ -10,6 +10,12 @@
     [(A[p], R[p])].  Line numbers in comments refer to Figures 3, 4
     and 6 of the paper.
 
+    The announce words, deferred-retirement bookkeeping and the generic
+    recovery passes (complete effective insertions, rebuild free lists)
+    are the shared {!Detectable.Linked} scaffolding; this file owns the
+    queue-specific structural code — the Michael-Scott swing, the
+    [deqThreadID] claim, and the [took_effect] predicate.
+
     Memory reclamation (not in the paper's pseudocode, but used in its
     evaluation): dequeued sentinels are retired through epoch-based
     reclamation.  A node still referenced by the calling thread's own
@@ -17,7 +23,9 @@
     [resolve] never chases a recycled pointer. *)
 
 module Make (M : Dssq_memory.Memory_intf.S) = struct
-  module Pool = Node_pool.Make (M)
+  module L = Detectable.Linked (M)
+  module Pool = L.Pool
+  module A = L.Announce
   module Trace = Dssq_obs.Trace
 
   let name = "dss-queue"
@@ -37,71 +45,37 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   let deq_result v =
     if v = Queue_intf.empty_value then "empty" else string_of_int v
 
-  (* Tag added to deqThreadID by non-detectable dequeues so that resolve
-     never mistakes them for the caller's detectable dequeue
-     (Section 3.2, last paragraph).  Thread ids must stay below it. *)
-  let nondet_mark = 1 lsl 20
-
   type t = {
-    pool : Pool.t;
+    an : A.t; (* announce words + pool + reclamation (shared scaffolding) *)
     head : int M.cell;
     tail : int M.cell;
-    x : int M.cell array; (* X[1..n] of the paper, indexed by tid *)
-    ebr : int Dssq_ebr.Ebr.t;
-    deferred : int list ref array;
-        (* nodes whose retirement waits until X[tid] is overwritten *)
-    reclaim : bool;
-    nthreads : int;
   }
 
   let create ?(reclaim = true) ~nthreads ~capacity () =
-    let pool = Pool.create ~capacity ~nthreads in
-    let sentinel = Pool.alloc pool ~tid:0 ~value:0 in
-    M.flush (Pool.value pool sentinel);
-    M.flush (Pool.next pool sentinel);
-    let head = M.alloc ~name:"head" ~placement:Dssq_memory.Memory_intf.Line.Isolated sentinel in
-    let tail = M.alloc ~name:"tail" ~placement:Dssq_memory.Memory_intf.Line.Isolated sentinel in
+    let an = A.create ~xname:"X" ~reclaim ~nthreads ~capacity () in
+    let sentinel = Pool.alloc an.A.pool ~tid:0 ~value:0 in
+    M.flush (Pool.value an.A.pool sentinel);
+    M.flush (Pool.next an.A.pool sentinel);
+    let head =
+      M.alloc ~name:"head" ~placement:Dssq_memory.Memory_intf.Line.Isolated
+        sentinel
+    in
+    let tail =
+      M.alloc ~name:"tail" ~placement:Dssq_memory.Memory_intf.Line.Isolated
+        sentinel
+    in
     M.flush head;
     M.flush tail;
     M.drain ();
-    let deferred = Array.init nthreads (fun _ -> ref []) in
-    let ebr =
-      Dssq_ebr.Ebr.create ~nthreads
-        ~free:(fun ~tid node -> Pool.free pool ~tid node)
-        ()
-    in
-    {
-      pool;
-      head;
-      tail;
-      x =
-        Array.init nthreads (fun i ->
-            M.alloc
-              ~name:(Printf.sprintf "X[%d]" i)
-              ~placement:Dssq_memory.Memory_intf.Line.Isolated 0);
-      ebr;
-      deferred;
-      reclaim;
-      nthreads;
-    }
+    { an; head; tail }
 
   let of_config (cfg : Queue_intf.config) =
     create ~reclaim:cfg.reclaim ~nthreads:cfg.nthreads ~capacity:cfg.capacity
       ()
 
-  (* Retire the nodes whose reclamation was deferred while X[tid] still
-     referenced them; called exactly when X[tid] is about to move on. *)
-  let release_deferred t ~tid =
-    if t.reclaim then begin
-      List.iter (fun n -> Dssq_ebr.Ebr.retire t.ebr ~tid n) !(t.deferred.(tid));
-      t.deferred.(tid) := []
-    end
-
-  let retire t ~tid node =
-    if t.reclaim then Dssq_ebr.Ebr.retire t.ebr ~tid node
-
-  let defer_retire t ~tid node =
-    if t.reclaim then t.deferred.(tid) := node :: !(t.deferred.(tid))
+  let pool t = t.an.A.pool
+  let x t = t.an.A.x
+  let nthreads t = t.an.A.nthreads
 
   (* ------------------------------------------------------------------ *)
   (* Enqueue (Figure 3)                                                  *)
@@ -110,55 +84,42 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   (* Allocate and persist a fresh node holding [v] (FLUSH(node), line 2;
      per-word flushes here, see DESIGN.md on flush granularity). *)
   let make_node t ~tid v =
-    if v < 0 then invalid_arg "Dss_queue: values must be non-negative";
-    let node =
-      if t.reclaim then
-        Pool.alloc_reclaiming t.pool ~ebr:t.ebr ~tid ~value:v
-      else Pool.alloc t.pool ~tid ~value:v
-    in
-    M.flush (Pool.value t.pool node);
-    M.flush (Pool.next t.pool node);
+    let node = A.make_node t.an ~objname:"Dss_queue" ~tid v in
+    M.flush (Pool.next (pool t) node);
     node
 
   let prep_enqueue t ~tid v =
     trace_begin ~tid "prep-enqueue" (string_of_int v);
-    release_deferred t ~tid;
+    A.release_deferred t.an ~tid;
     let node = make_node t ~tid v in
-    (* lines 3-4 *)
-    M.write t.x.(tid) (Tagged.with_tag node Tagged.enq_prep);
-    M.flush t.x.(tid);
-    (* Persistence point: prep must be durable when it returns (a crash
-       after prep must resolve to the prepared operation).  Eager
-       backends drain at every flush, so this is a no-op there. *)
-    M.drain ();
+    (* lines 3-4; persistence point: prep durable on return (a crash
+       after prep must resolve to the prepared operation) *)
+    A.announce t.an ~tid (Tagged.with_tag node Tagged.enq_prep);
     trace_end "prep-enqueue" "ok"
 
   (* Body shared by exec-enqueue and the non-detectable enqueue; the
      latter omits every access to X (Section 3.1). *)
   let enqueue_node t ~tid ~detectable node =
-    Dssq_ebr.Ebr.enter t.ebr ~tid;
+    Dssq_ebr.Ebr.enter t.an.A.ebr ~tid;
     let rec loop () =
       let last = M.read t.tail in
-      let next = M.read (Pool.next t.pool last) in
+      let next = M.read (Pool.next (pool t) last) in
       if last = M.read t.tail then
         if next = Tagged.null then begin
           (* at tail: line 11 *)
-          if M.cas (Pool.next t.pool last) ~expected:Tagged.null ~desired:node
+          if
+            M.cas (Pool.next (pool t) last) ~expected:Tagged.null ~desired:node
           then begin
-            M.flush (Pool.next t.pool last) (* line 12 *);
-            if detectable then begin
-              (* lines 13-14 *)
-              M.write t.x.(tid)
-                (Tagged.with_tag (M.read t.x.(tid)) Tagged.enq_compl);
-              M.flush t.x.(tid)
-            end;
+            M.flush (Pool.next (pool t) last) (* line 12 *);
+            if detectable then
+              A.tag t.an ~tid Tagged.enq_compl (* lines 13-14 *);
             ignore (M.cas t.tail ~expected:last ~desired:node) (* line 15 *)
           end
           else loop ()
         end
         else begin
           (* help another enqueuing thread: lines 18-19 *)
-          M.flush (Pool.next t.pool last);
+          M.flush (Pool.next (pool t) last);
           ignore (M.cas t.tail ~expected:last ~desired:next);
           loop ()
         end
@@ -169,11 +130,11 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
        must land before the node can enter reclamation — drain while
        still EBR-protected, before grace can elapse. *)
     M.drain ();
-    Dssq_ebr.Ebr.exit t.ebr ~tid
+    Dssq_ebr.Ebr.exit t.an.A.ebr ~tid
 
   let exec_enqueue t ~tid =
     trace_begin ~tid "exec-enqueue" "";
-    let node = Tagged.idx (M.read t.x.(tid)) in
+    let node = Tagged.idx (M.read (x t).(tid)) in
     enqueue_node t ~tid ~detectable:true node;
     trace_end "exec-enqueue" "ok"
 
@@ -189,70 +150,62 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
 
   let prep_dequeue t ~tid =
     trace_begin ~tid "prep-dequeue" "";
-    release_deferred t ~tid;
-    (* lines 32-33 *)
-    M.write t.x.(tid) Tagged.deq_prep;
-    M.flush t.x.(tid);
-    M.drain () (* persistence point, as in prep_enqueue *);
+    A.release_deferred t.an ~tid;
+    (* lines 32-33; persistence point, as in prep_enqueue *)
+    A.announce t.an ~tid Tagged.deq_prep;
     trace_end "prep-dequeue" "ok"
 
   (* Body shared by exec-dequeue and the non-detectable dequeue.  The
      non-detectable variant omits X accesses and marks deqThreadID with
      [tid lor nondet_mark] instead of the bare tid. *)
   let dequeue_body t ~tid ~detectable =
-    Dssq_ebr.Ebr.enter t.ebr ~tid;
-    let mark = if detectable then tid else tid lor nondet_mark in
+    Dssq_ebr.Ebr.enter t.an.A.ebr ~tid;
+    let mark = if detectable then tid else tid lor L.nondet_mark in
     let rec loop () =
       let first = M.read t.head in
       let last = M.read t.tail in
-      let next = M.read (Pool.next t.pool first) in
+      let next = M.read (Pool.next (pool t) first) in
       if first = M.read t.head then
         if first = last then
           if next = Tagged.null then begin
             (* empty queue: lines 40-43 *)
-            if detectable then begin
-              M.write t.x.(tid)
-                (Tagged.with_tag (M.read t.x.(tid)) Tagged.empty);
-              M.flush t.x.(tid)
-            end;
+            if detectable then A.tag t.an ~tid Tagged.empty;
             Queue_intf.empty_value
           end
           else begin
             (* tail is lagging: lines 44-45.  The flush guarantees that
                any node reachable once tail moves has a persisted link. *)
-            M.flush (Pool.next t.pool last);
+            M.flush (Pool.next (pool t) last);
             ignore (M.cas t.tail ~expected:last ~desired:next);
             loop ()
           end
         else begin
-          if detectable then begin
+          if detectable then
             (* save predecessor of the node to be dequeued: lines 47-48 *)
-            M.write t.x.(tid) (Tagged.with_tag first Tagged.deq_prep);
-            M.flush t.x.(tid)
-          end;
+            A.post t.an ~tid (Tagged.with_tag first Tagged.deq_prep);
           if
-            M.cas (Pool.deq_tid t.pool next) ~expected:(-1) ~desired:mark
+            M.cas (Pool.deq_tid (pool t) next) ~expected:(-1) ~desired:mark
             (* line 49 *)
           then begin
-            M.flush (Pool.deq_tid t.pool next) (* line 50 *);
+            M.flush (Pool.deq_tid (pool t) next) (* line 50 *);
             ignore (M.cas t.head ~expected:first ~desired:next) (* line 51 *);
-            let v = M.read (Pool.value t.pool next) in
+            let v = M.read (Pool.value (pool t) next) in
             (* Persist the head advance before the old sentinel can be
                recycled, so a reused node is never reachable from the
                persisted head (the paper's pseudocode omits reclamation;
                this flush is what makes EBR reuse crash-safe — see
                DESIGN.md deviations). *)
-            if t.reclaim then M.flush t.head;
+            if t.an.A.reclaim then M.flush t.head;
             (* The old sentinel [first] is now unreachable.  If X[tid]
                references it (detectable path), resolve may still need
                it, so defer its retirement until X moves on. *)
-            if detectable then defer_retire t ~tid first
-            else retire t ~tid first;
+            if detectable then A.defer_retire t.an ~tid first
+            else A.retire t.an ~tid first;
             v
           end
           else if M.read t.head = first then begin
             (* help another dequeuing thread: lines 53-55 *)
-            M.flush (Pool.deq_tid t.pool next);
+            M.flush (Pool.deq_tid (pool t) next);
             ignore (M.cas t.head ~expected:first ~desired:next);
             loop ()
           end
@@ -264,7 +217,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     (* Persistence point — before [Ebr.exit], so the head-advance flush
        lands before the old sentinel can be recycled and reused. *)
     M.drain ();
-    Dssq_ebr.Ebr.exit t.ebr ~tid;
+    Dssq_ebr.Ebr.exit t.an.A.ebr ~tid;
     v
 
   let exec_dequeue t ~tid =
@@ -283,29 +236,26 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   (* Detection (resolve, resolve-enqueue, resolve-dequeue)               *)
   (* ------------------------------------------------------------------ *)
 
-  let resolve_enqueue t x =
-    let v = M.read (Pool.value t.pool (Tagged.idx x)) in
-    if Tagged.has x Tagged.enq_compl then Queue_intf.Enq_done v (* line 29 *)
-    else Queue_intf.Enq_pending v (* line 31 *)
-
   let resolve_dequeue t ~tid x =
     if x = Tagged.deq_prep then Queue_intf.Deq_pending (* lines 56-57 *)
     else if x = Tagged.deq_prep lor Tagged.empty then Queue_intf.Deq_empty
       (* lines 58-59 *)
     else begin
       let first = Tagged.idx x in
-      let next = M.read (Pool.next t.pool first) in
-      if next <> Tagged.null && M.read (Pool.deq_tid t.pool next) = tid then
-        Queue_intf.Deq_done (M.read (Pool.value t.pool next)) (* lines 60-61 *)
+      let next = M.read (Pool.next (pool t) first) in
+      if next <> Tagged.null && M.read (Pool.deq_tid (pool t) next) = tid then
+        Queue_intf.Deq_done (M.read (Pool.value (pool t) next))
+        (* lines 60-61 *)
       else Queue_intf.Deq_pending (* lines 62-63 *)
     end
 
   let resolve t ~tid =
     if Trace.is_on () then Trace.set_tid tid;
-    let x = M.read t.x.(tid) in
+    let xw = M.read (x t).(tid) in
     let r =
-      if Tagged.has x Tagged.enq_prep then resolve_enqueue t x (* lines 20-22 *)
-      else if Tagged.has x Tagged.deq_prep then resolve_dequeue t ~tid x
+      if Tagged.has xw Tagged.enq_prep then
+        A.resolve_push t.an xw (* lines 20-22, 29, 31 *)
+      else if Tagged.has xw Tagged.deq_prep then resolve_dequeue t ~tid xw
         (* lines 23-25 *)
       else Queue_intf.Nothing (* lines 26-27 *)
     in
@@ -318,33 +268,20 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   (* Recovery (Figure 6 / Appendix A)                                    *)
   (* ------------------------------------------------------------------ *)
 
-  let reachable_from t start =
-    let seen = Array.make (t.pool.Pool.capacity + 1) false in
-    let rec go n =
-      if n <> Tagged.null && not seen.(n) then begin
-        seen.(n) <- true;
-        go (M.read (Pool.next t.pool n))
-      end
-    in
-    go start;
-    seen
+  module R = L.Recovery
 
   let last_reachable t start =
     let rec go n =
-      let next = M.read (Pool.next t.pool n) in
+      let next = M.read (Pool.next (pool t) n) in
       if next = Tagged.null then n else go next
     in
     go start
 
   (** Drop all volatile runtime state (reclamation epochs and limbo
       lists, deferred retirements).  Models the process restart that
-      precedes any recovery: this state does not survive a real crash,
-      and in the simulator it must be discarded explicitly.  [recover]
-      calls it; call it directly before decentralized
-      [recover_thread]-style recovery. *)
-  let reset_volatile t =
-    Dssq_ebr.Ebr.clear t.ebr;
-    Array.iter (fun l -> l := []) t.deferred
+      precedes any recovery; [recover] calls it, call it directly before
+      decentralized [recover_thread]-style recovery. *)
+  let reset_volatile t = A.reset_volatile t.an
 
   (** Centralized single-threaded recovery, run after the crash semantics
       have been applied to the heap and before application threads
@@ -355,71 +292,33 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     reset_volatile t;
     let old_head = M.read t.head in
     (* line 64: set of queue nodes reachable from head *)
-    let all_nodes = reachable_from t old_head in
+    let all_nodes = R.reachable_from t.an old_head in
     (* lines 65-66 *)
     M.write t.tail (last_reachable t old_head);
     M.flush t.tail;
     (* lines 67-69: advance head past the marked prefix *)
     let rec advance n =
-      let next = M.read (Pool.next t.pool n) in
-      if next <> Tagged.null && M.read (Pool.deq_tid t.pool next) <> -1 then
+      let next = M.read (Pool.next (pool t) n) in
+      if next <> Tagged.null && M.read (Pool.deq_tid (pool t) next) <> -1 then
         advance next
       else n
     in
     let new_head = advance old_head in
     M.write t.head new_head;
     M.flush t.head;
-    (* lines 70-76: complete detectability state of effective enqueues *)
-    for i = 0 to t.nthreads - 1 do
-      let x = M.read t.x.(i) in
-      let d = Tagged.idx x in
-      if
-        d <> Tagged.null
-        && Tagged.has x Tagged.enq_prep
-        && not (Tagged.has x Tagged.enq_compl)
-        && (all_nodes.(d) (* enqueued and still in the linked list *)
-           || M.read (Pool.deq_tid t.pool d) <> -1
-              (* enqueued, dequeued, already marked *))
-      then begin
-        M.write t.x.(i) (Tagged.with_tag x Tagged.enq_compl);
-        M.flush t.x.(i)
-      end
-    done;
-    (* Our extension: rebuild the volatile free lists.  Keep nodes that
-       are (a) reachable from the new head, or (b) referenced by some X
-       entry (resolve may read them), or (c) the successor of a node
-       referenced by a DEQ-prepared X entry (resolve-dequeue reads
-       X->next).  Kept-but-unreachable nodes are handed to the deferred
-       retirement of their referencing thread so they are reclaimed once
-       that thread's X moves on. *)
-    let live = reachable_from t new_head in
-    let keep = Array.copy live in
-    Array.iter (fun l -> l := []) t.deferred;
-    (* Several X entries can reference the SAME node (two dequeuers that
-       saved the same predecessor; a DEQ successor that is another
-       thread's enqueued node).  Defer each node exactly once, or it
-       would be retired and freed twice — and a double-freed node gets
-       allocated twice and linked into the list in two places. *)
-    let deferred_once = Array.make (t.pool.Pool.capacity + 1) false in
-    let defer_to i n =
-      keep.(n) <- true;
-      if (not live.(n)) && not deferred_once.(n) then begin
-        deferred_once.(n) <- true;
-        t.deferred.(i) := n :: !(t.deferred.(i))
-      end
-    in
-    for i = 0 to t.nthreads - 1 do
-      let x = M.read t.x.(i) in
-      let d = Tagged.idx x in
-      if d <> Tagged.null then begin
-        defer_to i d;
-        if Tagged.has x Tagged.deq_prep then begin
-          let succ = M.read (Pool.next t.pool d) in
-          if succ <> Tagged.null then defer_to i succ
-        end
-      end
-    done;
-    Pool.rebuild_free_lists t.pool ~keep:(fun i -> keep.(i));
+    (* lines 70-76: complete detectability state of effective enqueues —
+       the queue's [took_effect]: enqueued and still in the linked list,
+       or enqueued, dequeued and already marked *)
+    R.complete_effective t.an ~took_effect:(fun d ->
+        all_nodes.(d) || M.read (Pool.deq_tid (pool t) d) <> -1);
+    (* Rebuild the volatile free lists; beyond the X-referenced nodes the
+       generic pass keeps, a DEQ-prepared X entry also pins its saved
+       predecessor's successor (resolve-dequeue reads X->next). *)
+    R.rebuild t.an ~new_root:new_head ~extra:(fun ~defer i xw ->
+        if Tagged.has xw Tagged.deq_prep then begin
+          let succ = M.read (Pool.next (pool t) (Tagged.idx xw)) in
+          if succ <> Tagged.null then defer i succ
+        end);
     M.drain ();
     Trace.recovery_end ()
 
@@ -430,27 +329,24 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   let recover_thread t ~tid =
     if Trace.is_on () then Trace.set_tid tid;
     Trace.recovery_begin ();
-    let x = M.read t.x.(tid) in
+    let xw = M.read (x t).(tid) in
     if
-      Tagged.idx x <> Tagged.null
-      && Tagged.has x Tagged.enq_prep
-      && not (Tagged.has x Tagged.enq_compl)
+      Tagged.idx xw <> Tagged.null
+      && Tagged.has xw Tagged.enq_prep
+      && not (Tagged.has xw Tagged.enq_compl)
     then begin
-      let d = Tagged.idx x in
-      Dssq_ebr.Ebr.enter t.ebr ~tid;
-      let marked () = M.read (Pool.deq_tid t.pool d) <> -1 in
+      let d = Tagged.idx xw in
+      Dssq_ebr.Ebr.enter t.an.A.ebr ~tid;
+      let marked () = M.read (Pool.deq_tid (pool t) d) <> -1 in
       let in_list () =
         let rec go n =
-          n = d || (n <> Tagged.null && go (M.read (Pool.next t.pool n)))
+          n = d || (n <> Tagged.null && go (M.read (Pool.next (pool t) n)))
         in
         go (M.read t.head)
       in
       let took_effect = marked () || in_list () || marked () in
-      Dssq_ebr.Ebr.exit t.ebr ~tid;
-      if took_effect then begin
-        M.write t.x.(tid) (Tagged.with_tag x Tagged.enq_compl);
-        M.flush t.x.(tid)
-      end
+      Dssq_ebr.Ebr.exit t.an.A.ebr ~tid;
+      if took_effect then A.post t.an ~tid (Tagged.with_tag xw Tagged.enq_compl)
     end;
     M.drain ();
     Trace.recovery_end ()
@@ -458,6 +354,8 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   (* ------------------------------------------------------------------ *)
   (* Introspection (tests and debugging; quiescent use only)             *)
   (* ------------------------------------------------------------------ *)
+
+  let stats t = A.stats t.an ~state_words:2 (* head + tail *)
 
   (** Structural invariants that must hold right after [recover] (used by
       the crash-injection tests).  Returns human-readable violations. *)
@@ -468,7 +366,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     let tail = M.read t.tail in
     (* Walk the list once. *)
     let rec walk n acc =
-      let next = M.read (Pool.next t.pool n) in
+      let next = M.read (Pool.next (pool t) n) in
       if next = Tagged.null then List.rev (n :: acc) else walk next (n :: acc)
     in
     let chain = walk head [] in
@@ -478,38 +376,38 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
        past the marked prefix). *)
     List.iteri
       (fun i n ->
-        if i > 0 && M.read (Pool.deq_tid t.pool n) <> -1 then
+        if i > 0 && M.read (Pool.deq_tid (pool t) n) <> -1 then
           add "marked node %d still reachable after head" n)
       chain;
     (* X entries tagged ENQ_PREP|ENQ_COMPL must reference a node that is
        either still in the list or marked as dequeued. *)
     let in_chain n = List.mem n chain in
-    for i = 0 to t.nthreads - 1 do
-      let x = M.read t.x.(i) in
-      let d = Tagged.idx x in
+    for i = 0 to nthreads t - 1 do
+      let xw = M.read (x t).(i) in
+      let d = Tagged.idx xw in
       if
-        Tagged.has x Tagged.enq_prep
-        && Tagged.has x Tagged.enq_compl
+        Tagged.has xw Tagged.enq_prep
+        && Tagged.has xw Tagged.enq_compl
         && d <> Tagged.null
         && (not (in_chain d))
-        && M.read (Pool.deq_tid t.pool d) = -1
+        && M.read (Pool.deq_tid (pool t) d) = -1
       then add "X[%d] claims completion but node %d neither queued nor dequeued" i d
     done;
     List.rev !violations
 
   let to_list t =
     let rec skip_marked n =
-      let next = M.read (Pool.next t.pool n) in
-      if next <> Tagged.null && M.read (Pool.deq_tid t.pool next) <> -1 then
+      let next = M.read (Pool.next (pool t) n) in
+      if next <> Tagged.null && M.read (Pool.deq_tid (pool t) next) <> -1 then
         skip_marked next
       else n
     in
     let rec collect acc n =
-      let next = M.read (Pool.next t.pool n) in
+      let next = M.read (Pool.next (pool t) n) in
       if next = Tagged.null then List.rev acc
-      else collect (M.read (Pool.value t.pool next) :: acc) next
+      else collect (M.read (Pool.value (pool t) next) :: acc) next
     in
     collect [] (skip_marked (M.read t.head))
 
-  let free_count t = Pool.free_count t.pool
+  let free_count t = Pool.free_count (pool t)
 end

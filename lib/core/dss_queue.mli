@@ -11,14 +11,12 @@
 module Make (M : Dssq_memory.Memory_intf.S) : sig
   module Pool : module type of Node_pool.Make (M)
 
-  val name : string
-
   type t
 
-  val create : ?reclaim:bool -> nthreads:int -> capacity:int -> unit -> t
-  (** [capacity] bounds live nodes (per-thread pre-allocated pools).
-      [reclaim] (default true) recycles dequeued nodes through EBR;
-      disable for simpler crash-scenario reasoning in tests. *)
+  (** The shared detectable-linked-structure core (name, [create],
+      [resolve], [recover], [stats], introspection) — see
+      {!Detectable_intf.LINKED_CORE}. *)
+  include Detectable_intf.LINKED_CORE with type t := t
 
   val of_config : Queue_intf.config -> t
   (** {!create} through the unified {!Queue_intf.config} record. *)
@@ -35,15 +33,7 @@ module Make (M : Dssq_memory.Memory_intf.S) : sig
   val prep_dequeue : t -> tid:int -> unit
   val exec_dequeue : t -> tid:int -> int
 
-  val resolve : t -> tid:int -> Queue_intf.resolved
-  (** The [(A[p], R[p])] of the calling thread; total and idempotent. *)
-
-  (** {1 Recovery} *)
-
-  val recover : t -> unit
-  (** Centralized single-threaded recovery (Figure 6 / Appendix A), run
-      after {!Dssq_sim.Sim.apply_crash} and before threads resume.  Also
-      rebuilds the volatile node pools and reclamation state. *)
+  (** {1 Queue-specific recovery entry points} *)
 
   val recover_thread : t -> tid:int -> unit
   (** Decentralized variant (Section 3.3): repairs only [tid]'s own
@@ -54,11 +44,6 @@ module Make (M : Dssq_memory.Memory_intf.S) : sig
   (** Drop volatile runtime state (EBR, deferred retirements) — models
       process restart; {!recover} calls it, call it directly before
       [recover_thread]-style recovery. *)
-
-  (** {1 Introspection (quiescent use: tests, debugging)} *)
-
-  val to_list : t -> int list
-  val free_count : t -> int
 
   val recovered_violations : t -> string list
   (** Structural invariants that must hold right after {!recover};

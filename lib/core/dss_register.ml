@@ -1,38 +1,115 @@
 (** A detectable recoverable read/write register — [D<register>] of
-    Section 2.2, implemented from raw persistent words in the style the
-    paper sketches for base objects: everything about an operation fits
-    in single failure-atomic words, and no centralized recovery phase or
-    auxiliary system state is needed.
+    Section 2.2, in two implementations sharing one interface:
 
-    Representation.  The register itself is one word packing
-    [(value, writer, seq)]: the value (40 bits), the id of the thread
-    whose write produced it, and a small per-writer sequence number.  A
-    per-thread word [X] holds the detectability state: the prepared
-    value, the operation's sequence number, and PREP/COMPL/READ tags.
+    - {!Make}, the post-refactor register: an instantiation of the
+      generic {!Detectable} engine over the register specification
+      ([Dssq_spec.Specs.Register]).  The announce records, helping,
+      provenance-carrying state word and [resolve] all come from the
+      shared functor; this file only maps the generic vocabulary onto
+      the register's.
+    - {!Packed}, the pre-refactor original: everything about an
+      operation packed into single failure-atomic 64-bit words (the
+      real-hardware discipline the paper sketches for base objects) —
+      value (40 bits), writer id and an 8-bit wrapping sequence number
+      in the register word; value, sequence number and PREP/COMPL/READ
+      tags in the per-thread X word.
 
-    Protocol.  [prep_write v] records intent in [X] (with a fresh
-    sequence number — the auxiliary disambiguator of Section 2.1, here
-    8 bits of it).  [exec_write] installs [(v, tid, seq)] into the
-    register with CAS and flushes it; before overwriting, it {e helps}
-    the previous value's writer by marking that writer's matching [X]
-    entry complete — this is what makes detection sound even when the
-    evidence (the register content) is about to be destroyed: by the
-    time a write is overwritten, its completion has been persisted in
-    its writer's own X.  [resolve] then needs only local state: X's
-    COMPL tag, or the register still carrying the caller's own
-    provenance.
+    The two are observationally equivalent on random operation/crash
+    schedules (QCheck property in [test/test_detectable.ml]); {!Packed}
+    is kept as that test's oracle and as the bit-packing exemplar. *)
 
-    Reads are detectable too: [exec_read] stores the value it returned
-    into [X] (reads have no effect on the object, so a crashed read may
-    always be reported unexecuted).
+module type S = sig
+  type t
 
-    The sequence number wraps at 256; a helper stalled across 256 of a
-    thread's operations could mark the wrong generation complete.  This
-    is the same bounded-staleness assumption as the log queue's entry
-    ring (see DESIGN.md §5), traded against the paper's footnote-1
-    concern about burning value bits. *)
+  type resolved =
+    | Nothing
+    | Write_pending of int
+    | Write_done of int
+    | Read_pending
+    | Read_done of int
+
+  val pp_resolved : Format.formatter -> resolved -> unit
+  val create : ?init:int -> nthreads:int -> unit -> t
+  val read : t -> tid:int -> int
+  val write : t -> tid:int -> int -> unit
+  val prep_write : t -> tid:int -> int -> unit
+  val exec_write : t -> tid:int -> unit
+  val prep_read : t -> tid:int -> unit
+  val exec_read : t -> tid:int -> int
+  val resolve : t -> tid:int -> resolved
+  val recover : t -> unit
+  val stats : t -> Detectable_intf.stats
+end
 
 module Make (M : Dssq_memory.Memory_intf.S) = struct
+  module E = Detectable.Make_any (M)
+  module R = Dssq_spec.Specs.Register
+
+  (* Same value range as {!Packed} (what fits beside provenance in one
+     packed word), enforced here too so the two implementations reject
+     exactly the same inputs. *)
+  let value_bits = 40
+  let value_mask = (1 lsl value_bits) - 1
+
+  type t = (int, R.op, R.response) E.t
+
+  type resolved =
+    | Nothing
+    | Write_pending of int
+    | Write_done of int
+    | Read_pending
+    | Read_done of int
+
+  let pp_resolved fmt = function
+    | Nothing -> Format.pp_print_string fmt "(_|_, _|_)"
+    | Write_pending v -> Format.fprintf fmt "(write %d, _|_)" v
+    | Write_done v -> Format.fprintf fmt "(write %d, OK)" v
+    | Read_pending -> Format.pp_print_string fmt "(read, _|_)"
+    | Read_done v -> Format.fprintf fmt "(read, %d)" v
+
+  let create ?(init = 0) ~nthreads () =
+    if init < 0 || init > value_mask then invalid_arg "Dss_register.create";
+    E.create ~name:"register"
+      ~placement:Dssq_memory.Memory_intf.Line.Isolated ~init ~nthreads
+      (R.spec ())
+
+  (* ------------------------- non-detectable ------------------------- *)
+
+  let read t ~tid =
+    match E.base t ~tid R.Read with R.Value v -> v | R.Ok -> assert false
+
+  let write t ~tid v =
+    if v < 0 || v > value_mask then invalid_arg "Dss_register.write";
+    match E.base t ~tid (R.Write v) with R.Ok -> () | R.Value _ -> assert false
+
+  (* --------------------------- detectable --------------------------- *)
+
+  let prep_write t ~tid v =
+    if v < 0 || v > value_mask then invalid_arg "Dss_register.prep_write";
+    E.prep t ~tid (R.Write v)
+
+  let exec_write t ~tid = ignore (E.exec t ~tid)
+  let prep_read t ~tid = E.prep t ~tid R.Read
+
+  let exec_read t ~tid =
+    match E.exec t ~tid with R.Value v -> v | R.Ok -> assert false
+
+  (* ---------------------------- detection --------------------------- *)
+
+  let resolve t ~tid =
+    match E.resolve t ~tid with
+    | Detectable_intf.Nothing -> Nothing
+    | Pending (R.Write v) -> Write_pending v
+    | Done (R.Write v, _) -> Write_done v
+    | Pending R.Read -> Read_pending
+    | Done (R.Read, R.Value v) -> Read_done v
+    | Done (R.Read, R.Ok) -> assert false
+
+  let recover = E.recover
+  let stats = E.stats
+end
+
+module Packed (M : Dssq_memory.Memory_intf.S) = struct
   (* Register word: value (bits 0-39) | writer+1 (12 bits, 40-51) |
      seq (8 bits, 52-59).  writer+1 so that 0 encodes "initial value, no
      writer"; everything stays below bit 62 (OCaml ints are 63-bit). *)
@@ -89,7 +166,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   let create ?(init = 0) ~nthreads () =
     if init < 0 || init > value_mask then invalid_arg "Dss_register.create";
     let reg =
-      M.alloc ~name:"register" ~placement:Dssq_memory.Memory_intf.Line.Isolated 
+      M.alloc ~name:"register" ~placement:Dssq_memory.Memory_intf.Line.Isolated
         (pack ~value:init ~writer:(-1) ~seq:0)
     in
     M.flush reg;
@@ -220,4 +297,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   (** No recovery procedure is needed: detection state is maintained
       inline by the helping protocol.  Provided for interface symmetry. *)
   let recover (_ : t) = ()
+
+  let stats t : Detectable_intf.stats =
+    { state_words = 1; announce_words = t.nthreads }
 end

@@ -14,16 +14,18 @@
     swings [top] to the successor and flushes it.  Anyone — pushers
     included — who finds the top claimed completes phases 2-3 first.
 
-    Per-thread tagged word [X], flush-before-publish for pushes,
-    Figure-6-style recovery (complete any claimed top, skip the marked
-    prefix, complete detectability of effective pushes, rebuild pools)
-    as in the queue. *)
+    The announce words, flush-before-publish posting and the generic
+    Figure-6 recovery passes are the shared {!Detectable.Linked}
+    scaffolding (as in {!Dss_queue}); this file owns the claim protocol
+    and the stack's [took_effect] predicate. *)
 
 module Make (M : Dssq_memory.Memory_intf.S) = struct
-  module Pool = Node_pool.Make (M)
+  module L = Detectable.Linked (M)
+  module Pool = L.Pool
+  module A = L.Announce
+  module R = L.Recovery
 
   let name = "dss-stack"
-  let nondet_mark = 1 lsl 20
 
   (* Top word: node index (bits 0-39) | mark+1 of the claimer (bits
      40-61); 0 in the high bits = unclaimed. *)
@@ -34,62 +36,23 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   let with_claim node mark = node lor ((mark + 1) lsl claim_shift)
 
   type t = {
-    pool : Pool.t; (* deq_tid doubles as the popper mark *)
+    an : A.t; (* pool (deq_tid doubles as the popper mark), X, EBR *)
     top : int M.cell;
-    x : int M.cell array;
-    ebr : int Dssq_ebr.Ebr.t;
-    deferred : int list ref array;
-    reclaim : bool;
-    nthreads : int;
   }
 
   let create ?(reclaim = true) ~nthreads ~capacity () =
-    let pool = Pool.create ~capacity ~nthreads in
-    let top = M.alloc ~name:"top" ~placement:Dssq_memory.Memory_intf.Line.Isolated Tagged.null in
+    let an = A.create ~xname:"Xs" ~reclaim ~nthreads ~capacity () in
+    let top =
+      M.alloc ~name:"top" ~placement:Dssq_memory.Memory_intf.Line.Isolated
+        Tagged.null
+    in
     M.flush top;
     M.drain ();
-    let t =
-      {
-        pool;
-        top;
-        x =
-          Array.init nthreads (fun i ->
-              M.alloc
-                ~name:(Printf.sprintf "Xs[%d]" i)
-                ~placement:Dssq_memory.Memory_intf.Line.Isolated 0);
-        ebr = Dssq_ebr.Ebr.create ~nthreads ~free:(fun ~tid:_ _ -> ()) ();
-        deferred = Array.init nthreads (fun _ -> ref []);
-        reclaim;
-        nthreads;
-      }
-    in
-    let ebr =
-      Dssq_ebr.Ebr.create ~nthreads
-        ~free:(fun ~tid node -> Pool.free t.pool ~tid node)
-        ()
-    in
-    { t with ebr }
+    { an; top }
 
-  let release_deferred t ~tid =
-    if t.reclaim then begin
-      List.iter (fun n -> Dssq_ebr.Ebr.retire t.ebr ~tid n) !(t.deferred.(tid));
-      t.deferred.(tid) := []
-    end
-
-  let defer_retire t ~tid node =
-    if t.reclaim then t.deferred.(tid) := node :: !(t.deferred.(tid))
-
-  let retire t ~tid node =
-    if t.reclaim then Dssq_ebr.Ebr.retire t.ebr ~tid node
-
-  let make_node t ~tid v =
-    if v < 0 then invalid_arg "Dss_stack: values must be non-negative";
-    let node =
-      if t.reclaim then Pool.alloc_reclaiming t.pool ~ebr:t.ebr ~tid ~value:v
-      else Pool.alloc t.pool ~tid ~value:v
-    in
-    M.flush (Pool.value t.pool node);
-    node
+  let pool t = t.an.A.pool
+  let x t = t.an.A.x
+  let make_node t ~tid v = A.make_node t.an ~objname:"Dss_stack" ~tid v
 
   (* Complete a claimed top [w]: persist the claimer's mark in the node,
      then swing top past it and persist the swing.  Idempotent; callable
@@ -97,9 +60,9 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   let help_complete t w =
     let node = idx_of w in
     let mark = claim_of w in
-    M.write (Pool.deq_tid t.pool node) mark;
-    M.flush (Pool.deq_tid t.pool node);
-    let next = M.read (Pool.next t.pool node) in
+    M.write (Pool.deq_tid (pool t) node) mark;
+    M.flush (Pool.deq_tid (pool t) node);
+    let next = M.read (Pool.next (pool t) node) in
     ignore (M.cas t.top ~expected:w ~desired:next);
     (* Persist the removal before the node can be recycled. *)
     M.flush t.top
@@ -107,16 +70,13 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   (* ------------------------------ push ------------------------------ *)
 
   let prep_push t ~tid v =
-    release_deferred t ~tid;
+    A.release_deferred t.an ~tid;
     let node = make_node t ~tid v in
-    M.write t.x.(tid) (Tagged.with_tag node Tagged.enq_prep);
-    M.flush t.x.(tid);
-    (* Persistence point: prep is durable when it returns (no-op on
-       eager backends, which drain at every flush). *)
-    M.drain ()
+    (* Persistence point: prep is durable when it returns. *)
+    A.announce t.an ~tid (Tagged.with_tag node Tagged.enq_prep)
 
   let push_node t ~tid ~detectable node =
-    Dssq_ebr.Ebr.enter t.ebr ~tid;
+    Dssq_ebr.Ebr.enter t.an.A.ebr ~tid;
     let rec loop () =
       let w = M.read t.top in
       if claimed w then begin
@@ -124,26 +84,22 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
         loop ()
       end
       else begin
-        M.write (Pool.next t.pool node) (idx_of w);
-        M.flush (Pool.next t.pool node);
+        M.write (Pool.next (pool t) node) (idx_of w);
+        M.flush (Pool.next (pool t) node);
         if M.cas t.top ~expected:w ~desired:node then begin
           (* Persist the publication before reporting success. *)
           M.flush t.top;
-          if detectable then begin
-            M.write t.x.(tid)
-              (Tagged.with_tag (M.read t.x.(tid)) Tagged.enq_compl);
-            M.flush t.x.(tid)
-          end
+          if detectable then A.tag t.an ~tid Tagged.enq_compl
         end
         else loop ()
       end
     in
     loop ();
     M.drain () (* persistence point, while still EBR-protected *);
-    Dssq_ebr.Ebr.exit t.ebr ~tid
+    Dssq_ebr.Ebr.exit t.an.A.ebr ~tid
 
   let exec_push t ~tid =
-    let node = Tagged.idx (M.read t.x.(tid)) in
+    let node = Tagged.idx (M.read (x t).(tid)) in
     push_node t ~tid ~detectable:true node
 
   let push t ~tid v =
@@ -153,14 +109,12 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   (* ------------------------------ pop ------------------------------- *)
 
   let prep_pop t ~tid =
-    release_deferred t ~tid;
-    M.write t.x.(tid) Tagged.deq_prep;
-    M.flush t.x.(tid);
-    M.drain ()
+    A.release_deferred t.an ~tid;
+    A.announce t.an ~tid Tagged.deq_prep
 
   let pop_body t ~tid ~detectable =
-    Dssq_ebr.Ebr.enter t.ebr ~tid;
-    let mark = if detectable then tid else tid lor nondet_mark in
+    Dssq_ebr.Ebr.enter t.an.A.ebr ~tid;
+    let mark = if detectable then tid else tid lor L.nondet_mark in
     let rec loop () =
       let w = M.read t.top in
       if claimed w then begin
@@ -168,26 +122,21 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
         loop ()
       end
       else if idx_of w = Tagged.null then begin
-        if detectable then begin
-          M.write t.x.(tid) (Tagged.with_tag (M.read t.x.(tid)) Tagged.empty);
-          M.flush t.x.(tid)
-        end;
+        if detectable then A.tag t.an ~tid Tagged.empty;
         Queue_intf.empty_value
       end
       else begin
         let node = idx_of w in
-        if detectable then begin
+        if detectable then
           (* Save the node we are about to claim. *)
-          M.write t.x.(tid) (Tagged.with_tag node Tagged.deq_prep);
-          M.flush t.x.(tid)
-        end;
+          A.post t.an ~tid (Tagged.with_tag node Tagged.deq_prep);
         (* Phase 1: claim through the top word — atomic with top-ness. *)
         if M.cas t.top ~expected:w ~desired:(with_claim node mark) then begin
           (* Phases 2-3 (helpers may race us; all steps idempotent). *)
           help_complete t (with_claim node mark);
-          let v = M.read (Pool.value t.pool node) in
-          if detectable then defer_retire t ~tid node
-          else retire t ~tid node;
+          let v = M.read (Pool.value (pool t) node) in
+          if detectable then A.defer_retire t.an ~tid node
+          else A.retire t.an ~tid node;
           v
         end
         else loop ()
@@ -195,7 +144,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     in
     let v = loop () in
     M.drain () (* persistence point, while still EBR-protected *);
-    Dssq_ebr.Ebr.exit t.ebr ~tid;
+    Dssq_ebr.Ebr.exit t.an.A.ebr ~tid;
     v
 
   let exec_pop t ~tid = pop_body t ~tid ~detectable:true
@@ -204,19 +153,15 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   (* ---------------------------- detection --------------------------- *)
 
   let resolve t ~tid =
-    let x = M.read t.x.(tid) in
-    if Tagged.has x Tagged.enq_prep then begin
-      let v = M.read (Pool.value t.pool (Tagged.idx x)) in
-      if Tagged.has x Tagged.enq_compl then Queue_intf.Enq_done v
-      else Queue_intf.Enq_pending v
-    end
-    else if Tagged.has x Tagged.deq_prep then begin
-      if x = Tagged.deq_prep then Queue_intf.Deq_pending
-      else if x = Tagged.deq_prep lor Tagged.empty then Queue_intf.Deq_empty
+    let xw = M.read (x t).(tid) in
+    if Tagged.has xw Tagged.enq_prep then A.resolve_push t.an xw
+    else if Tagged.has xw Tagged.deq_prep then begin
+      if xw = Tagged.deq_prep then Queue_intf.Deq_pending
+      else if xw = Tagged.deq_prep lor Tagged.empty then Queue_intf.Deq_empty
       else begin
-        let node = Tagged.idx x in
-        if M.read (Pool.deq_tid t.pool node) = tid then
-          Queue_intf.Deq_done (M.read (Pool.value t.pool node))
+        let node = Tagged.idx xw in
+        if M.read (Pool.deq_tid (pool t) node) = tid then
+          Queue_intf.Deq_done (M.read (Pool.value (pool t) node))
         else Queue_intf.Deq_pending
       end
     end
@@ -224,75 +169,41 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
 
   (* ----------------------------- recovery --------------------------- *)
 
-  let reachable_from t start =
-    let seen = Array.make (t.pool.Pool.capacity + 1) false in
-    let rec go n =
-      if n <> Tagged.null && not seen.(n) then begin
-        seen.(n) <- true;
-        go (M.read (Pool.next t.pool n))
-      end
-    in
-    go start;
-    seen
-
   let recover t =
-    Dssq_ebr.Ebr.clear t.ebr;
-    Array.iter (fun l -> l := []) t.deferred;
+    A.reset_volatile t.an;
     (* Complete a claim that survived in the persisted top word. *)
     let w = M.read t.top in
     if claimed w then begin
       let node = idx_of w in
-      M.write (Pool.deq_tid t.pool node) (claim_of w);
-      M.flush (Pool.deq_tid t.pool node);
-      M.write t.top (M.read (Pool.next t.pool node));
+      M.write (Pool.deq_tid (pool t) node) (claim_of w);
+      M.flush (Pool.deq_tid (pool t) node);
+      M.write t.top (M.read (Pool.next (pool t) node));
       M.flush t.top
     end;
     let old_top = idx_of (M.read t.top) in
-    let all_nodes = reachable_from t old_top in
+    let all_nodes = R.reachable_from t.an old_top in
     (* Skip the marked prefix (marks are flushed before the top swing
        persists, so a marked node's pop took effect). *)
     let rec advance n =
-      if n <> Tagged.null && M.read (Pool.deq_tid t.pool n) <> -1 then
-        advance (M.read (Pool.next t.pool n))
+      if n <> Tagged.null && M.read (Pool.deq_tid (pool t) n) <> -1 then
+        advance (M.read (Pool.next (pool t) n))
       else n
     in
     let new_top = advance old_top in
     M.write t.top new_top;
     M.flush t.top;
-    (* Complete detectability state of effective pushes. *)
-    for i = 0 to t.nthreads - 1 do
-      let x = M.read t.x.(i) in
-      let d = Tagged.idx x in
-      if
-        d <> Tagged.null
-        && Tagged.has x Tagged.enq_prep
-        && (not (Tagged.has x Tagged.enq_compl))
-        && (all_nodes.(d) || M.read (Pool.deq_tid t.pool d) <> -1)
-      then begin
-        M.write t.x.(i) (Tagged.with_tag x Tagged.enq_compl);
-        M.flush t.x.(i)
-      end
-    done;
-    (* Rebuild free lists, keeping live and X-referenced nodes.  A node
-       referenced by several X entries is deferred exactly once. *)
-    let live = reachable_from t new_top in
-    let keep = Array.copy live in
-    let deferred_once = Array.make (t.pool.Pool.capacity + 1) false in
-    for i = 0 to t.nthreads - 1 do
-      let x = M.read t.x.(i) in
-      let d = Tagged.idx x in
-      if d <> Tagged.null then begin
-        keep.(d) <- true;
-        if (not live.(d)) && not deferred_once.(d) then begin
-          deferred_once.(d) <- true;
-          t.deferred.(i) := d :: !(t.deferred.(i))
-        end
-      end
-    done;
-    Pool.rebuild_free_lists t.pool ~keep:(fun i -> keep.(i));
+    (* Complete detectability state of effective pushes: still in the
+       chain, or already popped-and-marked. *)
+    R.complete_effective t.an ~took_effect:(fun d ->
+        all_nodes.(d) || M.read (Pool.deq_tid (pool t) d) <> -1);
+    (* Rebuild free lists, keeping live and X-referenced nodes (no extra
+       pins: resolve reads the claimed node itself, never a successor). *)
+    R.rebuild t.an ~new_root:new_top ~extra:(fun ~defer:_ _ _ -> ());
     M.drain ()
 
   (* ----------------------- introspection ---------------------------- *)
+
+  let stats t = A.stats t.an ~state_words:1 (* the top word *)
 
   (** Contents, top first, skipping claimed/marked nodes.  Quiescent use
       only. *)
@@ -300,12 +211,13 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     let rec collect acc n guard =
       if n = Tagged.null || guard = 0 then List.rev acc
       else begin
-        let next = M.read (Pool.next t.pool n) in
-        if M.read (Pool.deq_tid t.pool n) <> -1 then collect acc next (guard - 1)
-        else collect (M.read (Pool.value t.pool n) :: acc) next (guard - 1)
+        let next = M.read (Pool.next (pool t) n) in
+        if M.read (Pool.deq_tid (pool t) n) <> -1 then
+          collect acc next (guard - 1)
+        else collect (M.read (Pool.value (pool t) n) :: acc) next (guard - 1)
       end
     in
-    collect [] (idx_of (M.read t.top)) (t.pool.Pool.capacity + 2)
+    collect [] (idx_of (M.read t.top)) ((pool t).Pool.capacity + 2)
 
-  let free_count t = Pool.free_count t.pool
+  let free_count t = Pool.free_count (pool t)
 end

@@ -9,15 +9,17 @@
 module Make (M : Dssq_memory.Memory_intf.S) : sig
   module Pool : module type of Node_pool.Make (M)
 
-  val name : string
-
   type t
 
-  val create : ?reclaim:bool -> nthreads:int -> capacity:int -> unit -> t
+  (** The shared detectable-linked-structure core (name, [create],
+      [resolve], [recover], [stats], introspection) — see
+      {!Detectable_intf.LINKED_CORE}. *)
+  include Detectable_intf.LINKED_CORE with type t := t
 
   (** {1 Non-detectable operations} *)
 
   val push : t -> tid:int -> int -> unit
+
   val pop : t -> tid:int -> int
   (** Returns {!Queue_intf.empty_value} on an empty stack. *)
 
@@ -27,13 +29,4 @@ module Make (M : Dssq_memory.Memory_intf.S) : sig
   val exec_push : t -> tid:int -> unit
   val prep_pop : t -> tid:int -> unit
   val exec_pop : t -> tid:int -> int
-  val resolve : t -> tid:int -> Queue_intf.resolved
-
-  (** {1 Recovery and introspection} *)
-
-  val recover : t -> unit
-  val to_list : t -> int list
-  (** Contents, top first; quiescent use only. *)
-
-  val free_count : t -> int
 end

@@ -1,0 +1,38 @@
+(** Detectable swap object — [D<swap>]: a register whose write returns
+    the value it displaced.  The canonical detectability case study
+    (Lev-Ari, Attiya & Hendler's nesting-safe recoverable linearizable
+    swap; see PAPERS.md): unlike a plain write, swap is {e not}
+    idempotent-by-observation, so recovery genuinely needs the announce
+    record to avoid returning two different displaced values for one
+    invocation.  Everything here is {!Detectable.Make} over the
+    two-operation specification. *)
+
+module S = Dssq_spec.Specs.Swap
+
+module Make (M : Dssq_memory.Memory_intf.S) = struct
+  include
+    Detectable.Make
+      (struct
+        type state = int
+        type op = S.op
+        type response = S.response
+
+        let spec = S.spec ()
+      end)
+      (M)
+
+  let pp_resolved fmt r =
+    Detectable_intf.pp_resolved S.pp_op S.pp_response fmt r
+
+  (* Typed non-detectable operations. *)
+
+  let read t ~tid = match base t ~tid S.Read with S.Value v -> v
+
+  let swap t ~tid v = match base t ~tid (S.Swap v) with S.Value prev -> prev
+
+  (* Typed detectable pairs; [exec] itself (from the functor) returns the
+     displaced value as [S.Value]. *)
+
+  let prep_swap t ~tid v = prep t ~tid (S.Swap v)
+  let exec_swap t ~tid = match exec t ~tid with S.Value prev -> prev
+end

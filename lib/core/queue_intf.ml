@@ -55,45 +55,10 @@ let config ?(reclaim = true) ?(line_size = 1) ?(coalesce = false) ~nthreads
     invalid_arg "Queue_intf.config: line_size must be > 0";
   { nthreads; capacity; reclaim; line_size; coalesce }
 
-(** Plain concurrent queue (non-detectable interface). *)
-module type QUEUE = sig
-  type t
-
-  val name : string
-
-  val of_config : config -> t
-  (** The unified constructor; implementation-specific [create]
-      functions remain as labelled conveniences. *)
-
-  val enqueue : t -> tid:int -> int -> unit
-  val dequeue : t -> tid:int -> int
-  (** Returns {!empty_value} when the queue is empty. *)
-
-  val to_list : t -> int list
-  (** Current logical contents, front first.  Quiescent use only
-      (tests, debugging). *)
-end
-
-(** Detectable queue: the DSS interface of Section 2 instantiated for the
-    queue type, plus recovery entry points. *)
-module type DETECTABLE_QUEUE = sig
-  include QUEUE
-
-  val prep_enqueue : t -> tid:int -> int -> unit
-  val exec_enqueue : t -> tid:int -> unit
-  val prep_dequeue : t -> tid:int -> unit
-  val exec_dequeue : t -> tid:int -> int
-  val resolve : t -> tid:int -> resolved
-
-  val recover : t -> unit
-  (** Centralized single-threaded recovery phase, run after a crash and
-      before threads resume (Figure 6 / Appendix A). *)
-
-  val recover_thread : t -> tid:int -> unit
-  (** Decentralized variant (Section 3.3): thread [tid] repairs only its
-      own detectability state; no centralized phase is required.  May run
-      concurrently with other threads' recovery and normal operations. *)
-end
+(* The QUEUE / DETECTABLE_QUEUE module types that used to live here were
+   never implemented by anything (each object's [.mli] restated its own
+   near-copy); the shared signature is {!Detectable_intf.LINKED_CORE}
+   now, which the queue and stack [.mli]s include. *)
 
 (** Closure record for heterogeneous dispatch in workloads and benches,
     hiding the functor-generated type [t]. *)

@@ -229,11 +229,17 @@ end
     pending in a coalescing persist buffer (deduplicated, so the drain
     writes the line back once); [elided_fences] counts the per-flush
     fences a drain folded into its single barrier (k absorbed flush
-    calls -> k-1 elided fences).  Both are zero on eager backends. *)
+    calls -> k-1 elided fences).  Both are zero on eager backends.
+    [pwrites] counts persistent-word mutations — stores plus {e
+    successful} CAS — i.e. how many words of persistent memory the
+    algorithm actually dirtied; divided by the operation count it is the
+    [persistent_words_per_op] metric compared against the space lower
+    bounds of Ben-Baruch, Hendler & Rusanovsky. *)
 type counters = {
   reads : int;
   writes : int;
   cases : int;
+  pwrites : int;
   flushes : int;
   elided_flushes : int;
   coalesced_flushes : int;
@@ -247,6 +253,7 @@ module Counters = struct
       reads = 0;
       writes = 0;
       cases = 0;
+      pwrites = 0;
       flushes = 0;
       elided_flushes = 0;
       coalesced_flushes = 0;
@@ -259,6 +266,7 @@ module Counters = struct
       reads = a.reads + b.reads;
       writes = a.writes + b.writes;
       cases = a.cases + b.cases;
+      pwrites = a.pwrites + b.pwrites;
       flushes = a.flushes + b.flushes;
       elided_flushes = a.elided_flushes + b.elided_flushes;
       coalesced_flushes = a.coalesced_flushes + b.coalesced_flushes;
@@ -273,6 +281,7 @@ module Counters = struct
       reads = after.reads - before.reads;
       writes = after.writes - before.writes;
       cases = after.cases - before.cases;
+      pwrites = after.pwrites - before.pwrites;
       flushes = after.flushes - before.flushes;
       elided_flushes = after.elided_flushes - before.elided_flushes;
       coalesced_flushes = after.coalesced_flushes - before.coalesced_flushes;
@@ -280,6 +289,8 @@ module Counters = struct
       elided_fences = after.elided_fences - before.elided_fences;
     }
 
+  (* [pwrites] is excluded: it re-counts stores and successful CAS as
+     persistent-word mutations, so adding it would double-charge. *)
   let total c =
     c.reads + c.writes + c.cases + c.flushes + c.elided_flushes
     + c.coalesced_flushes + c.fences + c.elided_fences
@@ -289,6 +300,7 @@ module Counters = struct
       ("reads", c.reads);
       ("writes", c.writes);
       ("cases", c.cases);
+      ("pwrites", c.pwrites);
       ("flushes", c.flushes);
       ("elided_flushes", c.elided_flushes);
       ("coalesced_flushes", c.coalesced_flushes);
@@ -302,6 +314,7 @@ module Counters = struct
       reads = get "reads";
       writes = get "writes";
       cases = get "cases";
+      pwrites = get "pwrites";
       flushes = get "flushes";
       elided_flushes = get "elided_flushes";
       coalesced_flushes = get "coalesced_flushes";
@@ -311,10 +324,10 @@ module Counters = struct
 
   let pp fmt c =
     Format.fprintf fmt
-      "reads=%d writes=%d cases=%d flushes=%d elided=%d coalesced=%d \
-       fences=%d elided_fences=%d"
-      c.reads c.writes c.cases c.flushes c.elided_flushes c.coalesced_flushes
-      c.fences c.elided_fences
+      "reads=%d writes=%d cases=%d pwrites=%d flushes=%d elided=%d \
+       coalesced=%d fences=%d elided_fences=%d"
+      c.reads c.writes c.cases c.pwrites c.flushes c.elided_flushes
+      c.coalesced_flushes c.fences c.elided_fences
 end
 
 (** A backend with uniform memory-event accounting: snapshot with

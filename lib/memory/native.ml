@@ -121,6 +121,7 @@ module Counted () : Memory_intf.COUNTED with type 'a cell = 'a cell = struct
   let c_reads = P.make 0
   let c_writes = P.make 0
   let c_cases = P.make 0
+  let c_pwrites = P.make 0
   let c_flushes = P.make 0
   let c_elided = P.make 0
   let c_fences = P.make 0
@@ -144,12 +145,14 @@ module Counted () : Memory_intf.COUNTED with type 'a cell = 'a cell = struct
 
   let write c v =
     P.incr c_writes;
+    P.incr c_pwrites;
     write c v;
     traced `Write c
 
   let cas c ~expected ~desired =
     P.incr c_cases;
     let hit = cas c ~expected ~desired in
+    if hit then P.incr c_pwrites;
     traced `Cas c;
     hit
 
@@ -169,6 +172,7 @@ module Counted () : Memory_intf.COUNTED with type 'a cell = 'a cell = struct
       Memory_intf.reads = P.get c_reads;
       writes = P.get c_writes;
       cases = P.get c_cases;
+      pwrites = P.get c_pwrites;
       flushes = P.get c_flushes;
       elided_flushes = P.get c_elided;
       coalesced_flushes = 0;
@@ -180,6 +184,7 @@ module Counted () : Memory_intf.COUNTED with type 'a cell = 'a cell = struct
     P.set c_reads 0;
     P.set c_writes 0;
     P.set c_cases 0;
+    P.set c_pwrites 0;
     P.set c_flushes 0;
     P.set c_elided 0;
     P.set c_fences 0
@@ -202,6 +207,7 @@ module Coalescing () : Memory_intf.COUNTED with type 'a cell = 'a cell = struct
   let c_reads = P.make 0
   let c_writes = P.make 0
   let c_cases = P.make 0
+  let c_pwrites = P.make 0
   let c_flushes = P.make 0
   let c_elided = P.make 0
   let c_coalesced = P.make 0
@@ -276,6 +282,7 @@ module Coalescing () : Memory_intf.COUNTED with type 'a cell = 'a cell = struct
   let write c v =
     auto_drain ();
     P.incr c_writes;
+    P.incr c_pwrites;
     write c v;
     traced `Write c
 
@@ -283,6 +290,7 @@ module Coalescing () : Memory_intf.COUNTED with type 'a cell = 'a cell = struct
     auto_drain ();
     P.incr c_cases;
     let hit = cas c ~expected ~desired in
+    if hit then P.incr c_pwrites;
     traced `Cas c;
     hit
 
@@ -313,6 +321,7 @@ module Coalescing () : Memory_intf.COUNTED with type 'a cell = 'a cell = struct
       Memory_intf.reads = P.get c_reads;
       writes = P.get c_writes;
       cases = P.get c_cases;
+      pwrites = P.get c_pwrites;
       flushes = P.get c_flushes;
       elided_flushes = P.get c_elided;
       coalesced_flushes = P.get c_coalesced;
@@ -324,6 +333,7 @@ module Coalescing () : Memory_intf.COUNTED with type 'a cell = 'a cell = struct
     P.set c_reads 0;
     P.set c_writes 0;
     P.set c_cases 0;
+    P.set c_pwrites 0;
     P.set c_flushes 0;
     P.set c_elided 0;
     P.set c_coalesced 0;

@@ -19,8 +19,12 @@ let schema_name = "dssq.run-report"
    v3: event objects gained ["coalesced_flushes"] (duplicate flushes
        absorbed by the per-thread persist buffer) and ["elided_fences"]
        (fences folded into a buffered drain).  v1 and v2 documents still
-       decode the same way: missing event keys read as 0. *)
-let schema_version = 3
+       decode the same way: missing event keys read as 0.
+   v4: event objects gained ["pwrites"] (persistent-word mutations:
+       stores plus successful CAS), the numerator of the
+       [persistent_words_per_op] space metric.  v1-v3 documents still
+       decode: the missing key reads as 0. *)
+let schema_version = 4
 
 (** One instrumented measurement (one repeat at one x). *)
 type sample = {

@@ -17,6 +17,7 @@ type stats = {
   mutable reads : int;
   mutable writes : int;
   mutable cases : int;
+  mutable pwrites : int;
   mutable flushes : int;
   mutable elided_flushes : int;
   mutable coalesced_flushes : int;
@@ -60,6 +61,7 @@ let create ?(line_size = 1) () =
         reads = 0;
         writes = 0;
         cases = 0;
+        pwrites = 0;
         flushes = 0;
         elided_flushes = 0;
         coalesced_flushes = 0;
@@ -233,6 +235,7 @@ let read t (c : 'a Cell.t) : 'a =
 let write t (c : 'a Cell.t) (v : 'a) =
   auto_drain t;
   t.stats.writes <- t.stats.writes + 1;
+  t.stats.pwrites <- t.stats.pwrites + 1;
   c.volatile <- v;
   c.dirty <- true;
   Line.mark_dirty c.line;
@@ -243,6 +246,7 @@ let cas t (c : 'a Cell.t) ~(expected : 'a) ~(desired : 'a) =
   t.stats.cases <- t.stats.cases + 1;
   let hit =
     if Cell.value_equal c.volatile expected then begin
+      t.stats.pwrites <- t.stats.pwrites + 1;
       c.volatile <- desired;
       c.dirty <- true;
       Line.mark_dirty c.line;
@@ -344,6 +348,7 @@ let counters t : Dssq_memory.Memory_intf.counters =
     Dssq_memory.Memory_intf.reads = t.stats.reads;
     writes = t.stats.writes;
     cases = t.stats.cases;
+    pwrites = t.stats.pwrites;
     flushes = t.stats.flushes;
     elided_flushes = t.stats.elided_flushes;
     coalesced_flushes = t.stats.coalesced_flushes;
@@ -356,6 +361,7 @@ let reset_stats t =
   s.reads <- 0;
   s.writes <- 0;
   s.cases <- 0;
+  s.pwrites <- 0;
   s.flushes <- 0;
   s.elided_flushes <- 0;
   s.coalesced_flushes <- 0;

@@ -16,6 +16,8 @@ type stats = {
   mutable reads : int;
   mutable writes : int;
   mutable cases : int;
+  mutable pwrites : int;
+      (** persistent-word mutations: stores plus successful CAS *)
   mutable flushes : int;  (** effective flushes (write-backs) *)
   mutable elided_flushes : int;  (** flush calls answered by a clean line *)
   mutable coalesced_flushes : int;

@@ -11,6 +11,24 @@
 
 type 'op op = Prep of 'op | Exec of 'op | Base of 'op | Resolve
 
+(** A packaged base specification — the functor argument shape of
+    [Dssq_core.Detectable.Make]: the base type [T] as a module, so the
+    detectability transformation can be applied by the type checker
+    rather than by hand per object.
+
+    Contract required by the generic engine: [spec.apply] must return
+    the {e physically identical} state when the operation leaves the
+    state unchanged (reads, failed CAS, pops of an empty container) —
+    that is what lets the engine skip installing a new state record and
+    answer from the one it read (the flush-on-read path). *)
+module type S = sig
+  type state
+  type op
+  type response
+
+  val spec : (state, op, response) Spec.t
+end
+
 type ('op, 'r) response =
   | Ack  (** [prep-op] returns bottom *)
   | Ret of 'r  (** [exec-op] and [op] return rho(s, op, p) *)

@@ -13,6 +13,20 @@ type 'op op =
   | Base of 'op  (** Axiom 4: the plain, non-detectable operation *)
   | Resolve  (** Axiom 3: return (A[p], R[p]); total, idempotent *)
 
+(** A packaged base specification — the functor argument of
+    [Dssq_core.Detectable.Make].  [spec.apply] must return the
+    physically identical state when an operation leaves the state
+    unchanged (reads, failed CAS, removals from an empty container):
+    the generic engine uses physical equality to detect read-only steps
+    and answer without installing a new state record. *)
+module type S = sig
+  type state
+  type op
+  type response
+
+  val spec : (state, op, response) Spec.t
+end
+
 type ('op, 'r) response =
   | Ack  (** prep-op returns bottom *)
   | Ret of 'r

@@ -120,6 +120,123 @@ module Stack = struct
       ~pp_op ~pp_response ()
 end
 
+(** Swap object over ints (Lev Lehman, Attiya & Hendler's recoverable
+    swap): [Swap v] stores [v] and returns the previous value; [Read]
+    observes without writing. *)
+module Swap = struct
+  type op = Read | Swap of int
+  type response = Value of int
+
+  let pp_op fmt = function
+    | Read -> Format.pp_print_string fmt "read"
+    | Swap v -> Format.fprintf fmt "swap(%d)" v
+
+  let pp_response fmt = function Value v -> Format.fprintf fmt "%d" v
+
+  let spec ?(init = 0) () =
+    Spec.make ~name:"swap" ~init
+      ~apply:(fun s ~tid:_ op ->
+        match op with
+        | Read -> Some (s, Value s)
+        | Swap v -> Some (v, Value s))
+      ~pp_op ~pp_response ()
+end
+
+(** Double-ended queue over ints.  Pops are total: [Empty] on an empty
+    deque, like the DSS queue's EMPTY response. *)
+module Deque = struct
+  type op = Push_front of int | Push_back of int | Pop_front | Pop_back
+  type response = Ok | Value of int | Empty
+
+  let pp_op fmt = function
+    | Push_front v -> Format.fprintf fmt "push_front(%d)" v
+    | Push_back v -> Format.fprintf fmt "push_back(%d)" v
+    | Pop_front -> Format.pp_print_string fmt "pop_front"
+    | Pop_back -> Format.pp_print_string fmt "pop_back"
+
+  let pp_response fmt = function
+    | Ok -> Format.pp_print_string fmt "OK"
+    | Value v -> Format.fprintf fmt "%d" v
+    | Empty -> Format.pp_print_string fmt "EMPTY"
+
+  (* State: contents front first.  Empty pops return the state itself
+     (physically), as the engine's read-only contract requires. *)
+  let spec () =
+    Spec.make ~name:"deque" ~init:[]
+      ~apply:(fun s ~tid:_ op ->
+        match (op, s) with
+        | Push_front v, _ -> Some (v :: s, Ok)
+        | Push_back v, _ -> Some (s @ [ v ], Ok)
+        | (Pop_front | Pop_back), [] -> Some (s, Empty)
+        | Pop_front, x :: rest -> Some (rest, Value x)
+        | Pop_back, _ -> (
+            match List.rev s with
+            | x :: rest -> Some (List.rev rest, Value x)
+            | [] -> assert false))
+      ~pp_op ~pp_response ()
+end
+
+(** Min-priority queue over ints. *)
+module Pqueue = struct
+  type op = Insert of int | Extract_min
+  type response = Ok | Value of int | Empty
+
+  let pp_op fmt = function
+    | Insert v -> Format.fprintf fmt "insert(%d)" v
+    | Extract_min -> Format.pp_print_string fmt "extract_min"
+
+  let pp_response fmt = function
+    | Ok -> Format.pp_print_string fmt "OK"
+    | Value v -> Format.fprintf fmt "%d" v
+    | Empty -> Format.pp_print_string fmt "EMPTY"
+
+  (* State: contents sorted ascending, so structurally equal states are
+     semantically equal (the checker memoizes on state equality). *)
+  let rec insert v = function
+    | [] -> [ v ]
+    | x :: _ as s when v <= x -> v :: s
+    | x :: rest -> x :: insert v rest
+
+  let spec () =
+    Spec.make ~name:"pqueue" ~init:[]
+      ~apply:(fun s ~tid:_ op ->
+        match (op, s) with
+        | Insert v, _ -> Some (insert v s, Ok)
+        | Extract_min, [] -> Some (s, Empty)
+        | Extract_min, x :: rest -> Some (rest, Value x))
+      ~pp_op ~pp_response ()
+end
+
+(** Bounded counter: value confined to [0 .. bound]; increments and
+    decrements that would leave the range fail (state unchanged).  The
+    base object of Ben-Baruch, Hendler & Rusanovsky's space lower bounds
+    for detectable objects. *)
+module Bcounter = struct
+  type op = Increment | Decrement | Get
+  type response = Ok | Fail | Value of int
+
+  let pp_op fmt = function
+    | Increment -> Format.pp_print_string fmt "inc"
+    | Decrement -> Format.pp_print_string fmt "dec"
+    | Get -> Format.pp_print_string fmt "get"
+
+  let pp_response fmt = function
+    | Ok -> Format.pp_print_string fmt "OK"
+    | Fail -> Format.pp_print_string fmt "FAIL"
+    | Value v -> Format.fprintf fmt "%d" v
+
+  let spec ?(bound = 7) () =
+    Spec.make
+      ~name:(Printf.sprintf "bcounter<%d>" bound)
+      ~init:0
+      ~apply:(fun s ~tid:_ op ->
+        match op with
+        | Increment -> if s >= bound then Some (s, Fail) else Some (s + 1, Ok)
+        | Decrement -> if s <= 0 then Some (s, Fail) else Some (s - 1, Ok)
+        | Get -> Some (s, Value s))
+      ~pp_op ~pp_response ()
+end
+
 (** Unordered int -> int map, the sequential specification of the
     recoverable hash map.  [Put]/[Remove] return [Ok], matching
     [Dssq_core.Dss_hashmap]'s unit-valued mutators; only [Find] is

@@ -1,0 +1,39 @@
+(** Uniform [persistent_words_per_op] accounting over every detectable
+    object in [lib/core] — the empirical companion to the Ben-Baruch,
+    Hendler & Rusanovsky space bounds (PAPERS.md).  Deterministic
+    two-thread workloads on the counted simulator backend; see the
+    implementation header for the methodology. *)
+
+type row = {
+  z_object : string;
+  z_ops : int;  (** completed detectable operations *)
+  z_events : Dssq_memory.Memory_intf.counters;
+      (** memory-event delta over the measured operations *)
+  z_stats : Dssq_core.Detectable_intf.stats;
+      (** static persistent footprint of the instance *)
+}
+
+val words_per_op : row -> float
+(** [pwrites / ops]: persistent-word mutations (stores plus successful
+    CAS) per completed detectable operation. *)
+
+val flushes_per_op : row -> float
+
+val objects : string list
+(** Every object the zoo can account, by registry-style name. *)
+
+val run_one : ?pairs:int -> ?line_size:int -> string -> row
+(** Run the accounting workload for one object ([pairs] iterations per
+    thread, two detectable operations per iteration).
+    @raise Invalid_argument listing {!objects} on an unknown name. *)
+
+val run_all : ?pairs:int -> ?line_size:int -> unit -> row list
+(** {!run_one} over all of {!objects}, in order. *)
+
+val to_report :
+  ?pairs:int -> ?line_size:int -> row list -> Dssq_obs.Run_report.t
+(** Package rows as a schema-v4 run report: one series per object with
+    a single point carrying [words_per_op] as its sample and the event
+    counters (including [pwrites]); the static footprints go into the
+    report's [metrics] as [zoo.<object>.state_words] /
+    [zoo.<object>.announce_words]. *)

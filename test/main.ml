@@ -16,6 +16,7 @@ let () =
       ("workload", Test_workload.suite);
       ("properties", Test_properties.suite);
       ("dss-register", Test_dss_register.suite);
+      ("detectable", Test_detectable.suite);
       ("dss-cell", Test_dss_cell.suite);
       ("dss-stack", Test_dss_stack.suite);
       ("nested", Test_nested.suite);

@@ -197,6 +197,7 @@ let sample_report () =
       MI.reads = 10;
       writes = 4;
       cases = 3;
+      pwrites = 6;
       flushes = 7;
       elided_flushes = 5;
       coalesced_flushes = 6;
