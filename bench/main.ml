@@ -85,10 +85,18 @@ let backend_name = function
   | Experiments.Sim_model -> "sim"
   | Experiments.Native_domains -> "native"
 
-let write_report ~backend ~experiment ~x_label ~y_label series file =
+(* Each report gets the registry-metrics delta over its own run, not the
+   process-lifetime snapshot: the default `bench` invocation writes
+   several reports from one process, and without {!Metrics.mark}
+   isolation every later report would silently include the earlier runs'
+   counters (trace drops included). *)
+let write_report ~backend ~experiment ~x_label ~y_label ?(provenance = [])
+    ~marked series file =
   let report =
     Dssq_obs.Run_report.make ~backend:(backend_name backend) ~experiment
-      ~x_label ~y_label series
+      ~x_label ~y_label ~provenance
+      ~metrics:(Dssq_obs.Metrics.delta_since marked)
+      series
   in
   match Dssq_obs.Run_report.write file report with
   | () ->
@@ -100,17 +108,26 @@ let write_report ~backend ~experiment ~x_label ~y_label series file =
 
 (* ------------------------- figure commands --------------------------- *)
 
-let run_fig backend csv json ~experiment ~title f =
+let run_fig backend csv json ~experiment ~title ~provenance f =
+  let marked = Dssq_obs.Metrics.mark () in
   let series = f ~instrument:(Option.is_some json) in
   render ~title ~x_label:"threads" ~y_label:"Mops/s" ~csv
     (Report.of_run series);
   Option.iter
     (write_report ~backend ~experiment ~x_label:"threads" ~y_label:"Mops/s"
-       series)
+       ~provenance ~marked series)
     json
+
+let fig_provenance ~threads ~line_size =
+  [
+    ("threads", String.concat "," (List.map string_of_int threads));
+    ("line_size", string_of_int line_size);
+    ("coalesce", "false");
+  ]
 
 let run_fig5a backend threads repeats horizon_us duration line_size csv json =
   run_fig backend csv json ~experiment:"fig5a"
+    ~provenance:(fig_provenance ~threads ~line_size)
     ~title:
       "Figure 5a: levels of detectability and persistence (alternating \
        enqueue/dequeue pairs, queue seeded with 16 nodes)"
@@ -127,6 +144,7 @@ let fig5a_cmd =
 
 let run_fig5b backend threads repeats horizon_us duration line_size csv json =
   run_fig backend csv json ~experiment:"fig5b"
+    ~provenance:(fig_provenance ~threads ~line_size)
     ~title:
       "Figure 5b: detectable queue implementations (all operations \
        detectable)"
@@ -231,6 +249,7 @@ let ablate_pmwcas_cmd =
     Term.(const run_ablate_pmwcas $ csv)
 
 let run_ablate_linesize nthreads repeats horizon_us csv json =
+  let marked = Dssq_obs.Metrics.mark () in
   let series =
     Experiments.ablate_linesize ~nthreads ~repeats
       ~horizon_ns:(horizon_us *. 1000.) ()
@@ -244,7 +263,10 @@ let run_ablate_linesize nthreads repeats horizon_us csv json =
     ~x_label:"line_size" ~y_label:"Mops/s" ~csv (Report.of_run series);
   Option.iter
     (write_report ~backend:Experiments.Sim_model ~experiment:"ablate-linesize"
-       ~x_label:"line_size" ~y_label:"Mops/s" series)
+       ~x_label:"line_size" ~y_label:"Mops/s"
+       ~provenance:
+         [ ("threads", string_of_int nthreads); ("coalesce", "false") ]
+       ~marked series)
     json
 
 let ablate_linesize_cmd =
@@ -272,6 +294,7 @@ let regress_out =
     & info [ "json" ] ~docv:"FILE" ~doc:"where to write the run report")
 
 let run_regress quick out =
+  let marked = Dssq_obs.Metrics.mark () in
   let series = Experiments.regress ~quick () in
   render
     ~title:
@@ -282,6 +305,8 @@ let run_regress quick out =
     Dssq_obs.Run_report.make ~backend:"mixed" ~experiment:"regress"
       ~x_label:"threads" ~y_label:"Mops/s"
       ~params:[ ("quick", string_of_bool quick); ("line_size", "1") ]
+      ~metrics:(Dssq_obs.Metrics.delta_since marked)
+      ~provenance:[ ("line_size", "1"); ("coalesce", "off+on") ]
       series
   in
   (match Dssq_obs.Run_report.write out report with

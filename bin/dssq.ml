@@ -67,10 +67,11 @@ let json_arg =
     & info [ "json" ] ~docv:"FILE"
         ~doc:"write a schema-versioned JSON run report to $(docv)")
 
-let write_report ~experiment ~x_label ~y_label ?(params = []) series file =
+let write_report ~experiment ~x_label ~y_label ?(params = []) ?(provenance = [])
+    series file =
   let report =
     Dssq_obs.Run_report.make ~backend:"sim" ~experiment ~x_label ~y_label
-      ~params series
+      ~params ~provenance series
   in
   match Dssq_obs.Run_report.write file report with
   | () ->
@@ -88,6 +89,18 @@ let fig_params ~threads ~repeats ~line_size ~coalesce =
     ("coalesce", string_of_bool coalesce);
   ]
 
+(* Machine-readable run provenance (schema v5): the memory-model knobs
+   that decide whether two archived reports are comparable at all.  The
+   git revision is stamped by [Run_report.make] itself. *)
+let provenance ?threads ~line_size ~coalesce () =
+  (match threads with
+  | None -> []
+  | Some t -> [ ("threads", String.concat "," (List.map string_of_int t)) ])
+  @ [
+      ("line_size", string_of_int line_size);
+      ("coalesce", string_of_bool coalesce);
+    ]
+
 let fig5a_cmd =
   let run threads repeats line_size coalesce json =
     match json with
@@ -104,6 +117,7 @@ let fig5a_cmd =
           (Report.of_run series);
         write_report ~experiment:"fig5a" ~x_label:"threads" ~y_label:"Mops/s"
           ~params:(fig_params ~threads ~repeats ~line_size ~coalesce)
+          ~provenance:(provenance ~threads ~line_size ~coalesce ())
           series file
   in
   Cmd.v (Cmd.info "fig5a" ~doc:"regenerate Figure 5a")
@@ -126,6 +140,7 @@ let fig5b_cmd =
           (Report.of_run series);
         write_report ~experiment:"fig5b" ~x_label:"threads" ~y_label:"Mops/s"
           ~params:(fig_params ~threads ~repeats ~line_size ~coalesce)
+          ~provenance:(provenance ~threads ~line_size ~coalesce ())
           series file
   in
   Cmd.v (Cmd.info "fig5b" ~doc:"regenerate Figure 5b")
@@ -141,6 +156,7 @@ let ablate_cmd ~name ~doc ~title ~x_label ~y_label f =
       (fun file ->
         write_report ~experiment:name ~x_label ~y_label
           ~params:[ ("line_size", string_of_int line_size) ]
+          ~provenance:(provenance ~line_size ~coalesce:false ())
           (Report.to_run series) file)
       json
   in
@@ -199,6 +215,12 @@ let linesize_run sizes nthreads repeats json anchor =
             ("threads", string_of_int nthreads);
             ("repeats", string_of_int repeats);
             ("line_sizes", String.concat "," (List.map string_of_int sizes));
+          ]
+        ~provenance:
+          [
+            ("threads", string_of_int nthreads);
+            ("line_size", String.concat "," (List.map string_of_int sizes));
+            ("coalesce", "false");
           ]
         series file)
     json;
@@ -569,6 +591,228 @@ let zoo_cmd =
           (the space-complexity table; --json for the archivable report)")
     Term.(const zoo_run $ pairs $ line_size_arg $ json_arg)
 
+(* ------------------------------ profile ------------------------------ *)
+
+module Zoo = Dssq_workload.Zoo
+module Heatmap = Dssq_obs.Heatmap
+module Profile = Dssq_obs.Profile
+module Prom = Dssq_obs.Prom
+module MI = Dssq_memory.Memory_intf
+
+(* Attribution-grade profiling of the detectable-object zoo: the
+   per-line persistence heatmap (which persist lines absorb the writes,
+   flushes, elisions and coalesces, labeled by allocation site) and the
+   phase-attributed profiler (the same events plus span latency, scoped
+   by announce / exec / resolve / recovery phase).  The cross-check
+   printed under each table — per-phase events summing exactly to the
+   backend counter deltas — is the invariant the whole attribution rests
+   on; the test suite asserts it across every object. *)
+let profile_run object_ backend pairs line_size coalesce crash with_heatmap top
+    json prom =
+  let fail fmt =
+    Printf.ksprintf (fun m -> Printf.eprintf "dssq: %s\n" m; exit 2) fmt
+  in
+  let names =
+    match object_ with
+    | "all" -> Zoo.objects
+    | o when List.mem o Zoo.objects -> [ o ]
+    | o when List.mem ("dss-" ^ o) Zoo.objects -> [ "dss-" ^ o ]
+    | o ->
+        fail "unknown object %S (all, %s)" o (String.concat ", " Zoo.objects)
+  in
+  let backend_name = match backend with `Sim -> "sim" | `Native -> "native" in
+  if crash && backend = `Native then
+    fail "--crash is simulator-only (the native backend cannot lose its cache)";
+  let profiles =
+    List.map
+      (fun name ->
+        let p =
+          match backend with
+          | `Sim -> Zoo.profile_one ~pairs ~line_size ~coalesce ~crash name
+          | `Native -> Zoo.profile_one_native ~pairs ~line_size ~coalesce name
+        in
+        (name, p))
+      names
+  in
+  List.iter
+    (fun (name, (p : Zoo.profile)) ->
+      let r = p.Zoo.p_row in
+      let c = r.Zoo.z_events in
+      Printf.printf "== %s  backend: %s%s  ops: %d  line size: %d%s ==\n" name
+        backend_name
+        (if coalesce then "+coalesce" else "")
+        r.Zoo.z_ops line_size
+        (if crash then "  (with crash + recovery)" else "");
+      Format.printf "%a@?" Profile.pp_rows p.Zoo.p_phases;
+      let sum f =
+        List.fold_left
+          (fun acc (ph : Profile.phase_row) -> acc + f ph)
+          0 p.Zoo.p_phases
+      in
+      let checks =
+        [
+          ("pwrites", sum (fun ph -> ph.Profile.ph_pwrites), c.MI.pwrites);
+          ("flushes", sum (fun ph -> ph.Profile.ph_flushes), c.MI.flushes);
+          ("elided", sum (fun ph -> ph.Profile.ph_elides), c.MI.elided_flushes);
+          ( "coalesced",
+            sum (fun ph -> ph.Profile.ph_coalesces),
+            c.MI.coalesced_flushes );
+          ("fences", sum (fun ph -> ph.Profile.ph_fences), c.MI.fences);
+        ]
+      in
+      Printf.printf "attribution check (phase sums / backend totals): %s\n"
+        (String.concat "  "
+           (List.map (fun (k, a, b) -> Printf.sprintf "%s %d/%d" k a b) checks));
+      (* The invariant the attribution rests on: a sum mismatch means
+         some persist event escaped its phase, so fail loudly — CI
+         treats a non-zero exit as a lost-attribution regression. *)
+      List.iter
+        (fun (k, a, b) ->
+          if a <> b then
+            fail "%s: attribution lost %s events (phase sum %d, backend total %d)"
+              name k a b)
+        checks;
+      if with_heatmap then begin
+        Printf.printf "\npersistence heatmap (top %d of %d lines):\n" top
+          (List.length p.Zoo.p_heat);
+        Format.printf "%a@?" Heatmap.pp_rows (Heatmap.top ~n:top p.Zoo.p_heat)
+      end;
+      print_newline ())
+    profiles;
+  Option.iter
+    (fun file ->
+      let doc =
+        Json.Obj
+          [
+            ("schema", Json.String "dssq-profile-report");
+            ("version", Json.Int 1);
+            ("git_rev", Json.String (Dssq_obs.Run_report.git_rev ()));
+            ("backend", Json.String backend_name);
+            ( "params",
+              Json.Obj
+                [
+                  ("pairs", Json.Int pairs);
+                  ("crash", Json.Bool crash);
+                ] );
+            ( "provenance",
+              Json.Obj
+                (List.map
+                   (fun (k, v) -> (k, Json.String v))
+                   (* The zoo's workload is fixed at two threads. *)
+                   (provenance ~threads:[ 2 ] ~line_size ~coalesce ())) );
+            ( "objects",
+              Json.List
+                (List.map
+                   (fun (name, (p : Zoo.profile)) ->
+                     Json.Obj
+                       [
+                         ("object", Json.String name);
+                         ("ops", Json.Int p.Zoo.p_row.Zoo.z_ops);
+                         ( "counters",
+                           Json.Obj
+                             (List.map
+                                (fun (k, v) -> (k, Json.Int v))
+                                (MI.Counters.to_assoc p.Zoo.p_row.Zoo.z_events))
+                         );
+                         ("phases", Profile.rows_to_json p.Zoo.p_phases);
+                         ("heatmap", Heatmap.rows_to_json p.Zoo.p_heat);
+                       ])
+                   profiles) );
+          ]
+      in
+      match
+        let oc = open_out file in
+        output_string oc (Json.to_string doc);
+        output_char oc '\n';
+        close_out oc
+      with
+      | () -> Printf.printf "wrote %s (dssq-profile-report v1)\n" file
+      | exception Sys_error msg ->
+          Printf.eprintf "dssq: cannot write profile report: %s\n" msg;
+          exit 1)
+    json;
+  Option.iter
+    (fun file ->
+      (* One flat exposition file; the [workload] label keeps objects
+         apart so names stay unique per label set. *)
+      let samples =
+        List.concat_map
+          (fun (name, (p : Zoo.profile)) ->
+            List.map
+              (fun (s : Prom.sample) ->
+                { s with Prom.s_labels = ("workload", name) :: s.Prom.s_labels })
+              (Prom.phase_samples p.Zoo.p_phases
+              @ Prom.heatmap_samples p.Zoo.p_heat))
+          profiles
+      in
+      match Prom.write file samples with
+      | () ->
+          Printf.printf "wrote %s (Prometheus text format, %d samples)\n" file
+            (List.length samples)
+      | exception Sys_error msg ->
+          Printf.eprintf "dssq: cannot write Prometheus file: %s\n" msg;
+          exit 1)
+    prom
+
+let profile_cmd =
+  let object_ =
+    Arg.(
+      value & opt string "all"
+      & info [ "object" ] ~docv:"NAME"
+          ~doc:
+            "zoo object to profile (the dss- prefix may be omitted), or all")
+  in
+  let backend =
+    Arg.(
+      value
+      & opt (enum [ ("sim", `Sim); ("native", `Native) ]) `Sim
+      & info [ "backend" ] ~doc:"memory backend: sim (default) or native")
+  in
+  let pairs =
+    Arg.(
+      value & opt int 200
+      & info [ "pairs" ] ~doc:"operation pairs per thread")
+  in
+  let crash =
+    Arg.(
+      value & flag
+      & info [ "crash" ]
+          ~doc:
+            "inject a seeded crash after the workload and run recovery plus \
+             per-thread resolve, so the recovery phases appear in the \
+             attribution (simulator only)")
+  in
+  let with_heatmap =
+    Arg.(
+      value & flag
+      & info [ "heatmap" ]
+          ~doc:"also print the per-line persistence heatmap (see --top)")
+  in
+  let top =
+    Arg.(
+      value & opt pos_int 10
+      & info [ "top" ] ~docv:"N"
+          ~doc:"heatmap rows to print, ranked by effective flushes")
+  in
+  let prom =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom" ] ~docv:"FILE"
+          ~doc:
+            "write the heatmap and phase tables as Prometheus text-format \
+             samples to $(docv)")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "attribution-grade profiling: per-line persistence heatmap and \
+          phase-attributed persist-event/latency tables for the detectable \
+          zoo (--json / --prom for the archivable artifacts)")
+    Term.(
+      const profile_run $ object_ $ backend $ pairs $ line_size_arg
+      $ coalesce_arg $ crash $ with_heatmap $ top $ json_arg $ prom)
+
 let latency_cmd =
   let run () =
     Printf.printf "%-16s%14s%14s%9s\n" "queue" "plain_ns" "detectable_ns" "ratio";
@@ -724,6 +968,18 @@ let trace_run out step evict_p seed capacity timeline =
   Printf.printf "wrote %s: %d trace events (%d recorded, %d dropped)\nkinds: %s\n"
     out exported (Trace.recorded tracer) (Trace.dropped tracer)
     (String.concat " " (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) kinds));
+  if Trace.dropped tracer > 0 then
+    Printf.eprintf
+      "dssq: warning: ring buffers overflowed and evicted %d event(s) (%s); \
+       the exported window is truncated — rerun with a larger --capacity\n"
+      (Trace.dropped tracer)
+      (String.concat ", "
+         (List.map
+            (fun (tid, n) ->
+              Printf.sprintf "%s: %d"
+                (if tid < 0 then "system" else Printf.sprintf "t%d" tid)
+                n)
+            (Trace.dropped_by_thread tracer)));
   (* The smoke-check contract: an exported trace must exercise every
      event kind, or the run (and CI) fails. *)
   let missing = List.filter (fun (_, n) -> n = 0) kinds in
@@ -1003,10 +1259,20 @@ let explore_report ~params results =
     let c = r.xcase in
     let stats_fields prefix = function
       | Ok (s : Explore.stats) ->
+          let hit_denom = s.pruned + s.branches in
           [
             (prefix ^ "executions", Json.Int s.executions);
             (prefix ^ "pruned", Json.Int s.pruned);
             (prefix ^ "crash_branches", Json.Int s.crash_branches);
+            (prefix ^ "branches", Json.Int s.branches);
+            ( prefix ^ "sleep_hit_rate",
+              Json.Float
+                (if hit_denom = 0 then 0.
+                 else float_of_int s.pruned /. float_of_int hit_denom) );
+            (prefix ^ "crash_points", Json.Int s.crash_points);
+            (prefix ^ "crash_enumerated", Json.Int s.crash_enumerated);
+            (prefix ^ "crash_sampled", Json.Int s.crash_sampled);
+            (prefix ^ "wall_s", Json.Float s.wall_s);
           ]
       | Error (sched, exn) ->
           [
@@ -1038,7 +1304,9 @@ let explore_report ~params results =
   Json.Obj
     [
       ("schema", Json.String "dssq-explore-report");
-      ("version", Json.Int 1);
+      (* v2: coverage telemetry per case — branches, sleep_hit_rate,
+         crash_points split into enumerated/sampled, wall_s. *)
+      ("version", Json.Int 2);
       ("git_rev", Json.String (Dssq_obs.Run_report.git_rev ()));
       ("params", Json.Obj params);
       ("cases", Json.List (List.map case_json results));
@@ -1125,8 +1393,19 @@ let explore_run object_ crash_mode line_sizes coalesce mutant mode_name
             in
             let show = function
               | Ok (s : Explore.stats) ->
-                  Printf.sprintf "%7d execs %6d pruned %7d crash" s.executions
-                    s.pruned s.crash_branches
+                  let hit_denom = s.pruned + s.branches in
+                  let hit =
+                    if hit_denom = 0 then 0.
+                    else 100. *. float_of_int s.pruned /. float_of_int hit_denom
+                  in
+                  Printf.sprintf
+                    "%7d execs %6d pruned (%4.1f%% hit) %7d crash %s %6.2fs"
+                    s.executions s.pruned hit s.crash_branches
+                    (if s.crash_sampled > 0 then
+                       Printf.sprintf "[%d/%d pts sampled]" s.crash_sampled
+                         s.crash_points
+                     else Printf.sprintf "[%d pts enum]" s.crash_points)
+                    s.wall_s
               | Error (sched, _) ->
                   Printf.sprintf "FAIL %s" (Explore.schedule_to_string sched)
             in
@@ -1189,7 +1468,7 @@ let explore_run object_ crash_mode line_sizes coalesce mutant mode_name
           output_string oc (Json.to_string doc);
           output_char oc '\n';
           close_out oc;
-          Printf.printf "wrote %s (dssq-explore-report v1)\n" file)
+          Printf.printf "wrote %s (dssq-explore-report v2)\n" file)
         json;
       (match failures with
       | [] -> ()
@@ -1242,10 +1521,32 @@ let explore_run object_ crash_mode line_sizes coalesce mutant mode_name
           | _ -> ())
         results;
       if failures <> [] || mismatches <> [] then exit 1;
+      let tot f =
+        List.fold_left
+          (fun acc r -> match r.verdict with Ok s -> acc + f s | Error _ -> acc)
+          0 results
+      in
+      let wall =
+        List.fold_left
+          (fun acc r ->
+            match r.verdict with
+            | Ok s -> acc +. s.Explore.wall_s
+            | Error _ -> acc)
+          0. results
+      in
       Printf.printf
         "explored %d case(s): all executions %s-linearizable w.r.t. their \
-         specifications\n"
+         specifications\n\
+         coverage: %d executions, %d branches, %d pruned, %d crash points \
+         (%d enumerated, %d sampled), %.2fs\n"
         (List.length results) mode_name
+        (tot (fun s -> s.Explore.executions))
+        (tot (fun s -> s.Explore.branches))
+        (tot (fun s -> s.Explore.pruned))
+        (tot (fun s -> s.Explore.crash_points))
+        (tot (fun s -> s.Explore.crash_enumerated))
+        (tot (fun s -> s.Explore.crash_sampled))
+        wall
 
 let explore_cmd =
   let object_ =
@@ -1388,7 +1689,9 @@ let info_cmd =
        Experiments: fig5a, fig5b, ablate-flush, ablate-demand,\n\
        ablate-recovery, ablate-pmwcas, ablate-linesize, latency, metrics,\n\
        zoo (persistent_words_per_op across the detectable-object zoo),\n\
-       lincheck, crash-demo.  See DESIGN.md and EXPERIMENTS.md.\n"
+       profile (persistence heatmap + phase-attributed profiler),\n\
+       lincheck, crash-demo, trace, explore.  See DESIGN.md and\n\
+       EXPERIMENTS.md.\n"
   in
   Cmd.v (Cmd.info "info" ~doc:"what this repository implements") Term.(const run $ const ())
 
@@ -1409,6 +1712,7 @@ let () =
              bench_diff_cmd;
              metrics_cmd;
              zoo_cmd;
+             profile_cmd;
              latency_cmd;
              crash_demo_cmd;
              trace_cmd;

@@ -39,6 +39,7 @@
     {!Recovery} scaffolding below instead. *)
 
 module Spec = Dssq_spec.Spec
+module Profile = Dssq_obs.Profile
 
 (** The engine, polymorphic in the specification — {!Make} is a thin
     monomorphizing wrapper.  Types are concrete so sibling modules
@@ -138,6 +139,7 @@ module Make_any (M : Dssq_memory.Memory_intf.S) = struct
   (** The plain operation (Axiom 4).  Read-only steps flush the state
       they answer from instead of installing anything. *)
   let base t ~tid op =
+    let sp = Profile.begin_span ~tid Profile.Exec in
     let rec loop () =
       let cur = M.read t.state in
       let s', resp = apply t ~tid op cur.s in
@@ -159,16 +161,20 @@ module Make_any (M : Dssq_memory.Memory_intf.S) = struct
         else loop ()
       end
     in
-    loop ()
+    let r = loop () in
+    Profile.end_span ~tid sp;
+    r
 
   (* --------------------------- detectable --------------------------- *)
 
   let prep t ~tid op =
+    let sp = Profile.begin_span ~tid Profile.Announce in
     t.seqs.(tid) <- t.seqs.(tid) + 1;
     let xc = t.x.(tid) in
     M.write xc (Some { aop = op; aseq = t.seqs.(tid); result = None });
     M.flush xc;
-    M.drain () (* persistence point: prep durable on return *)
+    M.drain () (* persistence point: prep durable on return *);
+    Profile.end_span ~tid sp
 
   (* Record [resp] as the caller's completion, unless a helper got there
      first. *)
@@ -181,7 +187,7 @@ module Make_any (M : Dssq_memory.Memory_intf.S) = struct
     | _ -> ());
     ()
 
-  let exec t ~tid =
+  let exec_unprofiled t ~tid =
     match M.read t.x.(tid) with
     | None -> invalid_arg "Detectable.exec: no operation prepared"
     | Some { result = Some r; _ } -> r (* already took effect: idempotent *)
@@ -222,9 +228,15 @@ module Make_any (M : Dssq_memory.Memory_intf.S) = struct
         M.drain () (* persistence point *);
         r
 
+  let exec t ~tid =
+    let sp = Profile.begin_span ~tid Profile.Exec in
+    let r = exec_unprofiled t ~tid in
+    Profile.end_span ~tid sp;
+    r
+
   (* ---------------------------- detection --------------------------- *)
 
-  let resolve t ~tid : _ Detectable_intf.resolved =
+  let resolve_unprofiled t ~tid : _ Detectable_intf.resolved =
     match M.read t.x.(tid) with
     | None -> Nothing
     | Some { aop; result = Some r; _ } -> Done (aop, r)
@@ -239,17 +251,25 @@ module Make_any (M : Dssq_memory.Memory_intf.S) = struct
           | None -> Pending aop
         else Pending aop)
 
+  let resolve t ~tid =
+    let sp = Profile.begin_span ~tid Profile.Resolve in
+    let r = resolve_unprofiled t ~tid in
+    Profile.end_span ~tid sp;
+    r
+
   (** No persistent repairs are needed (helping keeps detection state
       consistent inline); restore the volatile per-thread sequence
       counters from the persisted announce records so post-crash preps
       cannot reuse a live sequence number. *)
   let recover t =
+    let sp = Profile.begin_span ~tid:(-1) Profile.Recovery_scan in
     let cur = M.read t.state in
     for i = 0 to t.nthreads - 1 do
       let s = match M.read t.x.(i) with Some a -> a.aseq | None -> 0 in
       let s = if cur.writer = i then max s cur.seq else s in
       if s > t.seqs.(i) then t.seqs.(i) <- s
-    done
+    done;
+    Profile.end_span ~tid:(-1) sp
 
   let stats t : Detectable_intf.stats =
     { state_words = 1; announce_words = t.nthreads }
@@ -389,6 +409,7 @@ module Linked (M : Dssq_memory.Memory_intf.S) = struct
        [took_effect] is the object's
        {!Detectable_intf.LINEARIZATION_HOOK} predicate. *)
     let complete_effective (a : Announce.t) ~took_effect =
+      let sp = Profile.begin_span ~tid:(-1) Profile.Recovery_complete in
       for i = 0 to a.nthreads - 1 do
         let x = M.read a.x.(i) in
         let d = Tagged.idx x in
@@ -401,7 +422,8 @@ module Linked (M : Dssq_memory.Memory_intf.S) = struct
           M.write a.x.(i) (Tagged.with_tag x Tagged.enq_compl);
           M.flush a.x.(i)
         end
-      done
+      done;
+      Profile.end_span ~tid:(-1) sp
 
     (* Rebuild the volatile free lists.  Keep nodes that are (a)
        reachable from [new_root], or (b) referenced by some X entry
@@ -417,6 +439,7 @@ module Linked (M : Dssq_memory.Memory_intf.S) = struct
        would be retired and freed twice — and a double-freed node gets
        allocated twice and linked into the structure in two places. *)
     let rebuild (a : Announce.t) ~new_root ~extra =
+      let sp = Profile.begin_span ~tid:(-1) Profile.Recovery_scan in
       let live = reachable_from a new_root in
       let keep = Array.copy live in
       let deferred_once = Array.make (a.pool.Pool.capacity + 1) false in
@@ -435,7 +458,8 @@ module Linked (M : Dssq_memory.Memory_intf.S) = struct
           extra ~defer:defer_to i x
         end
       done;
-      Pool.rebuild_free_lists a.pool ~keep:(fun i -> keep.(i))
+      Pool.rebuild_free_lists a.pool ~keep:(fun i -> keep.(i));
+      Profile.end_span ~tid:(-1) sp
   end
 end
 

@@ -22,6 +22,7 @@ exception Full
 
 module Make (M : Dssq_memory.Memory_intf.S) = struct
   module C = Dss_cell.Make (M)
+  module Profile = Dssq_obs.Profile
 
   let key_bits = 20
   let key_mask = (1 lsl key_bits) - 1
@@ -132,8 +133,10 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     then attempt_put t ~tid k v
     else begin
       let kv = pack_kv ~key:k ~value:v in
+      let sp = Profile.begin_span ~tid Profile.Announce in
       M.write t.ann.(tid) (pack_ann ~slot ~kv ~tag:ann_put);
       M.flush t.ann.(tid);
+      Profile.end_span ~tid sp;
       C.prep_cas t.slots.(slot) ~tid ~expected ~desired:kv;
       if not (C.exec_cas t.slots.(slot) ~tid) then attempt_put t ~tid k v
     end
@@ -142,28 +145,34 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   let put t ~tid k v =
     check_key k;
     check_value v;
+    let sp = Profile.begin_span ~tid Profile.Exec in
     attempt_put t ~tid k v;
-    M.drain () (* persistence point *)
+    M.drain () (* persistence point *);
+    Profile.end_span ~tid sp
 
   let rec attempt_remove t ~tid k =
     match probe t k with
     | `Insert_at _ -> () (* absent: nothing to remove *)
     | `Found (slot, expected) ->
+        let sp = Profile.begin_span ~tid Profile.Announce in
         M.write t.ann.(tid)
           (pack_ann ~slot ~kv:(pack_kv ~key:k ~value:0) ~tag:ann_remove);
         M.flush t.ann.(tid);
+        Profile.end_span ~tid sp;
         C.prep_cas t.slots.(slot) ~tid ~expected ~desired:tombstone;
         if not (C.exec_cas t.slots.(slot) ~tid) then attempt_remove t ~tid k
 
   (** Detectable remove (no-op if absent). *)
   let remove t ~tid k =
     check_key k;
+    let sp = Profile.begin_span ~tid Profile.Exec in
     attempt_remove t ~tid k;
-    M.drain () (* persistence point *)
+    M.drain () (* persistence point *);
+    Profile.end_span ~tid sp
 
   (* ---------------------------- detection ---------------------------- *)
 
-  let resolve t ~tid =
+  let resolve_unprofiled t ~tid =
     let ann = M.read t.ann.(tid) in
     if ann = 0 then Nothing
     else begin
@@ -189,8 +198,18 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
           pending ()
     end
 
-  (** No recovery procedure: announcements and cells are self-describing. *)
-  let recover (_ : t) = ()
+  let resolve t ~tid =
+    let sp = Profile.begin_span ~tid Profile.Resolve in
+    let r = resolve_unprofiled t ~tid in
+    Profile.end_span ~tid sp;
+    r
+
+  (** No recovery procedure: announcements and cells are self-describing.
+      The empty recovery-scan span records exactly that in the phase
+      attribution — recovery costs this map nothing. *)
+  let recover (_ : t) =
+    let sp = Profile.begin_span ~tid:(-1) Profile.Recovery_scan in
+    Profile.end_span ~tid:(-1) sp
 
   (* -------------------------- introspection -------------------------- *)
 

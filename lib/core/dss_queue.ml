@@ -27,6 +27,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   module Pool = L.Pool
   module A = L.Announce
   module Trace = Dssq_obs.Trace
+  module Profile = Dssq_obs.Profile
 
   let name = "dss-queue"
 
@@ -90,11 +91,13 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
 
   let prep_enqueue t ~tid v =
     trace_begin ~tid "prep-enqueue" (string_of_int v);
+    let sp = Profile.begin_span ~tid Profile.Announce in
     A.release_deferred t.an ~tid;
     let node = make_node t ~tid v in
     (* lines 3-4; persistence point: prep durable on return (a crash
        after prep must resolve to the prepared operation) *)
     A.announce t.an ~tid (Tagged.with_tag node Tagged.enq_prep);
+    Profile.end_span ~tid sp;
     trace_end "prep-enqueue" "ok"
 
   (* Body shared by exec-enqueue and the non-detectable enqueue; the
@@ -134,14 +137,18 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
 
   let exec_enqueue t ~tid =
     trace_begin ~tid "exec-enqueue" "";
+    let sp = Profile.begin_span ~tid Profile.Exec in
     let node = Tagged.idx (M.read (x t).(tid)) in
     enqueue_node t ~tid ~detectable:true node;
+    Profile.end_span ~tid sp;
     trace_end "exec-enqueue" "ok"
 
   let enqueue t ~tid v =
     trace_begin ~tid "enqueue" (string_of_int v);
+    let sp = Profile.begin_span ~tid Profile.Exec in
     let node = make_node t ~tid v in
     enqueue_node t ~tid ~detectable:false node;
+    Profile.end_span ~tid sp;
     trace_end "enqueue" "ok"
 
   (* ------------------------------------------------------------------ *)
@@ -150,9 +157,11 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
 
   let prep_dequeue t ~tid =
     trace_begin ~tid "prep-dequeue" "";
+    let sp = Profile.begin_span ~tid Profile.Announce in
     A.release_deferred t.an ~tid;
     (* lines 32-33; persistence point, as in prep_enqueue *)
     A.announce t.an ~tid Tagged.deq_prep;
+    Profile.end_span ~tid sp;
     trace_end "prep-dequeue" "ok"
 
   (* Body shared by exec-dequeue and the non-detectable dequeue.  The
@@ -222,13 +231,17 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
 
   let exec_dequeue t ~tid =
     trace_begin ~tid "exec-dequeue" "";
+    let sp = Profile.begin_span ~tid Profile.Exec in
     let v = dequeue_body t ~tid ~detectable:true in
+    Profile.end_span ~tid sp;
     trace_end "exec-dequeue" (deq_result v);
     v
 
   let dequeue t ~tid =
     trace_begin ~tid "dequeue" "";
+    let sp = Profile.begin_span ~tid Profile.Exec in
     let v = dequeue_body t ~tid ~detectable:false in
+    Profile.end_span ~tid sp;
     trace_end "dequeue" (deq_result v);
     v
 
@@ -251,6 +264,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
 
   let resolve t ~tid =
     if Trace.is_on () then Trace.set_tid tid;
+    let sp = Profile.begin_span ~tid Profile.Resolve in
     let xw = M.read (x t).(tid) in
     let r =
       if Tagged.has xw Tagged.enq_prep then
@@ -259,6 +273,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
         (* lines 23-25 *)
       else Queue_intf.Nothing (* lines 26-27 *)
     in
+    Profile.end_span ~tid sp;
     if Trace.is_on () then
       Trace.resolve
         ~outcome:(Format.asprintf "%a" Queue_intf.pp_resolved r);
@@ -289,6 +304,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       "extended straightforwardly to prevent memory leaks"). *)
   let recover t =
     Trace.recovery_begin ();
+    let sp = Profile.begin_span ~tid:(-1) Profile.Recovery_scan in
     reset_volatile t;
     let old_head = M.read t.head in
     (* line 64: set of queue nodes reachable from head *)
@@ -320,6 +336,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
           if succ <> Tagged.null then defer i succ
         end);
     M.drain ();
+    Profile.end_span ~tid:(-1) sp;
     Trace.recovery_end ()
 
   (** Decentralized recovery (Section 3.3): thread [tid] repairs only its
@@ -329,6 +346,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   let recover_thread t ~tid =
     if Trace.is_on () then Trace.set_tid tid;
     Trace.recovery_begin ();
+    let sp = Profile.begin_span ~tid Profile.Recovery_scan in
     let xw = M.read (x t).(tid) in
     if
       Tagged.idx xw <> Tagged.null
@@ -349,6 +367,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       if took_effect then A.post t.an ~tid (Tagged.with_tag xw Tagged.enq_compl)
     end;
     M.drain ();
+    Profile.end_span ~tid sp;
     Trace.recovery_end ()
 
   (* ------------------------------------------------------------------ *)

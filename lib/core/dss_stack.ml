@@ -24,6 +24,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   module Pool = L.Pool
   module A = L.Announce
   module R = L.Recovery
+  module Profile = Dssq_obs.Profile
 
   let name = "dss-stack"
 
@@ -70,10 +71,12 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   (* ------------------------------ push ------------------------------ *)
 
   let prep_push t ~tid v =
+    let sp = Profile.begin_span ~tid Profile.Announce in
     A.release_deferred t.an ~tid;
     let node = make_node t ~tid v in
     (* Persistence point: prep is durable when it returns. *)
-    A.announce t.an ~tid (Tagged.with_tag node Tagged.enq_prep)
+    A.announce t.an ~tid (Tagged.with_tag node Tagged.enq_prep);
+    Profile.end_span ~tid sp
 
   let push_node t ~tid ~detectable node =
     Dssq_ebr.Ebr.enter t.an.A.ebr ~tid;
@@ -99,18 +102,24 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     Dssq_ebr.Ebr.exit t.an.A.ebr ~tid
 
   let exec_push t ~tid =
+    let sp = Profile.begin_span ~tid Profile.Exec in
     let node = Tagged.idx (M.read (x t).(tid)) in
-    push_node t ~tid ~detectable:true node
+    push_node t ~tid ~detectable:true node;
+    Profile.end_span ~tid sp
 
   let push t ~tid v =
+    let sp = Profile.begin_span ~tid Profile.Exec in
     let node = make_node t ~tid v in
-    push_node t ~tid ~detectable:false node
+    push_node t ~tid ~detectable:false node;
+    Profile.end_span ~tid sp
 
   (* ------------------------------ pop ------------------------------- *)
 
   let prep_pop t ~tid =
+    let sp = Profile.begin_span ~tid Profile.Announce in
     A.release_deferred t.an ~tid;
-    A.announce t.an ~tid Tagged.deq_prep
+    A.announce t.an ~tid Tagged.deq_prep;
+    Profile.end_span ~tid sp
 
   let pop_body t ~tid ~detectable =
     Dssq_ebr.Ebr.enter t.an.A.ebr ~tid;
@@ -147,29 +156,44 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     Dssq_ebr.Ebr.exit t.an.A.ebr ~tid;
     v
 
-  let exec_pop t ~tid = pop_body t ~tid ~detectable:true
-  let pop t ~tid = pop_body t ~tid ~detectable:false
+  let exec_pop t ~tid =
+    let sp = Profile.begin_span ~tid Profile.Exec in
+    let v = pop_body t ~tid ~detectable:true in
+    Profile.end_span ~tid sp;
+    v
+
+  let pop t ~tid =
+    let sp = Profile.begin_span ~tid Profile.Exec in
+    let v = pop_body t ~tid ~detectable:false in
+    Profile.end_span ~tid sp;
+    v
 
   (* ---------------------------- detection --------------------------- *)
 
   let resolve t ~tid =
+    let sp = Profile.begin_span ~tid Profile.Resolve in
     let xw = M.read (x t).(tid) in
-    if Tagged.has xw Tagged.enq_prep then A.resolve_push t.an xw
-    else if Tagged.has xw Tagged.deq_prep then begin
-      if xw = Tagged.deq_prep then Queue_intf.Deq_pending
-      else if xw = Tagged.deq_prep lor Tagged.empty then Queue_intf.Deq_empty
-      else begin
-        let node = Tagged.idx xw in
-        if M.read (Pool.deq_tid (pool t) node) = tid then
-          Queue_intf.Deq_done (M.read (Pool.value (pool t) node))
-        else Queue_intf.Deq_pending
+    let r =
+      if Tagged.has xw Tagged.enq_prep then A.resolve_push t.an xw
+      else if Tagged.has xw Tagged.deq_prep then begin
+        if xw = Tagged.deq_prep then Queue_intf.Deq_pending
+        else if xw = Tagged.deq_prep lor Tagged.empty then Queue_intf.Deq_empty
+        else begin
+          let node = Tagged.idx xw in
+          if M.read (Pool.deq_tid (pool t) node) = tid then
+            Queue_intf.Deq_done (M.read (Pool.value (pool t) node))
+          else Queue_intf.Deq_pending
+        end
       end
-    end
-    else Queue_intf.Nothing
+      else Queue_intf.Nothing
+    in
+    Profile.end_span ~tid sp;
+    r
 
   (* ----------------------------- recovery --------------------------- *)
 
   let recover t =
+    let sp = Profile.begin_span ~tid:(-1) Profile.Recovery_scan in
     A.reset_volatile t.an;
     (* Complete a claim that survived in the persisted top word. *)
     let w = M.read t.top in
@@ -199,7 +223,8 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     (* Rebuild free lists, keeping live and X-referenced nodes (no extra
        pins: resolve reads the claimed node itself, never a successor). *)
     R.rebuild t.an ~new_root:new_top ~extra:(fun ~defer:_ _ _ -> ());
-    M.drain ()
+    M.drain ();
+    Profile.end_span ~tid:(-1) sp
 
   (* ----------------------- introspection ---------------------------- *)
 

@@ -43,20 +43,53 @@ let pad_for placement =
   | Some Line.Isolated -> Array.make Memory_intf.Padded.pad_words 0
   | Some Line.Packed | None -> [||]
 
-let alloc ?name ?placement v =
-  ignore name;
+(** Attribution hooks for the observability layer, which sits {e above}
+    this library (the [trace_hook] inversion, below): [alloc_hook]
+    reports allocation-site names to the persistence heatmap,
+    [heat_hook]/[phase_hook] report persist events to the heatmap and
+    the phase profiler respectively.  Only the [Counted]/[Coalescing]
+    backends consult the event hooks — the plain operations stay
+    branch-free. *)
+type prof_event =
+  [ `Pwrite
+  | `Flush
+  | `Elide
+  | `Coalesce
+  | `Fence
+  | `Fence_elided
+  | `Evict
+  | `Drop ]
+
+let alloc_hook : (name:string -> line:int -> unit) option ref = ref None
+let heat_hook : (prof_event -> line:int -> unit) option ref = ref None
+let phase_hook : (prof_event -> line:int -> unit) option ref = ref None
+
+let prof ev ~line =
+  (match !heat_hook with None -> () | Some f -> f ev ~line);
+  match !phase_hook with None -> () | Some f -> f ev ~line
+
+let noted_alloc name (line : Line.t) =
+  match !alloc_hook with
+  | Some f when name <> "" -> f ~name ~line:line.Line.id
+  | _ -> ()
+
+let alloc ?(name = "") ?placement v =
   Mutex.lock alloc_lock;
   let line = Line.Alloc.place ?placement !allocator in
   Mutex.unlock alloc_lock;
+  noted_alloc name line;
   { v = Atomic.make v; line; pad = pad_for placement }
 
-let alloc_block ?name vs =
-  ignore name;
+let alloc_block ?(name = "") vs =
   Mutex.lock alloc_lock;
   Line.Alloc.align !allocator;
   let lines = List.map (fun _ -> Line.Alloc.place !allocator) vs in
   Line.Alloc.align !allocator;
   Mutex.unlock alloc_lock;
+  List.iteri
+    (fun i line ->
+      if name <> "" then noted_alloc (Printf.sprintf "%s[%d]" name i) line)
+    lines;
   List.map2 (fun v line -> { v = Atomic.make v; line; pad = [||] }) vs lines
 
 let line_id c = c.line.Line.id
@@ -147,21 +180,33 @@ module Counted () : Memory_intf.COUNTED with type 'a cell = 'a cell = struct
     P.incr c_writes;
     P.incr c_pwrites;
     write c v;
+    prof `Pwrite ~line:(line_id c);
     traced `Write c
 
   let cas c ~expected ~desired =
     P.incr c_cases;
     let hit = cas c ~expected ~desired in
-    if hit then P.incr c_pwrites;
+    if hit then begin
+      P.incr c_pwrites;
+      prof `Pwrite ~line:(line_id c)
+    end;
     traced `Cas c;
     hit
 
   let flush c =
-    if flush_line c then P.incr c_flushes else P.incr c_elided;
+    if flush_line c then begin
+      P.incr c_flushes;
+      prof `Flush ~line:(line_id c)
+    end
+    else begin
+      P.incr c_elided;
+      prof `Elide ~line:(line_id c)
+    end;
     traced `Flush c
 
   let fence () =
     P.incr c_fences;
+    prof `Fence ~line:(-1);
     traced_fence ();
     fence ()
 
@@ -248,14 +293,23 @@ module Coalescing () : Memory_intf.COUNTED with type 'a cell = 'a cell = struct
     if Hashtbl.length b.lines > 0 then begin
       let effective = ref 0 in
       Hashtbl.iter
-        (fun _ l -> if Line.take_dirty l then incr effective)
+        (fun lid l ->
+          if Line.take_dirty l then begin
+            incr effective;
+            prof `Flush ~line:lid
+          end
+          else prof `Elide ~line:lid)
         b.lines;
       let skipped = Hashtbl.length b.lines - !effective in
       Hashtbl.reset b.lines;
       if !effective > 0 then ignore (P.fetch_and_add c_flushes !effective);
       if skipped > 0 then ignore (P.fetch_and_add c_elided skipped);
       P.incr c_fences;
+      prof `Fence ~line:(-1);
       ignore (P.fetch_and_add c_elided_fences (max 0 (b.calls - 1)));
+      for _ = 1 to max 0 (b.calls - 1) do
+        prof `Fence_elided ~line:(-1)
+      done;
       b.calls <- 0;
       traced_fence ()
     end
@@ -284,13 +338,17 @@ module Coalescing () : Memory_intf.COUNTED with type 'a cell = 'a cell = struct
     P.incr c_writes;
     P.incr c_pwrites;
     write c v;
+    prof `Pwrite ~line:(line_id c);
     traced `Write c
 
   let cas c ~expected ~desired =
     auto_drain ();
     P.incr c_cases;
     let hit = cas c ~expected ~desired in
-    if hit then P.incr c_pwrites;
+    if hit then begin
+      P.incr c_pwrites;
+      prof `Pwrite ~line:(line_id c)
+    end;
     traced `Cas c;
     hit
 
@@ -299,6 +357,7 @@ module Coalescing () : Memory_intf.COUNTED with type 'a cell = 'a cell = struct
     let lid = line_id c in
     if Hashtbl.mem b.lines lid then begin
       P.incr c_coalesced;
+      prof `Coalesce ~line:lid;
       b.calls <- b.calls + 1;
       b.owed <- true
     end
@@ -307,12 +366,16 @@ module Coalescing () : Memory_intf.COUNTED with type 'a cell = 'a cell = struct
       b.calls <- b.calls + 1;
       b.owed <- true
     end
-    else P.incr c_elided;
+    else begin
+      P.incr c_elided;
+      prof `Elide ~line:lid
+    end;
     traced `Flush c
 
   let fence () =
     drain ();
     P.incr c_fences;
+    prof `Fence ~line:(-1);
     traced_fence ();
     fence ()
 

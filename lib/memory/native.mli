@@ -53,6 +53,35 @@ val trace_hook :
     inversion).  [None] — the default — costs one load and branch per
     counted operation. *)
 
+type prof_event =
+  [ `Pwrite  (** store or successful CAS *)
+  | `Flush  (** effective write-back *)
+  | `Elide  (** clean-line flush, skipped *)
+  | `Coalesce  (** duplicate flush absorbed by a persist buffer *)
+  | `Fence
+  | `Fence_elided  (** fence folded into a buffered drain *)
+  | `Evict  (** unused here: crash verdicts are sim-only *)
+  | `Drop  (** unused here: crash verdicts are sim-only *) ]
+(** Attribution vocabulary shared with [Dssq_obs.Heatmap.event]
+    (structurally — this library sits below the observability layer). *)
+
+val alloc_hook : (name:string -> line:int -> unit) option ref
+(** Consulted by {!alloc}/{!alloc_block} for named cells: reports the
+    allocation-site name and persist-line id.  Installed by the
+    persistence heatmap ([Dssq_obs.Heatmap.start]). *)
+
+val heat_hook : (prof_event -> line:int -> unit) option ref
+(** Per-event attribution hook consulted by {!Counted}/{!Coalescing} at
+    every counter-bump site ([line = -1] for fences).  Installed by the
+    persistence heatmap.  Needed in addition to {!trace_hook} because
+    that one fires after the flush cleared line dirtiness and so cannot
+    distinguish effective from elided write-backs. *)
+
+val phase_hook : (prof_event -> line:int -> unit) option ref
+(** Same events as {!heat_hook}, consumed by the phase profiler
+    ([Dssq_obs.Profile.start]).  Separate hooks keep the two consumers'
+    lifecycles independent. *)
+
 module Counted () : Memory_intf.COUNTED with type 'a cell = 'a cell
 (** Counting variant for memory-event accounting on real domains; each
     instantiation owns fresh counters (padded to line stride so the

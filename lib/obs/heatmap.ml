@@ -1,0 +1,211 @@
+(** Persistence heatmap: per-line attribution of persist traffic.
+
+    The counters ([Dssq_memory.Memory_intf.counters], {!Dssq_pmem}'s
+    stats) answer "how many flushes"; this module answers "which line
+    pays them".  Both backends report every persist-relevant event with
+    the persist-line id the {!Line} allocator stamped at allocation
+    time; the heatmap aggregates them per line, labels lines with the
+    allocation-site cell name (the first named cell placed on the line)
+    and buckets labels by owning object (the name prefix before ['.'] or
+    ['[']), so hot lines are rankable and attributable.
+
+    Zero-cost when off, by the same discipline as {!Trace}: every
+    emitter is guarded by {!is_on} (one load + one branch), the sim heap
+    calls the emitters directly, and the native Counted backends go
+    through the [heat_hook] this module installs ({!start}) — the
+    dependency inversion [Dssq_memory] already uses for [trace_hook].
+    Recording takes a mutex, acceptable for a measurement mode (same
+    argument as the tracer). *)
+
+type event =
+  [ `Pwrite  (** a store or successful CAS mutated a word on the line *)
+  | `Flush  (** effective write-back of the line *)
+  | `Elide  (** flush of a clean line, skipped *)
+  | `Coalesce  (** duplicate flush absorbed by a persist buffer *)
+  | `Fence
+  | `Fence_elided
+  | `Evict  (** crash verdict: the dirty line survived to persistence *)
+  | `Drop  (** crash verdict: the dirty line was lost *) ]
+(** The shared attribution vocabulary ({!Profile.event} consumes the
+    same type).  Fences carry no line and are ignored here. *)
+
+type row = {
+  h_line : int;
+  h_label : string;  (** allocation-site name, "" if the line is unnamed *)
+  h_object : string;  (** owning-object bucket derived from the label *)
+  h_writes : int;
+  h_flushes : int;
+  h_elides : int;
+  h_coalesces : int;
+  h_evicts : int;
+  h_drops : int;
+}
+
+type counts = {
+  mutable label : string;
+  mutable writes : int;
+  mutable flushes : int;
+  mutable elides : int;
+  mutable coalesces : int;
+  mutable evicts : int;
+  mutable drops : int;
+}
+
+let on = ref false
+let lock = Mutex.create ()
+let table : (int, counts) Hashtbl.t = Hashtbl.create 64
+let is_on () = !on
+
+let slot line =
+  match Hashtbl.find_opt table line with
+  | Some c -> c
+  | None ->
+      let c =
+        {
+          label = "";
+          writes = 0;
+          flushes = 0;
+          elides = 0;
+          coalesces = 0;
+          evicts = 0;
+          drops = 0;
+        }
+      in
+      Hashtbl.add table line c;
+      c
+
+(** Label line [line] with the allocation-site name of a cell placed on
+    it.  The first non-empty name wins: with co-located cells it is the
+    block's first member, which is the most recognizable. *)
+let note ~line ~name =
+  if !on && name <> "" && line >= 0 then begin
+    Mutex.lock lock;
+    let c = slot line in
+    if c.label = "" then c.label <- name;
+    Mutex.unlock lock
+  end
+
+let record (ev : event) ~line =
+  if !on && line >= 0 then begin
+    Mutex.lock lock;
+    let c = slot line in
+    (match ev with
+    | `Pwrite -> c.writes <- c.writes + 1
+    | `Flush -> c.flushes <- c.flushes + 1
+    | `Elide -> c.elides <- c.elides + 1
+    | `Coalesce -> c.coalesces <- c.coalesces + 1
+    | `Evict -> c.evicts <- c.evicts + 1
+    | `Drop -> c.drops <- c.drops + 1
+    | `Fence | `Fence_elided -> ());
+    Mutex.unlock lock
+  end
+
+(* Owning-object bucket: the label prefix before the first ['.'] (the
+   engine's [name.suffix] convention) or ['['] (announce and pool
+   arrays), the whole label when neither occurs, "?" when unnamed. *)
+let bucket label =
+  if label = "" then "?"
+  else
+    let cut =
+      List.filter_map (fun ch -> String.index_opt label ch) [ '.'; '[' ]
+    in
+    match cut with
+    | [] -> label
+    | cuts -> String.sub label 0 (List.fold_left min (String.length label) cuts)
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.reset table;
+  Mutex.unlock lock
+
+(** Zero the event counts but keep line labels: run this after object
+    construction so the measured window starts clean without losing the
+    allocation-site names recorded during setup. *)
+let reset_counts () =
+  Mutex.lock lock;
+  Hashtbl.iter
+    (fun _ c ->
+      c.writes <- 0;
+      c.flushes <- 0;
+      c.elides <- 0;
+      c.coalesces <- 0;
+      c.evicts <- 0;
+      c.drops <- 0)
+    table;
+  Mutex.unlock lock
+
+let stop () =
+  on := false;
+  Dssq_memory.Native.alloc_hook := None;
+  Dssq_memory.Native.heat_hook := None
+
+let start () =
+  on := true;
+  (* The native backend sits below this library, so it exposes hooks we
+     point back here (the [trace_hook] pattern). *)
+  Dssq_memory.Native.alloc_hook := Some (fun ~name ~line -> note ~line ~name);
+  Dssq_memory.Native.heat_hook := Some (fun ev ~line -> record ev ~line)
+
+let rows () =
+  Mutex.lock lock;
+  let rows =
+    Hashtbl.fold
+      (fun line c acc ->
+        {
+          h_line = line;
+          h_label = c.label;
+          h_object = bucket c.label;
+          h_writes = c.writes;
+          h_flushes = c.flushes;
+          h_elides = c.elides;
+          h_coalesces = c.coalesces;
+          h_evicts = c.evicts;
+          h_drops = c.drops;
+        }
+        :: acc)
+      table []
+  in
+  Mutex.unlock lock;
+  List.sort (fun a b -> compare a.h_line b.h_line) rows
+
+(** Rank rows by persist cost — effective flushes first (the paid
+    write-backs), then writes — and keep the top [n]. *)
+let top ~n rows =
+  let ranked =
+    List.sort
+      (fun a b ->
+        match compare b.h_flushes a.h_flushes with
+        | 0 -> (
+            match compare b.h_writes a.h_writes with
+            | 0 -> compare a.h_line b.h_line
+            | c -> c)
+        | c -> c)
+      rows
+  in
+  List.filteri (fun i _ -> i < n) ranked
+
+let row_to_json r : Json.t =
+  Json.Obj
+    [
+      ("line", Json.Int r.h_line);
+      ("label", Json.String r.h_label);
+      ("object", Json.String r.h_object);
+      ("writes", Json.Int r.h_writes);
+      ("flushes", Json.Int r.h_flushes);
+      ("elided", Json.Int r.h_elides);
+      ("coalesced", Json.Int r.h_coalesces);
+      ("evicted", Json.Int r.h_evicts);
+      ("dropped", Json.Int r.h_drops);
+    ]
+
+let rows_to_json rows : Json.t = Json.List (List.map row_to_json rows)
+
+let pp_rows fmt rows =
+  Format.fprintf fmt "%6s  %-24s %8s %8s %8s %8s %6s %6s@." "line" "label"
+    "writes" "flushes" "elided" "coal" "evict" "drop";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%6d  %-24s %8d %8d %8d %8d %6d %6d@." r.h_line
+        (if r.h_label = "" then "?" else r.h_label)
+        r.h_writes r.h_flushes r.h_elides r.h_coalesces r.h_evicts r.h_drops)
+    rows

@@ -1,0 +1,70 @@
+(** Persistence heatmap: aggregates per-line write / flush / elide /
+    coalesce / evict counts from both memory backends, labeled by
+    allocation site and bucketed by owning object, so hot persist lines
+    are rankable.  All emitters are one load + one branch when off (the
+    {!Trace} discipline); see the implementation header for the hook
+    architecture. *)
+
+type event =
+  [ `Pwrite  (** store or successful CAS on the line *)
+  | `Flush  (** effective write-back *)
+  | `Elide  (** clean-line flush, skipped *)
+  | `Coalesce  (** duplicate flush absorbed by a persist buffer *)
+  | `Fence  (** ignored here (no line); consumed by {!Profile} *)
+  | `Fence_elided  (** ignored here; consumed by {!Profile} *)
+  | `Evict  (** crash verdict: dirty line survived to persistence *)
+  | `Drop  (** crash verdict: dirty line lost *) ]
+(** Shared attribution vocabulary, also consumed by {!Profile.event}. *)
+
+type row = {
+  h_line : int;
+  h_label : string;  (** allocation-site name, "" if unnamed *)
+  h_object : string;  (** owning-object bucket derived from the label *)
+  h_writes : int;
+  h_flushes : int;
+  h_elides : int;
+  h_coalesces : int;
+  h_evicts : int;
+  h_drops : int;
+}
+
+val start : unit -> unit
+(** Enable aggregation and install the native backend's allocation and
+    event hooks.  Does not clear previously aggregated state — call
+    {!reset} for a fresh run. *)
+
+val stop : unit -> unit
+(** Disable aggregation and detach the native hooks.  Aggregated rows
+    stay readable. *)
+
+val is_on : unit -> bool
+
+val reset : unit -> unit
+(** Drop every line (labels included). *)
+
+val reset_counts : unit -> unit
+(** Zero the event counts but keep line labels — the post-construction
+    measurement-window reset. *)
+
+val note : line:int -> name:string -> unit
+(** Label [line] with an allocation-site cell name (first non-empty name
+    wins).  The sim heap calls this from [alloc]; the native backend's
+    [alloc_hook] routes here. *)
+
+val record : event -> line:int -> unit
+(** Count one event against [line].  No-op when off, for fences, and for
+    negative lines. *)
+
+val rows : unit -> row list
+(** Aggregated rows, ascending by line id. *)
+
+val top : n:int -> row list -> row list
+(** Rank by effective flushes (then writes) descending; keep [n]. *)
+
+val bucket : string -> string
+(** Owning-object bucket of a label: the prefix before the first ['.']
+    or ['[']; ["?"] for the empty label. *)
+
+val row_to_json : row -> Json.t
+val rows_to_json : row list -> Json.t
+val pp_rows : Format.formatter -> row list -> unit

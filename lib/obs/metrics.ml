@@ -59,3 +59,30 @@ let reset () =
   Mutex.lock lock;
   Hashtbl.iter (fun _ m -> Atomic.set m.v 0) registry;
   Mutex.unlock lock
+
+(* Snapshot isolation for repeated harness runs in one process: [mark]
+   then [delta_since] yields each counter's increase over the window
+   (counters are monotonic, so the subtraction is exact), while gauges
+   pass through at their current value — a gauge is a level, not a
+   flow.  Metrics registered after the mark show their full value. *)
+let mark = snapshot
+
+let delta_since marked =
+  Mutex.lock lock;
+  let all =
+    Hashtbl.fold
+      (fun _ m acc ->
+        let v = Atomic.get m.v in
+        let v =
+          match m.kind with
+          | Gauge -> v
+          | Counter -> (
+              match List.assoc_opt m.name marked with
+              | Some base -> v - base
+              | None -> v)
+        in
+        (m.name, v) :: acc)
+      registry []
+  in
+  Mutex.unlock lock;
+  List.sort compare all

@@ -27,3 +27,12 @@ val snapshot : unit -> (string * int) list
 
 val reset : unit -> unit
 (** Zero every registered metric (tests and fresh runs). *)
+
+val mark : unit -> (string * int) list
+(** Snapshot to subtract from later with {!delta_since} — isolates one
+    harness run's metrics when several run in the same process. *)
+
+val delta_since : (string * int) list -> (string * int) list
+(** Counter increases since the {!mark} (gauges pass through at their
+    current value), sorted by name.  Metrics registered after the mark
+    report their full value. *)

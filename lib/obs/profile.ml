@@ -1,0 +1,231 @@
+(** Phase-attributed profiler: scope every memory event and span with
+    the engine phase it occurred in.
+
+    The detectable-object engine runs each operation through a fixed
+    phase taxonomy — {!Announce} (prep: persist the announce record),
+    {!Exec} (apply + install + completion), {!Resolve} (post-crash
+    detection), {!Recovery_scan} (structural recovery passes) and
+    {!Recovery_complete} (completing effective operations' announce
+    state).  Instrumented code brackets each phase with
+    {!begin_span}/{!end_span}; memory events reported while a thread is
+    inside a span are charged to that thread's current phase, and
+    everything outside any span lands in {!Other} — so the per-phase
+    event counts always sum to the backend totals.
+
+    Per-thread phase slots make attribution correct under the
+    simulator's interleaving: each simulated thread carries its own
+    current phase, and the heap charges each event to the thread the
+    scheduler is stepping ([Heap.cur_tid]).  On the native backend
+    events resolve their thread through {!Trace.current_tid}, which the
+    profiled zoo runner pins per worker.
+
+    Span latency is wall-clock: real per-phase cost on the native
+    backend; on the simulator it includes interleaved steps of other
+    threads, so treat sim latencies as relative weights, not absolutes.
+
+    Costs nothing when off: every entry point is one load + one branch,
+    {!begin_span} returns a shared dummy span (no allocation), and no
+    instrumented call site ever touches backend memory — event streams
+    and counters are bit-for-bit identical whether profiling is on or
+    off. *)
+
+type phase = Announce | Exec | Resolve | Recovery_scan | Recovery_complete | Other
+
+let phase_name = function
+  | Announce -> "announce"
+  | Exec -> "exec"
+  | Resolve -> "resolve"
+  | Recovery_scan -> "recovery-scan"
+  | Recovery_complete -> "recovery-complete"
+  | Other -> "other"
+
+let phases = [ Announce; Exec; Resolve; Recovery_scan; Recovery_complete; Other ]
+let nphases = List.length phases
+
+let phase_index = function
+  | Announce -> 0
+  | Exec -> 1
+  | Resolve -> 2
+  | Recovery_scan -> 3
+  | Recovery_complete -> 4
+  | Other -> 5
+
+let other_index = phase_index Other
+
+type span = { sp_phase : int; sp_prev : int; sp_t0 : float }
+
+(* Returned by [begin_span] when profiling is off: physically
+   distinguished, so a span opened while off is ignored by [end_span]
+   even if profiling was switched on in between. *)
+let dummy_span = { sp_phase = other_index; sp_prev = other_index; sp_t0 = 0. }
+
+let on = ref false
+let is_on () = !on
+let lock = Mutex.create ()
+
+(* Per-thread current phase, indexed by [tid + 1] ([-1] = system
+   context), grown on demand — the ring layout {!Trace} uses. *)
+let slots = ref (Array.make 8 other_index)
+
+let slot_index tid =
+  let idx = tid + 1 in
+  if idx >= Array.length !slots then begin
+    let grown =
+      Array.make (max (idx + 1) (2 * Array.length !slots)) other_index
+    in
+    Array.blit !slots 0 grown 0 (Array.length !slots);
+    slots := grown
+  end;
+  idx
+
+(* Per-phase accounting: spans completed, their wall time, and the six
+   persist-relevant event kinds. *)
+let ops = Array.make nphases 0
+let pwrites = Array.make nphases 0
+let flushes = Array.make nphases 0
+let elides = Array.make nphases 0
+let coalesces = Array.make nphases 0
+let fences = Array.make nphases 0
+let elided_fences = Array.make nphases 0
+let lat = Array.init nphases (fun _ -> Histogram.create ())
+
+let reset () =
+  Mutex.lock lock;
+  Array.iteri
+    (fun i _ ->
+      ops.(i) <- 0;
+      pwrites.(i) <- 0;
+      flushes.(i) <- 0;
+      elides.(i) <- 0;
+      coalesces.(i) <- 0;
+      fences.(i) <- 0;
+      elided_fences.(i) <- 0;
+      lat.(i) <- Histogram.create ())
+    ops;
+  Array.fill !slots 0 (Array.length !slots) other_index;
+  Mutex.unlock lock
+
+let begin_span ~tid phase =
+  if not !on then dummy_span
+  else begin
+    Mutex.lock lock;
+    let idx = slot_index tid in
+    let prev = !slots.(idx) in
+    let p = phase_index phase in
+    !slots.(idx) <- p;
+    Mutex.unlock lock;
+    { sp_phase = p; sp_prev = prev; sp_t0 = Unix.gettimeofday () }
+  end
+
+let end_span ~tid sp =
+  if !on && sp != dummy_span then begin
+    let dt_ns = (Unix.gettimeofday () -. sp.sp_t0) *. 1e9 in
+    Mutex.lock lock;
+    let idx = slot_index tid in
+    !slots.(idx) <- sp.sp_prev;
+    ops.(sp.sp_phase) <- ops.(sp.sp_phase) + 1;
+    Histogram.add lat.(sp.sp_phase) (Float.max 0. dt_ns);
+    Mutex.unlock lock
+  end
+
+let current_phase ~tid =
+  Mutex.lock lock;
+  let p = !slots.(slot_index tid) in
+  Mutex.unlock lock;
+  List.nth phases p
+
+let event ~tid (ev : Heatmap.event) =
+  if !on then begin
+    Mutex.lock lock;
+    let p = !slots.(slot_index tid) in
+    (match ev with
+    | `Pwrite -> pwrites.(p) <- pwrites.(p) + 1
+    | `Flush -> flushes.(p) <- flushes.(p) + 1
+    | `Elide -> elides.(p) <- elides.(p) + 1
+    | `Coalesce -> coalesces.(p) <- coalesces.(p) + 1
+    | `Fence -> fences.(p) <- fences.(p) + 1
+    | `Fence_elided -> elided_fences.(p) <- elided_fences.(p) + 1
+    | `Evict | `Drop -> () (* crash verdicts are the heatmap's *));
+    Mutex.unlock lock
+  end
+
+let stop () =
+  on := false;
+  Dssq_memory.Native.phase_hook := None
+
+let start () =
+  on := true;
+  (* Same inversion as [Trace]/[Heatmap]: the native Counted backends
+     report events through a hook this side points back here.  Thread
+     identity comes from the tracer's tid pin, which profiled native
+     runs set per worker. *)
+  Dssq_memory.Native.phase_hook :=
+    Some (fun ev ~line:_ -> event ~tid:(Trace.current_tid ()) ev)
+
+(* ------------------------------ reporting ----------------------------- *)
+
+type phase_row = {
+  ph_phase : string;
+  ph_ops : int;  (** spans completed in this phase *)
+  ph_pwrites : int;
+  ph_flushes : int;
+  ph_elides : int;
+  ph_coalesces : int;
+  ph_fences : int;
+  ph_elided_fences : int;
+  ph_latency : Histogram.t;  (** span wall time, nanoseconds *)
+}
+
+let rows () =
+  Mutex.lock lock;
+  let rows =
+    List.map
+      (fun phase ->
+        let i = phase_index phase in
+        {
+          ph_phase = phase_name phase;
+          ph_ops = ops.(i);
+          ph_pwrites = pwrites.(i);
+          ph_flushes = flushes.(i);
+          ph_elides = elides.(i);
+          ph_coalesces = coalesces.(i);
+          ph_fences = fences.(i);
+          ph_elided_fences = elided_fences.(i);
+          ph_latency = Histogram.copy lat.(i);
+        })
+      phases
+  in
+  Mutex.unlock lock;
+  rows
+
+let row_to_json r : Json.t =
+  Json.Obj
+    [
+      ("phase", Json.String r.ph_phase);
+      ("ops", Json.Int r.ph_ops);
+      ("pwrites", Json.Int r.ph_pwrites);
+      ("flushes", Json.Int r.ph_flushes);
+      ("elided_flushes", Json.Int r.ph_elides);
+      ("coalesced_flushes", Json.Int r.ph_coalesces);
+      ("fences", Json.Int r.ph_fences);
+      ("elided_fences", Json.Int r.ph_elided_fences);
+      ("latency", Histogram.to_json r.ph_latency);
+    ]
+
+let rows_to_json rows : Json.t = Json.List (List.map row_to_json rows)
+
+let pp_rows fmt rows =
+  Format.fprintf fmt "%-18s %7s %8s %8s %8s %8s %7s %10s@." "phase" "spans"
+    "pwrites" "flushes" "elided" "coal" "fences" "p50-ns";
+  List.iter
+    (fun r ->
+      if
+        r.ph_ops > 0 || r.ph_pwrites > 0 || r.ph_flushes > 0
+        || r.ph_elides > 0 || r.ph_coalesces > 0 || r.ph_fences > 0
+      then
+        Format.fprintf fmt "%-18s %7d %8d %8d %8d %8d %7d %10.0f@."
+          r.ph_phase r.ph_ops r.ph_pwrites r.ph_flushes r.ph_elides
+          r.ph_coalesces r.ph_fences
+          (let p = Histogram.p50 r.ph_latency in
+           if Float.is_nan p then 0. else p))
+    rows

@@ -1,0 +1,180 @@
+(** Prometheus text exposition format (version 0.0.4) for the
+    observability layer: metrics registry snapshots, persistence-heatmap
+    rows and phase-profiler rows rendered as labeled samples, e.g.
+
+    {v
+    dssq_heatmap_flushes{line="3",label="q.state",object="q"} 128
+    dssq_profile_flushes{phase="announce"} 1600
+    v}
+
+    Only the exposition subset the repo needs: metric names sanitized to
+    the legal character set, label values escaped per the format's
+    backslash rules (with an exact inverse for round-trip testing), and
+    integer-valued samples printed without an exponent so the files diff
+    cleanly across runs. *)
+
+type sample = {
+  s_name : string;
+  s_labels : (string * string) list;
+  s_value : float;
+}
+
+(* Metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.  Anything else becomes '_'
+   (the conventional flattening for dotted registry names). *)
+let sanitize_name name =
+  let ok_head c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+  in
+  let ok c = ok_head c || (c >= '0' && c <= '9') in
+  if name = "" then "_"
+  else
+    String.mapi
+      (fun i c -> if (if i = 0 then ok_head c else ok c) then c else '_')
+      name
+
+(* Label values: escape backslash, double quote and newline — exactly
+   the three escapes the text format defines. *)
+let escape_label s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Exact inverse of {!escape_label}.  Unknown escapes keep the
+   backslash literally, as Prometheus parsers do; a trailing lone
+   backslash is kept too. *)
+let unescape_label s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '\\' && !i + 1 < n then begin
+       (match s.[!i + 1] with
+       | '\\' -> Buffer.add_char buf '\\'
+       | '"' -> Buffer.add_char buf '"'
+       | 'n' -> Buffer.add_char buf '\n'
+       | c ->
+           Buffer.add_char buf '\\';
+           Buffer.add_char buf c);
+       i := !i + 2
+     end
+     else begin
+       Buffer.add_char buf s.[!i];
+       incr i
+     end)
+  done;
+  Buffer.contents buf
+
+(* Integers render exactly ("128", not "1.28e+02"); everything else
+   falls back to shortest-roundtrip-ish %g at high precision. *)
+let value_to_string v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let sample_to_string s =
+  let labels =
+    match s.s_labels with
+    | [] -> ""
+    | ls ->
+        "{"
+        ^ String.concat ","
+            (List.map
+               (fun (k, v) ->
+                 Printf.sprintf "%s=\"%s\"" (sanitize_name k) (escape_label v))
+               ls)
+        ^ "}"
+  in
+  Printf.sprintf "%s%s %s" (sanitize_name s.s_name) labels
+    (value_to_string s.s_value)
+
+let render samples =
+  String.concat "" (List.map (fun s -> sample_to_string s ^ "\n") samples)
+
+(* ------------------------- source adapters ---------------------------- *)
+
+let metric_samples metrics =
+  List.map
+    (fun (name, v) ->
+      { s_name = "dssq_" ^ name; s_labels = []; s_value = float_of_int v })
+    metrics
+
+let heatmap_samples rows =
+  List.concat_map
+    (fun (r : Heatmap.row) ->
+      let labels =
+        [
+          ("line", string_of_int r.Heatmap.h_line);
+          ("label", r.Heatmap.h_label);
+          ("object", r.Heatmap.h_object);
+        ]
+      in
+      List.map
+        (fun (field, v) ->
+          {
+            s_name = "dssq_heatmap_" ^ field;
+            s_labels = labels;
+            s_value = float_of_int v;
+          })
+        [
+          ("writes", r.Heatmap.h_writes);
+          ("flushes", r.Heatmap.h_flushes);
+          ("elided_flushes", r.Heatmap.h_elides);
+          ("coalesced_flushes", r.Heatmap.h_coalesces);
+          ("evicted_lines", r.Heatmap.h_evicts);
+          ("dropped_lines", r.Heatmap.h_drops);
+        ])
+    rows
+
+let phase_samples rows =
+  List.concat_map
+    (fun (r : Profile.phase_row) ->
+      let labels = [ ("phase", r.Profile.ph_phase) ] in
+      let counts =
+        List.map
+          (fun (field, v) ->
+            {
+              s_name = "dssq_profile_" ^ field;
+              s_labels = labels;
+              s_value = float_of_int v;
+            })
+          [
+            ("spans", r.Profile.ph_ops);
+            ("pwrites", r.Profile.ph_pwrites);
+            ("flushes", r.Profile.ph_flushes);
+            ("elided_flushes", r.Profile.ph_elides);
+            ("coalesced_flushes", r.Profile.ph_coalesces);
+            ("fences", r.Profile.ph_fences);
+            ("elided_fences", r.Profile.ph_elided_fences);
+          ]
+      in
+      let h = r.Profile.ph_latency in
+      let lat =
+        if Histogram.total h = 0 then []
+        else
+          List.map
+            (fun (q, v) ->
+              {
+                s_name = "dssq_profile_latency_ns";
+                s_labels = labels @ [ ("quantile", q) ];
+                s_value = v;
+              })
+            [
+              ("0.5", Histogram.p50 h);
+              ("0.9", Histogram.p90 h);
+              ("0.99", Histogram.p99 h);
+            ]
+      in
+      counts @ lat)
+    rows
+
+let write path samples =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (render samples))

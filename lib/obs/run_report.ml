@@ -23,8 +23,12 @@ let schema_name = "dssq.run-report"
    v4: event objects gained ["pwrites"] (persistent-word mutations:
        stores plus successful CAS), the numerator of the
        [persistent_words_per_op] space metric.  v1-v3 documents still
-       decode: the missing key reads as 0. *)
-let schema_version = 4
+       decode: the missing key reads as 0.
+   v5: top level gained ["provenance"], a string map of run conditions
+       (git commit, line size, coalescing flag, thread count, ...) so
+       archived reports say how they were produced.  v1-v4 documents
+       still decode: the missing key reads as the empty map. *)
+let schema_version = 5
 
 (** One instrumented measurement (one repeat at one x). *)
 type sample = {
@@ -56,6 +60,7 @@ type t = {
   params : (string * string) list;
   series : series list;
   metrics : (string * int) list;
+  provenance : (string * string) list;
 }
 
 let point_of_samples ~x (samples : sample list) : point =
@@ -86,8 +91,8 @@ let git_rev () =
     | _ -> "unknown"
   with _ -> "unknown"
 
-let make ?(params = []) ?metrics ?git_rev:rev ~backend ~experiment ~x_label
-    ~y_label series =
+let make ?(params = []) ?metrics ?git_rev:rev ?(provenance = []) ~backend
+    ~experiment ~x_label ~y_label series =
   {
     version = schema_version;
     git_rev = (match rev with Some r -> r | None -> git_rev ());
@@ -98,6 +103,7 @@ let make ?(params = []) ?metrics ?git_rev:rev ~backend ~experiment ~x_label
     params;
     series;
     metrics = (match metrics with Some m -> m | None -> Metrics.snapshot ());
+    provenance;
   }
 
 (* ------------------------------ equality ------------------------------ *)
@@ -115,6 +121,7 @@ let equal a b =
   a.version = b.version && a.git_rev = b.git_rev && a.backend = b.backend
   && a.experiment = b.experiment && a.x_label = b.x_label
   && a.y_label = b.y_label && a.params = b.params && a.metrics = b.metrics
+  && a.provenance = b.provenance
   && List.length a.series = List.length b.series
   && List.for_all2 equal_series a.series b.series
 
@@ -179,6 +186,8 @@ let to_json t : Json.t =
       ("series", Json.List (List.map series_to_json t.series));
       ( "metrics",
         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) t.metrics) );
+      ( "provenance",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) t.provenance) );
     ]
 
 let of_json j =
@@ -210,6 +219,11 @@ let of_json j =
       List.map
         (fun (k, v) -> (k, Json.to_int v))
         (Json.to_obj (Json.member "metrics" j));
+    provenance =
+      (* absent before v5: the missing key reads as the empty map *)
+      (match Json.member "provenance" j with
+      | Json.Null -> []
+      | p -> List.map (fun (k, v) -> (k, Json.to_str v)) (Json.to_obj p));
   }
 
 let to_string t = Json.to_string (to_json t)

@@ -8,8 +8,8 @@ module MI = Dssq_memory.Memory_intf
 val schema_name : string
 
 val schema_version : int
-(** Currently 2 (v2 added the [elided_flushes] event key); v1 documents
-    still decode, the missing key reading as 0. *)
+(** Currently 5 (v5 added the top-level [provenance] map); v1-v4
+    documents still decode, missing keys reading as 0 / the empty map. *)
 
 (** One instrumented measurement (one repeat at one x). *)
 type sample = {
@@ -40,6 +40,8 @@ type t = {
   params : (string * string) list;
   series : series list;
   metrics : (string * int) list;
+  provenance : (string * string) list;
+      (** run conditions: git commit, line size, coalescing, threads *)
 }
 
 val point_of_samples : x:int -> sample list -> point
@@ -53,6 +55,7 @@ val make :
   ?params:(string * string) list ->
   ?metrics:(string * int) list ->
   ?git_rev:string ->
+  ?provenance:(string * string) list ->
   backend:string ->
   experiment:string ->
   x_label:string ->
@@ -60,7 +63,7 @@ val make :
   series list ->
   t
 (** Defaults: [git_rev] probed from the working tree, [metrics] from
-    {!Metrics.snapshot}. *)
+    {!Metrics.snapshot}, [provenance] empty. *)
 
 val equal : t -> t -> bool
 

@@ -46,6 +46,10 @@ type t = {
 
 let dummy_entry = { seq = 0; ts_ns = 0.; tid = -1; event = Recovery_begin }
 
+(* Drops are also published as a registry metric so run reports carry
+   them even when nobody kept the tracer handle around. *)
+let dropped_metric = Metrics.counter "trace.dropped_events"
+
 let ring_push r e =
   let cap = Array.length r.buf in
   if r.len < cap then begin
@@ -55,7 +59,8 @@ let ring_push r e =
   else begin
     r.buf.(r.start) <- e;
     r.start <- (r.start + 1) mod cap;
-    r.ring_dropped <- r.ring_dropped + 1
+    r.ring_dropped <- r.ring_dropped + 1;
+    Metrics.incr dropped_metric
   end
 
 let ring_entries r =
@@ -149,6 +154,16 @@ let entries t =
 
 let recorded t = t.seq
 let dropped t = fold_rings t (fun acc r -> acc + r.ring_dropped) 0
+
+let dropped_by_thread t =
+  let acc = ref [] in
+  Array.iteri
+    (fun idx r ->
+      match r with
+      | Some r when r.ring_dropped > 0 -> acc := (idx - 1, r.ring_dropped) :: !acc
+      | _ -> ())
+    t.rings;
+  List.rev !acc
 
 (** Run [f] under a fresh tracer and return its result together with the
     merged entries recorded during the call.  The tracer is detached

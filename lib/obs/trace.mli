@@ -87,7 +87,13 @@ val recorded : t -> int
 (** Total events emitted (including dropped ones). *)
 
 val dropped : t -> int
-(** Events evicted from ring buffers by overflow. *)
+(** Events evicted from ring buffers by overflow.  Also counted in the
+    ["trace.dropped_events"] registry metric, so run reports record
+    truncated traces without holding the tracer handle. *)
+
+val dropped_by_thread : t -> (int * int) list
+(** [(tid, drops)] for each ring that overflowed, ascending by tid
+    ([-1] = system context); empty when nothing was dropped. *)
 
 val pp_event : Format.formatter -> event -> unit
 

@@ -11,6 +11,8 @@
     line is elided, and a crash evicts or drops each line as a unit. *)
 
 module Trace = Dssq_obs.Trace
+module Heatmap = Dssq_obs.Heatmap
+module Profile = Dssq_obs.Profile
 module Line = Dssq_memory.Memory_intf.Line
 
 type stats = {
@@ -89,6 +91,7 @@ let alloc t ?(name = "") ?placement v =
   | None ->
       Hashtbl.add t.lines lid line;
       Hashtbl.add t.line_members lid (ref [ Cell.Packed cell ]));
+  if Heatmap.is_on () then Heatmap.note ~line:lid ~name;
   cell
 
 (** Co-located cells: the block starts at a fresh line boundary and the
@@ -121,6 +124,14 @@ let traced op (c : 'a Cell.t) =
   if Trace.is_on () then
     Trace.mem op ~cell:c.Cell.id ~name:c.Cell.name
       ~line:c.Cell.line.Line.id ~dirty:c.Cell.dirty
+
+(* Attribution of persist events: per-line to the heatmap, per-phase
+   (keyed by the thread the scheduler is stepping) to the profiler.
+   Both off by default — one load + branch each, the tracer's cost
+   discipline. *)
+let attrib t ev ~line =
+  if Heatmap.is_on () then Heatmap.record ev ~line;
+  if Profile.is_on () then Profile.event ~tid:t.cur_tid ev
 
 (* Write the whole line back: every dirty member persists in the one
    write-back (CLWB acts on the full cache line). *)
@@ -179,13 +190,17 @@ let flush_coalesced t (c : 'a Cell.t) =
   let b = buffer t t.cur_tid in
   if Hashtbl.mem b line.Line.id then begin
     t.stats.coalesced_flushes <- t.stats.coalesced_flushes + 1;
-    bump_calls t
+    bump_calls t;
+    attrib t `Coalesce ~line:line.Line.id
   end
   else if Line.is_dirty line then begin
     Hashtbl.add b line.Line.id line;
     bump_calls t
   end
-  else t.stats.elided_flushes <- t.stats.elided_flushes + 1;
+  else begin
+    t.stats.elided_flushes <- t.stats.elided_flushes + 1;
+    attrib t `Elide ~line:line.Line.id
+  end;
   traced `Flush c
 
 (** Drain the current thread's persist buffer: write every pending line
@@ -199,16 +214,20 @@ let drain t =
   | Some b when Hashtbl.length b = 0 -> ()
   | Some b ->
       Hashtbl.iter
-        (fun _lid line ->
+        (fun lid line ->
           if Line.take_dirty line then begin
             t.stats.flushes <- t.stats.flushes + 1;
+            attrib t `Flush ~line:lid;
             persist_line t line;
             if Trace.is_on () then
               match members t line with
               | Cell.Packed m :: _ -> traced `Flush m
               | [] -> ()
           end
-          else t.stats.elided_flushes <- t.stats.elided_flushes + 1)
+          else begin
+            t.stats.elided_flushes <- t.stats.elided_flushes + 1;
+            attrib t `Elide ~line:lid
+          end)
         b;
       Hashtbl.reset b;
       let calls =
@@ -217,6 +236,11 @@ let drain t =
       Hashtbl.replace t.pending_calls t.cur_tid 0;
       t.stats.fences <- t.stats.fences + 1;
       t.stats.elided_fences <- t.stats.elided_fences + max 0 (calls - 1);
+      attrib t `Fence ~line:(-1);
+      if Profile.is_on () then
+        for _ = 1 to max 0 (calls - 1) do
+          Profile.event ~tid:t.cur_tid `Fence_elided
+        done;
       if Trace.is_on () then
         Trace.mem `Fence ~cell:(-1) ~name:"" ~line:(-1) ~dirty:false
 
@@ -239,6 +263,7 @@ let write t (c : 'a Cell.t) (v : 'a) =
   c.volatile <- v;
   c.dirty <- true;
   Line.mark_dirty c.line;
+  attrib t `Pwrite ~line:c.line.Line.id;
   traced `Write c
 
 let cas t (c : 'a Cell.t) ~(expected : 'a) ~(desired : 'a) =
@@ -250,6 +275,7 @@ let cas t (c : 'a Cell.t) ~(expected : 'a) ~(desired : 'a) =
       c.volatile <- desired;
       c.dirty <- true;
       Line.mark_dirty c.line;
+      attrib t `Pwrite ~line:c.line.Line.id;
       true
     end
     else false
@@ -260,15 +286,20 @@ let cas t (c : 'a Cell.t) ~(expected : 'a) ~(desired : 'a) =
 let flush t (c : 'a Cell.t) =
   if Line.flush_effective c.Cell.line then begin
     t.stats.flushes <- t.stats.flushes + 1;
+    attrib t `Flush ~line:c.Cell.line.Line.id;
     persist_line t c.Cell.line
   end
-  else t.stats.elided_flushes <- t.stats.elided_flushes + 1;
+  else begin
+    t.stats.elided_flushes <- t.stats.elided_flushes + 1;
+    attrib t `Elide ~line:c.Cell.line.Line.id
+  end;
   traced `Flush c
 
 let fence t =
   if has_pending t then drain t
   else begin
     t.stats.fences <- t.stats.fences + 1;
+    attrib t `Fence ~line:(-1);
     if Trace.is_on () then
       Trace.mem `Fence ~cell:(-1) ~name:"" ~line:(-1) ~dirty:false
   end
@@ -295,12 +326,23 @@ let dirty_lines t =
    what recovery code and restarted threads observe. *)
 let crash_by_line t ~verdict =
   let verdicts = ref [] in
+  (* The heatmap wants one Evict/Drop per line, but this walk visits
+     every dirty cell — dedup by line id, allocating only when on. *)
+  let seen = if Heatmap.is_on () then Some (Hashtbl.create 16) else None in
   List.iter
     (fun (Cell.Packed c) ->
       if c.dirty then begin
         let evicted = verdict c.line.Line.id in
         if evicted then c.persisted <- c.volatile else c.volatile <- c.persisted;
         c.dirty <- false;
+        (match seen with
+        | Some seen ->
+            let lid = c.line.Line.id in
+            if not (Hashtbl.mem seen lid) then begin
+              Hashtbl.add seen lid ();
+              Heatmap.record (if evicted then `Evict else `Drop) ~line:lid
+            end
+        | None -> ());
         if Trace.is_on () then verdicts := (c.id, c.name, evicted) :: !verdicts
       end)
     t.cells;

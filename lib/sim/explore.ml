@@ -63,6 +63,13 @@ type stats = {
   executions : int;  (** complete executions checked *)
   pruned : int;  (** branches cut by sleep-set reduction *)
   crash_branches : int;  (** crash executions among [executions] *)
+  branches : int;  (** schedule branches actually descended into *)
+  crash_points : int;  (** step boundaries where crash verdicts were drawn *)
+  crash_enumerated : int;
+      (** crash points whose 2^k eviction subsets were fully enumerated *)
+  crash_sampled : int;
+      (** crash points that fell back to sampling (k over the cap) *)
+  wall_s : float;  (** wall-clock seconds spent in [run] *)
 }
 
 type 'ctx scenario = {
@@ -93,6 +100,10 @@ type 'ctx t = {
   mutable executions : int;
   mutable pruned : int;
   mutable crash_branches : int;
+  mutable branches : int;
+  mutable crash_points : int;
+  mutable crash_enumerated : int;
+  mutable crash_sampled : int;
 }
 
 let make ?(crashes = false) ?(adversary = `Per_line) ?(max_crash_lines = 4)
@@ -114,6 +125,10 @@ let make ?(crashes = false) ?(adversary = `Per_line) ?(max_crash_lines = 4)
     executions = 0;
     pruned = 0;
     crash_branches = 0;
+    branches = 0;
+    crash_points = 0;
+    crash_enumerated = 0;
+    crash_sampled = 0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -250,30 +265,36 @@ let independent (a : Machine.access) (b : Machine.access) =
 (* Crash adversary: eviction-verdict choices over the dirty lines.     *)
 
 let crash_choices t dirty =
+  t.crash_points <- t.crash_points + 1;
   let uniform evicted = List.map (fun line -> { line; evicted }) dirty in
   match t.adversary with
   | `All_or_nothing ->
+      t.crash_enumerated <- t.crash_enumerated + 1;
       if dirty = [] then [ [] ] else [ uniform false; uniform true ]
   | `Per_line ->
       let k = List.length dirty in
-      if k <= t.max_crash_lines then
+      if k <= t.max_crash_lines then begin
+        t.crash_enumerated <- t.crash_enumerated + 1;
         List.init (1 lsl k) (fun mask ->
             List.mapi
               (fun i line -> { line; evicted = mask land (1 lsl i) <> 0 })
               dirty)
-      else
+      end
+      else begin
         (* Too many dirty lines to enumerate 2^k subsets: keep the two
            extremes (sound for whole-state loss/survival) plus seeded
            random subsets.  This fallback samples — it can miss a
            verdict combination, which is the checker's one source of
            incompleteness above the cap (documented in DESIGN.md). *)
+        t.crash_sampled <- t.crash_sampled + 1;
         let samples =
           List.init t.crash_samples (fun _ ->
               List.map
                 (fun line -> { line; evicted = Random.State.bool t.rng })
                 dirty)
         in
-        List.sort_uniq compare ((uniform false :: uniform true :: samples))
+        List.sort_uniq compare (uniform false :: uniform true :: samples)
+      end
 
 (* ------------------------------------------------------------------ *)
 (* Search.                                                             *)
@@ -331,6 +352,7 @@ let rec dfs t prefix depth ~sleep ~last ~preemptions ~round =
               let child_sleep =
                 List.filter (fun (_, a) -> independent a access) !sleep
               in
+              t.branches <- t.branches + 1;
               dfs t
                 (prefix @ [ Sched tid ])
                 (depth + 1) ~sleep:child_sleep ~last:tid
@@ -346,14 +368,28 @@ let run t =
   t.executions <- 0;
   t.pruned <- 0;
   t.crash_branches <- 0;
+  t.branches <- 0;
+  t.crash_points <- 0;
+  t.crash_enumerated <- 0;
+  t.crash_sampled <- 0;
   t.rng <- Random.State.make [| t.seed; 0xD55 |];
+  let t0 = Unix.gettimeofday () in
   (match t.max_preemptions with
   | None -> dfs t [] 0 ~sleep:[] ~last:(-1) ~preemptions:0 ~round:None
   | Some bound ->
       for k = 0 to bound do
         dfs t [] 0 ~sleep:[] ~last:(-1) ~preemptions:0 ~round:(Some k)
       done);
-  { executions = t.executions; pruned = t.pruned; crash_branches = t.crash_branches }
+  {
+    executions = t.executions;
+    pruned = t.pruned;
+    crash_branches = t.crash_branches;
+    branches = t.branches;
+    crash_points = t.crash_points;
+    crash_enumerated = t.crash_enumerated;
+    crash_sampled = t.crash_sampled;
+    wall_s = Unix.gettimeofday () -. t0;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Replay of recorded schedules.                                       *)

@@ -35,7 +35,17 @@ type stats = {
   executions : int;  (** complete executions checked *)
   pruned : int;  (** branches cut by sleep-set reduction *)
   crash_branches : int;  (** crash executions among [executions] *)
+  branches : int;  (** schedule branches actually descended into *)
+  crash_points : int;  (** step boundaries where crash verdicts were drawn *)
+  crash_enumerated : int;
+      (** crash points whose 2^k eviction subsets were fully enumerated *)
+  crash_sampled : int;
+      (** crash points that fell back to sampling (k over the cap) *)
+  wall_s : float;  (** wall-clock seconds spent in [run] *)
 }
+(** Coverage telemetry: [pruned /. (pruned + branches)] is the sleep-set
+    hit rate, [crash_sampled > 0] flags incomplete eviction-subset
+    coverage (see [max_crash_lines]). *)
 
 type 'ctx scenario = {
   ctx : 'ctx;

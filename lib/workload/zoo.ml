@@ -16,14 +16,19 @@
 
     Everything runs on the counted simulator backend with two threads
     and a fixed schedule, so rows are reproducible and comparable across
-    commits; [to_report] packages them as a schema-v4
-    {!Dssq_obs.Run_report.t} for archiving (the words-per-op CI
-    artifact). *)
+    commits; [to_report] packages them as a {!Dssq_obs.Run_report.t}
+    for archiving (the words-per-op CI artifact).
+
+    [profile_one]/[profile_all] run the same workloads with the
+    persistence heatmap and phase profiler attached, producing the
+    attribution tables behind [dssq profile]. *)
 
 open Dssq_pmem
 open Dssq_sim
 module MI = Dssq_memory.Memory_intf
 module DI = Dssq_core.Detectable_intf
+module Heatmap = Dssq_obs.Heatmap
+module Profile = Dssq_obs.Profile
 
 type row = {
   z_object : string;
@@ -57,6 +62,9 @@ let objects =
 type runner = {
   r_threads : (unit -> unit) list;
   r_stats : unit -> DI.stats;
+  r_recover : unit -> unit;
+      (* object-wide recovery plus one resolve per thread — the
+         post-crash path the profiler attributes to the recovery phases *)
 }
 
 let make_runner (module M : Dssq_memory.Memory_intf.S) ~pairs name : runner =
@@ -78,6 +86,12 @@ let make_runner (module M : Dssq_memory.Memory_intf.S) ~pairs name : runner =
       {
         r_threads = [ worker 0; worker 1 ];
         r_stats = (fun () -> Q.stats q);
+        r_recover =
+          (fun () ->
+            Q.recover q;
+            for tid = 0 to nthreads - 1 do
+              ignore (Q.resolve q ~tid)
+            done);
       }
   | "dss-stack" ->
       let module S = Dssq_core.Dss_stack.Make (M) in
@@ -95,6 +109,12 @@ let make_runner (module M : Dssq_memory.Memory_intf.S) ~pairs name : runner =
       {
         r_threads = [ worker 0; worker 1 ];
         r_stats = (fun () -> S.stats s);
+        r_recover =
+          (fun () ->
+            S.recover s;
+            for tid = 0 to nthreads - 1 do
+              ignore (S.resolve s ~tid)
+            done);
       }
   | "dss-register" ->
       let module R = Dssq_core.Dss_register.Make (M) in
@@ -110,6 +130,12 @@ let make_runner (module M : Dssq_memory.Memory_intf.S) ~pairs name : runner =
       {
         r_threads = [ worker 0; worker 1 ];
         r_stats = (fun () -> R.stats r);
+        r_recover =
+          (fun () ->
+            R.recover r;
+            for tid = 0 to nthreads - 1 do
+              ignore (R.resolve r ~tid)
+            done);
       }
   | "dss-hashmap" ->
       let module H = Dssq_core.Dss_hashmap.Make (M) in
@@ -125,6 +151,12 @@ let make_runner (module M : Dssq_memory.Memory_intf.S) ~pairs name : runner =
       {
         r_threads = [ worker 0; worker 1 ];
         r_stats = (fun () -> H.stats h);
+        r_recover =
+          (fun () ->
+            H.recover h;
+            for tid = 0 to nthreads - 1 do
+              ignore (H.resolve h ~tid)
+            done);
       }
   | "dss-swap" ->
       let module W = Dssq_core.Dss_swap.Make (M) in
@@ -140,6 +172,12 @@ let make_runner (module M : Dssq_memory.Memory_intf.S) ~pairs name : runner =
       {
         r_threads = [ worker 0; worker 1 ];
         r_stats = (fun () -> W.stats w);
+        r_recover =
+          (fun () ->
+            W.recover w;
+            for tid = 0 to nthreads - 1 do
+              ignore (W.resolve w ~tid)
+            done);
       }
   | "dss-deque" ->
       let module D = Dssq_core.Dss_deque.Make (M) in
@@ -158,6 +196,12 @@ let make_runner (module M : Dssq_memory.Memory_intf.S) ~pairs name : runner =
       {
         r_threads = [ worker 0; worker 1 ];
         r_stats = (fun () -> D.stats d);
+        r_recover =
+          (fun () ->
+            D.recover d;
+            for tid = 0 to nthreads - 1 do
+              ignore (D.resolve d ~tid)
+            done);
       }
   | "dss-pqueue" ->
       let module P = Dssq_core.Dss_pqueue.Make (M) in
@@ -174,6 +218,12 @@ let make_runner (module M : Dssq_memory.Memory_intf.S) ~pairs name : runner =
       {
         r_threads = [ worker 0; worker 1 ];
         r_stats = (fun () -> P.stats p);
+        r_recover =
+          (fun () ->
+            P.recover p;
+            for tid = 0 to nthreads - 1 do
+              ignore (P.resolve p ~tid)
+            done);
       }
   | "dss-bcounter" ->
       let module B = Dssq_core.Dss_bcounter.Make (M) in
@@ -189,6 +239,12 @@ let make_runner (module M : Dssq_memory.Memory_intf.S) ~pairs name : runner =
       {
         r_threads = [ worker 0; worker 1 ];
         r_stats = (fun () -> B.stats b);
+        r_recover =
+          (fun () ->
+            B.recover b;
+            for tid = 0 to nthreads - 1 do
+              ignore (B.resolve b ~tid)
+            done);
       }
   | other ->
       invalid_arg
@@ -211,6 +267,99 @@ let run_one ?(pairs = 200) ?(line_size = 1) name =
 
 let run_all ?pairs ?line_size () =
   List.map (fun name -> run_one ?pairs ?line_size name) objects
+
+(* ------------------------- attributed profiling ------------------------ *)
+
+type profile = {
+  p_row : row;
+  p_phases : Profile.phase_row list;
+  p_heat : Heatmap.row list;
+}
+
+(* Shared shell: enable both aggregators around [body], always detach.
+   The aggregators are started before construction so allocation-site
+   labels are captured, then the counts (not the labels) are zeroed at
+   the same instant as the backend counters — which is what keeps the
+   per-phase and per-line sums equal to the counter deltas. *)
+let with_attribution body =
+  Heatmap.reset ();
+  Profile.reset ();
+  Heatmap.start ();
+  Profile.start ();
+  Fun.protect
+    ~finally:(fun () ->
+      Heatmap.stop ();
+      Profile.stop ())
+    body
+
+let profile_one ?(pairs = 200) ?(line_size = 1) ?(coalesce = false)
+    ?(crash = false) name =
+  with_attribution (fun () ->
+      let heap = Heap.create ~line_size () in
+      let (module M) = Sim.counted_memory ~coalesce heap in
+      let r = make_runner (module M) ~pairs name in
+      M.reset_counters ();
+      Heatmap.reset_counts ();
+      Profile.reset ();
+      ignore (Sim.run heap ~threads:r.r_threads);
+      if crash then begin
+        Heap.crash_random heap ~evict_p:0.5
+          ~rng:(Random.State.make [| 0xF00D; 17 |]);
+        r.r_recover ()
+      end;
+      {
+        p_row =
+          {
+            z_object = name;
+            z_ops = 2 * pairs * nthreads;
+            z_events = M.counters ();
+            z_stats = r.r_stats ();
+          };
+        p_phases = Profile.rows ();
+        p_heat = Heatmap.rows ();
+      })
+
+let profile_one_native ?(pairs = 200) ?(line_size = 1) ?(coalesce = false)
+    name =
+  let module Native = Dssq_memory.Native in
+  let module Trace = Dssq_obs.Trace in
+  with_attribution (fun () ->
+      Native.set_line_size line_size;
+      let measure (module C : MI.COUNTED) =
+        let r = make_runner (module C) ~pairs name in
+        C.reset_counters ();
+        Heatmap.reset_counts ();
+        Profile.reset ();
+        (* Workers run sequentially in this domain — attribution wants a
+           deterministic event stream, not a wall-clock benchmark; the
+           per-worker tid keeps the profiler's thread slots honest. *)
+        List.iteri
+          (fun tid th ->
+            Trace.set_tid tid;
+            th ())
+          r.r_threads;
+        Trace.set_tid (-1);
+        C.drain ();
+        r.r_recover ();
+        {
+          p_row =
+            {
+              z_object = name;
+              z_ops = 2 * pairs * nthreads;
+              z_events = C.counters ();
+              z_stats = r.r_stats ();
+            };
+          p_phases = Profile.rows ();
+          p_heat = Heatmap.rows ();
+        }
+      in
+      if coalesce then measure (module Native.Coalescing ())
+      else measure (module Native.Counted ()))
+
+let profile_all ?pairs ?line_size ?coalesce ?crash () =
+  List.map
+    (fun name -> profile_one ?pairs ?line_size ?coalesce ?crash name)
+    objects
 
 (* ------------------------------ reporting ------------------------------ *)
 
@@ -248,6 +397,12 @@ let to_report ?(pairs = 200) ?(line_size = 1) (rows : row list) :
         ("pairs", string_of_int pairs);
         ("line_size", string_of_int line_size);
         ("nthreads", string_of_int nthreads);
+      ]
+    ~provenance:
+      [
+        ("line_size", string_of_int line_size);
+        ("coalesce", "false");
+        ("threads", string_of_int nthreads);
       ]
     ~metrics ~backend:"sim" ~experiment:"zoo" ~x_label:"threads"
     ~y_label:"persistent words per op" series

@@ -30,9 +30,47 @@ val run_one : ?pairs:int -> ?line_size:int -> string -> row
 val run_all : ?pairs:int -> ?line_size:int -> unit -> row list
 (** {!run_one} over all of {!objects}, in order. *)
 
+type profile = {
+  p_row : row;
+  p_phases : Dssq_obs.Profile.phase_row list;
+      (** per-phase persist events and span latency *)
+  p_heat : Dssq_obs.Heatmap.row list;
+      (** per-line persistence heatmap, labeled by allocation site *)
+}
+
+val profile_one :
+  ?pairs:int ->
+  ?line_size:int ->
+  ?coalesce:bool ->
+  ?crash:bool ->
+  string ->
+  profile
+(** {!run_one} with the heatmap and phase profiler attached (simulator
+    backend).  [crash] additionally injects a seeded random crash after
+    the workload and runs recovery plus per-thread resolve, so the
+    recovery phases appear in the attribution.  Per-phase and per-line
+    event sums equal the row's counter deltas by construction.
+    @raise Invalid_argument listing {!objects} on an unknown name. *)
+
+val profile_one_native :
+  ?pairs:int -> ?line_size:int -> ?coalesce:bool -> string -> profile
+(** {!profile_one} on the native Counted (or Coalescing) backend, with
+    workers run sequentially for a deterministic event stream.  No crash
+    arm: crash semantics are simulator-only. *)
+
+val profile_all :
+  ?pairs:int ->
+  ?line_size:int ->
+  ?coalesce:bool ->
+  ?crash:bool ->
+  unit ->
+  profile list
+(** {!profile_one} over all of {!objects}, in order. *)
+
 val to_report :
   ?pairs:int -> ?line_size:int -> row list -> Dssq_obs.Run_report.t
-(** Package rows as a schema-v4 run report: one series per object with
+(** Package rows as a run report (current schema version): one series
+    per object with
     a single point carrying [words_per_op] as its sample and the event
     counters (including [pwrites]); the static footprints go into the
     report's [metrics] as [zoo.<object>.state_words] /

@@ -31,4 +31,5 @@ let () =
       ("coverage", Test_coverage.suite);
       ("obs", Test_obs.suite);
       ("trace", Test_trace.suite);
+      ("attrib", Test_attrib.suite);
     ]

@@ -181,8 +181,8 @@ let test_preemption_bound_boundaries () =
 
 (* ------------------------ per-line adversary ------------------------- *)
 
-let crash_explorer ~adversary ~check () =
-  Explore.make ~crashes:true ~adversary
+let crash_explorer ?max_crash_lines ?crash_samples ~adversary ~check () =
+  Explore.make ~crashes:true ~adversary ?max_crash_lines ?crash_samples
     ~setup:(fun () ->
       let heap, (module M) = with_mem () in
       let data = M.alloc 0 and committed = M.alloc 0 in
@@ -235,6 +235,48 @@ let test_per_line_finds_mixed_eviction () =
           Alcotest.(check int) "one line evicted" 1 (List.length evicted);
           Alcotest.(check int) "one line dropped" 1 (List.length dropped)
       | _ -> Alcotest.fail "violating schedule does not end in a crash")
+
+(* ------------------------- coverage telemetry ------------------------ *)
+
+let nop_check = fun _get _heap ~crashed:_ -> ()
+
+let test_telemetry_counts () =
+  let s =
+    Explore.run (crash_explorer ~adversary:`Per_line ~check:nop_check ())
+  in
+  Alcotest.(check bool) "branches counted" true (s.Explore.branches > 0);
+  Alcotest.(check int)
+    "every crash point is enumerated or sampled" s.Explore.crash_points
+    (s.Explore.crash_enumerated + s.Explore.crash_sampled);
+  Alcotest.(check bool) "crash points reached" true (s.Explore.crash_points > 0);
+  Alcotest.(check int)
+    "nothing sampled under the default cap" 0 s.Explore.crash_sampled;
+  Alcotest.(check bool) "wall clock measured" true (s.Explore.wall_s >= 0.);
+  (* [run] resets the counters, so stats are per-run, not cumulative. *)
+  let t = crash_explorer ~adversary:`Per_line ~check:nop_check () in
+  let a = Explore.run t in
+  let b = Explore.run t in
+  Alcotest.(check int) "branches are per-run" a.Explore.branches
+    b.Explore.branches;
+  Alcotest.(check int) "executions are per-run" a.Explore.executions
+    b.Explore.executions;
+  Alcotest.(check int) "crash points are per-run" a.Explore.crash_points
+    b.Explore.crash_points
+
+let test_telemetry_sampling () =
+  (* An enumeration cap of 0 forces every non-empty crash point onto the
+     sampling path, which the telemetry must report as incomplete
+     coverage. *)
+  let s =
+    Explore.run
+      (crash_explorer ~max_crash_lines:0 ~crash_samples:2
+         ~adversary:`Per_line ~check:nop_check ())
+  in
+  Alcotest.(check bool) "cap 0 forces sampling" true
+    (s.Explore.crash_sampled > 0);
+  Alcotest.(check int)
+    "sampled + enumerated still covers every point" s.Explore.crash_points
+    (s.Explore.crash_enumerated + s.Explore.crash_sampled)
 
 (* --------------------------- replay/explain -------------------------- *)
 
@@ -299,6 +341,10 @@ let suite =
       test_per_line_enumerates_more;
     Alcotest.test_case "per-line finds mixed eviction" `Quick
       test_per_line_finds_mixed_eviction;
+    Alcotest.test_case "coverage telemetry invariants" `Quick
+      test_telemetry_counts;
+    Alcotest.test_case "telemetry flags sampled crash coverage" `Quick
+      test_telemetry_sampling;
     QCheck_alcotest.to_alcotest prop_replay_deterministic;
     Alcotest.test_case "explain on a passing schedule" `Quick
       test_explain_passing_schedule;

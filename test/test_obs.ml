@@ -188,6 +188,32 @@ let test_metrics () =
   Metrics.reset ();
   Alcotest.(check int) "reset zeroes" 0 (Metrics.get c)
 
+(* Snapshot isolation: a report built from [delta_since] must see only
+   its own run's counter increases, even when earlier runs in the same
+   process already bumped the registry. *)
+let test_metrics_mark_delta () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.delta.ops" in
+  let g = Metrics.gauge "test.delta.depth" in
+  Metrics.incr ~by:3 c;
+  Metrics.set g 5;
+  let marked = Metrics.mark () in
+  Metrics.incr ~by:4 c;
+  Metrics.set g 9;
+  let d = Metrics.delta_since marked in
+  Alcotest.(check (option int))
+    "counter reports the delta" (Some 4)
+    (List.assoc_opt "test.delta.ops" d);
+  Alcotest.(check (option int))
+    "gauge passes through at its level" (Some 9)
+    (List.assoc_opt "test.delta.depth" d);
+  let late = Metrics.counter "test.delta.late" in
+  Metrics.incr ~by:2 late;
+  Alcotest.(check (option int))
+    "post-mark registration reports its full value" (Some 2)
+    (List.assoc_opt "test.delta.late" (Metrics.delta_since marked));
+  Metrics.reset ()
+
 (* ----------------------------- run report ----------------------------- *)
 
 let sample_report () =
@@ -216,6 +242,7 @@ let sample_report () =
     ~x_label:"threads" ~y_label:"Mops/s"
     ~params:[ ("repeats", "2") ]
     ~metrics:[ ("obs.reports_written", 3) ]
+    ~provenance:[ ("line_size", "8"); ("coalesce", "true"); ("threads", "2") ]
     [
       { Run_report.label = "dss-det"; points = [ point ] };
       { Run_report.label = "ms"; points = [] };
@@ -265,11 +292,14 @@ let test_report_rejects_foreign () =
       | _ -> None));
   Alcotest.(check bool) "current version accepted" true (not (reject (fun _ -> None)))
 
-(* Older schema versions predate some event keys — v1 lacks
-   [elided_flushes] (added in v2) and v2 lacks [coalesced_flushes] and
-   [elided_fences] (added in v3).  Both must still decode, every missing
-   key reading as zero. *)
+(* Older schema versions predate some keys — v1 lacks [elided_flushes]
+   (added in v2), v2 lacks [coalesced_flushes] and [elided_fences]
+   (added in v3), v3 lacks [pwrites] (added in v4), and everything
+   before v5 lacks the top-level [provenance] map.  All must still
+   decode: missing event keys read as zero, missing provenance as the
+   empty map. *)
 let report_as_version version ~without =
+  let without = if version < 5 then "provenance" :: without else without in
   let strip j =
     let rec go = function
       | Json.Obj kvs ->
@@ -285,9 +315,11 @@ let report_as_version version ~without =
   in
   Run_report.of_json
     (Json.Obj
-       (List.map
+       (List.filter_map
           (fun (k, v) ->
-            if k = "version" then (k, Json.Int version) else (k, strip v))
+            if List.mem k without then None
+            else if k = "version" then Some (k, Json.Int version)
+            else Some (k, strip v))
           (Json.to_obj (Run_report.to_json (sample_report ())))))
 
 let check_old_version version ~without =
@@ -300,21 +332,36 @@ let check_old_version version ~without =
     | "elided_flushes" -> p.Run_report.events.MI.elided_flushes
     | "coalesced_flushes" -> p.Run_report.events.MI.coalesced_flushes
     | "elided_fences" -> p.Run_report.events.MI.elided_fences
+    | "pwrites" -> p.Run_report.events.MI.pwrites
     | k -> Alcotest.failf "unexpected stripped key %s" k
   in
   List.iter
     (fun k ->
       Alcotest.(check int) (Printf.sprintf "missing %s reads as 0" k) 0 (read k))
     without;
+  Alcotest.(check bool) "pre-v5 provenance reads as empty" true
+    (r.Run_report.provenance = []);
   Alcotest.(check int) "other counters intact" 14
     p.Run_report.events.MI.flushes
 
 let test_report_decodes_v1 () =
   check_old_version 1
-    ~without:[ "elided_flushes"; "coalesced_flushes"; "elided_fences" ]
+    ~without:
+      [ "elided_flushes"; "coalesced_flushes"; "elided_fences"; "pwrites" ]
 
 let test_report_decodes_v2 () =
-  check_old_version 2 ~without:[ "coalesced_flushes"; "elided_fences" ]
+  check_old_version 2
+    ~without:[ "coalesced_flushes"; "elided_fences"; "pwrites" ]
+
+let test_report_decodes_v3 () = check_old_version 3 ~without:[ "pwrites" ]
+let test_report_decodes_v4 () = check_old_version 4 ~without:[]
+
+let test_report_provenance_roundtrip () =
+  let r = sample_report () in
+  let r' = Run_report.of_string (Run_report.to_string r) in
+  Alcotest.(check bool) "v5 provenance survives the codec" true
+    (r'.Run_report.provenance = r.Run_report.provenance
+    && r'.Run_report.provenance <> [])
 
 (* ----------------------- memory-event accounting ---------------------- *)
 
@@ -392,6 +439,8 @@ let suite =
       Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
       Alcotest.test_case "json parse errors" `Quick test_json_errors;
       Alcotest.test_case "metrics registry" `Quick test_metrics;
+      Alcotest.test_case "metrics mark/delta isolation" `Quick
+        test_metrics_mark_delta;
       Alcotest.test_case "run report round-trip" `Quick test_report_roundtrip;
       Alcotest.test_case "run report file round-trip" `Quick
         test_report_file_roundtrip;
@@ -401,6 +450,12 @@ let suite =
         test_report_decodes_v1;
       Alcotest.test_case "run report decodes schema v2" `Quick
         test_report_decodes_v2;
+      Alcotest.test_case "run report decodes schema v3" `Quick
+        test_report_decodes_v3;
+      Alcotest.test_case "run report decodes schema v4" `Quick
+        test_report_decodes_v4;
+      Alcotest.test_case "run report v5 provenance round-trip" `Quick
+        test_report_provenance_roundtrip;
       Alcotest.test_case "flushes/op: dss > ms" `Quick
         test_flushes_per_op_ordering;
       Alcotest.test_case "instrumented sim latency" `Quick

@@ -63,7 +63,20 @@ let test_per_thread_rings () =
   Alcotest.(check int) "entries" 3 (List.length (Trace.entries t));
   Alcotest.(check int) "dropped" 3 (Trace.dropped t);
   Alcotest.(check bool) "t0 entry retained" true
-    (List.exists (fun (e : Trace.entry) -> e.Trace.tid = 0) (Trace.entries t))
+    (List.exists (fun (e : Trace.entry) -> e.Trace.tid = 0) (Trace.entries t));
+  (* the per-thread breakdown names the overflowing ring only, and its
+     drops sum to the total *)
+  Alcotest.(check (list (pair int int)))
+    "dropped_by_thread blames only t1"
+    [ (1, 3) ]
+    (Trace.dropped_by_thread t);
+  Alcotest.(check bool)
+    "drops are mirrored into the metrics registry" true
+    (match
+       List.assoc_opt "trace.dropped_events" (Dssq_obs.Metrics.snapshot ())
+     with
+    | Some n -> n >= 3
+    | None -> false)
 
 let test_heap_emission_and_crash_verdicts () =
   let h = Heap.create () in
