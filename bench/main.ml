@@ -296,6 +296,7 @@ let regress_out =
 let run_regress quick out =
   let marked = Dssq_obs.Metrics.mark () in
   let series = Experiments.regress ~quick () in
+  let recovery = Experiments.recovery_latency ~quick () in
   render
     ~title:
       "Benchmark regression sweep: flush coalescing off vs on (line size 1; \
@@ -307,7 +308,7 @@ let run_regress quick out =
       ~params:[ ("quick", string_of_bool quick); ("line_size", "1") ]
       ~metrics:(Dssq_obs.Metrics.delta_since marked)
       ~provenance:[ ("line_size", "1"); ("coalesce", "off+on") ]
-      series
+      ~recovery series
   in
   (match Dssq_obs.Run_report.write out report with
   | () ->
@@ -345,7 +346,13 @@ let run_regress quick out =
                 (fpo po) (fpo pn))
             off.points on.points
       | _ -> ())
-    [ "sim"; "native" ]
+    [ "sim"; "native" ];
+  List.iter
+    (fun (r : Dssq_obs.Run_report.recovery_point) ->
+      Printf.printf "recovery %s/%s: %.4f ms (%d wal records replayed, %d \
+                     leaked)\n"
+        r.r_object r.r_backend r.r_ms r.r_replayed r.r_leaked)
+    recovery
 
 let regress_cmd =
   Cmd.v
@@ -383,7 +390,7 @@ let run_bechamel () =
   let module R = Dssq_workload.Registry.Make (Dssq_memory.Native) in
   let mk_test (name, mk) =
     let ops : Dssq_core.Queue_intf.ops =
-      mk (Dssq_core.Queue_intf.config ~nthreads:1 ~capacity:4096 ())
+      mk ?system:None (Dssq_core.Queue_intf.config ~nthreads:1 ~capacity:4096 ())
     in
     let i = ref 0 in
     [

@@ -358,6 +358,49 @@ let bench_diff_run old_file new_file tolerance =
   in
   uncompared "old" old_pts new_pts;
   uncompared "new" new_pts old_pts;
+  (* Recovery latency (schema v6): matched on (object, backend),
+     lower-is-better, same tolerance.  Sim points are modelled and
+     deterministic; points present in only one report — e.g. a pre-v6
+     baseline with no recovery list — are not gated on.  A leak in the
+     candidate's audit is always a failure, tolerance or not. *)
+  let rec_pts (r : Dssq_obs.Run_report.t) =
+    List.map
+      (fun (p : Dssq_obs.Run_report.recovery_point) ->
+        ((p.Dssq_obs.Run_report.r_object, p.r_backend), p))
+      r.Dssq_obs.Run_report.recovery
+  in
+  let old_rec = rec_pts old_r in
+  let new_rec = rec_pts new_r in
+  if old_rec <> [] && new_rec <> [] then begin
+    Printf.printf "\n%-26s%12s%12s%10s\n" "recovery (ms, lower=better)" "old"
+      "new" "delta";
+    List.iter
+      (fun ((obj, backend), (po : Dssq_obs.Run_report.recovery_point)) ->
+        match List.assoc_opt (obj, backend) new_rec with
+        | None -> ()
+        | Some pn ->
+            incr compared;
+            let delta =
+              if po.r_ms > 0. then (pn.r_ms -. po.r_ms) /. po.r_ms *. 100.
+              else Float.nan
+            in
+            let regressed =
+              pn.r_ms > po.r_ms *. (1. +. (tolerance /. 100.))
+            in
+            if regressed then incr regressions;
+            Printf.printf "%-26s%12.4f%12.4f%+9.1f%%%s\n"
+              (obj ^ "/" ^ backend) po.r_ms pn.r_ms delta
+              (if regressed then "  REGRESSION" else ""))
+      old_rec
+  end;
+  List.iter
+    (fun ((obj, backend), (p : Dssq_obs.Run_report.recovery_point)) ->
+      if p.r_leaked > 0 then begin
+        incr regressions;
+        Printf.printf "%s/%s: %d node(s) LEAKED after recovery\n" obj backend
+          p.r_leaked
+      end)
+    new_rec;
   if !compared = 0 then begin
     Printf.eprintf
       "dssq: bench-diff: the reports share no (series, x) points\n";
@@ -398,6 +441,106 @@ let bench_diff_cmd =
          "compare two JSON run reports point by point; exit non-zero on a \
           throughput regression beyond --tolerance")
     Term.(const bench_diff_run $ old_file $ new_file $ tolerance)
+
+(* -------------------------------- fsck -------------------------------- *)
+
+(* Build a crashed heap in-process — a detectable queue rooted in a
+   whole-system recovery handle, a deterministic workload, a simulated
+   power loss — and run the strict verifier over it: WAL checksums,
+   root-directory shape, full recovery, leak audit.  [--corrupt] plants
+   damage in the log first: [bitflip] flips one payload bit of a
+   committed interior record (the checksum must catch it), [torn]
+   zeroes the checksum word of the final record so the tail looks
+   half-written.  Exit is non-zero whenever fsck reports an error —
+   the CI negative test asserts exactly that. *)
+let fsck_run corrupt json =
+  let heap = Heap.create ~line_size:8 () in
+  let (module M) = Sim.memory heap in
+  let module R = Dssq_workload.Registry.Make (M) in
+  let sys = R.Sys.create ~nthreads:1 ~wal_lane_capacity:128 () in
+  let ops =
+    R.setup ~system:sys ~mk:"dss-queue" ~init_nodes:4
+      (Dssq_core.Queue_intf.config ~nthreads:1 ~capacity:64 ())
+  in
+  for i = 1 to 24 do
+    ops.Dssq_core.Queue_intf.d_enqueue ~tid:0 i;
+    if i mod 3 = 0 then ignore (ops.Dssq_core.Queue_intf.d_dequeue ~tid:0)
+  done;
+  Sim.apply_crash heap ~evict_p:0.5 ~seed:11;
+  let wal = R.Sys.wal sys in
+  (match corrupt with
+  | "none" -> ()
+  | "bitflip" ->
+      (* one bit of a committed record's payload word *)
+      R.Sys.Wal.corrupt_word wal ~lane:0 ~slot:2 ~word:1
+        ~f:(fun a -> a lxor (1 lsl 13))
+  | "torn" ->
+      (* the final record's checksum never made it: a torn tail *)
+      R.Sys.Wal.corrupt_word wal ~lane:0
+        ~slot:(R.Sys.Wal.appended wal - 1)
+        ~word:3
+        ~f:(fun _ -> 0)
+  | other ->
+      Printf.eprintf "dssq: fsck: unknown --corrupt %S\n" other;
+      exit 2);
+  let emit ~ok ~error (rep : Dssq_core.Recovery.report option) =
+    match json with
+    | "" -> ()
+    | file ->
+        Out_channel.with_open_text file (fun oc ->
+            Out_channel.output_string oc
+              (Json.to_string
+                 (Json.Obj
+                    ([ ("ok", Json.Bool ok) ]
+                    @ (match error with
+                      | None -> []
+                      | Some e -> [ ("error", Json.String e) ])
+                    @
+                    match rep with
+                    | None -> []
+                    | Some r ->
+                        [
+                          ( "replayed",
+                            Json.Int r.Dssq_core.Recovery.replayed );
+                          ("torn_dropped", Json.Int r.torn_dropped);
+                          ("in_flight", Json.Int r.in_flight);
+                          ("roots_attached", Json.Int r.roots_attached);
+                          ("leaked", Json.Int r.leaked_total);
+                        ]))))
+  in
+  match R.Sys.fsck sys with
+  | Ok rep ->
+      Format.printf "fsck: clean@.%a@." Dssq_core.Recovery.pp_report rep;
+      emit ~ok:true ~error:None (Some rep)
+  | Error e ->
+      Printf.printf "fsck: FAILED: %s\n" e;
+      emit ~ok:false ~error:(Some e) None;
+      exit 1
+
+let fsck_cmd =
+  let corrupt =
+    Arg.(
+      value
+      & opt string "none"
+      & info [ "corrupt" ] ~docv:"MODE"
+          ~doc:
+            "plant damage in the WAL before checking: $(b,none), \
+             $(b,bitflip) (flip one payload bit of a committed record), \
+             or $(b,torn) (zero the final record's checksum)")
+  in
+  let json =
+    Arg.(
+      value & opt string ""
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"also write the verdict (and report numbers) as JSON")
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "verify a crashed-then-recovered heap end to end (WAL checksums, \
+          root directory, recovery, leak audit); exit non-zero on any \
+          corruption")
+    Term.(const fsck_run $ corrupt $ json)
 
 (* ------------------------------ metrics ------------------------------ *)
 
@@ -1710,6 +1853,7 @@ let () =
              fig5b_cmd;
              ablate_linesize_cmd;
              bench_diff_cmd;
+             fsck_cmd;
              metrics_cmd;
              zoo_cmd;
              profile_cmd;

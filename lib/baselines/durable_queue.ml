@@ -29,7 +29,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   let no_result = -2
 
   let create ~nthreads ~capacity =
-    let pool = Pool.create ~capacity ~nthreads in
+    let pool = Pool.create ~capacity ~nthreads () in
     let sentinel = Pool.alloc pool ~tid:0 ~value:0 in
     M.flush (Pool.value pool sentinel);
     M.flush (Pool.next pool sentinel);

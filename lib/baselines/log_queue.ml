@@ -43,7 +43,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   }
 
   let create ~nthreads ~capacity =
-    let pool = Pool.create ~capacity ~nthreads in
+    let pool = Pool.create ~capacity ~nthreads () in
     let sentinel = Pool.alloc pool ~tid:0 ~value:0 in
     M.flush (Pool.value pool sentinel);
     M.flush (Pool.next pool sentinel);

@@ -124,7 +124,19 @@ let wrap mutation (module M : Intf.S) : (module Intf.S) =
           mk cname c)
         (M.alloc_block ~name vs)
 
-    let hits pat c = contains c.cname pat
+    (* Recovery-infrastructure cells — the write-ahead log's slot words
+       ("wal[i][j]") and the root directory ("roots.*") — are exempt
+       from every mutation.  Planted bugs model object-code mistakes;
+       mutating the log would surface as [Wal.Corrupted] at reattach
+       instead of the oracle violation the regression suite asserts. *)
+    let infra c =
+      let has_prefix p =
+        String.length c.cname >= String.length p
+        && String.sub c.cname 0 (String.length p) = p
+      in
+      has_prefix "wal" || has_prefix "roots"
+
+    let hits pat c = (not (infra c)) && contains c.cname pat
 
     let read c =
       spend ();
@@ -144,7 +156,7 @@ let wrap mutation (module M : Intf.S) : (module Intf.S) =
     let flush c =
       spend ();
       match mutation with
-      | Unfenced -> ()
+      | Unfenced when not (infra c) -> ()
       | Skip_flush pat when hits pat c -> ()
       | _ -> M.flush c.inner
 

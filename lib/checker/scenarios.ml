@@ -68,8 +68,12 @@ let default_params =
 
 (* Every scenario presents the same face to the explorer: a bag of
    threads plus a [finish] closure holding the whole post-execution
-   protocol and the oracle call. *)
-type world = { finish : crashed:bool -> unit }
+   protocol and the oracle call, and a [reattach] closure the explorer
+   invokes on every crashed execution (before [finish]) — the
+   system-level [Recovery.reattach] that replays the WAL, re-attaches
+   the root directory, runs every registered recover, and raises if
+   the post-recovery audit finds a leaked node. *)
+type world = { finish : crashed:bool -> unit; reattach : unit -> unit }
 
 type case = {
   name : string;  (** e.g. ["queue/enq-deq/crash/ls1"] *)
@@ -88,7 +92,9 @@ let explorer ~(params : params) ~reduction setup : world Explore.t =
   Explore.make ~crashes:params.crashes ~adversary:params.adversary
     ~max_crash_lines:params.max_crash_lines
     ~crash_samples:params.crash_samples ~seed:params.seed ~reduction
-    ~limit:params.limit ~max_preemptions:params.max_preemptions ~setup
+    ~limit:params.limit ~max_preemptions:params.max_preemptions
+    ~on_crash:(fun w _heap -> w.reattach ())
+    ~setup
     ~check:(fun w _heap ~crashed -> w.finish ~crashed)
     ()
 
@@ -120,15 +126,41 @@ let memory ~(params : params) heap =
 (* ---------------------------------------------------------------------- *)
 (* Queue and stack share the Queue_intf.resolved vocabulary.               *)
 
-let queue_progs = [ "enq-deq"; "enq-enq"; "enq-enq-deq" ]
+let queue_progs =
+  [ "enq-deq"; "enq-enq"; "enq-enq-deq"; "mid-alloc"; "mid-link" ]
 
 let queue_setup ~(params : params) ~prog () =
   let heap = Heap.create ~line_size:params.line_size () in
   let (module M) = memory ~params heap in
   let module Q = Dssq_core.Dss_queue.Make (M) in
+  let module Sys = Dssq_core.Recovery.Make (M) in
+  let sys = Sys.create ~nthreads:3 ~wal_lane_capacity:16 ~root_capacity:4 () in
   (* [reclaim:false] keeps epoch-based reclamation out of the explored
-     step space; node recycling has its own tests. *)
-  let q = Q.create ~reclaim:false ~nthreads:3 ~capacity:8 () in
+     step space; node recycling has its own tests.  The pool's
+     alloc/free intents go through the system WAL (log-then-link), so
+     crashes landing mid-alloc or mid-log-append are recoverable. *)
+  let q =
+    Q.create ~wal:(Sys.wal sys)
+      ~pool_id:(Sys.fresh_pool_id sys)
+      ~reclaim:false ~nthreads:3 ~capacity:8 ()
+  in
+  ignore
+    (Sys.register sys ~name:"queue"
+       ~audit:(fun () -> Dssq_core.Recovery.audit_of_pool (Q.audit q))
+       (fun () -> Q.recover q)
+      : int);
+  let reattach () =
+    let r = Sys.reattach sys in
+    if r.Dssq_core.Recovery.leaked_total > 0 then
+      failwith
+        (Printf.sprintf "queue: %d node(s) leaked after reattach"
+           r.Dssq_core.Recovery.leaked_total);
+    match Q.recovered_violations q with
+    | [] -> ()
+    | vs ->
+        failwith
+          ("queue: recovered-structure violations: " ^ String.concat "; " vs)
+  in
   let rec_ = Recorder.create () in
   let spec = Dss_spec.make ~nthreads:3 (Specs.Queue.spec ()) in
   let record ~tid op f = ignore (Recorder.record rec_ ~tid op f) in
@@ -179,13 +211,16 @@ let queue_setup ~(params : params) ~prog () =
         deq_response !v);
     !v
   in
+  let base_enq ~tid v =
+    record ~tid
+      (Dss_spec.Base (Specs.Queue.Enqueue v))
+      (fun () ->
+        Q.enqueue q ~tid v;
+        Dss_spec.Ret Specs.Queue.Ok)
+  in
   (* Seed one element in direct mode so dequeues race over both list
      shapes (empty and non-empty). *)
-  record ~tid:2
-    (Dss_spec.Base (Specs.Queue.Enqueue 90))
-    (fun () ->
-      Q.enqueue q ~tid:2 90;
-      Dss_spec.Ret Specs.Queue.Ok);
+  base_enq ~tid:2 90;
   let threads, tids =
     match prog with
     | "enq-deq" ->
@@ -207,6 +242,20 @@ let queue_setup ~(params : params) ~prog () =
             (fun () -> exec_deq ~tid:2);
           ],
           [ 0; 1; 2 ] )
+    (* The whole-recovery cases: a plain enqueue (and dequeue) explored
+       end to end — allocation, WAL append, link, tail swing — so the
+       crash adversary can land mid-alloc and mid-log-append, between
+       the logged intent and the node becoming reachable.  Single
+       explored thread: these probe crash coverage, not races (the
+       prep/exec programs above cover those). *)
+    | "mid-alloc" -> ([ (fun () -> base_enq ~tid:0 5) ], [])
+    | "mid-link" ->
+        ( [
+            (fun () ->
+              base_enq ~tid:0 5;
+              ignore (base_deq ~tid:0));
+          ],
+          [] )
     | p -> invalid_arg ("Scenarios.queue_setup: unknown program " ^ p)
   in
   let drain () =
@@ -230,8 +279,11 @@ let queue_setup ~(params : params) ~prog () =
        resolve response. *)
     (try
        if crashed then begin
+         (* [reattach] already ran: the explorer's crash hook routes
+            every crashed execution through the system-level recovery
+            (WAL replay, root re-attach, Q.recover, leak audit) before
+            this protocol resumes. *)
          Recorder.crash rec_;
-         Q.recover q;
          List.iter (fun tid -> resolve_retry ~tid) tids
        end;
        drain ()
@@ -242,7 +294,7 @@ let queue_setup ~(params : params) ~prog () =
        Recorder.crash rec_);
     Oracle.assert_linearizable ~mode:params.mode spec (Recorder.history rec_)
   in
-  { Explore.ctx = { finish }; heap; threads }
+  { Explore.ctx = { finish; reattach }; heap; threads }
 
 let stack_progs = [ "push-pop"; "push-push" ]
 
@@ -250,7 +302,25 @@ let stack_setup ~(params : params) ~prog () =
   let heap = Heap.create ~line_size:params.line_size () in
   let (module M) = memory ~params heap in
   let module S = Dssq_core.Dss_stack.Make (M) in
-  let s = S.create ~reclaim:false ~nthreads:3 ~capacity:8 () in
+  let module Sys = Dssq_core.Recovery.Make (M) in
+  let sys = Sys.create ~nthreads:3 ~wal_lane_capacity:16 ~root_capacity:4 () in
+  let s =
+    S.create ~wal:(Sys.wal sys)
+      ~pool_id:(Sys.fresh_pool_id sys)
+      ~reclaim:false ~nthreads:3 ~capacity:8 ()
+  in
+  ignore
+    (Sys.register sys ~name:"stack"
+       ~audit:(fun () -> Dssq_core.Recovery.audit_of_pool (S.audit s))
+       (fun () -> S.recover s)
+      : int);
+  let reattach () =
+    let r = Sys.reattach sys in
+    if r.Dssq_core.Recovery.leaked_total > 0 then
+      failwith
+        (Printf.sprintf "stack: %d node(s) leaked after reattach"
+           r.Dssq_core.Recovery.leaked_total)
+  in
   let rec_ = Recorder.create () in
   let spec = Dss_spec.make ~nthreads:3 (Specs.Stack.spec ()) in
   let record ~tid op f = ignore (Recorder.record rec_ ~tid op f) in
@@ -338,7 +408,6 @@ let stack_setup ~(params : params) ~prog () =
     (try
        if crashed then begin
          Recorder.crash rec_;
-         S.recover s;
          List.iter (fun tid -> resolve_retry ~tid) tids
        end;
        drain ()
@@ -349,7 +418,7 @@ let stack_setup ~(params : params) ~prog () =
        Recorder.crash rec_);
     Oracle.assert_linearizable ~mode:params.mode spec (Recorder.history rec_)
   in
-  { Explore.ctx = { finish }; heap; threads }
+  { Explore.ctx = { finish; reattach }; heap; threads }
 
 (* ---------------------------------------------------------------------- *)
 (* Register.                                                               *)
@@ -360,7 +429,13 @@ let register_setup ~(params : params) ~prog () =
   let heap = Heap.create ~line_size:params.line_size () in
   let (module M) = memory ~params heap in
   let module R = Dssq_core.Dss_register.Make (M) in
+  let module Sys = Dssq_core.Recovery.Make (M) in
+  let sys = Sys.create ~nthreads:3 ~wal_lane_capacity:8 ~root_capacity:4 () in
   let r = R.create ~init:0 ~nthreads:3 () in
+  ignore (Sys.register sys ~name:"register" (fun () -> R.recover r) : int);
+  let reattach () =
+    ignore (Sys.reattach sys : Dssq_core.Recovery.report)
+  in
   let rec_ = Recorder.create () in
   let spec = Dss_spec.make ~nthreads:3 (Specs.Register.spec ~init:0 ()) in
   let record ~tid op f = ignore (Recorder.record rec_ ~tid op f) in
@@ -421,7 +496,6 @@ let register_setup ~(params : params) ~prog () =
     (try
        if crashed then begin
          Recorder.crash rec_;
-         R.recover r;
          List.iter (fun tid -> resolve_retry ~tid) tids
        end;
        base_read ~tid:2
@@ -432,7 +506,7 @@ let register_setup ~(params : params) ~prog () =
        Recorder.crash rec_);
     Oracle.assert_linearizable ~mode:params.mode spec (Recorder.history rec_)
   in
-  { Explore.ctx = { finish }; heap; threads }
+  { Explore.ctx = { finish; reattach }; heap; threads }
 
 (* ---------------------------------------------------------------------- *)
 (* Hash map: plain map linearizability; resolve drives retries only.       *)
@@ -443,7 +517,13 @@ let hashmap_setup ~(params : params) ~prog () =
   let heap = Heap.create ~line_size:params.line_size () in
   let (module M) = memory ~params heap in
   let module H = Dssq_core.Dss_hashmap.Make (M) in
+  let module Sys = Dssq_core.Recovery.Make (M) in
+  let sys = Sys.create ~nthreads:3 ~wal_lane_capacity:8 ~root_capacity:4 () in
   let h = H.create ~nthreads:3 ~nbuckets:8 () in
+  ignore (Sys.register sys ~name:"hashmap" (fun () -> H.recover h) : int);
+  let reattach () =
+    ignore (Sys.reattach sys : Dssq_core.Recovery.report)
+  in
   let rec_ = Recorder.create () in
   let spec = Specs.Map.spec () in
   let record ~tid op f = ignore (Recorder.record rec_ ~tid op f) in
@@ -484,7 +564,6 @@ let hashmap_setup ~(params : params) ~prog () =
     (try
        if crashed then begin
          Recorder.crash rec_;
-         H.recover h;
          List.iter (fun tid -> resolve_retry ~tid) tids
        end;
        find ~tid:2 1;
@@ -496,7 +575,7 @@ let hashmap_setup ~(params : params) ~prog () =
        Recorder.crash rec_);
     Oracle.assert_linearizable ~mode:params.mode spec (Recorder.history rec_)
   in
-  { Explore.ctx = { finish }; heap; threads }
+  { Explore.ctx = { finish; reattach }; heap; threads }
 
 (* ---------------------------------------------------------------------- *)
 (* Engine-made objects (Detectable.Make zoo): one generic scenario         *)
@@ -537,6 +616,12 @@ let engine_setup (type s op r) ~(params : params) ~(spec : (s, op, r) Spec.t)
   let heap = Heap.create ~line_size:params.line_size () in
   let mem = memory ~params heap in
   let o = instantiate mem in
+  let module MM = (val mem) in
+  let module Sys = Dssq_core.Recovery.Make (MM) in
+  let sys = Sys.create ~nthreads:3 ~wal_lane_capacity:8 ~root_capacity:4 () in
+  ignore
+    (Sys.register sys ~name:spec.Spec.name (fun () -> o.e_recover ()) : int);
+  let reattach () = ignore (Sys.reattach sys : Dssq_core.Recovery.report) in
   let rec_ = Recorder.create () in
   let dspec = Dss_spec.make ~nthreads:3 spec in
   let record ~tid op f = ignore (Recorder.record rec_ ~tid op f) in
@@ -572,7 +657,6 @@ let engine_setup (type s op r) ~(params : params) ~(spec : (s, op, r) Spec.t)
     (try
        if crashed then begin
          Recorder.crash rec_;
-         o.e_recover ();
          List.iter (fun tid -> resolve_retry ~tid) tids
        end;
        let otid, obs = eprog.observe in
@@ -583,7 +667,7 @@ let engine_setup (type s op r) ~(params : params) ~(spec : (s, op, r) Spec.t)
        Recorder.crash rec_);
     Oracle.assert_linearizable ~mode:params.mode dspec (Recorder.history rec_)
   in
-  { Explore.ctx = { finish }; heap; threads }
+  { Explore.ctx = { finish; reattach }; heap; threads }
 
 let swap_progs = [ "swap-swap"; "swap-read" ]
 
@@ -747,7 +831,12 @@ let registry =
     {
       d_obj = "queue";
       d_progs = queue_progs;
-      d_nthreads = (fun prog -> if prog = "enq-enq-deq" then 3 else 2);
+      d_nthreads =
+        (fun prog ->
+          match prog with
+          | "enq-enq-deq" -> 3
+          | "mid-alloc" | "mid-link" -> 1
+          | _ -> 2);
       d_setup = queue_setup;
     };
     {

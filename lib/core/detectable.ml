@@ -307,8 +307,8 @@ module Linked (M : Dssq_memory.Memory_intf.S) = struct
       nthreads : int;
     }
 
-    let create ~xname ~reclaim ~nthreads ~capacity () =
-      let pool = Pool.create ~capacity ~nthreads in
+    let create ?wal ?pool_id ~xname ~reclaim ~nthreads ~capacity () =
+      let pool = Pool.create ?wal ?pool_id ~capacity ~nthreads () in
       {
         pool;
         x =
@@ -460,6 +460,30 @@ module Linked (M : Dssq_memory.Memory_intf.S) = struct
       done;
       Pool.rebuild_free_lists a.pool ~keep:(fun i -> keep.(i));
       Profile.end_span ~tid:(-1) sp
+
+    (* The keep predicate [rebuild] uses, recomputed without mutating
+       anything: reachable from [new_root], referenced by some X entry,
+       plus whatever [extra] pins.  This is the reference partition the
+       post-recovery audit checks the rebuilt free lists against. *)
+    let keep_array (a : Announce.t) ~new_root ~extra =
+      let keep = reachable_from a new_root in
+      let defer_to _i n = keep.(n) <- true in
+      for i = 0 to a.nthreads - 1 do
+        let x = M.read a.x.(i) in
+        let d = Tagged.idx x in
+        if d <> Tagged.null then begin
+          defer_to i d;
+          extra ~defer:defer_to i x
+        end
+      done;
+      keep
+
+    (** Post-recovery leak audit (read-only): check the free lists and
+        the kept set partition the pool exactly.  Call after the
+        object's [recover] has run. *)
+    let audit (a : Announce.t) ~new_root ~extra =
+      let keep = keep_array a ~new_root ~extra in
+      Pool.audit a.pool ~keep:(fun i -> keep.(i))
   end
 end
 

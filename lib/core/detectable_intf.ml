@@ -97,8 +97,16 @@ end
 module type LINKED_CORE = sig
   type t
 
+  type wal
+  (** The write-ahead log type of the object's node pool
+      ([Node_pool.Make(M).Wal.t]); passing one routes every node
+      alloc/free through the log-then-link discipline. *)
+
   val name : string
-  val create : ?reclaim:bool -> nthreads:int -> capacity:int -> unit -> t
+
+  val create :
+    ?wal:wal -> ?pool_id:int -> ?reclaim:bool -> nthreads:int ->
+    capacity:int -> unit -> t
 
   val resolve : t -> tid:int -> Queue_intf.resolved
   (** The [(A[p], R[p])] of the calling thread; total and idempotent. *)
@@ -108,6 +116,10 @@ module type LINKED_CORE = sig
       after a crash and before threads resume. *)
 
   val stats : t -> stats
+
+  val audit : t -> Node_pool.audit_report
+  (** Post-recovery leak audit (read-only): check the rebuilt free
+      lists and the kept node set partition the pool exactly. *)
 
   (** {1 Introspection (quiescent use: tests, debugging)} *)
 

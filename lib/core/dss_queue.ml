@@ -52,8 +52,8 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     tail : int M.cell;
   }
 
-  let create ?(reclaim = true) ~nthreads ~capacity () =
-    let an = A.create ~xname:"X" ~reclaim ~nthreads ~capacity () in
+  let create ?wal ?pool_id ?(reclaim = true) ~nthreads ~capacity () =
+    let an = A.create ?wal ?pool_id ~xname:"X" ~reclaim ~nthreads ~capacity () in
     let sentinel = Pool.alloc an.A.pool ~tid:0 ~value:0 in
     M.flush (Pool.value an.A.pool sentinel);
     M.flush (Pool.next an.A.pool sentinel);
@@ -70,9 +70,9 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     M.drain ();
     { an; head; tail }
 
-  let of_config (cfg : Queue_intf.config) =
-    create ~reclaim:cfg.reclaim ~nthreads:cfg.nthreads ~capacity:cfg.capacity
-      ()
+  let of_config ?wal ?pool_id (cfg : Queue_intf.config) =
+    create ?wal ?pool_id ~reclaim:cfg.reclaim ~nthreads:cfg.nthreads
+      ~capacity:cfg.capacity ()
 
   let pool t = t.an.A.pool
   let x t = t.an.A.x
@@ -298,6 +298,14 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       decentralized [recover_thread]-style recovery. *)
   let reset_volatile t = A.reset_volatile t.an
 
+  (* The extra-pin closure recovery hands to [R.rebuild]; the audit must
+     use the same one so both compute the same partition. *)
+  let extra_pins t ~defer i xw =
+    if Tagged.has xw Tagged.deq_prep then begin
+      let succ = M.read (Pool.next (pool t) (Tagged.idx xw)) in
+      if succ <> Tagged.null then defer i succ
+    end
+
   (** Centralized single-threaded recovery, run after the crash semantics
       have been applied to the heap and before application threads
       resume.  Extends Figure 6 with free-list reconstruction (the paper:
@@ -331,13 +339,17 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
        generic pass keeps, a DEQ-prepared X entry also pins its saved
        predecessor's successor (resolve-dequeue reads X->next). *)
     R.rebuild t.an ~new_root:new_head ~extra:(fun ~defer i xw ->
-        if Tagged.has xw Tagged.deq_prep then begin
-          let succ = M.read (Pool.next (pool t) (Tagged.idx xw)) in
-          if succ <> Tagged.null then defer i succ
-        end);
+        extra_pins t ~defer i xw);
     M.drain ();
     Profile.end_span ~tid:(-1) sp;
     Trace.recovery_end ()
+
+  (** Post-recovery leak audit (read-only): free lists vs the kept set
+      — reachable from head, X-referenced, DEQ successors.  See
+      {!Node_pool.audit_report}. *)
+  let audit t =
+    R.audit t.an ~new_root:(M.read t.head) ~extra:(fun ~defer i xw ->
+        extra_pins t ~defer i xw)
 
   (** Decentralized recovery (Section 3.3): thread [tid] repairs only its
       own X entry, with no centralized phase and no auxiliary state.

@@ -16,9 +16,12 @@ module Make (M : Dssq_memory.Memory_intf.S) : sig
   (** The shared detectable-linked-structure core (name, [create],
       [resolve], [recover], [stats], introspection) — see
       {!Detectable_intf.LINKED_CORE}. *)
-  include Detectable_intf.LINKED_CORE with type t := t
+  include
+    Detectable_intf.LINKED_CORE
+      with type t := t
+       and type wal := Pool.Wal.t
 
-  val of_config : Queue_intf.config -> t
+  val of_config : ?wal:Pool.Wal.t -> ?pool_id:int -> Queue_intf.config -> t
   (** {!create} through the unified {!Queue_intf.config} record. *)
 
   (** {1 Non-detectable operations (Axiom 4)} *)

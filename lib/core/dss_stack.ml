@@ -41,8 +41,10 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     top : int M.cell;
   }
 
-  let create ?(reclaim = true) ~nthreads ~capacity () =
-    let an = A.create ~xname:"Xs" ~reclaim ~nthreads ~capacity () in
+  let create ?wal ?pool_id ?(reclaim = true) ~nthreads ~capacity () =
+    let an =
+      A.create ?wal ?pool_id ~xname:"Xs" ~reclaim ~nthreads ~capacity ()
+    in
     let top =
       M.alloc ~name:"top" ~placement:Dssq_memory.Memory_intf.Line.Isolated
         Tagged.null
@@ -225,6 +227,13 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     R.rebuild t.an ~new_root:new_top ~extra:(fun ~defer:_ _ _ -> ());
     M.drain ();
     Profile.end_span ~tid:(-1) sp
+
+  (** Post-recovery leak audit (read-only): free lists vs the kept set
+      — reachable from top plus X-referenced nodes. *)
+  let audit t =
+    R.audit t.an
+      ~new_root:(idx_of (M.read t.top))
+      ~extra:(fun ~defer:_ _ _ -> ())
 
   (* ----------------------- introspection ---------------------------- *)
 

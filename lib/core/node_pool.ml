@@ -20,8 +20,22 @@
 
 exception Pool_exhausted of int (* tid *)
 
+(** Result of a post-recovery free-list audit: how [1 .. capacity]
+    partitions between the rebuilt free lists and the kept (reachable
+    or pinned) set.  A correct recovery leaves both [leaked] (in
+    neither) and [dual] (in both, or double-freed) empty, and the
+    log-then-link discipline makes that so by construction — the audit
+    is the checkable witness. *)
+type audit_report = {
+  kept_nodes : int;
+  free_nodes : int;
+  leaked : int list;
+  dual : int list;
+}
+
 module Make (M : Dssq_memory.Memory_intf.S) = struct
   module Padded = Dssq_memory.Memory_intf.Padded
+  module Wal = Dssq_pmem.Wal.Make (M)
 
   type t = {
     value : int M.cell array;
@@ -33,6 +47,10 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
         (* per-thread shards, each padded to cache-line stride: adjacent
            threads' heads would otherwise share a physical line and every
            push/pop would ping-pong it between domains *)
+    wal : Wal.t option;
+        (* when present, every alloc/free intent is durably logged
+           before the node state changes (log-then-link) *)
+    pool_id : int;  (* distinguishes pools sharing one log *)
   }
 
   let home t i = (i - 1) mod t.nthreads
@@ -52,7 +70,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
         if Padded.compare_and_set lists.(owner) cur rest then Some i
         else pop_free lists owner
 
-  let create ~capacity ~nthreads =
+  let create ?wal ?(pool_id = 0) ~capacity ~nthreads () =
     (* Each node's three words are allocated as one block, so they share
        a persist line (at the default line size): persisting a freshly
        initialized node costs one write-back, not three.  Blocks start at
@@ -83,21 +101,38 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       capacity;
       nthreads;
       free_lists;
+      wal;
+      pool_id;
     }
 
   let value t i = t.value.(i)
   let next t i = t.next.(i)
   let deq_tid t i = t.deq_tid.(i)
 
+  (* Log-then-link: durably record the transition before the node's
+     state changes.  The lane is the calling thread, so concurrent
+     allocators never contend on a log slot. *)
+  let log t ~tid kind i =
+    match t.wal with
+    | None -> ()
+    | Some w -> Wal.append w ~lane:tid ~kind ~a:i ~b:t.pool_id
+
   (** Pop a node from [tid]'s free list and initialize its [value] and
       [next] fields (volatile only; callers flush per their persistence
       protocol).  [deq_tid] is already -1, persistently: it is reset when
       the node is freed, so a recycled node can never be observed marked
-      after it becomes reachable. *)
+      after it becomes reachable.
+
+      With a WAL attached, the allocation intent is logged and persisted
+      {e before} the node is touched: a crash at any point between here
+      and the node becoming reachable replays the intent, finds the node
+      unreachable, and returns it to a free list — leaking it is
+      impossible by construction. *)
   let alloc t ~tid ~value =
     match pop_free t.free_lists tid with
     | None -> raise (Pool_exhausted tid)
     | Some i ->
+        log t ~tid Dssq_pmem.Wal.Codec.kind_alloc i;
         M.write t.value.(i) value;
         M.write t.next.(i) Tagged.null;
         i
@@ -128,7 +163,8 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   (** Return node [i] to its home thread's free list (regardless of who
       retired it).  The unmarked state is made persistent here, off the
       enqueue critical path. *)
-  let free t ~tid:_ i =
+  let free t ~tid i =
+    log t ~tid Dssq_pmem.Wal.Codec.kind_free i;
     M.write t.deq_tid.(i) (-1);
     M.flush t.deq_tid.(i);
     (* The unmark must be durable before the node becomes allocatable:
@@ -160,4 +196,30 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       end
     done;
     M.drain ()
+
+  (** Check that [keep] and the current free lists partition
+      [1 .. capacity] exactly: no node both free and kept, none in
+      neither, none on two free lists.  Read-only; run after
+      {!rebuild_free_lists} to certify a recovery leaked nothing. *)
+  let audit t ~keep =
+    let free_count = Array.make (t.capacity + 1) 0 in
+    Array.iter
+      (fun l ->
+        List.iter (fun i -> free_count.(i) <- free_count.(i) + 1) (Padded.get l))
+      t.free_lists;
+    let leaked = ref [] and dual = ref [] in
+    let kept_nodes = ref 0 and free_nodes = ref 0 in
+    for i = t.capacity downto 1 do
+      let k = keep i and f = free_count.(i) in
+      if f > 1 || (k && f > 0) then dual := i :: !dual
+      else if k then incr kept_nodes
+      else if f = 1 then incr free_nodes
+      else leaked := i :: !leaked
+    done;
+    {
+      kept_nodes = !kept_nodes;
+      free_nodes = !free_nodes;
+      leaked = !leaked;
+      dual = !dual;
+    }
 end

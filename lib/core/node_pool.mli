@@ -12,7 +12,19 @@
 
 exception Pool_exhausted of int  (** carries the starved thread id *)
 
+(** Post-recovery free-list audit: a correct recovery leaves [leaked]
+    (nodes in neither the kept set nor any free list) and [dual]
+    (nodes in both, or on two free lists) empty. *)
+type audit_report = {
+  kept_nodes : int;
+  free_nodes : int;
+  leaked : int list;
+  dual : int list;
+}
+
 module Make (M : Dssq_memory.Memory_intf.S) : sig
+  module Wal : module type of Dssq_pmem.Wal.Make (M)
+
   type t = {
     value : int M.cell array;
     next : int M.cell array;
@@ -20,9 +32,15 @@ module Make (M : Dssq_memory.Memory_intf.S) : sig
     capacity : int;
     nthreads : int;
     free_lists : int list Dssq_memory.Memory_intf.Padded.t array;
+    wal : Wal.t option;
+    pool_id : int;
   }
 
-  val create : capacity:int -> nthreads:int -> t
+  val create :
+    ?wal:Wal.t -> ?pool_id:int -> capacity:int -> nthreads:int -> unit -> t
+  (** With [?wal], every alloc/free intent is appended (lane = calling
+      thread, payload = node index and [pool_id]) and persisted before
+      the node's state changes — the log-then-link discipline. *)
 
   val value : t -> int -> int M.cell
   val next : t -> int -> int M.cell
@@ -48,4 +66,8 @@ module Make (M : Dssq_memory.Memory_intf.S) : sig
   val rebuild_free_lists : t -> keep:(int -> bool) -> unit
   (** Post-crash: every node for which [keep] is false becomes available
       again, striped across threads, with its fields reset persistently. *)
+
+  val audit : t -> keep:(int -> bool) -> audit_report
+  (** Read-only partition check of [1 .. capacity] against [keep] and
+      the current free lists; see {!audit_report}. *)
 end

@@ -27,8 +27,13 @@ let schema_name = "dssq.run-report"
    v5: top level gained ["provenance"], a string map of run conditions
        (git commit, line size, coalescing flag, thread count, ...) so
        archived reports say how they were produced.  v1-v4 documents
-       still decode: the missing key reads as the empty map. *)
-let schema_version = 5
+       still decode: the missing key reads as the empty map.
+   v6: top level gained ["recovery"], a list of crash-to-reattach
+       latency points (object, backend, milliseconds, WAL records
+       replayed, nodes leaked) produced by the recovery-latency
+       experiment.  v1-v5 documents still decode: the missing key reads
+       as the empty list. *)
+let schema_version = 6
 
 (** One instrumented measurement (one repeat at one x). *)
 type sample = {
@@ -50,6 +55,17 @@ type point = {
 
 type series = { label : string; points : point list }
 
+(** One crash-to-reattach measurement: how long a system-level
+    [Recovery.reattach] took for one registered object, with the log
+    replay volume and the leak audit's verdict. *)
+type recovery_point = {
+  r_object : string;  (** registry name, e.g. ["dss-queue"] *)
+  r_backend : string;  (** ["sim"] (modelled ns) or ["native"] *)
+  r_ms : float;  (** crash-to-reattach latency, milliseconds *)
+  r_replayed : int;  (** WAL records replayed during reattach *)
+  r_leaked : int;  (** nodes the post-recovery audit found leaked *)
+}
+
 type t = {
   version : int;
   git_rev : string;
@@ -61,6 +77,7 @@ type t = {
   series : series list;
   metrics : (string * int) list;
   provenance : (string * string) list;
+  recovery : recovery_point list;
 }
 
 let point_of_samples ~x (samples : sample list) : point =
@@ -91,8 +108,8 @@ let git_rev () =
     | _ -> "unknown"
   with _ -> "unknown"
 
-let make ?(params = []) ?metrics ?git_rev:rev ?(provenance = []) ~backend
-    ~experiment ~x_label ~y_label series =
+let make ?(params = []) ?metrics ?git_rev:rev ?(provenance = [])
+    ?(recovery = []) ~backend ~experiment ~x_label ~y_label series =
   {
     version = schema_version;
     git_rev = (match rev with Some r -> r | None -> git_rev ());
@@ -104,6 +121,7 @@ let make ?(params = []) ?metrics ?git_rev:rev ?(provenance = []) ~backend
     series;
     metrics = (match metrics with Some m -> m | None -> Metrics.snapshot ());
     provenance;
+    recovery;
   }
 
 (* ------------------------------ equality ------------------------------ *)
@@ -121,7 +139,7 @@ let equal a b =
   a.version = b.version && a.git_rev = b.git_rev && a.backend = b.backend
   && a.experiment = b.experiment && a.x_label = b.x_label
   && a.y_label = b.y_label && a.params = b.params && a.metrics = b.metrics
-  && a.provenance = b.provenance
+  && a.provenance = b.provenance && a.recovery = b.recovery
   && List.length a.series = List.length b.series
   && List.for_all2 equal_series a.series b.series
 
@@ -171,6 +189,25 @@ let series_of_json j =
     points = List.map point_of_json (Json.to_list (Json.member "points" j));
   }
 
+let recovery_point_to_json r : Json.t =
+  Json.Obj
+    [
+      ("object", Json.String r.r_object);
+      ("backend", Json.String r.r_backend);
+      ("ms", Json.Float r.r_ms);
+      ("replayed", Json.Int r.r_replayed);
+      ("leaked", Json.Int r.r_leaked);
+    ]
+
+let recovery_point_of_json j =
+  {
+    r_object = Json.to_str (Json.member "object" j);
+    r_backend = Json.to_str (Json.member "backend" j);
+    r_ms = Json.to_float (Json.member "ms" j);
+    r_replayed = Json.to_int (Json.member "replayed" j);
+    r_leaked = Json.to_int (Json.member "leaked" j);
+  }
+
 let to_json t : Json.t =
   Json.Obj
     [
@@ -188,6 +225,7 @@ let to_json t : Json.t =
         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) t.metrics) );
       ( "provenance",
         Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) t.provenance) );
+      ("recovery", Json.List (List.map recovery_point_to_json t.recovery));
     ]
 
 let of_json j =
@@ -224,6 +262,11 @@ let of_json j =
       (match Json.member "provenance" j with
       | Json.Null -> []
       | p -> List.map (fun (k, v) -> (k, Json.to_str v)) (Json.to_obj p));
+    recovery =
+      (* absent before v6: the missing key reads as the empty list *)
+      (match Json.member "recovery" j with
+      | Json.Null -> []
+      | r -> List.map recovery_point_of_json (Json.to_list r));
   }
 
 let to_string t = Json.to_string (to_json t)
@@ -266,4 +309,9 @@ let pp fmt t =
           | _ -> ());
           Format.fprintf fmt "@.")
         s.points)
-    t.series
+    t.series;
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "  recovery %s/%s: %.3f ms (%d replayed, %d leaked)@."
+        r.r_object r.r_backend r.r_ms r.r_replayed r.r_leaked)
+    t.recovery

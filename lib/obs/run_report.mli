@@ -8,8 +8,9 @@ module MI = Dssq_memory.Memory_intf
 val schema_name : string
 
 val schema_version : int
-(** Currently 5 (v5 added the top-level [provenance] map); v1-v4
-    documents still decode, missing keys reading as 0 / the empty map. *)
+(** Currently 6 (v6 added the top-level [recovery] list of
+    crash-to-reattach latency points); v1-v5 documents still decode,
+    missing keys reading as 0 / the empty map / the empty list. *)
 
 (** One instrumented measurement (one repeat at one x). *)
 type sample = {
@@ -30,6 +31,16 @@ type point = {
 
 type series = { label : string; points : point list }
 
+(** One crash-to-reattach measurement: how long a system-level
+    [Recovery.reattach] took for one registered object. *)
+type recovery_point = {
+  r_object : string;  (** registry name, e.g. ["dss-queue"] *)
+  r_backend : string;  (** ["sim"] (modelled ns) or ["native"] *)
+  r_ms : float;  (** crash-to-reattach latency, milliseconds *)
+  r_replayed : int;  (** WAL records replayed during reattach *)
+  r_leaked : int;  (** nodes the post-recovery audit found leaked *)
+}
+
 type t = {
   version : int;
   git_rev : string;
@@ -42,6 +53,8 @@ type t = {
   metrics : (string * int) list;
   provenance : (string * string) list;
       (** run conditions: git commit, line size, coalescing, threads *)
+  recovery : recovery_point list;
+      (** crash-to-reattach latency points (empty before schema v6) *)
 }
 
 val point_of_samples : x:int -> sample list -> point
@@ -56,6 +69,7 @@ val make :
   ?metrics:(string * int) list ->
   ?git_rev:string ->
   ?provenance:(string * string) list ->
+  ?recovery:recovery_point list ->
   backend:string ->
   experiment:string ->
   x_label:string ->
@@ -63,7 +77,7 @@ val make :
   series list ->
   t
 (** Defaults: [git_rev] probed from the working tree, [metrics] from
-    {!Metrics.snapshot}, [provenance] empty. *)
+    {!Metrics.snapshot}, [provenance] and [recovery] empty. *)
 
 val equal : t -> t -> bool
 

@@ -1,0 +1,29 @@
+(** Persistent named root directory: fixed-capacity durable
+    (name, value) entries with a crash-safe registration order
+    (entry before count).  See roots.ml. *)
+
+module Make (M : Dssq_memory.Memory_intf.S) : sig
+  type t
+
+  val create : ?name:string -> capacity:int -> unit -> t
+  val capacity : t -> int
+  val count : t -> int
+
+  val register : t -> name:string -> value:int -> int
+  (** Durably add (or update) a named root; returns its entry index.
+      Raises [Invalid_argument] when the directory is full. *)
+
+  val index_of : t -> string -> int option
+  val lookup : t -> string -> int option
+  val name_at : t -> int -> string
+  val value_at : t -> int -> int
+  val set : t -> int -> int -> unit
+  val names : t -> string list
+
+  val verify : t -> (int, string) result
+  (** [Ok count] iff every entry below the persistent count has a
+      name; [Error _] means corruption. *)
+
+  val reattach : t -> int
+  (** Verify and return the durable root count; fails on corruption. *)
+end

@@ -81,6 +81,11 @@ type 'ctx scenario = {
 type 'ctx t = {
   setup : unit -> 'ctx scenario;
   check : 'ctx -> Heap.t -> crashed:bool -> unit;
+  on_crash : 'ctx -> Heap.t -> unit;
+      (* recovery hook: runs after the crash semantics are applied and
+         before [check] — scenarios thread Recovery.reattach through
+         here, so every explored crash (mid-alloc, mid-log-append, ...)
+         recovers through the system-level path before being judged *)
   crashes : bool;
   adversary : adversary;
   max_crash_lines : int;
@@ -108,10 +113,12 @@ type 'ctx t = {
 
 let make ?(crashes = false) ?(adversary = `Per_line) ?(max_crash_lines = 4)
     ?(crash_samples = 6) ?(seed = 0) ?(reduction = true) ?(max_steps = 10_000)
-    ?(limit = 2_000_000) ?max_preemptions ~setup ~check () =
+    ?(limit = 2_000_000) ?max_preemptions ?(on_crash = fun _ _ -> ()) ~setup
+    ~check () =
   {
     setup;
     check;
+    on_crash;
     crashes;
     adversary;
     max_crash_lines;
@@ -225,7 +232,10 @@ let replay t prefix =
 let finish t schedule scenario ~crashed =
   t.executions <- t.executions + 1;
   if t.executions > t.limit then raise (Too_many_executions t.executions);
-  try t.check scenario.ctx scenario.heap ~crashed with
+  try
+    if crashed then t.on_crash scenario.ctx scenario.heap;
+    t.check scenario.ctx scenario.heap ~crashed
+  with
   | Too_many_executions _ as e -> raise e
   | e -> raise (Violation { schedule; exn = e })
 
@@ -397,7 +407,9 @@ let run t =
 let replay_schedule t schedule =
   let scenario, machine, outcome = replay t schedule in
   let check ~crashed =
-    try t.check scenario.ctx scenario.heap ~crashed
+    try
+      if crashed then t.on_crash scenario.ctx scenario.heap;
+      t.check scenario.ctx scenario.heap ~crashed
     with e -> raise (Violation { schedule; exn = e })
   in
   match outcome with

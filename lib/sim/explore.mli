@@ -65,12 +65,16 @@ val make :
   ?max_steps:int ->
   ?limit:int ->
   ?max_preemptions:int ->
+  ?on_crash:('ctx -> Dssq_pmem.Heap.t -> unit) ->
   setup:(unit -> 'ctx scenario) ->
   check:('ctx -> Dssq_pmem.Heap.t -> crashed:bool -> unit) ->
   unit ->
   'ctx t
 (** [check] runs at the end of every complete execution; a raise becomes
-    a {!Violation}.  [max_preemptions] bounds context switches away from
+    a {!Violation}.  [on_crash] (default no-op) runs on every crashed
+    execution after the per-line crash semantics are applied and before
+    [check] — the hook scenarios use to route every explored crash
+    through the system-level [Recovery.reattach].  [max_preemptions] bounds context switches away from
     still-runnable threads and is searched by iterative deepening (round
     [k] checks exactly the [k]-preemption executions).  [reduction]
     (default true) enables sleep-set pruning keyed on cell/line identity.

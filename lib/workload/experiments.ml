@@ -466,3 +466,82 @@ let op_latency ?(queues = [ "ms-queue"; "dss-queue"; "log-queue"; "fast-caswe"; 
       let det = model_ns (Heap.stats heap) (2 * reps) in
       (mk, nondet, det))
     queues
+
+(* ---------------------------------------------------------------------- *)
+(* Recovery latency: crash-to-reattach per registered object               *)
+(* ---------------------------------------------------------------------- *)
+
+let recovery_objects = [ "dss-queue"; "log-queue"; "durable-queue" ]
+
+(* One crash-to-reattach measurement: build [mk] rooted in a
+   whole-system recovery handle (so the DSS queue's allocator logs
+   through the system WAL), run a deterministic single-threaded
+   workload, crash, and time [Recovery.reattach] — WAL replay, root
+   re-attachment, the object's own recover, and the leak audit.
+
+   The sim variant charges the reattach's memory events at the
+   simulator's default costs, so its milliseconds are modelled and
+   fully deterministic — exactly what a bench-diff baseline wants.  The
+   native variant is wall-clock over the real backend (no crash to
+   apply; the reattach still replays the log and audits the pool). *)
+let recovery_latency ?(quick = false) () :
+    Dssq_obs.Run_report.recovery_point list =
+  let ops_count = if quick then 64 else 512 in
+  let workload (ops : Dssq_core.Queue_intf.ops) =
+    for i = 1 to ops_count do
+      ops.d_enqueue ~tid:0 i;
+      if i mod 2 = 0 then ignore (ops.d_dequeue ~tid:0)
+    done
+  in
+  let point ~mk ~backend ~ms (rep : Dssq_core.Recovery.report) =
+    {
+      Dssq_obs.Run_report.r_object = mk;
+      r_backend = backend;
+      r_ms = ms;
+      r_replayed = rep.Dssq_core.Recovery.replayed;
+      r_leaked = rep.Dssq_core.Recovery.leaked_total;
+    }
+  in
+  let sim mk =
+    let heap = Heap.create ~line_size:8 () in
+    let (module M) = Sim.memory heap in
+    let module R = Registry.Make (M) in
+    let sys =
+      R.Sys.create ~nthreads:1 ~wal_lane_capacity:((2 * ops_count) + 32) ()
+    in
+    let ops =
+      R.setup ~system:sys ~mk ~init_nodes:8
+        (Dssq_core.Queue_intf.config ~nthreads:1 ~capacity:(ops_count + 64) ())
+    in
+    workload ops;
+    Sim.apply_crash heap ~evict_p:0.5 ~seed:7;
+    Heap.reset_stats heap;
+    let rep = R.Sys.reattach sys in
+    let s = Heap.stats heap in
+    let costs = Sim_throughput.default_costs in
+    let ns =
+      (costs.read_ns *. float_of_int s.reads)
+      +. (costs.write_ns *. float_of_int s.writes)
+      +. (costs.cas_ns *. float_of_int s.cases)
+      +. (costs.flush_ns *. float_of_int s.flushes)
+      +. (costs.fence_ns *. float_of_int s.fences)
+    in
+    point ~mk ~backend:"sim" ~ms:(ns /. 1e6) rep
+  in
+  let native mk =
+    let module R = Registry.Make (Dssq_memory.Native) in
+    let sys =
+      R.Sys.create ~nthreads:1 ~wal_lane_capacity:((2 * ops_count) + 32) ()
+    in
+    let ops =
+      R.setup ~system:sys ~mk ~init_nodes:8
+        (Dssq_core.Queue_intf.config ~nthreads:1 ~capacity:(ops_count + 64) ())
+    in
+    workload ops;
+    let t0 = Unix.gettimeofday () in
+    let rep = R.Sys.reattach sys in
+    let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+    point ~mk ~backend:"native" ~ms rep
+  in
+  List.map sim recovery_objects
+  @ if quick then [] else List.map native recovery_objects

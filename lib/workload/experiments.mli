@@ -184,3 +184,17 @@ val regress : ?quick:bool -> unit -> Dssq_obs.Run_report.series list
 
 val op_latency : ?queues:string list -> unit -> (string * float * float) list
 (** Modelled single-thread (queue, plain ns/op, detectable ns/op). *)
+
+val recovery_objects : string list
+(** The registry names measured by {!recovery_latency}:
+    ["dss-queue"] (allocator routed through the system WAL),
+    ["log-queue"], ["durable-queue"]. *)
+
+val recovery_latency :
+  ?quick:bool -> unit -> Dssq_obs.Run_report.recovery_point list
+(** Crash-to-reattach latency per registered object, through the
+    whole-system {!Dssq_core.Recovery} path (WAL replay, root
+    directory re-attachment, object recover, leak audit).  Sim points
+    are modelled nanoseconds over a deterministic workload — stable
+    across machines, so they belong in a bench-diff baseline; native
+    points (full mode only; [quick] omits them) are wall-clock. *)

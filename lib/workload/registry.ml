@@ -5,11 +5,20 @@
     Every constructor takes the shared {!Dssq_core.Queue_intf.config}
     record, and every [ops] carries a [stats] hook surfacing whatever
     per-queue gauges the implementation has (pool occupancy for the
-    pool-backed queues; empty for the rest). *)
+    pool-backed queues; empty for the rest).
+
+    Constructors also accept an optional whole-system recovery handle
+    ({!Dssq_core.Recovery.Make}): when given, the queue registers a
+    named durable root with the system's root directory — instead of
+    recovery relying on whoever still holds a volatile reference — and
+    its [recover] (plus, for the pool-backed DSS queue, a post-recovery
+    leak audit over a write-ahead-logged allocator) runs on every
+    system-level [reattach]. *)
 
 open Dssq_core
 
 module Make (M : Dssq_memory.Memory_intf.S) = struct
+  module Sys = Recovery.Make (M)
   module Dss = Dss_queue.Make (M)
   module Ms = Dssq_baselines.Ms_queue.Make (M)
   module Durable = Dssq_baselines.Durable_queue.Make (M)
@@ -17,8 +26,22 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   module Gen = Dssq_baselines.Caswe_queue.General (M)
   module Fast = Dssq_baselines.Caswe_queue.Fast (M)
 
-  let dss (cfg : Queue_intf.config) : Queue_intf.ops =
-    let q = Dss.of_config cfg in
+  (* Register [name]'s recover procedure (and audit, if any) with the
+     recovery system, when one is attached. *)
+  let attach system ~name ?audit recover =
+    match system with
+    | None -> ()
+    | Some s -> ignore (Sys.register s ~name ?audit recover : int)
+
+  let dss ?system (cfg : Queue_intf.config) : Queue_intf.ops =
+    let wal = Option.map Sys.wal system in
+    let pool_id =
+      match system with Some s -> Some (Sys.fresh_pool_id s) | None -> None
+    in
+    let q = Dss.of_config ?wal ?pool_id cfg in
+    attach system ~name:"dss-queue"
+      ~audit:(fun () -> Recovery.audit_of_pool (Dss.audit q))
+      (fun () -> Dss.recover q);
     {
       name = "dss-queue";
       enqueue = (fun ~tid v -> Dss.enqueue q ~tid v);
@@ -38,8 +61,10 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
           [ ("capacity", cfg.capacity); ("pool_free", Dss.free_count q) ]);
     }
 
-  let ms (cfg : Queue_intf.config) : Queue_intf.ops =
+  let ms ?system (cfg : Queue_intf.config) : Queue_intf.ops =
     let q = Ms.of_config cfg in
+    (* Volatile: recovery re-attaches the (empty) root, nothing more. *)
+    attach system ~name:"ms-queue" (fun () -> ());
     let enqueue ~tid v = Ms.enqueue q ~tid v in
     let dequeue ~tid = Ms.dequeue q ~tid in
     (* The MS queue has no detectable path; the detectable closures fall
@@ -58,8 +83,9 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       stats = (fun () -> []);
     }
 
-  let durable (cfg : Queue_intf.config) : Queue_intf.ops =
+  let durable ?system (cfg : Queue_intf.config) : Queue_intf.ops =
     let q = Durable.of_config cfg in
+    attach system ~name:"durable-queue" (fun () -> Durable.recover q);
     let enqueue ~tid v = Durable.enqueue q ~tid v in
     let dequeue ~tid = Durable.dequeue q ~tid in
     {
@@ -75,8 +101,9 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       stats = (fun () -> []);
     }
 
-  let log (cfg : Queue_intf.config) : Queue_intf.ops =
+  let log ?system (cfg : Queue_intf.config) : Queue_intf.ops =
     let q = Log.of_config cfg in
+    attach system ~name:"log-queue" (fun () -> Log.recover q);
     {
       name = "log-queue";
       enqueue = (fun ~tid v -> Log.enqueue q ~tid v);
@@ -94,8 +121,9 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       stats = (fun () -> []);
     }
 
-  let general_caswe (cfg : Queue_intf.config) : Queue_intf.ops =
+  let general_caswe ?system (cfg : Queue_intf.config) : Queue_intf.ops =
     let q = Gen.of_config cfg in
+    attach system ~name:"general-caswe" (fun () -> Gen.recover q);
     {
       name = "general-caswe";
       enqueue = (fun ~tid v -> Gen.enqueue q ~tid v);
@@ -113,8 +141,9 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       stats = (fun () -> []);
     }
 
-  let fast_caswe (cfg : Queue_intf.config) : Queue_intf.ops =
+  let fast_caswe ?system (cfg : Queue_intf.config) : Queue_intf.ops =
     let q = Fast.of_config cfg in
+    attach system ~name:"fast-caswe" (fun () -> Fast.recover q);
     {
       name = "fast-caswe";
       enqueue = (fun ~tid v -> Fast.enqueue q ~tid v);
@@ -152,6 +181,17 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
         invalid_arg
           (Printf.sprintf "unknown queue %S (known: %s)" name
              (String.concat ", " known_names))
+
+  (** Build and seed a queue, optionally rooted in a recovery system —
+      the backend-monomorphic variant of the toplevel {!setup} for
+      callers that hold a [Sys.t]. *)
+  let setup ?system ~mk ~init_nodes (cfg : Queue_intf.config) :
+      Queue_intf.ops =
+    let ops = (find mk) ?system cfg in
+    for i = 1 to init_nodes do
+      ops.Queue_intf.enqueue ~tid:(i mod cfg.Queue_intf.nthreads) i
+    done;
+    ops
 end
 
 (** Build and seed a queue for a throughput run, over any backend: look
@@ -159,12 +199,9 @@ end
     round-robin across threads (the Section 4 initialization — round-
     robin because the per-thread node pools are striped).  Shared by the
     sim and native harnesses so the two measure the same starting
-    state. *)
+    state.  (The recovery system's type depends on the packed backend
+    module, so rooted construction goes through {!Make.setup}.) *)
 let setup (module M : Dssq_memory.Memory_intf.S) ~mk ~init_nodes
     (cfg : Queue_intf.config) : Queue_intf.ops =
   let module R = Make (M) in
-  let ops = R.find mk cfg in
-  for i = 1 to init_nodes do
-    ops.Queue_intf.enqueue ~tid:(i mod cfg.Queue_intf.nthreads) i
-  done;
-  ops
+  R.setup ~mk ~init_nodes cfg

@@ -3,18 +3,42 @@
     benchmark harness and the CLI dispatch on.
 
     Known names: ["dss-queue"], ["ms-queue"], ["durable-queue"],
-    ["log-queue"], ["general-caswe"], ["fast-caswe"]. *)
+    ["log-queue"], ["general-caswe"], ["fast-caswe"].
+
+    Every constructor optionally takes a whole-system recovery handle
+    ({!Dssq_core.Recovery.Make}); when given, the queue registers a
+    named durable root with the system's root directory and its
+    [recover] (plus a leak audit for the pool-backed DSS queue, whose
+    allocator is then routed through the system's write-ahead log) runs
+    on every system-level [reattach]. *)
 
 module Make (M : Dssq_memory.Memory_intf.S) : sig
-  val dss : Dssq_core.Queue_intf.config -> Dssq_core.Queue_intf.ops
-  val ms : Dssq_core.Queue_intf.config -> Dssq_core.Queue_intf.ops
-  val durable : Dssq_core.Queue_intf.config -> Dssq_core.Queue_intf.ops
-  val log : Dssq_core.Queue_intf.config -> Dssq_core.Queue_intf.ops
-  val general_caswe : Dssq_core.Queue_intf.config -> Dssq_core.Queue_intf.ops
-  val fast_caswe : Dssq_core.Queue_intf.config -> Dssq_core.Queue_intf.ops
+  module Sys : module type of Dssq_core.Recovery.Make (M)
+
+  val dss :
+    ?system:Sys.t -> Dssq_core.Queue_intf.config -> Dssq_core.Queue_intf.ops
+
+  val ms :
+    ?system:Sys.t -> Dssq_core.Queue_intf.config -> Dssq_core.Queue_intf.ops
+
+  val durable :
+    ?system:Sys.t -> Dssq_core.Queue_intf.config -> Dssq_core.Queue_intf.ops
+
+  val log :
+    ?system:Sys.t -> Dssq_core.Queue_intf.config -> Dssq_core.Queue_intf.ops
+
+  val general_caswe :
+    ?system:Sys.t -> Dssq_core.Queue_intf.config -> Dssq_core.Queue_intf.ops
+
+  val fast_caswe :
+    ?system:Sys.t -> Dssq_core.Queue_intf.config -> Dssq_core.Queue_intf.ops
 
   val all :
-    (string * (Dssq_core.Queue_intf.config -> Dssq_core.Queue_intf.ops)) list
+    (string
+    * (?system:Sys.t ->
+      Dssq_core.Queue_intf.config ->
+      Dssq_core.Queue_intf.ops))
+    list
   (** Every implementation, keyed by its registry name, in the order the
       figures list them. *)
 
@@ -22,12 +46,30 @@ module Make (M : Dssq_memory.Memory_intf.S) : sig
   (** The names accepted by {!find_opt} / {!find}. *)
 
   val find_opt :
-    string -> (Dssq_core.Queue_intf.config -> Dssq_core.Queue_intf.ops) option
+    string ->
+    (?system:Sys.t ->
+    Dssq_core.Queue_intf.config ->
+    Dssq_core.Queue_intf.ops)
+    option
   (** [find_opt name] is the constructor registered under [name], if any. *)
 
-  val find : string -> Dssq_core.Queue_intf.config -> Dssq_core.Queue_intf.ops
+  val find :
+    string ->
+    ?system:Sys.t ->
+    Dssq_core.Queue_intf.config ->
+    Dssq_core.Queue_intf.ops
   (** Like {!find_opt} but raises [Invalid_argument] listing
       {!known_names} when [name] is unknown. *)
+
+  val setup :
+    ?system:Sys.t ->
+    mk:string ->
+    init_nodes:int ->
+    Dssq_core.Queue_intf.config ->
+    Dssq_core.Queue_intf.ops
+  (** Like the toplevel {!setup}, with optional recovery-system
+      rooting (the system's type depends on [M], so only this
+      backend-monomorphic variant can accept one). *)
 end
 
 val setup :

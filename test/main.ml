@@ -2,6 +2,8 @@ let () =
   Alcotest.run "dssq"
     [
       ("pmem", Test_pmem.suite);
+      ("wal", Test_wal.suite);
+      ("recovery", Test_recovery.suite);
       ("sim", Test_sim.suite);
       ("spec", Test_spec.suite);
       ("lincheck", Test_lincheck.suite);

@@ -1,0 +1,266 @@
+(** The write-ahead log's format guarantees, unit and property tested:
+    append/replay round-trips, the checksum rejects every single-bit
+    flip of every stored word, replay is idempotent, a torn final
+    record is detected and dropped (never misread), interior damage is
+    refused as corruption, and truncate leaves a clean empty log. *)
+
+module Heap = Dssq_pmem.Heap
+module Sim = Dssq_sim.Sim
+module Wal = Dssq_pmem.Wal
+
+(* A record for the generators: lane is assigned at append time. *)
+type rcd = { kind : int; a : int; b : int }
+
+let gen_rcd =
+  QCheck.Gen.(
+    map3
+      (fun kind a b -> { kind; a; b })
+      (int_range 1 15)
+      (int_range 0 100_000)
+      (int_range 0 100_000))
+
+let arb_rcds lanes cap =
+  QCheck.make
+    ~print:(fun rss ->
+      String.concat "; "
+        (List.mapi
+           (fun lane rs ->
+             Printf.sprintf "lane%d:[%s]" lane
+               (String.concat ","
+                  (List.map
+                     (fun r -> Printf.sprintf "%d/%d/%d" r.kind r.a r.b)
+                     rs)))
+           rss))
+    QCheck.Gen.(
+      flatten_l (List.init lanes (fun _ -> list_size (int_range 0 cap) gen_rcd)))
+
+(* ------------------------------ unit ---------------------------------- *)
+
+let test_roundtrip_basic () =
+  let heap = Heap.create () in
+  let (module M) = Sim.memory heap in
+  let module W = Wal.Make (M) in
+  let t = W.create ~lanes:2 ~lane_capacity:4 () in
+  W.append t ~lane:0 ~kind:Wal.Codec.kind_alloc ~a:7 ~b:0;
+  W.append t ~lane:1 ~kind:Wal.Codec.kind_free ~a:9 ~b:1;
+  W.append t ~lane:0 ~kind:Wal.Codec.kind_root ~a:0 ~b:0;
+  Alcotest.(check int) "appended" 3 (W.appended t);
+  let records, torn = W.replay t in
+  Alcotest.(check int) "no torn tail" 0 torn;
+  Alcotest.(check (list (pair int (pair int int))))
+    "records, lane-major append order"
+    [
+      (0, (Wal.Codec.kind_alloc, 7));
+      (0, (Wal.Codec.kind_root, 0));
+      (1, (Wal.Codec.kind_free, 9));
+    ]
+    (List.map (fun r -> (r.Wal.r_lane, (r.Wal.r_kind, r.Wal.r_a))) records)
+
+let test_full () =
+  let heap = Heap.create () in
+  let (module M) = Sim.memory heap in
+  let module W = Wal.Make (M) in
+  let t = W.create ~lanes:1 ~lane_capacity:2 () in
+  W.append t ~lane:0 ~kind:1 ~a:1 ~b:0;
+  W.append t ~lane:0 ~kind:1 ~a:2 ~b:0;
+  Alcotest.check_raises "third append overflows" (Wal.Full { lane = 0 })
+    (fun () -> W.append t ~lane:0 ~kind:1 ~a:3 ~b:0)
+
+let test_torn_tail_dropped () =
+  let heap = Heap.create () in
+  let (module M) = Sim.memory heap in
+  let module W = Wal.Make (M) in
+  let t = W.create ~lanes:1 ~lane_capacity:8 () in
+  for i = 1 to 3 do
+    W.append t ~lane:0 ~kind:1 ~a:i ~b:0
+  done;
+  (* the final record's checksum never hit memory: a torn append *)
+  W.corrupt_word t ~lane:0 ~slot:2 ~word:3 ~f:(fun _ -> 0);
+  (match W.states t with
+  | [ Wal.Torn { valid = 2; at = 2 } ] -> ()
+  | s ->
+      Alcotest.failf "expected Torn{valid=2;at=2}, got %s"
+        (String.concat ";"
+           (List.map
+              (function
+                | Wal.Clean n -> Printf.sprintf "Clean %d" n
+                | Wal.Torn { valid; at } ->
+                    Printf.sprintf "Torn{%d;%d}" valid at
+                | Wal.Corrupt { at } -> Printf.sprintf "Corrupt{%d}" at)
+              s)));
+  (match W.verify t with
+  | Error _ -> ()
+  | Ok n -> Alcotest.failf "strict verify accepted a torn log (Ok %d)" n);
+  let records, torn = W.replay t in
+  Alcotest.(check int) "torn tail dropped" 1 torn;
+  Alcotest.(check (list int))
+    "valid prefix survives" [ 1; 2 ]
+    (List.map (fun r -> r.Wal.r_a) records);
+  (* the lane cursor now points at the dropped slot: appending reuses it *)
+  W.append t ~lane:0 ~kind:1 ~a:99 ~b:0;
+  let records, torn = W.replay t in
+  Alcotest.(check int) "clean after overwrite" 0 torn;
+  Alcotest.(check (list int))
+    "overwritten tail replays" [ 1; 2; 99 ]
+    (List.map (fun r -> r.Wal.r_a) records)
+
+let test_interior_corruption_refused () =
+  let heap = Heap.create () in
+  let (module M) = Sim.memory heap in
+  let module W = Wal.Make (M) in
+  let t = W.create ~lanes:1 ~lane_capacity:8 () in
+  for i = 1 to 3 do
+    W.append t ~lane:0 ~kind:1 ~a:i ~b:0
+  done;
+  W.corrupt_word t ~lane:0 ~slot:0 ~word:2 ~f:(fun b -> b + 1);
+  Alcotest.check_raises "replay refuses interior damage"
+    (Wal.Corrupted { lane = 0; slot = 0 })
+    (fun () -> ignore (W.replay t))
+
+let test_truncate () =
+  let heap = Heap.create () in
+  let (module M) = Sim.memory heap in
+  let module W = Wal.Make (M) in
+  let t = W.create ~lanes:2 ~lane_capacity:4 () in
+  for i = 1 to 4 do
+    W.append t ~lane:(i mod 2) ~kind:1 ~a:i ~b:0
+  done;
+  W.truncate t;
+  (match W.verify t with
+  | Ok 0 -> ()
+  | Ok n -> Alcotest.failf "truncated log verifies to %d records" n
+  | Error e -> Alcotest.failf "truncated log fails verify: %s" e);
+  (match W.replay t with
+  | [], 0 -> ()
+  | records, torn ->
+      Alcotest.failf "truncated log replays %d record(s), %d torn"
+        (List.length records) torn);
+  (* and the log is usable again *)
+  W.append t ~lane:0 ~kind:2 ~a:5 ~b:0;
+  Alcotest.(check int) "appended after truncate" 1 (W.appended t)
+
+let test_checksum_slot_bound () =
+  (* a record valid at slot s must not classify as valid at slot s' *)
+  let sum = Wal.Codec.checksum ~slot:3 ~kind:1 ~a:10 ~b:20 in
+  (match Wal.Codec.classify ~slot:3 ~kind:1 ~a:10 ~b:20 ~sum with
+  | Wal.Codec.Valid _ -> ()
+  | _ -> Alcotest.fail "record invalid at its own slot");
+  match Wal.Codec.classify ~slot:4 ~kind:1 ~a:10 ~b:20 ~sum with
+  | Wal.Codec.Valid _ -> Alcotest.fail "record validated at the wrong slot"
+  | _ -> ()
+
+(* ---------------------------- properties ------------------------------ *)
+
+let lanes = 3
+let cap = 12
+
+(* Append per-lane programs (round-robin across lanes so appends
+   interleave), then replay and compare lane by lane. *)
+let prop_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"wal: append/replay round-trip"
+    (arb_rcds lanes cap) (fun rss ->
+      let heap = Heap.create () in
+      let (module M) = Sim.memory heap in
+      let module W = Wal.Make (M) in
+      let t = W.create ~lanes ~lane_capacity:cap () in
+      let rec interleave queues =
+        let progressed = ref false in
+        let queues' =
+          List.mapi
+            (fun lane q ->
+              match q with
+              | [] -> []
+              | r :: rest ->
+                  W.append t ~lane ~kind:r.kind ~a:r.a ~b:r.b;
+                  progressed := true;
+                  rest)
+            queues
+        in
+        if !progressed then interleave queues'
+      in
+      interleave rss;
+      let records, torn = W.replay t in
+      let by_lane lane =
+        List.filter_map
+          (fun r ->
+            if r.Wal.r_lane = lane then Some (r.Wal.r_kind, r.r_a, r.r_b)
+            else None)
+          records
+      in
+      torn = 0
+      && List.for_all
+           (fun lane ->
+             by_lane lane
+             = List.map
+                 (fun r -> (r.kind, r.a, r.b))
+                 (List.nth rss lane))
+           (List.init lanes Fun.id))
+
+let prop_replay_idempotent =
+  QCheck.Test.make ~count:100 ~name:"wal: replay is idempotent"
+    (arb_rcds lanes cap) (fun rss ->
+      let heap = Heap.create () in
+      let (module M) = Sim.memory heap in
+      let module W = Wal.Make (M) in
+      let t = W.create ~lanes ~lane_capacity:cap () in
+      List.iteri
+        (fun lane rs ->
+          List.iter (fun r -> W.append t ~lane ~kind:r.kind ~a:r.a ~b:r.b) rs)
+        rss;
+      let r1 = W.replay t in
+      let r2 = W.replay t in
+      r1 = r2)
+
+(* The deterministic single-bit-flip guarantee: flip any one bit of any
+   stored word of any record and the log never silently replays the
+   damaged record as valid — verify fails, and replay either drops it
+   (tail) or refuses the lane (interior). *)
+let prop_single_bit_flip_detected =
+  QCheck.Test.make ~count:400 ~name:"wal: any single-bit flip is detected"
+    QCheck.(
+      quad
+        (make
+           ~print:(fun rs ->
+             String.concat ","
+               (List.map (fun r -> Printf.sprintf "%d/%d/%d" r.kind r.a r.b) rs))
+           Gen.(list_size (int_range 1 8) gen_rcd))
+        (int_range 0 1_000_000) (int_range 0 3) (int_range 0 62))
+    (fun (rs, slot_pick, word, bit) ->
+      let heap = Heap.create () in
+      let (module M) = Sim.memory heap in
+      let module W = Wal.Make (M) in
+      let t = W.create ~lanes:1 ~lane_capacity:8 () in
+      List.iter (fun r -> W.append t ~lane:0 ~kind:r.kind ~a:r.a ~b:r.b) rs;
+      let n = List.length rs in
+      let slot = slot_pick mod n in
+      W.corrupt_word t ~lane:0 ~slot ~word ~f:(fun w -> w lxor (1 lsl bit));
+      let verify_failed = Result.is_error (W.verify t) in
+      let replay_safe =
+        match W.replay t with
+        | records, torn ->
+            (* damaged slot must be gone, and only as a dropped tail *)
+            torn >= 1
+            && slot = n - 1
+            && List.map (fun r -> r.Wal.r_a) records
+               = List.map (fun r -> r.a)
+                   (List.filteri (fun i _ -> i < n - 1) rs)
+        | exception Wal.Corrupted { lane = 0; slot = s } -> s = slot
+        | exception Wal.Corrupted _ -> false
+      in
+      verify_failed && replay_safe)
+
+let suite =
+  [
+    Alcotest.test_case "round-trip basics" `Quick test_roundtrip_basic;
+    Alcotest.test_case "lane overflow raises Full" `Quick test_full;
+    Alcotest.test_case "torn tail detected and dropped" `Quick
+      test_torn_tail_dropped;
+    Alcotest.test_case "interior corruption refused" `Quick
+      test_interior_corruption_refused;
+    Alcotest.test_case "truncate leaves a clean empty log" `Quick
+      test_truncate;
+    Alcotest.test_case "checksum is slot-bound" `Quick
+      test_checksum_slot_bound;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_roundtrip; prop_replay_idempotent; prop_single_bit_flip_detected ]
