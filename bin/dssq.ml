@@ -60,6 +60,24 @@ let coalesce_arg =
            flushes of a pending line coalesce, and each persistence point \
            drains the buffer with one write-back and one fence")
 
+let persistency_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("sc", Dssq_pmem.Heap.Persistency.Sc);
+             ("px86", Dssq_pmem.Heap.Persistency.Px86);
+           ])
+        Dssq_pmem.Heap.Persistency.Sc
+    & info [ "persistency" ] ~docv:"MODEL"
+        ~doc:
+          "persistency model: $(b,sc) (default; flushes write back \
+           eagerly, persist order = store order) or $(b,px86) (flushes \
+           enqueue into per-thread persist buffers; only drain/fence — \
+           or, under the explorer, the crash adversary — writes them \
+           back)")
+
 let json_arg =
   Arg.(
     value
@@ -554,9 +572,11 @@ let print_event_table ~ops counters =
 
 (* Accounting for a non-queue detectable object: the zoo's deterministic
    two-thread workload, plus the words-per-op line the zoo exists for. *)
-let metrics_object_run name pairs line_size =
-  let r = Dssq_workload.Zoo.run_one ~pairs ~line_size name in
-  Printf.printf "object: %s   backend: sim   ops: %d (all detectable)\n\n" name
+let metrics_object_run name pairs line_size persistency =
+  let r = Dssq_workload.Zoo.run_one ~pairs ~line_size ~persistency name in
+  Printf.printf "object: %s   backend: sim%s   ops: %d (all detectable)\n\n"
+    name
+    (if persistency = Heap.Persistency.Px86 then "+px86" else "")
     r.z_ops;
   print_event_table ~ops:r.z_ops r.z_events;
   Printf.printf "\npersistent_words_per_op: %.2f   flushes_per_op: %.2f\n"
@@ -570,8 +590,8 @@ let metrics_object_run name pairs line_size =
 (* Run a finite deterministic workload on the counted simulator backend
    and print the memory-event accounting for one queue implementation —
    the quickest way to see e.g. flushes per operation. *)
-let metrics_queue_run queue pairs det_pct line_size coalesce =
-  let heap = Heap.create ~line_size () in
+let metrics_queue_run queue pairs det_pct line_size coalesce persistency =
+  let heap = Heap.create ~line_size ~persistency () in
   let (module M) = Sim.counted_memory ~coalesce heap in
   let module R = Dssq_workload.Registry.Make (M) in
   match R.find_opt queue with
@@ -612,8 +632,9 @@ let metrics_queue_run queue pairs det_pct line_size coalesce =
       ignore (Sim.run heap ~threads:[ worker 0; worker 1 ]);
       let c = M.counters () in
       Printf.printf
-        "queue: %s   backend: sim%s   ops: %d   detectable: %d%%\n\n" queue
+        "queue: %s   backend: sim%s%s   ops: %d   detectable: %d%%\n\n" queue
         (if coalesce then "+coalesce" else "")
+        (if persistency = Heap.Persistency.Px86 then "+px86" else "")
         !completed det_pct;
       print_event_table ~ops:!completed c;
       (match ops.stats () with
@@ -630,7 +651,8 @@ let metrics_queue_run queue pairs det_pct line_size coalesce =
 (* [--object] dispatches across queue-registry names and the zoo; an
    unknown name is an error listing every known name — it must never
    fall back to the queue silently. *)
-let metrics_run queue object_name pairs det_pct line_size coalesce =
+let metrics_run queue object_name pairs det_pct line_size coalesce persistency
+    =
   let queue_names =
     let heap = Heap.create ~line_size:1 () in
     let (module M) = Sim.counted_memory heap in
@@ -638,11 +660,11 @@ let metrics_run queue object_name pairs det_pct line_size coalesce =
     R.known_names
   in
   match object_name with
-  | None -> metrics_queue_run queue pairs det_pct line_size coalesce
+  | None -> metrics_queue_run queue pairs det_pct line_size coalesce persistency
   | Some name when List.mem name queue_names ->
-      metrics_queue_run name pairs det_pct line_size coalesce
+      metrics_queue_run name pairs det_pct line_size coalesce persistency
   | Some name when List.mem name Dssq_workload.Zoo.objects ->
-      metrics_object_run name pairs line_size
+      metrics_object_run name pairs line_size persistency
   | Some name ->
       let known =
         queue_names
@@ -684,7 +706,7 @@ let metrics_cmd =
        ~doc:"memory-event accounting for one detectable object on the simulator")
     Term.(
       const metrics_run $ queue $ object_name $ pairs $ det $ line_size_arg
-      $ coalesce_arg)
+      $ coalesce_arg $ persistency_arg)
 
 (* -------------------------------- zoo --------------------------------- *)
 
@@ -750,8 +772,8 @@ module MI = Dssq_memory.Memory_intf
    printed under each table — per-phase events summing exactly to the
    backend counter deltas — is the invariant the whole attribution rests
    on; the test suite asserts it across every object. *)
-let profile_run object_ backend pairs line_size coalesce crash with_heatmap top
-    json prom =
+let profile_run object_ backend pairs line_size coalesce persistency crash
+    with_heatmap top json prom =
   let fail fmt =
     Printf.ksprintf (fun m -> Printf.eprintf "dssq: %s\n" m; exit 2) fmt
   in
@@ -771,8 +793,12 @@ let profile_run object_ backend pairs line_size coalesce crash with_heatmap top
       (fun name ->
         let p =
           match backend with
-          | `Sim -> Zoo.profile_one ~pairs ~line_size ~coalesce ~crash name
-          | `Native -> Zoo.profile_one_native ~pairs ~line_size ~coalesce name
+          | `Sim ->
+              Zoo.profile_one ~pairs ~line_size ~coalesce ~persistency ~crash
+                name
+          | `Native ->
+              Zoo.profile_one_native ~pairs ~line_size ~coalesce ~persistency
+                name
         in
         (name, p))
       names
@@ -781,9 +807,10 @@ let profile_run object_ backend pairs line_size coalesce crash with_heatmap top
     (fun (name, (p : Zoo.profile)) ->
       let r = p.Zoo.p_row in
       let c = r.Zoo.z_events in
-      Printf.printf "== %s  backend: %s%s  ops: %d  line size: %d%s ==\n" name
-        backend_name
+      Printf.printf "== %s  backend: %s%s%s  ops: %d  line size: %d%s ==\n"
+        name backend_name
         (if coalesce then "+coalesce" else "")
+        (if persistency = Heap.Persistency.Px86 then "+px86" else "")
         r.Zoo.z_ops line_size
         (if crash then "  (with crash + recovery)" else "");
       Format.printf "%a@?" Profile.pp_rows p.Zoo.p_phases;
@@ -836,6 +863,8 @@ let profile_run object_ backend pairs line_size coalesce crash with_heatmap top
                 [
                   ("pairs", Json.Int pairs);
                   ("crash", Json.Bool crash);
+                  ( "persistency",
+                    Json.String (Heap.Persistency.to_string persistency) );
                 ] );
             ( "provenance",
               Json.Obj
@@ -954,7 +983,8 @@ let profile_cmd =
           zoo (--json / --prom for the archivable artifacts)")
     Term.(
       const profile_run $ object_ $ backend $ pairs $ line_size_arg
-      $ coalesce_arg $ crash $ with_heatmap $ top $ json_arg $ prom)
+      $ coalesce_arg $ persistency_arg $ crash $ with_heatmap $ top $ json_arg
+      $ prom)
 
 let latency_cmd =
   let run () =
@@ -1183,8 +1213,8 @@ type qh = {
   recover : unit -> unit;
 }
 
-let make_queue ?(coalesce = false) kind : qh =
-  let heap = Heap.create () in
+let make_queue ?(coalesce = false) ?persistency kind : qh =
+  let heap = Heap.create ?persistency () in
   let (module M) = Sim.memory ~coalesce heap in
   match kind with
   | `Dss ->
@@ -1245,13 +1275,13 @@ let make_queue ?(coalesce = false) kind : qh =
    Every execution runs under an event tracer, so a violation is reported
    with the exact interleaving of stores, flushes, crash and resolves
    that produced it — as a timeline, and optionally as Perfetto JSON. *)
-let lincheck_run kind coalesce iterations verbose trace_json =
+let lincheck_run kind coalesce persistency iterations verbose trace_json =
   let spec = Dss_spec.make ~nthreads:2 (Specs.Queue.spec ()) in
   let checked = ref 0 in
   let crashes = ref 0 in
   for i = 1 to iterations do
     ignore (Trace.start () : Trace.t);
-    let q = make_queue ~coalesce kind in
+    let q = make_queue ~coalesce ~persistency kind in
     let heap = q.heap in
     let rec_ = Recorder.create () in
     let record ~tid op f =
@@ -1374,8 +1404,8 @@ let lincheck_cmd =
        ~doc:
          "randomized strict-linearizability checking of a detectable queue")
     Term.(
-      const lincheck_run $ kind $ coalesce_arg $ iterations $ verbose
-      $ trace_json)
+      const lincheck_run $ kind $ coalesce_arg $ persistency_arg $ iterations
+      $ verbose $ trace_json)
 
 (* ------------------------------ explore ------------------------------ *)
 
@@ -1383,81 +1413,22 @@ module Explore = Dssq_sim.Explore
 module Scenarios = Dssq_checker.Scenarios
 module Mutants = Dssq_checker.Mutants
 module Oracle = Dssq_checker.Oracle
+module Explore_report = Dssq_checker.Explore_report
 
-(* One corpus case's outcome under the reduced (and optionally the
-   naive) search. *)
-type explore_result = {
+(* Re-exported so the explore driver below can build and match the
+   record with unqualified fields; the schema (encode + decode) lives in
+   {!Dssq_checker.Explore_report}. *)
+type explore_result = Explore_report.case_result = {
   xcase : Scenarios.case;
   verdict : (Explore.stats, Explore.schedule * exn) result;
   naive : (Explore.stats, Explore.schedule * exn) result option;
 }
 
-let run_case (c : Scenarios.case) ~reduction =
-  match c.Scenarios.run ~reduction with
-  | s -> Ok s
-  | exception Explore.Violation { schedule; exn } -> Error (schedule, exn)
+let run_case = Explore_report.run_case
 
-let explore_report ~params results =
-  let case_json (r : explore_result) =
-    let c = r.xcase in
-    let stats_fields prefix = function
-      | Ok (s : Explore.stats) ->
-          let hit_denom = s.pruned + s.branches in
-          [
-            (prefix ^ "executions", Json.Int s.executions);
-            (prefix ^ "pruned", Json.Int s.pruned);
-            (prefix ^ "crash_branches", Json.Int s.crash_branches);
-            (prefix ^ "branches", Json.Int s.branches);
-            ( prefix ^ "sleep_hit_rate",
-              Json.Float
-                (if hit_denom = 0 then 0.
-                 else float_of_int s.pruned /. float_of_int hit_denom) );
-            (prefix ^ "crash_points", Json.Int s.crash_points);
-            (prefix ^ "crash_enumerated", Json.Int s.crash_enumerated);
-            (prefix ^ "crash_sampled", Json.Int s.crash_sampled);
-            (prefix ^ "wall_s", Json.Float s.wall_s);
-          ]
-      | Error (sched, exn) ->
-          [
-            (prefix ^ "token", Json.String (Explore.schedule_to_string sched));
-            (prefix ^ "error", Json.String (Printexc.to_string exn));
-          ]
-    in
-    Json.Obj
-      ([
-         ("name", Json.String c.Scenarios.name);
-         ("object", Json.String c.Scenarios.obj);
-         ("program", Json.String c.Scenarios.prog);
-         ("crashes", Json.Bool c.Scenarios.crashes);
-         ("line_size", Json.Int c.Scenarios.line_size);
-         ("nthreads", Json.Int c.Scenarios.nthreads);
-         ( "status",
-           Json.String (match r.verdict with Ok _ -> "pass" | Error _ -> "fail")
-         );
-       ]
-      @ stats_fields "" r.verdict
-      @
-      match r.naive with
-      | None -> []
-      | Some n ->
-          ( "naive_status",
-            Json.String (match n with Ok _ -> "pass" | Error _ -> "fail") )
-          :: stats_fields "naive_" n)
-  in
-  Json.Obj
-    [
-      ("schema", Json.String "dssq-explore-report");
-      (* v2: coverage telemetry per case — branches, sleep_hit_rate,
-         crash_points split into enumerated/sampled, wall_s. *)
-      ("version", Json.Int 2);
-      ("git_rev", Json.String (Dssq_obs.Run_report.git_rev ()));
-      ("params", Json.Obj params);
-      ("cases", Json.List (List.map case_json results));
-    ]
-
-let explore_run object_ crash_mode line_sizes coalesce mutant mode_name
-    max_preemptions max_crash_lines crash_samples seed adversary limit
-    compare_naive json token_file replay case_name list_only =
+let explore_run object_ crash_mode line_sizes coalesce persistency mutant
+    mode_name max_preemptions max_crash_lines crash_samples seed adversary
+    limit compare_naive json token_file replay case_name list_only =
   let fail fmt = Printf.ksprintf (fun m -> Printf.eprintf "dssq: %s\n" m; exit 2) fmt in
   let mode =
     match Oracle.mode_of_name mode_name with
@@ -1472,7 +1443,10 @@ let explore_run object_ crash_mode line_sizes coalesce mutant mode_name
         | Some m -> Some m
         | None ->
             fail "unknown mutant %S; known: %s" n
-              (String.concat ", " (List.map fst Mutants.all)))
+              (String.concat ", "
+                 (List.map fst Mutants.all
+                 @ [ "drop-drain" ]
+                 @ List.map fst Mutants.relaxed)))
   in
   let objects =
     match object_ with
@@ -1488,9 +1462,9 @@ let explore_run object_ crash_mode line_sizes coalesce mutant mode_name
     | `Off -> [ false ]
   in
   let cases =
-    Scenarios.cases ~objects ~crash_modes ~line_sizes ~coalesce ?mutation ~mode
-      ~max_preemptions ~max_crash_lines ~crash_samples ~seed ~adversary ~limit
-      ()
+    Scenarios.cases ~objects ~crash_modes ~line_sizes ~coalesce ~persistency
+      ?mutation ~mode ~max_preemptions ~max_crash_lines ~crash_samples ~seed
+      ~adversary ~limit ()
   in
   if list_only then begin
     List.iter (fun (c : Scenarios.case) -> print_endline c.Scenarios.name) cases;
@@ -1589,6 +1563,8 @@ let explore_run object_ crash_mode line_sizes coalesce mutant mode_name
           ( "line_sizes",
             Json.List (List.map (fun n -> Json.Int n) line_sizes) );
           ("coalesce", Json.Bool coalesce);
+          ( "persistency",
+            Json.String (Dssq_pmem.Heap.Persistency.to_string persistency) );
           ( "mutant",
             match mutant with None -> Json.Null | Some m -> Json.String m );
           ("mode", Json.String mode_name);
@@ -1606,12 +1582,13 @@ let explore_run object_ crash_mode line_sizes coalesce mutant mode_name
       in
       Option.iter
         (fun file ->
-          let doc = explore_report ~params results in
+          let doc = Explore_report.encode ~params results in
           let oc = open_out file in
           output_string oc (Json.to_string doc);
           output_char oc '\n';
           close_out oc;
-          Printf.printf "wrote %s (dssq-explore-report v2)\n" file)
+          Printf.printf "wrote %s (%s v%d)\n" file Explore_report.schema
+            Explore_report.version)
         json;
       (match failures with
       | [] -> ()
@@ -1689,7 +1666,13 @@ let explore_run object_ crash_mode line_sizes coalesce mutant mode_name
         (tot (fun s -> s.Explore.crash_points))
         (tot (fun s -> s.Explore.crash_enumerated))
         (tot (fun s -> s.Explore.crash_sampled))
-        wall
+        wall;
+      if persistency = Dssq_pmem.Heap.Persistency.Px86 then
+        Printf.printf
+          "px86 coverage: %d drain points, %d crash executions with adversary \
+           drains\n"
+          (tot (fun s -> s.Explore.drain_points))
+          (tot (fun s -> s.Explore.drain_branches))
 
 let explore_cmd =
   let object_ =
@@ -1719,8 +1702,10 @@ let explore_cmd =
       & info [ "mutant" ] ~docv:"NAME"
           ~doc:
             "inject a seeded bug (skip-flush-link, skip-flush-mark, \
-             stale-announce, unfenced, drop-drain); restricts the corpus to \
-             the queue (drop-drain is only observable with --coalesce)")
+             stale-announce, unfenced, drop-drain, skip-drain, short-drain, \
+             reorder-persist); restricts the corpus to the queue (drop-drain \
+             is only observable with --coalesce; skip-drain, short-drain and \
+             reorder-persist only with --persistency px86)")
   in
   let mode =
     Arg.(
@@ -1806,9 +1791,9 @@ let explore_cmd =
           oracle, replayable counterexamples)")
     Term.(
       const explore_run $ object_ $ crashes $ line_sizes $ coalesce_arg
-      $ mutant $ mode $ max_preemptions $ max_crash_lines $ crash_samples
-      $ seed $ adversary $ limit $ compare_naive $ json_arg $ token_file
-      $ replay $ case $ list_only)
+      $ persistency_arg $ mutant $ mode $ max_preemptions $ max_crash_lines
+      $ crash_samples $ seed $ adversary $ limit $ compare_naive $ json_arg
+      $ token_file $ replay $ case $ list_only)
 
 (* ------------------------------- info -------------------------------- *)
 

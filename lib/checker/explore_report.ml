@@ -1,0 +1,219 @@
+(** Schema-versioned JSON encoding and decoding of explore-corpus runs:
+    the [dssq-explore-report] document written by [dssq explore --json]
+    and consumed by CI artifact tooling and the regression suite.
+
+    Version history:
+    - v1: per-case status, executions/pruned/crash counts, tokens.
+    - v2: coverage telemetry per case — branches, sleep_hit_rate,
+      crash_points split into enumerated/sampled, wall_s.
+    - v3: the buffered (px86) persistency axis — every case carries a
+      ["persistency"] field, stats gain [drain_points]/[drain_branches],
+      the run params record the swept mode, and a top-level
+      ["coverage"] object totals branch/crash-point counts per
+      persistency mode.
+
+    {!decode} accepts v1-v3: fields introduced later read back as their
+    pre-introduction defaults (drain counts 0, persistency ["sc"]), so
+    archived v2 reports keep decoding bit-compatibly. *)
+
+module Json = Dssq_obs.Json
+module Explore = Dssq_sim.Explore
+
+let schema = "dssq-explore-report"
+let version = 3
+
+(** One corpus case's outcome under the reduced (and optionally the
+    naive) search. *)
+type case_result = {
+  xcase : Scenarios.case;
+  verdict : (Explore.stats, Explore.schedule * exn) result;
+  naive : (Explore.stats, Explore.schedule * exn) result option;
+}
+
+let run_case (c : Scenarios.case) ~reduction =
+  match c.Scenarios.run ~reduction with
+  | s -> Ok s
+  | exception Explore.Violation { schedule; exn } -> Error (schedule, exn)
+
+(* ------------------------------- encode ------------------------------- *)
+
+let stats_fields prefix = function
+  | Ok (s : Explore.stats) ->
+      let hit_denom = s.pruned + s.branches in
+      [
+        (prefix ^ "executions", Json.Int s.executions);
+        (prefix ^ "pruned", Json.Int s.pruned);
+        (prefix ^ "crash_branches", Json.Int s.crash_branches);
+        (prefix ^ "branches", Json.Int s.branches);
+        ( prefix ^ "sleep_hit_rate",
+          Json.Float
+            (if hit_denom = 0 then 0.
+             else float_of_int s.pruned /. float_of_int hit_denom) );
+        (prefix ^ "crash_points", Json.Int s.crash_points);
+        (prefix ^ "crash_enumerated", Json.Int s.crash_enumerated);
+        (prefix ^ "crash_sampled", Json.Int s.crash_sampled);
+        (prefix ^ "drain_points", Json.Int s.drain_points);
+        (prefix ^ "drain_branches", Json.Int s.drain_branches);
+        (prefix ^ "wall_s", Json.Float s.wall_s);
+      ]
+  | Error (sched, exn) ->
+      [
+        (prefix ^ "token", Json.String (Explore.schedule_to_string sched));
+        (prefix ^ "error", Json.String (Printexc.to_string exn));
+      ]
+
+let case_json (r : case_result) =
+  let c = r.xcase in
+  Json.Obj
+    ([
+       ("name", Json.String c.Scenarios.name);
+       ("object", Json.String c.Scenarios.obj);
+       ("program", Json.String c.Scenarios.prog);
+       ("crashes", Json.Bool c.Scenarios.crashes);
+       ("line_size", Json.Int c.Scenarios.line_size);
+       ( "persistency",
+         Json.String
+           (Dssq_pmem.Heap.Persistency.to_string c.Scenarios.persistency) );
+       ("nthreads", Json.Int c.Scenarios.nthreads);
+       ( "status",
+         Json.String (match r.verdict with Ok _ -> "pass" | Error _ -> "fail")
+       );
+     ]
+    @ stats_fields "" r.verdict
+    @
+    match r.naive with
+    | None -> []
+    | Some n ->
+        ( "naive_status",
+          Json.String (match n with Ok _ -> "pass" | Error _ -> "fail") )
+        :: stats_fields "naive_" n)
+
+(** Branch/crash-point totals of the passing cases, grouped by
+    persistency mode — the at-a-glance answer to "how much of the
+    relaxed state space did this run actually cover?". *)
+let coverage_json results =
+  let modes =
+    List.sort_uniq compare
+      (List.map
+         (fun r ->
+           Dssq_pmem.Heap.Persistency.to_string r.xcase.Scenarios.persistency)
+         results)
+  in
+  Json.Obj
+    (List.map
+       (fun mode ->
+         let rs =
+           List.filter
+             (fun r ->
+               Dssq_pmem.Heap.Persistency.to_string
+                 r.xcase.Scenarios.persistency
+               = mode)
+             results
+         in
+         let tot f =
+           List.fold_left
+             (fun acc r ->
+               match r.verdict with Ok s -> acc + f s | Error _ -> acc)
+             0 rs
+         in
+         ( mode,
+           Json.Obj
+             [
+               ("cases", Json.Int (List.length rs));
+               ( "failures",
+                 Json.Int
+                   (List.length
+                      (List.filter
+                         (fun r ->
+                           match r.verdict with Error _ -> true | Ok _ -> false)
+                         rs)) );
+               ("executions", Json.Int (tot (fun s -> s.Explore.executions)));
+               ("branches", Json.Int (tot (fun s -> s.Explore.branches)));
+               ( "crash_branches",
+                 Json.Int (tot (fun s -> s.Explore.crash_branches)) );
+               ("crash_points", Json.Int (tot (fun s -> s.Explore.crash_points)));
+               ("drain_points", Json.Int (tot (fun s -> s.Explore.drain_points)));
+               ( "drain_branches",
+                 Json.Int (tot (fun s -> s.Explore.drain_branches)) );
+             ] ))
+       modes)
+
+let encode ~params results =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("version", Json.Int version);
+      ("git_rev", Json.String (Dssq_obs.Run_report.git_rev ()));
+      ("params", Json.Obj params);
+      ("coverage", coverage_json results);
+      ("cases", Json.List (List.map case_json results));
+    ]
+
+(* ------------------------------- decode ------------------------------- *)
+
+(** Decoded view of one case: stats of a passing case, token of a
+    failing one.  Fields a document's version predates read back as
+    their defaults, recorded per field below. *)
+type case_summary = {
+  s_name : string;
+  s_obj : string;
+  s_persistency : string;  (** ["sc"] when absent (v1/v2 documents) *)
+  s_status : string;
+  s_executions : int;  (** 0 for failing cases *)
+  s_branches : int;
+  s_crash_branches : int;
+  s_crash_points : int;
+  s_drain_points : int;  (** 0 when absent (v1/v2 documents) *)
+  s_drain_branches : int;  (** 0 when absent (v1/v2 documents) *)
+  s_token : string option;  (** counterexample token of a failing case *)
+}
+
+type summary = {
+  s_version : int;
+  s_git_rev : string;
+  s_params : (string * Json.t) list;
+  s_cases : case_summary list;
+}
+
+let int_or d = function Json.Null -> d | j -> Json.to_int j
+let str_or d = function Json.Null -> d | j -> Json.to_str j
+
+let decode doc =
+  (match Json.member "schema" doc with
+  | Json.String s when s = schema -> ()
+  | j ->
+      raise
+        (Json.Parse_error
+           (Printf.sprintf "expected schema %S, got %s" schema
+              (Json.to_string ~indent:false j))));
+  let v = Json.to_int (Json.member "version" doc) in
+  if v < 1 || v > version then
+    raise
+      (Json.Parse_error
+         (Printf.sprintf "unsupported %s version %d (max %d)" schema v version));
+  let case j =
+    {
+      s_name = Json.to_str (Json.member "name" j);
+      s_obj = Json.to_str (Json.member "object" j);
+      s_persistency = str_or "sc" (Json.member "persistency" j);
+      s_status = Json.to_str (Json.member "status" j);
+      s_executions = int_or 0 (Json.member "executions" j);
+      s_branches = int_or 0 (Json.member "branches" j);
+      s_crash_branches = int_or 0 (Json.member "crash_branches" j);
+      s_crash_points = int_or 0 (Json.member "crash_points" j);
+      s_drain_points = int_or 0 (Json.member "drain_points" j);
+      s_drain_branches = int_or 0 (Json.member "drain_branches" j);
+      s_token =
+        (match Json.member "token" j with
+        | Json.Null -> None
+        | j -> Some (Json.to_str j));
+    }
+  in
+  {
+    s_version = v;
+    s_git_rev = str_or "" (Json.member "git_rev" doc);
+    s_params = Json.to_obj (Json.member "params" doc);
+    s_cases = List.map case (Json.to_list (Json.member "cases" doc));
+  }
+
+let decode_string s = decode (Json.of_string s)

@@ -34,6 +34,38 @@ type mutation =
           coalescing backend (eager backends drain at every flush), so
           it lives outside {!all} and is hunted by the coalescing
           corpus. *)
+  | Skip_drain of string
+      (** drop the first [drain] after a flush of a matching cell — the
+          "flushed but forgot the sfence before the dependent publish"
+          bug.  Invisible under sc (eager flushes are synchronous, so
+          the dropped drain was already a no-op); under px86 the
+          matching flushes stay buffered across the publish CAS and a
+          crash can persist the link to a node whose fields never made
+          it to the persistence domain. *)
+  | Short_drain
+      (** every px86 drain misses the newest buffered entry — the
+          off-by-one persist barrier that covers each pwb except the one
+          issued just before it.  Invisible under sc (eager flushes
+          leave nothing pending); under px86 it hollows out exactly the
+          hardening drains the objects interpose between a flush and the
+          CAS that depends on it, reverting them to their unhardened
+          crash behaviour.  Implemented in the heap
+          ([Heap.short_drain]) because the module interposer cannot see
+          which buffered entry a drain would write back; {!wrap} passes
+          operations through unchanged. *)
+  | Reorder_persist of string
+      (** flushes of matching cells jump to the {e front} of the
+          thread's px86 persist-buffer FIFO — a persist that overtakes
+          program order.  Invisible under sc (no buffer to reorder), and
+          {e provably masked} in the hardened objects: every inter-line
+          persistence dependence is mediated by a drain barrier, so
+          buffers hold at most one entry at each dependence point and
+          there is nothing to reorder past.  Registered so the px86
+          corpus passing under it is a standing robustness regression
+          (drain-mediation suffices against pure persist reordering).
+          Implemented in the heap ([Heap.reorder_pat]) because the
+          module interposer cannot reach the buffer; {!wrap} passes
+          operations through unchanged. *)
 
 let describe = function
   | Skip_flush pat -> Printf.sprintf "drop flushes of cells matching %S" pat
@@ -41,6 +73,11 @@ let describe = function
       Printf.sprintf "drop 2nd+ writes to cells matching %S (stale state)" pat
   | Unfenced -> "drop all flushes (write-backs never drained)"
   | Drop_drain -> "drop all drains (coalesced flushes never written back)"
+  | Skip_drain pat ->
+      Printf.sprintf "drop the drain after flushes of cells matching %S" pat
+  | Short_drain -> "every drain misses the newest buffered entry (off-by-one)"
+  | Reorder_persist pat ->
+      Printf.sprintf "persist flushes of cells matching %S out of order" pat
 
 (** The seeded DSS-queue mutants of the regression suite. *)
 
@@ -66,6 +103,26 @@ let drop_drain = Drop_drain
     is already a no-op), so it is registered separately from {!all} and
     the regression suite hunts it on a [~coalesce:true] corpus. *)
 
+let skip_drain_node = Skip_drain "node"
+(** Node-field flushes (value, next) are issued but the drain ordering
+    them before the publish CAS is dropped: SC-safe (the eager flush
+    already persisted), relaxed-buggy (the link can persist while the
+    node it points at is lost). *)
+
+let short_drain = Short_drain
+(** Every drain persists all but the newest buffered entry: SC-safe (the
+    eager flush already persisted before the drain was a no-op),
+    relaxed-buggy (the flush each hardening drain was interposed for is
+    exactly the one it misses, so the publish CAS races a link that never
+    reached the persistence domain). *)
+
+let reorder_completion = Reorder_persist "X["
+(** Announcement-word flushes jump the persist FIFO.  SC-safe (no
+    buffer); under px86 the hardened objects mask it — see
+    {!Reorder_persist} — so the px86 corpus {e passing} this mutant is
+    the drain-mediation robustness regression, hunted by name
+    ("reorder-persist") like {!drop_drain}. *)
+
 let all =
   [
     ("skip-flush-link", skip_flush_link);
@@ -74,10 +131,24 @@ let all =
     ("unfenced", unfenced);
   ]
 
+(** SC-safe, relaxed-buggy mutants: the sc corpus must pass them, the
+    px86 corpus must catch them.  Outside {!all} for the same reason as
+    {!drop_drain} — the plain sc regression suite asserts every {!all}
+    entry is caught, which these deliberately are not. *)
+let relaxed =
+  [
+    ("skip-drain", skip_drain_node);
+    ("short-drain", short_drain);
+  ]
+
 let by_name n =
   match n with
   | "drop-drain" -> Some drop_drain
-  | _ -> List.assoc_opt n all
+  | "reorder-persist" -> Some reorder_completion
+  | _ -> (
+      match List.assoc_opt n relaxed with
+      | Some m -> Some m
+      | None -> List.assoc_opt n all)
 
 exception Livelock
 (** A mutated execution exceeded its memory-operation budget.  Planted
@@ -153,17 +224,27 @@ let wrap mutation (module M : Intf.S) : (module Intf.S) =
       spend ();
       M.cas c.inner ~expected ~desired
 
+    (* Skip_drain: a matching flush since the last drain arms the trap;
+       the next drain is swallowed and disarms it. *)
+    let armed = ref false
+
     let flush c =
       spend ();
       match mutation with
       | Unfenced when not (infra c) -> ()
       | Skip_flush pat when hits pat c -> ()
+      | Skip_drain pat ->
+          if hits pat c then armed := true;
+          M.flush c.inner
       | _ -> M.flush c.inner
 
     let fence () = M.fence ()
 
     let drain () =
-      match mutation with Drop_drain -> () | _ -> M.drain ()
+      match mutation with
+      | Drop_drain -> ()
+      | Skip_drain _ when !armed -> armed := false
+      | _ -> M.drain ()
   end)
 
 let () =

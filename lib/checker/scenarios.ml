@@ -41,6 +41,10 @@ type params = {
   crashes : bool;
   line_size : int;
   coalesce : bool;  (** route flushes through the per-thread persist buffer *)
+  persistency : Heap.Persistency.t;
+      (** sc: flushes are synchronous (modulo opt-in coalescing); px86:
+          buffered persistency — flushes enqueue, only drains persist,
+          and the crash adversary also draws buffer-drain prefixes *)
   mode : Lincheck.mode;
   mutation : Mutants.mutation option;
   max_preemptions : int;
@@ -56,6 +60,7 @@ let default_params =
     crashes = false;
     line_size = 1;
     coalesce = false;
+    persistency = Heap.Persistency.Sc;
     mode = Lincheck.Strict;
     mutation = None;
     max_preemptions = 1;
@@ -76,11 +81,12 @@ let default_params =
 type world = { finish : crashed:bool -> unit; reattach : unit -> unit }
 
 type case = {
-  name : string;  (** e.g. ["queue/enq-deq/crash/ls1"] *)
+  name : string;  (** e.g. ["queue/enq-deq/crash/ls1/px86"] *)
   obj : string;
   prog : string;
   crashes : bool;
   line_size : int;
+  persistency : Heap.Persistency.t;
   nthreads : int;
   run : reduction:bool -> Explore.stats;
       (** explore; raises [Explore.Violation] on a failing execution *)
@@ -100,10 +106,11 @@ let explorer ~(params : params) ~reduction setup : world Explore.t =
 
 let case_of_setup ~(params : params) ~obj ~prog ~nthreads setup =
   let name =
-    Printf.sprintf "%s/%s/%s/ls%d%s" obj prog
+    Printf.sprintf "%s/%s/%s/ls%d%s%s" obj prog
       (if params.crashes then "crash" else "nocrash")
       params.line_size
       (if params.coalesce then "/co" else "")
+      (if params.persistency = Heap.Persistency.Px86 then "/px86" else "")
   in
   {
     name;
@@ -111,6 +118,7 @@ let case_of_setup ~(params : params) ~obj ~prog ~nthreads setup =
     prog;
     crashes = params.crashes;
     line_size = params.line_size;
+    persistency = params.persistency;
     nthreads;
     run = (fun ~reduction -> Explore.run (explorer ~params ~reduction setup));
     replay =
@@ -120,6 +128,13 @@ let case_of_setup ~(params : params) ~obj ~prog ~nthreads setup =
   }
 
 let memory ~(params : params) heap =
+  (* The reorder and short-drain mutants live in the heap, not the
+     module interposer: they perturb the persist-buffer FIFO, which the
+     first-class-module cell abstraction cannot reach from outside. *)
+  (match params.mutation with
+  | Some (Mutants.Reorder_persist pat) -> heap.Heap.reorder_pat <- Some pat
+  | Some Mutants.Short_drain -> heap.Heap.short_drain <- true
+  | _ -> ());
   let mem = Sim.memory ~coalesce:params.coalesce heap in
   match params.mutation with Some m -> Mutants.wrap m mem | None -> mem
 
@@ -130,7 +145,9 @@ let queue_progs =
   [ "enq-deq"; "enq-enq"; "enq-enq-deq"; "mid-alloc"; "mid-link" ]
 
 let queue_setup ~(params : params) ~prog () =
-  let heap = Heap.create ~line_size:params.line_size () in
+  let heap =
+    Heap.create ~line_size:params.line_size ~persistency:params.persistency ()
+  in
   let (module M) = memory ~params heap in
   let module Q = Dssq_core.Dss_queue.Make (M) in
   let module Sys = Dssq_core.Recovery.Make (M) in
@@ -299,7 +316,9 @@ let queue_setup ~(params : params) ~prog () =
 let stack_progs = [ "push-pop"; "push-push" ]
 
 let stack_setup ~(params : params) ~prog () =
-  let heap = Heap.create ~line_size:params.line_size () in
+  let heap =
+    Heap.create ~line_size:params.line_size ~persistency:params.persistency ()
+  in
   let (module M) = memory ~params heap in
   let module S = Dssq_core.Dss_stack.Make (M) in
   let module Sys = Dssq_core.Recovery.Make (M) in
@@ -426,7 +445,9 @@ let stack_setup ~(params : params) ~prog () =
 let register_progs = [ "write-write"; "write-read" ]
 
 let register_setup ~(params : params) ~prog () =
-  let heap = Heap.create ~line_size:params.line_size () in
+  let heap =
+    Heap.create ~line_size:params.line_size ~persistency:params.persistency ()
+  in
   let (module M) = memory ~params heap in
   let module R = Dssq_core.Dss_register.Make (M) in
   let module Sys = Dssq_core.Recovery.Make (M) in
@@ -514,7 +535,9 @@ let register_setup ~(params : params) ~prog () =
 let hashmap_progs = [ "put-put"; "put-remove" ]
 
 let hashmap_setup ~(params : params) ~prog () =
-  let heap = Heap.create ~line_size:params.line_size () in
+  let heap =
+    Heap.create ~line_size:params.line_size ~persistency:params.persistency ()
+  in
   let (module M) = memory ~params heap in
   let module H = Dssq_core.Dss_hashmap.Make (M) in
   let module Sys = Dssq_core.Recovery.Make (M) in
@@ -613,7 +636,9 @@ type 'op engine_prog = {
 let engine_setup (type s op r) ~(params : params) ~(spec : (s, op, r) Spec.t)
     ~(instantiate : (module Dssq_memory.Memory_intf.S) -> (op, r) engine_ops)
     ~(eprog : op engine_prog) () =
-  let heap = Heap.create ~line_size:params.line_size () in
+  let heap =
+    Heap.create ~line_size:params.line_size ~persistency:params.persistency ()
+  in
   let mem = memory ~params heap in
   let o = instantiate mem in
   let module MM = (val mem) in
@@ -905,10 +930,10 @@ let build ~params ~obj ~prog =
     are kept crash-free: with a crash adversary their branching factor
     would put a single case past the CI budget. *)
 let cases ?(objects = objects) ?(crash_modes = [ false; true ])
-    ?(line_sizes = [ 1; 8 ]) ?(coalesce = false) ?mutation
-    ?(mode = Lincheck.Strict) ?(max_preemptions = 1) ?(max_crash_lines = 4)
-    ?(crash_samples = 6) ?(seed = 0) ?(adversary = `Per_line)
-    ?(limit = 2_000_000) () =
+    ?(line_sizes = [ 1; 8 ]) ?(coalesce = false)
+    ?(persistency = Heap.Persistency.Sc) ?mutation ?(mode = Lincheck.Strict)
+    ?(max_preemptions = 1) ?(max_crash_lines = 4) ?(crash_samples = 6)
+    ?(seed = 0) ?(adversary = `Per_line) ?(limit = 2_000_000) () =
   let objects =
     match mutation with Some _ -> [ "queue" ] | None -> objects
   in
@@ -927,6 +952,7 @@ let cases ?(objects = objects) ?(crash_modes = [ false; true ])
                         crashes;
                         line_size;
                         coalesce;
+                        persistency;
                         mode;
                         mutation;
                         max_preemptions;

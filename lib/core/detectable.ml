@@ -360,9 +360,16 @@ module Linked (M : Dssq_memory.Memory_intf.S) = struct
       M.flush a.x.(tid)
 
     (* [post] plus the prep persistence point: a crash after [announce]
-       returns must resolve to the announced operation.  Eager backends
-       drain at every flush, so the drain is a no-op there. *)
+       returns must resolve to the announced operation.  The leading
+       drain is px86 hardening: the node-field flushes the caller issued
+       (see [make_node]) must be durable before the announce word is
+       even written — a crash can write the dirty announce line back by
+       cache eviction while those flushes still sit in the persist
+       buffer, persisting an announcement whose node contents were
+       lost.  Eager backends drain at every flush, so both drains are
+       no-ops there. *)
     let announce a ~tid word =
+      M.drain ();
       post a ~tid word;
       M.drain ()
 

@@ -114,6 +114,13 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
             M.cas (Pool.next (pool t) last) ~expected:Tagged.null ~desired:node
           then begin
             M.flush (Pool.next (pool t) last) (* line 12 *);
+            (* px86 hardening: the link flush must be durable before the
+               completion tag can persist — the tag's write dirties X and
+               a crash can write X back (cache eviction) while the link
+               flush still sits in the persist buffer, persisting a
+               completion claim for a node that never became reachable.
+               No-op under sc (eager flushes already drained). *)
+            M.drain ();
             if detectable then
               A.tag t.an ~tid Tagged.enq_compl (* lines 13-14 *);
             ignore (M.cas t.tail ~expected:last ~desired:node) (* line 15 *)
@@ -121,8 +128,16 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
           else loop ()
         end
         else begin
-          (* help another enqueuing thread: lines 18-19 *)
+          (* help another enqueuing thread: lines 18-19.  px86
+             hardening: the helped link must be durable before the tail
+             can advance — once tail moves, this thread links its own
+             node after [next], and a crash may persist that second link
+             while the first still sits in the helper's persist buffer,
+             leaving a persisted next-chain that skips into nodes the
+             recovered structure never linked (re-execution then links
+             them twice and the chain cycles).  No-op under sc. *)
           M.flush (Pool.next (pool t) last);
+          M.drain ();
           ignore (M.cas t.tail ~expected:last ~desired:next);
           loop ()
         end
@@ -147,6 +162,11 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     trace_begin ~tid "enqueue" (string_of_int v);
     let sp = Profile.begin_span ~tid Profile.Exec in
     let node = make_node t ~tid v in
+    (* px86 hardening: the detectable path gets this durability point
+       from [A.announce]; the plain path must drain the node-field
+       flushes itself before the link CAS can persist a pointer to a
+       node whose contents were lost.  No-op under sc. *)
+    M.drain ();
     enqueue_node t ~tid ~detectable:false node;
     Profile.end_span ~tid sp;
     trace_end "enqueue" "ok"
@@ -183,20 +203,35 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
           end
           else begin
             (* tail is lagging: lines 44-45.  The flush guarantees that
-               any node reachable once tail moves has a persisted link. *)
+               any node reachable once tail moves has a persisted link;
+               px86 hardening: drain so the guarantee holds before the
+               advance (see the enqueue help path).  No-op under sc. *)
             M.flush (Pool.next (pool t) last);
+            M.drain ();
             ignore (M.cas t.tail ~expected:last ~desired:next);
             loop ()
           end
         else begin
-          if detectable then
+          if detectable then begin
             (* save predecessor of the node to be dequeued: lines 47-48 *)
             A.post t.an ~tid (Tagged.with_tag first Tagged.deq_prep);
+            (* px86 hardening: the posted predecessor must be durable
+               before the claim mark can persist — the claim CAS dirties
+               deq_tid, and a crash can write that line back while the
+               X post's flush still sits in the persist buffer, leaving
+               a persisted claim that no announcement attributes (the
+               value is consumed by nobody).  No-op under sc. *)
+            M.drain ()
+          end;
           if
             M.cas (Pool.deq_tid (pool t) next) ~expected:(-1) ~desired:mark
             (* line 49 *)
           then begin
             M.flush (Pool.deq_tid (pool t) next) (* line 50 *);
+            (* px86 hardening: the claim mark must be durable before the
+               head advance can persist, or a crash strands a persisted
+               head past an unmarked node.  No-op under sc. *)
+            M.drain ();
             ignore (M.cas t.head ~expected:first ~desired:next) (* line 51 *);
             let v = M.read (Pool.value (pool t) next) in
             (* Persist the head advance before the old sentinel can be
@@ -213,8 +248,10 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
             v
           end
           else if M.read t.head = first then begin
-            (* help another dequeuing thread: lines 53-55 *)
+            (* help another dequeuing thread: lines 53-55 (same
+               mark-before-head-advance ordering as above) *)
             M.flush (Pool.deq_tid (pool t) next);
+            M.drain ();
             ignore (M.cas t.head ~expected:first ~desired:next);
             loop ()
           end

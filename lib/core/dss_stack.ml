@@ -65,6 +65,11 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     let mark = claim_of w in
     M.write (Pool.deq_tid (pool t) node) mark;
     M.flush (Pool.deq_tid (pool t) node);
+    (* px86 hardening: the claimer's mark must be durable before the
+       top swing can persist — a crash could write the swung top back
+       while the mark's flush still sits in the persist buffer, removing
+       a node no announcement accounts for.  No-op under sc. *)
+    M.drain ();
     let next = M.read (Pool.next (pool t) node) in
     ignore (M.cas t.top ~expected:w ~desired:next);
     (* Persist the removal before the node can be recycled. *)
@@ -91,9 +96,21 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       else begin
         M.write (Pool.next (pool t) node) (idx_of w);
         M.flush (Pool.next (pool t) node);
+        (* px86 hardening: the link flush must be durable before the
+           publication can persist — the CAS dirties top, and a crash
+           can write top back while the node's next flush still sits in
+           the persist buffer, persisting a stack whose tail is lost.
+           No-op under sc. *)
+        M.drain ();
         if M.cas t.top ~expected:w ~desired:node then begin
           (* Persist the publication before reporting success. *)
           M.flush t.top;
+          (* px86 hardening: the publication flush must be durable
+             before the completion tag can persist — a crash could
+             write the dirty X line back while top's flush still sits
+             in the persist buffer, claiming completion for a push that
+             never became reachable.  No-op under sc. *)
+          M.drain ();
           if detectable then A.tag t.an ~tid Tagged.enq_compl
         end
         else loop ()
@@ -112,6 +129,10 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   let push t ~tid v =
     let sp = Profile.begin_span ~tid Profile.Exec in
     let node = make_node t ~tid v in
+    (* px86 hardening: the detectable path gets this durability point
+       from [A.announce]; the plain path must drain the node-field
+       flushes itself (see the queue's plain enqueue).  No-op under sc. *)
+    M.drain ();
     push_node t ~tid ~detectable:false node;
     Profile.end_span ~tid sp
 
@@ -138,9 +159,15 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       end
       else begin
         let node = idx_of w in
-        if detectable then
+        if detectable then begin
           (* Save the node we are about to claim. *)
           A.post t.an ~tid (Tagged.with_tag node Tagged.deq_prep);
+          (* px86 hardening: the posted claim target must be durable
+             before the claim (through the top word) can persist, or a
+             crash leaves a claimed node no announcement attributes.
+             No-op under sc. *)
+          M.drain ()
+        end;
         (* Phase 1: claim through the top word — atomic with top-ness. *)
         if M.cas t.top ~expected:w ~desired:(with_claim node mark) then begin
           (* Phases 2-3 (helpers may race us; all steps idempotent). *)

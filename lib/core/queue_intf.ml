@@ -38,27 +38,32 @@ let equal_resolved (a : resolved) (b : resolved) = a = b
     the backend coalesces flushes into per-thread persist buffers
     (again the harness keeps backend and config in sync); it is
     carried for reporting — the algorithms themselves are oblivious,
-    they just call [drain] at their persistence points. *)
+    they just call [drain] at their persistence points.  [persistency]
+    records the persistency model the backend runs under
+    ({!Dssq_memory.Memory_intf.Persistency}): [Sc] is the legacy
+    synchronous-flush model, [Px86] the buffered model where flushes
+    enqueue into per-thread persist buffers and only drains (or the
+    crash adversary) make them durable.  Like [line_size] and
+    [coalesce] it is descriptive — this record is the {e single}
+    interface carrying the memory-model axes; object signatures live in
+    {!Detectable_intf.LINKED_CORE} and restate none of it. *)
 type config = {
   nthreads : int;
   capacity : int;
   reclaim : bool;
   line_size : int;
   coalesce : bool;
+  persistency : Dssq_memory.Memory_intf.Persistency.t;
 }
 
-let config ?(reclaim = true) ?(line_size = 1) ?(coalesce = false) ~nthreads
+let config ?(reclaim = true) ?(line_size = 1) ?(coalesce = false)
+    ?(persistency = Dssq_memory.Memory_intf.Persistency.Sc) ~nthreads
     ~capacity () =
   if nthreads <= 0 then invalid_arg "Queue_intf.config: nthreads must be > 0";
   if capacity <= 0 then invalid_arg "Queue_intf.config: capacity must be > 0";
   if line_size <= 0 then
     invalid_arg "Queue_intf.config: line_size must be > 0";
-  { nthreads; capacity; reclaim; line_size; coalesce }
-
-(* The QUEUE / DETECTABLE_QUEUE module types that used to live here were
-   never implemented by anything (each object's [.mli] restated its own
-   near-copy); the shared signature is {!Detectable_intf.LINKED_CORE}
-   now, which the queue and stack [.mli]s include. *)
+  { nthreads; capacity; reclaim; line_size; coalesce; persistency }
 
 (** Closure record for heterogeneous dispatch in workloads and benches,
     hiding the functor-generated type [t]. *)

@@ -160,6 +160,34 @@ module Padded = struct
   let incr p = Atomic.incr p.v
 end
 
+(** Persistency model: the relation between store order and persist
+    order.  This is the single definition of the axis — backends,
+    object configs and the CLI all reference it from here.
+
+    - {!Sc}: the strong baseline every pre-relaxed figure was produced
+      under.  [flush] is synchronous (CLWB + implied drain): when it
+      returns, the line is durable.  Persist order equals flush order.
+    - {!Px86}: buffered (epoch) persistency in the style of Px86 /
+      PTSO.  [flush] only {e enqueues} the line into the issuing
+      thread's FIFO persist buffer; the line becomes durable when an
+      explicit [drain]/[fence] writes the buffer back — or when the
+      crash adversary chooses to write back a prefix of the buffer
+      asynchronously.  Stores never auto-drain, so the window between
+      a flush and its drain is visible to the model checker, which is
+      precisely the window real CLWB leaves open. *)
+module Persistency = struct
+  type t = Sc | Px86
+
+  let to_string = function Sc -> "sc" | Px86 -> "px86"
+
+  let of_string = function
+    | "sc" -> Some Sc
+    | "px86" -> Some Px86
+    | _ -> None
+
+  let all = [ Sc; Px86 ]
+end
+
 module type S = sig
   type 'a cell
   (** A shared memory word holding a value of type ['a].  On persistent

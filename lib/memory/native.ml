@@ -235,17 +235,24 @@ module Counted () : Memory_intf.COUNTED with type 'a cell = 'a cell = struct
     P.set c_fences 0
 end
 
-(** Flush-coalescing variant of the native backend (always counted —
-    the coalescing win is precisely what the counters exist to show).
-    Each domain owns a private persist buffer in domain-local storage:
+(** Shared body of the buffered native backends (always counted — the
+    buffering win is precisely what the counters exist to show).  Each
+    domain owns a private persist buffer in domain-local storage:
     [flush] records the cell's line (deduplicated; clean lines elided at
     any line size), [drain] clears the buffer paying one write-back
     latency — the buffered CLWBs complete in parallel, so one
-    [pay_flush] models the overlapped batch — plus the barrier.  Stores
-    and CAS auto-drain first when the buffer is nonempty, preserving
-    eager code's flush-before-dependent-store orderings.  Generative for
-    the same reason as {!Counted}. *)
-module Coalescing () : Memory_intf.COUNTED with type 'a cell = 'a cell = struct
+    [pay_flush] models the overlapped batch — plus the barrier.
+    [Cfg.auto_drain_on_store] selects the persistency contract:
+    {!Coalescing} (true) auto-drains before stores and CAS, preserving
+    eager code's flush-before-dependent-store orderings; {!Px86} (false)
+    leaves buffered flushes pending across stores, so only explicit
+    [drain]/[fence] barriers order persists — the native counter/trace
+    analogue of [Dssq_pmem.Heap]'s [Persistency.Px86] mode.  Generative
+    for the same reason as {!Counted}. *)
+module Make_buffered (Cfg : sig
+  val auto_drain_on_store : bool
+end)
+() : Memory_intf.COUNTED with type 'a cell = 'a cell = struct
   type nonrec 'a cell = 'a cell
   module P = Memory_intf.Padded
 
@@ -334,7 +341,7 @@ module Coalescing () : Memory_intf.COUNTED with type 'a cell = 'a cell = struct
     read c
 
   let write c v =
-    auto_drain ();
+    if Cfg.auto_drain_on_store then auto_drain ();
     P.incr c_writes;
     P.incr c_pwrites;
     write c v;
@@ -342,7 +349,7 @@ module Coalescing () : Memory_intf.COUNTED with type 'a cell = 'a cell = struct
     traced `Write c
 
   let cas c ~expected ~desired =
-    auto_drain ();
+    if Cfg.auto_drain_on_store then auto_drain ();
     P.incr c_cases;
     let hit = cas c ~expected ~desired in
     if hit then begin
@@ -403,3 +410,13 @@ module Coalescing () : Memory_intf.COUNTED with type 'a cell = 'a cell = struct
     P.set c_fences 0;
     P.set c_elided_fences 0
 end
+
+module Coalescing () = Make_buffered (struct
+  let auto_drain_on_store = true
+end)
+()
+
+module Px86 () = Make_buffered (struct
+  let auto_drain_on_store = false
+end)
+()

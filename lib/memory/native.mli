@@ -97,3 +97,12 @@ module Coalescing () : Memory_intf.COUNTED with type 'a cell = 'a cell
     stores/CAS auto-drain first when the buffer is nonempty.  Fills the
     [coalesced_flushes] / [elided_fences] counters that stay zero on
     the eager backends. *)
+
+module Px86 () : Memory_intf.COUNTED with type 'a cell = 'a cell
+(** Buffered-persistency variant (always counted): like {!Coalescing}
+    but stores and CAS do {e not} auto-drain, so buffered flushes stay
+    pending across dependent stores and only explicit [drain]/[fence]
+    barriers persist them — the native counter/trace analogue of
+    [Dssq_pmem.Heap]'s [Persistency.Px86] mode.  Counter-only on real
+    hardware (no crash adversary); the simulator is where the relaxed
+    crash behaviour is model-checked. *)

@@ -14,6 +14,7 @@ module Trace = Dssq_obs.Trace
 module Heatmap = Dssq_obs.Heatmap
 module Profile = Dssq_obs.Profile
 module Line = Dssq_memory.Memory_intf.Line
+module Persistency = Dssq_memory.Memory_intf.Persistency
 
 type stats = {
   mutable reads : int;
@@ -49,9 +50,29 @@ type t = {
          the crash adversary covers the whole deferral window. *)
   pending_calls : (int, int) Hashtbl.t;
       (* tid -> flush calls absorbed since the thread's last drain *)
+  pending_order : (int, int list ref) Hashtbl.t;
+      (* tid -> pending line ids, newest first (reverse FIFO).  Mirrors
+         [pending]; under px86 the drain writes back in FIFO order and
+         the crash adversary persists FIFO prefixes, so order is part of
+         the model, not just bookkeeping. *)
+  persistency : Persistency.t;
+      (* Sc: flushes are synchronous unless coalescing is opted into and
+         stores auto-drain (persist order = flush order).  Px86: every
+         flush buffers, stores never auto-drain, only drain/fence — or
+         the crash adversary — writes buffers back. *)
+  mutable reorder_pat : string option;
+      (* Fault injection for the checker's relaxed mutants: a flush of a
+         cell whose name contains this pattern enqueues at the FRONT of
+         the thread's FIFO instead of the back — a persist that jumps
+         the program's persist order.  Invisible under sc (no buffer). *)
+  mutable short_drain : bool;
+      (* Fault injection (checker's short-drain mutant): each px86 drain
+         misses the newest buffered entry — the off-by-one persist
+         barrier that covers every pwb except the one issued just before
+         it.  Invisible under sc (eager flushes leave nothing pending). *)
 }
 
-let create ?(line_size = 1) () =
+let create ?(line_size = 1) ?(persistency = Persistency.Sc) () =
   {
     cells = [];
     next_id = 0;
@@ -74,7 +95,13 @@ let create ?(line_size = 1) () =
     cur_tid = -1;
     pending = Hashtbl.create 8;
     pending_calls = Hashtbl.create 8;
+    pending_order = Hashtbl.create 8;
+    persistency;
+    reorder_pat = None;
+    short_drain = false;
   }
+
+let persistency t = t.persistency
 
 let line_size t = Line.Alloc.line_size t.line_alloc
 
@@ -162,6 +189,19 @@ let buffer t tid =
       Hashtbl.add t.pending tid b;
       b
 
+let order t tid =
+  match Hashtbl.find_opt t.pending_order tid with
+  | Some o -> o
+  | None ->
+      let o = ref [] in
+      Hashtbl.add t.pending_order tid o;
+      o
+
+let contains_sub hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
 let has_pending t =
   match Hashtbl.find_opt t.pending t.cur_tid with
   | Some b -> Hashtbl.length b > 0
@@ -195,6 +235,12 @@ let flush_coalesced t (c : 'a Cell.t) =
   end
   else if Line.is_dirty line then begin
     Hashtbl.add b line.Line.id line;
+    (let ord = order t t.cur_tid in
+     match t.reorder_pat with
+     | Some pat when contains_sub c.Cell.name pat ->
+         (* front of the FIFO = end of the newest-first list *)
+         ord := !ord @ [ line.Line.id ]
+     | _ -> ord := line.Line.id :: !ord);
     bump_calls t
   end
   else begin
@@ -213,23 +259,63 @@ let drain t =
   | None -> ()
   | Some b when Hashtbl.length b = 0 -> ()
   | Some b ->
-      Hashtbl.iter
-        (fun lid line ->
-          if Line.take_dirty line then begin
-            t.stats.flushes <- t.stats.flushes + 1;
-            attrib t `Flush ~line:lid;
-            persist_line t line;
-            if Trace.is_on () then
-              match members t line with
-              | Cell.Packed m :: _ -> traced `Flush m
-              | [] -> ()
-          end
-          else begin
-            t.stats.elided_flushes <- t.stats.elided_flushes + 1;
-            attrib t `Elide ~line:lid
-          end)
-        b;
+      let writeback lid line =
+        if Line.take_dirty line then begin
+          t.stats.flushes <- t.stats.flushes + 1;
+          attrib t `Flush ~line:lid;
+          persist_line t line;
+          if Trace.is_on () then
+            match members t line with
+            | Cell.Packed m :: _ -> traced `Flush m
+            | [] -> ()
+        end
+        else begin
+          t.stats.elided_flushes <- t.stats.elided_flushes + 1;
+          attrib t `Elide ~line:lid
+        end
+      in
+      (* Fault injection (checker's short-drain mutant): the barrier
+         misses the newest buffered entry, which stays pending. *)
+      let kept =
+        match t.persistency with
+        | Persistency.Px86 when t.short_drain -> (
+            match !(order t t.cur_tid) with
+            | newest :: _ -> (
+                match Hashtbl.find_opt b newest with
+                | Some line -> Some (newest, line)
+                | None -> None)
+            | [] -> None)
+        | _ -> None
+      in
+      (match t.persistency with
+      | Persistency.Sc ->
+          (* Hash order, as always: persist order within a drain is
+             unobservable under sc (the batch is atomic w.r.t. crashes),
+             and keeping the historical iteration order keeps event
+             streams bit-for-bit identical to the pre-px86 figures. *)
+          Hashtbl.iter writeback b
+      | Persistency.Px86 ->
+          (* FIFO: the write-back order is the order flushes were
+             issued, which is what the adversary's prefix drains (and
+             hence crash states) are defined against. *)
+          List.iter
+            (fun lid ->
+              if match kept with Some (k, _) -> k <> lid | None -> true then
+                match Hashtbl.find_opt b lid with
+                | Some line -> writeback lid line
+                | None -> ())
+            (List.rev !(order t t.cur_tid)));
       Hashtbl.reset b;
+      (match Hashtbl.find_opt t.pending_order t.cur_tid with
+      | Some o -> o := []
+      | None -> ());
+      (match kept with
+      | Some (lid, line) ->
+          Hashtbl.replace b lid line;
+          (match Hashtbl.find_opt t.pending_order t.cur_tid with
+          | Some o -> o := [ lid ]
+          | None -> Hashtbl.replace t.pending_order t.cur_tid (ref [ lid ]))
+      | None -> ());
       let calls =
         Option.value ~default:0 (Hashtbl.find_opt t.pending_calls t.cur_tid)
       in
@@ -248,8 +334,60 @@ let drain t =
    store, CAS, or fence.  Folding the drain into the same atomic step is
    sound — a drain changes no volatile state, and the crash state "just
    after the drain" is already reachable by evicting every pending line
-   at the crash before this step. *)
-let auto_drain t = if has_pending t then drain t
+   at the crash before this step.
+
+   Under px86 stores do NOT auto-drain: the decoupling of persist order
+   from store order is the model, and closing the window here would hide
+   exactly the executions the relaxed sweep exists to find.  Explicit
+   [fence]/[drain] still write the buffer back. *)
+let auto_drain t =
+  if t.persistency = Persistency.Sc && has_pending t then drain t
+
+(** Asynchronous write-back chosen by the crash adversary (px86): persist
+    the oldest [count] entries of thread [tid]'s persist buffer, in FIFO
+    order, with no fence — modelling CLWBs that happened to complete
+    before power failed.  Counted as effective flushes.  Out-of-range
+    targets (unknown thread, empty buffer, count past the end) degrade to
+    persisting what is there, so replaying a token prefix against a heap
+    whose buffers evolved differently stays total. *)
+let adversary_drain t ~tid ~count =
+  match
+    (Hashtbl.find_opt t.pending tid, Hashtbl.find_opt t.pending_order tid)
+  with
+  | Some b, Some ord when count > 0 ->
+      List.iteri
+        (fun i lid ->
+          if i < count then
+            match Hashtbl.find_opt b lid with
+            | Some line ->
+                Hashtbl.remove b lid;
+                if Line.take_dirty line then begin
+                  t.stats.flushes <- t.stats.flushes + 1;
+                  attrib t `Flush ~line:lid;
+                  persist_line t line
+                end
+                else begin
+                  t.stats.elided_flushes <- t.stats.elided_flushes + 1;
+                  attrib t `Elide ~line:lid
+                end
+            | None -> ())
+        (List.rev !ord);
+      ord := List.filter (fun lid -> Hashtbl.mem b lid) !ord
+  | _ -> ()
+
+(** Per-thread persist-buffer contents, oldest first: [(tid, lines)]
+    sorted by thread id — the FIFOs the crash adversary draws drain
+    prefixes over.  Empty under sc: there the coalescing windows are
+    already covered by the per-line verdicts. *)
+let pending_fifos t =
+  match t.persistency with
+  | Persistency.Sc -> []
+  | Persistency.Px86 ->
+      Hashtbl.fold
+        (fun tid ord acc ->
+          match List.rev !ord with [] -> acc | fifo -> (tid, fifo) :: acc)
+        t.pending_order []
+      |> List.sort compare
 
 let read t (c : 'a Cell.t) : 'a =
   t.stats.reads <- t.stats.reads + 1;
@@ -318,6 +456,23 @@ let dirty_lines t =
     t.cells
   |> List.sort_uniq compare
 
+(** Lines eligible for a per-line eviction verdict at a crash.  Under sc
+    every dirty line qualifies.  Under px86 a line sitting in some
+    thread's persist buffer reaches the persistence domain only through
+    that buffer — in FIFO order, via an adversary prefix drain — so the
+    free-form verdicts range over the dirty lines {e outside} every
+    buffer (stores issued and never flushed). *)
+let crash_candidate_lines t =
+  match t.persistency with
+  | Persistency.Sc -> dirty_lines t
+  | Persistency.Px86 ->
+      let buffered = Hashtbl.create 16 in
+      Hashtbl.iter
+        (fun _ b ->
+          Hashtbl.iter (fun lid _ -> Hashtbl.replace buffered lid ()) b)
+        t.pending;
+      List.filter (fun lid -> not (Hashtbl.mem buffered lid)) (dirty_lines t)
+
 (* Shared crash core: [verdict lid] decides, per dirty line, whether the
    line was written back by cache eviction before power was lost ([true])
    or discarded ([false]) — the verdict applies to all the line's dirty
@@ -353,6 +508,7 @@ let crash_by_line t ~verdict =
      their fate). *)
   Hashtbl.reset t.pending;
   Hashtbl.reset t.pending_calls;
+  Hashtbl.reset t.pending_order;
   if Trace.is_on () then Trace.crash ~verdicts:(List.rev !verdicts)
 
 (** Crash with one [evict] draw per dirty line, drawn in the order lines

@@ -11,6 +11,7 @@
     1 reproduces the original word-granular model exactly. *)
 
 module Line = Dssq_memory.Memory_intf.Line
+module Persistency = Dssq_memory.Memory_intf.Persistency
 
 type stats = {
   mutable reads : int;
@@ -43,12 +44,28 @@ type t = {
           per-thread coalescing buffers *)
   pending : (int, (int, Line.t) Hashtbl.t) Hashtbl.t;
   pending_calls : (int, int) Hashtbl.t;
+  pending_order : (int, int list ref) Hashtbl.t;
+      (** tid -> pending line ids, newest first: the FIFO the px86 drain
+          and the adversary's prefix write-backs are ordered by *)
+  persistency : Persistency.t;
+  mutable reorder_pat : string option;
+      (** fault injection for relaxed mutants: flushes of cells whose
+          name contains the pattern jump to the front of the FIFO *)
+  mutable short_drain : bool;
+      (** fault injection for relaxed mutants: each px86 drain misses
+          the newest buffered entry (off-by-one persist barrier) *)
 }
 
-val create : ?line_size:int -> unit -> t
+val create : ?line_size:int -> ?persistency:Persistency.t -> unit -> t
 (** [line_size] defaults to 1 — the original word-granular persistence
     model (every flush charged, no elision, per-word crash eviction).
-    Pass [Line.default_size] (8) for the cache-line model. *)
+    Pass [Line.default_size] (8) for the cache-line model.
+    [persistency] defaults to {!Persistency.Sc}, the strong model every
+    pre-relaxed figure anchors to; {!Persistency.Px86} turns every flush
+    into a per-thread FIFO buffer enqueue that only [drain]/[fence] — or
+    the crash adversary — makes durable. *)
+
+val persistency : t -> Persistency.t
 
 val line_size : t -> int
 
@@ -102,6 +119,29 @@ val has_pending : t -> bool
 
 val pending_lines : t -> int list
 (** Line ids in the current thread's persist buffer, ascending. *)
+
+(** {2 Buffered (px86) persistency}
+
+    Under {!Persistency.Px86} every flush goes through the per-thread
+    buffer (no auto-drain before stores), the buffer drains in FIFO
+    order, and a crash may first write back an adversary-chosen FIFO
+    {e prefix} per thread.  These entry points expose the buffers to the
+    model checker. *)
+
+val adversary_drain : t -> tid:int -> count:int -> unit
+(** Persist the oldest [count] entries of thread [tid]'s buffer, in FIFO
+    order, with no fence — the adversary's asynchronous write-back.
+    Degrades to a no-op / shorter prefix when the buffer is smaller. *)
+
+val pending_fifos : t -> (int * int list) list
+(** Per-thread buffer contents, oldest first, sorted by thread id.
+    Always empty under sc. *)
+
+val crash_candidate_lines : t -> int list
+(** Dirty lines eligible for free-form eviction verdicts at a crash:
+    all of {!dirty_lines} under sc; under px86, the dirty lines not
+    sitting in any thread's persist buffer (buffered lines persist only
+    via {!adversary_drain} prefixes). *)
 
 val crash : t -> evict:(unit -> bool) -> unit
 (** Crash the machine: for every dirty {e line}, [evict ()] decides

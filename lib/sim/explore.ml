@@ -8,6 +8,14 @@
     along each branch — continuations are one-shot, so replay is how we
     fork.
 
+    When the scenario's heap runs under buffered (px86) persistency, a
+    crash point additionally enumerates adversary-chosen {e buffer-drain
+    prefixes}: for each thread, any FIFO prefix of its persist buffer
+    may have been written back asynchronously before power was lost.
+    These appear as {!Bdrain} decisions (token [b<tid>:<count>]) right
+    before the [Crash], so relaxed counterexamples replay byte-for-byte
+    like everything else.
+
     Two complementary bounding techniques keep the search tractable:
 
     - {b Sleep-set reduction} (a simple stateless DPOR): after exploring
@@ -42,9 +50,16 @@ type verdict = { line : int; evicted : bool }
     cache wrote the line back before power was lost (its writes
     survive), [false] means the line was dropped. *)
 
-type decision = Sched of int | Crash of verdict list
+type decision =
+  | Sched of int
+  | Bdrain of { tid : int; count : int }
+      (** adversary buffer write-back (px86): persist the oldest [count]
+          entries of thread [tid]'s persist-buffer FIFO.  Emitted
+          immediately before a [Crash]; replay accepts it anywhere. *)
+  | Crash of verdict list
 (** One branch choice: step thread [tid], or crash with the given
-    per-dirty-line verdicts.  A complete list of decisions identifies an
+    per-dirty-line verdicts (under px86, preceded by adversary-chosen
+    buffer-drain prefixes).  A complete list of decisions identifies an
     execution exactly and is the replayable counterexample currency. *)
 
 type schedule = decision list
@@ -69,6 +84,11 @@ type stats = {
       (** crash points whose 2^k eviction subsets were fully enumerated *)
   crash_sampled : int;
       (** crash points that fell back to sampling (k over the cap) *)
+  drain_points : int;
+      (** crash points where at least one px86 persist buffer was
+          nonempty, i.e. where buffer-drain prefixes were enumerated *)
+  drain_branches : int;
+      (** crash executions that carried at least one [Bdrain] decision *)
   wall_s : float;  (** wall-clock seconds spent in [run] *)
 }
 
@@ -109,6 +129,8 @@ type 'ctx t = {
   mutable crash_points : int;
   mutable crash_enumerated : int;
   mutable crash_sampled : int;
+  mutable drain_points : int;
+  mutable drain_branches : int;
 }
 
 let make ?(crashes = false) ?(adversary = `Per_line) ?(max_crash_lines = 4)
@@ -136,6 +158,8 @@ let make ?(crashes = false) ?(adversary = `Per_line) ?(max_crash_lines = 4)
     crash_points = 0;
     crash_enumerated = 0;
     crash_sampled = 0;
+    drain_points = 0;
+    drain_branches = 0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -153,6 +177,7 @@ let schedule_to_string sched =
     (List.map
        (function
          | Sched tid -> Printf.sprintf "t%d" tid
+         | Bdrain { tid; count } -> Printf.sprintf "b%d:%d" tid count
          | Crash vs -> "c" ^ verdicts_to_string vs)
        sched)
 
@@ -183,6 +208,20 @@ let schedule_of_string s =
                match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
                | Some tid when tid >= 0 -> Sched tid
                | _ -> fail tok)
+           | 'b' -> (
+               let rest = String.sub tok 1 (String.length tok - 1) in
+               match String.index_opt rest ':' with
+               | Some i -> (
+                   let tid = int_of_string_opt (String.sub rest 0 i) in
+                   let count =
+                     int_of_string_opt
+                       (String.sub rest (i + 1) (String.length rest - i - 1))
+                   in
+                   match (tid, count) with
+                   | Some tid, Some count when tid >= 0 && count >= 1 ->
+                       Bdrain { tid; count }
+                   | _ -> fail tok)
+               | None -> fail tok)
            | 'c' ->
                let rest = String.sub tok 1 (String.length tok - 1) in
                if rest = "" then Crash []
@@ -210,6 +249,10 @@ let replay t prefix =
           | Sched tid ->
               if Trace.is_on () then Trace.set_tid tid;
               ignore (Machine.step machine tid : Machine.step_info)
+          | Bdrain { tid; count } ->
+              (* Asynchronous write-back of the oldest [count] buffered
+                 lines of thread [tid] — no scheduling step, no fence. *)
+              Heap.adversary_drain scenario.heap ~tid ~count
           | Crash vs ->
               if Trace.is_on () then Trace.set_tid (-1);
               Machine.kill_all machine;
@@ -306,6 +349,88 @@ let crash_choices t dirty =
         List.sort_uniq compare (uniform false :: uniform true :: samples)
       end
 
+(* Joint px86 crash adversary: pick a FIFO write-back prefix per thread
+   {e and} a per-line verdict over the unbuffered dirty lines.  The two
+   axes are independent (drains target buffered lines, verdicts the
+   rest), so the joint space is [Π (len_t + 1) × 2^k]; it is enumerated
+   exhaustively while it fits the same [2^max_crash_lines] budget the
+   verdict adversary uses per crash point — one budget for the whole
+   point, not per axis, which is what keeps the px86 corpus within a
+   small constant of the sc corpus cost.  Above the budget we keep the
+   four extremes (nothing/everything drained × everything lost/written
+   back) plus [crash_samples] seeded random (prefix, verdict) picks —
+   the same sampling discipline, and the same single source of
+   incompleteness, as {!crash_choices}.  Count-0 prefixes emit no
+   decision, so drain-free branches carry pre-px86 schedules. *)
+let joint_crash_choices t ~fifos ~candidates =
+  t.crash_points <- t.crash_points + 1;
+  let drains_of choice =
+    List.filter_map
+      (fun (tid, c) -> if c = 0 then None else Some (Bdrain { tid; count = c }))
+      choice
+  in
+  let full = drains_of (List.map (fun (tid, f) -> (tid, List.length f)) fifos) in
+  let uniform evicted = List.map (fun line -> { line; evicted }) candidates in
+  let extremes =
+    List.sort_uniq compare
+      [
+        ([], uniform false);
+        ([], uniform true);
+        (full, uniform false);
+        (full, uniform true);
+      ]
+  in
+  match t.adversary with
+  | `All_or_nothing ->
+      t.crash_enumerated <- t.crash_enumerated + 1;
+      extremes
+  | `Per_line ->
+      let k = List.length candidates in
+      let dtotal =
+        List.fold_left (fun acc (_, f) -> acc * (List.length f + 1)) 1 fifos
+      in
+      if dtotal * (1 lsl k) <= 1 lsl t.max_crash_lines then begin
+        t.crash_enumerated <- t.crash_enumerated + 1;
+        let prefix_choices =
+          List.fold_left
+            (fun acc (tid, fifo) ->
+              List.concat_map
+                (fun partial ->
+                  List.init (List.length fifo + 1) (fun c ->
+                      partial @ [ (tid, c) ]))
+                acc)
+            [ [] ] fifos
+        in
+        List.concat_map
+          (fun choice ->
+            let drains = drains_of choice in
+            List.init (1 lsl k) (fun mask ->
+                ( drains,
+                  List.mapi
+                    (fun i line ->
+                      { line; evicted = mask land (1 lsl i) <> 0 })
+                    candidates )))
+          prefix_choices
+      end
+      else begin
+        t.crash_sampled <- t.crash_sampled + 1;
+        let samples =
+          List.init t.crash_samples (fun _ ->
+              let choice =
+                List.map
+                  (fun (tid, f) ->
+                    (tid, Random.State.int t.rng (List.length f + 1)))
+                  fifos
+              in
+              ( drains_of choice,
+                List.map
+                  (fun line ->
+                    { line; evicted = Random.State.bool t.rng })
+                  candidates ))
+        in
+        List.sort_uniq compare (extremes @ samples)
+      end
+
 (* ------------------------------------------------------------------ *)
 (* Search.                                                             *)
 
@@ -321,16 +446,32 @@ let rec dfs t prefix depth ~sleep ~last ~preemptions ~round =
   if depth > t.max_steps then
     failwith "Explore: max_steps exceeded (livelock under exploration?)";
   (* Crash branches: at every reachable step boundary, try each
-     per-line eviction choice over the lines dirty right now. *)
-  if t.crashes && round_matches round preemptions then
-    List.iter
-      (fun vs ->
-        let schedule = prefix @ [ Crash vs ] in
-        let crashed_scenario, _, outcome = replay t schedule in
-        assert (outcome = `Crashed);
-        t.crash_branches <- t.crash_branches + 1;
-        finish t schedule crashed_scenario ~crashed:true)
-      (crash_choices t (Heap.dirty_lines scenario.heap));
+     per-line eviction choice over the lines dirty right now — under
+     px86, crossed with each adversary buffer-drain prefix combination
+     (the drains target buffered lines, the verdicts the rest, so the
+     two choice axes are independent). *)
+  (if t.crashes && round_matches round preemptions then begin
+     let fifos = Heap.pending_fifos scenario.heap in
+     let candidates = Heap.crash_candidate_lines scenario.heap in
+     let run_branch drains vs =
+       let schedule = prefix @ drains @ [ Crash vs ] in
+       let crashed_scenario, _, outcome = replay t schedule in
+       assert (outcome = `Crashed);
+       t.crash_branches <- t.crash_branches + 1;
+       if drains <> [] then t.drain_branches <- t.drain_branches + 1;
+       finish t schedule crashed_scenario ~crashed:true
+     in
+     if fifos = [] then
+       (* Empty buffers (always, under sc): verdicts only — branch
+          structure and schedules bit-for-bit the pre-px86 ones. *)
+       List.iter (fun vs -> run_branch [] vs) (crash_choices t candidates)
+     else begin
+       t.drain_points <- t.drain_points + 1;
+       List.iter
+         (fun (drains, vs) -> run_branch drains vs)
+         (joint_crash_choices t ~fifos ~candidates)
+     end
+   end);
   match Machine.runnable machine with
   | [] ->
       if round_matches round preemptions then
@@ -382,6 +523,8 @@ let run t =
   t.crash_points <- 0;
   t.crash_enumerated <- 0;
   t.crash_sampled <- 0;
+  t.drain_points <- 0;
+  t.drain_branches <- 0;
   t.rng <- Random.State.make [| t.seed; 0xD55 |];
   let t0 = Unix.gettimeofday () in
   (match t.max_preemptions with
@@ -398,6 +541,8 @@ let run t =
     crash_points = t.crash_points;
     crash_enumerated = t.crash_enumerated;
     crash_sampled = t.crash_sampled;
+    drain_points = t.drain_points;
+    drain_branches = t.drain_branches;
     wall_s = Unix.gettimeofday () -. t0;
   }
 

@@ -14,9 +14,17 @@ type verdict = { line : int; evicted : bool }
 (** Crash fate of one dirty persist line: [evicted = true] = the cache
     wrote the line back before power loss (survives), [false] = lost. *)
 
-type decision = Sched of int | Crash of verdict list
+type decision =
+  | Sched of int
+  | Bdrain of { tid : int; count : int }
+      (** adversary buffer write-back (px86): persist the oldest [count]
+          entries of thread [tid]'s persist-buffer FIFO — no fence, no
+          scheduling step.  The search emits these immediately before a
+          [Crash]; replay accepts them anywhere. *)
+  | Crash of verdict list
 (** One branch choice: step thread [tid], or crash with the given
-    per-dirty-line verdicts. *)
+    per-dirty-line verdicts (under px86, after adversary-chosen
+    buffer-drain prefixes). *)
 
 type schedule = decision list
 (** A complete list of decisions identifies an execution exactly. *)
@@ -41,6 +49,11 @@ type stats = {
       (** crash points whose 2^k eviction subsets were fully enumerated *)
   crash_sampled : int;
       (** crash points that fell back to sampling (k over the cap) *)
+  drain_points : int;
+      (** crash points with at least one nonempty px86 persist buffer
+          (always 0 under sc) *)
+  drain_branches : int;
+      (** crash executions carrying at least one [Bdrain] decision *)
   wall_s : float;  (** wall-clock seconds spent in [run] *)
 }
 (** Coverage telemetry: [pruned /. (pruned + branches)] is the sleep-set
@@ -102,7 +115,10 @@ val explain : 'ctx t -> schedule -> outcome * Dssq_obs.Trace.entry list
 
 val schedule_to_string : schedule -> string
 (** Compact replay token, e.g. ["t0.t0.t1.c3e,5d"] — thread steps plus a
-    final crash with per-line verdicts ([e]victed / [d]ropped). *)
+    final crash with per-line verdicts ([e]victed / [d]ropped).  Under
+    px86 the crash may be preceded by buffer-drain tokens, e.g.
+    ["t0.t1.b0:2.c1d"] — persist the oldest 2 entries of thread 0's
+    buffer, then crash dropping line 1. *)
 
 val schedule_of_string : string -> schedule
 (** Inverse of {!schedule_to_string}.

@@ -143,6 +143,16 @@ let pending_access t tid =
          footprint the access summary cannot name, so treat it like
          [Start]: conflicting with everything (sound, conservative). *)
       Some Start
+  | Waiting (Paused (Sim_op.Fence, _))
+    when (match Hashtbl.find_opt t.heap.Heap.pending tid with
+         | Some b -> Hashtbl.length b > 0
+         | None -> false) ->
+      (* A fence by a thread with a nonempty persist buffer drains it
+         (see [Heap.fence]) — same unnameable footprint as [Drain], so
+         the same conservative verdict.  On the eager path the buffer is
+         always empty and fences stay [Pure], preserving the pre-px86
+         reduction exactly. *)
+      Some Start
   | Waiting (Paused (op, _)) -> (
       match (Sim_op.cell_id op, Sim_op.target op) with
       | Some cell, Some line -> Some (Mem { kind = Sim_op.kind op; cell; line })

@@ -54,8 +54,17 @@ type outcome = {
     flush-before-dependent-store orderings are preserved.  With the
     default [~coalesce:false], [drain] is a literal no-op (zero events,
     zero scheduling points), keeping annotated algorithms bit-for-bit
-    identical to their pre-coalescing event streams. *)
+    identical to their pre-coalescing event streams.
+
+    A heap created with [~persistency:Px86] forces the buffered routing
+    regardless of [coalesce]: under the relaxed model a synchronous
+    flush does not exist — the heap itself then skips the store
+    auto-drain, so the flush-to-drain window stays open for the crash
+    adversary. *)
 let memory ?(coalesce = false) heap : (module Dssq_memory.Memory_intf.S) =
+  let buffered =
+    coalesce || Heap.persistency heap = Heap.Persistency.Px86
+  in
   (module struct
     type 'a cell = 'a Cell.t
 
@@ -72,10 +81,10 @@ let memory ?(coalesce = false) heap : (module Dssq_memory.Memory_intf.S) =
     let cas c ~expected ~desired = op (Sim_op.Cas (c, expected, desired))
 
     let flush c =
-      if coalesce then op (Sim_op.Flush_async c) else op (Sim_op.Flush c)
+      if buffered then op (Sim_op.Flush_async c) else op (Sim_op.Flush c)
 
     let fence () = op Sim_op.Fence
-    let drain () = if coalesce then op Sim_op.Drain
+    let drain () = if buffered then op Sim_op.Drain
   end)
 
 (** {!memory} plus the uniform accounting interface: the heap always
@@ -184,10 +193,34 @@ let run ?(policy = Round_robin) ?(crash = No_crash) ?(max_steps = 1_000_000)
 
 (** Apply crash semantics to the heap: every dirty line independently
     persists with probability [evict_p] (cache eviction at power loss)
-    or reverts to its last flushed value — each line as a unit. *)
+    or reverts to its last flushed value — each line as a unit.  Under
+    px86 the draw respects the buffered model: each thread's persist
+    buffer first writes back a random FIFO {e prefix} (the adversary's
+    asynchronous drain), and the free-form per-line verdicts then range
+    only over the dirty lines outside every buffer — a buffered line
+    that missed its prefix is lost, never evicted out of order. *)
 let apply_crash heap ~evict_p ~seed =
   let rng = Random.State.make [| seed; 0xC7A5 |] in
-  Heap.crash_random heap ~evict_p ~rng
+  match Heap.pending_fifos heap with
+  | [] -> Heap.crash_random heap ~evict_p ~rng
+  | fifos ->
+      List.iter
+        (fun (tid, entries) ->
+          Heap.adversary_drain heap ~tid
+            ~count:(Random.State.int rng (List.length entries + 1)))
+        fifos;
+      let candidates = Heap.crash_candidate_lines heap in
+      let memo : (int, bool) Hashtbl.t = Hashtbl.create 16 in
+      Heap.crash_lines heap ~evict:(fun lid ->
+          match Hashtbl.find_opt memo lid with
+          | Some v -> v
+          | None ->
+              let v =
+                List.mem lid candidates
+                && Random.State.float rng 1.0 < evict_p
+              in
+              Hashtbl.add memo lid v;
+              v)
 
 (** Re-raise the first non-[Killed] exception a thread died with, so test
     failures inside simulated threads are not silently swallowed. *)

@@ -251,8 +251,8 @@ let make_runner (module M : Dssq_memory.Memory_intf.S) ~pairs name : runner =
         (Printf.sprintf "Zoo: unknown object %s (known: %s)" other
            (String.concat ", " objects))
 
-let run_one ?(pairs = 200) ?(line_size = 1) name =
-  let heap = Heap.create ~line_size () in
+let run_one ?(pairs = 200) ?(line_size = 1) ?persistency name =
+  let heap = Heap.create ~line_size ?persistency () in
   let (module M) = Sim.counted_memory heap in
   let r = make_runner (module M) ~pairs name in
   M.reset_counters ();
@@ -265,8 +265,8 @@ let run_one ?(pairs = 200) ?(line_size = 1) name =
     z_stats = r.r_stats ();
   }
 
-let run_all ?pairs ?line_size () =
-  List.map (fun name -> run_one ?pairs ?line_size name) objects
+let run_all ?pairs ?line_size ?persistency () =
+  List.map (fun name -> run_one ?pairs ?line_size ?persistency name) objects
 
 (* ------------------------- attributed profiling ------------------------ *)
 
@@ -293,9 +293,9 @@ let with_attribution body =
     body
 
 let profile_one ?(pairs = 200) ?(line_size = 1) ?(coalesce = false)
-    ?(crash = false) name =
+    ?persistency ?(crash = false) name =
   with_attribution (fun () ->
-      let heap = Heap.create ~line_size () in
+      let heap = Heap.create ~line_size ?persistency () in
       let (module M) = Sim.counted_memory ~coalesce heap in
       let r = make_runner (module M) ~pairs name in
       M.reset_counters ();
@@ -320,7 +320,7 @@ let profile_one ?(pairs = 200) ?(line_size = 1) ?(coalesce = false)
       })
 
 let profile_one_native ?(pairs = 200) ?(line_size = 1) ?(coalesce = false)
-    name =
+    ?(persistency = MI.Persistency.Sc) name =
   let module Native = Dssq_memory.Native in
   let module Trace = Dssq_obs.Trace in
   with_attribution (fun () ->
@@ -353,12 +353,16 @@ let profile_one_native ?(pairs = 200) ?(line_size = 1) ?(coalesce = false)
           p_heat = Heatmap.rows ();
         }
       in
-      if coalesce then measure (module Native.Coalescing ())
+      if persistency = MI.Persistency.Px86 then
+        (* px86 subsumes coalescing: same buffer, weaker store ordering *)
+        measure (module Native.Px86 ())
+      else if coalesce then measure (module Native.Coalescing ())
       else measure (module Native.Counted ()))
 
-let profile_all ?pairs ?line_size ?coalesce ?crash () =
+let profile_all ?pairs ?line_size ?coalesce ?persistency ?crash () =
   List.map
-    (fun name -> profile_one ?pairs ?line_size ?coalesce ?crash name)
+    (fun name ->
+      profile_one ?pairs ?line_size ?coalesce ?persistency ?crash name)
     objects
 
 (* ------------------------------ reporting ------------------------------ *)

@@ -22,12 +22,25 @@ val flushes_per_op : row -> float
 val objects : string list
 (** Every object the zoo can account, by registry-style name. *)
 
-val run_one : ?pairs:int -> ?line_size:int -> string -> row
+val run_one :
+  ?pairs:int ->
+  ?line_size:int ->
+  ?persistency:Dssq_memory.Memory_intf.Persistency.t ->
+  string ->
+  row
 (** Run the accounting workload for one object ([pairs] iterations per
-    thread, two detectable operations per iteration).
+    thread, two detectable operations per iteration).  [persistency]
+    (default [Sc]) selects the heap's persistency model; under [Px86]
+    flushes buffer and only the objects' drain barriers write back, so
+    the per-op event mix shifts accordingly.
     @raise Invalid_argument listing {!objects} on an unknown name. *)
 
-val run_all : ?pairs:int -> ?line_size:int -> unit -> row list
+val run_all :
+  ?pairs:int ->
+  ?line_size:int ->
+  ?persistency:Dssq_memory.Memory_intf.Persistency.t ->
+  unit ->
+  row list
 (** {!run_one} over all of {!objects}, in order. *)
 
 type profile = {
@@ -42,6 +55,7 @@ val profile_one :
   ?pairs:int ->
   ?line_size:int ->
   ?coalesce:bool ->
+  ?persistency:Dssq_memory.Memory_intf.Persistency.t ->
   ?crash:bool ->
   string ->
   profile
@@ -53,15 +67,23 @@ val profile_one :
     @raise Invalid_argument listing {!objects} on an unknown name. *)
 
 val profile_one_native :
-  ?pairs:int -> ?line_size:int -> ?coalesce:bool -> string -> profile
+  ?pairs:int ->
+  ?line_size:int ->
+  ?coalesce:bool ->
+  ?persistency:Dssq_memory.Memory_intf.Persistency.t ->
+  string ->
+  profile
 (** {!profile_one} on the native Counted (or Coalescing) backend, with
-    workers run sequentially for a deterministic event stream.  No crash
-    arm: crash semantics are simulator-only. *)
+    workers run sequentially for a deterministic event stream.
+    [persistency:Px86] selects the [Native.Px86] buffered backend
+    (subsumes [coalesce]).  No crash arm: crash semantics are
+    simulator-only. *)
 
 val profile_all :
   ?pairs:int ->
   ?line_size:int ->
   ?coalesce:bool ->
+  ?persistency:Dssq_memory.Memory_intf.Persistency.t ->
   ?crash:bool ->
   unit ->
   profile list

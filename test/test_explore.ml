@@ -1,13 +1,17 @@
 (** The model checker checking itself: schedule-token round-trips,
-    deterministic replay (per-line eviction verdicts included),
-    sleep-set reduction soundness (same verdict as the naive search,
-    strictly fewer executions on independent threads), iterative
-    deepening boundaries, and per-line crash-adversary coverage. *)
+    deterministic replay (per-line eviction verdicts and buffer-drain
+    decisions included), sleep-set reduction soundness (same verdict as
+    the naive search, strictly fewer executions on independent threads),
+    iterative deepening boundaries, per-line crash-adversary coverage,
+    and the buffered (px86) persistency axis: the drain adversary's
+    extra reach, its equivalence with sc under drain-at-every-
+    persistence-point programs, and the report schema's v2/v3
+    compatibility. *)
 
 open Helpers
 
-let with_mem () =
-  let heap = Heap.create () in
+let with_mem ?persistency () =
+  let heap = Heap.create ?persistency () in
   let (module M) = Sim.memory heap in
   (heap, (module M : Dssq_memory.Memory_intf.S))
 
@@ -18,6 +22,9 @@ let decision_gen =
     oneof
       [
         map (fun t -> Explore.Sched t) (int_range 0 7);
+        map
+          (fun (tid, count) -> Explore.Bdrain { tid; count })
+          (pair (int_range 0 3) (int_range 1 4));
         map
           (fun vs ->
             Explore.Crash
@@ -56,9 +63,32 @@ let test_token_examples () =
   (* A crash with no dirty lines renders as a bare "c". *)
   Alcotest.(check string) "empty crash" "t0.c"
     (Explore.schedule_to_string [ Explore.Sched 0; Explore.Crash [] ]);
+  (* A buffer-drain decision: thread 0 writes back its two oldest
+     buffered flushes before the crash verdicts apply. *)
+  let drained =
+    [
+      Explore.Sched 0;
+      Explore.Sched 1;
+      Explore.Bdrain { tid = 0; count = 2 };
+      Explore.Crash [ { Explore.line = 1; evicted = false } ];
+    ]
+  in
+  Alcotest.(check string) "drain rendering" "t0.t1.b0:2.c1d"
+    (Explore.schedule_to_string drained);
+  Alcotest.(check bool)
+    "drain parses back" true
+    (Explore.schedule_of_string "t0.t1.b0:2.c1d" = drained);
   Alcotest.check_raises "malformed token rejected"
     (Invalid_argument "Explore.schedule_of_string: bad token \"x9\"")
-    (fun () -> ignore (Explore.schedule_of_string "t0.x9"))
+    (fun () -> ignore (Explore.schedule_of_string "t0.x9"));
+  List.iter
+    (fun tok ->
+      Alcotest.check_raises
+        (Printf.sprintf "bad drain token %S rejected" tok)
+        (Invalid_argument
+           (Printf.sprintf "Explore.schedule_of_string: bad token %S" tok))
+        (fun () -> ignore (Explore.schedule_of_string ("t0." ^ tok))))
+    [ "b0" (* no colon *); "b0:0" (* count < 1 *); "b-1:2" (* negative tid *) ]
 
 (* ------------------- reduction: sound and effective ------------------ *)
 
@@ -309,6 +339,271 @@ let prop_replay_deterministic =
           | Explore.Failed _, trace -> trace <> []
           | Explore.Passed _, _ -> false))
 
+(* ----------------- buffered (px86) persistency axis ------------------ *)
+
+let px86 = Heap.Persistency.Px86
+
+(* One thread, flush-ordered commit protocol, no drain: under px86 every
+   flush only buffers, so nothing persists except through the crash
+   adversary's drain prefixes and evictions of dirty-unbuffered lines. *)
+let px86_crash_explorer ?persistency ~check () =
+  Explore.make ~crashes:true ~adversary:`Per_line
+    ~setup:(fun () ->
+      let heap, (module M) = with_mem ?persistency () in
+      let data = M.alloc 0 and committed = M.alloc 0 in
+      {
+        Explore.ctx = (fun () -> (M.read data, M.read committed));
+        heap;
+        threads =
+          [
+            (fun () ->
+              M.write data 42;
+              M.flush data;
+              M.write committed 1;
+              M.flush committed);
+          ];
+      })
+    ~check ()
+
+let test_px86_buffered_hazard () =
+  (* data is flushed before the marker is even written, so under sc the
+     commit marker can never persist ahead of its payload.  Under px86
+     the flush only buffers: at the crash point after [write committed]
+     the data line sits in thread 0's persist buffer while the marker's
+     line is dirty-unbuffered — the adversary evicts the marker and
+     loses the buffer, persisting a commit without its data. *)
+  let check get _heap ~crashed =
+    if crashed then begin
+      let d, c = get () in
+      if c = 1 && d = 0 then failwith "commit marker without data"
+    end
+  in
+  (match Explore.run (px86_crash_explorer ~check ()) with
+  | (_ : Explore.stats) -> ()
+  | exception Explore.Violation { schedule; _ } ->
+      Alcotest.failf "sc flagged the flush-ordered program at %s"
+        (Explore.schedule_to_string schedule));
+  match Explore.run (px86_crash_explorer ~persistency:px86 ~check ()) with
+  | _ -> Alcotest.fail "px86 adversary missed the buffered-flush hazard"
+  | exception Explore.Violation { schedule; _ } -> (
+      let token = Explore.schedule_to_string schedule in
+      match
+        Explore.replay_schedule
+          (px86_crash_explorer ~persistency:px86 ~check ())
+          (Explore.schedule_of_string token)
+      with
+      | (_ : [ `Completed | `Crashed ]) ->
+          Alcotest.failf "token %s did not reproduce" token
+      | exception Explore.Violation { schedule = s'; _ } ->
+          Alcotest.(check string) "replay follows the token" token
+            (Explore.schedule_to_string s'))
+
+let test_px86_drain_decisions_replay () =
+  (* Both words persisted: with no drain in the program, the only way
+     data and marker both reach persistence under px86 is an adversary
+     drain prefix — so the counterexample token must carry a [b0:_]
+     event, round-trip through the parser, and replay byte-for-byte. *)
+  let check get _heap ~crashed =
+    if crashed then begin
+      let d, c = get () in
+      if d = 42 && c = 1 then failwith "both persisted"
+    end
+  in
+  match Explore.run (px86_crash_explorer ~persistency:px86 ~check ()) with
+  | _ -> Alcotest.fail "px86 adversary never drained a buffer prefix"
+  | exception Explore.Violation { schedule; _ } -> (
+      Alcotest.(check bool) "schedule carries a drain decision" true
+        (List.exists
+           (function Explore.Bdrain _ -> true | _ -> false)
+           schedule);
+      let token = Explore.schedule_to_string schedule in
+      Alcotest.(check bool) "drain token round-trips" true
+        (Explore.schedule_of_string token = schedule);
+      match
+        Explore.replay_schedule
+          (px86_crash_explorer ~persistency:px86 ~check ())
+          schedule
+      with
+      | (_ : [ `Completed | `Crashed ]) ->
+          Alcotest.failf "token %s did not reproduce" token
+      | exception Explore.Violation { schedule = s'; _ } ->
+          Alcotest.(check string) "replay follows the token" token
+            (Explore.schedule_to_string s'))
+
+let test_px86_drain_telemetry () =
+  let sc = Explore.run (px86_crash_explorer ~check:nop_check ()) in
+  let relaxed =
+    Explore.run (px86_crash_explorer ~persistency:px86 ~check:nop_check ())
+  in
+  Alcotest.(check int) "sc has no drain points" 0 sc.Explore.drain_points;
+  Alcotest.(check int) "sc has no drain branches" 0 sc.Explore.drain_branches;
+  Alcotest.(check bool) "px86 visits drain points" true
+    (relaxed.Explore.drain_points > 0);
+  Alcotest.(check bool) "px86 branches on drain prefixes" true
+    (relaxed.Explore.drain_branches > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "px86 crash branches %d > sc %d"
+       relaxed.Explore.crash_branches sc.Explore.crash_branches)
+    true
+    (relaxed.Explore.crash_branches > sc.Explore.crash_branches)
+
+let prop_replay_deterministic_px86 =
+  (* Same determinism contract as the sc prop, on the buffered model:
+     whatever the drain adversary found, the token — [Bdrain] decisions
+     included — reproduces it exactly. *)
+  QCheck.Test.make ~count:25 ~name:"px86 violations replay deterministically"
+    QCheck.(int_range 0 7)
+    (fun bad ->
+      let mk () =
+        px86_crash_explorer ~persistency:px86
+          ~check:(fun get _heap ~crashed ->
+            let d, c = get () in
+            if (if crashed then 1 else 0) + d + c mod 8 = bad then
+              failwith "flagged")
+          ()
+      in
+      match Explore.run (mk ()) with
+      | _ -> true (* no violation at this target: vacuous *)
+      | exception Explore.Violation { schedule; _ } -> (
+          let token = Explore.schedule_to_string schedule in
+          match Explore.replay_schedule (mk ()) schedule with
+          | _ -> false
+          | exception Explore.Violation { schedule = s'; _ } ->
+              Explore.schedule_to_string s' = token))
+
+(* Buffered persistency is only weaker inside the window between a flush
+   and the next drain.  A program that drains at every persistence point
+   — each write immediately flushed and drained — closes every window,
+   so the crash adversary must produce exactly the same set of persisted
+   states as under sc, crash point by crash point. *)
+let crash_states ~persistency prog =
+  let states = Hashtbl.create 32 in
+  let t =
+    Explore.make ~crashes:true ~adversary:`Per_line
+      ~setup:(fun () ->
+        let heap, (module M) = with_mem ~persistency () in
+        let cells = Array.init 2 (fun _ -> M.alloc 0) in
+        let threads =
+          [
+            (fun () ->
+              List.iter
+                (fun (c, v) ->
+                  M.write cells.(c) v;
+                  M.flush cells.(c);
+                  M.drain ())
+                prog);
+          ]
+        in
+        {
+          Explore.ctx = (fun () -> Array.to_list (Array.map M.read cells));
+          heap;
+          threads;
+        })
+      ~check:(fun get _heap ~crashed ->
+        if crashed then Hashtbl.replace states (get ()) ())
+      ()
+  in
+  let (_ : Explore.stats) = Explore.run t in
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) states [])
+
+let prop_px86_drained_equals_sc =
+  QCheck.Test.make ~count:30
+    ~name:"px86 with drain at every persistence point = sc crash states"
+    QCheck.(
+      make
+        ~print:(fun prog ->
+          String.concat ";"
+            (List.map (fun (c, v) -> Printf.sprintf "x%d:=%d" c v) prog))
+        Gen.(
+          list_size (int_range 1 4) (pair (int_range 0 1) (int_range 1 9))))
+    (fun prog ->
+      crash_states ~persistency:Heap.Persistency.Sc prog
+      = crash_states ~persistency:px86 prog)
+
+(* ------------- report schema: v2 still decodes, v3 round-trips -------- *)
+
+module Explore_report = Dssq_checker.Explore_report
+module Scenarios = Dssq_checker.Scenarios
+module Json = Dssq_obs.Json
+
+(* A verbatim pre-px86 (v2) document: decoding must fill the fields v3
+   introduced with their pre-introduction defaults. *)
+let v2_fixture =
+  {|{ "schema": "dssq-explore-report", "version": 2, "git_rev": "abc1234",
+  "params": { "max_preemptions": 2 },
+  "cases": [
+    { "name": "queue/enq-deq/crash/ls1", "object": "queue",
+      "program": "enq-deq", "crashes": true, "line_size": 1, "nthreads": 2,
+      "status": "pass", "executions": 100, "pruned": 10,
+      "crash_branches": 40, "branches": 200, "sleep_hit_rate": 0.05,
+      "crash_points": 30, "crash_enumerated": 30, "crash_sampled": 0,
+      "wall_s": 0.5 },
+    { "name": "queue/enq-enq/crash/ls8", "object": "queue",
+      "program": "enq-enq", "crashes": true, "line_size": 8, "nthreads": 2,
+      "status": "fail", "token": "t0.t1.c3e", "error": "not linearizable" }
+  ] }|}
+
+let test_report_decodes_v2 () =
+  let s = Explore_report.decode_string v2_fixture in
+  Alcotest.(check int) "version" 2 s.Explore_report.s_version;
+  Alcotest.(check string) "git rev" "abc1234" s.Explore_report.s_git_rev;
+  match s.Explore_report.s_cases with
+  | [ pass; fail ] ->
+      Alcotest.(check string) "status" "pass" pass.Explore_report.s_status;
+      Alcotest.(check string) "persistency defaults to sc" "sc"
+        pass.Explore_report.s_persistency;
+      Alcotest.(check int) "executions" 100 pass.Explore_report.s_executions;
+      Alcotest.(check int) "drain points default to 0" 0
+        pass.Explore_report.s_drain_points;
+      Alcotest.(check int) "drain branches default to 0" 0
+        pass.Explore_report.s_drain_branches;
+      Alcotest.(check (option string))
+        "failing case keeps its token" (Some "t0.t1.c3e")
+        fail.Explore_report.s_token
+  | cs -> Alcotest.failf "expected two cases, got %d" (List.length cs)
+
+let test_report_v3_roundtrip () =
+  let c =
+    List.hd
+      (Scenarios.cases ~objects:[ "queue" ] ~crash_modes:[ true ]
+         ~line_sizes:[ 1 ]
+         ~persistency:Heap.Persistency.Px86 ())
+  in
+  let r =
+    {
+      Explore_report.xcase = c;
+      verdict = Explore_report.run_case c ~reduction:true;
+      naive = None;
+    }
+  in
+  let doc =
+    Explore_report.encode
+      ~params:[ ("persistency", Json.String "px86") ]
+      [ r ]
+  in
+  (* the v3 coverage object groups branch/crash totals by mode *)
+  (match Json.member "coverage" doc with
+  | Json.Obj [ ("px86", Json.Obj fields) ] ->
+      Alcotest.(check bool) "coverage counts drain points" true
+        (match List.assoc "drain_points" fields with
+        | Json.Int n -> n > 0
+        | _ -> false)
+  | j -> Alcotest.failf "unexpected coverage object: %s" (Json.to_string j));
+  let s = Explore_report.decode_string (Json.to_string doc) in
+  Alcotest.(check int) "version" 3 s.Explore_report.s_version;
+  match s.Explore_report.s_cases with
+  | [ case ] ->
+      Alcotest.(check string) "persistency" "px86"
+        case.Explore_report.s_persistency;
+      Alcotest.(check string) "status" "pass" case.Explore_report.s_status;
+      Alcotest.(check bool) "drain points decoded" true
+        (case.Explore_report.s_drain_points > 0);
+      Alcotest.(check bool) "drain branches decoded" true
+        (case.Explore_report.s_drain_branches > 0)
+  | cs -> Alcotest.failf "expected one case, got %d" (List.length cs)
+
+(* --------------------------- explain -------------------------------- *)
+
 let test_explain_passing_schedule () =
   let t =
     Explore.make
@@ -348,4 +643,15 @@ let suite =
     QCheck_alcotest.to_alcotest prop_replay_deterministic;
     Alcotest.test_case "explain on a passing schedule" `Quick
       test_explain_passing_schedule;
+    Alcotest.test_case "px86 finds the buffered-flush hazard" `Quick
+      test_px86_buffered_hazard;
+    Alcotest.test_case "px86 drain decisions tokenize and replay" `Quick
+      test_px86_drain_decisions_replay;
+    Alcotest.test_case "px86 drain telemetry" `Quick test_px86_drain_telemetry;
+    QCheck_alcotest.to_alcotest prop_replay_deterministic_px86;
+    QCheck_alcotest.to_alcotest prop_px86_drained_equals_sc;
+    Alcotest.test_case "explore report still decodes v2 documents" `Quick
+      test_report_decodes_v2;
+    Alcotest.test_case "explore report v3 round-trips" `Quick
+      test_report_v3_roundtrip;
   ]

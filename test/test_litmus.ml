@@ -190,8 +190,37 @@ let corpus_suite =
       Alcotest.test_case c.Scenarios.name `Quick (corpus_case c))
     (Scenarios.cases ())
 
+(* Allocation-window litmus under buffered persistency: crashes landing
+   mid-alloc / mid-link while the enqueue's flushes still sit in the
+   persist buffer.  Every enumerated crash execution routes through the
+   system-level reattach, which raises if the post-recovery audit finds
+   a leaked node — so a clean run IS the zero-leak assertion, over every
+   drain prefix and eviction verdict the px86 adversary can produce. *)
+let px86_alloc_window_suite =
+  List.filter_map
+    (fun (c : Scenarios.case) ->
+      match c.Scenarios.prog with
+      | "mid-alloc" | "mid-link" ->
+          Some
+            (Alcotest.test_case c.Scenarios.name `Quick (fun () ->
+                 match c.Scenarios.run ~reduction:true with
+                 | (stats : Explore.stats) ->
+                     Alcotest.(check bool)
+                       (Printf.sprintf "%s branched on drain prefixes"
+                          c.Scenarios.name)
+                       true
+                       (stats.Explore.drain_branches > 0)
+                 | exception Explore.Violation { schedule; exn } ->
+                     Alcotest.failf "%s flagged at %s: %s" c.Scenarios.name
+                       (Explore.schedule_to_string schedule)
+                       (Printexc.to_string exn)))
+      | _ -> None)
+    (Scenarios.cases ~objects:[ "queue" ] ~crash_modes:[ true ]
+       ~line_sizes:[ 1; 8 ]
+       ~persistency:Heap.Persistency.Px86 ())
+
 let suite =
-  corpus_suite
+  corpus_suite @ px86_alloc_window_suite
   @ [
     Alcotest.test_case "SB: store buffering forbidden" `Quick
       test_store_buffering;
