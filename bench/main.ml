@@ -347,6 +347,26 @@ let run_regress quick out =
             off.points on.points
       | _ -> ())
     [ "sim"; "native" ];
+  (* And the flat-combining claim: the engine-backed FC queue (one
+     persist epoch per batch) against the eager detectable queue. *)
+  (match (find "sim/dss-det", find "sim+fc/dss-det") with
+  | Some eager, Some fc ->
+      List.iter
+        (fun (pf : Dssq_obs.Run_report.point) ->
+          match
+            List.find_opt
+              (fun (pe : Dssq_obs.Run_report.point) -> pe.x = pf.x)
+              eager.points
+          with
+          | None -> ()
+          | Some pe ->
+              let mean = Dssq_workload.Stats.mean in
+              Printf.printf
+                "fc dss-det %2d threads: %.3f vs eager %.3f Mops/s (%.2fx)\n"
+                pf.x (mean pf.samples) (mean pe.samples)
+                (mean pf.samples /. mean pe.samples))
+        fc.points
+  | _ -> ());
   List.iter
     (fun (r : Dssq_obs.Run_report.recovery_point) ->
       Printf.printf "recovery %s/%s: %.4f ms (%d wal records replayed, %d \
@@ -361,6 +381,115 @@ let regress_cmd =
          "benchmark-regression sweep (coalescing off vs on) emitting a \
           BENCH_*.json run report")
     Term.(const run_regress $ quick_flag $ regress_out)
+
+(* ------------------------- flat combining ---------------------------- *)
+
+(* The ISSUE-10 tentpole table: threads x batch size x Mops/s x
+   flushes/op for the engine-backed flat-combining queue against the
+   eager detectable queue, all on the simulated multiprocessor (the
+   shipped numbers; see EXPERIMENTS.md).  One persist epoch per batch
+   should make flushes/op strictly decreasing in the batch size and the
+   8-thread speedup >= 2x — `dssq bench-diff --speedup-*` gates the
+   latter in CI from the regress report. *)
+let batches_arg =
+  Arg.(
+    value
+    & opt (list pos_int) [ 1; 2; 4; 8; 16; 32 ]
+    & info [ "batches" ] ~docv:"SIZES"
+        ~doc:"batch sizes (operation pairs per persist epoch) to sweep")
+
+let fc_threads_arg =
+  Arg.(
+    value
+    & opt (list pos_int) [ 1; 4; 8 ]
+    & info [ "threads" ] ~docv:"COUNTS" ~doc:"thread counts to sweep")
+
+let run_combine threads batches =
+  let module MI = Dssq_memory.Memory_intf in
+  let per (s : Dssq_obs.Run_report.sample) c =
+    float_of_int c /. float_of_int (max 1 s.Dssq_obs.Run_report.ops)
+  in
+  Printf.printf
+    "## Flat combining: one persist epoch per batch (sim; dss-fc engine \
+     queue vs eager dss-queue, det 100%%)\n";
+  Printf.printf "%8s%8s%12s%10s%10s%10s\n" "threads" "batch" "Mops/s" "fl/op"
+    "fen/op" "speedup";
+  List.iter
+    (fun n ->
+      let eager =
+        Dssq_workload.Sim_throughput.measure_ex ~seed:1 ~mk:"dss-queue"
+          ~det_pct:100 ~nthreads:n ()
+      in
+      let em = eager.Dssq_obs.Run_report.mops in
+      Printf.printf "%8d%8s%12.3f%10.3f%10.3f%10s\n" n "eager" em
+        (per eager eager.Dssq_obs.Run_report.events.MI.flushes)
+        (per eager eager.Dssq_obs.Run_report.events.MI.fences)
+        "1.00x";
+      List.iter
+        (fun b ->
+          let s =
+            Dssq_workload.Sim_throughput.measure_ex ~seed:1 ~mk:"dss-fc"
+              ~det_pct:100 ~combine:true ~batch:b ~nthreads:n ()
+          in
+          Printf.printf "%8d%8d%12.3f%10.3f%10.3f%9.2fx\n" n b
+            s.Dssq_obs.Run_report.mops
+            (per s s.Dssq_obs.Run_report.events.MI.flushes)
+            (per s s.Dssq_obs.Run_report.events.MI.fences)
+            (s.Dssq_obs.Run_report.mops /. em))
+        batches)
+    threads
+
+let combine_cmd =
+  Cmd.v
+    (Cmd.info "combine"
+       ~doc:
+         "flat-combining sweep: threads x batch size x Mops/s x flushes/op \
+          (sim backend)")
+    Term.(const run_combine $ fc_threads_arg $ batches_arg)
+
+(* NUMA-ish padding-stride sweep on the native backend: how much
+   isolation stride the contended cells (head/tail/announces) want on
+   real hardware.  Flat on the single-core CI container by construction;
+   shipped for multicore machines. *)
+let pads_arg =
+  Arg.(
+    value
+    & opt (list Arg.int) [ 0; 7; 15; 31 ]
+    & info [ "pads" ] ~docv:"WORDS"
+        ~doc:"padding strides (filler words per isolated cell) to sweep")
+
+let run_pad_sweep pads nthreads duration combine batch =
+  Printf.printf
+    "## Padding-stride sweep (native domains, %d thread(s)%s)\n" nthreads
+    (if combine then Printf.sprintf ", combine batch=%d" batch else "");
+  Printf.printf "%10s%12s\n" "pad_words" "Mops/s";
+  List.iter
+    (fun (pad, mops) -> Printf.printf "%10d%12.3f\n" pad mops)
+    (Dssq_workload.Native_throughput.pad_sweep ~pads ~det_pct:100 ~combine
+       ~batch
+       ~mk:(if combine then "dss-fc" else "dss-queue")
+       ~nthreads ~duration ())
+
+let pad_sweep_cmd =
+  let combine_flag =
+    Arg.(
+      value & flag
+      & info [ "combine" ]
+          ~doc:"measure the flat-combining engine queue instead of the eager \
+                linked queue")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "batch" ] ~docv:"PAIRS"
+          ~doc:"operation pairs per persist epoch (with $(b,--combine))")
+  in
+  Cmd.v
+    (Cmd.info "pad-sweep"
+       ~doc:"NUMA-ish padding-stride sweep on the native backend")
+    Term.(
+      const run_pad_sweep $ pads_arg $ nthreads_opt $ duration $ combine_flag
+      $ batch_arg)
 
 let run_latency () =
   Printf.printf
@@ -481,6 +610,8 @@ let () =
             ablate_pmwcas_cmd;
             ablate_linesize_cmd;
             regress_cmd;
+            combine_cmd;
+            pad_sweep_cmd;
             latency_cmd;
             bechamel_cmd;
           ]))

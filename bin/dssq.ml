@@ -60,6 +60,15 @@ let coalesce_arg =
            flushes of a pending line coalesce, and each persistence point \
            drains the buffer with one write-back and one fence")
 
+let combine_arg =
+  Arg.(
+    value & flag
+    & info [ "combine" ]
+        ~doc:
+          "flat-combining mode: engine-backed objects announce, one \
+           combiner applies the whole batch and closes a single persist \
+           epoch (flush + drain) for all of it")
+
 let persistency_arg =
   Arg.(
     value
@@ -315,7 +324,7 @@ let ablate_linesize_cmd =
    statistic is the mean of the throughput samples at each point.  Points
    present in only one file are reported but not gated on, so adding or
    retiring a series does not break the pipeline. *)
-let bench_diff_run old_file new_file tolerance =
+let bench_diff_run old_file new_file tolerance sp_new sp_ref sp_at sp_min =
   let load file =
     match Dssq_obs.Run_report.read file with
     | r -> r
@@ -419,6 +428,40 @@ let bench_diff_run old_file new_file tolerance =
           p.r_leaked
       end)
     new_rec;
+  (* --speedup-*: an intra-report ratio gate on the CANDIDATE file —
+     mean throughput of series --speedup-new over series --speedup-ref
+     at x = --speedup-at must reach --speedup-min.  This is how a PR
+     whose point is an optimisation gets a positive assertion into the
+     pipeline: the tolerance gate above only proves nothing got slower,
+     the ratio gate proves the fast path actually is fast (e.g.
+     `--speedup-new sim+fc/dss-det --speedup-ref sim/dss-det
+     --speedup-at 8 --speedup-min 2.0` for the flat-combining epoch
+     batching). *)
+  (match (sp_new, sp_ref) with
+  | Some new_label, Some ref_label ->
+      let find label =
+        match List.assoc_opt (label, sp_at) new_pts with
+        | Some m -> m
+        | None ->
+            Printf.eprintf "dssq: bench-diff: no point (%s, x=%d) in %s\n"
+              label sp_at new_file;
+            exit 2
+      in
+      let n = find new_label and r = find ref_label in
+      let ratio = if r > 0. then n /. r else Float.nan in
+      let ok = ratio >= sp_min in
+      incr compared;
+      if not ok then incr regressions;
+      Printf.printf
+        "\nspeedup gate: %s / %s at x=%d: %.3f / %.3f = %.2fx (min %.2fx)  %s\n"
+        new_label ref_label sp_at n r ratio sp_min
+        (if ok then "ok" else "FAILED")
+  | None, None -> ()
+  | _ ->
+      Printf.eprintf
+        "dssq: bench-diff: --speedup-new and --speedup-ref must be given \
+         together\n";
+      exit 2);
   if !compared = 0 then begin
     Printf.eprintf
       "dssq: bench-diff: the reports share no (series, x) points\n";
@@ -453,12 +496,47 @@ let bench_diff_cmd =
             "allowed per-point mean-throughput drop in percent before the \
              diff counts as a regression (default 10)")
   in
+  let sp_new =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "speedup-new" ] ~docv:"LABEL"
+          ~doc:
+            "series label (in NEW.json) whose throughput must beat \
+             $(b,--speedup-ref) by $(b,--speedup-min); requires \
+             $(b,--speedup-ref)")
+  in
+  let sp_ref =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "speedup-ref" ] ~docv:"LABEL"
+          ~doc:"reference series label (in NEW.json) for the speedup gate")
+  in
+  let sp_at =
+    Arg.(
+      value & opt int 8
+      & info [ "speedup-at" ] ~docv:"X"
+          ~doc:"x value (thread count) at which the speedup is measured \
+                (default 8)")
+  in
+  let sp_min =
+    Arg.(
+      value & opt float 2.0
+      & info [ "speedup-min" ] ~docv:"RATIO"
+          ~doc:
+            "minimum new/ref throughput ratio for the speedup gate; below \
+             it the diff exits non-zero (default 2.0)")
+  in
   Cmd.v
     (Cmd.info "bench-diff"
        ~doc:
          "compare two JSON run reports point by point; exit non-zero on a \
-          throughput regression beyond --tolerance")
-    Term.(const bench_diff_run $ old_file $ new_file $ tolerance)
+          throughput regression beyond --tolerance or a failed \
+          --speedup-min gate")
+    Term.(
+      const bench_diff_run $ old_file $ new_file $ tolerance $ sp_new $ sp_ref
+      $ sp_at $ sp_min)
 
 (* -------------------------------- fsck -------------------------------- *)
 
@@ -572,11 +650,14 @@ let print_event_table ~ops counters =
 
 (* Accounting for a non-queue detectable object: the zoo's deterministic
    two-thread workload, plus the words-per-op line the zoo exists for. *)
-let metrics_object_run name pairs line_size persistency =
-  let r = Dssq_workload.Zoo.run_one ~pairs ~line_size ~persistency name in
-  Printf.printf "object: %s   backend: sim%s   ops: %d (all detectable)\n\n"
+let metrics_object_run name pairs line_size combine persistency =
+  let r =
+    Dssq_workload.Zoo.run_one ~pairs ~line_size ~combine ~persistency name
+  in
+  Printf.printf "object: %s   backend: sim%s%s   ops: %d (all detectable)\n\n"
     name
     (if persistency = Heap.Persistency.Px86 then "+px86" else "")
+    (if combine then "+fc" else "")
     r.z_ops;
   print_event_table ~ops:r.z_ops r.z_events;
   Printf.printf "\npersistent_words_per_op: %.2f   flushes_per_op: %.2f\n"
@@ -590,8 +671,9 @@ let metrics_object_run name pairs line_size persistency =
 (* Run a finite deterministic workload on the counted simulator backend
    and print the memory-event accounting for one queue implementation —
    the quickest way to see e.g. flushes per operation. *)
-let metrics_queue_run queue pairs det_pct line_size coalesce persistency =
-  let heap = Heap.create ~line_size ~persistency () in
+let metrics_queue_run queue pairs det_pct line_size coalesce combine
+    persistency =
+  let heap = Heap.create ~line_size ~combine ~persistency () in
   let (module M) = Sim.counted_memory ~coalesce heap in
   let module R = Dssq_workload.Registry.Make (M) in
   match R.find_opt queue with
@@ -603,13 +685,16 @@ let metrics_queue_run queue pairs det_pct line_size coalesce persistency =
       let nthreads = 2 in
       let ops =
         mk
-          (Dssq_core.Queue_intf.config ~line_size ~coalesce ~nthreads
+          (Dssq_core.Queue_intf.config ~line_size ~coalesce ~combine ~nthreads
              ~capacity:(16 + 8 + (nthreads * (pairs + 8)))
              ())
       in
       for i = 1 to 16 do
         ops.enqueue ~tid:(i mod nthreads) i
       done;
+      (* Seeding may leave buffered flushes under combine; close them
+         before the measured window so they don't skew the accounting. *)
+      if combine then M.drain ();
       M.reset_counters ();
       let completed = ref 0 in
       let worker tid () =
@@ -632,9 +717,10 @@ let metrics_queue_run queue pairs det_pct line_size coalesce persistency =
       ignore (Sim.run heap ~threads:[ worker 0; worker 1 ]);
       let c = M.counters () in
       Printf.printf
-        "queue: %s   backend: sim%s%s   ops: %d   detectable: %d%%\n\n" queue
+        "queue: %s   backend: sim%s%s%s   ops: %d   detectable: %d%%\n\n" queue
         (if coalesce then "+coalesce" else "")
         (if persistency = Heap.Persistency.Px86 then "+px86" else "")
+        (if combine then "+fc" else "")
         !completed det_pct;
       print_event_table ~ops:!completed c;
       (match ops.stats () with
@@ -651,8 +737,8 @@ let metrics_queue_run queue pairs det_pct line_size coalesce persistency =
 (* [--object] dispatches across queue-registry names and the zoo; an
    unknown name is an error listing every known name — it must never
    fall back to the queue silently. *)
-let metrics_run queue object_name pairs det_pct line_size coalesce persistency
-    =
+let metrics_run queue object_name pairs det_pct line_size coalesce combine
+    persistency =
   let queue_names =
     let heap = Heap.create ~line_size:1 () in
     let (module M) = Sim.counted_memory heap in
@@ -660,11 +746,14 @@ let metrics_run queue object_name pairs det_pct line_size coalesce persistency
     R.known_names
   in
   match object_name with
-  | None -> metrics_queue_run queue pairs det_pct line_size coalesce persistency
+  | None ->
+      metrics_queue_run queue pairs det_pct line_size coalesce combine
+        persistency
   | Some name when List.mem name queue_names ->
-      metrics_queue_run name pairs det_pct line_size coalesce persistency
+      metrics_queue_run name pairs det_pct line_size coalesce combine
+        persistency
   | Some name when List.mem name Dssq_workload.Zoo.objects ->
-      metrics_object_run name pairs line_size persistency
+      metrics_object_run name pairs line_size combine persistency
   | Some name ->
       let known =
         queue_names
@@ -706,11 +795,11 @@ let metrics_cmd =
        ~doc:"memory-event accounting for one detectable object on the simulator")
     Term.(
       const metrics_run $ queue $ object_name $ pairs $ det $ line_size_arg
-      $ coalesce_arg $ persistency_arg)
+      $ coalesce_arg $ combine_arg $ persistency_arg)
 
 (* -------------------------------- zoo --------------------------------- *)
 
-let zoo_run pairs line_size json =
+let zoo_run pairs line_size combine json =
   let rows = Dssq_workload.Zoo.run_all ~pairs ~line_size () in
   Printf.printf
     "detectable-object zoo: %d ops/object (2 threads), sim backend, \
@@ -731,6 +820,20 @@ let zoo_run pairs line_size json =
     "\nlower bound (Ben-Baruch et al., PAPERS.md): one persistent announce \
      word\nper process, and >= 2 persisted words per detectable mutation \
      (announce +\nstate); see EXPERIMENTS.md for the comparison table.\n";
+  if combine then begin
+    Printf.printf
+      "\nflat-combining amortization (dss-fc engine queue, 8 threads): \
+       words/op is\nfloor-bound — folding does not skip announce turnover — \
+       while flushes/op\namortizes toward O(1/batch), one persist epoch per \
+       batch:\n\n";
+    Printf.printf "%8s%8s%12s%12s%12s\n" "batch" "ops" "words/op" "flushes/op"
+      "fences/op";
+    List.iter
+      (fun (f : Dssq_workload.Zoo.fc_row) ->
+        Printf.printf "%8d%8d%12.2f%12.3f%12.3f\n" f.f_batch f.f_ops f.f_words
+          f.f_flushes f.f_fences)
+      (Dssq_workload.Zoo.combine_rows ())
+  end;
   match json with
   | None -> ()
   | Some file ->
@@ -749,12 +852,21 @@ let zoo_cmd =
       value & opt int 200
       & info [ "pairs" ] ~doc:"operation pairs per thread per object")
   in
+  let combine =
+    Arg.(
+      value & flag
+      & info [ "combine" ]
+          ~doc:
+            "append the flat-combining amortization sweep: words/op and \
+             flushes/op per batch size on the engine queue, against the \
+             Ben-Baruch floor")
+  in
   Cmd.v
     (Cmd.info "zoo"
        ~doc:
          "persistent_words_per_op accounting across every detectable object \
           (the space-complexity table; --json for the archivable report)")
-    Term.(const zoo_run $ pairs $ line_size_arg $ json_arg)
+    Term.(const zoo_run $ pairs $ line_size_arg $ combine $ json_arg)
 
 (* ------------------------------ profile ------------------------------ *)
 
@@ -772,8 +884,8 @@ module MI = Dssq_memory.Memory_intf
    printed under each table — per-phase events summing exactly to the
    backend counter deltas — is the invariant the whole attribution rests
    on; the test suite asserts it across every object. *)
-let profile_run object_ backend pairs line_size coalesce persistency crash
-    with_heatmap top json prom =
+let profile_run object_ backend pairs line_size coalesce combine persistency
+    crash with_heatmap top json prom =
   let fail fmt =
     Printf.ksprintf (fun m -> Printf.eprintf "dssq: %s\n" m; exit 2) fmt
   in
@@ -794,11 +906,11 @@ let profile_run object_ backend pairs line_size coalesce persistency crash
         let p =
           match backend with
           | `Sim ->
-              Zoo.profile_one ~pairs ~line_size ~coalesce ~persistency ~crash
-                name
+              Zoo.profile_one ~pairs ~line_size ~coalesce ~combine ~persistency
+                ~crash name
           | `Native ->
-              Zoo.profile_one_native ~pairs ~line_size ~coalesce ~persistency
-                name
+              Zoo.profile_one_native ~pairs ~line_size ~coalesce ~combine
+                ~persistency name
         in
         (name, p))
       names
@@ -807,10 +919,11 @@ let profile_run object_ backend pairs line_size coalesce persistency crash
     (fun (name, (p : Zoo.profile)) ->
       let r = p.Zoo.p_row in
       let c = r.Zoo.z_events in
-      Printf.printf "== %s  backend: %s%s%s  ops: %d  line size: %d%s ==\n"
+      Printf.printf "== %s  backend: %s%s%s%s  ops: %d  line size: %d%s ==\n"
         name backend_name
         (if coalesce then "+coalesce" else "")
         (if persistency = Heap.Persistency.Px86 then "+px86" else "")
+        (if combine then "+fc" else "")
         r.Zoo.z_ops line_size
         (if crash then "  (with crash + recovery)" else "");
       Format.printf "%a@?" Profile.pp_rows p.Zoo.p_phases;
@@ -863,6 +976,7 @@ let profile_run object_ backend pairs line_size coalesce persistency crash
                 [
                   ("pairs", Json.Int pairs);
                   ("crash", Json.Bool crash);
+                  ("combine", Json.Bool combine);
                   ( "persistency",
                     Json.String (Heap.Persistency.to_string persistency) );
                 ] );
@@ -983,8 +1097,8 @@ let profile_cmd =
           zoo (--json / --prom for the archivable artifacts)")
     Term.(
       const profile_run $ object_ $ backend $ pairs $ line_size_arg
-      $ coalesce_arg $ persistency_arg $ crash $ with_heatmap $ top $ json_arg
-      $ prom)
+      $ coalesce_arg $ combine_arg $ persistency_arg $ crash $ with_heatmap
+      $ top $ json_arg $ prom)
 
 let latency_cmd =
   let run () =
@@ -1213,13 +1327,13 @@ type qh = {
   recover : unit -> unit;
 }
 
-let make_queue ?(coalesce = false) ?persistency kind : qh =
-  let heap = Heap.create ?persistency () in
+let make_queue ?(coalesce = false) ?(combine = false) ?persistency kind : qh =
+  let heap = Heap.create ~combine ?persistency () in
   let (module M) = Sim.memory ~coalesce heap in
   match kind with
   | `Dss ->
       let module Q = Dssq_core.Dss_queue.Make (M) in
-      let q = Q.create ~nthreads:2 ~capacity:64 () in
+      let q = Q.create ~nthreads:2 ~capacity:64 ~combine () in
       {
         heap;
         prep_enqueue = (fun ~tid v -> Q.prep_enqueue q ~tid v);
@@ -1275,13 +1389,18 @@ let make_queue ?(coalesce = false) ?persistency kind : qh =
    Every execution runs under an event tracer, so a violation is reported
    with the exact interleaving of stores, flushes, crash and resolves
    that produced it — as a timeline, and optionally as Perfetto JSON. *)
-let lincheck_run kind coalesce persistency iterations verbose trace_json =
+let lincheck_run kind coalesce combine persistency iterations verbose
+    trace_json =
+  if combine && kind <> `Dss then begin
+    Printf.eprintf "dssq: --combine only applies to the dss queue\n";
+    exit 2
+  end;
   let spec = Dss_spec.make ~nthreads:2 (Specs.Queue.spec ()) in
   let checked = ref 0 in
   let crashes = ref 0 in
   for i = 1 to iterations do
     ignore (Trace.start () : Trace.t);
-    let q = make_queue ~coalesce ~persistency kind in
+    let q = make_queue ~coalesce ~combine ~persistency kind in
     let heap = q.heap in
     let rec_ = Recorder.create () in
     let record ~tid op f =
@@ -1404,8 +1523,8 @@ let lincheck_cmd =
        ~doc:
          "randomized strict-linearizability checking of a detectable queue")
     Term.(
-      const lincheck_run $ kind $ coalesce_arg $ persistency_arg $ iterations
-      $ verbose $ trace_json)
+      const lincheck_run $ kind $ coalesce_arg $ combine_arg $ persistency_arg
+      $ iterations $ verbose $ trace_json)
 
 (* ------------------------------ explore ------------------------------ *)
 
@@ -1426,9 +1545,9 @@ type explore_result = Explore_report.case_result = {
 
 let run_case = Explore_report.run_case
 
-let explore_run object_ crash_mode line_sizes coalesce persistency mutant
-    mode_name max_preemptions max_crash_lines crash_samples seed adversary
-    limit compare_naive json token_file replay case_name list_only =
+let explore_run object_ crash_mode line_sizes coalesce combine persistency
+    mutant mode_name max_preemptions max_crash_lines crash_samples seed
+    adversary limit compare_naive json token_file replay case_name list_only =
   let fail fmt = Printf.ksprintf (fun m -> Printf.eprintf "dssq: %s\n" m; exit 2) fmt in
   let mode =
     match Oracle.mode_of_name mode_name with
@@ -1462,9 +1581,9 @@ let explore_run object_ crash_mode line_sizes coalesce persistency mutant
     | `Off -> [ false ]
   in
   let cases =
-    Scenarios.cases ~objects ~crash_modes ~line_sizes ~coalesce ~persistency
-      ?mutation ~mode ~max_preemptions ~max_crash_lines ~crash_samples ~seed
-      ~adversary ~limit ()
+    Scenarios.cases ~objects ~crash_modes ~line_sizes ~coalesce ~combine
+      ~persistency ?mutation ~mode ~max_preemptions ~max_crash_lines
+      ~crash_samples ~seed ~adversary ~limit ()
   in
   if list_only then begin
     List.iter (fun (c : Scenarios.case) -> print_endline c.Scenarios.name) cases;
@@ -1563,6 +1682,7 @@ let explore_run object_ crash_mode line_sizes coalesce persistency mutant
           ( "line_sizes",
             Json.List (List.map (fun n -> Json.Int n) line_sizes) );
           ("coalesce", Json.Bool coalesce);
+          ("combine", Json.Bool combine);
           ( "persistency",
             Json.String (Dssq_pmem.Heap.Persistency.to_string persistency) );
           ( "mutant",
@@ -1703,9 +1823,11 @@ let explore_cmd =
           ~doc:
             "inject a seeded bug (skip-flush-link, skip-flush-mark, \
              stale-announce, unfenced, drop-drain, skip-drain, short-drain, \
-             reorder-persist); restricts the corpus to the queue (drop-drain \
-             is only observable with --coalesce; skip-drain, short-drain and \
-             reorder-persist only with --persistency px86)")
+             reorder-persist, lost-batch); restricts the corpus to the queue \
+             (drop-drain is only observable with --coalesce; skip-drain, \
+             short-drain and reorder-persist only with --persistency px86; \
+             lost-batch only with --combine, where it targets the \
+             engine-backed objects)")
   in
   let mode =
     Arg.(
@@ -1791,9 +1913,9 @@ let explore_cmd =
           oracle, replayable counterexamples)")
     Term.(
       const explore_run $ object_ $ crashes $ line_sizes $ coalesce_arg
-      $ persistency_arg $ mutant $ mode $ max_preemptions $ max_crash_lines
-      $ crash_samples $ seed $ adversary $ limit $ compare_naive $ json_arg
-      $ token_file $ replay $ case $ list_only)
+      $ combine_arg $ persistency_arg $ mutant $ mode $ max_preemptions
+      $ max_crash_lines $ crash_samples $ seed $ adversary $ limit
+      $ compare_naive $ json_arg $ token_file $ replay $ case $ list_only)
 
 (* ------------------------------- info -------------------------------- *)
 

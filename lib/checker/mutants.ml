@@ -53,6 +53,19 @@ type mutation =
           ([Heap.short_drain]) because the module interposer cannot see
           which buffered entry a drain would write back; {!wrap} passes
           operations through unchanged. *)
+  | Lost_batch
+      (** a flat-combining install publishes its batch's completion
+          records durably {e before} the state's persist epoch — the
+          ordering bug the combiner's single-epoch discipline exists to
+          rule out.  A crash between the two leaves durable [Done]
+          evidence for effects that rolled back, so exactly-once retries
+          never happen for operations that must re-execute (the dual of
+          {!Stale_write}: evidence without effect instead of effect
+          without evidence).  Only meaningful on a combining corpus;
+          implemented in the engine ([Detectable.lost_batch_injection] —
+          the ordering inversion spans an algorithm-level epoch the
+          module interposer cannot see), so {!wrap} passes operations
+          through unchanged and the scenario runner flips the hook. *)
   | Reorder_persist of string
       (** flushes of matching cells jump to the {e front} of the
           thread's px86 persist-buffer FIFO — a persist that overtakes
@@ -76,6 +89,8 @@ let describe = function
   | Skip_drain pat ->
       Printf.sprintf "drop the drain after flushes of cells matching %S" pat
   | Short_drain -> "every drain misses the newest buffered entry (off-by-one)"
+  | Lost_batch ->
+      "combining installs publish batch completions before the persist epoch"
   | Reorder_persist pat ->
       Printf.sprintf "persist flushes of cells matching %S out of order" pat
 
@@ -116,6 +131,13 @@ let short_drain = Short_drain
     exactly the one it misses, so the publish CAS races a link that never
     reached the persistence domain). *)
 
+let lost_batch = Lost_batch
+(** Completion-before-epoch ordering inversion in the flat-combining
+    engine.  Invisible with combining off (eager installs publish after
+    their own drain by construction) and not part of {!all}; the
+    combining corpus hunts it by name ("lost-batch") under both sc and
+    px86. *)
+
 let reorder_completion = Reorder_persist "X["
 (** Announcement-word flushes jump the persist FIFO.  SC-safe (no
     buffer); under px86 the hardened objects mask it — see
@@ -145,6 +167,7 @@ let by_name n =
   match n with
   | "drop-drain" -> Some drop_drain
   | "reorder-persist" -> Some reorder_completion
+  | "lost-batch" -> Some lost_batch
   | _ -> (
       match List.assoc_opt n relaxed with
       | Some m -> Some m

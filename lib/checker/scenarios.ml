@@ -41,6 +41,12 @@ type params = {
   crashes : bool;
   line_size : int;
   coalesce : bool;  (** route flushes through the per-thread persist buffer *)
+  combine : bool;
+      (** flat-combining batch epochs: the heap runs in buffered strict
+          persistency and every combine-capable object routes exec
+          through its combining path, so the crash adversary lands
+          inside batch epochs — before the install, mid-fold, and
+          between the install and its persist epoch closing *)
   persistency : Heap.Persistency.t;
       (** sc: flushes are synchronous (modulo opt-in coalescing); px86:
           buffered persistency — flushes enqueue, only drains persist,
@@ -60,6 +66,7 @@ let default_params =
     crashes = false;
     line_size = 1;
     coalesce = false;
+    combine = false;
     persistency = Heap.Persistency.Sc;
     mode = Lincheck.Strict;
     mutation = None;
@@ -104,12 +111,24 @@ let explorer ~(params : params) ~reduction setup : world Explore.t =
     ~check:(fun w _heap ~crashed -> w.finish ~crashed)
     ()
 
+(* The lost-batch mutant lives in the engine, behind a module-global
+   hook ([Detectable.lost_batch_injection]): every setup below arms it
+   through [memory], and the case closures disarm it on every exit path
+   so a mutant case can never leak the injection into later cases. *)
+let with_injection ~(params : params) f =
+  if params.mutation = Some Mutants.Lost_batch then
+    Fun.protect
+      ~finally:(fun () -> Dssq_core.Detectable.lost_batch_injection := false)
+      f
+  else f ()
+
 let case_of_setup ~(params : params) ~obj ~prog ~nthreads setup =
   let name =
-    Printf.sprintf "%s/%s/%s/ls%d%s%s" obj prog
+    Printf.sprintf "%s/%s/%s/ls%d%s%s%s" obj prog
       (if params.crashes then "crash" else "nocrash")
       params.line_size
       (if params.coalesce then "/co" else "")
+      (if params.combine then "/fc" else "")
       (if params.persistency = Heap.Persistency.Px86 then "/px86" else "")
   in
   {
@@ -120,11 +139,20 @@ let case_of_setup ~(params : params) ~obj ~prog ~nthreads setup =
     line_size = params.line_size;
     persistency = params.persistency;
     nthreads;
-    run = (fun ~reduction -> Explore.run (explorer ~params ~reduction setup));
+    run =
+      (fun ~reduction ->
+        with_injection ~params (fun () ->
+            Explore.run (explorer ~params ~reduction setup)));
     replay =
-      (fun sched -> Explore.replay_schedule (explorer ~params ~reduction:true setup) sched);
+      (fun sched ->
+        with_injection ~params (fun () ->
+            Explore.replay_schedule
+              (explorer ~params ~reduction:true setup)
+              sched));
     explain =
-      (fun sched -> Explore.explain (explorer ~params ~reduction:true setup) sched);
+      (fun sched ->
+        with_injection ~params (fun () ->
+            Explore.explain (explorer ~params ~reduction:true setup) sched));
   }
 
 let memory ~(params : params) heap =
@@ -134,6 +162,10 @@ let memory ~(params : params) heap =
   (match params.mutation with
   | Some (Mutants.Reorder_persist pat) -> heap.Heap.reorder_pat <- Some pat
   | Some Mutants.Short_drain -> heap.Heap.short_drain <- true
+  | Some Mutants.Lost_batch ->
+      (* Engine-level mutant: arm the ordering-inversion hook; the case
+         closures ([with_injection]) disarm it when the run ends. *)
+      Dssq_core.Detectable.lost_batch_injection := true
   | _ -> ());
   let mem = Sim.memory ~coalesce:params.coalesce heap in
   match params.mutation with Some m -> Mutants.wrap m mem | None -> mem
@@ -146,7 +178,8 @@ let queue_progs =
 
 let queue_setup ~(params : params) ~prog () =
   let heap =
-    Heap.create ~line_size:params.line_size ~persistency:params.persistency ()
+    Heap.create ~line_size:params.line_size ~persistency:params.persistency
+      ~combine:params.combine ()
   in
   let (module M) = memory ~params heap in
   let module Q = Dssq_core.Dss_queue.Make (M) in
@@ -159,7 +192,7 @@ let queue_setup ~(params : params) ~prog () =
   let q =
     Q.create ~wal:(Sys.wal sys)
       ~pool_id:(Sys.fresh_pool_id sys)
-      ~reclaim:false ~nthreads:3 ~capacity:8 ()
+      ~reclaim:false ~combine:params.combine ~nthreads:3 ~capacity:8 ()
   in
   ignore
     (Sys.register sys ~name:"queue"
@@ -317,7 +350,8 @@ let stack_progs = [ "push-pop"; "push-push" ]
 
 let stack_setup ~(params : params) ~prog () =
   let heap =
-    Heap.create ~line_size:params.line_size ~persistency:params.persistency ()
+    Heap.create ~line_size:params.line_size ~persistency:params.persistency
+      ~combine:params.combine ()
   in
   let (module M) = memory ~params heap in
   let module S = Dssq_core.Dss_stack.Make (M) in
@@ -326,7 +360,7 @@ let stack_setup ~(params : params) ~prog () =
   let s =
     S.create ~wal:(Sys.wal sys)
       ~pool_id:(Sys.fresh_pool_id sys)
-      ~reclaim:false ~nthreads:3 ~capacity:8 ()
+      ~reclaim:false ~combine:params.combine ~nthreads:3 ~capacity:8 ()
   in
   ignore
     (Sys.register sys ~name:"stack"
@@ -446,7 +480,8 @@ let register_progs = [ "write-write"; "write-read" ]
 
 let register_setup ~(params : params) ~prog () =
   let heap =
-    Heap.create ~line_size:params.line_size ~persistency:params.persistency ()
+    Heap.create ~line_size:params.line_size ~persistency:params.persistency
+      ~combine:params.combine ()
   in
   let (module M) = memory ~params heap in
   let module R = Dssq_core.Dss_register.Make (M) in
@@ -536,7 +571,8 @@ let hashmap_progs = [ "put-put"; "put-remove" ]
 
 let hashmap_setup ~(params : params) ~prog () =
   let heap =
-    Heap.create ~line_size:params.line_size ~persistency:params.persistency ()
+    Heap.create ~line_size:params.line_size ~persistency:params.persistency
+      ~combine:params.combine ()
   in
   let (module M) = memory ~params heap in
   let module H = Dssq_core.Dss_hashmap.Make (M) in
@@ -637,7 +673,8 @@ let engine_setup (type s op r) ~(params : params) ~(spec : (s, op, r) Spec.t)
     ~(instantiate : (module Dssq_memory.Memory_intf.S) -> (op, r) engine_ops)
     ~(eprog : op engine_prog) () =
   let heap =
-    Heap.create ~line_size:params.line_size ~persistency:params.persistency ()
+    Heap.create ~line_size:params.line_size ~persistency:params.persistency
+      ~combine:params.combine ()
   in
   let mem = memory ~params heap in
   let o = instantiate mem in
@@ -719,7 +756,7 @@ let swap_setup ~params ~prog () =
   engine_setup ~params ~spec:(Specs.Swap.spec ())
     ~instantiate:(fun (module M : Dssq_memory.Memory_intf.S) ->
       let module O = Dssq_core.Dss_swap.Make (M) in
-      let o = O.create ~nthreads:3 () in
+      let o = O.create ~combine:params.combine ~nthreads:3 () in
       {
         e_prep = (fun ~tid op -> O.prep o ~tid op);
         e_exec = (fun ~tid -> O.exec o ~tid);
@@ -754,7 +791,7 @@ let deque_setup ~params ~prog () =
   engine_setup ~params ~spec:(Specs.Deque.spec ())
     ~instantiate:(fun (module M : Dssq_memory.Memory_intf.S) ->
       let module O = Dssq_core.Dss_deque.Make (M) in
-      let o = O.create ~nthreads:3 () in
+      let o = O.create ~combine:params.combine ~nthreads:3 () in
       {
         e_prep = (fun ~tid op -> O.prep o ~tid op);
         e_exec = (fun ~tid -> O.exec o ~tid);
@@ -789,7 +826,7 @@ let pqueue_setup ~params ~prog () =
   engine_setup ~params ~spec:(Specs.Pqueue.spec ())
     ~instantiate:(fun (module M : Dssq_memory.Memory_intf.S) ->
       let module O = Dssq_core.Dss_pqueue.Make (M) in
-      let o = O.create ~nthreads:3 () in
+      let o = O.create ~combine:params.combine ~nthreads:3 () in
       {
         e_prep = (fun ~tid op -> O.prep o ~tid op);
         e_exec = (fun ~tid -> O.exec o ~tid);
@@ -827,7 +864,7 @@ let bcounter_setup ~params ~prog () =
     ~spec:(Specs.Bcounter.spec ~bound:Dssq_core.Dss_bcounter.bound ())
     ~instantiate:(fun (module M : Dssq_memory.Memory_intf.S) ->
       let module O = Dssq_core.Dss_bcounter.Make (M) in
-      let o = O.create ~nthreads:3 () in
+      let o = O.create ~combine:params.combine ~nthreads:3 () in
       {
         e_prep = (fun ~tid op -> O.prep o ~tid op);
         e_exec = (fun ~tid -> O.exec o ~tid);
@@ -930,12 +967,18 @@ let build ~params ~obj ~prog =
     are kept crash-free: with a crash adversary their branching factor
     would put a single case past the CI budget. *)
 let cases ?(objects = objects) ?(crash_modes = [ false; true ])
-    ?(line_sizes = [ 1; 8 ]) ?(coalesce = false)
+    ?(line_sizes = [ 1; 8 ]) ?(coalesce = false) ?(combine = false)
     ?(persistency = Heap.Persistency.Sc) ?mutation ?(mode = Lincheck.Strict)
     ?(max_preemptions = 1) ?(max_crash_lines = 4) ?(crash_samples = 6)
     ?(seed = 0) ?(adversary = `Per_line) ?(limit = 2_000_000) () =
   let objects =
-    match mutation with Some _ -> [ "queue" ] | None -> objects
+    (* Memory-layer mutants are seeded against queue cell names; the
+       engine-level lost-batch mutant targets the combining engine, so
+       its hunt runs over the engine-made objects instead. *)
+    match mutation with
+    | Some Mutants.Lost_batch -> [ "swap"; "deque"; "pqueue"; "bcounter" ]
+    | Some _ -> [ "queue" ]
+    | None -> objects
   in
   List.concat_map
     (fun obj ->
@@ -952,6 +995,7 @@ let cases ?(objects = objects) ?(crash_modes = [ false; true ])
                         crashes;
                         line_size;
                         coalesce;
+                        combine;
                         persistency;
                         mode;
                         mutation;

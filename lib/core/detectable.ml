@@ -41,6 +41,16 @@
 module Spec = Dssq_spec.Spec
 module Profile = Dssq_obs.Profile
 
+(** Checker hook for the [lost-batch] mutant: when set, a combining
+    install publishes its batch's completions durably {e before} the
+    state's persist epoch — the exact ordering bug flat combining must
+    not have (a crash between the two leaves durable [Done] evidence
+    for effects that rolled back, so the owner re-executes an applied
+    operation).  Shared across all functor instantiations so the
+    scenario runner can flip it without threading it through object
+    constructors; always [false] outside mutant runs. *)
+let lost_batch_injection = ref false
+
 (** The engine, polymorphic in the specification — {!Make} is a thin
     monomorphizing wrapper.  Types are concrete so sibling modules
     ({!Dss_cell}, {!Dss_register}) can build variant vocabularies on
@@ -51,8 +61,31 @@ module Make_any (M : Dssq_memory.Memory_intf.S) = struct
       non-detectable (base) operations; [resp] is the installing
       operation's response, which is what helpers persist into the
       writer's announce word and what [resolve] answers from when the
-      announce word's completion was lost. *)
-  type ('s, 'r) entry = { s : 's; writer : int; seq : int; resp : 'r option }
+      announce word's completion was lost.
+
+      [batch] is the flat-combining extension: when a combiner folds
+      several announced operations into one install, the entry carries
+      the [(writer, seq, resp)] provenance of every folded operation
+      beyond the primary one, so a crash that keeps the state line but
+      loses the announce completions still resolves {e each} operation
+      of the batch individually.  Eager installs always carry
+      [batch = []], keeping the combining-off path bit-for-bit
+      identical.
+
+      [e] is the install's position in the CAS chain (strictly
+      increasing: successor of the entry it replaced).  The combining
+      path compares it against the volatile durable-epoch marker to
+      learn whether this install's persist epoch has closed; eager
+      paths maintain it (a pure field copy, no memory events) and never
+      read it. *)
+  type ('s, 'r) entry = {
+    s : 's;
+    writer : int;
+    seq : int;
+    resp : 'r option;
+    batch : (int * int * 'r option) list;
+    e : int;
+  }
 
   (** One thread's announce record: the prepared operation, its sequence
       number, and the result once the operation took effect. *)
@@ -61,29 +94,53 @@ module Make_any (M : Dssq_memory.Memory_intf.S) = struct
   type ('s, 'op, 'r) t = {
     spec : ('s, 'op, 'r) Spec.t;
     nthreads : int;
+    combine : bool;  (** route [exec] through the flat-combining path *)
     state : ('s, 'r) entry M.cell;
+    epoch : int M.cell;
+        (** durable-epoch marker: the highest install id [e] whose
+            persist epoch (state flush + drain) is known closed.  Purely
+            volatile — never flushed; a crash may revert it, which only
+            sends post-crash losers down the help-persist slow path. *)
     x : ('op, 'r) announce option M.cell array;
+    active : bool array;
+        (** volatile fold-eligibility flags: [active.(i)] is true only
+            while thread [i] is inside [exec_combine].  Combiners may
+            fold an announced operation only while its owner is actively
+            executing it; without the guard, a {e post-crash} retry
+            would fold a peer's announced-but-never-executed operation,
+            and the peer's [resolve] would report Done for an operation
+            that linearized after the crash — a strict-linearizability
+            violation.  Being volatile is the point: a crash clears the
+            flags, so nothing is foldable until its owner re-enters
+            [exec]. *)
     seqs : int array;  (** volatile per-thread operation counters *)
+    mutable batches : int;  (** volatile telemetry: combining installs *)
+    mutable folded : int;  (** volatile telemetry: ops folded, total *)
   }
 
-  let create ?(name = "") ?placement ?init ~nthreads
+  let create ?(name = "") ?placement ?init ?(combine = false) ~nthreads
       (spec : ('s, 'op, 'r) Spec.t) =
     let init = Option.value ~default:spec.Spec.init init in
     let cname suffix = if name = "" then suffix else name ^ "." ^ suffix in
     let state =
       M.alloc ~name:(cname "state") ?placement
-        { s = init; writer = -1; seq = 0; resp = None }
+        { s = init; writer = -1; seq = 0; resp = None; batch = []; e = 0 }
     in
     M.flush state;
     M.drain ();
     {
       spec;
       nthreads;
+      combine;
       state;
+      epoch = M.alloc ~name:(cname "epoch") ?placement 0;
       x =
         Array.init nthreads (fun i ->
             M.alloc ~name:(cname (Printf.sprintf "X[%d]" i)) ?placement None);
+      active = Array.make nthreads false;
       seqs = Array.make nthreads 0;
+      batches = 0;
+      folded = 0;
     }
 
   (* Persist the completion of the operation that installed [cur] into
@@ -96,6 +153,21 @@ module Make_any (M : Dssq_memory.Memory_intf.S) = struct
      overwriter); for a value-returning operation like swap it is a
      linearization cycle (model-checker counterexample:
      explore --case swap/swap-swap/crash/ls1). *)
+  (* Record [resp] as the completion of thread [w]'s operation [seq],
+     helping-style: retry CAS races until the record is in place, and
+     flush so it enters the persist pipeline before the caller's drain. *)
+  let rec publish_result t ~w ~seq resp =
+    if w >= 0 && w < t.nthreads then begin
+      let xc = t.x.(w) in
+      match M.read xc with
+      | Some ({ aseq; result = None; _ } as a) as x when aseq = seq ->
+          if M.cas xc ~expected:x ~desired:(Some { a with result = resp })
+          then M.flush xc
+          else publish_result t ~w ~seq resp
+      | Some { aseq; result = Some _; _ } when aseq = seq -> M.flush xc
+      | _ -> ()
+    end
+
   let rec help_complete t (cur : _ entry) =
     let w = cur.writer in
     if w >= 0 && w < t.nthreads then begin
@@ -124,6 +196,36 @@ module Make_any (M : Dssq_memory.Memory_intf.S) = struct
           M.flush xc;
           M.drain ()
       | _ -> ()
+    end;
+    (* A combining install carries more provenances than its primary:
+       the whole batch's completions must be durable before the entry
+       can be overwritten, by the same argument as above.  Eager entries
+       always have [batch = []], so this adds nothing (not even a read)
+       to the combining-off path. *)
+    if cur.batch <> [] then begin
+      let unrecorded (w, q, _) =
+        w >= 0 && w < t.nthreads
+        &&
+        match M.read t.x.(w) with
+        | Some { aseq; result = None; _ } -> aseq = q
+        | _ -> false
+      in
+      if List.exists unrecorded cur.batch then begin
+        M.flush t.state;
+        M.drain ();
+        List.iter (fun (w, q, r) -> publish_result t ~w ~seq:q r) cur.batch
+      end
+      else
+        (* Every completion is recorded — but possibly only volatile:
+           folded owners self-record with a buffered flush once the
+           durable-epoch marker passes their install.  Those lines must
+           be durable before [cur]'s batch provenance is destroyed, or a
+           crash persisting our overwrite drops the records of effects
+           it carries.  Flushing an already-durable line is free. *)
+        List.iter
+          (fun (w, _, _) -> if w >= 0 && w < t.nthreads then M.flush t.x.(w))
+          cur.batch;
+      M.drain ()
     end
 
   let apply t ~tid op s =
@@ -152,7 +254,15 @@ module Make_any (M : Dssq_memory.Memory_intf.S) = struct
         help_complete t cur;
         if
           M.cas t.state ~expected:cur
-            ~desired:{ s = s'; writer = -1; seq = 0; resp = None }
+            ~desired:
+              {
+                s = s';
+                writer = -1;
+                seq = 0;
+                resp = None;
+                batch = [];
+                e = cur.e + 1;
+              }
         then begin
           M.flush t.state;
           M.drain ();
@@ -187,10 +297,177 @@ module Make_any (M : Dssq_memory.Memory_intf.S) = struct
     | _ -> ());
     ()
 
+  (* ------------------------- flat combining ------------------------- *)
+
+  (* CAS-max the volatile durable-epoch marker up to install id [e]:
+     every install at or below the marker has had its persist epoch
+     closed (state flushed and drained while the line held that install
+     or a successor — and a successor can only have been installed after
+     [help_complete] made the victim's completions durable, so either
+     way the marked install's effects and provenances are safe). *)
+  let rec advance_epoch t e =
+    let m = M.read t.epoch in
+    if m < e && not (M.cas t.epoch ~expected:m ~desired:e) then
+      advance_epoch t e
+
+  (* One combining pass (opt-in via [~combine:true]): help the current
+     entry complete, fold {e every} announced-but-unapplied operation —
+     the caller's included — into a single boxed install whose [batch]
+     field carries the folded provenances, then pay ONE persist epoch
+     (flush state, drain) for the whole batch.  Announced operations are
+     already durable intents (prep drained them), which is exactly what
+     makes them safe to apply on the owner's behalf: a crash at any
+     point leaves each folded operation either absent or resolvable from
+     the batch provenance.
+
+     Combining here is helping, not locking: a thread whose operation
+     was folded by another combiner never waits — it reads its response
+     from the installed entry.  Completion records are the owners' own
+     business: once the durable-epoch marker reaches the install, each
+     folded owner records its own result with a buffered flush (no
+     barrier — the state's durability is what licensed the answer, and
+     [help_complete] persists the record before the entry's provenance
+     can be destroyed).  An owner that finds the epoch still open closes
+     it itself instead of waiting, which keeps the pass lock-free. *)
+  let exec_combine t ~tid aop aseq =
+    t.active.(tid) <- true;
+    Fun.protect ~finally:(fun () -> t.active.(tid) <- false) @@ fun () ->
+    let rec attempt () =
+      let cur = M.read t.state in
+      (* Did another combiner already fold our operation into [cur]? *)
+      let mine =
+        if cur.writer = tid && cur.seq = aseq then cur.resp
+        else
+          List.fold_left
+            (fun acc (w, q, r) -> if w = tid && q = aseq then r else acc)
+            None cur.batch
+      in
+      match mine with
+      | Some r ->
+          (match M.read t.x.(tid) with
+          | Some { aseq = q; result = Some _; _ } when q = aseq ->
+              () (* a helper recorded it for us; its flush is in flight *)
+          | _ ->
+              (* Poll the durable-epoch marker a bounded number of times
+                 before helping: the combiner's drain is usually already
+                 in flight, and a read costs an order of magnitude less
+                 than closing the epoch ourselves.  The bound keeps the
+                 pass lock-free. *)
+              let rec settle polls =
+                if M.read t.epoch >= cur.e then
+                  (* The install's persist epoch is closed: the effect
+                     is durable (or superseded — which required
+                     persisting our completion first), so record our own
+                     result with a buffered flush and no barrier. *)
+                  record_result t ~tid r
+                else if polls > 0 then settle (polls - 1)
+                else begin
+                  (* Close the epoch ourselves rather than wait any
+                     longer for the combiner.  If the state word has
+                     moved past [cur] by now this persists the newer
+                     entry, which is still correct: a successor install
+                     implies our completion is already durable. *)
+                  M.flush t.state;
+                  M.drain ();
+                  advance_epoch t cur.e;
+                  record_result t ~tid r
+                end
+              in
+              settle 4);
+          r
+      | None ->
+          help_complete t cur;
+          let s0, my_resp = apply t ~tid aop cur.s in
+          let s = ref s0 in
+          let others = ref [] in
+          for i = 0 to t.nthreads - 1 do
+            (* Fold only operations whose owner is actively executing
+               (see [active]): announced intent alone is not license to
+               linearize it — after a crash it must wait for its owner's
+               retry, or resolve would report a post-crash
+               linearization. *)
+            if i <> tid && t.active.(i) then
+              match M.read t.x.(i) with
+              | Some { aop = o; aseq = q; result = None }
+                when (not (cur.writer = i && cur.seq = q))
+                     && not
+                          (List.exists
+                             (fun (w, sq, _) -> w = i && sq = q)
+                             cur.batch) -> (
+                  match t.spec.Spec.apply !s ~tid:i o with
+                  | Some (s', r) ->
+                      s := s';
+                      others := (i, q, Some r) :: !others
+                  | None -> () (* not enabled at this fold point *))
+              | _ -> ()
+          done;
+          let s' = !s in
+          let batch = List.rev !others in
+          (* Always install — even when our own step is read-only and
+             nothing was folded.  The eager path's no-install fast path
+             is unsound here: between our read of [cur] and answering, a
+             concurrent combiner may fold {e our} operation into its own
+             install with a response computed from a fresher state, and
+             a locally decided answer would then contradict the batch
+             provenance (model-checker counterexample:
+             bcounter/inc-dec/nocrash/ls1/fc — a stale dec answers FAIL
+             while the combiner's fold answered OK).  Routing every
+             response through the state CAS makes the install the single
+             linearization point: a stale attempt fails the CAS, retries,
+             and finds its folded response in [mine]. *)
+          begin
+            let e' = cur.e + 1 in
+            if
+              M.cas t.state ~expected:cur
+                ~desired:
+                  {
+                    s = s';
+                    writer = tid;
+                    seq = aseq;
+                    resp = Some my_resp;
+                    batch;
+                    e = e';
+                  }
+            then begin
+              t.batches <- t.batches + 1;
+              t.folded <- t.folded + 1 + List.length batch;
+              let sp = Profile.begin_span ~tid Profile.Combine in
+              if !lost_batch_injection then begin
+                (* Mutant: completions durable before the effect — and
+                   the marker advanced before the drain, so folded
+                   owners buffer theirs early too. *)
+                advance_epoch t e';
+                record_result t ~tid my_resp;
+                List.iter (fun (w, q, r) -> publish_result t ~w ~seq:q r) batch;
+                M.drain ();
+                M.flush t.state;
+                M.drain ()
+              end
+              else begin
+                (* THE persist epoch: one flush+drain makes the install
+                   — and with it every folded effect and provenance —
+                   durable at once.  Advancing the marker then hands the
+                   completion records over to their owners, whose
+                   buffered flushes need no further barrier here. *)
+                M.flush t.state;
+                M.drain ();
+                advance_epoch t e';
+                record_result t ~tid my_resp
+              end;
+              Profile.end_span ~tid sp;
+              my_resp
+            end
+            else attempt ()
+          end
+    in
+    attempt ()
+
   let exec_unprofiled t ~tid =
     match M.read t.x.(tid) with
     | None -> invalid_arg "Detectable.exec: no operation prepared"
     | Some { result = Some r; _ } -> r (* already took effect: idempotent *)
+    | Some { aop; aseq; result = None } when t.combine ->
+        exec_combine t ~tid aop aseq
     | Some { aop; aseq; result = None } ->
         let rec loop () =
           let cur = M.read t.state in
@@ -210,7 +487,15 @@ module Make_any (M : Dssq_memory.Memory_intf.S) = struct
             help_complete t cur;
             if
               M.cas t.state ~expected:cur
-                ~desired:{ s = s'; writer = tid; seq = aseq; resp = Some resp }
+                ~desired:
+                  {
+                    s = s';
+                    writer = tid;
+                    seq = aseq;
+                    resp = Some resp;
+                    batch = [];
+                    e = cur.e + 1;
+                  }
             then begin
               (* Same ordering as the read-only path: the install must
                  be durable before the completion record can be — the
@@ -249,7 +534,15 @@ module Make_any (M : Dssq_memory.Memory_intf.S) = struct
           match cur.resp with
           | Some r -> Done (aop, r)
           | None -> Pending aop
-        else Pending aop)
+        else
+          (* Combining: our operation may have been folded into another
+             thread's install — its batch provenance answers then. *)
+          let folded =
+            List.find_opt (fun (w, q, _) -> w = tid && q = aseq) cur.batch
+          in
+          match folded with
+          | Some (_, _, Some r) -> Done (aop, r)
+          | Some (_, _, None) | None -> Pending aop)
 
   let resolve t ~tid =
     let sp = Profile.begin_span ~tid Profile.Resolve in
@@ -267,12 +560,22 @@ module Make_any (M : Dssq_memory.Memory_intf.S) = struct
     for i = 0 to t.nthreads - 1 do
       let s = match M.read t.x.(i) with Some a -> a.aseq | None -> 0 in
       let s = if cur.writer = i then max s cur.seq else s in
+      (* Batch provenances are live sequence numbers too. *)
+      let s =
+        List.fold_left
+          (fun acc (w, q, _) -> if w = i then max acc q else acc)
+          s cur.batch
+      in
       if s > t.seqs.(i) then t.seqs.(i) <- s
     done;
     Profile.end_span ~tid:(-1) sp
 
   let stats t : Detectable_intf.stats =
     { state_words = 1; announce_words = t.nthreads }
+
+  (** Volatile combining telemetry: [(passes, ops_folded)] — the mean
+      batch size is [ops_folded / passes].  Both 0 with combining off. *)
+  let combining_stats t = (t.batches, t.folded)
 
   let peek t = (M.read t.state).s
 end
@@ -304,10 +607,12 @@ module Linked (M : Dssq_memory.Memory_intf.S) = struct
       deferred : int list ref array;
           (* nodes whose retirement waits until X[tid] is overwritten *)
       reclaim : bool;
+      combine : bool;  (* flat-combining batch epochs (DESIGN.md §14) *)
       nthreads : int;
     }
 
-    let create ?wal ?pool_id ~xname ~reclaim ~nthreads ~capacity () =
+    let create ?wal ?pool_id ?(combine = false) ~xname ~reclaim ~nthreads
+        ~capacity () =
       let pool = Pool.create ?wal ?pool_id ~capacity ~nthreads () in
       {
         pool;
@@ -322,6 +627,7 @@ module Linked (M : Dssq_memory.Memory_intf.S) = struct
             ();
         deferred = Array.init nthreads (fun _ -> ref []);
         reclaim;
+        combine;
         nthreads;
       }
 
@@ -367,9 +673,15 @@ module Linked (M : Dssq_memory.Memory_intf.S) = struct
        cache eviction while those flushes still sit in the persist
        buffer, persisting an announcement whose node contents were
        lost.  Eager backends drain at every flush, so both drains are
-       no-ops there. *)
+       no-ops there.  Under combine the backend buffers in per-thread
+       store order, so the announce write cannot persist ahead of the
+       node-field flushes issued before it — the leading drain is
+       subsumed; the trailing drain stays (it is the prep persistence
+       point, and the announce must be durable before the operation's
+       effect can, which later CASes by {e other} threads' helpers may
+       persist out of this thread's FIFO). *)
     let announce a ~tid word =
-      M.drain ();
+      if not a.combine then M.drain ();
       post a ~tid word;
       M.drain ()
 
@@ -510,9 +822,9 @@ module Make (B : Dssq_spec.Dss_spec.S) (M : Dssq_memory.Memory_intf.S) :
 
   let name = B.spec.Spec.name
 
-  let create ?name ?init ~nthreads () =
-    E.create ?name ~placement:Dssq_memory.Memory_intf.Line.Isolated ?init
-      ~nthreads B.spec
+  let create ?name ?combine ?init ~nthreads () =
+    E.create ?name ~placement:Dssq_memory.Memory_intf.Line.Isolated ?combine
+      ?init ~nthreads B.spec
 
   let prep = E.prep
   let exec = E.exec
@@ -520,5 +832,6 @@ module Make (B : Dssq_spec.Dss_spec.S) (M : Dssq_memory.Memory_intf.S) :
   let resolve = E.resolve
   let recover = E.recover
   let stats = E.stats
+  let combining_stats = E.combining_stats
   let peek = E.peek
 end

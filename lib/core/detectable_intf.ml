@@ -45,9 +45,12 @@ module type GENERIC = sig
 
   val name : string
 
-  val create : ?name:string -> ?init:state -> nthreads:int -> unit -> t
+  val create :
+    ?name:string -> ?combine:bool -> ?init:state -> nthreads:int -> unit -> t
   (** [name] labels the persistent cells in traces; [init] overrides the
-      specification's initial state. *)
+      specification's initial state; [combine] (default [false]) routes
+      [exec] through the flat-combining batch-apply path — one persist
+      epoch covers every operation a combiner folds. *)
 
   val prep : t -> tid:int -> op -> unit
   (** Announce [op]: durable on return (persistence point). *)
@@ -69,6 +72,11 @@ module type GENERIC = sig
       detection state consistent inline. *)
 
   val stats : t -> stats
+
+  val combining_stats : t -> int * int
+  (** Volatile flat-combining telemetry: [(passes, ops_folded)]; the
+      mean batch size is the ratio.  Both 0 with combining off. *)
+
   val peek : t -> state  (** current abstract state; quiescent use only *)
 end
 
@@ -105,8 +113,11 @@ module type LINKED_CORE = sig
   val name : string
 
   val create :
-    ?wal:wal -> ?pool_id:int -> ?reclaim:bool -> nthreads:int ->
-    capacity:int -> unit -> t
+    ?wal:wal -> ?pool_id:int -> ?reclaim:bool -> ?combine:bool ->
+    nthreads:int -> capacity:int -> unit -> t
+  (** [combine] (default [false]) elides the per-operation hardening
+      drains that the flat-combining buffer order makes redundant, so
+      many operations share one persist epoch; see DESIGN.md §14. *)
 
   val resolve : t -> tid:int -> Queue_intf.resolved
   (** The [(A[p], R[p])] of the calling thread; total and idempotent. *)

@@ -50,10 +50,21 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     an : A.t; (* announce words + pool + reclamation (shared scaffolding) *)
     head : int M.cell;
     tail : int M.cell;
+    combine : bool;
+        (* flat-combining batch epochs: the backend buffers flushes in
+           per-thread store-order FIFOs (Heap combine mode), which
+           subsumes the intra-thread hardening drains — those are elided
+           below, so enqueues share one persist epoch.  Cross-thread
+           orderings (claim attribution, mark-before-head-advance,
+           reclamation) keep their drains: the FIFO argument is
+           per-thread only. *)
   }
 
-  let create ?wal ?pool_id ?(reclaim = true) ~nthreads ~capacity () =
-    let an = A.create ?wal ?pool_id ~xname:"X" ~reclaim ~nthreads ~capacity () in
+  let create ?wal ?pool_id ?(reclaim = true) ?(combine = false) ~nthreads
+      ~capacity () =
+    let an =
+      A.create ?wal ?pool_id ~xname:"X" ~reclaim ~combine ~nthreads ~capacity ()
+    in
     let sentinel = Pool.alloc an.A.pool ~tid:0 ~value:0 in
     M.flush (Pool.value an.A.pool sentinel);
     M.flush (Pool.next an.A.pool sentinel);
@@ -68,11 +79,11 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     M.flush head;
     M.flush tail;
     M.drain ();
-    { an; head; tail }
+    { an; head; tail; combine }
 
   let of_config ?wal ?pool_id (cfg : Queue_intf.config) =
-    create ?wal ?pool_id ~reclaim:cfg.reclaim ~nthreads:cfg.nthreads
-      ~capacity:cfg.capacity ()
+    create ?wal ?pool_id ~reclaim:cfg.reclaim ~combine:cfg.combine
+      ~nthreads:cfg.nthreads ~capacity:cfg.capacity ()
 
   let pool t = t.an.A.pool
   let x t = t.an.A.x
@@ -119,7 +130,16 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
                a crash can write X back (cache eviction) while the link
                flush still sits in the persist buffer, persisting a
                completion claim for a node that never became reachable.
-               No-op under sc (eager flushes already drained). *)
+               No-op under sc (eager flushes already drained).  NOT
+               elidable under combine: buffered persistency orders
+               flushes of {e distinct} lines only through a drain (a
+               line writeback can overtake the FIFO), so the X line can
+               persist the completion tag while the link flush is lost —
+               durable Done evidence for a node that was never linked
+               (model-checker counterexample for the elision:
+               queue/enq-enq/crash/ls1/fc, recovered-structure check
+               "X[1] claims completion but node neither queued nor
+               dequeued"). *)
             M.drain ();
             if detectable then
               A.tag t.an ~tid Tagged.enq_compl (* lines 13-14 *);
@@ -137,7 +157,11 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
              recovered structure never linked (re-execution then links
              them twice and the chain cycles).  No-op under sc. *)
           M.flush (Pool.next (pool t) last);
-          M.drain ();
+          (* Under combine: a helped link persisting early is harmless
+             (its owner's announce is already durable), and a lost one
+             truncates the recovered chain at worst — the owner retries
+             after stale-next normalization.  Elide the barrier. *)
+          if not t.combine then M.drain ();
           ignore (M.cas t.tail ~expected:last ~desired:next);
           loop ()
         end
@@ -145,8 +169,16 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     in
     loop ();
     (* Persistence point: the operation's flushes (link, X completion)
-       must land before the node can enter reclamation — drain while
-       still EBR-protected, before grace can elapse. *)
+       must land before the enqueue reports completion — and before the
+       node can enter reclamation, so drain while still EBR-protected.
+       NOT elidable under combine: once this returns, the operation is
+       complete to the caller, and strict linearizability requires a
+       crash from here on to resolve it Done (model-checker
+       counterexample for the elision: queue/enq-deq/crash/ls1/fc — the
+       buffered completion tag is lost and resolve reports an
+       already-completed enqueue as pending).  Combine still elides the
+       intra-operation hazard drains above; this one drain is the
+       operation's batch-epoch close. *)
     M.drain ();
     Dssq_ebr.Ebr.exit t.an.A.ebr ~tid
 
@@ -165,7 +197,10 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     (* px86 hardening: the detectable path gets this durability point
        from [A.announce]; the plain path must drain the node-field
        flushes itself before the link CAS can persist a pointer to a
-       node whose contents were lost.  No-op under sc. *)
+       node whose contents were lost.  No-op under sc; kept under
+       combine — buffered persistency does not order distinct lines
+       without a drain, so the link line could persist ahead of the
+       node-field flushes. *)
     M.drain ();
     enqueue_node t ~tid ~detectable:false node;
     Profile.end_span ~tid sp;
@@ -205,9 +240,10 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
             (* tail is lagging: lines 44-45.  The flush guarantees that
                any node reachable once tail moves has a persisted link;
                px86 hardening: drain so the guarantee holds before the
-               advance (see the enqueue help path).  No-op under sc. *)
+               advance (see the enqueue help path).  No-op under sc;
+               elided under combine like the enqueue help path. *)
             M.flush (Pool.next (pool t) last);
-            M.drain ();
+            if not t.combine then M.drain ();
             ignore (M.cas t.tail ~expected:last ~desired:next);
             loop ()
           end
@@ -372,6 +408,33 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
        or enqueued, dequeued and already marked *)
     R.complete_effective t.an ~took_effect:(fun d ->
         all_nodes.(d) || M.read (Pool.deq_tid (pool t) d) <> -1);
+    (* Stale-next normalization (combine mode, harmless otherwise): an
+       enqueue whose link was lost at the crash will be re-executed, but
+       its node's [next] field may hold a durable pointer from an
+       earlier linking attempt.  Re-linking such a node at the new tail
+       with a non-null [next] would splice the stale successor chain
+       into the queue.  Clear [next] on every retry candidate — ENQ-
+       prepared, uncompleted, not reachable, unmarked — so the retry
+       starts from a null link like a fresh node. *)
+    let xs = x t in
+    for i = 0 to Array.length xs - 1 do
+      let xw = M.read xs.(i) in
+      if
+        Tagged.idx xw <> Tagged.null
+        && Tagged.has xw Tagged.enq_prep
+        && not (Tagged.has xw Tagged.enq_compl)
+      then begin
+        let d = Tagged.idx xw in
+        if
+          (not all_nodes.(d))
+          && M.read (Pool.deq_tid (pool t) d) = -1
+          && M.read (Pool.next (pool t) d) <> Tagged.null
+        then begin
+          M.write (Pool.next (pool t) d) Tagged.null;
+          M.flush (Pool.next (pool t) d)
+        end
+      end
+    done;
     (* Rebuild the volatile free lists; beyond the X-referenced nodes the
        generic pass keeps, a DEQ-prepared X entry also pins its saved
        predecessor's successor (resolve-dequeue reads X->next). *)

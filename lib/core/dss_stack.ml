@@ -39,11 +39,17 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   type t = {
     an : A.t; (* pool (deq_tid doubles as the popper mark), X, EBR *)
     top : int M.cell;
+    combine : bool;
+        (* batch persist epochs: elide the same-thread hardening drains
+           that store-order buffering subsumes (DESIGN.md §14); drains
+           guarding against cross-thread top flushes stay *)
   }
 
-  let create ?wal ?pool_id ?(reclaim = true) ~nthreads ~capacity () =
+  let create ?wal ?pool_id ?(reclaim = true) ?(combine = false) ~nthreads
+      ~capacity () =
     let an =
-      A.create ?wal ?pool_id ~xname:"Xs" ~reclaim ~nthreads ~capacity ()
+      A.create ?wal ?pool_id ~xname:"Xs" ~reclaim ~combine ~nthreads ~capacity
+        ()
     in
     let top =
       M.alloc ~name:"top" ~placement:Dssq_memory.Memory_intf.Line.Isolated
@@ -51,7 +57,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     in
     M.flush top;
     M.drain ();
-    { an; top }
+    { an; top; combine }
 
   let pool t = t.an.A.pool
   let x t = t.an.A.x
@@ -109,7 +115,11 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
              before the completion tag can persist — a crash could
              write the dirty X line back while top's flush still sits
              in the persist buffer, claiming completion for a push that
-             never became reachable.  No-op under sc. *)
+             never became reachable.  No-op under sc.  NOT elidable
+             under combine: buffered persistency orders distinct lines
+             only through a drain, so the X line can persist the
+             completion tag while top's flush is lost (see the queue's
+             link/tag barrier). *)
           M.drain ();
           if detectable then A.tag t.an ~tid Tagged.enq_compl
         end
@@ -117,7 +127,13 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       end
     in
     loop ();
-    M.drain () (* persistence point, while still EBR-protected *);
+    (* Persistence point, while still EBR-protected.  NOT elidable under
+       combine: the push is complete to the caller once this returns, so
+       its completion evidence must be durable here or a crash would
+       resolve a completed push as pending (see the queue's enqueue
+       persistence point).  Combine elides only the intra-operation
+       hazard drains above. *)
+    M.drain ();
     Dssq_ebr.Ebr.exit t.an.A.ebr ~tid
 
   let exec_push t ~tid =
@@ -131,7 +147,8 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
     let node = make_node t ~tid v in
     (* px86 hardening: the detectable path gets this durability point
        from [A.announce]; the plain path must drain the node-field
-       flushes itself (see the queue's plain enqueue).  No-op under sc. *)
+       flushes itself (see the queue's plain enqueue).  No-op under sc;
+       kept under combine for the same cross-line ordering reason. *)
     M.drain ();
     push_node t ~tid ~detectable:false node;
     Profile.end_span ~tid sp

@@ -54,16 +54,21 @@ type config = {
   line_size : int;
   coalesce : bool;
   persistency : Dssq_memory.Memory_intf.Persistency.t;
+  combine : bool;
+      (** flat-combining batch epochs: the backend buffers flushes
+          without auto-draining and the objects elide the hardening
+          drains the buffer order subsumes (DESIGN.md §14); the harness
+          keeps backend and config in sync like the other axes *)
 }
 
 let config ?(reclaim = true) ?(line_size = 1) ?(coalesce = false)
-    ?(persistency = Dssq_memory.Memory_intf.Persistency.Sc) ~nthreads
-    ~capacity () =
+    ?(persistency = Dssq_memory.Memory_intf.Persistency.Sc)
+    ?(combine = false) ~nthreads ~capacity () =
   if nthreads <= 0 then invalid_arg "Queue_intf.config: nthreads must be > 0";
   if capacity <= 0 then invalid_arg "Queue_intf.config: capacity must be > 0";
   if line_size <= 0 then
     invalid_arg "Queue_intf.config: line_size must be > 0";
-  { nthreads; capacity; reclaim; line_size; coalesce; persistency }
+  { nthreads; capacity; reclaim; line_size; coalesce; persistency; combine }
 
 (** Closure record for heterogeneous dispatch in workloads and benches,
     hiding the functor-generated type [t]. *)

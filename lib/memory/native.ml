@@ -37,10 +37,19 @@ let line_size () = Line.Alloc.line_size !allocator
    allocate a filler block with the atomic so consecutive hot cells do
    not land adjacent on one physical line (false sharing between
    domains).  The filler must stay reachable from the cell, or the GC
-   would collect it and compaction could re-pack the atomics. *)
+   would collect it and compaction could re-pack the atomics.
+
+   The stride is settable (setup-time only, like [set_line_size]) so the
+   harness can sweep it: on a NUMA-ish machine the right padding for hot
+   isolated cells is an empirical knob — too little false-shares, too
+   much wastes cache reach — and the sweep measures the trade directly
+   ([Native_throughput.pad_sweep]). *)
+let pad_words = ref Memory_intf.Padded.pad_words
+let set_pad_words n = pad_words := max 0 n
+
 let pad_for placement =
   match placement with
-  | Some Line.Isolated -> Array.make Memory_intf.Padded.pad_words 0
+  | Some Line.Isolated -> Array.make !pad_words 0
   | Some Line.Packed | None -> [||]
 
 (** Attribution hooks for the observability layer, which sits {e above}
@@ -417,6 +426,19 @@ end)
 ()
 
 module Px86 () = Make_buffered (struct
+  let auto_drain_on_store = false
+end)
+()
+
+(** Flat-combining batch-epoch backend: buffered flushes with {e no}
+    auto-drain before stores, so an operation's flushes stay pending
+    until the driver (or a combiner) closes the epoch with one [drain] —
+    one overlapped write-back plus one fence for the whole batch.  The
+    same persistency contract as {!Px86} (only explicit barriers order
+    persists), instantiated separately so combine-mode measurements own
+    their counters; the native analogue of
+    [Dssq_pmem.Heap.create ~combine:true]. *)
+module Combining () = Make_buffered (struct
   let auto_drain_on_store = false
 end)
 ()

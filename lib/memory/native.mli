@@ -21,6 +21,13 @@ val set_line_size : int -> unit
 
 val line_size : unit -> int
 
+val set_pad_words : int -> unit
+(** Set the padding stride (filler words) attached to
+    [Isolated]-placement cells.  Setup-time only, like
+    {!set_line_size}; the default is [Memory_intf.Padded.pad_words].
+    Exists so the harness can sweep the isolation stride on real
+    machines ([Dssq_workload.Native_throughput.pad_sweep]). *)
+
 val alloc : ?name:string -> ?placement:Line.placement -> 'a -> 'a cell
 val alloc_block : ?name:string -> 'a list -> 'a cell list
 val line_id : 'a cell -> int
@@ -106,3 +113,10 @@ module Px86 () : Memory_intf.COUNTED with type 'a cell = 'a cell
     [Dssq_pmem.Heap]'s [Persistency.Px86] mode.  Counter-only on real
     hardware (no crash adversary); the simulator is where the relaxed
     crash behaviour is model-checked. *)
+
+module Combining () : Memory_intf.COUNTED with type 'a cell = 'a cell
+(** Flat-combining batch-epoch variant: the {!Px86} buffering contract
+    (no auto-drain on stores), instantiated separately so combine-mode
+    measurements own their counters — the native analogue of
+    [Dssq_pmem.Heap.create ~combine:true].  The driver closes each batch
+    epoch with one [drain]. *)

@@ -29,26 +29,40 @@
     and counters are bit-for-bit identical whether profiling is on or
     off. *)
 
-type phase = Announce | Exec | Resolve | Recovery_scan | Recovery_complete | Other
+type phase =
+  | Announce
+  | Exec
+  | Combine
+      (** flat-combining persist epoch: the combiner's batch drain plus
+          result publication — nested inside {!Exec}, so exec keeps the
+          apply/install cost and combine isolates the epoch's *)
+  | Resolve
+  | Recovery_scan
+  | Recovery_complete
+  | Other
 
 let phase_name = function
   | Announce -> "announce"
   | Exec -> "exec"
+  | Combine -> "combine"
   | Resolve -> "resolve"
   | Recovery_scan -> "recovery-scan"
   | Recovery_complete -> "recovery-complete"
   | Other -> "other"
 
-let phases = [ Announce; Exec; Resolve; Recovery_scan; Recovery_complete; Other ]
+let phases =
+  [ Announce; Exec; Combine; Resolve; Recovery_scan; Recovery_complete; Other ]
+
 let nphases = List.length phases
 
 let phase_index = function
   | Announce -> 0
   | Exec -> 1
-  | Resolve -> 2
-  | Recovery_scan -> 3
-  | Recovery_complete -> 4
-  | Other -> 5
+  | Combine -> 2
+  | Resolve -> 3
+  | Recovery_scan -> 4
+  | Recovery_complete -> 5
+  | Other -> 6
 
 let other_index = phase_index Other
 

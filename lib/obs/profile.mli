@@ -6,10 +6,19 @@
     backend memory, so event streams are identical either way.  See the
     implementation header for the attribution model. *)
 
-type phase = Announce | Exec | Resolve | Recovery_scan | Recovery_complete | Other
+type phase =
+  | Announce
+  | Exec
+  | Combine
+      (** flat-combining persist epoch (batch drain + result
+          publication), nested inside {!Exec} spans *)
+  | Resolve
+  | Recovery_scan
+  | Recovery_complete
+  | Other
 
 val phase_name : phase -> string
-(** ["announce"], ["exec"], ["resolve"], ["recovery-scan"],
+(** ["announce"], ["exec"], ["combine"], ["resolve"], ["recovery-scan"],
     ["recovery-complete"], ["other"]. *)
 
 val phases : phase list

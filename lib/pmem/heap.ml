@@ -70,9 +70,19 @@ type t = {
          misses the newest buffered entry — the off-by-one persist
          barrier that covers every pwb except the one issued just before
          it.  Invisible under sc (eager flushes leave nothing pending). *)
+  combine : bool;
+      (* Flat-combining batch epochs: every flush buffers (even under
+         Sc), stores never auto-drain, and only explicit drains — or the
+         crash adversary's prefix write-backs — empty the buffers.  The
+         write-back of a buffered line re-orders at its {e latest} flush
+         or store ([refresh_pending]): the buffered entry persists the
+         current value, so its position in the persist FIFO follows the
+         last modification, which is what lets the objects replace
+         per-op hardening drains with FIFO order inside one epoch. *)
 }
 
-let create ?(line_size = 1) ?(persistency = Persistency.Sc) () =
+let create ?(line_size = 1) ?(persistency = Persistency.Sc) ?(combine = false)
+    () =
   {
     cells = [];
     next_id = 0;
@@ -99,9 +109,17 @@ let create ?(line_size = 1) ?(persistency = Persistency.Sc) () =
     persistency;
     reorder_pat = None;
     short_drain = false;
+    combine;
   }
 
 let persistency t = t.persistency
+let combine t = t.combine
+
+(* Buffered routing: flushes enter per-thread persist buffers instead of
+   writing back synchronously.  Px86 is buffered by definition; combine
+   mode opts the Sc heap into the same machinery so one batch drain can
+   retire many operations' flushes. *)
+let buffered t = t.persistency = Persistency.Px86 || t.combine
 
 let line_size t = Line.Alloc.line_size t.line_alloc
 
@@ -231,6 +249,12 @@ let flush_coalesced t (c : 'a Cell.t) =
   if Hashtbl.mem b line.Line.id then begin
     t.stats.coalesced_flushes <- t.stats.coalesced_flushes + 1;
     bump_calls t;
+    (* Combine epochs: a re-flushed line's write-back re-orders at the
+       latest flush (the buffered entry persists the current value). *)
+    if t.combine then begin
+      let ord = order t t.cur_tid in
+      ord := line.Line.id :: List.filter (fun l -> l <> line.Line.id) !ord
+    end;
     attrib t `Coalesce ~line:line.Line.id
   end
   else if Line.is_dirty line then begin
@@ -287,24 +311,25 @@ let drain t =
             | [] -> None)
         | _ -> None
       in
-      (match t.persistency with
-      | Persistency.Sc ->
-          (* Hash order, as always: persist order within a drain is
-             unobservable under sc (the batch is atomic w.r.t. crashes),
-             and keeping the historical iteration order keeps event
-             streams bit-for-bit identical to the pre-px86 figures. *)
-          Hashtbl.iter writeback b
-      | Persistency.Px86 ->
-          (* FIFO: the write-back order is the order flushes were
-             issued, which is what the adversary's prefix drains (and
-             hence crash states) are defined against. *)
-          List.iter
-            (fun lid ->
-              if match kept with Some (k, _) -> k <> lid | None -> true then
-                match Hashtbl.find_opt b lid with
-                | Some line -> writeback lid line
-                | None -> ())
-            (List.rev !(order t t.cur_tid)));
+      (if t.persistency = Persistency.Sc && not t.combine then
+         (* Hash order, as always: persist order within a drain is
+            unobservable under sc (the batch is atomic w.r.t. crashes),
+            and keeping the historical iteration order keeps event
+            streams bit-for-bit identical to the pre-px86 figures. *)
+         Hashtbl.iter writeback b
+       else
+         (* FIFO (px86 and combine epochs): the write-back order is the
+            order flushes were issued — re-ordered at the latest flush
+            or store under combine — which is what the adversary's
+            prefix drains (and hence crash states) are defined
+            against. *)
+         List.iter
+           (fun lid ->
+             if match kept with Some (k, _) -> k <> lid | None -> true then
+               match Hashtbl.find_opt b lid with
+               | Some line -> writeback lid line
+               | None -> ())
+           (List.rev !(order t t.cur_tid)));
       Hashtbl.reset b;
       (match Hashtbl.find_opt t.pending_order t.cur_tid with
       | Some o -> o := []
@@ -341,7 +366,33 @@ let drain t =
    exactly the executions the relaxed sweep exists to find.  Explicit
    [fence]/[drain] still write the buffer back. *)
 let auto_drain t =
-  if t.persistency = Persistency.Sc && has_pending t then drain t
+  if t.persistency = Persistency.Sc && (not t.combine) && has_pending t then
+    drain t
+
+(* Combine epochs run under {e buffered strict persistency} (Pelley et
+   al.'s strict model with asynchronous buffering): every store or CAS
+   enqueues its line into the storing thread's persist FIFO — persist
+   order follows per-thread store order, write-backs happen at drains or
+   by the adversary's prefixes.  Two consequences the drain elisions in
+   the objects rely on: (a) no line a simulated thread dirties is ever
+   outside a buffer, so the crash adversary's free-form per-line
+   verdicts cannot persist a store ahead of the stores before it; (b) a
+   store (or re-flush) to a line whose write-back is already pending
+   moves that write-back to the FIFO tail — the buffered entry persists
+   the line's current contents, so its position must follow the last
+   modification or a prefix drain could persist a value {e newer} than
+   entries behind it in the buffer. *)
+let refresh_pending t (line : Line.t) =
+  if t.combine then begin
+    let b = buffer t t.cur_tid in
+    let ord = order t t.cur_tid in
+    if Hashtbl.mem b line.Line.id then
+      ord := line.Line.id :: List.filter (fun l -> l <> line.Line.id) !ord
+    else begin
+      Hashtbl.add b line.Line.id line;
+      ord := line.Line.id :: !ord
+    end
+  end
 
 (** Asynchronous write-back chosen by the crash adversary (px86): persist
     the oldest [count] entries of thread [tid]'s persist buffer, in FIFO
@@ -380,14 +431,13 @@ let adversary_drain t ~tid ~count =
     prefixes over.  Empty under sc: there the coalescing windows are
     already covered by the per-line verdicts. *)
 let pending_fifos t =
-  match t.persistency with
-  | Persistency.Sc -> []
-  | Persistency.Px86 ->
-      Hashtbl.fold
-        (fun tid ord acc ->
-          match List.rev !ord with [] -> acc | fifo -> (tid, fifo) :: acc)
-        t.pending_order []
-      |> List.sort compare
+  if not (buffered t) then []
+  else
+    Hashtbl.fold
+      (fun tid ord acc ->
+        match List.rev !ord with [] -> acc | fifo -> (tid, fifo) :: acc)
+      t.pending_order []
+    |> List.sort compare
 
 let read t (c : 'a Cell.t) : 'a =
   t.stats.reads <- t.stats.reads + 1;
@@ -401,6 +451,7 @@ let write t (c : 'a Cell.t) (v : 'a) =
   c.volatile <- v;
   c.dirty <- true;
   Line.mark_dirty c.line;
+  refresh_pending t c.line;
   attrib t `Pwrite ~line:c.line.Line.id;
   traced `Write c
 
@@ -413,6 +464,7 @@ let cas t (c : 'a Cell.t) ~(expected : 'a) ~(desired : 'a) =
       c.volatile <- desired;
       c.dirty <- true;
       Line.mark_dirty c.line;
+      refresh_pending t c.line;
       attrib t `Pwrite ~line:c.line.Line.id;
       true
     end
@@ -463,15 +515,15 @@ let dirty_lines t =
     free-form verdicts range over the dirty lines {e outside} every
     buffer (stores issued and never flushed). *)
 let crash_candidate_lines t =
-  match t.persistency with
-  | Persistency.Sc -> dirty_lines t
-  | Persistency.Px86 ->
-      let buffered = Hashtbl.create 16 in
-      Hashtbl.iter
-        (fun _ b ->
-          Hashtbl.iter (fun lid _ -> Hashtbl.replace buffered lid ()) b)
-        t.pending;
-      List.filter (fun lid -> not (Hashtbl.mem buffered lid)) (dirty_lines t)
+  if not (buffered t) then dirty_lines t
+  else begin
+    let in_buffer = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun _ b ->
+        Hashtbl.iter (fun lid _ -> Hashtbl.replace in_buffer lid ()) b)
+      t.pending;
+    List.filter (fun lid -> not (Hashtbl.mem in_buffer lid)) (dirty_lines t)
+  end
 
 (* Shared crash core: [verdict lid] decides, per dirty line, whether the
    line was written back by cache eviction before power was lost ([true])

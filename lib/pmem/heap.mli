@@ -54,18 +54,34 @@ type t = {
   mutable short_drain : bool;
       (** fault injection for relaxed mutants: each px86 drain misses
           the newest buffered entry (off-by-one persist barrier) *)
+  combine : bool;
+      (** flat-combining batch epochs: every flush buffers (even under
+          Sc), stores never auto-drain, and a line re-dirtied or
+          re-flushed while buffered moves to the FIFO tail — one drain
+          is the batch's single persist epoch *)
 }
 
-val create : ?line_size:int -> ?persistency:Persistency.t -> unit -> t
+val create :
+  ?line_size:int -> ?persistency:Persistency.t -> ?combine:bool -> unit -> t
 (** [line_size] defaults to 1 — the original word-granular persistence
     model (every flush charged, no elision, per-word crash eviction).
     Pass [Line.default_size] (8) for the cache-line model.
     [persistency] defaults to {!Persistency.Sc}, the strong model every
     pre-relaxed figure anchors to; {!Persistency.Px86} turns every flush
     into a per-thread FIFO buffer enqueue that only [drain]/[fence] — or
-    the crash adversary — makes durable. *)
+    the crash adversary — makes durable.  [combine] (default [false])
+    forces the buffered routing regardless of persistency model and
+    suppresses the store auto-drain, so flushes from many operations
+    accumulate until one explicit epoch drain (flat-combining batch
+    epochs, DESIGN.md §14). *)
 
 val persistency : t -> Persistency.t
+
+val combine : t -> bool
+
+val buffered : t -> bool
+(** Whether flushes route through the per-thread persist buffers rather
+    than writing back synchronously: px86 persistency or combine mode. *)
 
 val line_size : t -> int
 

@@ -60,11 +60,11 @@ type outcome = {
     regardless of [coalesce]: under the relaxed model a synchronous
     flush does not exist — the heap itself then skips the store
     auto-drain, so the flush-to-drain window stays open for the crash
-    adversary. *)
+    adversary.  A heap created with [~combine:true] (flat-combining
+    batch epochs) forces it too: there the whole point is that flushes
+    from many operations accumulate until one explicit epoch drain. *)
 let memory ?(coalesce = false) heap : (module Dssq_memory.Memory_intf.S) =
-  let buffered =
-    coalesce || Heap.persistency heap = Heap.Persistency.Px86
-  in
+  let buffered = coalesce || Heap.buffered heap in
   (module struct
     type 'a cell = 'a Cell.t
 

@@ -12,16 +12,17 @@ let default_threads = [ 1; 2; 3; 4; 6; 8; 10; 12; 14; 16; 18; 20 ]
 type queue_config = { label : string; mk : string; det_pct : int }
 
 let measure_point ~backend ~horizon_ns ~duration ~repeats ~instrument
-    ~line_size ~coalesce (q : queue_config) ~nthreads :
+    ~line_size ~coalesce ~combine ~batch (q : queue_config) ~nthreads :
     Dssq_obs.Run_report.sample list =
   List.init repeats (fun r ->
       match backend with
       | Sim_model ->
           Sim_throughput.measure_ex ~seed:(1 + r) ~horizon_ns ~mk:q.mk
-            ~det_pct:q.det_pct ~line_size ~coalesce ~instrument ~nthreads ()
+            ~det_pct:q.det_pct ~line_size ~coalesce ~combine ~batch ~instrument
+            ~nthreads ()
       | Native_domains ->
           Native_throughput.measure_ex ~mk:q.mk ~det_pct:q.det_pct ~line_size
-            ~coalesce ~instrument ~nthreads ~duration ())
+            ~coalesce ~combine ~batch ~instrument ~nthreads ~duration ())
 
 (** One series per queue configuration, one point per thread count, every
     point carrying [repeats] samples plus the aggregate observability
@@ -31,8 +32,8 @@ let measure_point ~backend ~horizon_ns ~duration ~repeats ~instrument
     size for every measurement. *)
 let sweep_ex ?(backend = Sim_model) ?(threads = default_threads) ?(repeats = 3)
     ?(horizon_ns = 300_000.) ?(duration = 0.2) ?(instrument = false)
-    ?(line_size = 1) ?(coalesce = false) (queues : queue_config list) :
-    Dssq_obs.Run_report.series list =
+    ?(line_size = 1) ?(coalesce = false) ?(combine = false) ?(batch = 8)
+    (queues : queue_config list) : Dssq_obs.Run_report.series list =
   List.map
     (fun q ->
       {
@@ -42,16 +43,16 @@ let sweep_ex ?(backend = Sim_model) ?(threads = default_threads) ?(repeats = 3)
             (fun nthreads ->
               Dssq_obs.Run_report.point_of_samples ~x:nthreads
                 (measure_point ~backend ~horizon_ns ~duration ~repeats
-                   ~instrument ~line_size ~coalesce q ~nthreads))
+                   ~instrument ~line_size ~coalesce ~combine ~batch q ~nthreads))
             threads;
       })
     queues
 
 let sweep ?backend ?threads ?repeats ?horizon_ns ?duration ?line_size ?coalesce
-    (queues : queue_config list) : Report.series list =
+    ?combine ?batch (queues : queue_config list) : Report.series list =
   Report.of_run
     (sweep_ex ?backend ?threads ?repeats ?horizon_ns ?duration ?line_size
-       ?coalesce queues)
+       ?coalesce ?combine ?batch queues)
 
 (* ---------------------------------------------------------------------- *)
 (* Figure 5a: levels of detectability and persistence                      *)
@@ -404,27 +405,49 @@ let ablate_pmwcas ?(widths = [ 1; 2; 3; 4 ]) ?(line_size = 1) () :
    work.  Full mode adds the native backend, whose wall-clock samples
    are noisy on a loaded machine; [dssq bench-diff]'s tolerance exists
    for exactly that. *)
+(* The flat-combining comparison pair: the engine-backed FC queue and
+   the linked DSS queue, both fully detectable, measured with combine
+   on.  "sim+fc/dss-det" at 8 threads against "sim/dss-det" is the
+   ISSUE-10 >=2x gate ([dssq bench-diff --speedup-*]). *)
+let fc_queues =
+  [
+    { label = "dss-det"; mk = "dss-fc"; det_pct = 100 };
+    { label = "dss-linked"; mk = "dss-queue"; det_pct = 100 };
+  ]
+
 let regress ?(quick = false) () : Dssq_obs.Run_report.series list =
-  let sim_threads = if quick then [ 1; 4 ] else [ 1; 2; 4; 8; 16 ] in
+  let sim_threads =
+    if quick then
+      (* The quick sweep reaches 8 threads (and 16 where the host is
+         wide enough) so the >=2x combining gate has its x = 8 point. *)
+      if Domain.recommended_domain_count () >= 16 then [ 1; 4; 8; 16 ]
+      else [ 1; 4; 8 ]
+    else [ 1; 2; 4; 8; 16 ]
+  in
   let repeats = if quick then 1 else 3 in
   let horizon_ns = if quick then 120_000. else 300_000. in
-  let one ~backend ~threads ~coalesce =
+  let one ?(combine = false) ~backend ~threads ~coalesce queues =
     let prefix =
       (match backend with Sim_model -> "sim" | Native_domains -> "native")
-      ^ if coalesce then "+co" else ""
+      ^ (if coalesce then "+co" else "")
+      ^ if combine then "+fc" else ""
     in
     sweep_ex ~backend ~threads ~repeats ~horizon_ns ~duration:0.1
-      ~instrument:true ~line_size:1 ~coalesce linesize_queues
+      ~instrument:true ~line_size:1 ~coalesce ~combine queues
     |> List.map (fun (s : Dssq_obs.Run_report.series) ->
            { s with label = prefix ^ "/" ^ s.label })
   in
-  one ~backend:Sim_model ~threads:sim_threads ~coalesce:false
-  @ one ~backend:Sim_model ~threads:sim_threads ~coalesce:true
+  one ~backend:Sim_model ~threads:sim_threads ~coalesce:false linesize_queues
+  @ one ~backend:Sim_model ~threads:sim_threads ~coalesce:true linesize_queues
+  @ one ~combine:true ~backend:Sim_model ~threads:sim_threads ~coalesce:false
+      fc_queues
   @
   if quick then []
   else
     one ~backend:Native_domains ~threads:[ 1; 2; 4 ] ~coalesce:false
+      linesize_queues
     @ one ~backend:Native_domains ~threads:[ 1; 2; 4 ] ~coalesce:true
+        linesize_queues
 
 (* ---------------------------------------------------------------------- *)
 (* Modelled single-operation latency (single thread, no contention)        *)

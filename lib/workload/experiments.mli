@@ -15,6 +15,12 @@ val linesize_queues : queue_config list
 (** Union of {!fig5a_queues} and {!fig5b_queues}, deduplicated by label —
     the set swept by {!ablate_linesize}. *)
 
+val fc_queues : queue_config list
+(** The flat-combining comparison pair: the engine-backed FC queue
+    (["dss-det"], registry ["dss-fc"]) and the linked DSS queue
+    (["dss-linked"]), both fully detectable — the set [regress] sweeps
+    with combine on (the ["sim+fc/"] series). *)
+
 val sweep_ex :
   ?backend:backend ->
   ?threads:int list ->
@@ -24,6 +30,8 @@ val sweep_ex :
   ?instrument:bool ->
   ?line_size:int ->
   ?coalesce:bool ->
+  ?combine:bool ->
+  ?batch:int ->
   queue_config list ->
   Dssq_obs.Run_report.series list
 (** One series per queue configuration, one point per thread count; every
@@ -31,8 +39,9 @@ val sweep_ex :
     latency histograms when [instrument] is set).  [line_size] (default 1
     = legacy word-granular persistence) configures the backend's
     persist-line size for every measurement; [coalesce] (default false)
-    routes every flush through the backend's per-thread persist
-    buffer. *)
+    routes every flush through the backend's per-thread persist buffer;
+    [combine] (default false) runs in flat-combining batch-epoch mode,
+    one driver drain per [batch] (default 8) operation pairs. *)
 
 val sweep :
   ?backend:backend ->
@@ -42,6 +51,8 @@ val sweep :
   ?duration:float ->
   ?line_size:int ->
   ?coalesce:bool ->
+  ?combine:bool ->
+  ?batch:int ->
   queue_config list ->
   Report.series list
 (** Throughput-only view of {!sweep_ex}. *)
@@ -176,10 +187,11 @@ val ablate_pmwcas :
 
 val regress : ?quick:bool -> unit -> Dssq_obs.Run_report.series list
 (** The benchmark-regression sweep behind [bench regress] /
-    [BENCH_*.json]: {!linesize_queues} with coalescing off and on,
-    instrumented, at line size 1.  Series labels are prefixed
-    ["sim/"], ["sim+co/"], ["native/"], ["native+co/"]; x is the thread
-    count.  [quick] (the CI smoke) is sim-only, two thread counts, one
+    [BENCH_*.json]: {!linesize_queues} with coalescing off and on, plus
+    {!fc_queues} with combine on, instrumented, at line size 1.  Series
+    labels are prefixed ["sim/"], ["sim+co/"], ["sim+fc/"], ["native/"],
+    ["native+co/"]; x is the thread count.  [quick] (the CI smoke) is
+    sim-only, threads 1/4/8 (plus 16 where the host is wide enough), one
     repeat, deterministic. *)
 
 val op_latency : ?queues:string list -> unit -> (string * float * float) list

@@ -45,7 +45,7 @@ let backoff_until cond =
 (** Spawn [nthreads] domains alternating enqueue/dequeue pairs on [ops]
     for [duration] seconds.  Returns (Mops/s, completed operations,
     per-thread latency histograms when [instrument]). *)
-let run_workers ?(instrument = false) ~nthreads ~det_pct ~duration
+let run_workers ?(instrument = false) ?epoch ~nthreads ~det_pct ~duration
     (ops : Dssq_core.Queue_intf.ops) =
   let start = Atomic.make false in
   let stop = Atomic.make false in
@@ -72,6 +72,11 @@ let run_workers ?(instrument = false) ~nthreads ~det_pct ~duration
               ops.enqueue ~tid v;
               ignore (ops.dequeue ~tid)
             end;
+            (* Flat-combining batch epoch: close the domain's persist
+               buffer every [k] pairs (combine mode only). *)
+            (match epoch with
+            | Some (k, drain) when (!i + 1) mod k = 0 -> drain ()
+            | _ -> ());
             count := !count + 2;
             incr i
       | Some hs ->
@@ -92,6 +97,9 @@ let run_workers ?(instrument = false) ~nthreads ~det_pct ~duration
               timed (fun () -> ops.enqueue ~tid v);
               timed (fun () -> ignore (ops.dequeue ~tid))
             end;
+            (match epoch with
+            | Some (k, drain) when (!i + 1) mod k = 0 -> drain ()
+            | _ -> ());
             count := !count + 2;
             incr i
     in
@@ -124,14 +132,15 @@ let run_workers ?(instrument = false) ~nthreads ~det_pct ~duration
     drain per persistence point — whose counters are always reported.
     [det_pct] is as in {!Sim_throughput.pair_worker}. *)
 let measure_ex ?(init_nodes = 16) ?(det_pct = 100) ?(line_size = 1)
-    ?(coalesce = false) ?(instrument = false) ~mk ~nthreads ~duration () :
-    Dssq_obs.Run_report.sample =
+    ?(coalesce = false) ?(combine = false) ?(batch = 8) ?(instrument = false)
+    ~mk ~nthreads ~duration () : Dssq_obs.Run_report.sample =
   let capacity = init_nodes + 8 + (nthreads * 4096) in
   let cfg =
-    Dssq_core.Queue_intf.config ~line_size ~coalesce ~nthreads ~capacity ()
+    Dssq_core.Queue_intf.config ~line_size ~coalesce ~combine ~nthreads
+      ~capacity ()
   in
   Native.set_line_size line_size;
-  if (not instrument) && not coalesce then begin
+  if (not instrument) && (not coalesce) && not combine then begin
     let ops = Registry.setup (module Native) ~mk ~init_nodes cfg in
     let mops, total, _ = run_workers ~nthreads ~det_pct ~duration ops in
     {
@@ -145,9 +154,13 @@ let measure_ex ?(init_nodes = 16) ?(det_pct = 100) ?(line_size = 1)
     let module Run (C : MI.COUNTED with type 'a cell = 'a Native.cell) = struct
       let result =
         let ops = Registry.setup (module C) ~mk ~init_nodes cfg in
+        C.drain () (* close any seeding-time persist buffer *);
         C.reset_counters ();
+        let epoch =
+          if combine then Some (max 1 batch, fun () -> C.drain ()) else None
+        in
         let mops, total, hists =
-          run_workers ~instrument ~nthreads ~det_pct ~duration ops
+          run_workers ~instrument ?epoch ~nthreads ~det_pct ~duration ops
         in
         let latency =
           Option.map
@@ -164,7 +177,12 @@ let measure_ex ?(init_nodes = 16) ?(det_pct = 100) ?(line_size = 1)
           latency;
         }
     end in
-    if coalesce then begin
+    if combine then begin
+      let module B = Native.Combining () in
+      let module R = Run (B) in
+      R.result
+    end
+    else if coalesce then begin
       let module B = Native.Coalescing () in
       let module R = Run (B) in
       R.result
@@ -177,8 +195,30 @@ let measure_ex ?(init_nodes = 16) ?(det_pct = 100) ?(line_size = 1)
   end
 
 (** Throughput only, in Mops/s — the historical entry point. *)
-let measure ?init_nodes ?det_pct ?line_size ?coalesce ~mk ~nthreads ~duration
-    () =
-  (measure_ex ?init_nodes ?det_pct ?line_size ?coalesce ~mk ~nthreads ~duration
-     ())
+let measure ?init_nodes ?det_pct ?line_size ?coalesce ?combine ?batch ~mk
+    ~nthreads ~duration () =
+  (measure_ex ?init_nodes ?det_pct ?line_size ?coalesce ?combine ?batch ~mk
+     ~nthreads ~duration ())
     .Dssq_obs.Run_report.mops
+
+(** NUMA-ish padding-stride sweep: measure one implementation across
+    isolation strides for the hot [Isolated]-placement cells (queue
+    head/tail, announce words).  On a real multi-socket machine the
+    right stride is an empirical trade — too small false-shares the hot
+    words across domains, too large wastes cache reach — and with
+    [combine] the persist traffic is batched, so the stride's
+    false-sharing component dominates what remains.  Returns
+    [(pad_words, Mops/s)] per stride; the process-wide stride is
+    restored to the default afterwards. *)
+let pad_sweep ?(pads = [ 0; 2; 6; 14; 30 ]) ?init_nodes ?det_pct ?line_size
+    ?coalesce ?combine ?batch ~mk ~nthreads ~duration () =
+  Fun.protect
+    ~finally:(fun () -> Native.set_pad_words MI.Padded.pad_words)
+    (fun () ->
+      List.map
+        (fun pad ->
+          Native.set_pad_words pad;
+          ( pad,
+            measure ?init_nodes ?det_pct ?line_size ?coalesce ?combine ?batch
+              ~mk ~nthreads ~duration () ))
+        pads)

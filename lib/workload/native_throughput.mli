@@ -12,6 +12,8 @@ val measure_ex :
   ?det_pct:int ->
   ?line_size:int ->
   ?coalesce:bool ->
+  ?combine:bool ->
+  ?batch:int ->
   ?instrument:bool ->
   mk:string ->
   nthreads:int ->
@@ -27,16 +29,40 @@ val measure_ex :
     backend's line allocator before the queue is built.  [coalesce]
     (default false) runs the queue over a fresh [Native.Coalescing ()]
     instance — per-domain persist buffers drained once per persistence
-    point — whose event counters are always reported. *)
+    point — whose event counters are always reported.  [combine]
+    (default false) runs over a fresh [Native.Combining ()] instance
+    (buffered, no auto-drain) with each domain closing a batch persist
+    epoch every [batch] (default 8) operation pairs. *)
 
 val measure :
   ?init_nodes:int ->
   ?det_pct:int ->
   ?line_size:int ->
   ?coalesce:bool ->
+  ?combine:bool ->
+  ?batch:int ->
   mk:string ->
   nthreads:int ->
   duration:float ->
   unit ->
   float
 (** Throughput only, in Mops/s: [(measure_ex ...).mops]. *)
+
+val pad_sweep :
+  ?pads:int list ->
+  ?init_nodes:int ->
+  ?det_pct:int ->
+  ?line_size:int ->
+  ?coalesce:bool ->
+  ?combine:bool ->
+  ?batch:int ->
+  mk:string ->
+  nthreads:int ->
+  duration:float ->
+  unit ->
+  (int * float) list
+(** NUMA-ish padding-stride sweep: [(pad_words, Mops/s)] for each
+    isolation stride in [pads] (filler words attached to
+    [Isolated]-placement cells — head/tail, announce words).  Restores
+    the default stride afterwards.  Meaningful on real multicore
+    hardware; deterministic-but-flat on the single-core CI container. *)

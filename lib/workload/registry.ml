@@ -26,6 +26,25 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   module Gen = Dssq_baselines.Caswe_queue.General (M)
   module Fast = Dssq_baselines.Caswe_queue.Fast (M)
 
+  (* The generic engine applied to the queue specification: the
+     flat-combining benchmark subject ("dss-fc").  Same detectable
+     interface as the linked DSS queue, but exec goes through the
+     engine's boxed-CAS path, where a combiner can fold every announced
+     operation into one composite install and one persist epoch
+     (DESIGN.md §14).  The linked queue keeps most of its hardening
+     drains even under combine (cross-thread helper flushes), so this is
+     the implementation that actually amortizes flushes per op. *)
+  module Fcq =
+    Detectable.Make
+      (struct
+        type state = int list
+        type op = Dssq_spec.Specs.Queue.op
+        type response = Dssq_spec.Specs.Queue.response
+
+        let spec = Dssq_spec.Specs.Queue.spec ()
+      end)
+      (M)
+
   (* Register [name]'s recover procedure (and audit, if any) with the
      recovery system, when one is attached. *)
   let attach system ~name ?audit recover =
@@ -59,6 +78,46 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
       stats =
         (fun () ->
           [ ("capacity", cfg.capacity); ("pool_free", Dss.free_count q) ]);
+    }
+
+  let fc ?system (cfg : Queue_intf.config) : Queue_intf.ops =
+    let module Q = Dssq_spec.Specs.Queue in
+    let q = Fcq.create ~name:"fcq" ~combine:cfg.combine ~nthreads:cfg.nthreads () in
+    attach system ~name:"dss-fc" (fun () -> Fcq.recover q);
+    let of_deq_response = function
+      | Q.Value x -> x
+      | Q.Empty -> Queue_intf.empty_value
+      | Q.Ok -> assert false (* dequeue never answers OK *)
+    in
+    {
+      name = "dss-fc";
+      enqueue = (fun ~tid v -> ignore (Fcq.base q ~tid (Q.Enqueue v) : Q.response));
+      dequeue = (fun ~tid -> of_deq_response (Fcq.base q ~tid Q.Dequeue));
+      d_enqueue =
+        (fun ~tid v ->
+          Fcq.prep q ~tid (Q.Enqueue v);
+          ignore (Fcq.exec q ~tid : Q.response));
+      d_dequeue =
+        (fun ~tid ->
+          Fcq.prep q ~tid Q.Dequeue;
+          of_deq_response (Fcq.exec q ~tid));
+      recover = (fun () -> Fcq.recover q);
+      resolve =
+        (fun ~tid ->
+          match Fcq.resolve q ~tid with
+          | Detectable_intf.Nothing -> Queue_intf.Nothing
+          | Detectable_intf.Pending (Q.Enqueue v) -> Queue_intf.Enq_pending v
+          | Detectable_intf.Pending Q.Dequeue -> Queue_intf.Deq_pending
+          | Detectable_intf.Done (Q.Enqueue v, _) -> Queue_intf.Enq_done v
+          | Detectable_intf.Done (Q.Dequeue, r) -> (
+              match r with
+              | Q.Empty -> Queue_intf.Deq_empty
+              | Q.Value x -> Queue_intf.Deq_done x
+              | Q.Ok -> assert false));
+      stats =
+        (fun () ->
+          let batches, folded = Fcq.combining_stats q in
+          [ ("combine_batches", batches); ("combine_folded", folded) ]);
     }
 
   let ms ?system (cfg : Queue_intf.config) : Queue_intf.ops =
@@ -164,6 +223,7 @@ module Make (M : Dssq_memory.Memory_intf.S) = struct
   let all =
     [
       ("dss-queue", dss);
+      ("dss-fc", fc);
       ("ms-queue", ms);
       ("durable-queue", durable);
       ("log-queue", log);

@@ -210,7 +210,8 @@ let detectable ~det_pct i =
     of Section 4 — bumping [counter] once per completed operation.
     [det_pct] = 100 makes every pair detectable (Figure 5b / "DSS queue
     detectable"), 0 none (non-detectable / MS queue). *)
-let pair_worker (ops : Dssq_core.Queue_intf.ops) ~tid ~counter ~det_pct () =
+let pair_worker ?epoch (ops : Dssq_core.Queue_intf.ops) ~tid ~counter ~det_pct
+    () =
   let i = ref 0 in
   while true do
     let detectable = detectable ~det_pct !i in
@@ -227,6 +228,13 @@ let pair_worker (ops : Dssq_core.Queue_intf.ops) ~tid ~counter ~det_pct () =
       ignore (ops.dequeue ~tid);
       incr counter
     end;
+    (* Flat-combining batch epoch: under [--combine] the objects leave
+       their flushes in the per-thread persist buffer; the driver closes
+       the epoch (one drain) every [k] operation pairs.  A no-op when
+       the buffer is already empty (engine combiners drain per batch). *)
+    (match epoch with
+    | Some (k, drain) when (!i + 1) mod k = 0 -> drain ()
+    | _ -> ());
     incr i
   done
 
@@ -235,8 +243,8 @@ let pair_worker (ops : Dssq_core.Queue_intf.ops) ~tid ~counter ~det_pct () =
     waits) in [hist].  Only used when latency instrumentation is on, so
     the uninstrumented path keeps the exact event sequence of
     {!pair_worker}. *)
-let timed_pair_worker (ops : Dssq_core.Queue_intf.ops) ~tid ~counter ~det_pct
-    ~now ~hist () =
+let timed_pair_worker ?epoch (ops : Dssq_core.Queue_intf.ops) ~tid ~counter
+    ~det_pct ~now ~hist () =
   let i = ref 0 in
   let timed f =
     let t0 = now () in
@@ -255,6 +263,9 @@ let timed_pair_worker (ops : Dssq_core.Queue_intf.ops) ~tid ~counter ~det_pct
       timed (fun () -> ops.enqueue ~tid v);
       timed (fun () -> ignore (ops.dequeue ~tid))
     end;
+    (match epoch with
+    | Some (k, drain) when (!i + 1) mod k = 0 -> drain ()
+    | _ -> ());
     incr i
   done
 
@@ -266,16 +277,24 @@ let timed_pair_worker (ops : Dssq_core.Queue_intf.ops) ~tid ~counter ~det_pct
     when [instrument] is set, leaving the default path's event sequence
     untouched. *)
 let measure_ex ?costs ?(seed = 1) ?(horizon_ns = 300_000.) ?(init_nodes = 16)
-    ?(det_pct = 100) ?(line_size = 1) ?(coalesce = false) ?(instrument = false)
-    ~mk ~nthreads () : Dssq_obs.Run_report.sample =
-  let heap = Heap.create ~line_size () in
+    ?(det_pct = 100) ?(line_size = 1) ?(coalesce = false) ?(combine = false)
+    ?(batch = 8) ?(instrument = false) ~mk ~nthreads () :
+    Dssq_obs.Run_report.sample =
+  let heap = Heap.create ~line_size ~combine () in
   let (module M) = Sim.memory ~coalesce heap in
   let capacity = init_nodes + 8 + (nthreads * 192) in
   let ops =
     Registry.setup
       (module M)
       ~mk ~init_nodes
-      (Dssq_core.Queue_intf.config ~line_size ~coalesce ~nthreads ~capacity ())
+      (Dssq_core.Queue_intf.config ~line_size ~coalesce ~combine ~nthreads
+         ~capacity ())
+  in
+  (* Seeding may leave buffered flushes under combine; close them before
+     measuring so every run starts from a clean persist state. *)
+  if combine then Heap.drain heap;
+  let epoch =
+    if combine then Some (max 1 batch, fun () -> M.drain ()) else None
   in
   let before = Heap.counters heap in
   let counters = Array.init nthreads (fun _ -> ref 0) in
@@ -284,9 +303,9 @@ let measure_ex ?costs ?(seed = 1) ?(horizon_ns = 300_000.) ?(init_nodes = 16)
   let threads =
     Array.init nthreads (fun tid ->
         match hist with
-        | None -> pair_worker ops ~tid ~counter:counters.(tid) ~det_pct
+        | None -> pair_worker ?epoch ops ~tid ~counter:counters.(tid) ~det_pct
         | Some h ->
-            timed_pair_worker ops ~tid ~counter:counters.(tid) ~det_pct
+            timed_pair_worker ?epoch ops ~tid ~counter:counters.(tid) ~det_pct
               ~now:(fun () -> !clock tid)
               ~hist:h)
   in
@@ -306,7 +325,7 @@ let measure_ex ?costs ?(seed = 1) ?(horizon_ns = 300_000.) ?(init_nodes = 16)
 
 (** Throughput only, in Mops/s — the historical entry point. *)
 let measure ?costs ?seed ?horizon_ns ?init_nodes ?det_pct ?line_size ?coalesce
-    ~mk ~nthreads () =
+    ?combine ?batch ~mk ~nthreads () =
   (measure_ex ?costs ?seed ?horizon_ns ?init_nodes ?det_pct ?line_size
-     ?coalesce ~mk ~nthreads ())
+     ?coalesce ?combine ?batch ~mk ~nthreads ())
     .Dssq_obs.Run_report.mops

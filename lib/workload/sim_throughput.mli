@@ -49,6 +49,7 @@ val detectable : det_pct:int -> int -> bool
     detectable. *)
 
 val pair_worker :
+  ?epoch:int * (unit -> unit) ->
   Dssq_core.Queue_intf.ops ->
   tid:int ->
   counter:int ref ->
@@ -56,9 +57,12 @@ val pair_worker :
   unit ->
   unit
 (** The paper's workload: alternating enqueue/dequeue pairs forever,
-    bumping [counter] per completed operation. *)
+    bumping [counter] per completed operation.  [epoch = (k, drain)]
+    closes a flat-combining persist epoch — calls [drain] — every [k]
+    operation pairs (combine mode only). *)
 
 val timed_pair_worker :
+  ?epoch:int * (unit -> unit) ->
   Dssq_core.Queue_intf.ops ->
   tid:int ->
   counter:int ref ->
@@ -78,6 +82,8 @@ val measure_ex :
   ?det_pct:int ->
   ?line_size:int ->
   ?coalesce:bool ->
+  ?combine:bool ->
+  ?batch:int ->
   ?instrument:bool ->
   mk:string ->
   nthreads:int ->
@@ -91,7 +97,10 @@ val measure_ex :
     [init_nodes] values (default 16, as in Section 4); [line_size]
     (default 1 = word-granular) sets the heap's persist-line size;
     [coalesce] (default false) turns on per-thread flush coalescing
-    (asynchronous flushes retired by a single drain per persist point). *)
+    (asynchronous flushes retired by a single drain per persist point);
+    [combine] (default false) puts the heap in flat-combining batch-epoch
+    mode and has the workers close an epoch every [batch] (default 8)
+    operation pairs. *)
 
 val measure :
   ?costs:costs ->
@@ -101,6 +110,8 @@ val measure :
   ?det_pct:int ->
   ?line_size:int ->
   ?coalesce:bool ->
+  ?combine:bool ->
+  ?batch:int ->
   mk:string ->
   nthreads:int ->
   unit ->

@@ -67,13 +67,14 @@ type runner = {
          post-crash path the profiler attributes to the recovery phases *)
 }
 
-let make_runner (module M : Dssq_memory.Memory_intf.S) ~pairs name : runner =
+let make_runner (module M : Dssq_memory.Memory_intf.S) ?(combine = false)
+    ~pairs name : runner =
   let counted tid i = (tid * 1_000_000) + i in
   match name with
   | "dss-queue" ->
       let module Q = Dssq_core.Dss_queue.Make (M) in
       let q =
-        Q.create ~nthreads ~capacity:(16 + (nthreads * (pairs + 8))) ()
+        Q.create ~combine ~nthreads ~capacity:(16 + (nthreads * (pairs + 8))) ()
       in
       let worker tid () =
         for i = 1 to pairs do
@@ -96,7 +97,7 @@ let make_runner (module M : Dssq_memory.Memory_intf.S) ~pairs name : runner =
   | "dss-stack" ->
       let module S = Dssq_core.Dss_stack.Make (M) in
       let s =
-        S.create ~nthreads ~capacity:(16 + (nthreads * (pairs + 8))) ()
+        S.create ~combine ~nthreads ~capacity:(16 + (nthreads * (pairs + 8))) ()
       in
       let worker tid () =
         for i = 1 to pairs do
@@ -160,7 +161,7 @@ let make_runner (module M : Dssq_memory.Memory_intf.S) ~pairs name : runner =
       }
   | "dss-swap" ->
       let module W = Dssq_core.Dss_swap.Make (M) in
-      let w = W.create ~nthreads () in
+      let w = W.create ~combine ~nthreads () in
       let worker tid () =
         for i = 1 to pairs do
           W.prep_swap w ~tid (counted tid i);
@@ -181,7 +182,7 @@ let make_runner (module M : Dssq_memory.Memory_intf.S) ~pairs name : runner =
       }
   | "dss-deque" ->
       let module D = Dssq_core.Dss_deque.Make (M) in
-      let d = D.create ~nthreads () in
+      let d = D.create ~combine ~nthreads () in
       (* Thread 0 works the front, thread 1 the back, so both ends of
          the specification are on the measured path. *)
       let worker tid () =
@@ -205,7 +206,7 @@ let make_runner (module M : Dssq_memory.Memory_intf.S) ~pairs name : runner =
       }
   | "dss-pqueue" ->
       let module P = Dssq_core.Dss_pqueue.Make (M) in
-      let p = P.create ~nthreads () in
+      let p = P.create ~combine ~nthreads () in
       let worker tid () =
         for i = 1 to pairs do
           (* Interleaved priorities so extract-min alternates winners. *)
@@ -227,7 +228,7 @@ let make_runner (module M : Dssq_memory.Memory_intf.S) ~pairs name : runner =
       }
   | "dss-bcounter" ->
       let module B = Dssq_core.Dss_bcounter.Make (M) in
-      let b = B.create ~nthreads () in
+      let b = B.create ~combine ~nthreads () in
       let worker tid () =
         for _ = 1 to pairs do
           B.prep_incr b ~tid;
@@ -251,10 +252,11 @@ let make_runner (module M : Dssq_memory.Memory_intf.S) ~pairs name : runner =
         (Printf.sprintf "Zoo: unknown object %s (known: %s)" other
            (String.concat ", " objects))
 
-let run_one ?(pairs = 200) ?(line_size = 1) ?persistency name =
-  let heap = Heap.create ~line_size ?persistency () in
+let run_one ?(pairs = 200) ?(line_size = 1) ?(combine = false) ?persistency
+    name =
+  let heap = Heap.create ~line_size ~combine ?persistency () in
   let (module M) = Sim.counted_memory heap in
-  let r = make_runner (module M) ~pairs name in
+  let r = make_runner (module M) ~combine ~pairs name in
   M.reset_counters ();
   ignore (Sim.run heap ~threads:r.r_threads);
   {
@@ -265,8 +267,48 @@ let run_one ?(pairs = 200) ?(line_size = 1) ?persistency name =
     z_stats = r.r_stats ();
   }
 
-let run_all ?pairs ?line_size ?persistency () =
-  List.map (fun name -> run_one ?pairs ?line_size ?persistency name) objects
+let run_all ?pairs ?line_size ?combine ?persistency () =
+  List.map
+    (fun name -> run_one ?pairs ?line_size ?combine ?persistency name)
+    objects
+
+(* ---------------------- flat-combining amortization -------------------- *)
+
+(* The Ben-Baruch, Hendler & Rusanovsky floor is per {e operation}: one
+   persistent announce word per process, and every detectable mutation
+   persists at least its announce record and one state word (>= 2
+   persisted words/op).  Flat combining cannot beat that floor on
+   persisted WORDS — every folded operation's announce record still
+   turns over — but it amortizes the persist {e epochs}: one flush+drain
+   covers a whole batch, so flushes/op falls toward O(1/batch) while
+   words/op stays put.  This sweep shows both side by side, per driver
+   batch size, on the engine-backed queue (the [dss-fc] benchmark
+   subject). *)
+type fc_row = {
+  f_batch : int;  (** driver epoch size, operation pairs *)
+  f_ops : int;
+  f_words : float;  (** persisted words per op — floor-bound, flat *)
+  f_flushes : float;  (** flushes per op — the amortized axis *)
+  f_fences : float;
+}
+
+let combine_rows ?(batches = [ 1; 2; 4; 8 ]) ?(nthreads = 8) () =
+  List.map
+    (fun b ->
+      let s =
+        Sim_throughput.measure_ex ~seed:1 ~mk:"dss-fc" ~det_pct:100
+          ~combine:true ~batch:b ~nthreads ()
+      in
+      let ops = max 1 s.Dssq_obs.Run_report.ops in
+      let per c = float_of_int c /. float_of_int ops in
+      {
+        f_batch = b;
+        f_ops = ops;
+        f_words = per s.Dssq_obs.Run_report.events.MI.pwrites;
+        f_flushes = per s.Dssq_obs.Run_report.events.MI.flushes;
+        f_fences = per s.Dssq_obs.Run_report.events.MI.fences;
+      })
+    batches
 
 (* ------------------------- attributed profiling ------------------------ *)
 
@@ -293,11 +335,11 @@ let with_attribution body =
     body
 
 let profile_one ?(pairs = 200) ?(line_size = 1) ?(coalesce = false)
-    ?persistency ?(crash = false) name =
+    ?(combine = false) ?persistency ?(crash = false) name =
   with_attribution (fun () ->
-      let heap = Heap.create ~line_size ?persistency () in
+      let heap = Heap.create ~line_size ~combine ?persistency () in
       let (module M) = Sim.counted_memory ~coalesce heap in
-      let r = make_runner (module M) ~pairs name in
+      let r = make_runner (module M) ~combine ~pairs name in
       M.reset_counters ();
       Heatmap.reset_counts ();
       Profile.reset ();
@@ -320,13 +362,13 @@ let profile_one ?(pairs = 200) ?(line_size = 1) ?(coalesce = false)
       })
 
 let profile_one_native ?(pairs = 200) ?(line_size = 1) ?(coalesce = false)
-    ?(persistency = MI.Persistency.Sc) name =
+    ?(combine = false) ?(persistency = MI.Persistency.Sc) name =
   let module Native = Dssq_memory.Native in
   let module Trace = Dssq_obs.Trace in
   with_attribution (fun () ->
       Native.set_line_size line_size;
       let measure (module C : MI.COUNTED) =
-        let r = make_runner (module C) ~pairs name in
+        let r = make_runner (module C) ~combine ~pairs name in
         C.reset_counters ();
         Heatmap.reset_counts ();
         Profile.reset ();
@@ -353,16 +395,20 @@ let profile_one_native ?(pairs = 200) ?(line_size = 1) ?(coalesce = false)
           p_heat = Heatmap.rows ();
         }
       in
-      if persistency = MI.Persistency.Px86 then
+      if combine then
+        (* combining wants the write-combining buffer irrespective of the
+           persistency axis — one drain per batch is the point *)
+        measure (module Native.Combining ())
+      else if persistency = MI.Persistency.Px86 then
         (* px86 subsumes coalescing: same buffer, weaker store ordering *)
         measure (module Native.Px86 ())
       else if coalesce then measure (module Native.Coalescing ())
       else measure (module Native.Counted ()))
 
-let profile_all ?pairs ?line_size ?coalesce ?persistency ?crash () =
+let profile_all ?pairs ?line_size ?coalesce ?combine ?persistency ?crash () =
   List.map
     (fun name ->
-      profile_one ?pairs ?line_size ?coalesce ?persistency ?crash name)
+      profile_one ?pairs ?line_size ?coalesce ?combine ?persistency ?crash name)
     objects
 
 (* ------------------------------ reporting ------------------------------ *)

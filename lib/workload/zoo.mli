@@ -25,6 +25,7 @@ val objects : string list
 val run_one :
   ?pairs:int ->
   ?line_size:int ->
+  ?combine:bool ->
   ?persistency:Dssq_memory.Memory_intf.Persistency.t ->
   string ->
   row
@@ -32,16 +33,35 @@ val run_one :
     thread, two detectable operations per iteration).  [persistency]
     (default [Sc]) selects the heap's persistency model; under [Px86]
     flushes buffer and only the objects' drain barriers write back, so
-    the per-op event mix shifts accordingly.
+    the per-op event mix shifts accordingly.  [combine] (default false)
+    creates the object in flat-combining mode where it supports it
+    (register and hashmap ignore the flag).
     @raise Invalid_argument listing {!objects} on an unknown name. *)
 
 val run_all :
   ?pairs:int ->
   ?line_size:int ->
+  ?combine:bool ->
   ?persistency:Dssq_memory.Memory_intf.Persistency.t ->
   unit ->
   row list
 (** {!run_one} over all of {!objects}, in order. *)
+
+type fc_row = {
+  f_batch : int;  (** driver epoch size, operation pairs *)
+  f_ops : int;
+  f_words : float;  (** persisted words per op — floor-bound, flat *)
+  f_flushes : float;  (** flushes per op — the amortized axis *)
+  f_fences : float;
+}
+
+val combine_rows : ?batches:int list -> ?nthreads:int -> unit -> fc_row list
+(** Flat-combining amortization sweep on the engine-backed queue
+    ([dss-fc], combine mode): persisted words/op and flushes/op per
+    driver batch size.  Words/op stays at the Ben-Baruch floor (every
+    folded operation still turns over its announce record); flushes/op
+    falls toward O(1/batch) — one persist epoch per batch is the whole
+    optimisation. *)
 
 type profile = {
   p_row : row;
@@ -55,6 +75,7 @@ val profile_one :
   ?pairs:int ->
   ?line_size:int ->
   ?coalesce:bool ->
+  ?combine:bool ->
   ?persistency:Dssq_memory.Memory_intf.Persistency.t ->
   ?crash:bool ->
   string ->
@@ -70,19 +91,22 @@ val profile_one_native :
   ?pairs:int ->
   ?line_size:int ->
   ?coalesce:bool ->
+  ?combine:bool ->
   ?persistency:Dssq_memory.Memory_intf.Persistency.t ->
   string ->
   profile
 (** {!profile_one} on the native Counted (or Coalescing) backend, with
     workers run sequentially for a deterministic event stream.
     [persistency:Px86] selects the [Native.Px86] buffered backend
-    (subsumes [coalesce]).  No crash arm: crash semantics are
-    simulator-only. *)
+    (subsumes [coalesce]); [combine] selects [Native.Combining] and
+    creates combining-capable objects in flat-combining mode.  No crash
+    arm: crash semantics are simulator-only. *)
 
 val profile_all :
   ?pairs:int ->
   ?line_size:int ->
   ?coalesce:bool ->
+  ?combine:bool ->
   ?persistency:Dssq_memory.Memory_intf.Persistency.t ->
   ?crash:bool ->
   unit ->

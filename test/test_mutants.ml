@@ -11,11 +11,11 @@ module Scenarios = Dssq_checker.Scenarios
 module Mutants = Dssq_checker.Mutants
 module Oracle = Dssq_checker.Oracle
 
-let corpus ?(coalesce = false) ?persistency ?mutation () =
+let corpus ?(coalesce = false) ?(combine = false) ?persistency ?mutation () =
   Scenarios.cases ~objects:[ "queue" ] ~crash_modes:[ true ]
-    ~line_sizes:[ 1; 8 ] ~coalesce ?persistency ?mutation ()
+    ~line_sizes:[ 1; 8 ] ~coalesce ~combine ?persistency ?mutation ()
 
-let test_correct_queue_passes ?coalesce ?persistency ?mutation
+let test_correct_queue_passes ?coalesce ?combine ?persistency ?mutation
     ?(what = "unmutated") () =
   List.iter
     (fun (c : Scenarios.case) ->
@@ -25,7 +25,7 @@ let test_correct_queue_passes ?coalesce ?persistency ?mutation
           Alcotest.failf "%s %s flagged at %s: %s" what c.Scenarios.name
             (Explore.schedule_to_string schedule)
             (Printexc.to_string exn))
-    (corpus ?coalesce ?persistency ?mutation ())
+    (corpus ?coalesce ?combine ?persistency ?mutation ())
 
 let contains s sub =
   let n = String.length sub and m = String.length s in
@@ -44,7 +44,7 @@ let assert_flagged ?(structural = false) ~name = function
       Alcotest.failf "mutant %s flagged with the wrong exception: %s" name
         (Printexc.to_string e)
 
-let test_mutant ?coalesce ?persistency ?structural name mutation () =
+let test_mutant ?coalesce ?combine ?persistency ?structural name mutation () =
   let rec hunt = function
     | [] -> Alcotest.failf "mutant %s (%s): no corpus case flagged it" name
               (Mutants.describe mutation)
@@ -70,7 +70,7 @@ let test_mutant ?coalesce ?persistency ?structural name mutation () =
                   (Explore.schedule_to_string schedule)
                   (Explore.schedule_to_string schedule')))
   in
-  hunt (corpus ?coalesce ?persistency ~mutation ())
+  hunt (corpus ?coalesce ?combine ?persistency ~mutation ())
 
 (* Flush coalescing must not change the checker's verdicts: the same
    corpus passes with every flush routed through the persist buffer, and
@@ -119,6 +119,39 @@ let relaxed_caught_under_px86 =
         (test_mutant ~persistency:px86 ~structural:true name mutation))
     Mutants.relaxed
 
+(* The flat-combining matrix.  [lost-batch] inverts the engine's
+   install-then-epoch ordering, so it is only reachable through the
+   combining path: the combining corpus — which swaps in the engine
+   objects for this mutant (see {!Scenarios.cases}) — must catch it
+   under both persistency models, and the same flag must be invisible
+   with combining off (the injection hook is never read by eager
+   installs). *)
+let lost_batch =
+  match Mutants.by_name "lost-batch" with
+  | Some m -> m
+  | None -> assert false
+
+let combine_suite =
+  [
+    Alcotest.test_case "unmutated combining queue passes the crash corpus"
+      `Quick (fun () ->
+        test_correct_queue_passes ~combine:true ~what:"combining" ());
+    Alcotest.test_case "px86 combining queue passes the same corpus" `Quick
+      (fun () ->
+        test_correct_queue_passes ~combine:true ~persistency:px86
+          ~what:"px86 combining" ());
+    Alcotest.test_case "mutant lost-batch is caught under combining" `Quick
+      (test_mutant ~combine:true "lost-batch" lost_batch);
+    Alcotest.test_case "mutant lost-batch is caught under combining px86"
+      `Quick
+      (test_mutant ~combine:true ~persistency:px86 "lost-batch" lost_batch);
+    Alcotest.test_case "mutant lost-batch is invisible with combining off"
+      `Quick
+      (fun () ->
+        test_correct_queue_passes ~mutation:lost_batch
+          ~what:"eager (lost-batch)" ());
+  ]
+
 let suite =
   (Alcotest.test_case "unmutated queue passes the crash corpus" `Quick
      (fun () -> test_correct_queue_passes ())
@@ -136,7 +169,7 @@ let suite =
            `Quick
            (test_mutant name mutation))
        Mutants.all)
-  @ relaxed_invisible_under_sc @ relaxed_caught_under_px86
+  @ relaxed_invisible_under_sc @ relaxed_caught_under_px86 @ combine_suite
   @ [
       Alcotest.test_case
         "mutant reorder-persist stays masked under px86 (drain-mediated)"

@@ -539,6 +539,83 @@ let prop_coalescing_matches_eager =
       in
       run ~coalesce:false = run ~coalesce:true)
 
+(* 14. Flat combining is observationally equivalent to eager execution:
+   one random sequential schedule of detectable swap pairs (prep;exec by
+   alternating threads) is driven twice over sim heaps — once eager,
+   once with [~combine:true] on a combine-mode (buffered) heap — and
+   every observable must coincide: each operation's response, the
+   resolve verdict of every thread after a crash at a chosen batch
+   boundary (combine installs close one persist epoch per batch, so
+   between operations IS the boundary), the retried responses, and the
+   recovered abstract state.  Flush/fence counts legitimately differ —
+   that deferral is the optimisation — but nothing the caller or the
+   recovery protocol can see may.  The crash point ranges over every
+   boundary and both crash kinds (after prep: resolve must say Pending
+   and the retry must agree; after exec: resolve must say Done with the
+   same response), under both extreme eviction verdicts. *)
+let prop_combine_matches_eager =
+  let module Sw = Dssq_spec.Specs.Swap in
+  let gen_op =
+    QCheck.Gen.(
+      pair (int_bound 1)
+        (frequency
+           [ (3, map (fun v -> Sw.Swap v) (int_range 0 20)); (1, return Sw.Read) ]))
+  in
+  let pp_op = function Sw.Swap v -> Printf.sprintf "swap%d" v | Sw.Read -> "read" in
+  let arb =
+    QCheck.make
+      ~print:(fun (ops, crash_at, after_prep, evict) ->
+        Printf.sprintf "[%s] crash_at=%d after_prep=%b evict=%.0f"
+          (String.concat ";"
+             (List.map (fun (t, o) -> Printf.sprintf "t%d:%s" t (pp_op o)) ops))
+          crash_at after_prep evict)
+      QCheck.Gen.(
+        quad
+          (list_size (int_range 1 10) gen_op)
+          (int_range 0 10) bool
+          (oneofl [ 0.0; 1.0 ]))
+  in
+  QCheck.Test.make ~count:300 ~name:"flat combining = eager (observations)"
+    arb
+    (fun (ops, crash_at, after_prep, evict_p) ->
+      let run ~combine =
+        let heap = Heap.create ~combine () in
+        let (module M) = Sim.memory heap in
+        let module O = Dssq_core.Dss_swap.Make (M) in
+        let o = O.create ~combine ~nthreads:2 () in
+        let obs = ref [] in
+        let note x = obs := x :: !obs in
+        let resolved ~tid =
+          Format.asprintf "%a" O.pp_resolved (O.resolve o ~tid)
+        in
+        let crash () =
+          Sim.apply_crash heap ~evict_p ~seed:42;
+          O.recover o;
+          for tid = 0 to 1 do
+            note (resolved ~tid);
+            match O.resolve o ~tid with
+            | Pending _ ->
+                let (Sw.Value v) = O.exec o ~tid in
+                note (Printf.sprintf "retry:%d" v)
+            | _ -> ()
+          done
+        in
+        List.iteri
+          (fun i (tid, op) ->
+            let boundary = i = crash_at in
+            O.prep o ~tid op;
+            if boundary && after_prep then crash ()
+            else begin
+              let (Sw.Value v) = O.exec o ~tid in
+              note (Printf.sprintf "resp:%d" v);
+              if boundary then crash ()
+            end)
+          ops;
+        note (Printf.sprintf "final:%d" (O.peek o));
+        List.rev !obs
+      in
+      run ~combine:false = run ~combine:true)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -555,4 +632,5 @@ let suite =
       prop_pmwcas_matches_reference;
       prop_explore_counts;
       prop_coalescing_matches_eager;
+      prop_combine_matches_eager;
     ]
